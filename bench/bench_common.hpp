@@ -1,0 +1,28 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace repro::bench {
+
+/// Standard header naming the paper artefact this binary regenerates.
+inline void header(const std::string& artefact, const std::string& paper_says) {
+  print_banner(std::cout, artefact);
+  std::cout << "Paper reference: " << paper_says << "\n\n";
+}
+
+/// Write the table to --csv=<path> when requested.
+inline void maybe_csv(const Table& table, const Options& options,
+                      const std::string& default_name) {
+  if (options.has("csv")) {
+    const std::string path = options.get_string("csv", default_name);
+    table.write_csv(path);
+    std::cout << "\n(wrote " << path << ")\n";
+  }
+}
+
+}  // namespace repro::bench

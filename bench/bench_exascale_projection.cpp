@@ -1,0 +1,85 @@
+// Conclusions-section projection: what happens as memory bandwidth outruns
+// the network.
+//
+// "The memory bandwidth is expected to have around 50% improvement, but the
+// improvement of network latency will remain modest ... if the workload on
+// each node can efficiently utilize the full memory bandwidth then it would
+// become, in all likelihood, network-bound and the implementation variant
+// based on communication-avoiding approach shows a distinct advantage."
+//
+// We scale the machine's memory system (and hence the stencil kernel rate)
+// by a factor while holding the interconnect fixed, and watch the base/CA
+// gap open at FULL kernel ratio — no artificial kernel tuning, just faster
+// memory, exactly the future the paper describes. A Summit-like node
+// (multi-GPU-class bandwidth, same-latency network) is included as the
+// extreme point.
+#include "bench_common.hpp"
+#include "sim/models.hpp"
+#include "support/units.hpp"
+
+namespace {
+
+repro::sim::Machine scaled_memory(repro::sim::Machine base, double factor) {
+  base.name += "x" + repro::format_double(factor, 1);
+  base.node_stream_bw_Bps *= factor;
+  base.core_stream_bw_Bps *= factor;
+  base.node_stencil_gflops *= factor;  // memory-bound kernel scales with BW
+  return base;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const Options options(argc, argv);
+  bench::header("Exascale projection: faster memory, same network",
+                "memory BW +50% expected, network latency ~flat => stencils "
+                "go network-bound and CA wins without kernel tuning");
+
+  const int iters = static_cast<int>(options.get_int("iters", 60));
+
+  for (const auto& base_machine : {sim::nacl(), sim::stampede2()}) {
+    std::cout << base_machine.name
+              << " (N/tile as in Fig. 7), 64 nodes, kernel ratio 1.0:\n";
+    Table table({"memory BW", "base GF/s", "CA s=15 GF/s", "CA gain %"});
+    const int n = base_machine.name == "NaCL" ? 23040 : 55296;
+    const int tile = base_machine.name == "NaCL" ? 288 : 864;
+    for (double factor : {1.0, 1.5, 2.0, 4.0, 8.0}) {
+      const sim::Machine machine = scaled_memory(base_machine, factor);
+      sim::StencilSimParams base{machine, n, tile, 8, 8, iters, 1, 1.0};
+      sim::StencilSimParams ca = base;
+      ca.steps = 15;
+      const double b = sim::simulate_stencil(base).gflops;
+      const double c = sim::simulate_stencil(ca).gflops;
+      table.add_row({Table::cell(factor, 1) + "x", Table::cell(b, 1),
+                     Table::cell(c, 1),
+                     Table::cell(100.0 * (c / b - 1.0), 1)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // Summit-like extreme: ~5.4 TB/s aggregate HBM per node (6 GPUs x 900
+  // GB/s, per the conclusions), EDR-class network with ~1 us latency.
+  std::cout << "Summit-like node (5.4 TB/s memory, 100 Gb/s-class network), "
+               "64 nodes:\n";
+  sim::Machine summit = sim::stampede2();
+  summit.name = "Summit-like";
+  const double scale = 5400e9 / summit.node_stream_bw_Bps;
+  summit.node_stream_bw_Bps = 5400e9;
+  summit.node_stencil_gflops *= scale;
+  Table table({"version", "GF/s", "% of compute-bound peak"});
+  const double peak = summit.node_stencil_gflops * 64.0;
+  sim::StencilSimParams base{summit, 55296, 864, 8, 8, iters, 1, 1.0};
+  sim::StencilSimParams ca = base;
+  ca.steps = 15;
+  const double b = sim::simulate_stencil(base).gflops;
+  const double c = sim::simulate_stencil(ca).gflops;
+  table.add_row({"base", Table::cell(b, 1), Table::cell(100.0 * b / peak, 1)});
+  table.add_row({"CA s=15", Table::cell(c, 1),
+                 Table::cell(100.0 * c / peak, 1)});
+  table.print(std::cout);
+  std::cout << "\nCA advantage at Summit-like bandwidth: "
+            << Table::cell(100.0 * (c / b - 1.0), 1) << "%\n";
+  return 0;
+}

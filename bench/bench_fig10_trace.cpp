@@ -1,0 +1,126 @@
+// Fig. 10: profiling traces — base vs CA PaRSEC on one node of 16 (NaCL,
+// kernel ratio 0.4, 11 compute threads).
+//
+// Two renditions:
+//   1. DES at paper scale (N=23040, tile 288, 16 NaCL nodes): per-node
+//      occupancy, median boundary/interior task durations, message counts.
+//      Shapes to check: CA has higher occupancy and slightly longer kernels
+//      (paper: base median 136 vs CA 153 time units, yet CA 14% faster).
+//   2. The real task runtime on this host at reduced scale, with its tracer
+//      enabled: occupancy report and an ASCII Gantt strip per worker — the
+//      console rendition of the paper's trace plot.
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "sim/models.hpp"
+#include "stencil/dist_stencil.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace repro;
+
+void simulated_part(const Options& options) {
+  const int iters = static_cast<int>(options.get_int("iters", 60));
+  const double ratio = options.get_double("ratio", 0.3);
+  std::cout << "Simulated trace at paper scale (NaCL, 16 nodes, ratio "
+            << ratio << ", " << iters << " iters).\n"
+            << "Note: our calibrated model places the base/CA crossover near "
+               "ratio 0.3;\nthe paper observed the same phenomenon at ratio "
+               "0.4 on the physical cluster.\n";
+
+  Table table({"version", "GF/s", "median boundary us", "median interior us",
+               "occupancy node0 %", "messages"});
+  double base_gf = 0.0;
+  for (int steps : {1, 15}) {
+    sim::StencilSimParams p{sim::nacl(), 23040, 288, 4, 4, iters, steps,
+                            ratio};
+    const auto out = sim::simulate_stencil(p, /*trace=*/true);
+    std::vector<double> boundary, interior;
+    for (const auto& iv : out.sim.trace) {
+      if (iv.node != 0) continue;
+      if (iv.klass == sim::kKlassBoundary) {
+        boundary.push_back(iv.end_s - iv.begin_s);
+      } else if (iv.klass == sim::kKlassInterior) {
+        interior.push_back(iv.end_s - iv.begin_s);
+      }
+    }
+    if (steps == 1) base_gf = out.gflops;
+    table.add_row({steps == 1 ? "base" : "CA s=15", Table::cell(out.gflops, 1),
+                   Table::cell(median(boundary) * 1e6, 1),
+                   Table::cell(median(interior) * 1e6, 1),
+                   Table::cell(100.0 * out.sim.occupancy(
+                                   0, sim::nacl().compute_workers()), 1),
+                   Table::cell(static_cast<long long>(out.sim.messages))});
+    if (steps == 15) {
+      std::cout << "  CA vs base: " << Table::cell(
+          100.0 * (out.gflops / base_gf - 1.0), 1)
+                << "% faster (paper: 14% at ratio 0.4)\n";
+    }
+  }
+  table.print(std::cout);
+}
+
+void real_part(const Options& options) {
+  const int n = static_cast<int>(options.get_int("n", 512));
+  const int iters = static_cast<int>(options.get_int("real-iters", 12));
+  std::cout << "\nReal taskrt trace on this host (N=" << n << ", 2x2 virtual "
+            << "nodes, 2 workers each, ratio 0.4, " << iters << " iters).\n"
+            << "Note: all virtual nodes timeshare this host's "
+            << std::thread::hardware_concurrency()
+            << " hardware thread(s); occupancy percentages reflect that "
+               "oversubscription, not runtime quality.\n";
+
+  for (int steps : {1, 4}) {
+    stencil::DistConfig config;
+    config.decomp = {n / 8, n / 8, 2, 2};
+    config.steps = steps;
+    config.kernel_ratio = 0.4;
+    config.workers_per_rank = 2;
+    config.trace = true;
+    const stencil::Problem problem = stencil::laplace_problem(n, iters);
+    const stencil::DistResult result = run_distributed(problem, config);
+
+    const rt::TraceReport report =
+        rt::analyze_trace(result.trace_events, config.workers_per_rank);
+    std::cout << "\n-- " << (steps == 1 ? "base" : "CA s=4")
+              << ": " << result.stats.messages << " messages, "
+              << result.stats.bytes << " bytes --\n";
+    Table table({"klass", "count", "median us"});
+    for (const auto& [klass, med] : report.median_duration_by_klass) {
+      table.add_row({klass,
+                     Table::cell(static_cast<long long>(
+                         report.count_by_klass.at(klass))),
+                     Table::cell(med * 1e6, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "occupancy by rank:";
+    for (const auto& [rank, occ] : report.occupancy_by_rank) {
+      std::cout << "  r" << rank << "=" << Table::cell(100.0 * occ, 1) << "%";
+    }
+    std::cout << '\n';
+    rt::print_ascii_gantt(result.trace_events, std::cout, 96);
+
+    if (options.has("csv")) {
+      const std::string path =
+          (steps == 1 ? "fig10_base.csv" : "fig10_ca.csv");
+      std::ofstream out(path);
+      rt::write_trace_csv(result.trace_events, out);
+      std::cout << "(wrote " << path << ")\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  bench::header("Fig. 10: execution trace, base vs CA",
+                "CA achieves higher CPU occupancy despite longer kernels "
+                "(base median 136 vs CA 153) and runs 14% faster at ratio "
+                "0.4 on 16 NaCL nodes");
+  simulated_part(options);
+  real_part(options);
+  return 0;
+}

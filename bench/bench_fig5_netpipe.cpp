@@ -1,0 +1,60 @@
+// Fig. 5: NetPIPE network performance — % of theoretical peak vs message
+// size for NaCL (32 Gb/s IB QDR) and Stampede2 (100 Gb/s Omni-Path).
+//
+// Prints the analytic link-model curves for both machine presets (the curves
+// the simulator uses) plus the measured in-memory transport curve of this
+// host (characterising the substitution substrate). Shape to check: a few
+// percent of peak at 256 B rising to 70-90% by 1 MB; the conclusions section
+// leans on exactly this 20% -> 70% climb for CA's bigger messages.
+#include "bench_common.hpp"
+#include "net/netpipe.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const Options options(argc, argv);
+  bench::header("Fig. 5: NetPIPE effective bandwidth vs message size",
+                "theoretical peaks 32 Gb/s (NaCL) and 100 Gb/s (Stampede2); "
+                "effective peaks ~27 and ~86 Gb/s; latency ~1 us");
+
+  const auto sizes = net::netpipe_sizes(64, 16 * MiB);
+  const auto nacl_curve = net::analytic_curve(net::nacl_link(), sizes);
+  const auto s2_curve = net::analytic_curve(net::stampede2_link(), sizes);
+  const auto host = net::measured_curve(
+      net::netpipe_sizes(64, 4 * MiB),
+      static_cast<int>(options.get_int("repeats", 16)));
+
+  Table table({"size", "NaCL Gb/s", "NaCL %peak", "Stampede2 Gb/s",
+               "Stampede2 %peak", "host-memcpy GB/s"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::string host_cell =
+        i < host.size() ? Table::cell(host[i].bandwidth_Bps / 1e9, 2) : "-";
+    table.add_row({format_bytes(sizes[i]),
+                   Table::cell(to_gbit_per_s(nacl_curve[i].bandwidth_Bps), 2),
+                   Table::cell(100.0 * nacl_curve[i].fraction_of_peak, 1),
+                   Table::cell(to_gbit_per_s(s2_curve[i].bandwidth_Bps), 2),
+                   Table::cell(100.0 * s2_curve[i].fraction_of_peak, 1),
+                   host_cell});
+  }
+  table.print(std::cout);
+
+  // The aggregation argument from the conclusions: a base-version halo
+  // message vs a CA (s=15) halo message on each machine.
+  std::cout << "\nCA message-aggregation effect (tile 288 on NaCL, 864 on "
+               "Stampede2, doubles):\n";
+  Table agg({"machine", "message", "bytes", "%peak"});
+  const auto nacl = net::nacl_link();
+  const auto s2 = net::stampede2_link();
+  agg.add_row({"NaCL", "base band (1x288)", "2304",
+               Table::cell(100.0 * nacl.fraction_of_peak(2304), 1)});
+  agg.add_row({"NaCL", "CA band (15x288)", "34560",
+               Table::cell(100.0 * nacl.fraction_of_peak(34560), 1)});
+  agg.add_row({"Stampede2", "base band (1x864)", "6912",
+               Table::cell(100.0 * s2.fraction_of_peak(6912), 1)});
+  agg.add_row({"Stampede2", "CA band (15x864)", "103680",
+               Table::cell(100.0 * s2.fraction_of_peak(103680), 1)});
+  agg.print(std::cout);
+
+  bench::maybe_csv(table, options, "fig5_netpipe.csv");
+  return 0;
+}

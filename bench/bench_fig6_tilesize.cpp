@@ -1,0 +1,65 @@
+// Fig. 6: shared-memory base-PaRSEC GFLOP/s vs tile size.
+//
+// Two parts:
+//   1. Model curves for the paper's machines — NaCL, N = 20k (plateau ~11
+//      GFLOP/s at tiles 200-300) and Stampede2, N = 27k (~43.5 GFLOP/s at
+//      tiles 400-2000).
+//   2. A real single-node run of the actual task runtime on this host with a
+//      scaled-down grid, sweeping tile sizes, to show the same
+//      overhead-vs-tile-size shape on live hardware.
+#include "bench_common.hpp"
+#include "sim/models.hpp"
+#include "stencil/dist_stencil.hpp"
+#include "support/timing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const Options options(argc, argv);
+  bench::header("Fig. 6: single-node GFLOP/s vs tile size",
+                "NaCL N=20k peaks ~11 GFLOP/s at tiles 200-300; Stampede2 "
+                "N=27k ~43.5 GFLOP/s at tiles 400-2000");
+
+  {
+    Table table({"tile", "NaCL model GF/s (N=20k)"});
+    for (int tile : {50, 100, 150, 200, 250, 288, 300, 400, 500, 700, 1000}) {
+      table.add_row({Table::cell(static_cast<long long>(tile)),
+                     Table::cell(sim::single_node_gflops_model(sim::nacl(),
+                                                               20000, tile))});
+    }
+    table.print(std::cout);
+    bench::maybe_csv(table, options, "fig6_nacl.csv");
+  }
+  std::cout << '\n';
+  {
+    Table table({"tile", "Stampede2 model GF/s (N=27k)"});
+    for (int tile : {100, 200, 400, 600, 864, 1000, 1500, 2000, 2500, 3000}) {
+      table.add_row({Table::cell(static_cast<long long>(tile)),
+                     Table::cell(sim::single_node_gflops_model(
+                         sim::stampede2(), 27000, tile))});
+    }
+    table.print(std::cout);
+  }
+
+  // Real execution on this host: one virtual node, all local exchanges.
+  const int n = static_cast<int>(options.get_int("n", 2048));
+  const int iters = static_cast<int>(options.get_int("iters", 4));
+  const int workers = static_cast<int>(options.get_int("workers", 2));
+  std::cout << "\nReal taskrt run on this host (N=" << n << ", " << iters
+            << " iterations, " << workers << " workers, 1 virtual node):\n";
+  Table real({"tile", "GF/s", "tasks", "time ms"});
+  const stencil::Problem problem = stencil::laplace_problem(n, iters);
+  for (int tile : {64, 128, 256, 512, 1024}) {
+    if (tile > n) continue;
+    stencil::DistConfig config;
+    config.decomp = {tile, tile, 1, 1};
+    config.steps = 1;
+    config.workers_per_rank = workers;
+    const stencil::DistResult result = run_distributed(problem, config);
+    real.add_row({Table::cell(static_cast<long long>(tile)),
+                  Table::cell(result.flops() / result.stats.wall_time_s / 1e9),
+                  Table::cell(static_cast<long long>(result.stats.tasks_executed)),
+                  Table::cell(result.stats.wall_time_s * 1e3, 1)});
+  }
+  real.print(std::cout);
+  return 0;
+}

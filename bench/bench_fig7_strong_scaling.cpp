@@ -1,0 +1,93 @@
+// Fig. 7: strong-scaling speedup over single-node base-PaRSEC.
+//
+// NaCL: N = 23040, tile 288; Stampede2: N = 55296, tile 864; 100 iterations;
+// CA step size 15; square node grids of 1, 4, 16, 64 nodes.
+//
+// Shapes to check (paper section VI-C):
+//   * all three implementations scale well;
+//   * PaRSEC versions reach ~2x the PETSc speedup (CSR index traffic);
+//   * base and CA are "almost indistinguishable" at full kernel time.
+#include "bench_common.hpp"
+#include "sim/models.hpp"
+#include "spmv/petsc_like.hpp"
+#include "stencil/dist_stencil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const Options options(argc, argv);
+  bench::header("Fig. 7: strong scaling speedup (vs 1-node base-PaRSEC)",
+                "PaRSEC ~2x PETSc everywhere; base ~= CA; near-linear "
+                "scaling to 64 nodes");
+
+  const int iters = static_cast<int>(options.get_int("iters", 100));
+  const int steps = static_cast<int>(options.get_int("steps", 15));
+
+  struct System {
+    sim::Machine machine;
+    int n;
+    int tile;
+  };
+  const System systems[] = {{sim::nacl(), 23040, 288},
+                            {sim::stampede2(), 55296, 864}};
+
+  for (const auto& sys : systems) {
+    std::cout << sys.machine.name << " (N=" << sys.n << ", tile=" << sys.tile
+              << ", " << iters << " iters, CA s=" << steps << ")\n";
+    const sim::StencilSimParams one{sys.machine, sys.n, sys.tile, 1, 1,
+                                    iters, 1, 1.0};
+    const double t1 = sim::simulate_stencil(one).time_s;
+
+    Table table({"nodes", "PETSc GF/s", "base GF/s", "CA GF/s",
+                 "PETSc speedup", "base speedup", "CA speedup"});
+    for (int side : {1, 2, 4, 8}) {
+      const int nodes = side * side;
+      sim::StencilSimParams base{sys.machine, sys.n, sys.tile, side, side,
+                                 iters, 1, 1.0};
+      sim::StencilSimParams ca = base;
+      ca.steps = steps;
+      const auto rb = sim::simulate_stencil(base);
+      const auto rc = sim::simulate_stencil(ca);
+      const sim::PetscSimParams pp{sys.machine, sys.n, nodes, iters};
+      const auto rp = sim::simulate_petsc(pp);
+      table.add_row({Table::cell(static_cast<long long>(nodes)),
+                     Table::cell(rp.gflops, 1), Table::cell(rb.gflops, 1),
+                     Table::cell(rc.gflops, 1),
+                     Table::cell(t1 / rp.time_s, 2),
+                     Table::cell(t1 / rb.time_s, 2),
+                     Table::cell(t1 / rc.time_s, 2)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+    bench::maybe_csv(table, options, "fig7_" + sys.machine.name + ".csv");
+  }
+
+  // Real head-to-head on this host at reduced scale: the same three
+  // implementations executed for real (PETSc-like rank threads vs the task
+  // runtime), with their measured traffic. Wall-clock favors nobody on an
+  // oversubscribed host; the traffic columns show the structural story.
+  const int n = static_cast<int>(options.get_int("host-n", 1024));
+  const int host_iters = static_cast<int>(options.get_int("host-iters", 8));
+  std::cout << "Real execution on this host (N=" << n << ", " << host_iters
+            << " iters, 4 virtual nodes / 4 SpMV ranks):\n";
+  const stencil::Problem problem = stencil::laplace_problem(n, host_iters);
+  Table real({"implementation", "time ms", "messages", "MB moved"});
+  {
+    const auto r = spmv::run_petsc_like(problem, 4);
+    real.add_row({"PETSc-like SpMV", Table::cell(r.wall_time_s * 1e3, 1),
+                  Table::cell(static_cast<long long>(r.messages)),
+                  Table::cell(static_cast<double>(r.bytes) / 1e6, 2)});
+  }
+  for (int steps : {1, 4}) {
+    stencil::DistConfig config;
+    config.decomp = {n / 8, n / 8, 2, 2};
+    config.steps = steps;
+    config.workers_per_rank = 2;
+    const auto r = run_distributed(problem, config);
+    real.add_row({steps == 1 ? "base taskrt" : "CA taskrt (s=4)",
+                  Table::cell(r.stats.wall_time_s * 1e3, 1),
+                  Table::cell(static_cast<long long>(r.stats.messages)),
+                  Table::cell(static_cast<double>(r.stats.bytes) / 1e6, 2)});
+  }
+  real.print(std::cout);
+  return 0;
+}

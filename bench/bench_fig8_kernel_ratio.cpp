@@ -1,0 +1,64 @@
+// Fig. 8: tuned-kernel performance — GFLOP/s vs kernel-adjustment ratio.
+//
+// The ratio parameter updates only (ratio*mb) x (ratio*nb) of each tile,
+// simulating a memory system / optimized kernel that is faster than the
+// baseline. NaCL: N = 23k, tile 288; Stampede2: N = 55k, tile 864; 100
+// iterations; CA step size 15; 4/16/64 nodes in square grids.
+//
+// Shapes to check (paper section VI-D):
+//   * base == CA at large ratios (kernel-bound);
+//   * CA pulls ahead as the ratio shrinks — the paper quotes 57% on 16 NaCL
+//     nodes and ~14% at ratio 0.4 (Fig. 10's configuration), 18-33% on
+//     Stampede2;
+//   * the "base, original kernel" (ratio=1) row is Fig. 8's black line.
+#include "bench_common.hpp"
+#include "sim/models.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const Options options(argc, argv);
+  bench::header("Fig. 8: GFLOP/s vs kernel-adjustment ratio (CA s=15)",
+                "CA wins when kernel time is small: up to 57% (NaCL@16) and "
+                "33% (Stampede2); no difference at ratio ~0.6-0.8");
+
+  const int iters = static_cast<int>(options.get_int("iters", 100));
+  const int steps = static_cast<int>(options.get_int("steps", 15));
+
+  struct System {
+    sim::Machine machine;
+    int n;
+    int tile;
+  };
+  const System systems[] = {{sim::nacl(), 23040, 288},
+                            {sim::stampede2(), 55296, 864}};
+
+  for (const auto& sys : systems) {
+    for (int side : {2, 4, 8}) {
+      std::cout << sys.machine.name << ", " << side * side << " nodes:\n";
+      const sim::StencilSimParams black{sys.machine, sys.n, sys.tile, side,
+                                        side, iters, 1, 1.0};
+      const double base_full = sim::simulate_stencil(black).gflops;
+
+      Table table({"ratio", "base GF/s", "CA GF/s", "CA gain %",
+                   "base(ratio=1) GF/s"});
+      for (double ratio : {0.2, 0.3, 0.4, 0.6, 0.8}) {
+        sim::StencilSimParams base = black;
+        base.ratio = ratio;
+        sim::StencilSimParams ca = base;
+        ca.steps = steps;
+        const auto rb = sim::simulate_stencil(base);
+        const auto rc = sim::simulate_stencil(ca);
+        table.add_row({Table::cell(ratio, 1), Table::cell(rb.gflops, 1),
+                       Table::cell(rc.gflops, 1),
+                       Table::cell(100.0 * (rc.gflops / rb.gflops - 1.0), 1),
+                       Table::cell(base_full, 1)});
+      }
+      table.print(std::cout);
+      std::cout << '\n';
+      bench::maybe_csv(table, options,
+                       "fig8_" + sys.machine.name + "_" +
+                           std::to_string(side * side) + "n.csv");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 9: tuned step-size performance — GFLOP/s vs kernel-adjustment ratio
+// for CA step sizes 5, 15, 25, 40.
+//
+// Same workloads as Fig. 8. Shape to check (paper section VI-D): when CA can
+// improve over base, the step size must be tuned — small s under-amortizes
+// latency, large s over-pays in redundant work and burst bandwidth; the
+// optimum moves with the ratio.
+#include "bench_common.hpp"
+#include "sim/models.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const Options options(argc, argv);
+  bench::header("Fig. 9: GFLOP/s vs ratio for CA step sizes {5,15,25,40}",
+                "optimal step size must be tuned; interplay between step "
+                "size and kernel execution time is complicated");
+
+  const int iters = static_cast<int>(options.get_int("iters", 100));
+
+  struct System {
+    sim::Machine machine;
+    int n;
+    int tile;
+  };
+  const System systems[] = {{sim::nacl(), 23040, 288},
+                            {sim::stampede2(), 55296, 864}};
+  const int all_steps[] = {5, 15, 25, 40};
+
+  for (const auto& sys : systems) {
+    for (int side : {2, 4, 8}) {
+      std::cout << sys.machine.name << ", " << side * side << " nodes:\n";
+      Table table({"ratio", "base", "s=5", "s=15", "s=25", "s=40", "best"});
+      for (double ratio : {0.2, 0.4, 0.6, 0.8}) {
+        sim::StencilSimParams base{sys.machine, sys.n, sys.tile, side, side,
+                                   iters, 1, ratio};
+        std::vector<std::string> row{Table::cell(ratio, 1)};
+        const double base_gf = sim::simulate_stencil(base).gflops;
+        row.push_back(Table::cell(base_gf, 1));
+        double best = base_gf;
+        std::string best_name = "base";
+        for (int s : all_steps) {
+          sim::StencilSimParams ca = base;
+          ca.steps = s;
+          const double gf = sim::simulate_stencil(ca).gflops;
+          row.push_back(Table::cell(gf, 1));
+          if (gf > best) {
+            best = gf;
+            best_name = "s=" + std::to_string(s);
+          }
+        }
+        row.push_back(best_name);
+        table.add_row(std::move(row));
+      }
+      table.print(std::cout);
+      std::cout << '\n';
+      bench::maybe_csv(table, options,
+                       "fig9_" + sys.machine.name + "_" +
+                           std::to_string(side * side) + "n.csv");
+    }
+  }
+  return 0;
+}

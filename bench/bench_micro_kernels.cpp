@@ -1,0 +1,176 @@
+// Microbenchmarks (google-benchmark): the kernels underneath everything.
+//
+//   * jacobi5 over several tile sizes (reports points/s and effective GB/s)
+//   * halo band pack/unpack
+//   * corner block pack/unpack
+//   * CSR SpMV (reports the index-traffic handicap vs the raw stencil)
+//   * serial reference sweep
+#include <benchmark/benchmark.h>
+
+#include "spmv/csr.hpp"
+#include "stencil/halo.hpp"
+#include "stencil/kernel.hpp"
+#include "stencil/problem.hpp"
+#include "stencil/serial.hpp"
+#include "stencil/shape.hpp"
+
+namespace {
+
+using namespace repro;
+using namespace repro::stencil;
+
+void BM_Jacobi5(benchmark::State& state) {
+  const int tile = static_cast<int>(state.range(0));
+  const TileGeom g{tile, tile, 1, 1, 1, 1};
+  std::vector<double> in(g.size(), 1.0);
+  std::vector<double> out(g.size(), 0.0);
+  const Stencil5 w = Stencil5::laplace_jacobi();
+  for (auto _ : state) {
+    jacobi5(in.data(), out.data(), g, w, 0, tile, 0, tile);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  const double points = static_cast<double>(tile) * tile;
+  state.counters["points/s"] = benchmark::Counter(
+      points * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      points * kFlopsPerPoint * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Jacobi5)->Arg(64)->Arg(128)->Arg(288)->Arg(512)->Arg(1024);
+
+void BM_Jacobi5DeepGhost(benchmark::State& state) {
+  // The CA variant's extended-region update: tile 288 with 15-deep ghosts,
+  // computing the full extended rectangle (superstep start).
+  const int tile = 288, s = 15;
+  const TileGeom g{tile, tile, s, s, s, s};
+  std::vector<double> in(g.size(), 1.0);
+  std::vector<double> out(g.size(), 0.0);
+  const Stencil5 w = Stencil5::laplace_jacobi();
+  for (auto _ : state) {
+    jacobi5(in.data(), out.data(), g, w, -(s - 1), tile + s - 1, -(s - 1),
+            tile + s - 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Jacobi5DeepGhost);
+
+void BM_PackBand(benchmark::State& state) {
+  const int tile = 288;
+  const int depth = static_cast<int>(state.range(0));
+  const TileGeom g{tile, tile, depth, depth, depth, depth};
+  std::vector<double> ext(g.size(), 1.0);
+  for (auto _ : state) {
+    auto band = pack_band(ext.data(), g, Side::South, depth);
+    benchmark::DoNotOptimize(band.data());
+  }
+  state.counters["B/s"] = benchmark::Counter(
+      static_cast<double>(depth) * tile * sizeof(double) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PackBand)->Arg(1)->Arg(5)->Arg(15)->Arg(40);
+
+void BM_UnpackBand(benchmark::State& state) {
+  const int tile = 288;
+  const int depth = static_cast<int>(state.range(0));
+  const TileGeom g{tile, tile, depth, 1, 1, 1};
+  std::vector<double> ext(g.size(), 0.0);
+  const std::vector<double> band(static_cast<std::size_t>(depth) * tile, 1.0);
+  for (auto _ : state) {
+    unpack_band(ext.data(), g, Side::North, band, depth);
+    benchmark::DoNotOptimize(ext.data());
+  }
+}
+BENCHMARK(BM_UnpackBand)->Arg(1)->Arg(15);
+
+void BM_PackCorner(benchmark::State& state) {
+  const int tile = 288, s = 15;
+  const TileGeom g{tile, tile, 1, 1, 1, 1};
+  std::vector<double> ext(g.size(), 1.0);
+  for (auto _ : state) {
+    auto block = pack_corner(ext.data(), g, Corner::SE, s);
+    benchmark::DoNotOptimize(block.data());
+  }
+}
+BENCHMARK(BM_PackCorner);
+
+void BM_CsrSpmv(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const spmv::CsrMatrix m = spmv::build_grid_matrix(n, n,
+                                                    Stencil5::laplace_jacobi());
+  std::vector<double> x(static_cast<std::size_t>(m.ncols), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(m.nrows), 0.0);
+  for (auto _ : state) {
+    m.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      9.0 * n * n * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CsrSpmv)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_ApplyShape(benchmark::State& state) {
+  // Generic-shape kernel overhead vs the specialized 5-point kernel: arg 0
+  // selects the shape (0 = 5-point-as-shape, 1 = cross r=2, 2 = box r=1,
+  // 3 = box r=2).
+  const int tile = 288;
+  StencilShape shape;
+  switch (state.range(0)) {
+    case 0: shape = StencilShape::five_point(Stencil5::laplace_jacobi()); break;
+    case 1: shape = StencilShape::random_cross(2); break;
+    case 2: shape = StencilShape::random_box(1); break;
+    default: shape = StencilShape::random_box(2); break;
+  }
+  const int r = shape.radius;
+  const TileGeom g{tile, tile, r, r, r, r};
+  std::vector<double> in(g.size(), 1.0);
+  std::vector<double> out(g.size(), 0.0);
+  for (auto _ : state) {
+    apply_shape(in.data(), out.data(), g, shape, 0, tile, 0, tile);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(tile) * tile * shape.flops_per_point() *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ApplyShape)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Jacobi5Variable(benchmark::State& state) {
+  const int tile = 288;
+  const TileGeom g{tile, tile, 1, 1, 1, 1};
+  std::vector<double> in(g.size(), 1.0);
+  std::vector<double> out(g.size(), 0.0);
+  std::vector<double> coeff(kCoeffPlanes * g.size(), 0.2);
+  for (auto _ : state) {
+    jacobi5_var(in.data(), out.data(), g, coeff.data(), 0, tile, 0, tile);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      9.0 * tile * tile * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Jacobi5Variable);
+
+void BM_SerialSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Problem p = laplace_problem(n, 1);
+  Grid2D in(n, n), out(n, n);
+  in.fill(p.initial, p.boundary);
+  out.fill(p.initial, p.boundary);
+  for (auto _ : state) {
+    serial_sweep(in, out, p.weights);
+    benchmark::DoNotOptimize(out.at(0, 0));
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      9.0 * n * n * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SerialSweep)->Arg(512)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

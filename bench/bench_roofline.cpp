@@ -1,0 +1,46 @@
+// Section VI-A: roofline expectations for the memory-bound stencil kernel.
+//
+// "Our estimated arithmetic intensity is between 0.37 to 0.56 ... We expect
+// the effective peak performance between 14.5 to 21.9 GFLOP/s and 63.8 to
+// 96.6 GFLOP/s" — and Fig. 6's measured plateaus (11 / 43.5 GFLOP/s) land
+// below those windows because the kernel is unoptimized.
+#include "bench_common.hpp"
+#include "sim/machine.hpp"
+#include "spmv/petsc_like.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const Options options(argc, argv);
+  bench::header("Roofline: effective peaks for the 9-FLOP/point stencil",
+                "AI 0.37-0.56; peaks 14.5-21.9 (NaCL) and 63.8-96.6 "
+                "(Stampede2) GFLOP/s; measured plateaus 11 / 43.5");
+
+  Table table({"machine", "STREAM GB/s", "AI low", "AI high", "peak low GF/s",
+               "peak high GF/s", "measured plateau", "% of low peak"});
+  for (const auto& machine : {sim::nacl(), sim::stampede2()}) {
+    const sim::Roofline roof = sim::stencil_roofline(machine);
+    table.add_row({machine.name, Table::cell(machine.node_stream_bw_Bps / 1e9, 1),
+                   Table::cell(roof.ai_low, 3), Table::cell(roof.ai_high, 4),
+                   Table::cell(roof.gflops_low, 1),
+                   Table::cell(roof.gflops_high, 1),
+                   Table::cell(machine.node_stencil_gflops, 1),
+                   Table::cell(100.0 * machine.node_stencil_gflops /
+                                   roof.gflops_low, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPer-point memory traffic (the paper's PETSc explanation):\n";
+  Table traffic({"formulation", "bytes/point", "vs stencil-min"});
+  traffic.add_row({"tile stencil (min)",
+                   Table::cell(spmv::kStencilBytesPerPointMin, 0), "1.0x"});
+  traffic.add_row({"tile stencil (max)",
+                   Table::cell(spmv::kStencilBytesPerPointMax, 0), "1.5x"});
+  traffic.add_row({"CSR SpMV (64-bit idx)",
+                   Table::cell(spmv::spmv_bytes_per_point(), 0),
+                   Table::cell(spmv::spmv_bytes_per_point() /
+                                   spmv::kStencilBytesPerPointMin, 1) + "x"});
+  traffic.print(std::cout);
+
+  bench::maybe_csv(table, options, "roofline.csv");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table I: STREAM benchmark results (MB/s) for NaCL and Stampede2.
+//
+// Prints the paper's recorded rows verbatim alongside rows measured on the
+// host machine (1 thread and all hardware threads). Shapes to check: one
+// core does not saturate the memory interface on the paper's machines; on
+// small VMs the two rows may coincide.
+#include <thread>
+
+#include "bench_common.hpp"
+#include "stream/stream.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const Options options(argc, argv);
+  bench::header("Table I: STREAM bandwidth (MB/s)",
+                "NaCL 1-core COPY 9814.2 / 1-node 40091.3; "
+                "Stampede2 1-core 10632.6 / 1-node 176701.1");
+
+  Table table({"system", "scale", "COPY", "SCALE", "ADD", "TRIAD"});
+  for (const auto& row : stream::paper_table_one()) {
+    table.add_row({row.system + " (paper)", row.scale,
+                   Table::cell(row.copy_MBps, 1), Table::cell(row.scale_MBps, 1),
+                   Table::cell(row.add_MBps, 1), Table::cell(row.triad_MBps, 1)});
+  }
+
+  const auto n = static_cast<std::size_t>(
+      options.get_int("elements", 1 << 24));  // 128 MiB/array default
+  const int trials = static_cast<int>(options.get_int("trials", 5));
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+
+  const auto one = stream::run_stream(n, trials, 1);
+  table.add_row({"host (measured)", "1-core", Table::cell(one.copy_Bps / 1e6, 1),
+                 Table::cell(one.scale_Bps / 1e6, 1),
+                 Table::cell(one.add_Bps / 1e6, 1),
+                 Table::cell(one.triad_Bps / 1e6, 1)});
+  if (hw > 1) {
+    const auto node = stream::run_stream(n, trials, hw);
+    table.add_row({"host (measured)", std::to_string(hw) + "-thread",
+                   Table::cell(node.copy_Bps / 1e6, 1),
+                   Table::cell(node.scale_Bps / 1e6, 1),
+                   Table::cell(node.add_Bps / 1e6, 1),
+                   Table::cell(node.triad_Bps / 1e6, 1)});
+  }
+  table.print(std::cout);
+  bench::maybe_csv(table, options, "table1_stream.csv");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Weak scaling (extension): per-node problem fixed, node count grows.
+//
+// The paper runs strong scaling only; weak scaling is the complementary
+// regime and the one where the CA tradeoff reads most cleanly: per-node
+// kernel time is constant, so any efficiency loss is pure communication.
+// Per-node block: the paper's 16-node working set (5760^2 on NaCL-like
+// nodes, 13824^2 on Stampede2-like), tile sizes as in Fig. 7.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "sim/models.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const Options options(argc, argv);
+  bench::header("Weak scaling (extension): fixed work per node",
+                "efficiency = T(1 node) / T(P nodes); losses are pure "
+                "communication; CA recovers them when kernels are fast");
+
+  const int iters = static_cast<int>(options.get_int("iters", 60));
+  const double ratio = options.get_double("ratio", 0.3);
+
+  struct System {
+    sim::Machine machine;
+    int block;  ///< per-node block edge
+    int tile;
+  };
+  const System systems[] = {{sim::nacl(), 5760, 288},
+                            {sim::stampede2(), 13824, 864}};
+
+  for (const auto& sys : systems) {
+    std::cout << sys.machine.name << " (block " << sys.block << "^2/node, "
+              << "tile " << sys.tile << ", ratio " << ratio << "):\n";
+    double t1_base = 0.0;
+    double t1_ca = 0.0;
+    Table table({"nodes", "base GF/s", "CA GF/s", "base eff %", "CA eff %"});
+    for (int side : {1, 2, 4, 8}) {
+      const int n = sys.block * side;
+      sim::StencilSimParams base{sys.machine, n, sys.tile, side, side, iters,
+                                 1, ratio};
+      sim::StencilSimParams ca = base;
+      ca.steps = 15;
+      const auto rb = sim::simulate_stencil(base);
+      const auto rc = sim::simulate_stencil(ca);
+      if (side == 1) {
+        t1_base = rb.time_s;
+        t1_ca = rc.time_s;
+      }
+      table.add_row({Table::cell(static_cast<long long>(side * side)),
+                     Table::cell(rb.gflops, 1), Table::cell(rc.gflops, 1),
+                     Table::cell(100.0 * t1_base / rb.time_s, 1),
+                     Table::cell(100.0 * t1_ca / rc.time_s, 1)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+    bench::maybe_csv(table, options, "weak_" + sys.machine.name + ".csv");
+  }
+  return 0;
+}

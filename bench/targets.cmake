@@ -1,0 +1,28 @@
+# Benchmark harnesses: one binary per paper table/figure plus micro and
+# ablation suites. Included from the top-level CMakeLists (not
+# add_subdirectory) so ${CMAKE_BINARY_DIR}/bench contains ONLY executables --
+# `for b in build/bench/*; do $b; done` then runs them all cleanly.
+set(REPRO_BENCH_LIBS repro_stream repro_sim repro_spmv repro_stencil
+    repro_runtime repro_net repro_support Threads::Threads)
+
+function(repro_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE ${REPRO_BENCH_LIBS})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+repro_add_bench(bench_table1_stream)
+repro_add_bench(bench_fig5_netpipe)
+repro_add_bench(bench_fig6_tilesize)
+repro_add_bench(bench_fig7_strong_scaling)
+repro_add_bench(bench_fig8_kernel_ratio)
+repro_add_bench(bench_fig9_stepsize)
+repro_add_bench(bench_fig10_trace)
+repro_add_bench(bench_roofline)
+repro_add_bench(bench_ablation)
+
+repro_add_bench(bench_micro_kernels)
+target_link_libraries(bench_micro_kernels PRIVATE benchmark::benchmark)
+repro_add_bench(bench_exascale_projection)
+repro_add_bench(bench_weak_scaling)

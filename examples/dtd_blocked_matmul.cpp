@@ -1,0 +1,138 @@
+// DTD showcase: tiled matrix multiplication by sequential task insertion.
+//
+// The Dynamic Task Discovery DSL (runtime/dtd.hpp) is PaRSEC's "write it
+// like a sequential program" model: declare data, insert tasks in program
+// order, let the runtime infer the DAG from data accesses. Tiled GEMM is the
+// canonical demo: C(i,j) accumulates A(i,k)*B(k,j) over k, so the k-loop
+// serializes per C tile (ReadWrite chains) while independent (i,j) tiles run
+// in parallel across virtual ranks.
+//
+// Usage: dtd_blocked_matmul [--n=192] [--tiles=3] [--ranks=3]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "runtime/dtd.hpp"
+#include "runtime/runtime.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+#include "support/timing.hpp"
+
+namespace {
+
+using namespace repro;
+using rt::dtd::Access;
+using rt::dtd::DataHandle;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const int n = static_cast<int>(options.get_int("n", 192));
+  const int tiles = static_cast<int>(options.get_int("tiles", 3));
+  const int ranks = static_cast<int>(options.get_int("ranks", 3));
+  const int bs = n / tiles;
+
+  std::printf("Tiled GEMM C = A*B: %dx%d, %dx%d tiles of %d, %d virtual "
+              "ranks (DTD DSL)\n", n, n, tiles, tiles, bs, ranks);
+
+  // Dense input tiles with deterministic random contents.
+  Rng rng(4242);
+  auto make_tile = [&](double scale) {
+    std::vector<double> t(static_cast<std::size_t>(bs) * bs);
+    for (double& v : t) v = scale * rng.uniform(-1.0, 1.0);
+    return t;
+  };
+
+  rt::dtd::DtdProgram program;
+  std::vector<DataHandle> a, b, c;
+  std::vector<std::vector<double>> a_data, b_data;
+  for (int i = 0; i < tiles; ++i) {
+    for (int j = 0; j < tiles; ++j) {
+      const int home = (i * tiles + j) % ranks;
+      a_data.push_back(make_tile(1.0));
+      b_data.push_back(make_tile(0.5));
+      a.push_back(program.data("A" + std::to_string(i) + std::to_string(j),
+                               home, a_data.back()));
+      b.push_back(program.data("B" + std::to_string(i) + std::to_string(j),
+                               home, b_data.back()));
+      c.push_back(program.data("C" + std::to_string(i) + std::to_string(j),
+                               home,
+                               std::vector<double>(
+                                   static_cast<std::size_t>(bs) * bs, 0.0)));
+    }
+  }
+  auto at = [tiles](int i, int j) { return i * tiles + j; };
+
+  // Sequential insertion, exactly as the algorithm reads on paper.
+  for (int i = 0; i < tiles; ++i) {
+    for (int j = 0; j < tiles; ++j) {
+      for (int k = 0; k < tiles; ++k) {
+        const DataHandle ta = a[static_cast<std::size_t>(at(i, k))];
+        const DataHandle tb = b[static_cast<std::size_t>(at(k, j))];
+        const DataHandle tc = c[static_cast<std::size_t>(at(i, j))];
+        program.insert_task(
+            "gemm", (i * tiles + j) % ranks,
+            {{ta, Access::Read}, {tb, Access::Read}, {tc, Access::ReadWrite}},
+            [ta, tb, tc, bs](rt::dtd::DtdTaskView& t) {
+              const auto ma = t.read(ta);
+              const auto mb = t.read(tb);
+              auto mc = t.read_vector(tc);
+              for (int r = 0; r < bs; ++r) {
+                for (int kk = 0; kk < bs; ++kk) {
+                  const double arv = ma[static_cast<std::size_t>(r) * bs + kk];
+                  for (int col = 0; col < bs; ++col) {
+                    mc[static_cast<std::size_t>(r) * bs + col] +=
+                        arv * mb[static_cast<std::size_t>(kk) * bs + col];
+                  }
+                }
+              }
+              t.write(tc, std::move(mc));
+            });
+      }
+    }
+  }
+
+  rt::TaskGraph graph = program.compile();
+  rt::Config config;
+  config.nranks = ranks;
+  config.workers_per_rank = 2;
+  rt::Runtime runtime(config);
+  Timer timer;
+  const rt::RunStats stats = runtime.run(graph);
+  std::printf("%zu tasks (%d gemm + %d data sources) in %.1f ms, %llu remote "
+              "messages\n", stats.tasks_executed, tiles * tiles * tiles,
+              3 * tiles * tiles, timer.elapsed() * 1e3,
+              static_cast<unsigned long long>(stats.messages));
+
+  // Verify a straightforward serial matmul over the same tiles.
+  double worst = 0.0;
+  for (int i = 0; i < tiles; ++i) {
+    for (int j = 0; j < tiles; ++j) {
+      const auto handle = c[static_cast<std::size_t>(at(i, j))];
+      const rt::Buffer got =
+          runtime.result(program.result_key(handle),
+                         program.result_slot(handle));
+      std::vector<double> want(static_cast<std::size_t>(bs) * bs, 0.0);
+      for (int k = 0; k < tiles; ++k) {
+        const auto& ma = a_data[static_cast<std::size_t>(at(i, k))];
+        const auto& mb = b_data[static_cast<std::size_t>(at(k, j))];
+        for (int r = 0; r < bs; ++r) {
+          for (int kk = 0; kk < bs; ++kk) {
+            for (int col = 0; col < bs; ++col) {
+              want[static_cast<std::size_t>(r) * bs + col] +=
+                  ma[static_cast<std::size_t>(r) * bs + kk] *
+                  mb[static_cast<std::size_t>(kk) * bs + col];
+            }
+          }
+        }
+      }
+      for (std::size_t e = 0; e < want.size(); ++e) {
+        worst = std::max(worst, std::fabs((*got)[e] - want[e]));
+      }
+    }
+  }
+  std::printf("max |DTD - serial| = %.3g -> %s\n", worst,
+              worst < 1e-12 ? "MATCH" : "MISMATCH");
+  return worst < 1e-12 ? 0 : 1;
+}

@@ -1,0 +1,185 @@
+// PTG showcase: a blocked dynamic-programming wavefront.
+//
+// The Parameterized Task Graph DSL (runtime/ptg.hpp) mirrors PaRSEC's JDF:
+// task classes with integer parameters and symbolic dataflow. A wavefront is
+// the classic non-stencil pattern: block (bi,bj) needs its west and north
+// neighbors, so anti-diagonals execute in parallel as the wave sweeps from
+// the top-left corner — watch the trace: parallelism ramps 1, 2, 3, ...
+//
+// The computation is an edit-distance-style recurrence over a blocked table:
+//   cell(i,j) = min(up + 1, left + 1, diag + (a[i] == b[j] ? 0 : 1))
+// computed blockwise; each block task consumes its neighbors' boundary rows/
+// columns. The result equals the classic O(n^2) sequential DP.
+//
+// Usage: ptg_wavefront [--n=512] [--blocks=8] [--ranks=3]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/ptg.hpp"
+#include "runtime/runtime.hpp"
+#include "support/options.hpp"
+#include "support/timing.hpp"
+
+namespace {
+
+using namespace repro;
+using rt::ptg::Params;
+using rt::ptg::PtgProgram;
+
+/// Deterministic pseudo-random "strings" to align.
+int symbol_a(int i) { return (i * 2654435761u) >> 28; }
+int symbol_b(int j) { return (j * 2246822519u) >> 28; }
+
+/// Sequential reference: full edit-distance table, returns last row.
+std::vector<double> sequential_dp(int n) {
+  std::vector<double> prev(static_cast<std::size_t>(n) + 1);
+  std::vector<double> cur(prev.size());
+  for (int j = 0; j <= n; ++j) prev[static_cast<std::size_t>(j)] = j;
+  for (int i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (int j = 1; j <= n; ++j) {
+      const double sub =
+          prev[static_cast<std::size_t>(j - 1)] +
+          (symbol_a(i - 1) == symbol_b(j - 1) ? 0.0 : 1.0);
+      cur[static_cast<std::size_t>(j)] =
+          std::min({prev[static_cast<std::size_t>(j)] + 1.0,
+                    cur[static_cast<std::size_t>(j - 1)] + 1.0, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const int n = static_cast<int>(options.get_int("n", 512));
+  const int blocks = static_cast<int>(options.get_int("blocks", 8));
+  const int ranks = static_cast<int>(options.get_int("ranks", 3));
+  const int bs = n / blocks;  // block size
+
+  std::printf("Blocked edit-distance wavefront: %dx%d table, %dx%d blocks, "
+              "%d virtual ranks (PTG DSL)\n", n, n, blocks, blocks, ranks);
+
+  // Each block task publishes: slot 0 = its south boundary row (bs+1 values
+  // including the corner), slot 1 = its east boundary column (bs+1 values).
+  // Block (bi,bj) consumes north's south row, west's east column. The
+  // off-table edges use the DP base case (distance = index).
+  PtgProgram program;
+  auto& block = program.task_class("block");
+  block.parameter("bi", 0, blocks - 1)
+      .parameter("bj", 0, blocks - 1)
+      .rank([ranks](const Params& p) { return (p[0] + p[1]) % ranks; })
+      .klass([blocks](const Params& p) {
+        return "diag" + std::to_string(p[0] + p[1]);
+      })
+      .flow([&block](const Params& p) {
+        std::vector<rt::ptg::FlowEnd> flows;
+        if (p[0] > 0) {
+          flows.push_back(
+              PtgProgram::ref(block, Params{{p[0] - 1, p[1], 0}}, 0));
+        }
+        if (p[1] > 0) {
+          flows.push_back(
+              PtgProgram::ref(block, Params{{p[0], p[1] - 1, 0}}, 1));
+        }
+        return flows;
+      })
+      .body([bs](rt::TaskContext& ctx, const Params& p) {
+        const int bi = p[0];
+        const int bj = p[1];
+        const int i0 = bi * bs;  // global row of this block's first cell
+        const int j0 = bj * bs;
+
+        // Assemble the (bs+1) x (bs+1) working table: row 0 and column 0
+        // hold neighbor boundaries (or base-case values on the table edge).
+        const int ld = bs + 1;
+        std::vector<double> t(static_cast<std::size_t>(ld) * ld);
+        std::size_t next = 0;
+        if (bi > 0) {
+          const auto north = ctx.input(next++);
+          std::copy(north.begin(), north.end(), t.begin());
+        } else {
+          for (int j = 0; j <= bs; ++j) t[static_cast<std::size_t>(j)] = j0 + j;
+        }
+        if (bj > 0) {
+          const auto west = ctx.input(next++);
+          for (int i = 0; i <= bs; ++i) {
+            t[static_cast<std::size_t>(i) * ld] = west[static_cast<std::size_t>(i)];
+          }
+        } else {
+          for (int i = 0; i <= bs; ++i) {
+            t[static_cast<std::size_t>(i) * ld] = i0 + i;
+          }
+        }
+
+        for (int i = 1; i <= bs; ++i) {
+          for (int j = 1; j <= bs; ++j) {
+            const double up = t[static_cast<std::size_t>(i - 1) * ld + j];
+            const double left = t[static_cast<std::size_t>(i) * ld + (j - 1)];
+            const double diag = t[static_cast<std::size_t>(i - 1) * ld + (j - 1)];
+            const bool match =
+                symbol_a(i0 + i - 1) == symbol_b(j0 + j - 1);
+            t[static_cast<std::size_t>(i) * ld + j] =
+                std::min({up + 1.0, left + 1.0, diag + (match ? 0.0 : 1.0)});
+          }
+        }
+
+        std::vector<double> south(static_cast<std::size_t>(bs) + 1);
+        std::vector<double> east(static_cast<std::size_t>(bs) + 1);
+        for (int j = 0; j <= bs; ++j) {
+          south[static_cast<std::size_t>(j)] =
+              t[static_cast<std::size_t>(bs) * ld + j];
+        }
+        for (int i = 0; i <= bs; ++i) {
+          east[static_cast<std::size_t>(i)] =
+              t[static_cast<std::size_t>(i) * ld + bs];
+        }
+        ctx.publish(0, std::move(south));
+        ctx.publish(1, std::move(east));
+      });
+
+  rt::TaskGraph graph = program.unfold();
+  rt::Config config;
+  config.nranks = ranks;
+  config.workers_per_rank = 2;
+  config.trace = true;
+  rt::Runtime runtime(config);
+  Timer timer;
+  const rt::RunStats stats = runtime.run(graph);
+
+  // The final block's south row ends with the edit distance of the full
+  // strings; compare the whole last row against the sequential DP.
+  const auto expected = sequential_dp(n);
+  const rt::Buffer last = runtime.result(
+      PtgProgram::key_of(block, Params{{blocks - 1, blocks - 1, 0}}), 0);
+  double worst = 0.0;
+  for (int j = 0; j <= bs; ++j) {
+    const double got = (*last)[static_cast<std::size_t>(j)];
+    const double want = expected[static_cast<std::size_t>(n - bs + j)];
+    worst = std::max(worst, std::abs(got - want));
+  }
+
+  std::printf("%zu block tasks in %.1f ms, %llu remote messages\n",
+              stats.tasks_executed, timer.elapsed() * 1e3,
+              static_cast<unsigned long long>(stats.messages));
+  std::printf("edit distance(A[0..%d), B[0..%d)) = %.0f  (sequential: %.0f)\n",
+              n, n, (*last)[static_cast<std::size_t>(bs)],
+              expected[static_cast<std::size_t>(n)]);
+  std::printf("max |PTG - sequential| over the final row: %g -> %s\n", worst,
+              worst == 0.0 ? "EXACT" : "MISMATCH");
+
+  // Show the wavefront: tasks per anti-diagonal from the trace labels.
+  std::printf("\nwavefront occupancy (tasks per anti-diagonal executed):\n  ");
+  std::vector<int> per_diag(static_cast<std::size_t>(2 * blocks - 1));
+  for (const auto& e : runtime.tracer().events()) {
+    per_diag[std::stoul(e.klass.substr(4))]++;
+  }
+  for (std::size_t d = 0; d < per_diag.size(); ++d) {
+    std::printf("%d ", per_diag[d]);
+  }
+  std::printf("\n");
+  return worst == 0.0 ? 0 : 1;
+}

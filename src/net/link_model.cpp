@@ -1,0 +1,66 @@
+#include "net/link_model.hpp"
+
+#include <limits>
+
+#include "support/units.hpp"
+
+namespace repro::net {
+
+double LinkModel::transfer_time(std::size_t bytes) const {
+  double t = latency_s + per_message_s;
+  if (effective_bw_Bps > 0.0) {
+    t += static_cast<double>(bytes) / effective_bw_Bps;
+  }
+  return t;
+}
+
+double LinkModel::effective_bandwidth(std::size_t bytes) const {
+  const double t = transfer_time(bytes);
+  return t > 0.0 ? static_cast<double>(bytes) / t : 0.0;
+}
+
+double LinkModel::fraction_of_peak(std::size_t bytes) const {
+  return theoretical_bw_Bps > 0.0
+             ? effective_bandwidth(bytes) / theoretical_bw_Bps
+             : 0.0;
+}
+
+double LinkModel::bytes_for_fraction_of_effective_peak(double fraction) const {
+  // n / (a + n/B) = f*B  =>  n = f*B*a / (1-f)
+  if (fraction <= 0.0) return 0.0;
+  if (fraction >= 1.0) return std::numeric_limits<double>::infinity();
+  const double a = latency_s + per_message_s;
+  return fraction * effective_bw_Bps * a / (1.0 - fraction);
+}
+
+LinkModel nacl_link() {
+  LinkModel m;
+  m.name = "NaCL-IB-QDR";
+  m.latency_s = usec(1.0);
+  m.per_message_s = usec(0.8);  // fitted so small messages sit at a few % of peak
+  m.effective_bw_Bps = gbit_per_s(27.0);
+  m.theoretical_bw_Bps = gbit_per_s(32.0);
+  return m;
+}
+
+LinkModel stampede2_link() {
+  LinkModel m;
+  m.name = "Stampede2-OPA";
+  m.latency_s = usec(1.0);
+  m.per_message_s = usec(0.8);
+  m.effective_bw_Bps = gbit_per_s(86.0);
+  m.theoretical_bw_Bps = gbit_per_s(100.0);
+  return m;
+}
+
+LinkModel ideal_link() {
+  LinkModel m;
+  m.name = "ideal";
+  m.latency_s = 0.0;
+  m.per_message_s = 0.0;
+  m.effective_bw_Bps = 0.0;  // treated as "no per-byte cost"
+  m.theoretical_bw_Bps = 0.0;
+  return m;
+}
+
+}  // namespace repro::net

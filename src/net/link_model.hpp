@@ -1,0 +1,52 @@
+// Analytic alpha-beta network link model.
+//
+// The paper characterises its two interconnects with NetPIPE (Fig. 5):
+//   NaCL:      InfiniBand QDR, 32 Gb/s theoretical, ~27 Gb/s effective peak,
+//              ~1 us latency
+//   Stampede2: Intel Omni-Path, 100 Gb/s theoretical, ~86 Gb/s effective peak,
+//              ~1 us latency
+//
+// A message of n bytes costs
+//     T(n) = alpha + overhead_per_message + n / effective_bandwidth
+// which yields the classic saturation curve
+//     BW_eff(n) = n / T(n)
+// rising from latency-bound (tiny messages, a few % of peak) to the effective
+// peak (large messages, 70-90% of theoretical peak) exactly as in Fig. 5.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace repro::net {
+
+struct LinkModel {
+  std::string name;
+  double latency_s = 1e-6;          ///< alpha: one-way wire+stack latency
+  double per_message_s = 0.5e-6;    ///< software per-message overhead
+  double effective_bw_Bps = 0.0;    ///< beta^-1: asymptotic achievable B/s
+  double theoretical_bw_Bps = 0.0;  ///< quoted line rate in B/s
+
+  /// One-way transfer time of an n-byte message.
+  double transfer_time(std::size_t bytes) const;
+
+  /// Achieved bandwidth n / T(n) in bytes/second.
+  double effective_bandwidth(std::size_t bytes) const;
+
+  /// Achieved bandwidth as a fraction of the theoretical line rate (0..1).
+  double fraction_of_peak(std::size_t bytes) const;
+
+  /// Message size needed to reach `fraction` (0..1) of the *effective* peak.
+  /// Solves n/T(n) = fraction * effective_bw for n.
+  double bytes_for_fraction_of_effective_peak(double fraction) const;
+};
+
+/// NaCL cluster link (InfiniBand QDR), fitted to the paper's Fig. 5.
+LinkModel nacl_link();
+
+/// Stampede2 link (Omni-Path), fitted to the paper's Fig. 5.
+LinkModel stampede2_link();
+
+/// Idealised zero-latency infinite-bandwidth link (for ablations/tests).
+LinkModel ideal_link();
+
+}  // namespace repro::net

@@ -1,0 +1,77 @@
+#include "net/netpipe.hpp"
+
+#include <thread>
+
+#include "support/stats.hpp"
+#include "support/timing.hpp"
+
+namespace repro::net {
+
+std::vector<std::size_t> netpipe_sizes(std::size_t min_bytes,
+                                       std::size_t max_bytes) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = min_bytes; n <= max_bytes; n *= 2) sizes.push_back(n);
+  return sizes;
+}
+
+std::vector<NetpipePoint> analytic_curve(
+    const LinkModel& link, const std::vector<std::size_t>& sizes) {
+  std::vector<NetpipePoint> curve;
+  curve.reserve(sizes.size());
+  for (std::size_t n : sizes) {
+    NetpipePoint p;
+    p.bytes = n;
+    p.time_s = link.transfer_time(n);
+    p.bandwidth_Bps = link.effective_bandwidth(n);
+    p.fraction_of_peak = link.fraction_of_peak(n);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+std::vector<NetpipePoint> measured_curve(const std::vector<std::size_t>& sizes,
+                                         int repeats) {
+  std::vector<NetpipePoint> curve;
+  curve.reserve(sizes.size());
+
+  for (std::size_t n : sizes) {
+    Transport transport(2);
+    const std::size_t doubles = (n + sizeof(double) - 1) / sizeof(double);
+
+    // Echo thread: rank 1 bounces every message straight back.
+    std::thread echo([&] {
+      while (auto msg = transport.recv(1)) {
+        msg->src = 1;
+        msg->dst = 0;
+        transport.send(std::move(*msg));
+      }
+    });
+
+    std::vector<double> times;
+    times.reserve(static_cast<std::size_t>(repeats));
+    for (int r = 0; r < repeats; ++r) {
+      Message msg;
+      msg.src = 0;
+      msg.dst = 1;
+      msg.payload.assign(doubles, 1.0);
+      const double t0 = wall_time();
+      transport.send(std::move(msg));
+      auto back = transport.recv(0);
+      const double t1 = wall_time();
+      if (!back) break;
+      times.push_back((t1 - t0) / 2.0);  // one-way
+    }
+    transport.close();
+    echo.join();
+
+    NetpipePoint p;
+    p.bytes = n;
+    p.time_s = median(times);
+    p.bandwidth_Bps = p.time_s > 0.0 ? static_cast<double>(n) / p.time_s : 0.0;
+    p.fraction_of_peak = 0.0;  // no meaningful line rate for memcpy transport
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+}  // namespace repro::net

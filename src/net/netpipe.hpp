@@ -1,0 +1,40 @@
+// NetPIPE-style ping-pong bandwidth characterisation (paper Fig. 5).
+//
+// Two modes:
+//   * analytic_curve(): evaluates a LinkModel over a size sweep — this is the
+//     curve used to reproduce Fig. 5 for the NaCL and Stampede2 presets.
+//   * measured_curve(): runs a real two-thread ping-pong over the in-memory
+//     Transport and reports achieved copy bandwidth on the host machine
+//     (characterises the substitution substrate itself).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/link_model.hpp"
+#include "net/transport.hpp"
+
+namespace repro::net {
+
+struct NetpipePoint {
+  std::size_t bytes = 0;
+  double time_s = 0.0;          ///< one-way transfer time
+  double bandwidth_Bps = 0.0;   ///< bytes / time
+  double fraction_of_peak = 0;  ///< vs theoretical line rate (0 if unknown)
+};
+
+/// Standard NetPIPE size sweep: powers of two from `min_bytes` to `max_bytes`
+/// with the classic +/- perturbation points omitted for clarity.
+std::vector<std::size_t> netpipe_sizes(std::size_t min_bytes,
+                                       std::size_t max_bytes);
+
+/// Evaluate the analytic model at each size.
+std::vector<NetpipePoint> analytic_curve(const LinkModel& link,
+                                         const std::vector<std::size_t>& sizes);
+
+/// Real ping-pong between rank 0 and rank 1 of a fresh Transport;
+/// `repeats` round trips per size, median one-way time reported.
+std::vector<NetpipePoint> measured_curve(const std::vector<std::size_t>& sizes,
+                                         int repeats = 32);
+
+}  // namespace repro::net

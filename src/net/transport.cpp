@@ -1,0 +1,91 @@
+#include "net/transport.hpp"
+
+#include <stdexcept>
+
+namespace repro::net {
+
+double TrafficStats::modeled_time(const LinkModel& model) const {
+  double t = 0.0;
+  for (std::size_t n : message_sizes) t += model.transfer_time(n);
+  return t;
+}
+
+Transport::Transport(int nranks) : nranks_(nranks) {
+  if (nranks <= 0) throw std::invalid_argument("Transport needs >= 1 rank");
+  boxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Transport::check_rank(int rank) const {
+  if (rank < 0 || rank >= nranks_) {
+    throw std::out_of_range("Transport: bad rank " + std::to_string(rank));
+  }
+}
+
+void Transport::send(Message msg) {
+  check_rank(msg.src);
+  check_rank(msg.dst);
+  if (closed()) throw std::runtime_error("Transport: send after close");
+
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.messages += 1;
+    stats_.bytes += msg.bytes();
+    stats_.message_sizes.push_back(msg.bytes());
+  }
+
+  Mailbox& box = *boxes_[static_cast<std::size_t>(msg.dst)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_one();
+}
+
+std::optional<Message> Transport::recv(int rank) {
+  check_rank(rank);
+  Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock lock(box.mutex);
+  box.cv.wait(lock, [&] { return !box.queue.empty() || closed(); });
+  if (box.queue.empty()) return std::nullopt;
+  Message msg = std::move(box.queue.front());
+  box.queue.pop_front();
+  return msg;
+}
+
+std::optional<Message> Transport::try_recv(int rank) {
+  check_rank(rank);
+  Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard lock(box.mutex);
+  if (box.queue.empty()) return std::nullopt;
+  Message msg = std::move(box.queue.front());
+  box.queue.pop_front();
+  return msg;
+}
+
+std::size_t Transport::pending(int rank) const {
+  check_rank(rank);
+  const Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard lock(box.mutex);
+  return box.queue.size();
+}
+
+void Transport::close() {
+  {
+    std::lock_guard lock(closed_mutex_);
+    closed_ = true;
+  }
+  for (auto& box : boxes_) box->cv.notify_all();
+}
+
+bool Transport::closed() const {
+  std::lock_guard lock(closed_mutex_);
+  return closed_;
+}
+
+TrafficStats Transport::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace repro::net

@@ -1,0 +1,21 @@
+// Shared, immutable-after-publish data buffers flowing between tasks.
+//
+// A task publishes each output exactly once; after publication the buffer is
+// conceptually read-only (consumers hold shared ownership). Local consumers
+// share the pointer (intra-node zero copy, as a runtime on one node would);
+// remote consumers receive a deep copy through the Transport, which is what
+// makes cross-node traffic accounting honest.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace repro::rt {
+
+using Buffer = std::shared_ptr<const std::vector<double>>;
+
+inline Buffer make_buffer(std::vector<double>&& data) {
+  return std::make_shared<const std::vector<double>>(std::move(data));
+}
+
+}  // namespace repro::rt

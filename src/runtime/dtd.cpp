@@ -1,0 +1,145 @@
+#include "runtime/dtd.hpp"
+
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::rt::dtd {
+
+std::span<const double> DtdTaskView::read(DataHandle handle) const {
+  return ctx_.input(read_pos(handle));
+}
+
+Buffer DtdTaskView::read_buffer(DataHandle handle) const {
+  return ctx_.input_buffer(read_pos(handle));
+}
+
+std::vector<double> DtdTaskView::read_vector(DataHandle handle) const {
+  const auto span = read(handle);
+  return {span.begin(), span.end()};
+}
+
+void DtdTaskView::write(DataHandle handle, std::vector<double>&& data) {
+  ctx_.publish(write_slot(handle), std::move(data));
+}
+
+void DtdTaskView::write(DataHandle handle, Buffer buffer) {
+  ctx_.publish(write_slot(handle), std::move(buffer));
+}
+
+std::size_t DtdTaskView::read_pos(DataHandle handle) const {
+  for (const auto& [id, pos] : reads_) {
+    if (id == handle.id) return pos;
+  }
+  throw std::logic_error("DTD: datum not declared Read/ReadWrite");
+}
+
+std::uint16_t DtdTaskView::write_slot(DataHandle handle) const {
+  for (const auto& [id, slot] : writes_) {
+    if (id == handle.id) return slot;
+  }
+  throw std::logic_error("DTD: datum not declared Write/ReadWrite");
+}
+
+DataHandle DtdProgram::data(const std::string& name, int rank,
+                            std::vector<double> initial) {
+  const auto id = static_cast<std::uint32_t>(data_.size());
+  Datum datum;
+  datum.name = name;
+  datum.rank = rank;
+  datum.producer_task = static_cast<std::uint32_t>(tasks_.size());
+  datum.producer_slot = 0;
+  data_.push_back(datum);
+
+  // Source task publishing the initial version on the datum's home rank.
+  InsertedTask source;
+  source.name = "data:" + name;
+  source.rank = rank;
+  source.writes.emplace_back(id, 0);
+  auto payload = std::make_shared<const std::vector<double>>(std::move(initial));
+  source.body = [payload, id](DtdTaskView& view) {
+    view.write(DataHandle{id}, payload);
+  };
+  tasks_.push_back(std::move(source));
+  return DataHandle{id};
+}
+
+void DtdProgram::insert_task(const std::string& name, int rank,
+                             std::vector<std::pair<DataHandle, Access>> accesses,
+                             DtdBody body) {
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+      if (accesses[i].first == accesses[j].first) {
+        throw std::invalid_argument("DTD: datum accessed twice by task " +
+                                    name);
+      }
+    }
+    if (accesses[i].first.id >= data_.size()) {
+      throw std::out_of_range("DTD: unknown datum in task " + name);
+    }
+  }
+
+  InsertedTask task;
+  task.name = name;
+  task.rank = rank;
+  task.body = std::move(body);
+
+  const auto task_index = static_cast<std::uint32_t>(tasks_.size());
+  std::uint16_t next_slot = 0;
+  for (const auto& [handle, access] : accesses) {
+    Datum& datum = data_[handle.id];
+    if (access == Access::Read || access == Access::ReadWrite) {
+      const TaskKey producer{0, static_cast<std::int32_t>(datum.producer_task),
+                             0, 0};
+      task.reads.emplace_back(handle.id,
+                              FlowRef{producer, datum.producer_slot});
+    }
+    if (access == Access::Write || access == Access::ReadWrite) {
+      task.writes.emplace_back(handle.id, next_slot);
+      datum.producer_task = task_index;
+      datum.producer_slot = next_slot;
+      ++next_slot;
+    }
+  }
+  tasks_.push_back(std::move(task));
+}
+
+TaskGraph DtdProgram::compile() const {
+  TaskGraph graph;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const InsertedTask& task = tasks_[i];
+    TaskSpec spec;
+    spec.key = TaskKey{0, static_cast<std::int32_t>(i), 0, 0};
+    spec.rank = task.rank;
+    spec.klass = task.name;
+
+    std::vector<std::pair<std::uint32_t, std::size_t>> read_map;
+    for (const auto& [datum_id, flow] : task.reads) {
+      read_map.emplace_back(datum_id, spec.inputs.size());
+      spec.inputs.push_back(flow);
+    }
+    const auto& writes = task.writes;
+    const auto body = task.body;
+    spec.body = [body, read_map, writes](TaskContext& ctx) {
+      DtdTaskView view(ctx, read_map, writes);
+      body(view);
+    };
+    graph.add_task(std::move(spec));
+  }
+  return graph;
+}
+
+TaskKey DtdProgram::result_key(DataHandle handle) const {
+  if (handle.id >= data_.size()) throw std::out_of_range("DTD: bad handle");
+  return TaskKey{0,
+                 static_cast<std::int32_t>(data_[handle.id].producer_task), 0,
+                 0};
+}
+
+std::uint16_t DtdProgram::result_slot(DataHandle handle) const {
+  if (handle.id >= data_.size()) throw std::out_of_range("DTD: bad handle");
+  return data_[handle.id].producer_slot;
+}
+
+}  // namespace repro::rt::dtd

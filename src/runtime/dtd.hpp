@@ -1,0 +1,117 @@
+// Dynamic Task Discovery (DTD) DSL — PaRSEC's sequential-insertion model.
+//
+// The paper contrasts PTG with DTD: "Dynamic Task Discovery ... provide[s]
+// alternative programming models ... by delivering an API that allows for
+// sequential task insertion into the runtime". This header reproduces that
+// model: the application declares logical data, then inserts tasks one after
+// another, each naming the data it reads and writes. Dependencies are
+// inferred from the data accesses exactly as a superscalar runtime would:
+//
+//   auto x = program.data("x", /*rank=*/0, {1.0, 2.0});
+//   program.insert_task("scale", 0, {{x, Access::ReadWrite}},
+//                       [](DtdTaskView& t) {
+//                         auto v = t.read_vector(x);
+//                         for (double& e : v) e *= 2;
+//                         t.write(x, std::move(v));
+//                       });
+//
+// Data is versioned (each write creates a new immutable copy), so
+// write-after-read never serializes — matching PaRSEC's data-copy
+// semantics. compile() lowers the insertion trace to the same TaskGraph the
+// PTG path produces; both DSLs share one execution engine.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/graph.hpp"
+
+namespace repro::rt::dtd {
+
+enum class Access { Read, Write, ReadWrite };
+
+/// Opaque handle to a logical datum.
+struct DataHandle {
+  std::uint32_t id = 0;
+  friend bool operator==(const DataHandle&, const DataHandle&) = default;
+};
+
+/// The body's window onto its declared accesses.
+class DtdTaskView {
+ public:
+  /// Current contents of a datum declared Read or ReadWrite.
+  std::span<const double> read(DataHandle handle) const;
+  Buffer read_buffer(DataHandle handle) const;
+  /// Convenience: copy the current contents into a mutable vector.
+  std::vector<double> read_vector(DataHandle handle) const;
+
+  /// Publish the new contents of a datum declared Write or ReadWrite. Every
+  /// written datum must be written exactly once per task.
+  void write(DataHandle handle, std::vector<double>&& data);
+  void write(DataHandle handle, Buffer buffer);
+
+ private:
+  friend class DtdProgram;
+  DtdTaskView(TaskContext& ctx,
+              const std::vector<std::pair<std::uint32_t, std::size_t>>& reads,
+              const std::vector<std::pair<std::uint32_t, std::uint16_t>>& writes)
+      : ctx_(ctx), reads_(reads), writes_(writes) {}
+
+  std::size_t read_pos(DataHandle handle) const;
+  std::uint16_t write_slot(DataHandle handle) const;
+
+  TaskContext& ctx_;
+  const std::vector<std::pair<std::uint32_t, std::size_t>>& reads_;
+  const std::vector<std::pair<std::uint32_t, std::uint16_t>>& writes_;
+};
+
+using DtdBody = std::function<void(DtdTaskView&)>;
+
+class DtdProgram {
+ public:
+  /// Declare a datum with its home rank and initial contents. A source task
+  /// on that rank publishes the initial version.
+  DataHandle data(const std::string& name, int rank,
+                  std::vector<double> initial);
+
+  /// Insert the next task: runs on `rank`, touching `accesses` (each datum
+  /// at most once). Read accesses see the latest version at insertion time.
+  void insert_task(const std::string& name, int rank,
+                   std::vector<std::pair<DataHandle, Access>> accesses,
+                   DtdBody body);
+
+  /// Lower the insertion trace to an executable TaskGraph.
+  TaskGraph compile() const;
+
+  /// Key under which the latest version of `handle` is published; pass to
+  /// Runtime::result() after the run (slot from result_slot()).
+  TaskKey result_key(DataHandle handle) const;
+  std::uint16_t result_slot(DataHandle handle) const;
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+
+ private:
+  struct Datum {
+    std::string name;
+    int rank;
+    /// Producer of the current version: task index (in tasks_) and slot.
+    std::uint32_t producer_task = 0;
+    std::uint16_t producer_slot = 0;
+  };
+
+  struct InsertedTask {
+    std::string name;
+    int rank;
+    DtdBody body;
+    /// (datum id, producer FlowRef) for each read, in declaration order.
+    std::vector<std::pair<std::uint32_t, FlowRef>> reads;
+    /// (datum id, output slot) for each write, in declaration order.
+    std::vector<std::pair<std::uint32_t, std::uint16_t>> writes;
+  };
+
+  std::vector<Datum> data_;
+  std::vector<InsertedTask> tasks_;
+};
+
+}  // namespace repro::rt::dtd

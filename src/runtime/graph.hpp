@@ -1,0 +1,84 @@
+// Task graph specification: the application-facing half of the runtime.
+//
+// The application unfolds its algorithm into tasks before execution (the
+// moral equivalent of PaRSEC's JDF unfolding): each task has a key, an owning
+// rank (virtual process), a priority, a body, and a list of input flows. An
+// input flow names the producing task and one of its output slots; the
+// runtime derives every dependency and every communication from these flows,
+// exactly as PaRSEC infers communication from task descriptions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/buffer.hpp"
+#include "runtime/task_key.hpp"
+
+namespace repro::rt {
+
+class TaskContext;
+
+/// Reference to one output slot of a producing task.
+struct FlowRef {
+  TaskKey producer;
+  std::uint16_t slot = 0;
+};
+
+using TaskBody = std::function<void(TaskContext&)>;
+
+struct TaskSpec {
+  TaskKey key;
+  int rank = 0;      ///< owning virtual process; the body runs there
+  int priority = 0;  ///< higher value runs earlier among ready tasks
+  std::string klass; ///< trace label, e.g. "jacobi-boundary"
+  std::vector<FlowRef> inputs;
+  TaskBody body;
+};
+
+/// Immutable-after-seal collection of TaskSpecs plus derived consumer lists.
+class TaskGraph {
+ public:
+  /// Add a task. Input flows may reference tasks added later; everything is
+  /// resolved at seal(). Duplicate keys are rejected immediately.
+  void add_task(TaskSpec spec);
+
+  /// Resolve flows, compute consumer lists, and freeze the graph.
+  /// Throws std::runtime_error on dangling flow references or rank < 0.
+  void seal(int nranks);
+
+  bool sealed() const { return sealed_; }
+  std::size_t size() const { return specs_.size(); }
+
+  const TaskSpec& spec(std::size_t index) const { return specs_[index]; }
+
+  /// Index lookup by key; throws if absent.
+  std::size_t index_of(const TaskKey& key) const;
+  bool contains(const TaskKey& key) const;
+
+  /// A consumer edge attached to a producer's output slot.
+  struct ConsumerEdge {
+    std::uint16_t slot = 0;        ///< producer output slot
+    std::uint32_t consumer = 0;    ///< consumer task index
+    std::uint16_t input_pos = 0;   ///< position in the consumer's inputs
+  };
+
+  /// Consumers of task `index`, grouped by nothing (iterate linearly).
+  std::span<const ConsumerEdge> consumers(std::size_t index) const {
+    return consumer_edges_[index];
+  }
+
+  /// Number of consumer edges attached to (task, slot).
+  std::size_t slot_fanout(std::size_t index, std::uint16_t slot) const;
+
+ private:
+  std::vector<TaskSpec> specs_;
+  std::unordered_map<TaskKey, std::size_t, TaskKeyHash> by_key_;
+  std::vector<std::vector<ConsumerEdge>> consumer_edges_;
+  bool sealed_ = false;
+};
+
+}  // namespace repro::rt

@@ -1,0 +1,100 @@
+#include "runtime/ptg.hpp"
+
+#include <stdexcept>
+
+namespace repro::rt::ptg {
+
+TaskClass& TaskClass::parameter(const std::string& name, int lo, int hi) {
+  return parameter(
+      name, [lo](const Params&) { return lo; },
+      [hi](const Params&) { return hi; });
+}
+
+TaskClass& TaskClass::parameter(const std::string& name,
+                                std::function<int(const Params&)> lo,
+                                std::function<int(const Params&)> hi) {
+  if (ranges_.size() >= 3) {
+    throw std::runtime_error("TaskClass " + name_ +
+                             ": at most 3 parameters supported");
+  }
+  ranges_.push_back(ParamRange{name, std::move(lo), std::move(hi)});
+  return *this;
+}
+
+TaskClass& TaskClass::rank(std::function<int(const Params&)> fn) {
+  rank_fn_ = std::move(fn);
+  return *this;
+}
+
+TaskClass& TaskClass::priority(std::function<int(const Params&)> fn) {
+  priority_fn_ = std::move(fn);
+  return *this;
+}
+
+TaskClass& TaskClass::klass(std::function<std::string(const Params&)> fn) {
+  klass_fn_ = std::move(fn);
+  return *this;
+}
+
+TaskClass& TaskClass::flow(FlowExpr expr) {
+  flows_.push_back(std::move(expr));
+  return *this;
+}
+
+TaskClass& TaskClass::body(
+    std::function<void(TaskContext&, const Params&)> fn) {
+  body_ = std::move(fn);
+  return *this;
+}
+
+TaskClass& PtgProgram::task_class(const std::string& name) {
+  classes_.push_back(std::make_unique<TaskClass>(
+      name, static_cast<std::uint32_t>(classes_.size())));
+  return *classes_.back();
+}
+
+void PtgProgram::enumerate(const TaskClass& tc, std::size_t depth,
+                           Params& params, TaskGraph& graph) const {
+  if (depth == tc.ranges_.size()) {
+    TaskSpec spec;
+    spec.key = TaskKey{tc.type_id_, params[0], params[1], params[2]};
+    spec.rank = tc.rank_fn_ ? tc.rank_fn_(params) : 0;
+    spec.priority = tc.priority_fn_ ? tc.priority_fn_(params) : 0;
+    spec.klass = tc.klass_fn_ ? tc.klass_fn_(params) : tc.name_;
+    for (const FlowExpr& expr : tc.flows_) {
+      for (const FlowEnd& end : expr(params)) {
+        spec.inputs.push_back(
+            FlowRef{TaskKey{end.producer_class, end.producer_params[0],
+                            end.producer_params[1], end.producer_params[2]},
+                    end.slot});
+      }
+    }
+    const Params captured = params;
+    auto body = tc.body_;
+    spec.body = [body, captured](TaskContext& ctx) { body(ctx, captured); };
+    graph.add_task(std::move(spec));
+    return;
+  }
+  const ParamRange& range = tc.ranges_[depth];
+  const int lo = range.lo(params);
+  const int hi = range.hi(params);
+  for (int value = lo; value <= hi; ++value) {
+    params.v[depth] = value;
+    enumerate(tc, depth + 1, params, graph);
+  }
+  params.v[depth] = 0;
+}
+
+TaskGraph PtgProgram::unfold() const {
+  TaskGraph graph;
+  for (const auto& tc : classes_) {
+    if (!tc->body_) {
+      throw std::runtime_error("TaskClass " + tc->name_ + " has no body");
+    }
+    Params params;
+    enumerate(*tc, 0, params, graph);
+  }
+  return graph;
+}
+
+}  // namespace repro::rt::ptg

@@ -1,0 +1,135 @@
+// Parameterized Task Graph (PTG) DSL — the programming model the paper uses.
+//
+// PaRSEC's PTG/JDF describes an algorithm as task *classes* parameterized by
+// integers, with dataflow expressions that name peer tasks symbolically:
+//
+//   jacobi(k, ti, tj)
+//     k  = 1 .. iters
+//     ti = 0 .. TR-1
+//     tj = 0 .. TC-1
+//     : rank = owner(ti, tj)
+//     READ prev <- STATE jacobi(k-1, ti, tj)
+//     ...
+//
+// This header provides the same shape in C++: a TaskClassBuilder collects
+// parameter ranges (later ranges may depend on earlier parameters), a rank
+// expression, dataflow expressions (functions from the parameter tuple to
+// producer references, which may be empty for boundary instances), and a
+// body. unfold() enumerates every parameter combination and emits the
+// concrete TaskGraph the runtime executes — the moral equivalent of
+// PaRSEC unfolding a JDF onto the machine.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/graph.hpp"
+
+namespace repro::rt::ptg {
+
+/// Concrete values of a task instance's parameters (up to three, matching
+/// TaskKey). Unused parameters are zero.
+struct Params {
+  std::array<int, 3> v{0, 0, 0};
+
+  int operator[](std::size_t i) const { return v[i]; }
+};
+
+/// One input flow of a task instance: the producing task instance and the
+/// output slot to read. Returned by dataflow expressions.
+struct FlowEnd {
+  std::uint32_t producer_class = 0;  ///< TaskClass type id
+  Params producer_params;
+  std::uint16_t slot = 0;
+};
+
+/// A dataflow expression: maps an instance's parameters to the inputs it
+/// consumes (possibly none for boundary instances, possibly several).
+using FlowExpr = std::function<std::vector<FlowEnd>(const Params&)>;
+
+/// Parameter range; bounds may depend on the values of earlier parameters
+/// (like JDF's dependent ranges). Both bounds are inclusive; an empty range
+/// (hi < lo) yields no instances.
+struct ParamRange {
+  std::string name;
+  std::function<int(const Params&)> lo;
+  std::function<int(const Params&)> hi;
+};
+
+class TaskClass {
+ public:
+  TaskClass(std::string name, std::uint32_t type_id)
+      : name_(std::move(name)), type_id_(type_id) {}
+
+  const std::string& name() const { return name_; }
+  std::uint32_t type_id() const { return type_id_; }
+
+  /// Add a parameter with constant bounds.
+  TaskClass& parameter(const std::string& name, int lo, int hi);
+  /// Add a parameter whose bounds depend on earlier parameters.
+  TaskClass& parameter(const std::string& name,
+                       std::function<int(const Params&)> lo,
+                       std::function<int(const Params&)> hi);
+
+  /// Owning rank of an instance (default: rank 0).
+  TaskClass& rank(std::function<int(const Params&)> fn);
+  /// Scheduling priority (default: 0).
+  TaskClass& priority(std::function<int(const Params&)> fn);
+  /// Trace label (default: the class name).
+  TaskClass& klass(std::function<std::string(const Params&)> fn);
+
+  /// Add a dataflow expression; flows from all expressions are concatenated
+  /// in declaration order to form the instance's input list. Bodies access
+  /// them positionally via TaskContext::input().
+  TaskClass& flow(FlowExpr expr);
+
+  /// The instance body.
+  TaskClass& body(std::function<void(TaskContext&, const Params&)> fn);
+
+ private:
+  friend class PtgProgram;
+  std::string name_;
+  std::uint32_t type_id_;
+  std::vector<ParamRange> ranges_;
+  std::function<int(const Params&)> rank_fn_;
+  std::function<int(const Params&)> priority_fn_;
+  std::function<std::string(const Params&)> klass_fn_;
+  std::vector<FlowExpr> flows_;
+  std::function<void(TaskContext&, const Params&)> body_;
+};
+
+/// A collection of task classes, unfoldable into a concrete TaskGraph.
+class PtgProgram {
+ public:
+  /// Create a class; type ids are assigned in creation order (0, 1, ...).
+  TaskClass& task_class(const std::string& name);
+
+  /// Reference helper for dataflow expressions.
+  static FlowEnd ref(const TaskClass& producer, Params params,
+                     std::uint16_t slot = 0) {
+    return FlowEnd{producer.type_id(), params, slot};
+  }
+
+  /// Enumerate every instance of every class and build the TaskGraph.
+  /// Throws std::runtime_error on missing bodies or >3 parameters.
+  TaskGraph unfold() const;
+
+  /// Key of a concrete instance, for result() lookups after the run.
+  static TaskKey key_of(const TaskClass& task_class, const Params& params) {
+    return TaskKey{task_class.type_id(), params[0], params[1], params[2]};
+  }
+
+  std::size_t num_classes() const { return classes_.size(); }
+
+ private:
+  void enumerate(const TaskClass& tc, std::size_t depth, Params& params,
+                 TaskGraph& graph) const;
+
+  std::vector<std::unique_ptr<TaskClass>> classes_;
+};
+
+}  // namespace repro::rt::ptg

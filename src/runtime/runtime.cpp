@@ -1,0 +1,482 @@
+#include "runtime/runtime.hpp"
+
+#include <stdexcept>
+
+#include "support/timing.hpp"
+
+namespace repro::rt {
+
+namespace {
+constexpr std::uint64_t kWireSingle = 0;
+constexpr std::uint64_t kWireMulti = 1;
+}  // namespace
+
+// ---------------------------------------------------------------- context --
+
+const TaskKey& TaskContext::key() const { return spec().key; }
+
+const TaskSpec& TaskContext::spec() const {
+  return runtime_.graph_->spec(task_index_);
+}
+
+std::span<const double> TaskContext::input(std::size_t i) const {
+  const Buffer& buf = input_buffer(i);
+  return {buf->data(), buf->size()};
+}
+
+Buffer TaskContext::input_buffer(std::size_t i) const {
+  const auto& inputs = runtime_.states_[task_index_].inputs;
+  if (i >= inputs.size()) {
+    throw std::out_of_range("TaskContext: input index " + std::to_string(i) +
+                            " out of range for " + key().to_string());
+  }
+  const Buffer& buf = inputs[i];
+  if (!buf) {
+    throw std::logic_error("TaskContext: input " + std::to_string(i) +
+                           " of " + key().to_string() + " not delivered");
+  }
+  return buf;
+}
+
+std::size_t TaskContext::num_inputs() const {
+  return runtime_.states_[task_index_].inputs.size();
+}
+
+void TaskContext::publish(std::uint16_t slot, std::vector<double>&& data) {
+  publish(slot, make_buffer(std::move(data)));
+}
+
+void TaskContext::publish(std::uint16_t slot, Buffer buffer) {
+  if (!buffer) throw std::invalid_argument("publish: null buffer");
+  runtime_.publish_output(task_index_, slot, std::move(buffer));
+}
+
+// ------------------------------------------------------------ ready queue --
+
+void Runtime::ReadyQueue::push(ReadyEntry entry) {
+  {
+    std::lock_guard lock(mutex_);
+    heap_.push(entry);
+  }
+  cv_.notify_one();
+}
+
+std::optional<Runtime::ReadyEntry> Runtime::ReadyQueue::pop_blocking() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return !heap_.empty() || stopped_; });
+  if (heap_.empty()) return std::nullopt;
+  ReadyEntry entry = heap_.top();
+  heap_.pop();
+  return entry;
+}
+
+void Runtime::ReadyQueue::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+// ----------------------------------------------------------------- outbox --
+
+void Runtime::Outbox::push(net::Message msg) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return;  // shutdown already started; message is moot
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+std::optional<net::Message> Runtime::Outbox::pop_blocking() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;
+  net::Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+void Runtime::Outbox::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------- runtime --
+
+Runtime::Runtime(Config config) : config_(config), tracer_(config.trace) {
+  if (config_.nranks < 1 || config_.workers_per_rank < 1) {
+    throw std::invalid_argument("Runtime: need >=1 rank and >=1 worker");
+  }
+}
+
+Runtime::~Runtime() = default;
+
+RunStats Runtime::run(TaskGraph& graph) {
+  if (!graph.sealed()) graph.seal(config_.nranks);
+  graph_ = &graph;
+
+  const std::size_t n = graph.size();
+  states_ = std::vector<TaskState>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& inputs = graph.spec(i).inputs;
+    states_[i].inputs.resize(inputs.size());
+    states_[i].remaining.store(static_cast<int>(inputs.size()),
+                               std::memory_order_relaxed);
+  }
+
+  queues_.clear();
+  outboxes_.clear();
+  for (int r = 0; r < config_.nranks; ++r) {
+    queues_.push_back(std::make_unique<ReadyQueue>());
+    outboxes_.push_back(std::make_unique<Outbox>());
+  }
+  transport_ = std::make_unique<net::Transport>(config_.nranks);
+
+  seq_.store(0);
+  remaining_tasks_.store(n);
+  executed_tasks_.store(0);
+  done_ = n == 0;
+  aborted_.store(false);
+  error_.clear();
+  tracer_.clear();
+
+  const Timer timer;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (graph.spec(i).inputs.empty()) enqueue_ready(i);
+  }
+
+  std::vector<std::thread> receivers;
+  std::vector<std::thread> senders;
+  std::vector<std::thread> workers;
+  for (int r = 0; r < config_.nranks; ++r) {
+    receivers.emplace_back([this, r] { receiver_loop(r); });
+    if (config_.dedicated_comm_thread) {
+      senders.emplace_back([this, r] { sender_loop(r); });
+    }
+    for (int w = 0; w < config_.workers_per_rank; ++w) {
+      workers.emplace_back([this, r, w] { worker_loop(r, w); });
+    }
+  }
+
+  {
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock, [&] { return done_ || aborted_.load(); });
+  }
+
+  // Orderly shutdown: compute first, then sends, then the transport.
+  for (auto& queue : queues_) queue->stop();
+  for (auto& thread : workers) thread.join();
+  for (auto& outbox : outboxes_) outbox->close();
+  for (auto& thread : senders) thread.join();
+  transport_->close();
+  for (auto& thread : receivers) thread.join();
+
+  if (aborted_.load()) {
+    std::lock_guard lock(error_mutex_);
+    throw std::runtime_error("Runtime: " + error_);
+  }
+
+  RunStats stats;
+  stats.wall_time_s = timer.elapsed();
+  stats.tasks_executed = executed_tasks_.load();
+  const auto traffic = transport_->stats();
+  stats.messages = traffic.messages;
+  stats.bytes = traffic.bytes;
+  stats.message_sizes = traffic.message_sizes;
+  return stats;
+}
+
+Buffer Runtime::result(const TaskKey& key, std::uint16_t slot) const {
+  if (graph_ == nullptr) throw std::logic_error("Runtime: no graph run yet");
+  const std::size_t index = graph_->index_of(key);
+  for (const auto& [s, buf] : states_[index].outputs) {
+    if (s == slot) return buf;
+  }
+  throw std::out_of_range("Runtime: no retained output " +
+                          std::to_string(slot) + " on " + key.to_string());
+}
+
+void Runtime::worker_loop(int rank, int worker) {
+  auto& queue = *queues_[static_cast<std::size_t>(rank)];
+  while (auto entry = queue.pop_blocking()) {
+    execute_task(entry->task, rank, worker);
+  }
+}
+
+void Runtime::sender_loop(int rank) {
+  auto& outbox = *outboxes_[static_cast<std::size_t>(rank)];
+  while (auto msg = outbox.pop_blocking()) {
+    try {
+      transport_->send(std::move(*msg));
+    } catch (const std::exception& e) {
+      fail(std::string("sender: ") + e.what());
+      return;
+    }
+  }
+}
+
+void Runtime::receiver_loop(int rank) {
+  // Message wire format, self-describing via header[0]:
+  //   kWireSingle: [0, type, a, b, c, input_pos], payload = the flow data
+  //   kWireMulti:  [1, n, then n x (type, a, b, c, input_pos, len)],
+  //                payload = the n flow payloads concatenated
+  while (auto msg = transport_->recv(rank)) {
+    try {
+      if (msg->header.empty()) throw std::runtime_error("empty header");
+      if (msg->header[0] == kWireSingle) {
+        if (msg->header.size() != 6) {
+          throw std::runtime_error("malformed single-flow header");
+        }
+        TaskKey key;
+        key.type = static_cast<std::uint32_t>(msg->header[1]);
+        key.a = static_cast<std::int32_t>(msg->header[2]);
+        key.b = static_cast<std::int32_t>(msg->header[3]);
+        key.c = static_cast<std::int32_t>(msg->header[4]);
+        const auto input_pos = static_cast<std::uint16_t>(msg->header[5]);
+        const std::size_t index = graph_->index_of(key);
+        deliver_input(index, input_pos, make_buffer(std::move(msg->payload)));
+      } else if (msg->header[0] == kWireMulti) {
+        const auto sections = static_cast<std::size_t>(msg->header[1]);
+        if (msg->header.size() != 2 + 6 * sections) {
+          throw std::runtime_error("malformed multi-flow header");
+        }
+        std::size_t offset = 0;
+        for (std::size_t s = 0; s < sections; ++s) {
+          const std::uint64_t* h = msg->header.data() + 2 + 6 * s;
+          TaskKey key;
+          key.type = static_cast<std::uint32_t>(h[0]);
+          key.a = static_cast<std::int32_t>(h[1]);
+          key.b = static_cast<std::int32_t>(h[2]);
+          key.c = static_cast<std::int32_t>(h[3]);
+          const auto input_pos = static_cast<std::uint16_t>(h[4]);
+          const auto len = static_cast<std::size_t>(h[5]);
+          if (offset + len > msg->payload.size()) {
+            throw std::runtime_error("multi-flow payload overrun");
+          }
+          std::vector<double> section(
+              msg->payload.begin() + static_cast<std::ptrdiff_t>(offset),
+              msg->payload.begin() + static_cast<std::ptrdiff_t>(offset + len));
+          offset += len;
+          const std::size_t index = graph_->index_of(key);
+          deliver_input(index, input_pos, make_buffer(std::move(section)));
+        }
+      } else {
+        throw std::runtime_error("unknown wire format");
+      }
+    } catch (const std::exception& e) {
+      fail(std::string("receiver: ") + e.what());
+      return;
+    }
+  }
+}
+
+void Runtime::execute_task(std::size_t index, int rank, int worker) {
+  if (aborted_.load(std::memory_order_relaxed)) return;
+  const TaskSpec& spec = graph_->spec(index);
+
+  TraceEvent event;
+  if (tracer_.enabled()) {
+    event.key = spec.key;
+    event.klass = spec.klass;
+    event.rank = rank;
+    event.worker = worker;
+    event.begin_s = wall_time();
+  }
+
+  try {
+    TaskContext context(*this, index, rank, worker);
+    spec.body(context);
+  } catch (const std::exception& e) {
+    fail("task " + spec.key.to_string() + ": " + e.what());
+    return;
+  }
+
+  if (tracer_.enabled()) {
+    event.end_s = wall_time();
+    tracer_.record(std::move(event));
+  }
+
+  states_[index].executed.store(true, std::memory_order_release);
+  complete_task(index, rank);
+
+  executed_tasks_.fetch_add(1, std::memory_order_relaxed);
+  if (remaining_tasks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      std::lock_guard lock(done_mutex_);
+      done_ = true;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void Runtime::complete_task(std::size_t index, int rank) {
+  TaskState& state = states_[index];
+  const auto edges = graph_->consumers(index);
+
+  // Remote edges grouped by destination when aggregation is on.
+  std::map<int, std::vector<std::pair<const TaskGraph::ConsumerEdge*,
+                                      const Buffer*>>> grouped;
+
+  for (const auto& edge : edges) {
+    const Buffer* found = nullptr;
+    for (const auto& [slot, buf] : state.outputs) {
+      if (slot == edge.slot) {
+        found = &buf;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      fail("task " + graph_->spec(index).key.to_string() +
+           " finished without publishing slot " + std::to_string(edge.slot) +
+           " needed by " + graph_->spec(edge.consumer).key.to_string());
+      return;
+    }
+    const TaskSpec& consumer = graph_->spec(edge.consumer);
+    if (consumer.rank == rank) {
+      deliver_input(edge.consumer, edge.input_pos, *found);
+    } else if (config_.aggregate_messages) {
+      grouped[consumer.rank].emplace_back(&edge, found);
+    } else {
+      send_remote(rank, edge.consumer, edge.input_pos, *found);
+    }
+  }
+
+  for (const auto& [dst, sections] : grouped) {
+    send_remote_aggregated(rank, dst, sections);
+  }
+
+  // Release upstream data and any outputs that have been fanned out; keep
+  // zero-consumer outputs for result() inspection.
+  state.inputs.clear();
+  std::erase_if(state.outputs, [&](const auto& entry) {
+    return graph_->slot_fanout(index, entry.first) > 0;
+  });
+}
+
+void Runtime::deliver_input(std::size_t consumer_index,
+                            std::uint16_t input_pos, Buffer buffer) {
+  TaskState& state = states_[consumer_index];
+  if (input_pos >= state.inputs.size()) {
+    fail("deliver: input position out of range for " +
+         graph_->spec(consumer_index).key.to_string());
+    return;
+  }
+  state.inputs[input_pos] = std::move(buffer);
+  if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    enqueue_ready(consumer_index);
+  }
+}
+
+void Runtime::enqueue_ready(std::size_t index) {
+  const TaskSpec& spec = graph_->spec(index);
+  ReadyEntry entry;
+  entry.task = static_cast<std::uint32_t>(index);
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  switch (config_.scheduler) {
+    case SchedPolicy::PriorityFifo:
+      entry.priority = spec.priority;
+      entry.seq = seq;
+      break;
+    case SchedPolicy::Fifo:
+      entry.priority = 0;
+      entry.seq = seq;
+      break;
+    case SchedPolicy::Lifo:
+      // Newest first: invert the sequence so the FIFO tie-break runs
+      // backwards.
+      entry.priority = 0;
+      entry.seq = ~seq;
+      break;
+  }
+  queues_[static_cast<std::size_t>(spec.rank)]->push(entry);
+}
+
+void Runtime::send_remote(int src_rank, std::size_t consumer_index,
+                          std::uint16_t input_pos, const Buffer& buffer) {
+  const TaskSpec& consumer = graph_->spec(consumer_index);
+  net::Message msg;
+  msg.src = src_rank;
+  msg.dst = consumer.rank;
+  msg.tag = consumer.key.pack();
+  msg.header = {kWireSingle,
+                consumer.key.type,
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(consumer.key.a)),
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(consumer.key.b)),
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(consumer.key.c)),
+                input_pos};
+  msg.payload = *buffer;  // deep copy: this is the wire crossing
+  post_message(src_rank, std::move(msg));
+}
+
+void Runtime::send_remote_aggregated(
+    int src_rank, int dst_rank,
+    const std::vector<std::pair<const TaskGraph::ConsumerEdge*,
+                                const Buffer*>>& sections) {
+  net::Message msg;
+  msg.src = src_rank;
+  msg.dst = dst_rank;
+  msg.header = {kWireMulti, sections.size()};
+  std::size_t total = 0;
+  for (const auto& [edge, buffer] : sections) total += (*buffer)->size();
+  msg.payload.reserve(total);
+  for (const auto& [edge, buffer] : sections) {
+    const TaskKey& key = graph_->spec(edge->consumer).key;
+    msg.header.push_back(key.type);
+    msg.header.push_back(
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.a)));
+    msg.header.push_back(
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.b)));
+    msg.header.push_back(
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.c)));
+    msg.header.push_back(edge->input_pos);
+    msg.header.push_back((*buffer)->size());
+    msg.payload.insert(msg.payload.end(), (*buffer)->begin(),
+                       (*buffer)->end());
+  }
+  post_message(src_rank, std::move(msg));
+}
+
+void Runtime::post_message(int src_rank, net::Message msg) {
+  if (config_.dedicated_comm_thread) {
+    outboxes_[static_cast<std::size_t>(src_rank)]->push(std::move(msg));
+  } else {
+    try {
+      transport_->send(std::move(msg));
+    } catch (const std::exception& e) {
+      fail(std::string("send: ") + e.what());
+    }
+  }
+}
+
+void Runtime::fail(const std::string& message) {
+  {
+    std::lock_guard lock(error_mutex_);
+    if (error_.empty()) error_ = message;
+  }
+  aborted_.store(true);
+  {
+    std::lock_guard lock(done_mutex_);
+  }
+  done_cv_.notify_all();
+}
+
+void Runtime::publish_output(std::size_t task_index, std::uint16_t slot,
+                             Buffer buffer) {
+  TaskState& state = states_[task_index];
+  for (const auto& [existing, _] : state.outputs) {
+    if (existing == slot) {
+      throw std::logic_error("publish: slot " + std::to_string(slot) +
+                             " published twice by " +
+                             graph_->spec(task_index).key.to_string());
+    }
+  }
+  state.outputs.emplace_back(slot, std::move(buffer));
+}
+
+}  // namespace repro::rt

@@ -1,0 +1,207 @@
+// taskrt: a distributed dataflow task runtime (the PaRSEC substitute).
+//
+// The runtime executes a sealed TaskGraph over `nranks` virtual processes
+// living in one OS process. Each virtual process owns:
+//   * a pool of compute worker threads popping from a priority ready-queue,
+//   * a dedicated communication thread pair (sender draining an outbox into
+//     the Transport, receiver delivering incoming messages), mirroring the
+//     paper's "one thread dedicated for communication" configuration.
+//
+// Dataflow semantics: a task becomes ready when every input flow has been
+// satisfied. Local flows (producer and consumer on the same rank) share the
+// published buffer pointer; remote flows are serialized into a net::Message
+// and deep-copied on the receiving side, so cross-node traffic is explicit
+// and measurable. Completed tasks release their inputs immediately and their
+// consumed outputs after fan-out, keeping memory bounded across iterations;
+// outputs with no consumers are retained and readable via result().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <map>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/trace.hpp"
+
+namespace repro::rt {
+
+/// Ready-queue discipline (PaRSEC ships several schedulers; these are the
+/// three orderings that matter for a stencil workload).
+enum class SchedPolicy {
+  PriorityFifo,  ///< higher priority first, FIFO within a priority (default)
+  Fifo,          ///< plain arrival order, priorities ignored
+  Lifo,          ///< newest-ready first (depth-first; cache-friendly)
+};
+
+struct Config {
+  int nranks = 1;
+  int workers_per_rank = 1;
+  /// If false, worker threads call Transport::send inline instead of handing
+  /// messages to the dedicated sender thread (ablation knob).
+  bool dedicated_comm_thread = true;
+  bool trace = false;
+  SchedPolicy scheduler = SchedPolicy::PriorityFifo;
+  /// Combine all flows a completing task sends to the same destination node
+  /// into one message (PaRSEC-style per-node aggregation). Fewer, larger
+  /// messages; ablation knob for the CA experiments.
+  bool aggregate_messages = false;
+};
+
+struct RunStats {
+  double wall_time_s = 0.0;
+  std::size_t tasks_executed = 0;
+  std::uint64_t messages = 0;      ///< remote messages (inter-rank only)
+  std::uint64_t bytes = 0;         ///< remote payload+header bytes
+  std::vector<std::size_t> message_sizes;
+};
+
+/// Execution context handed to task bodies.
+class TaskContext {
+ public:
+  const TaskKey& key() const;
+  const TaskSpec& spec() const;
+  int rank() const { return rank_; }
+  int worker() const { return worker_; }
+
+  /// i-th input flow's data (i indexes TaskSpec::inputs).
+  std::span<const double> input(std::size_t i) const;
+  Buffer input_buffer(std::size_t i) const;
+  std::size_t num_inputs() const;
+
+  /// Publish output slot `slot`. Each slot may be published at most once.
+  void publish(std::uint16_t slot, std::vector<double>&& data);
+  void publish(std::uint16_t slot, Buffer buffer);
+
+ private:
+  friend class Runtime;
+  TaskContext(class Runtime& runtime, std::size_t task_index, int rank,
+              int worker)
+      : runtime_(runtime), task_index_(task_index), rank_(rank),
+        worker_(worker) {}
+
+  Runtime& runtime_;
+  std::size_t task_index_;
+  int rank_;
+  int worker_;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Config config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Execute the graph to completion. The graph is sealed here if the caller
+  /// has not sealed it yet. Throws if any task body threw (first error wins)
+  /// or if the graph deadlocks (cyclic dependencies).
+  RunStats run(TaskGraph& graph);
+
+  /// After run(): buffer published on (task, slot). Only slots with no
+  /// consumers are guaranteed to be retained. Throws when absent.
+  Buffer result(const TaskKey& key, std::uint16_t slot) const;
+
+  const Tracer& tracer() const { return tracer_; }
+  const Config& config() const { return config_; }
+
+ private:
+  friend class TaskContext;
+
+  struct TaskState {
+    std::atomic<int> remaining{0};
+    std::vector<Buffer> inputs;
+    std::vector<std::pair<std::uint16_t, Buffer>> outputs;
+    std::atomic<bool> executed{false};
+  };
+
+  struct ReadyEntry {
+    int priority = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t task = 0;
+
+    /// std::priority_queue is a max-heap: higher priority first, then FIFO.
+    friend bool operator<(const ReadyEntry& a, const ReadyEntry& b) {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  class ReadyQueue {
+   public:
+    void push(ReadyEntry entry);
+    std::optional<ReadyEntry> pop_blocking();
+    void stop();
+
+   private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::priority_queue<ReadyEntry> heap_;
+    bool stopped_ = false;
+  };
+
+  class Outbox {
+   public:
+    void push(net::Message msg);
+    std::optional<net::Message> pop_blocking();
+    void close();
+
+   private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<net::Message> queue_;
+    bool closed_ = false;
+  };
+
+  void worker_loop(int rank, int worker);
+  void sender_loop(int rank);
+  void receiver_loop(int rank);
+
+  void execute_task(std::size_t index, int rank, int worker);
+  void complete_task(std::size_t index, int rank);
+  void deliver_input(std::size_t consumer_index, std::uint16_t input_pos,
+                     Buffer buffer);
+  void enqueue_ready(std::size_t index);
+  void send_remote(int src_rank, std::size_t consumer_index,
+                   std::uint16_t input_pos, const Buffer& buffer);
+  void send_remote_aggregated(
+      int src_rank, int dst_rank,
+      const std::vector<std::pair<const TaskGraph::ConsumerEdge*,
+                                  const Buffer*>>& sections);
+  void post_message(int src_rank, net::Message msg);
+  void fail(const std::string& message);
+  void publish_output(std::size_t task_index, std::uint16_t slot, Buffer buf);
+
+  Config config_;
+  Tracer tracer_;
+
+  // Per-run state (valid during/after run()).
+  TaskGraph* graph_ = nullptr;
+  std::vector<TaskState> states_;
+  std::vector<std::unique_ptr<ReadyQueue>> queues_;
+  std::vector<std::unique_ptr<Outbox>> outboxes_;
+  std::unique_ptr<net::Transport> transport_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::size_t> remaining_tasks_{0};
+  std::atomic<std::size_t> executed_tasks_{0};
+
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
+
+  std::mutex error_mutex_;
+  std::string error_;
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace repro::rt

@@ -1,0 +1,51 @@
+// Task identity: a task class plus up to three integer parameters.
+//
+// This mirrors PaRSEC's Parameterized Task Graph addressing, where a task is
+// named by its task class and parameter tuple, e.g. jacobi(iter, ti, tj).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace repro::rt {
+
+struct TaskKey {
+  std::uint32_t type = 0;  ///< task class id, application-defined
+  std::int32_t a = 0;      ///< first parameter (e.g. iteration)
+  std::int32_t b = 0;      ///< second parameter (e.g. tile row)
+  std::int32_t c = 0;      ///< third parameter (e.g. tile column)
+
+  friend bool operator==(const TaskKey&, const TaskKey&) = default;
+
+  std::string to_string() const {
+    return "t" + std::to_string(type) + "(" + std::to_string(a) + "," +
+           std::to_string(b) + "," + std::to_string(c) + ")";
+  }
+
+  /// Pack into a single 64-bit word usable as a message tag. Parameters are
+  /// truncated to the ranges used in practice (iteration < 2^24, tile
+  /// coordinates < 2^16); pack() asserts nothing — equality must always be
+  /// checked via the full key carried in the message header.
+  std::uint64_t pack() const {
+    return (static_cast<std::uint64_t>(type) << 56) ^
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) ^
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(b)) << 16) ^
+           static_cast<std::uint64_t>(static_cast<std::uint16_t>(c));
+  }
+};
+
+struct TaskKeyHash {
+  std::size_t operator()(const TaskKey& k) const {
+    // splitmix64-style finalizer over the packed words.
+    std::uint64_t z = (static_cast<std::uint64_t>(k.type) << 32) ^
+                      static_cast<std::uint32_t>(k.a);
+    z ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.b)) << 32) ^
+         static_cast<std::uint32_t>(k.c) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace repro::rt

@@ -1,0 +1,132 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/stats.hpp"
+
+namespace repro::rt {
+
+void Tracer::record(TraceEvent event) {
+  if (!enabled_) return;
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+TraceReport analyze_trace(const std::vector<TraceEvent>& events,
+                          int workers_per_rank) {
+  TraceReport report;
+  if (events.empty()) return report;
+
+  double t0 = std::numeric_limits<double>::max();
+  double t1 = std::numeric_limits<double>::lowest();
+  std::map<int, double> busy_by_rank;
+  std::map<std::string, std::vector<double>> durations;
+
+  for (const auto& e : events) {
+    t0 = std::min(t0, e.begin_s);
+    t1 = std::max(t1, e.end_s);
+    busy_by_rank[e.rank] += e.duration();
+    durations[e.klass].push_back(e.duration());
+    report.count_by_klass[e.klass] += 1;
+  }
+  report.span_s = t1 - t0;
+
+  for (const auto& [rank, busy] : busy_by_rank) {
+    const double capacity = report.span_s * workers_per_rank;
+    report.occupancy_by_rank[rank] = capacity > 0.0 ? busy / capacity : 0.0;
+  }
+  for (auto& [klass, samples] : durations) {
+    report.median_duration_by_klass[klass] = median(samples);
+  }
+  return report;
+}
+
+void write_trace_csv(const std::vector<TraceEvent>& events, std::ostream& os) {
+  os << "rank,worker,klass,key,begin_s,end_s,duration_s\n";
+  for (const auto& e : events) {
+    os << e.rank << ',' << e.worker << ',' << e.klass << ','
+       << e.key.to_string() << ',' << e.begin_s << ',' << e.end_s << ','
+       << e.duration() << '\n';
+  }
+}
+
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& os) {
+  double t0 = std::numeric_limits<double>::max();
+  for (const auto& e : events) t0 = std::min(t0, e.begin_s);
+  if (events.empty()) t0 = 0.0;
+
+  os << "[";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\":\"" << e.klass << ' ' << e.key.to_string()
+       << "\",\"cat\":\"" << e.klass << "\",\"ph\":\"X\",\"pid\":" << e.rank
+       << ",\"tid\":" << e.worker << ",\"ts\":" << (e.begin_s - t0) * 1e6
+       << ",\"dur\":" << e.duration() * 1e6 << "}";
+  }
+  os << "\n]\n";
+}
+
+void print_ascii_gantt(const std::vector<TraceEvent>& events, std::ostream& os,
+                       int columns) {
+  if (events.empty()) {
+    os << "(empty trace)\n";
+    return;
+  }
+  double t0 = std::numeric_limits<double>::max();
+  double t1 = std::numeric_limits<double>::lowest();
+  for (const auto& e : events) {
+    t0 = std::min(t0, e.begin_s);
+    t1 = std::max(t1, e.end_s);
+  }
+  const double span = std::max(t1 - t0, 1e-12);
+  const double bucket = span / columns;
+
+  // Lane per (rank, worker); within a bucket the class covering the most time
+  // wins; idle buckets print '.'.
+  std::map<std::pair<int, int>, std::vector<std::map<char, double>>> lanes;
+  for (const auto& e : events) {
+    auto& lane = lanes[{e.rank, e.worker}];
+    if (lane.empty()) lane.resize(static_cast<std::size_t>(columns));
+    const char initial = e.klass.empty() ? '?' : e.klass.front();
+    int first = static_cast<int>((e.begin_s - t0) / bucket);
+    int last = static_cast<int>((e.end_s - t0) / bucket);
+    first = std::clamp(first, 0, columns - 1);
+    last = std::clamp(last, 0, columns - 1);
+    for (int cell = first; cell <= last; ++cell) {
+      const double cell_t0 = t0 + cell * bucket;
+      const double cell_t1 = cell_t0 + bucket;
+      const double overlap =
+          std::min(e.end_s, cell_t1) - std::max(e.begin_s, cell_t0);
+      if (overlap > 0.0) lane[static_cast<std::size_t>(cell)][initial] += overlap;
+    }
+  }
+
+  os << "time -> (" << span * 1e3 << " ms total, " << columns << " buckets; "
+     << "letter = first letter of dominant task class, '.' = idle)\n";
+  for (const auto& [id, lane] : lanes) {
+    os << "r" << id.first << "w" << id.second << " |";
+    for (const auto& cell : lane) {
+      char best = '.';
+      double best_time = 0.0;
+      for (const auto& [initial, time] : cell) {
+        if (time > best_time) {
+          best_time = time;
+          best = initial;
+        }
+      }
+      os << best;
+    }
+    os << "|\n";
+  }
+}
+
+}  // namespace repro::rt

@@ -1,0 +1,79 @@
+// Task execution tracing, the substitute for PaRSEC's profiling system.
+//
+// Every executed task records (rank, worker, klass, begin, end). From the
+// event stream we derive the paper's Fig. 10 artefacts: per-worker Gantt
+// strips, per-rank CPU occupancy, and kernel-duration medians split by task
+// class (boundary vs interior tiles).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runtime/task_key.hpp"
+
+namespace repro::rt {
+
+struct TraceEvent {
+  TaskKey key;
+  std::string klass;
+  int rank = 0;
+  int worker = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+
+  double duration() const { return end_s - begin_s; }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = false) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  void record(TraceEvent event);
+
+  /// All events, unordered. Call only after the run has finished.
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  void clear();
+
+ private:
+  bool enabled_;
+  std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Derived statistics over a finished trace.
+struct TraceReport {
+  double span_s = 0.0;  ///< max(end) - min(begin) over all events
+  /// fraction of (span * workers) spent inside task bodies, per rank
+  std::map<int, double> occupancy_by_rank;
+  /// median task duration in seconds, per task class
+  std::map<std::string, double> median_duration_by_klass;
+  /// task counts per class
+  std::map<std::string, std::size_t> count_by_klass;
+};
+
+TraceReport analyze_trace(const std::vector<TraceEvent>& events,
+                          int workers_per_rank);
+
+/// Write one CSV row per event: rank,worker,klass,key,begin,end,duration.
+void write_trace_csv(const std::vector<TraceEvent>& events, std::ostream& os);
+
+/// Export in Chrome tracing format (chrome://tracing, Perfetto): one
+/// complete event ("ph":"X") per task, pid = rank, tid = worker. The
+/// counterpart of PaRSEC's binary profile -> visualizer pipeline.
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& os);
+
+/// ASCII Gantt chart: one text row per (rank, worker), time bucketed into
+/// `columns` cells; a cell shows the class initial of the task occupying the
+/// majority of the bucket, or '.' when idle. This is the console rendition of
+/// the paper's Fig. 10 trace plot.
+void print_ascii_gantt(const std::vector<TraceEvent>& events, std::ostream& os,
+                       int columns = 100);
+
+}  // namespace repro::rt

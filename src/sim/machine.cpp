@@ -1,0 +1,46 @@
+#include "sim/machine.hpp"
+
+#include "support/units.hpp"
+
+namespace repro::sim {
+
+Machine nacl() {
+  Machine m;
+  m.name = "NaCL";
+  m.cores_per_node = 12;
+  m.node_stream_bw_Bps = 39.1e9;  // paper text, section VI-A (COPY-derived)
+  m.core_stream_bw_Bps = 9.8e9;   // Table I COPY, 1-core
+  m.node_stencil_gflops = 11.0;   // Fig. 6 plateau, tiles 200-300
+  m.llc_bytes = 2 * 12e6;         // 2 sockets x 12 MB L3 (Westmere-EP)
+  m.task_overhead_s = usec(25.0);
+  m.comm_overhead_s = usec(24.0);
+  m.cache_spill_penalty = 0.45;
+  m.link = net::nacl_link();
+  return m;
+}
+
+Machine stampede2() {
+  Machine m;
+  m.name = "Stampede2";
+  m.cores_per_node = 48;
+  m.node_stream_bw_Bps = 172.5e9;  // paper text, section VI-A (COPY-derived)
+  m.core_stream_bw_Bps = 10.6e9;   // Table I COPY, 1-core
+  m.node_stencil_gflops = 43.5;    // Fig. 6 plateau, tiles 400-2000
+  m.llc_bytes = 2 * 33e6;          // 2 sockets x 33 MB L2+L3 (SKX 8160)
+  m.task_overhead_s = usec(15.0);
+  m.comm_overhead_s = usec(20.0);
+  m.cache_spill_penalty = 0.08;
+  m.link = net::stampede2_link();
+  return m;
+}
+
+Roofline stencil_roofline(const Machine& machine) {
+  Roofline r;
+  r.ai_low = stencil::kFlopsPerPoint / 24.0;
+  r.ai_high = stencil::kFlopsPerPoint / 16.0;
+  r.gflops_low = r.ai_low * machine.node_stream_bw_Bps / 1e9;
+  r.gflops_high = r.ai_high * machine.node_stream_bw_Bps / 1e9;
+  return r;
+}
+
+}  // namespace repro::sim

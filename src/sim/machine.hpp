@@ -1,0 +1,72 @@
+// Machine presets for the two evaluation systems (paper section VI).
+//
+// All model constants trace back to numbers the paper reports:
+//   NaCL:      2x Xeon X5660 (Westmere), 12 cores, 23 GB RAM, IB QDR 32 Gb/s.
+//              STREAM COPY: 9.8 GB/s (1 core) / 40.1 GB/s (node); measured
+//              base-PaRSEC plateau ~11 GFLOP/s at tile 200-300 (Fig. 6).
+//   Stampede2: 2x Xeon Platinum 8160 (Skylake), 48 cores, 192 GB, OPA
+//              100 Gb/s. STREAM COPY 176.7 GB/s; plateau ~43.5 GFLOP/s at
+//              tile 400-2000 (Fig. 6).
+// PaRSEC runs use one process per node with one communication thread and the
+// remaining cores as compute workers (11 / 47).
+#pragma once
+
+#include <string>
+
+#include "net/link_model.hpp"
+#include "stencil/kernel.hpp"
+
+namespace repro::sim {
+
+struct Machine {
+  std::string name;
+  int cores_per_node = 1;
+  double node_stream_bw_Bps = 0.0;   ///< STREAM COPY, full node
+  double core_stream_bw_Bps = 0.0;   ///< STREAM COPY, single core
+  double node_stencil_gflops = 0.0;  ///< measured base-PaRSEC plateau (Fig 6)
+  double llc_bytes = 0.0;            ///< last-level cache per node
+  double task_overhead_s = 0.0;      ///< runtime per-task scheduling overhead
+  double comm_overhead_s = 0.0;      ///< comm-thread cost per message handled
+  /// Fractional slowdown of the stencil kernel once a task's working set
+  /// spills the per-worker cache share (Fig. 6's large-tile falloff):
+  /// 0.45 on NaCL (11 -> ~7.5 GFLOP/s), small on Stampede2 whose
+  /// prefetcher-friendly DDR4 keeps streaming rates flat.
+  double cache_spill_penalty = 0.0;
+  /// Memory-traffic multiplier of the CSR SpMV formulation vs the tile
+  /// stencil ("at the very least doubles the number of memory loads").
+  double petsc_traffic_factor = 2.0;
+  net::LinkModel link;
+
+  /// Compute workers per node (one core reserved for communication).
+  int compute_workers() const { return cores_per_node - 1; }
+
+  /// Stencil points/second for the whole node at the measured plateau.
+  double node_point_rate() const {
+    return node_stencil_gflops * 1e9 / stencil::kFlopsPerPoint;
+  }
+  /// Points/second of one compute worker at the plateau.
+  double worker_point_rate() const {
+    return node_point_rate() / compute_workers();
+  }
+  /// Effective bytes moved per stencil point implied by the measured plateau
+  /// (node_bw / point_rate); lands in the paper's 16-24+ B range.
+  double effective_bytes_per_point() const {
+    return node_stream_bw_Bps / node_point_rate();
+  }
+};
+
+Machine nacl();
+Machine stampede2();
+
+/// Roofline bounds (paper section VI-A): effective peak GFLOP/s for the
+/// stencil's arithmetic-intensity window [9/24, 9/16] FLOP/byte.
+struct Roofline {
+  double ai_low = 0.0;     ///< 0.375 FLOP/B
+  double ai_high = 0.0;    ///< 0.5625 FLOP/B
+  double gflops_low = 0.0;
+  double gflops_high = 0.0;
+};
+
+Roofline stencil_roofline(const Machine& machine);
+
+}  // namespace repro::sim

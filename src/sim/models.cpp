@@ -1,0 +1,217 @@
+#include "sim/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stencil/halo.hpp"
+#include "stencil/tile_map.hpp"
+
+namespace repro::sim {
+
+namespace {
+
+using stencil::Side;
+using stencil::Corner;
+using stencil::kAllSides;
+using stencil::kAllCorners;
+using stencil::d_ti;
+using stencil::d_tj;
+
+double smoothstep01(double x) {
+  x = std::clamp(x, 0.0, 1.0);
+  return x * x * (3.0 - 2.0 * x);
+}
+
+/// Cache-spill slowdown factor for a task touching `working_set` bytes on a
+/// machine whose per-worker cache share is `share`.
+double spill_factor(const Machine& m, double working_set) {
+  const double share = m.llc_bytes / m.compute_workers();
+  const double t = smoothstep01((working_set / share - 1.0) / 3.0);
+  return 1.0 + m.cache_spill_penalty * t;
+}
+
+}  // namespace
+
+StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
+  const stencil::TileMap map(p.N, p.N, p.tile, p.tile, p.node_rows,
+                             p.node_cols);
+  if (p.steps < 1 || p.steps > map.min_tile_extent()) {
+    throw std::invalid_argument("simulate_stencil: bad step size");
+  }
+  const double worker_rate = p.machine.worker_point_rate();
+  const double working_set =
+      3.0 * static_cast<double>(p.tile) * p.tile * sizeof(double);
+  const double point_time =
+      spill_factor(p.machine, working_set) / worker_rate;
+
+  SimGraph graph;
+  const int tr = map.tiles_r();
+  const int tc = map.tiles_c();
+  // Task id layout: id(k, ti, tj) = k*tr*tc + ti*tc + tj, k in 0..iterations
+  // (k = 0 is INIT).
+  auto id = [&](int k, int ti, int tj) {
+    return static_cast<std::uint32_t>(
+        (static_cast<std::size_t>(k) * tr + ti) * tc + tj);
+  };
+
+  double redundant_points = 0.0;
+
+  // First pass: tasks.
+  for (int k = 0; k <= p.iterations; ++k) {
+    for (int ti = 0; ti < tr; ++ti) {
+      for (int tj = 0; tj < tc; ++tj) {
+        const int h = map.tile_h(ti);
+        const int w = map.tile_w(tj);
+        bool remote[4];
+        bool boundary = false;
+        for (Side s : kAllSides) {
+          remote[static_cast<int>(s)] =
+              map.neighbor_remote(ti, tj, d_ti(s), d_tj(s));
+          boundary |= remote[static_cast<int>(s)];
+        }
+
+        SimTaskSpec task;
+        task.node = map.rank_of(ti, tj);
+        task.priority = (boundary && p.boundary_priority) ? 1 : 0;
+        if (k == 0) {
+          task.klass = kKlassInit;
+          task.cost_s = p.machine.task_overhead_s +
+                        static_cast<double>(h) * w / worker_rate;
+        } else {
+          task.klass = boundary ? kKlassBoundary : kKlassInterior;
+          const int jj = (k - 1) % p.steps;
+          const int shrink = jj + 1;
+          const int extra = p.steps - shrink;
+          double rows = h + (remote[0] ? extra : 0) + (remote[1] ? extra : 0);
+          double cols = w + (remote[2] ? extra : 0) + (remote[3] ? extra : 0);
+          rows = std::max(1.0, std::round(rows * p.ratio));
+          cols = std::max(1.0, std::round(cols * p.ratio));
+          const double points = rows * cols;
+          redundant_points +=
+              points - std::max(1.0, std::round(h * p.ratio)) *
+                           std::max(1.0, std::round(w * p.ratio));
+          task.cost_s = p.machine.task_overhead_s + points * point_time;
+        }
+        graph.add_task(task);
+      }
+    }
+  }
+
+  // Second pass: edges (mirrors the real graph builder's input flows).
+  const double header_bytes = 5.0 * sizeof(std::uint64_t);
+  for (int k = 1; k <= p.iterations; ++k) {
+    const bool superstep_start = (k - 1) % p.steps == 0;
+    for (int ti = 0; ti < tr; ++ti) {
+      for (int tj = 0; tj < tc; ++tj) {
+        const std::uint32_t me = id(k, ti, tj);
+        graph.add_edge(id(k - 1, ti, tj), me);
+        for (Side s : kAllSides) {
+          const int ni = ti + d_ti(s);
+          const int nj = tj + d_tj(s);
+          if (!map.valid(ni, nj)) continue;
+          const bool is_remote = map.rank_of(ni, nj) != map.rank_of(ti, tj);
+          if (!is_remote) {
+            graph.add_edge(id(k - 1, ni, nj), me);
+          } else if (superstep_start) {
+            const int lateral = (s == Side::North || s == Side::South)
+                                    ? map.tile_w(tj)
+                                    : map.tile_h(ti);
+            const double bytes =
+                header_bytes +
+                static_cast<double>(p.steps) * lateral * sizeof(double);
+            graph.add_edge(id(k - 1, ni, nj), me, bytes);
+          }
+        }
+        if (superstep_start && p.steps > 1) {
+          for (Corner c : kAllCorners) {
+            const int ni = ti + d_ti(c);
+            const int nj = tj + d_tj(c);
+            if (!map.valid(ni, nj)) continue;
+            if (map.rank_of(ni, nj) == map.rank_of(ti, tj)) continue;
+            const Side row_side = d_ti(c) < 0 ? Side::North : Side::South;
+            const Side col_side = d_tj(c) < 0 ? Side::West : Side::East;
+            const bool adjacent_remote =
+                map.neighbor_remote(ti, tj, d_ti(row_side), d_tj(row_side)) ||
+                map.neighbor_remote(ti, tj, d_ti(col_side), d_tj(col_side));
+            if (!adjacent_remote) continue;
+            const double bytes =
+                header_bytes + static_cast<double>(p.steps) * p.steps *
+                                   sizeof(double);
+            graph.add_edge(id(k - 1, ni, nj), me, bytes);
+          }
+        }
+      }
+    }
+  }
+
+  SimMachineConfig config;
+  config.nodes = map.nodes();
+  config.workers_per_node = p.machine.compute_workers();
+  config.link = p.machine.link;
+  config.comm_overhead_s = p.machine.comm_overhead_s;
+  config.aggregate_per_destination = p.aggregate_messages;
+
+  StencilSimOutput out;
+  out.sim = simulate(graph, config, trace);
+  out.time_s = out.sim.makespan_s;
+  const double nominal = 9.0 * static_cast<double>(p.N) * p.N * p.iterations *
+                         p.ratio * p.ratio;
+  out.gflops = nominal / out.time_s / 1e9;
+  out.redundant_fraction =
+      redundant_points * 9.0 / std::max(nominal, 1.0);
+  return out;
+}
+
+double single_node_gflops_model(const Machine& m, int N, int tile) {
+  if (tile < 1 || N < tile) {
+    throw std::invalid_argument("single_node_gflops_model: bad tile");
+  }
+  const int tiles = (N + tile - 1) / tile;
+  const double tasks = static_cast<double>(tiles) * tiles;
+  const double points = static_cast<double>(tile) * tile;
+  const double working_set = 3.0 * points * sizeof(double);
+
+  const double task_time =
+      m.task_overhead_s +
+      points * spill_factor(m, working_set) / m.worker_point_rate();
+
+  // Load imbalance: the last wave of tasks may not fill every worker.
+  const int workers = m.compute_workers();
+  const double waves = std::ceil(tasks / workers);
+  const double iter_time = waves * task_time;
+  const double flops = 9.0 * static_cast<double>(N) * N;
+  return flops / iter_time / 1e9;
+}
+
+PetscSimOutput simulate_petsc(const PetscSimParams& p) {
+  const Machine& m = p.machine;
+  const double points = static_cast<double>(p.N) * p.N;
+  // Compute: 1D-row-partitioned CSR SpMV at petsc_traffic_factor x the tile
+  // stencil's effective traffic, node-bandwidth bound (one rank per core
+  // saturates the memory interface).
+  const double bytes_per_point =
+      m.effective_bytes_per_point() * m.petsc_traffic_factor;
+  const double compute =
+      points / p.nodes * bytes_per_point / m.node_stream_bw_Bps;
+
+  // Communication: with a 1D partition each node block exchanges one grid
+  // row (8N bytes) up and down across node boundaries. On-node rank
+  // exchanges ride shared memory. PETSc overlaps the scatter with the
+  // interior product, so the iteration takes max(compute, wire) plus one
+  // latency that cannot be hidden.
+  const double wire =
+      (p.nodes > 1)
+          ? 2.0 * m.link.transfer_time(static_cast<std::size_t>(8 * p.N))
+          : 0.0;
+  const double iter = std::max(compute, wire) +
+                      (p.nodes > 1 ? m.link.latency_s : 0.0);
+
+  PetscSimOutput out;
+  out.time_s = iter * p.iterations;
+  out.gflops = 9.0 * points * p.iterations / out.time_s / 1e9;
+  return out;
+}
+
+}  // namespace repro::sim

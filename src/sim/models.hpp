@@ -1,0 +1,69 @@
+// Paper-scale performance models built on the DES and machine presets.
+//
+// Three models cover the evaluation section:
+//   * simulate_stencil(): unfolds the SAME tile task graph the real runtime
+//     executes (base or CA, any step size/ratio) into a SimGraph with
+//     calibrated task costs and message sizes, and replays it through the
+//     DES. Drives Figs. 7, 8, 9 and the simulated half of Fig. 10.
+//   * single_node_gflops_model(): closed-form shared-memory model of
+//     GFLOP/s vs tile size (task overhead at small tiles, cache spill /
+//     load imbalance at large tiles). Drives the preset curves of Fig. 6.
+//   * simulate_petsc(): closed-form model of the PETSc baseline (1 MPI rank
+//     per core, 1D row partition, 2x memory traffic from CSR indices).
+//     Drives the PETSc series of Fig. 7.
+#pragma once
+
+#include "sim/des.hpp"
+#include "sim/machine.hpp"
+
+namespace repro::sim {
+
+/// Task classes recorded in the DES trace.
+inline constexpr std::uint16_t kKlassInit = 0;
+inline constexpr std::uint16_t kKlassInterior = 1;
+inline constexpr std::uint16_t kKlassBoundary = 2;
+
+struct StencilSimParams {
+  Machine machine;
+  int N = 0;            ///< square problem size
+  int tile = 0;         ///< square tile size (paper's mb = nb)
+  int node_rows = 1;
+  int node_cols = 1;
+  int iterations = 100;
+  int steps = 1;        ///< 1 = base-PaRSEC, >1 = CA-PaRSEC
+  double ratio = 1.0;   ///< kernel-adjustment ratio (Figs. 8/9)
+  /// Schedule node-boundary tiles ahead of interior tiles (the runtime's
+  /// default). Ablation knob.
+  bool boundary_priority = true;
+  /// Merge per-destination messages (rt::Config::aggregate_messages analog).
+  bool aggregate_messages = false;
+};
+
+struct StencilSimOutput {
+  SimResult sim;
+  double time_s = 0.0;
+  double gflops = 0.0;         ///< nominal 9*N^2*ratio^2*iters / time
+  double redundant_fraction = 0.0;  ///< extra CA compute vs nominal
+};
+
+StencilSimOutput simulate_stencil(const StencilSimParams& params,
+                                  bool trace = false);
+
+/// Shared-memory single-node GFLOP/s for a given tile size (Fig. 6 model).
+double single_node_gflops_model(const Machine& machine, int N, int tile);
+
+struct PetscSimParams {
+  Machine machine;
+  int N = 0;
+  int nodes = 1;
+  int iterations = 100;
+};
+
+struct PetscSimOutput {
+  double time_s = 0.0;
+  double gflops = 0.0;
+};
+
+PetscSimOutput simulate_petsc(const PetscSimParams& params);
+
+}  // namespace repro::sim

@@ -1,0 +1,121 @@
+#include "spmv/laplacian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::spmv {
+
+CsrMatrix build_laplacian_matrix(int rows, int cols) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("build_laplacian_matrix: empty grid");
+  }
+  CsrMatrix m;
+  m.nrows = static_cast<std::int64_t>(rows) * cols;
+  m.ncols = m.nrows;
+  m.row_ptr.push_back(0);
+  auto index = [cols](int i, int j) {
+    return static_cast<std::int64_t>(i) * cols + j;
+  };
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      // Sorted column order keeps the matrix canonical CSR.
+      if (i > 0) {
+        m.col.push_back(index(i - 1, j));
+        m.val.push_back(-1.0);
+      }
+      if (j > 0) {
+        m.col.push_back(index(i, j - 1));
+        m.val.push_back(-1.0);
+      }
+      m.col.push_back(index(i, j));
+      m.val.push_back(4.0);
+      if (j < cols - 1) {
+        m.col.push_back(index(i, j + 1));
+        m.val.push_back(-1.0);
+      }
+      if (i < rows - 1) {
+        m.col.push_back(index(i + 1, j));
+        m.val.push_back(-1.0);
+      }
+      m.row_ptr.push_back(m.nnz());
+    }
+  }
+  return m;
+}
+
+std::vector<double> build_poisson_rhs(int rows, int cols,
+                                      const stencil::CellFn& f,
+                                      const stencil::CellFn& g) {
+  std::vector<double> b(static_cast<std::size_t>(rows) * cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      double value = f(i, j);
+      if (i == 0) value += g(-1, j);
+      if (i == rows - 1) value += g(rows, j);
+      if (j == 0) value += g(i, -1);
+      if (j == cols - 1) value += g(i, cols);
+      b[static_cast<std::size_t>(i) * cols + j] = value;
+    }
+  }
+  return b;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void xpby(std::span<const double> x, double beta, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("xpby: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            double rtol, int max_iterations) {
+  const auto n = static_cast<std::size_t>(a.nrows);
+  if (b.size() != n) {
+    throw std::invalid_argument("conjugate_gradient: rhs size mismatch");
+  }
+  CgResult result;
+  result.x.assign(n, 0.0);
+
+  std::vector<double> r(b.begin(), b.end());  // r = b - A*0
+  std::vector<double> p = r;
+  std::vector<double> ap(n);
+
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  double rr = dot(r, r);
+
+  for (int k = 0; k < max_iterations; ++k) {
+    a.multiply(p, ap);
+    const double alpha = rr / dot(p, ap);
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    const double rr_next = dot(r, r);
+    result.iterations = k + 1;
+    if (std::sqrt(rr_next) <= rtol * b_norm) {
+      result.converged = true;
+      rr = rr_next;
+      break;
+    }
+    xpby(r, rr_next / rr, p);
+    rr = rr_next;
+  }
+  result.residual_norm = std::sqrt(rr);
+  return result;
+}
+
+}  // namespace repro::spmv

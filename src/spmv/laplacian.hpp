@@ -1,0 +1,50 @@
+// Poisson/Laplacian system builders and dense-vector kernels.
+//
+// The paper motivates stencils as "key components in many algorithms like
+// geometric multigrid or Krylov solvers". These helpers provide the SPD
+// 5-point Laplacian system A u = b (Dirichlet boundaries folded into b) that
+// the CG and multigrid example applications solve, plus the BLAS-1 kernels
+// a Krylov iteration needs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spmv/csr.hpp"
+#include "stencil/grid.hpp"
+
+namespace repro::spmv {
+
+/// The SPD matrix of -Laplace(u) = f on a rows x cols interior grid with
+/// Dirichlet boundaries: 4 on the diagonal, -1 for each in-grid neighbor
+/// (row-major interior indexing, no ring).
+CsrMatrix build_laplacian_matrix(int rows, int cols);
+
+/// Right-hand side for -Laplace(u) = f with boundary values g: b(i,j) =
+/// f(i,j) + sum of g over the point's out-of-grid neighbors.
+std::vector<double> build_poisson_rhs(int rows, int cols,
+                                      const stencil::CellFn& f,
+                                      const stencil::CellFn& g);
+
+// BLAS-1 kernels for Krylov iterations.
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+/// y = x + beta * y (classic CG direction update)
+void xpby(std::span<const double> x, double beta, std::span<double> y);
+
+/// Result of a CG solve.
+struct CgResult {
+  std::vector<double> x;
+  int iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+/// Conjugate gradients on an SPD CsrMatrix. Stops when ||r|| <= rtol*||b||
+/// or after max_iterations.
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            double rtol = 1e-8, int max_iterations = 10000);
+
+}  // namespace repro::spmv

@@ -1,0 +1,47 @@
+// 1D contiguous row partition, PETSc's default matrix/vector layout
+// ("PETSc by default will partition the sparse matrix by rows with each
+// process having a block of matrix rows").
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace repro::spmv {
+
+class RowPartition {
+ public:
+  RowPartition(std::int64_t n, int nranks) : n_(n), nranks_(nranks) {
+    if (n < 1 || nranks < 1 || n < nranks) {
+      throw std::invalid_argument("RowPartition: need n >= nranks >= 1");
+    }
+  }
+
+  std::int64_t n() const { return n_; }
+  int nranks() const { return nranks_; }
+
+  /// First row owned by `rank`. Balanced: first n%p ranks get one extra row.
+  std::int64_t begin(int rank) const {
+    const std::int64_t base = n_ / nranks_;
+    const std::int64_t rem = n_ % nranks_;
+    return rank * base + (rank < rem ? rank : rem);
+  }
+  std::int64_t end(int rank) const { return begin(rank + 1); }
+  std::int64_t count(int rank) const { return end(rank) - begin(rank); }
+
+  int owner(std::int64_t row) const {
+    if (row < 0 || row >= n_) {
+      throw std::out_of_range("RowPartition: row out of range");
+    }
+    const std::int64_t base = n_ / nranks_;
+    const std::int64_t rem = n_ % nranks_;
+    const std::int64_t pivot = rem * (base + 1);
+    if (row < pivot) return static_cast<int>(row / (base + 1));
+    return static_cast<int>(rem + (row - pivot) / base);
+  }
+
+ private:
+  std::int64_t n_;
+  int nranks_;
+};
+
+}  // namespace repro::spmv

@@ -1,0 +1,247 @@
+#include "spmv/task_cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/dtd.hpp"
+#include "spmv/partition.hpp"
+
+namespace repro::spmv {
+
+namespace {
+
+using rt::dtd::Access;
+using rt::dtd::DataHandle;
+using rt::dtd::DtdProgram;
+using rt::dtd::DtdTaskView;
+
+/// Matrix-free block SpMV: ap = (-Laplace) p over grid rows [r0, r1) of an
+/// n-column grid, reading the last row of the block above (may be empty) and
+/// the first row of the block below (may be empty). Zero Dirichlet boundary.
+std::vector<double> block_spmv(std::span<const double> p_above,
+                               std::span<const double> p_block,
+                               std::span<const double> p_below, int n,
+                               int rows) {
+  std::vector<double> ap(static_cast<std::size_t>(rows) * n);
+  auto at = [&](int i, int j) -> double {
+    if (j < 0 || j >= n) return 0.0;
+    if (i < 0) {
+      return p_above.empty() ? 0.0
+                             : p_above[p_above.size() - static_cast<std::size_t>(n) +
+                                       static_cast<std::size_t>(j)];
+    }
+    if (i >= rows) {
+      return p_below.empty() ? 0.0 : p_below[static_cast<std::size_t>(j)];
+    }
+    return p_block[static_cast<std::size_t>(i) * n + j];
+  };
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ap[static_cast<std::size_t>(i) * n + j] =
+          4.0 * at(i, j) - at(i - 1, j) - at(i + 1, j) - at(i, j - 1) -
+          at(i, j + 1);
+    }
+  }
+  return ap;
+}
+
+double block_dot(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace
+
+TaskCgResult task_cg(int n, std::span<const double> b, int nblocks,
+                     int iterations, int workers_per_rank) {
+  if (n < 1 || static_cast<std::size_t>(n) * n != b.size()) {
+    throw std::invalid_argument("task_cg: rhs size must be n*n");
+  }
+  if (nblocks < 1 || nblocks > n || iterations < 0) {
+    throw std::invalid_argument("task_cg: bad nblocks/iterations");
+  }
+
+  const RowPartition part(n, nblocks);  // partition of GRID ROWS
+  DtdProgram program;
+
+  // Per-block vector handles; scalars live on rank 0.
+  std::vector<DataHandle> hx, hr, hp, hap, hpap, hrr;
+  for (int blk = 0; blk < nblocks; ++blk) {
+    const auto rows = static_cast<std::size_t>(part.count(blk));
+    std::vector<double> rhs(rows * static_cast<std::size_t>(n));
+    std::copy(b.begin() + static_cast<std::ptrdiff_t>(part.begin(blk)) * n,
+              b.begin() + static_cast<std::ptrdiff_t>(part.end(blk)) * n,
+              rhs.begin());
+    const std::string id = std::to_string(blk);
+    hx.push_back(program.data("x" + id, blk,
+                              std::vector<double>(rhs.size(), 0.0)));
+    hr.push_back(program.data("r" + id, blk, rhs));
+    hp.push_back(program.data("p" + id, blk, std::move(rhs)));
+    hap.push_back(program.data("ap" + id, blk,
+                               std::vector<double>(rows * n, 0.0)));
+    hpap.push_back(program.data("pap" + id, blk, {0.0}));
+    hrr.push_back(program.data("rr" + id, blk, {0.0}));
+  }
+  const DataHandle rho = program.data("rho", 0, {0.0});
+  const DataHandle alpha = program.data("alpha", 0, {0.0});
+  const DataHandle beta = program.data("beta", 0, {0.0});
+
+  // rho_0 = r . r
+  for (int blk = 0; blk < nblocks; ++blk) {
+    program.insert_task("rr-partial", blk,
+                        {{hr[blk], Access::Read}, {hrr[blk], Access::Write}},
+                        [r = hr[blk], out = hrr[blk]](DtdTaskView& t) {
+                          const auto v = t.read(r);
+                          t.write(out, {block_dot(v, v)});
+                        });
+  }
+  {
+    std::vector<std::pair<DataHandle, Access>> acc{{rho, Access::Write}};
+    for (int blk = 0; blk < nblocks; ++blk) acc.push_back({hrr[blk], Access::Read});
+    program.insert_task("rho-init", 0, acc,
+                        [parts = hrr, rho](DtdTaskView& t) {
+                          double sum = 0.0;
+                          for (const auto& h : parts) sum += t.read(h)[0];
+                          t.write(rho, {sum});
+                        });
+  }
+
+  for (int it = 0; it < iterations; ++it) {
+    // ap_b = A p (halo: neighbor blocks of p).
+    for (int blk = 0; blk < nblocks; ++blk) {
+      std::vector<std::pair<DataHandle, Access>> acc{
+          {hp[blk], Access::Read}, {hap[blk], Access::Write}};
+      if (blk > 0) acc.push_back({hp[blk - 1], Access::Read});
+      if (blk < nblocks - 1) acc.push_back({hp[blk + 1], Access::Read});
+      const int rows = static_cast<int>(part.count(blk));
+      program.insert_task(
+          "spmv", blk, acc,
+          [blk, nblocks, n, rows, hp, ap = hap[blk]](DtdTaskView& t) {
+            const std::span<const double> none;
+            t.write(ap, block_spmv(blk > 0 ? t.read(hp[blk - 1]) : none,
+                                   t.read(hp[blk]),
+                                   blk < nblocks - 1 ? t.read(hp[blk + 1])
+                                                     : none,
+                                   n, rows));
+          });
+    }
+    // alpha = rho / (p . Ap)
+    for (int blk = 0; blk < nblocks; ++blk) {
+      program.insert_task(
+          "pap-partial", blk,
+          {{hp[blk], Access::Read}, {hap[blk], Access::Read},
+           {hpap[blk], Access::Write}},
+          [p = hp[blk], ap = hap[blk], out = hpap[blk]](DtdTaskView& t) {
+            t.write(out, {block_dot(t.read(p), t.read(ap))});
+          });
+    }
+    {
+      std::vector<std::pair<DataHandle, Access>> acc{
+          {rho, Access::Read}, {alpha, Access::Write}};
+      for (int blk = 0; blk < nblocks; ++blk) {
+        acc.push_back({hpap[blk], Access::Read});
+      }
+      program.insert_task("alpha", 0, acc,
+                          [parts = hpap, rho, alpha](DtdTaskView& t) {
+                            double pap = 0.0;
+                            for (const auto& h : parts) pap += t.read(h)[0];
+                            t.write(alpha, {t.read(rho)[0] / pap});
+                          });
+    }
+    // x += alpha p;  r -= alpha Ap;  partial = r . r
+    for (int blk = 0; blk < nblocks; ++blk) {
+      program.insert_task(
+          "update", blk,
+          {{alpha, Access::Read}, {hp[blk], Access::Read},
+           {hap[blk], Access::Read}, {hx[blk], Access::ReadWrite},
+           {hr[blk], Access::ReadWrite}, {hrr[blk], Access::Write}},
+          [alpha, p = hp[blk], ap = hap[blk], x = hx[blk], r = hr[blk],
+           out = hrr[blk]](DtdTaskView& t) {
+            const double a = t.read(alpha)[0];
+            auto xv = t.read_vector(x);
+            auto rv = t.read_vector(r);
+            const auto pv = t.read(p);
+            const auto apv = t.read(ap);
+            for (std::size_t i = 0; i < xv.size(); ++i) {
+              xv[i] += a * pv[i];
+              rv[i] -= a * apv[i];
+            }
+            t.write(out, {block_dot(rv, rv)});
+            t.write(x, std::move(xv));
+            t.write(r, std::move(rv));
+          });
+    }
+    // beta = rho_new / rho;  rho = rho_new
+    {
+      std::vector<std::pair<DataHandle, Access>> acc{
+          {rho, Access::ReadWrite}, {beta, Access::Write}};
+      for (int blk = 0; blk < nblocks; ++blk) {
+        acc.push_back({hrr[blk], Access::Read});
+      }
+      program.insert_task("beta", 0, acc,
+                          [parts = hrr, rho, beta](DtdTaskView& t) {
+                            double rr_next = 0.0;
+                            for (const auto& h : parts) {
+                              rr_next += t.read(h)[0];
+                            }
+                            const double rr_old = t.read(rho)[0];
+                            t.write(beta, {rr_next / rr_old});
+                            t.write(rho, {rr_next});
+                          });
+    }
+    // p = r + beta p
+    for (int blk = 0; blk < nblocks; ++blk) {
+      program.insert_task(
+          "direction", blk,
+          {{beta, Access::Read}, {hr[blk], Access::Read},
+           {hp[blk], Access::ReadWrite}},
+          [beta, r = hr[blk], p = hp[blk]](DtdTaskView& t) {
+            const double bt = t.read(beta)[0];
+            auto pv = t.read_vector(p);
+            const auto rv = t.read(r);
+            for (std::size_t i = 0; i < pv.size(); ++i) {
+              pv[i] = rv[i] + bt * pv[i];
+            }
+            t.write(p, std::move(pv));
+          });
+    }
+  }
+
+  rt::TaskGraph graph = program.compile();
+  rt::Config config;
+  config.nranks = nblocks;
+  config.workers_per_rank = workers_per_rank;
+  rt::Runtime runtime(config);
+
+  TaskCgResult result;
+  result.stats = runtime.run(graph);
+
+  result.x.resize(b.size());
+  for (int blk = 0; blk < nblocks; ++blk) {
+    const rt::Buffer block = runtime.result(program.result_key(hx[blk]),
+                                            program.result_slot(hx[blk]));
+    std::copy(block->begin(), block->end(),
+              result.x.begin() + static_cast<std::ptrdiff_t>(part.begin(blk)) * n);
+  }
+
+  // Post-run residual ||b - A x||.
+  double rnorm = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      auto at = [&](int ii, int jj) -> double {
+        if (ii < 0 || ii >= n || jj < 0 || jj >= n) return 0.0;
+        return result.x[static_cast<std::size_t>(ii) * n + jj];
+      };
+      const double ax = 4.0 * at(i, j) - at(i - 1, j) - at(i + 1, j) -
+                        at(i, j - 1) - at(i, j + 1);
+      const double diff = b[static_cast<std::size_t>(i) * n + j] - ax;
+      rnorm += diff * diff;
+    }
+  }
+  result.residual_norm = std::sqrt(rnorm);
+  return result;
+}
+
+}  // namespace repro::spmv

@@ -1,0 +1,485 @@
+#include "stencil/dist_stencil.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "stencil/halo.hpp"
+
+namespace repro::stencil {
+
+namespace {
+
+// Task types and output slots of the stencil graph.
+constexpr std::uint32_t kTypeInit = 0;  // INIT(0, ti, tj)
+constexpr std::uint32_t kTypeStep = 1;  // STEP(k, ti, tj), k in 1..iterations
+
+constexpr std::uint16_t kSlotState = 0;
+constexpr std::uint16_t kSlotBand(Side s) {
+  return static_cast<std::uint16_t>(1 + static_cast<int>(s));
+}
+constexpr std::uint16_t kSlotCorner(Corner c) {
+  return static_cast<std::uint16_t>(5 + static_cast<int>(c));
+}
+/// Variable-coefficient planes, published once per tile by INIT.
+constexpr std::uint16_t kSlotCoeff = 9;
+
+/// Immutable per-run context shared by all task bodies.
+struct Shared {
+  Shared(Problem p, TileMap m, int s, double r)
+      : problem(std::move(p)), map(m), steps(s), ratio(r) {
+    if (problem.shape) {
+      problem.shape->validate();
+      radius = problem.shape->radius;
+      box = problem.shape->box;
+    }
+  }
+
+  Problem problem;
+  TileMap map;
+  int steps;
+  double ratio;
+  int radius = 1;    ///< stencil reach (1 for the paper's 5-point case)
+  bool box = false;  ///< box-shaped stencil (reads diagonals every step)
+  std::atomic<long long> computed_points{0};
+};
+
+/// Static per-tile facts derived from the TileMap.
+struct TileInfo {
+  int ti = 0, tj = 0;
+  int rank = 0;
+  TileGeom geom;
+  bool side_exists[4] = {};
+  bool side_remote[4] = {};
+  bool side_local[4] = {};
+  /// This tile consumes a corner block from the diagonal neighbor at Corner c.
+  bool corner_in[4] = {};
+  /// Box shapes only: this tile reads the same-node diagonal's state at c.
+  bool corner_local[4] = {};
+  bool boundary = false;  ///< any remote side (paper's "boundary tile")
+};
+
+TileInfo make_tile_info(const TileMap& map, int steps, int radius, bool box,
+                        int ti, int tj) {
+  TileInfo info;
+  info.ti = ti;
+  info.tj = tj;
+  info.rank = map.rank_of(ti, tj);
+
+  for (Side s : kAllSides) {
+    const auto i = static_cast<int>(s);
+    info.side_exists[i] = map.neighbor_exists(ti, tj, d_ti(s), d_tj(s));
+    info.side_remote[i] = map.neighbor_remote(ti, tj, d_ti(s), d_tj(s));
+    info.side_local[i] = info.side_exists[i] && !info.side_remote[i];
+    if (info.side_remote[i]) info.boundary = true;
+  }
+
+  auto ghost = [&](Side s) {
+    return info.side_remote[static_cast<int>(s)] ? radius * steps : radius;
+  };
+  info.geom = TileGeom{map.tile_h(ti), map.tile_w(tj),
+                       ghost(Side::North), ghost(Side::South),
+                       ghost(Side::West), ghost(Side::East)};
+
+  for (Corner c : kAllCorners) {
+    const bool diag_exists = map.neighbor_exists(ti, tj, d_ti(c), d_tj(c));
+    const bool diag_remote = map.neighbor_remote(ti, tj, d_ti(c), d_tj(c));
+    // The corner is read only when the tile redundantly computes into a
+    // neighboring ghost band (steps > 1) adjacent to this corner.
+    const Side row_side = d_ti(c) < 0 ? Side::North : Side::South;
+    const Side col_side = d_tj(c) < 0 ? Side::West : Side::East;
+    const bool adjacent_remote = info.side_remote[static_cast<int>(row_side)] ||
+                                 info.side_remote[static_cast<int>(col_side)];
+    // Cross shapes read into the ghost corners only while redundantly
+    // computing (steps > 1); box shapes read diagonals on every step.
+    info.corner_in[static_cast<int>(c)] =
+        diag_exists && diag_remote &&
+        (box || (steps > 1 && adjacent_remote));
+    info.corner_local[static_cast<int>(c)] = box && diag_exists && !diag_remote;
+  }
+  return info;
+}
+
+/// What a task publishes besides its state, decided at graph-build time so
+/// that producers and consumers agree by construction.
+struct PackPlan {
+  bool bands[4] = {};
+  bool corners[4] = {};
+};
+
+class Builder {
+ public:
+  Builder(const Problem& problem, const DistConfig& config)
+      : shared_(std::make_shared<Shared>(
+            problem,
+            TileMap(problem.rows, problem.cols, config.decomp.mb,
+                    config.decomp.nb, config.decomp.node_rows,
+                    config.decomp.node_cols),
+            config.steps, config.kernel_ratio)) {
+    if (config.steps < 1) {
+      throw std::invalid_argument("steps must be >= 1");
+    }
+    if (shared_->problem.shape && shared_->problem.coefficient) {
+      throw std::invalid_argument(
+          "shape and variable coefficients are mutually exclusive");
+    }
+    if (shared_->radius * config.steps > shared_->map.min_tile_extent()) {
+      throw std::invalid_argument(
+          "radius * steps exceeds the smallest tile extent (" +
+          std::to_string(shared_->map.min_tile_extent()) + ")");
+    }
+    if (config.kernel_ratio <= 0.0 || config.kernel_ratio > 1.0) {
+      throw std::invalid_argument("kernel_ratio must be in (0, 1]");
+    }
+    const TileMap& map = shared_->map;
+    tiles_.reserve(static_cast<std::size_t>(map.tiles_r()) * map.tiles_c());
+    for (int ti = 0; ti < map.tiles_r(); ++ti) {
+      for (int tj = 0; tj < map.tiles_c(); ++tj) {
+        tiles_.push_back(make_tile_info(map, config.steps, shared_->radius,
+                                        shared_->box, ti, tj));
+      }
+    }
+  }
+
+  const TileMap& map() const { return shared_->map; }
+  std::shared_ptr<Shared> shared() const { return shared_; }
+
+  const TileInfo& tile(int ti, int tj) const {
+    return tiles_[static_cast<std::size_t>(ti) * shared_->map.tiles_c() + tj];
+  }
+
+  rt::TaskGraph build() {
+    rt::TaskGraph graph;
+    const TileMap& map = shared_->map;
+    const int iters = shared_->problem.iterations;
+
+    for (int ti = 0; ti < map.tiles_r(); ++ti) {
+      for (int tj = 0; tj < map.tiles_c(); ++tj) {
+        graph.add_task(make_init_task(tile(ti, tj)));
+        for (int k = 1; k <= iters; ++k) {
+          graph.add_task(make_step_task(tile(ti, tj), k));
+        }
+      }
+    }
+    return graph;
+  }
+
+  static rt::TaskKey init_key(int ti, int tj) {
+    return rt::TaskKey{kTypeInit, 0, ti, tj};
+  }
+  static rt::TaskKey step_key(int k, int ti, int tj) {
+    return rt::TaskKey{kTypeStep, k, ti, tj};
+  }
+  /// The task holding tile (ti,tj)'s state after iteration k.
+  static rt::TaskKey state_key(int k, int ti, int tj) {
+    return k == 0 ? init_key(ti, tj) : step_key(k, ti, tj);
+  }
+
+ private:
+  bool superstep_start(int k) const { return (k - 1) % shared_->steps == 0; }
+
+  /// Does the task publishing state k of this tile pack remote bands/corners?
+  PackPlan pack_plan(const TileInfo& info, int k) const {
+    PackPlan plan;
+    const int iters = shared_->problem.iterations;
+    if (k >= iters || k % shared_->steps != 0) return plan;
+    for (Side s : kAllSides) {
+      plan.bands[static_cast<int>(s)] = info.side_remote[static_cast<int>(s)];
+    }
+    for (Corner c : kAllCorners) {
+      // We pack corner c iff the diagonal neighbor consumes from its
+      // opposite corner.
+      const int dti = d_ti(c);
+      const int dtj = d_tj(c);
+      if (!shared_->map.neighbor_exists(info.ti, info.tj, dti, dtj)) continue;
+      const TileInfo& diag = tile(info.ti + dti, info.tj + dtj);
+      plan.corners[static_cast<int>(c)] =
+          diag.corner_in[static_cast<int>(opposite(c))];
+    }
+    return plan;
+  }
+
+  /// Publish state + any planned bands/corners from the freshly computed
+  /// extended buffer.
+  static void publish_all(rt::TaskContext& ctx, const TileInfo& info,
+                          const PackPlan& plan, int depth,
+                          std::vector<double>&& ext) {
+    const TileGeom& g = info.geom;
+    for (Side s : kAllSides) {
+      if (plan.bands[static_cast<int>(s)]) {
+        ctx.publish(kSlotBand(s), pack_band(ext.data(), g, s, depth));
+      }
+    }
+    for (Corner c : kAllCorners) {
+      if (plan.corners[static_cast<int>(c)]) {
+        ctx.publish(kSlotCorner(c), pack_corner(ext.data(), g, c, depth));
+      }
+    }
+    ctx.publish(kSlotState, std::move(ext));
+  }
+
+  rt::TaskSpec make_init_task(const TileInfo& info) {
+    rt::TaskSpec spec;
+    spec.key = init_key(info.ti, info.tj);
+    spec.rank = info.rank;
+    spec.priority = info.boundary ? 1 : 0;
+    spec.klass = "init";
+
+    auto shared = shared_;
+    const TileInfo tile_info = info;
+    const PackPlan plan = pack_plan(info, 0);
+    const int depth = shared_->radius * shared_->steps;
+    spec.body = [shared, tile_info, plan, depth](rt::TaskContext& ctx) {
+      const TileGeom& g = tile_info.geom;
+      const TileMap& map = shared->map;
+      const long gr0 = map.row0(tile_info.ti);
+      const long gc0 = map.col0(tile_info.tj);
+
+      std::vector<double> ext(g.size());
+      for (int i = -g.gn; i < g.h + g.gs; ++i) {
+        for (int j = -g.gw; j < g.w + g.ge; ++j) {
+          const long gi = gr0 + i;
+          const long gj = gc0 + j;
+          const bool inside = gi >= 0 && gi < map.rows() && gj >= 0 &&
+                              gj < map.cols();
+          ext[g.idx(i, j)] = inside ? shared->problem.initial(gi, gj)
+                                    : shared->problem.boundary(gi, gj);
+        }
+      }
+
+      // Variable-coefficient problems: materialize the coefficient planes
+      // over the full extended geometry (the CA scheme evaluates the stencil
+      // inside the ghost bands too, so planes must cover them).
+      if (shared->problem.coefficient) {
+        std::vector<double> coeff(kCoeffPlanes * g.size());
+        for (int i = -g.gn; i < g.h + g.gs; ++i) {
+          for (int j = -g.gw; j < g.w + g.ge; ++j) {
+            const auto w = shared->problem.coefficient(gr0 + i, gc0 + j);
+            for (int plane = 0; plane < kCoeffPlanes; ++plane) {
+              coeff[plane * g.size() + g.idx(i, j)] =
+                  w[static_cast<std::size_t>(plane)];
+            }
+          }
+        }
+        ctx.publish(kSlotCoeff, std::move(coeff));
+      }
+      publish_all(ctx, tile_info, plan, depth, std::move(ext));
+    };
+    return spec;
+  }
+
+  rt::TaskSpec make_step_task(const TileInfo& info, int k) {
+    rt::TaskSpec spec;
+    spec.key = step_key(k, info.ti, info.tj);
+    spec.rank = info.rank;
+    spec.priority = info.boundary ? 1 : 0;
+    spec.klass = info.boundary ? "boundary" : "interior";
+
+    const bool start = superstep_start(k);
+
+    // Input order: own prev state; local neighbor states (N,S,W,E); then at
+    // superstep starts, remote bands (N,S,W,E) and remote corners
+    // (NW,NE,SW,SE). Body indexes inputs in exactly this order.
+    spec.inputs.push_back({Builder::state_key(k - 1, info.ti, info.tj),
+                           kSlotState});
+    for (Side s : kAllSides) {
+      if (info.side_local[static_cast<int>(s)]) {
+        spec.inputs.push_back(
+            {state_key(k - 1, info.ti + d_ti(s), info.tj + d_tj(s)),
+             kSlotState});
+      }
+    }
+    for (Corner c : kAllCorners) {
+      if (info.corner_local[static_cast<int>(c)]) {
+        spec.inputs.push_back(
+            {state_key(k - 1, info.ti + d_ti(c), info.tj + d_tj(c)),
+             kSlotState});
+      }
+    }
+    if (start) {
+      for (Side s : kAllSides) {
+        if (info.side_remote[static_cast<int>(s)]) {
+          // Our north ghost comes from the north neighbor's south band.
+          spec.inputs.push_back(
+              {state_key(k - 1, info.ti + d_ti(s), info.tj + d_tj(s)),
+               kSlotBand(opposite(s))});
+        }
+      }
+      for (Corner c : kAllCorners) {
+        if (info.corner_in[static_cast<int>(c)]) {
+          spec.inputs.push_back(
+              {state_key(k - 1, info.ti + d_ti(c), info.tj + d_tj(c)),
+               kSlotCorner(opposite(c))});
+        }
+      }
+    }
+    const bool variable = static_cast<bool>(shared_->problem.coefficient);
+    if (variable) {
+      // The tile's coefficient planes, published once by INIT; always the
+      // last input so the earlier positional indexing is undisturbed.
+      spec.inputs.push_back({init_key(info.ti, info.tj), kSlotCoeff});
+    }
+
+    auto shared = shared_;
+    const TileInfo tile_info = info;
+    const PackPlan plan = pack_plan(info, k);
+    spec.body = [shared, tile_info, plan, k, start,
+                 variable](rt::TaskContext& ctx) {
+      const TileGeom& g = tile_info.geom;
+      const int steps = shared->steps;
+
+      // 1. Assemble the input view: previous own state (covers the core, the
+      //    still-valid redundant bands, and the Dirichlet ring)...
+      const int radius = shared->radius;
+      const int exchange_depth = radius * steps;
+      std::span<const double> prev = ctx.input(0);
+      std::vector<double> assembled(prev.begin(), prev.end());
+
+      // 2. ...refresh radius-deep local ghost lines (full extended extent),
+      //    then (box shapes) local diagonal corner blocks...
+      std::size_t next_input = 1;
+      for (Side s : kAllSides) {
+        if (!tile_info.side_local[static_cast<int>(s)]) continue;
+        const TileInfo nbr = make_nbr_info(*shared, tile_info, s);
+        copy_local_line(assembled.data(), g, s, ctx.input(next_input).data(),
+                        nbr.geom, radius);
+        ++next_input;
+      }
+      for (Corner c : kAllCorners) {
+        if (!tile_info.corner_local[static_cast<int>(c)]) continue;
+        const TileInfo diag = make_diag_info(*shared, tile_info, c);
+        copy_local_corner(assembled.data(), g, c,
+                          ctx.input(next_input).data(), diag.geom);
+        ++next_input;
+      }
+
+      // 3. ...and at superstep starts overwrite the deep remote bands and
+      //    corners with freshly received data.
+      if (start) {
+        for (Side s : kAllSides) {
+          if (!tile_info.side_remote[static_cast<int>(s)]) continue;
+          unpack_band(assembled.data(), g, s, ctx.input(next_input),
+                      exchange_depth);
+          ++next_input;
+        }
+        for (Corner c : kAllCorners) {
+          if (!tile_info.corner_in[static_cast<int>(c)]) continue;
+          unpack_corner(assembled.data(), g, c, ctx.input(next_input),
+                        exchange_depth);
+          ++next_input;
+        }
+      }
+
+      // 4. Compute the (possibly shrunken) region for this inner step: the
+      //    valid region loses `radius` layers per step on remote sides.
+      const int jj = (k - 1) % steps;  // inner step within the superstep
+      const int shrink = radius * (jj + 1);
+      int r0 = tile_info.side_remote[0] ? -(exchange_depth - shrink) : 0;
+      int r1 = g.h + (tile_info.side_remote[1] ? exchange_depth - shrink : 0);
+      int c0 = tile_info.side_remote[2] ? -(exchange_depth - shrink) : 0;
+      int c1 = g.w + (tile_info.side_remote[3] ? exchange_depth - shrink : 0);
+
+      if (shared->ratio < 1.0) {
+        // Kernel-time tuning (paper section VI-D): update only a
+        // ratio-scaled sub-rectangle. Timing experiments only.
+        r1 = r0 + std::max(1, static_cast<int>(std::lround(
+                                  shared->ratio * (r1 - r0))));
+        c1 = c0 + std::max(1, static_cast<int>(std::lround(
+                                  shared->ratio * (c1 - c0))));
+      }
+
+      std::vector<double> out = assembled;  // ring + unwritten cells persist
+      if (shared->problem.shape) {
+        apply_shape(assembled.data(), out.data(), g, *shared->problem.shape,
+                    r0, r1, c0, c1);
+      } else if (variable) {
+        const auto coeff = ctx.input(ctx.num_inputs() - 1);
+        jacobi5_var(assembled.data(), out.data(), g, coeff.data(), r0, r1, c0,
+                    c1);
+      } else {
+        jacobi5(assembled.data(), out.data(), g, shared->problem.weights, r0,
+                r1, c0, c1);
+      }
+      shared->computed_points.fetch_add(
+          static_cast<long long>(r1 - r0) * (c1 - c0),
+          std::memory_order_relaxed);
+
+      publish_all(ctx, tile_info, plan, exchange_depth, std::move(out));
+    };
+    return spec;
+  }
+
+  /// Geometry of the neighbor on `side` (for local line copies).
+  static TileInfo make_nbr_info(const Shared& shared, const TileInfo& info,
+                                Side s) {
+    return make_tile_info(shared.map, shared.steps, shared.radius, shared.box,
+                          info.ti + d_ti(s), info.tj + d_tj(s));
+  }
+
+  /// Geometry of the diagonal neighbor at `corner` (for box local corners).
+  static TileInfo make_diag_info(const Shared& shared, const TileInfo& info,
+                                 Corner c) {
+    return make_tile_info(shared.map, shared.steps, shared.radius, shared.box,
+                          info.ti + d_ti(c), info.tj + d_tj(c));
+  }
+
+  std::shared_ptr<Shared> shared_;
+  std::vector<TileInfo> tiles_;
+};
+
+}  // namespace
+
+DistResult run_distributed(const Problem& problem, const DistConfig& config) {
+  Builder builder(problem, config);
+  rt::TaskGraph graph = builder.build();
+
+  rt::Config rt_config;
+  rt_config.nranks = builder.map().nodes();
+  rt_config.workers_per_rank = config.workers_per_rank;
+  rt_config.dedicated_comm_thread = config.dedicated_comm_thread;
+  rt_config.trace = config.trace;
+  rt_config.scheduler = config.scheduler;
+  rt_config.aggregate_messages = config.aggregate_messages;
+
+  rt::Runtime runtime(rt_config);
+  rt::RunStats stats = runtime.run(graph);
+
+  const TileMap& map = builder.map();
+  DistResult result{Grid2D(problem.rows, problem.cols), std::move(stats), {},
+                    0, 0,
+                    problem.shape ? problem.shape->flops_per_point()
+                                  : kFlopsPerPoint};
+  result.grid.fill([](long, long) { return 0.0; }, problem.boundary);
+
+  for (int ti = 0; ti < map.tiles_r(); ++ti) {
+    for (int tj = 0; tj < map.tiles_c(); ++tj) {
+      const rt::Buffer state = runtime.result(
+          Builder::state_key(problem.iterations, ti, tj), 0);
+      const TileInfo info = make_tile_info(
+          map, config.steps, builder.shared()->radius, builder.shared()->box,
+          ti, tj);
+      const TileGeom& g = info.geom;
+      for (int i = 0; i < g.h; ++i) {
+        for (int j = 0; j < g.w; ++j) {
+          result.grid.at(map.row0(ti) + i, map.col0(tj) + j) =
+              (*state)[g.idx(i, j)];
+        }
+      }
+    }
+  }
+
+  result.trace_events = runtime.tracer().events();
+  result.computed_points = builder.shared()->computed_points.load();
+  result.nominal_points = static_cast<long long>(problem.rows) * problem.cols *
+                          problem.iterations;
+  if (config.kernel_ratio < 1.0) {
+    // Nominal work shrinks with the ratio squared (paper's definition).
+    result.nominal_points = static_cast<long long>(
+        static_cast<double>(result.nominal_points) * config.kernel_ratio *
+        config.kernel_ratio);
+  }
+  return result;
+}
+
+}  // namespace repro::stencil

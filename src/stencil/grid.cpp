@@ -1,0 +1,49 @@
+#include "stencil/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::stencil {
+
+Grid2D::Grid2D(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(AlignedBuffer<double>::zeroed(
+          static_cast<std::size_t>(rows + 2) *
+          static_cast<std::size_t>(cols + 2))) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("Grid2D: dimensions must be >= 1");
+  }
+}
+
+void Grid2D::fill(const CellFn& initial, const CellFn& boundary) {
+  for (int i = -1; i <= rows_; ++i) {
+    for (int j = -1; j <= cols_; ++j) {
+      const bool ring = i < 0 || i >= rows_ || j < 0 || j >= cols_;
+      at(i, j) = ring ? boundary(i, j) : initial(i, j);
+    }
+  }
+}
+
+double Grid2D::max_abs_diff(const Grid2D& a, const Grid2D& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("Grid2D: shape mismatch in max_abs_diff");
+  }
+  double worst = 0.0;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::fabs(a.at(i, j) - b.at(i, j)));
+    }
+  }
+  return worst;
+}
+
+double Grid2D::interior_sum() const {
+  double sum = 0.0;
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) sum += at(i, j);
+  }
+  return sum;
+}
+
+}  // namespace repro::stencil

@@ -1,0 +1,51 @@
+// Dense 2D grid with a one-cell Dirichlet boundary ring.
+//
+// The interior is rows x cols; indices i in [-1, rows] and j in [-1, cols]
+// are valid, with the ring holding fixed boundary values. Used by the serial
+// reference implementation and as the gather target for distributed runs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "support/aligned_buffer.hpp"
+
+namespace repro::stencil {
+
+/// Value sources for grid cells, as functions of *global* coordinates.
+/// `initial` is sampled on the interior, `boundary` on the ring (called with
+/// i == -1, i == rows, j == -1, or j == cols).
+using CellFn = std::function<double(long, long)>;
+
+class Grid2D {
+ public:
+  Grid2D(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& at(int i, int j) { return data_[index(i, j)]; }
+  double at(int i, int j) const { return data_[index(i, j)]; }
+
+  /// Fill interior from `initial` and the ring from `boundary`.
+  void fill(const CellFn& initial, const CellFn& boundary);
+
+  /// Max |a-b| over the interior. Grids must have identical shape.
+  static double max_abs_diff(const Grid2D& a, const Grid2D& b);
+
+  /// Sum of interior values (used as a cheap checksum in benches).
+  double interior_sum() const;
+
+ private:
+  std::size_t index(int i, int j) const {
+    return static_cast<std::size_t>(i + 1) *
+               static_cast<std::size_t>(cols_ + 2) +
+           static_cast<std::size_t>(j + 1);
+  }
+
+  int rows_;
+  int cols_;
+  AlignedBuffer<double> data_;
+};
+
+}  // namespace repro::stencil

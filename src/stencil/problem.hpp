@@ -1,0 +1,49 @@
+// Problem definition shared by every implementation (serial, base, CA, SpMV).
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include <optional>
+
+#include "stencil/grid.hpp"
+#include "stencil/kernel.hpp"
+#include "stencil/shape.hpp"
+
+namespace repro::stencil {
+
+/// Per-point coefficients (center, north, south, west, east) at global
+/// coordinates — the paper's "variable-coefficient stencil".
+using CoeffFn = std::function<std::array<double, 5>(long, long)>;
+
+struct Problem {
+  int rows = 0;           ///< interior rows
+  int cols = 0;           ///< interior cols
+  int iterations = 0;     ///< number of Jacobi sweeps
+  Stencil5 weights;       ///< constant coefficients (used when !coefficient)
+  CellFn initial;         ///< interior initial condition u0(i,j)
+  CellFn boundary;        ///< Dirichlet ring values g(i,j)
+  /// When set, the stencil is variable-coefficient: `weights` is ignored and
+  /// every point uses coefficient(i, j).
+  CoeffFn coefficient;
+  /// When set, a general cross/box stencil shape is used instead of the
+  /// 5-point `weights` (mutually exclusive with `coefficient`).
+  std::optional<StencilShape> shape;
+};
+
+/// Variable-coefficient variant of random_problem: hash-based field AND
+/// hash-based per-point coefficients (kept contractive: |sum| < 1).
+Problem random_variable_problem(int rows, int cols, int iterations,
+                                unsigned long seed = 99);
+
+/// Laplace's equation on the unit square: zero interior, hot west wall,
+/// linear ramps elsewhere — the classic Jacobi textbook setup.
+Problem laplace_problem(int n, int iterations);
+
+/// Deterministic pseudo-random initial/boundary data with asymmetric weights;
+/// designed so that index bugs, transpositions, and halo mistakes change the
+/// answer. `seed` varies the field.
+Problem random_problem(int rows, int cols, int iterations,
+                       unsigned long seed = 42);
+
+}  // namespace repro::stencil

@@ -1,0 +1,101 @@
+#include "stencil/serial.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace repro::stencil {
+
+void serial_sweep(const Grid2D& in, Grid2D& out, const Stencil5& weights) {
+  const int rows = in.rows();
+  const int cols = in.cols();
+  for (int i = -1; i <= rows; ++i) {
+    out.at(i, -1) = in.at(i, -1);
+    out.at(i, cols) = in.at(i, cols);
+  }
+  for (int j = -1; j <= cols; ++j) {
+    out.at(-1, j) = in.at(-1, j);
+    out.at(rows, j) = in.at(rows, j);
+  }
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      out.at(i, j) = weights.center * in.at(i, j) +
+                     weights.north * in.at(i - 1, j) +
+                     weights.south * in.at(i + 1, j) +
+                     weights.west * in.at(i, j - 1) +
+                     weights.east * in.at(i, j + 1);
+    }
+  }
+}
+
+void serial_sweep_var(const Grid2D& in, Grid2D& out, const CoeffFn& coeff) {
+  const int rows = in.rows();
+  const int cols = in.cols();
+  for (int i = -1; i <= rows; ++i) {
+    out.at(i, -1) = in.at(i, -1);
+    out.at(i, cols) = in.at(i, cols);
+  }
+  for (int j = -1; j <= cols; ++j) {
+    out.at(-1, j) = in.at(-1, j);
+    out.at(rows, j) = in.at(rows, j);
+  }
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      const auto w = coeff(i, j);
+      out.at(i, j) = w[kCoeffCenter] * in.at(i, j) +
+                     w[kCoeffNorth] * in.at(i - 1, j) +
+                     w[kCoeffSouth] * in.at(i + 1, j) +
+                     w[kCoeffWest] * in.at(i, j - 1) +
+                     w[kCoeffEast] * in.at(i, j + 1);
+    }
+  }
+}
+
+Grid2D solve_serial_shape(const Problem& problem) {
+  const StencilShape& shape = *problem.shape;
+  shape.validate();
+  const int r = shape.radius;
+  const TileGeom g{problem.rows, problem.cols, r, r, r, r};
+
+  std::vector<double> current(g.size());
+  for (int i = -r; i < problem.rows + r; ++i) {
+    for (int j = -r; j < problem.cols + r; ++j) {
+      const bool inside = i >= 0 && i < problem.rows && j >= 0 &&
+                          j < problem.cols;
+      current[g.idx(i, j)] =
+          inside ? problem.initial(i, j) : problem.boundary(i, j);
+    }
+  }
+  std::vector<double> next = current;
+  for (int iter = 0; iter < problem.iterations; ++iter) {
+    apply_shape(current.data(), next.data(), g, shape, 0, problem.rows, 0,
+                problem.cols);
+    std::swap(current, next);
+  }
+
+  Grid2D grid(problem.rows, problem.cols);
+  grid.fill([&](long i, long j) { return current[g.idx(static_cast<int>(i),
+                                                       static_cast<int>(j))]; },
+            problem.boundary);
+  return grid;
+}
+
+Grid2D solve_serial(const Problem& problem) {
+  if (problem.shape) return solve_serial_shape(problem);
+
+  Grid2D current(problem.rows, problem.cols);
+  Grid2D next(problem.rows, problem.cols);
+  current.fill(problem.initial, problem.boundary);
+  next.fill(problem.initial, problem.boundary);
+
+  for (int iter = 0; iter < problem.iterations; ++iter) {
+    if (problem.coefficient) {
+      serial_sweep_var(current, next, problem.coefficient);
+    } else {
+      serial_sweep(current, next, problem.weights);
+    }
+    std::swap(current, next);
+  }
+  return current;
+}
+
+}  // namespace repro::stencil

@@ -1,0 +1,26 @@
+// Serial reference Jacobi solver: the ground truth every distributed
+// implementation must match bit-for-bit (identical per-point operation
+// order; Jacobi has no cross-point ordering, so determinism is exact).
+#pragma once
+
+#include "stencil/grid.hpp"
+#include "stencil/problem.hpp"
+
+namespace repro::stencil {
+
+/// Run `problem.iterations` Jacobi sweeps and return the final grid.
+Grid2D solve_serial(const Problem& problem);
+
+/// One sweep: out.interior = stencil(in), ring copied through.
+void serial_sweep(const Grid2D& in, Grid2D& out, const Stencil5& weights);
+
+/// Variable-coefficient sweep; evaluation order per point matches the
+/// constant-weight sweep, so constant planes give bit-identical results.
+void serial_sweep_var(const Grid2D& in, Grid2D& out, const CoeffFn& coeff);
+
+/// Serial reference for general shapes: runs on a radius-padded buffer whose
+/// ghost ring (depth = shape.radius) holds `boundary` values. Used by
+/// solve_serial when problem.shape is set.
+Grid2D solve_serial_shape(const Problem& problem);
+
+}  // namespace repro::stencil

@@ -1,0 +1,122 @@
+#include "stencil/shape.hpp"
+
+#include <stdexcept>
+
+namespace repro::stencil {
+
+std::vector<std::pair<int, int>> StencilShape::offsets() const {
+  std::vector<std::pair<int, int>> result;
+  result.emplace_back(0, 0);
+  for (int k = 1; k <= radius; ++k) {
+    result.emplace_back(-k, 0);
+    result.emplace_back(k, 0);
+    result.emplace_back(0, -k);
+    result.emplace_back(0, k);
+  }
+  if (box) {
+    for (int di = -radius; di <= radius; ++di) {
+      for (int dj = -radius; dj <= radius; ++dj) {
+        if (di == 0 || dj == 0) continue;  // center and axes already listed
+        result.emplace_back(di, dj);
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t StencilShape::num_points() const {
+  if (box) {
+    return static_cast<std::size_t>(2 * radius + 1) *
+           static_cast<std::size_t>(2 * radius + 1);
+  }
+  return static_cast<std::size_t>(4 * radius + 1);
+}
+
+void StencilShape::validate() const {
+  if (radius < 1) throw std::invalid_argument("StencilShape: radius < 1");
+  if (weights.size() != num_points()) {
+    throw std::invalid_argument("StencilShape: expected " +
+                                std::to_string(num_points()) + " weights, got " +
+                                std::to_string(weights.size()));
+  }
+}
+
+StencilShape StencilShape::five_point(const Stencil5& w) {
+  StencilShape shape;
+  shape.radius = 1;
+  shape.box = false;
+  // offsets(): center, north, south, west, east — the jacobi5 order.
+  shape.weights = {w.center, w.north, w.south, w.west, w.east};
+  return shape;
+}
+
+namespace {
+
+double hash_weight(unsigned long a, unsigned long b, unsigned long seed) {
+  unsigned long z = a * 0x9e3779b97f4a7c15UL ^ b * 0xbf58476d1ce4e5b9UL ^
+                    seed * 0x94d049bb133111ebUL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9UL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
+}
+
+std::vector<double> contractive_weights(std::size_t n, unsigned long seed) {
+  // Random positive weights normalized to sum 0.9 (contractive).
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 0.05 + hash_weight(i, n, seed);
+    sum += w[i];
+  }
+  for (double& v : w) v *= 0.9 / sum;
+  return w;
+}
+
+}  // namespace
+
+StencilShape StencilShape::random_cross(int radius, unsigned long seed) {
+  StencilShape shape;
+  shape.radius = radius;
+  shape.box = false;
+  shape.weights = contractive_weights(shape.num_points(), seed);
+  shape.validate();
+  return shape;
+}
+
+StencilShape StencilShape::random_box(int radius, unsigned long seed) {
+  StencilShape shape;
+  shape.radius = radius;
+  shape.box = true;
+  shape.weights = contractive_weights(shape.num_points(), seed);
+  shape.validate();
+  return shape;
+}
+
+void apply_shape(const double* in, double* out, const TileGeom& geom,
+                 const StencilShape& shape, int r0, int r1, int c0, int c1) {
+  const auto offsets = shape.offsets();
+  const int ld = geom.ld();
+  // Precompute linear deltas once per call.
+  std::vector<std::ptrdiff_t> deltas(offsets.size());
+  for (std::size_t k = 0; k < offsets.size(); ++k) {
+    deltas[k] = static_cast<std::ptrdiff_t>(offsets[k].first) * ld +
+                offsets[k].second;
+  }
+  const double* w = shape.weights.data();
+  const std::size_t n = offsets.size();
+
+  for (int i = r0; i < r1; ++i) {
+    const std::size_t row = geom.idx(i, 0);
+    double* dst = out + row;
+    const double* src = in + row;
+    for (int j = c0; j < c1; ++j) {
+      double sum = w[0] * src[j];  // center first, matching offsets() order
+      for (std::size_t k = 1; k < n; ++k) {
+        sum += w[k] * src[j + deltas[k]];
+      }
+      dst[j] = sum;
+    }
+  }
+}
+
+}  // namespace repro::stencil

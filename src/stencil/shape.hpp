@@ -1,0 +1,60 @@
+// General stencil shapes: radius-r cross and box neighborhoods.
+//
+// The paper evaluates the 5-point (radius-1 cross) stencil but frames the
+// contribution as infrastructure "for a broad range of numerical algorithms";
+// the PA1 scheme itself is defined for arbitrary-radius stencils (Demmel et
+// al. formulate it for general sparse patterns). This module generalizes the
+// distributed solvers:
+//   * Cross(r): reads +/-1..r along both axes (4r+1 points) — e.g. the
+//     radius-2 cross of 4th-order finite differences;
+//   * Box(r): the full (2r+1)^2 neighborhood — e.g. the 9-point stencil at
+//     r = 1 — which additionally requires diagonal-neighbor data every step.
+//
+// The CA geometry scales accordingly: remote-side ghosts are r*s deep, the
+// redundant compute region shrinks by r per inner step, local halo lines are
+// r deep, and corner blocks are (r*s) x (r*s). Cross(1) with the classic
+// weights reproduces the 5-point path bit for bit.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "stencil/kernel.hpp"
+
+namespace repro::stencil {
+
+struct StencilShape {
+  int radius = 1;
+  bool box = false;            ///< cross when false
+  std::vector<double> weights; ///< one per offsets() entry, same order
+
+  /// Deterministic offset order (defines the floating-point summation order
+  /// everywhere): center; then for k = 1..r: (-k,0), (k,0), (0,-k), (0,k);
+  /// then, for box shapes, the off-axis cells in row-major order.
+  std::vector<std::pair<int, int>> offsets() const;
+
+  std::size_t num_points() const;
+  /// FLOPs per updated point: one multiply per point + (points-1) adds.
+  double flops_per_point() const {
+    return 2.0 * static_cast<double>(num_points()) - 1.0;
+  }
+
+  /// Throws unless radius >= 1 and weights.size() == num_points().
+  void validate() const;
+
+  /// The paper's 5-point stencil as a shape (cross radius 1).
+  static StencilShape five_point(const Stencil5& w);
+  /// Radius-r cross with deterministic pseudo-random contractive weights.
+  static StencilShape random_cross(int radius, unsigned long seed = 17);
+  /// Radius-r box with deterministic pseudo-random contractive weights
+  /// (radius 1 = the 9-point stencil).
+  static StencilShape random_box(int radius, unsigned long seed = 23);
+};
+
+/// Apply one step of `shape` over the rectangle [r0,r1) x [c0,c1) in core
+/// coordinates. All read cells (offset reach r) must lie within the padded
+/// extents. Summation follows offsets() order exactly.
+void apply_shape(const double* in, double* out, const TileGeom& geom,
+                 const StencilShape& shape, int r0, int r1, int c0, int c1);
+
+}  // namespace repro::stencil

@@ -1,0 +1,44 @@
+#include "stencil/solver.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace repro::stencil {
+
+IterativeSolveResult solve_to_tolerance(const Problem& problem,
+                                        const DistConfig& config,
+                                        double tolerance,
+                                        int round_iterations,
+                                        int max_rounds) {
+  if (tolerance <= 0.0 || round_iterations < 1 || max_rounds < 1) {
+    throw std::invalid_argument("solve_to_tolerance: bad arguments");
+  }
+
+  IterativeSolveResult result{Grid2D(problem.rows, problem.cols), 0, 0.0,
+                              false, 0};
+  result.grid.fill(problem.initial, problem.boundary);
+
+  Problem round = problem;
+  round.iterations = round_iterations;
+
+  for (int r = 0; r < max_rounds; ++r) {
+    // Warm start: this round's initial condition is the current field.
+    auto snapshot = std::make_shared<Grid2D>(std::move(result.grid));
+    round.initial = [snapshot](long i, long j) {
+      return snapshot->at(static_cast<int>(i), static_cast<int>(j));
+    };
+
+    DistResult step = run_distributed(round, config);
+    result.iterations += round_iterations;
+    result.messages += step.stats.messages;
+    result.last_delta = Grid2D::max_abs_diff(*snapshot, step.grid);
+    result.grid = std::move(step.grid);
+    if (result.last_delta < tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace repro::stencil

@@ -1,0 +1,67 @@
+#include "stencil/tile_map.hpp"
+
+#include <algorithm>
+
+namespace repro::stencil {
+
+TileMap::TileMap(int rows, int cols, int mb, int nb, int node_rows,
+                 int node_cols)
+    : rows_(rows),
+      cols_(cols),
+      mb_(mb),
+      nb_(nb),
+      tiles_r_(tile_count(rows, mb)),
+      tiles_c_(tile_count(cols, nb)),
+      node_rows_(node_rows),
+      node_cols_(node_cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("TileMap: empty grid");
+  if (node_rows < 1 || node_cols < 1) {
+    throw std::invalid_argument("TileMap: empty node grid");
+  }
+  if (tiles_r_ < node_rows_ || tiles_c_ < node_cols_) {
+    throw std::invalid_argument(
+        "TileMap: fewer tiles than nodes in some dimension");
+  }
+}
+
+int TileMap::tile_count(int n, int t) {
+  if (t < 1) throw std::invalid_argument("TileMap: empty tile");
+  return (n + t - 1) / t;
+}
+
+int TileMap::tile_h(int ti) const {
+  return ti == tiles_r_ - 1 ? rows_ - ti * mb_ : mb_;
+}
+
+int TileMap::tile_w(int tj) const {
+  return tj == tiles_c_ - 1 ? cols_ - tj * nb_ : nb_;
+}
+
+int TileMap::block_owner(int index, int count, int parts) {
+  // Balanced contiguous blocks: the first `count % parts` owners hold one
+  // extra element.
+  const int base = count / parts;
+  const int rem = count % parts;
+  const int pivot = rem * (base + 1);
+  if (index < pivot) return index / (base + 1);
+  return rem + (index - pivot) / base;
+}
+
+int TileMap::min_tile_extent() const {
+  int smallest = std::min(mb_, nb_);
+  smallest = std::min(smallest, tile_h(tiles_r_ - 1));
+  smallest = std::min(smallest, tile_w(tiles_c_ - 1));
+  return smallest;
+}
+
+int TileMap::tiles_on_rank(int rank) const {
+  int count = 0;
+  for (int ti = 0; ti < tiles_r_; ++ti) {
+    for (int tj = 0; tj < tiles_c_; ++tj) {
+      if (rank_of(ti, tj) == rank) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace repro::stencil

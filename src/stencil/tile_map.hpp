@@ -1,0 +1,82 @@
+// Tile decomposition and 2D-block node ownership.
+//
+// The global interior grid is cut into tiles of nominal size mb x nb (edge
+// tiles may be smaller). Tiles are distributed over a node_rows x node_cols
+// grid of virtual processes in contiguous 2D blocks — the paper's "2D blocked
+// data distribution [that] ensures the surface to volume ratio is minimized".
+//
+// Because node ownership is blocked by tile rows/columns, all tiles in one
+// tile-row share the same north/south remoteness and all tiles in one
+// tile-column share east/west remoteness; the CA ghost geometry relies on
+// this alignment.
+#pragma once
+
+#include <stdexcept>
+
+namespace repro::stencil {
+
+struct TileCoord {
+  int ti = 0;
+  int tj = 0;
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+class TileMap {
+ public:
+  /// rows/cols: global interior size; mb/nb: nominal tile size;
+  /// node_rows/node_cols: the virtual process grid.
+  TileMap(int rows, int cols, int mb, int nb, int node_rows, int node_cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int tiles_r() const { return tiles_r_; }
+  int tiles_c() const { return tiles_c_; }
+  int node_rows() const { return node_rows_; }
+  int node_cols() const { return node_cols_; }
+  int nodes() const { return node_rows_ * node_cols_; }
+
+  /// Core height/width of tile (ti,tj); edge tiles absorb the remainder.
+  int tile_h(int ti) const;
+  int tile_w(int tj) const;
+
+  /// Global coordinates of tile (ti,tj)'s core origin.
+  int row0(int ti) const { return ti * mb_; }
+  int col0(int tj) const { return tj * nb_; }
+
+  /// Node-grid row owning tile-row ti (balanced contiguous blocks).
+  int node_r(int ti) const { return block_owner(ti, tiles_r_, node_rows_); }
+  int node_c(int tj) const { return block_owner(tj, tiles_c_, node_cols_); }
+
+  /// Linear rank of the node owning tile (ti,tj) (row-major node grid).
+  int rank_of(int ti, int tj) const {
+    return node_r(ti) * node_cols_ + node_c(tj);
+  }
+
+  bool valid(int ti, int tj) const {
+    return ti >= 0 && ti < tiles_r_ && tj >= 0 && tj < tiles_c_;
+  }
+
+  /// Does tile (ti,tj) have a neighbor tile in the given direction, and is it
+  /// owned by a different node? dti/dtj in {-1,0,1}.
+  bool neighbor_exists(int ti, int tj, int dti, int dtj) const {
+    return valid(ti + dti, tj + dtj);
+  }
+  bool neighbor_remote(int ti, int tj, int dti, int dtj) const {
+    if (!neighbor_exists(ti, tj, dti, dtj)) return false;
+    return rank_of(ti + dti, tj + dtj) != rank_of(ti, tj);
+  }
+
+  /// Smallest tile extent in either dimension (bounds the legal CA step).
+  int min_tile_extent() const;
+
+  /// Number of tiles owned by `rank`.
+  int tiles_on_rank(int rank) const;
+
+ private:
+  static int block_owner(int index, int count, int parts);
+  static int tile_count(int n, int t);
+
+  int rows_, cols_, mb_, nb_, tiles_r_, tiles_c_, node_rows_, node_cols_;
+};
+
+}  // namespace repro::stencil

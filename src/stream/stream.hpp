@@ -1,0 +1,47 @@
+// STREAM memory-bandwidth benchmark (McCalpin), the substrate for Table I.
+//
+// Four kernels over arrays a, b, c of length n:
+//   COPY:  c = a          (16 B/elem)
+//   SCALE: b = q*c        (16 B/elem)
+//   ADD:   c = a + b      (24 B/elem)
+//   TRIAD: a = b + q*c    (24 B/elem)
+// Bandwidth is reported STREAM-style: bytes counted once per read and once
+// per write, best (maximum) rate over the trials.
+//
+// The paper's measured Table I rows for NaCL and Stampede2 are carried as
+// presets so the Table I bench can print paper-vs-measured side by side.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace repro::stream {
+
+struct StreamResult {
+  double copy_Bps = 0.0;
+  double scale_Bps = 0.0;
+  double add_Bps = 0.0;
+  double triad_Bps = 0.0;
+};
+
+/// Run the four kernels `trials` times over arrays of `n` doubles each using
+/// `threads` threads (static contiguous partition, OpenMP-style), and report
+/// the best rate per kernel. Array contents are verified after the run; a
+/// validation failure throws (guards against the compiler eliding the work).
+StreamResult run_stream(std::size_t n, int trials = 10, int threads = 1);
+
+/// A recorded Table I row (MB/s, as printed in the paper).
+struct TableOneRow {
+  std::string system;
+  std::string scale;  // "1-core" or "1-node"
+  double copy_MBps;
+  double scale_MBps;
+  double add_MBps;
+  double triad_MBps;
+};
+
+/// The paper's Table I, verbatim.
+std::vector<TableOneRow> paper_table_one();
+
+}  // namespace repro::stream

@@ -1,0 +1,36 @@
+// Minimal command-line option parsing for bench harnesses and examples.
+//
+// Accepted forms: --key=value and --flag (boolean true). The space-separated
+// "--key value" form is deliberately unsupported: it is ambiguous with a flag
+// followed by a positional argument. Positional arguments are collected
+// separately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+class Options {
+ public:
+  Options() = default;
+  Options(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace repro

@@ -1,0 +1,73 @@
+// Deterministic, seedable pseudo-random generators.
+//
+// Tests and workload generators must be reproducible across runs and
+// platforms, so we carry our own splitmix64/xoshiro256** rather than relying
+// on implementation-defined std::default_random_engine behaviour.
+#pragma once
+
+#include <cstdint>
+
+namespace repro {
+
+/// splitmix64: tiny generator used to seed xoshiro and for cheap hashing.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace repro

@@ -1,0 +1,61 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  s.count = samples.size();
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = percentile(sorted, 50.0);
+
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(s.count);
+
+  double sq = 0.0;
+  for (double x : sorted) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+  return s;
+}
+
+double percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace repro

@@ -1,0 +1,51 @@
+// Order statistics and summary statistics over samples of doubles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace repro {
+
+/// Summary of a sample: computed once over a copy, cheap to pass around.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // population standard deviation
+};
+
+/// Compute a full Summary. An empty sample yields an all-zero Summary.
+Summary summarize(std::span<const double> samples);
+
+/// p-th percentile (p in [0,100]) with linear interpolation between ranks.
+/// An empty sample yields 0.
+double percentile(std::span<const double> samples, double p);
+
+/// Median shorthand.
+inline double median(std::span<const double> samples) {
+  return percentile(samples, 50.0);
+}
+
+/// Online accumulator for streaming samples (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace repro

@@ -1,0 +1,46 @@
+// Fixed-width console tables and CSV emission for benchmark harnesses.
+//
+// Every figure/table bench prints a human-readable table to stdout (the rows
+// the paper reports) and can optionally mirror the same rows to a CSV file
+// for plotting.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Column-aligned text table. Usage:
+///   Table t({"nodes", "base GF/s", "CA GF/s"});
+///   t.add_row({"16", "601.2", "688.4"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format arithmetic cells with fixed precision.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(long long v);
+
+  void print(std::ostream& os) const;
+
+  /// Write headers+rows as CSV (no quoting: cells must not contain commas).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner used between experiment blocks in bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace repro

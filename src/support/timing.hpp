@@ -1,0 +1,28 @@
+// Wall-clock timing helpers built on std::chrono::steady_clock.
+#pragma once
+
+#include <chrono>
+
+namespace repro {
+
+/// Seconds since an arbitrary steady epoch.
+inline double wall_time() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+/// Scoped stopwatch: `Timer t; ...; double s = t.elapsed();`
+class Timer {
+ public:
+  Timer() : start_(wall_time()) {}
+
+  void reset() { start_ = wall_time(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed() const { return wall_time() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace repro

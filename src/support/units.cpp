@@ -1,0 +1,27 @@
+#include "support/units.hpp"
+
+#include <cstdio>
+
+namespace repro {
+
+std::string format_bytes(std::size_t bytes) {
+  char buf[64];
+  if (bytes >= GiB && bytes % GiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuGiB", bytes / GiB);
+  } else if (bytes >= MiB && bytes % MiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuMiB", bytes / MiB);
+  } else if (bytes >= KiB && bytes % KiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuKiB", bytes / KiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace repro

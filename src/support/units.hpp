@@ -1,0 +1,48 @@
+// Unit helpers: byte sizes, bandwidths, rates, and human-readable formatting.
+//
+// Conventions used throughout the project:
+//   * sizes in bytes (std::size_t), times in seconds (double)
+//   * memory bandwidth in bytes/second, network rate quoted in bits/second
+//     (the paper quotes "32 Gb/s" links and "39.1 GB/s" STREAM results)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace repro {
+
+inline constexpr std::size_t KiB = std::size_t{1} << 10;
+inline constexpr std::size_t MiB = std::size_t{1} << 20;
+inline constexpr std::size_t GiB = std::size_t{1} << 30;
+
+/// Decimal units, used for bandwidths and FLOP rates (1 GB/s = 1e9 B/s).
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+/// Convert a link rate quoted in gigabits/second to bytes/second.
+constexpr double gbit_per_s(double gbit) { return gbit * 1e9 / 8.0; }
+
+/// Convert bytes/second to gigabits/second (for printing network rates).
+constexpr double to_gbit_per_s(double bytes_per_s) {
+  return bytes_per_s * 8.0 / 1e9;
+}
+
+/// Convert bytes/second to gigabytes/second (decimal, STREAM convention).
+constexpr double to_gb_per_s(double bytes_per_s) { return bytes_per_s / 1e9; }
+
+/// Convert a FLOP rate to GFLOP/s.
+constexpr double to_gflops(double flops_per_s) { return flops_per_s / 1e9; }
+
+/// Microseconds/milliseconds as seconds, for readable constants.
+constexpr double usec(double n) { return n * 1e-6; }
+constexpr double msec(double n) { return n * 1e-3; }
+
+/// Format a byte count as "256B", "4KiB", "2MiB" (power-of-two units).
+std::string format_bytes(std::size_t bytes);
+
+/// Format a double with the given precision into a std::string.
+std::string format_double(double v, int precision = 2);
+
+}  // namespace repro

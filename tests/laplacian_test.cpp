@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spmv/laplacian.hpp"
+#include "support/rng.hpp"
+
+namespace repro::spmv {
+namespace {
+
+TEST(Laplacian, StructureAndSymmetry) {
+  const CsrMatrix a = build_laplacian_matrix(4, 5);
+  EXPECT_EQ(a.nrows, 20);
+  // nnz = 5*interior-ish: 20*5 - 2*(4+5)*... count directly: each point has
+  // 1 diagonal + #in-grid neighbors. Sum of neighbors = 2*edges =
+  // 2*(4*4 + 3*5) = 62.
+  EXPECT_EQ(a.nnz(), 20 + 62);
+
+  // Symmetry: A(i,j) == A(j,i) for all stored entries.
+  auto entry = [&](std::int64_t r, std::int64_t c) {
+    for (std::int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      if (a.col[k] == c) return a.val[k];
+    }
+    return 0.0;
+  };
+  for (std::int64_t r = 0; r < a.nrows; ++r) {
+    for (std::int64_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      EXPECT_DOUBLE_EQ(entry(a.col[k], r), a.val[k]);
+    }
+  }
+}
+
+TEST(Laplacian, PositiveDefiniteViaRandomQuadraticForms) {
+  const CsrMatrix a = build_laplacian_matrix(6, 6);
+  Rng rng(3);
+  std::vector<double> x(36), ax(36);
+  for (int trial = 0; trial < 20; ++trial) {
+    double nonzero = 0.0;
+    for (double& v : x) {
+      v = rng.uniform(-1.0, 1.0);
+      nonzero += std::fabs(v);
+    }
+    ASSERT_GT(nonzero, 0.0);
+    a.multiply(x, ax);
+    EXPECT_GT(dot(x, ax), 0.0);
+  }
+}
+
+TEST(Laplacian, RhsFoldsBoundaryTerms) {
+  auto f = [](long, long) { return 2.0; };
+  auto g = [](long, long) { return 10.0; };
+  const auto b = build_poisson_rhs(3, 3, f, g);
+  ASSERT_EQ(b.size(), 9u);
+  EXPECT_DOUBLE_EQ(b[4], 2.0);                // center: no boundary neighbor
+  EXPECT_DOUBLE_EQ(b[0], 2.0 + 10.0 + 10.0);  // corner: two boundary sides
+  EXPECT_DOUBLE_EQ(b[1], 2.0 + 10.0);         // edge: one boundary side
+}
+
+TEST(Blas1, KernelsMatchHandComputation) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3.0, 4.0}), 5.0);
+  axpy(2.0, a, b);  // b = {6, -1, 12}
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[1], -1.0);
+  xpby(a, 0.5, b);  // b = a + 0.5*b = {4, 1.5, 9}
+  EXPECT_DOUBLE_EQ(b[0], 4.0);
+  EXPECT_DOUBLE_EQ(b[2], 9.0);
+  std::vector<double> wrong{1.0};
+  EXPECT_THROW(dot(a, wrong), std::invalid_argument);
+  EXPECT_THROW(axpy(1.0, a, wrong), std::invalid_argument);
+}
+
+TEST(Cg, SolvesPoissonToTolerance) {
+  const int n = 24;
+  const CsrMatrix a = build_laplacian_matrix(n, n);
+  const auto b = build_poisson_rhs(
+      n, n, [](long, long) { return 1.0; }, [](long, long) { return 0.0; });
+  const CgResult result = conjugate_gradient(a, b, 1e-10);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 200);
+
+  // Residual check: ||b - A x|| small relative to ||b||.
+  std::vector<double> ax(b.size());
+  a.multiply(result.x, ax);
+  double rnorm = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    rnorm += (b[i] - ax[i]) * (b[i] - ax[i]);
+  }
+  EXPECT_LT(std::sqrt(rnorm), 1e-9 * norm2(b) + 1e-12);
+
+  // Physics: symmetric problem -> symmetric solution, max at the center.
+  const auto at = [&](int i, int j) {
+    return result.x[static_cast<std::size_t>(i) * n + j];
+  };
+  EXPECT_NEAR(at(3, 7), at(7, 3), 1e-9);
+  EXPECT_GT(at(n / 2, n / 2), at(0, 0));
+}
+
+TEST(Cg, ZeroRhsConvergesImmediately) {
+  const CsrMatrix a = build_laplacian_matrix(4, 4);
+  const std::vector<double> b(16, 0.0);
+  const CgResult result = conjugate_gradient(a, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+  for (double v : result.x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Cg, AgreesWithJacobiFixedPoint) {
+  // The CG solution of A u = b must agree with heavily-iterated Jacobi on
+  // the same discrete problem (Jacobi for -Laplace: u' = (b + sum nbr)/4).
+  const int n = 10;
+  const CsrMatrix a = build_laplacian_matrix(n, n);
+  auto g = [n](long i, long j) {
+    return (j < 0) ? 1.0 : 0.0 * static_cast<double>(i + n);
+  };
+  const auto b = build_poisson_rhs(
+      n, n, [](long, long) { return 0.0; }, g);
+  const CgResult cg = conjugate_gradient(a, b, 1e-12);
+  ASSERT_TRUE(cg.converged);
+
+  std::vector<double> u(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> next = u;
+  for (int sweep = 0; sweep < 4000; ++sweep) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        const auto at = [&](int ii, int jj) -> double {
+          if (ii < 0 || ii >= n || jj < 0 || jj >= n) return 0.0;
+          return u[static_cast<std::size_t>(ii) * n + jj];
+        };
+        next[static_cast<std::size_t>(i) * n + j] =
+            (b[static_cast<std::size_t>(i) * n + j] + at(i - 1, j) +
+             at(i + 1, j) + at(i, j - 1) + at(i, j + 1)) /
+            4.0;
+      }
+    }
+    std::swap(u, next);
+  }
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    EXPECT_NEAR(u[k], cg.x[k], 1e-6) << k;
+  }
+}
+
+}  // namespace
+}  // namespace repro::spmv

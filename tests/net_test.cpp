@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/link_model.hpp"
+#include "net/netpipe.hpp"
+#include "net/transport.hpp"
+#include "support/units.hpp"
+
+namespace repro::net {
+namespace {
+
+TEST(LinkModel, TransferTimeIsAffineInSize) {
+  const LinkModel link = nacl_link();
+  const double t1 = link.transfer_time(1000);
+  const double t2 = link.transfer_time(2000);
+  const double per_byte = 1.0 / link.effective_bw_Bps;
+  EXPECT_NEAR(t2 - t1, 1000 * per_byte, 1e-15);
+  EXPECT_NEAR(link.transfer_time(0), link.latency_s + link.per_message_s,
+              1e-15);
+}
+
+TEST(LinkModel, BandwidthSaturatesTowardEffectivePeak) {
+  for (const LinkModel& link : {nacl_link(), stampede2_link()}) {
+    EXPECT_LT(link.effective_bandwidth(256), 0.1 * link.effective_bw_Bps)
+        << link.name;
+    EXPECT_GT(link.effective_bandwidth(64 * MiB), 0.95 * link.effective_bw_Bps)
+        << link.name;
+    // Monotone increasing in message size.
+    double prev = 0.0;
+    for (std::size_t n = 64; n <= 1 * MiB; n *= 4) {
+      const double bw = link.effective_bandwidth(n);
+      EXPECT_GT(bw, prev);
+      prev = bw;
+    }
+  }
+}
+
+TEST(LinkModel, PaperFig5Anchors) {
+  // Fig. 5: both systems reach well over half their theoretical peak at 1 MB
+  // and sit in single-digit percent at 256 B.
+  const LinkModel nacl = nacl_link();
+  EXPECT_GT(nacl.fraction_of_peak(1 * MiB), 0.6);
+  EXPECT_LT(nacl.fraction_of_peak(256), 0.10);
+  const LinkModel stampede = stampede2_link();
+  EXPECT_GT(stampede.fraction_of_peak(1 * MiB), 0.55);
+  EXPECT_LT(stampede.fraction_of_peak(256), 0.10);
+}
+
+TEST(LinkModel, BytesForFractionInvertsTheCurve) {
+  const LinkModel link = nacl_link();
+  for (double f : {0.2, 0.5, 0.7}) {
+    const double n = link.bytes_for_fraction_of_effective_peak(f);
+    const double achieved =
+        link.effective_bandwidth(static_cast<std::size_t>(n)) /
+        link.effective_bw_Bps;
+    EXPECT_NEAR(achieved, f, 0.02);
+  }
+}
+
+TEST(Transport, DeliversInFifoOrderPerChannel) {
+  Transport transport(2);
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.tag = static_cast<std::uint64_t>(i);
+    transport.send(std::move(m));
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto m = transport.recv(1);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->tag, static_cast<std::uint64_t>(i));
+  }
+  transport.close();
+}
+
+TEST(Transport, TryRecvDoesNotBlock) {
+  Transport transport(2);
+  EXPECT_FALSE(transport.try_recv(0).has_value());
+  Message m;
+  m.src = 1;
+  m.dst = 0;
+  transport.send(std::move(m));
+  EXPECT_TRUE(transport.try_recv(0).has_value());
+  transport.close();
+}
+
+TEST(Transport, RecvUnblocksOnClose) {
+  Transport transport(2);
+  std::thread closer([&] { transport.close(); });
+  EXPECT_FALSE(transport.recv(0).has_value());
+  closer.join();
+}
+
+TEST(Transport, CountsMessagesAndBytes) {
+  Transport transport(2);
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.header = {1, 2, 3};
+  m.payload.assign(100, 0.5);
+  const std::size_t expected = m.bytes();
+  EXPECT_EQ(expected, sizeof(std::uint64_t) * 4 + 100 * sizeof(double));
+  transport.send(std::move(m));
+  const TrafficStats stats = transport.stats();
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.bytes, expected);
+  ASSERT_EQ(stats.message_sizes.size(), 1u);
+  EXPECT_EQ(stats.message_sizes[0], expected);
+  transport.close();
+}
+
+TEST(Transport, RejectsBadRanksAndSendAfterClose) {
+  Transport transport(2);
+  Message bad;
+  bad.src = 0;
+  bad.dst = 5;
+  EXPECT_THROW(transport.send(std::move(bad)), std::out_of_range);
+  transport.close();
+  Message late;
+  late.src = 0;
+  late.dst = 1;
+  EXPECT_THROW(transport.send(std::move(late)), std::runtime_error);
+}
+
+TEST(Transport, PendingCountsQueuedMessages) {
+  Transport transport(3);
+  EXPECT_EQ(transport.pending(2), 0u);
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.src = 0;
+    m.dst = 2;
+    transport.send(std::move(m));
+  }
+  EXPECT_EQ(transport.pending(2), 3u);
+  transport.close();
+}
+
+TEST(Transport, ConcurrentSendersAllDeliver) {
+  Transport transport(4);
+  constexpr int kPerSender = 200;
+  std::vector<std::thread> senders;
+  for (int src = 1; src < 4; ++src) {
+    senders.emplace_back([&, src] {
+      for (int i = 0; i < kPerSender; ++i) {
+        Message m;
+        m.src = src;
+        m.dst = 0;
+        m.tag = static_cast<std::uint64_t>(src * 1000 + i);
+        transport.send(std::move(m));
+      }
+    });
+  }
+  int received = 0;
+  int last_seen[4] = {-1, -1, -1, -1};
+  while (received < 3 * kPerSender) {
+    auto m = transport.recv(0);
+    ASSERT_TRUE(m.has_value());
+    const int src = m->src;
+    const int seq = static_cast<int>(m->tag) - src * 1000;
+    EXPECT_GT(seq, last_seen[src]) << "per-channel FIFO violated";
+    last_seen[src] = seq;
+    ++received;
+  }
+  for (auto& t : senders) t.join();
+  transport.close();
+}
+
+TEST(Netpipe, AnalyticCurveMatchesModel) {
+  const LinkModel link = stampede2_link();
+  const auto sizes = netpipe_sizes(64, 1 * MiB);
+  const auto curve = analytic_curve(link, sizes);
+  ASSERT_EQ(curve.size(), sizes.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].bytes, sizes[i]);
+    EXPECT_NEAR(curve[i].bandwidth_Bps, link.effective_bandwidth(sizes[i]),
+                1e-6);
+  }
+}
+
+TEST(Netpipe, MeasuredCurveProducesFinitePositiveBandwidth) {
+  const auto sizes = netpipe_sizes(64, 16 * KiB);
+  const auto curve = measured_curve(sizes, 8);
+  ASSERT_EQ(curve.size(), sizes.size());
+  for (const auto& p : curve) {
+    EXPECT_GT(p.bandwidth_Bps, 0.0);
+    EXPECT_GT(p.time_s, 0.0);
+  }
+}
+
+TEST(Netpipe, ModeledTrafficTimeSumsPerMessage) {
+  Transport transport(2);
+  for (int i = 0; i < 4; ++i) {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.payload.assign(128, 1.0);
+    transport.send(std::move(m));
+  }
+  const LinkModel link = nacl_link();
+  const TrafficStats stats = transport.stats();
+  const double expect = 4 * link.transfer_time(stats.message_sizes[0]);
+  EXPECT_NEAR(stats.modeled_time(link), expect, 1e-12);
+  transport.close();
+}
+
+}  // namespace
+}  // namespace repro::net

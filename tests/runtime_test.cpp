@@ -1,0 +1,466 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "runtime/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace repro::rt {
+namespace {
+
+TaskKey key(std::uint32_t type, int a = 0, int b = 0, int c = 0) {
+  return TaskKey{type, a, b, c};
+}
+
+TEST(TaskKey, EqualityAndHashing) {
+  EXPECT_EQ(key(1, 2, 3, 4), key(1, 2, 3, 4));
+  EXPECT_NE(key(1, 2, 3, 4), key(1, 2, 3, 5));
+  TaskKeyHash hash;
+  EXPECT_EQ(hash(key(1, 2, 3, 4)), hash(key(1, 2, 3, 4)));
+  EXPECT_NE(hash(key(1, 2, 3, 4)), hash(key(2, 2, 3, 4)));
+}
+
+TEST(TaskGraph, RejectsDuplicateKeysAndMissingProducers) {
+  TaskGraph graph;
+  TaskSpec a;
+  a.key = key(1);
+  a.body = [](TaskContext&) {};
+  graph.add_task(a);
+  EXPECT_THROW(graph.add_task(a), std::invalid_argument);
+
+  TaskSpec b;
+  b.key = key(2);
+  b.inputs = {{key(99), 0}};
+  b.body = [](TaskContext&) {};
+  graph.add_task(b);
+  EXPECT_THROW(graph.seal(1), std::runtime_error);
+}
+
+TEST(TaskGraph, RejectsCycles) {
+  TaskGraph graph;
+  TaskSpec a;
+  a.key = key(1);
+  a.inputs = {{key(2), 0}};
+  a.body = [](TaskContext&) {};
+  TaskSpec b;
+  b.key = key(2);
+  b.inputs = {{key(1), 0}};
+  b.body = [](TaskContext&) {};
+  graph.add_task(a);
+  graph.add_task(b);
+  EXPECT_THROW(graph.seal(1), std::runtime_error);
+}
+
+TEST(TaskGraph, RejectsSelfLoopAndBadRank) {
+  {
+    TaskGraph graph;
+    TaskSpec a;
+    a.key = key(1);
+    a.inputs = {{key(1), 0}};
+    a.body = [](TaskContext&) {};
+    graph.add_task(a);
+    EXPECT_THROW(graph.seal(1), std::runtime_error);
+  }
+  {
+    TaskGraph graph;
+    TaskSpec a;
+    a.key = key(1);
+    a.rank = 3;
+    a.body = [](TaskContext&) {};
+    graph.add_task(a);
+    EXPECT_THROW(graph.seal(2), std::runtime_error);
+  }
+}
+
+TEST(TaskGraph, ConsumerEdgesAndFanout) {
+  TaskGraph graph;
+  TaskSpec producer;
+  producer.key = key(1);
+  producer.body = [](TaskContext& ctx) { ctx.publish(0, {1.0}); };
+  graph.add_task(producer);
+  for (int i = 0; i < 3; ++i) {
+    TaskSpec consumer;
+    consumer.key = key(2, i);
+    consumer.inputs = {{key(1), 0}};
+    consumer.body = [](TaskContext&) {};
+    graph.add_task(consumer);
+  }
+  graph.seal(1);
+  EXPECT_EQ(graph.consumers(graph.index_of(key(1))).size(), 3u);
+  EXPECT_EQ(graph.slot_fanout(graph.index_of(key(1)), 0), 3u);
+  EXPECT_EQ(graph.slot_fanout(graph.index_of(key(1)), 1), 0u);
+}
+
+// Build a chain: source publishes {1,2,3}; each stage adds 1 to every
+// element; verify the final buffer. Stages alternate ranks to exercise remote
+// messaging.
+TEST(Runtime, ChainAcrossRanksComputesCorrectly) {
+  TaskGraph graph;
+  TaskSpec source;
+  source.key = key(0);
+  source.rank = 0;
+  source.body = [](TaskContext& ctx) {
+    ctx.publish(0, std::vector<double>{1.0, 2.0, 3.0});
+  };
+  graph.add_task(source);
+
+  constexpr int kStages = 6;
+  for (int s = 1; s <= kStages; ++s) {
+    TaskSpec stage;
+    stage.key = key(0, s);
+    stage.rank = s % 2;
+    stage.inputs = {{s == 1 ? key(0) : key(0, s - 1), 0}};
+    stage.body = [](TaskContext& ctx) {
+      auto in = ctx.input(0);
+      std::vector<double> out(in.begin(), in.end());
+      for (double& v : out) v += 1.0;
+      ctx.publish(0, std::move(out));
+    };
+    graph.add_task(stage);
+  }
+
+  Runtime runtime(Config{2, 2, true, false});
+  const RunStats stats = runtime.run(graph);
+  EXPECT_EQ(stats.tasks_executed, static_cast<std::size_t>(kStages + 1));
+
+  const Buffer out = runtime.result(key(0, kStages), 0);
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_DOUBLE_EQ((*out)[0], 1.0 + kStages);
+  EXPECT_DOUBLE_EQ((*out)[2], 3.0 + kStages);
+
+  // Each cross-rank hop is one message: every stage alternates ranks.
+  EXPECT_EQ(stats.messages, static_cast<std::uint64_t>(kStages));
+}
+
+TEST(Runtime, FanOutFanInReduction) {
+  // source -> N mappers (spread over ranks) -> reducer sums everything.
+  constexpr int kMappers = 16;
+  constexpr int kRanks = 4;
+  TaskGraph graph;
+
+  TaskSpec source;
+  source.key = key(1);
+  source.rank = 0;
+  source.body = [](TaskContext& ctx) {
+    std::vector<double> data(8);
+    std::iota(data.begin(), data.end(), 1.0);  // 1..8, sum 36
+    ctx.publish(0, std::move(data));
+  };
+  graph.add_task(source);
+
+  TaskSpec reducer;
+  reducer.key = key(3);
+  reducer.rank = kRanks - 1;
+  for (int m = 0; m < kMappers; ++m) {
+    TaskSpec mapper;
+    mapper.key = key(2, m);
+    mapper.rank = m % kRanks;
+    mapper.inputs = {{key(1), 0}};
+    mapper.body = [m](TaskContext& ctx) {
+      double sum = 0.0;
+      for (double v : ctx.input(0)) sum += v;
+      ctx.publish(0, std::vector<double>{sum * (m + 1)});
+    };
+    graph.add_task(mapper);
+    reducer.inputs.push_back({key(2, m), 0});
+  }
+  reducer.body = [](TaskContext& ctx) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < ctx.num_inputs(); ++i) total += ctx.input(i)[0];
+    ctx.publish(0, std::vector<double>{total});
+  };
+  graph.add_task(reducer);
+
+  Runtime runtime(Config{kRanks, 2, true, false});
+  runtime.run(graph);
+  const Buffer out = runtime.result(key(3), 0);
+  // sum_m 36*(m+1) = 36 * 136
+  EXPECT_DOUBLE_EQ((*out)[0], 36.0 * (kMappers * (kMappers + 1)) / 2);
+}
+
+TEST(Runtime, TaskBodyExceptionSurfacesWithTaskName) {
+  TaskGraph graph;
+  TaskSpec bad;
+  bad.key = key(7, 1, 2, 3);
+  bad.body = [](TaskContext&) { throw std::runtime_error("boom"); };
+  graph.add_task(bad);
+  Runtime runtime(Config{1, 1, true, false});
+  try {
+    runtime.run(graph);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("boom"), std::string::npos);
+    EXPECT_NE(what.find("t7(1,2,3)"), std::string::npos);
+  }
+}
+
+TEST(Runtime, MissingPublishIsAnError) {
+  TaskGraph graph;
+  TaskSpec producer;
+  producer.key = key(1);
+  producer.body = [](TaskContext&) { /* forgets to publish */ };
+  graph.add_task(producer);
+  TaskSpec consumer;
+  consumer.key = key(2);
+  consumer.inputs = {{key(1), 0}};
+  consumer.body = [](TaskContext&) {};
+  graph.add_task(consumer);
+  Runtime runtime(Config{1, 1, true, false});
+  EXPECT_THROW(runtime.run(graph), std::runtime_error);
+}
+
+TEST(Runtime, DoublePublishIsAnError) {
+  TaskGraph graph;
+  TaskSpec producer;
+  producer.key = key(1);
+  producer.body = [](TaskContext& ctx) {
+    ctx.publish(0, {1.0});
+    ctx.publish(0, {2.0});
+  };
+  graph.add_task(producer);
+  Runtime runtime(Config{1, 1, true, false});
+  EXPECT_THROW(runtime.run(graph), std::runtime_error);
+}
+
+TEST(Runtime, ZeroCopyWithinRankSharesBuffer) {
+  TaskGraph graph;
+  TaskSpec producer;
+  producer.key = key(1);
+  producer.body = [](TaskContext& ctx) {
+    ctx.publish(0, std::vector<double>(1024, 1.0));
+  };
+  graph.add_task(producer);
+
+  static std::atomic<const void*> seen{nullptr};
+  TaskSpec keeper;
+  keeper.key = key(2);
+  keeper.inputs = {{key(1), 0}};
+  keeper.body = [](TaskContext& ctx) {
+    seen.store(ctx.input_buffer(0)->data());
+    ctx.publish(0, ctx.input_buffer(0));  // forward without copying
+  };
+  graph.add_task(keeper);
+
+  TaskSpec checker;
+  checker.key = key(3);
+  checker.inputs = {{key(2), 0}};
+  checker.body = [](TaskContext& ctx) {
+    if (ctx.input_buffer(0)->data() != seen.load()) {
+      throw std::runtime_error("buffer was copied within a rank");
+    }
+  };
+  graph.add_task(checker);
+
+  Runtime runtime(Config{1, 1, true, false});
+  const RunStats stats = runtime.run(graph);
+  EXPECT_EQ(stats.messages, 0u);  // all local
+}
+
+TEST(Runtime, PriorityOrdersReadyTasksOnSingleWorker) {
+  // All tasks are ready at t0 on one worker; higher priority must run first.
+  TaskGraph graph;
+  static std::mutex order_mutex;
+  static std::vector<int> order;
+  order.clear();
+  for (int i = 0; i < 4; ++i) {
+    TaskSpec t;
+    t.key = key(1, i);
+    t.priority = i;  // 3 should run first
+    t.body = [i](TaskContext&) {
+      std::lock_guard lock(order_mutex);
+      order.push_back(i);
+    };
+    graph.add_task(t);
+  }
+  Runtime runtime(Config{1, 1, true, false});
+  runtime.run(graph);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 3);
+  EXPECT_EQ(order.back(), 0);
+}
+
+TEST(Runtime, InlineSendModeMatchesDedicatedCommThread) {
+  for (bool dedicated : {true, false}) {
+    TaskGraph graph;
+    TaskSpec a;
+    a.key = key(1);
+    a.rank = 0;
+    a.body = [](TaskContext& ctx) { ctx.publish(0, {42.0}); };
+    graph.add_task(a);
+    TaskSpec b;
+    b.key = key(2);
+    b.rank = 1;
+    b.inputs = {{key(1), 0}};
+    b.body = [](TaskContext& ctx) {
+      ctx.publish(0, std::vector<double>{ctx.input(0)[0] + 1});
+    };
+    graph.add_task(b);
+    Runtime runtime(Config{2, 1, dedicated, false});
+    const RunStats stats = runtime.run(graph);
+    EXPECT_EQ(stats.messages, 1u);
+    EXPECT_DOUBLE_EQ((*runtime.result(key(2), 0))[0], 43.0);
+  }
+}
+
+
+TEST(Runtime, AggregatedMessagesDeliverIdentically) {
+  // A producer whose three outputs all feed tasks on rank 1: aggregation
+  // must collapse three messages into one without changing any result.
+  for (bool aggregate : {false, true}) {
+    TaskGraph graph;
+    TaskSpec producer;
+    producer.key = key(1);
+    producer.rank = 0;
+    producer.body = [](TaskContext& ctx) {
+      ctx.publish(0, {1.0});
+      ctx.publish(1, {2.0, 2.5});
+      ctx.publish(2, {3.0});
+    };
+    graph.add_task(producer);
+    for (int i = 0; i < 3; ++i) {
+      TaskSpec consumer;
+      consumer.key = key(2, i);
+      consumer.rank = 1;
+      consumer.inputs = {{key(1), static_cast<std::uint16_t>(i)}};
+      consumer.body = [i](TaskContext& ctx) {
+        std::vector<double> out(ctx.input(0).begin(), ctx.input(0).end());
+        for (double& v : out) v += i;
+        ctx.publish(0, std::move(out));
+      };
+      graph.add_task(consumer);
+    }
+    Config config{2, 1};
+    config.aggregate_messages = aggregate;
+    Runtime runtime(config);
+    const RunStats stats = runtime.run(graph);
+    EXPECT_EQ(stats.messages, aggregate ? 1u : 3u);
+    EXPECT_DOUBLE_EQ((*runtime.result(key(2, 0), 0))[0], 1.0);
+    ASSERT_EQ(runtime.result(key(2, 1), 0)->size(), 2u);
+    EXPECT_DOUBLE_EQ((*runtime.result(key(2, 1), 0))[1], 3.5);
+    EXPECT_DOUBLE_EQ((*runtime.result(key(2, 2), 0))[0], 5.0);
+  }
+}
+
+TEST(Runtime, AggregationGroupsPerDestinationOnly) {
+  // Two consumers on rank 1, one on rank 2: aggregation yields exactly two
+  // messages (one per destination).
+  TaskGraph graph;
+  TaskSpec producer;
+  producer.key = key(1);
+  producer.rank = 0;
+  producer.body = [](TaskContext& ctx) { ctx.publish(0, {7.0}); };
+  graph.add_task(producer);
+  for (int i = 0; i < 3; ++i) {
+    TaskSpec consumer;
+    consumer.key = key(2, i);
+    consumer.rank = i < 2 ? 1 : 2;
+    consumer.inputs = {{key(1), 0}};
+    consumer.body = [](TaskContext& ctx) {
+      ctx.publish(0, ctx.input_buffer(0));
+    };
+    graph.add_task(consumer);
+  }
+  Config config{3, 1};
+  config.aggregate_messages = true;
+  Runtime runtime(config);
+  const RunStats stats = runtime.run(graph);
+  EXPECT_EQ(stats.messages, 2u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ((*runtime.result(key(2, i), 0))[0], 7.0);
+  }
+}
+
+TEST(Runtime, TraceRecordsEveryTaskWithSaneTimestamps) {
+  TaskGraph graph;
+  for (int i = 0; i < 5; ++i) {
+    TaskSpec t;
+    t.key = key(1, i);
+    t.klass = i % 2 == 0 ? "even" : "odd";
+    t.body = [](TaskContext&) {};
+    graph.add_task(t);
+  }
+  Runtime runtime(Config{1, 2, true, true});
+  runtime.run(graph);
+  const auto& events = runtime.tracer().events();
+  ASSERT_EQ(events.size(), 5u);
+  for (const auto& e : events) {
+    EXPECT_GE(e.end_s, e.begin_s);
+    EXPECT_TRUE(e.klass == "even" || e.klass == "odd");
+  }
+  const TraceReport report = analyze_trace(events, 2);
+  EXPECT_EQ(report.count_by_klass.at("even"), 3u);
+  EXPECT_EQ(report.count_by_klass.at("odd"), 2u);
+  EXPECT_GE(report.span_s, 0.0);
+}
+
+TEST(Runtime, EmptyGraphCompletesImmediately) {
+  TaskGraph graph;
+  Runtime runtime(Config{2, 2, true, false});
+  const RunStats stats = runtime.run(graph);
+  EXPECT_EQ(stats.tasks_executed, 0u);
+}
+
+// Randomized layered DAG stress test: every task sums its inputs plus its own
+// id; an independent sequential evaluation must agree, over several shapes.
+TEST(Runtime, FuzzedLayeredDagMatchesSequentialEvaluation) {
+  repro::Rng rng(2024);
+  for (int round = 0; round < 5; ++round) {
+    const int layers = 3 + static_cast<int>(rng.next_below(4));
+    const int width = 4 + static_cast<int>(rng.next_below(8));
+    const int ranks = 1 + static_cast<int>(rng.next_below(4));
+
+    TaskGraph graph;
+    std::vector<std::vector<double>> expected(
+        static_cast<std::size_t>(layers),
+        std::vector<double>(static_cast<std::size_t>(width), 0.0));
+    std::vector<std::vector<std::vector<int>>> parents(
+        static_cast<std::size_t>(layers));
+
+    for (int layer = 0; layer < layers; ++layer) {
+      parents[layer].resize(static_cast<std::size_t>(width));
+      for (int slot = 0; slot < width; ++slot) {
+        TaskSpec t;
+        t.key = key(1, layer, slot);
+        t.rank = static_cast<int>(rng.next_below(ranks));
+        const double self = layer * 100.0 + slot;
+        if (layer > 0) {
+          const int fan = 1 + static_cast<int>(rng.next_below(3));
+          for (int p = 0; p < fan; ++p) {
+            const int parent = static_cast<int>(rng.next_below(width));
+            parents[layer][slot].push_back(parent);
+            t.inputs.push_back({key(1, layer - 1, parent), 0});
+          }
+        }
+        t.body = [self](TaskContext& ctx) {
+          double sum = self;
+          for (std::size_t i = 0; i < ctx.num_inputs(); ++i) {
+            sum += ctx.input(i)[0];
+          }
+          ctx.publish(0, std::vector<double>{sum});
+        };
+        graph.add_task(t);
+
+        double sum = self;
+        for (int parent : parents[layer][slot]) {
+          sum += expected[layer - 1][parent];
+        }
+        expected[layer][slot] = sum;
+      }
+    }
+
+    // Sinks: check final layer values. (Published outputs of the last layer
+    // have no consumers, so they are retained.)
+    Runtime runtime(Config{ranks, 2, true, false});
+    runtime.run(graph);
+    for (int slot = 0; slot < width; ++slot) {
+      const Buffer out = runtime.result(key(1, layers - 1, slot), 0);
+      EXPECT_DOUBLE_EQ((*out)[0], expected[layers - 1][slot])
+          << "round " << round << " slot " << slot;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::rt

@@ -1,0 +1,223 @@
+// General stencil shapes (radius-r cross, box/9-point) — unit tests on the
+// shape machinery plus the distributed equivalence suite for the generalized
+// CA geometry (r*s-deep ghosts, r-per-step shrink, diagonal flows).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stencil/dist_stencil.hpp"
+#include "stencil/halo.hpp"
+#include "stencil/serial.hpp"
+
+namespace repro::stencil {
+namespace {
+
+TEST(Shape, OffsetsOrderAndCounts) {
+  const StencilShape cross = StencilShape::random_cross(2);
+  EXPECT_EQ(cross.num_points(), 9u);  // 1 + 4*2
+  const auto off = cross.offsets();
+  ASSERT_EQ(off.size(), 9u);
+  EXPECT_EQ(off[0], (std::pair{0, 0}));
+  EXPECT_EQ(off[1], (std::pair{-1, 0}));
+  EXPECT_EQ(off[4], (std::pair{0, 1}));
+  EXPECT_EQ(off[5], (std::pair{-2, 0}));
+
+  const StencilShape box = StencilShape::random_box(1);
+  EXPECT_EQ(box.num_points(), 9u);  // 3x3
+  EXPECT_EQ(StencilShape::random_box(2).num_points(), 25u);
+  EXPECT_DOUBLE_EQ(box.flops_per_point(), 17.0);
+  EXPECT_DOUBLE_EQ(StencilShape::five_point({}).flops_per_point(), 9.0);
+}
+
+TEST(Shape, ValidateRejectsBadShapes) {
+  StencilShape s;
+  s.radius = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.radius = 1;
+  s.weights = {1.0};  // needs 5
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(Shape, FivePointShapeMatchesJacobi5BitForBit) {
+  const int tile = 9;
+  const TileGeom g{tile, tile, 1, 1, 1, 1};
+  const Stencil5 w = Stencil5::test_weights();
+  const StencilShape shape = StencilShape::five_point(w);
+
+  std::vector<double> in(g.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = std::cos(0.1 * static_cast<double>(i));
+  }
+  std::vector<double> a(g.size(), -1.0), b(g.size(), -1.0);
+  jacobi5(in.data(), a.data(), g, w, 0, tile, 0, tile);
+  apply_shape(in.data(), b.data(), g, shape, 0, tile, 0, tile);
+  for (int i = 0; i < tile; ++i) {
+    for (int j = 0; j < tile; ++j) {
+      EXPECT_EQ(a[g.idx(i, j)], b[g.idx(i, j)]) << i << "," << j;
+    }
+  }
+}
+
+TEST(Shape, BoxReadsDiagonals) {
+  const TileGeom g{1, 1, 1, 1, 1, 1};
+  StencilShape box = StencilShape::random_box(1);
+  // Zero all weights except the NW diagonal (offset (-1,-1)).
+  const auto off = box.offsets();
+  for (std::size_t k = 0; k < off.size(); ++k) {
+    box.weights[k] = off[k] == std::pair{-1, -1} ? 2.0 : 0.0;
+  }
+  std::vector<double> in(g.size(), 0.0);
+  in[g.idx(-1, -1)] = 3.0;
+  std::vector<double> out(g.size(), -1.0);
+  apply_shape(in.data(), out.data(), g, box, 0, 1, 0, 1);
+  EXPECT_DOUBLE_EQ(out[g.idx(0, 0)], 6.0);
+}
+
+TEST(Shape, SerialShapeCrossOneMatchesClassicSolver) {
+  Problem p = random_problem(14, 17, 5);
+  Problem shaped = p;
+  shaped.shape = StencilShape::five_point(p.weights);
+  const Grid2D a = solve_serial(p);
+  const Grid2D b = solve_serial(shaped);
+  EXPECT_EQ(Grid2D::max_abs_diff(a, b), 0.0);
+}
+
+TEST(Halo, LocalLineDepthTwoCopiesBothColumns) {
+  const int h = 4, w = 5, r = 2;
+  const TileGeom g{h, w, r, r, r, r};
+  std::vector<double> nbr(g.size());
+  for (int i = -r; i < h + r; ++i) {
+    for (int j = -r; j < w + r; ++j) nbr[g.idx(i, j)] = i * 100.0 + j;
+  }
+  std::vector<double> mine(g.size(), -7.0);
+  copy_local_line(mine.data(), g, Side::West, nbr.data(), g, r);
+  for (int i = -r; i < h + r; ++i) {
+    for (int d = 1; d <= r; ++d) {
+      // Our col -d = neighbor col w-d.
+      EXPECT_DOUBLE_EQ(mine[g.idx(i, -d)], i * 100.0 + (w - d));
+    }
+  }
+  EXPECT_DOUBLE_EQ(mine[g.idx(0, 0)], -7.0);
+  // Depth mismatch rejected.
+  EXPECT_THROW(copy_local_line(mine.data(), g, Side::West, nbr.data(), g, 1),
+               std::invalid_argument);
+}
+
+TEST(Halo, LocalCornerCopiesDiagonalCore) {
+  const int h = 5, w = 5, r = 2;
+  const TileGeom g{h, w, r, r, r, r};
+  std::vector<double> diag(g.size());
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < w; ++j) diag[g.idx(i, j)] = i * 10.0 + j;
+  }
+  std::vector<double> mine(g.size(), -7.0);
+  copy_local_corner(mine.data(), g, Corner::NW, diag.data(), g);
+  for (int a = 1; a <= r; ++a) {
+    for (int b = 1; b <= r; ++b) {
+      // Our (-a,-b) = diag core (h-a, w-b).
+      EXPECT_DOUBLE_EQ(mine[g.idx(-a, -b)], (h - a) * 10.0 + (w - b));
+    }
+  }
+  EXPECT_DOUBLE_EQ(mine[g.idx(0, 0)], -7.0);
+}
+
+struct ShapeCase {
+  int radius;
+  bool box;
+  int n, iters, tile, nodes, steps;
+
+  friend std::ostream& operator<<(std::ostream& os, const ShapeCase& c) {
+    return os << (c.box ? "box" : "cross") << c.radius << "_n" << c.n << "_it"
+              << c.iters << "_t" << c.tile << "_p" << c.nodes << "_s"
+              << c.steps;
+  }
+};
+
+class ShapeDist : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(ShapeDist, MatchesSerialBitForBit) {
+  const ShapeCase c = GetParam();
+  Problem problem = random_problem(c.n, c.n, c.iters);
+  problem.shape = c.box ? StencilShape::random_box(c.radius)
+                        : StencilShape::random_cross(c.radius);
+
+  DistConfig config;
+  config.decomp = {c.tile, c.tile, c.nodes, c.nodes};
+  config.steps = c.steps;
+  config.workers_per_rank = 2;
+
+  const DistResult result = run_distributed(problem, config);
+  const Grid2D expected = solve_serial(problem);
+  EXPECT_EQ(Grid2D::max_abs_diff(expected, result.grid), 0.0);
+  EXPECT_DOUBLE_EQ(result.flops_per_point, problem.shape->flops_per_point());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cross, ShapeDist,
+    ::testing::Values(
+        // radius-2 cross, base: 2-deep halos every iteration.
+        ShapeCase{2, false, 24, 5, 6, 2, 1},
+        // radius-2 cross with CA: 2s-deep ghosts, shrink 2/step.
+        ShapeCase{2, false, 24, 7, 8, 2, 3},
+        ShapeCase{2, false, 24, 6, 8, 3, 2},
+        // radius-3 cross, all sides remote.
+        ShapeCase{3, false, 27, 5, 9, 3, 2},
+        // radius*steps == tile (boundary of validity).
+        ShapeCase{2, false, 24, 9, 8, 2, 4}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Box, ShapeDist,
+    ::testing::Values(
+        // 9-point stencil, single node (local diagonal flows only).
+        ShapeCase{1, true, 16, 5, 4, 1, 1},
+        // 9-point, distributed base: remote corners every iteration.
+        ShapeCase{1, true, 16, 6, 4, 2, 1},
+        // 9-point with CA.
+        ShapeCase{1, true, 20, 8, 5, 2, 3},
+        // one tile per node: every corner remote, every step.
+        ShapeCase{1, true, 18, 7, 6, 3, 2},
+        // radius-2 box (25-point) with CA.
+        ShapeCase{2, true, 24, 6, 8, 2, 2},
+        // radius-2 box, base.
+        ShapeCase{2, true, 24, 5, 8, 3, 1}));
+
+TEST(ShapeDist, BoxBaseUsesCornerMessages) {
+  // 2x2 nodes, one tile each: a box stencil must move corner blocks across
+  // the diagonal even at s=1 (4 bands + ... per round), unlike the cross.
+  Problem cross_p = random_problem(12, 12, 4);
+  cross_p.shape = StencilShape::random_cross(1);
+  Problem box_p = cross_p;
+  box_p.shape = StencilShape::random_box(1);
+
+  DistConfig config;
+  config.decomp = {6, 6, 2, 2};
+  config.steps = 1;
+  const auto cross_r = run_distributed(cross_p, config);
+  const auto box_r = run_distributed(box_p, config);
+  // Cross: 2 remote sides per tile -> 8 bands/round. Box adds 1 remote
+  // diagonal per tile -> +4 corners/round.
+  EXPECT_EQ(cross_r.stats.messages, 8u * 4);
+  EXPECT_EQ(box_r.stats.messages, 12u * 4);
+}
+
+TEST(ShapeDist, ValidatesRadiusTimesSteps) {
+  Problem problem = random_problem(16, 16, 4);
+  problem.shape = StencilShape::random_cross(2);
+  DistConfig config;
+  config.decomp = {4, 4, 2, 2};
+  config.steps = 3;  // 2*3 > 4
+  EXPECT_THROW(run_distributed(problem, config), std::invalid_argument);
+  config.steps = 2;  // 2*2 <= 4
+  EXPECT_NO_THROW(run_distributed(problem, config));
+}
+
+TEST(ShapeDist, ShapeAndCoefficientAreExclusive) {
+  Problem problem = random_variable_problem(16, 16, 2);
+  problem.shape = StencilShape::random_cross(1);
+  DistConfig config;
+  config.decomp = {4, 4, 2, 2};
+  EXPECT_THROW(run_distributed(problem, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::stencil

@@ -1,0 +1,38 @@
+#include <gtest/gtest.h>
+
+#include "stream/stream.hpp"
+
+namespace repro::stream {
+namespace {
+
+TEST(Stream, ProducesPositiveBandwidths) {
+  const StreamResult r = run_stream(1 << 20, 3, 1);
+  EXPECT_GT(r.copy_Bps, 1e8);   // any machine beats 100 MB/s
+  EXPECT_GT(r.scale_Bps, 1e8);
+  EXPECT_GT(r.add_Bps, 1e8);
+  EXPECT_GT(r.triad_Bps, 1e8);
+}
+
+TEST(Stream, MultiThreadedRunValidates) {
+  // Correctness of the threaded partition (single-core VM: no speedup
+  // expected, but the validation must still pass).
+  EXPECT_NO_THROW(run_stream(1 << 20, 2, 3));
+}
+
+TEST(Stream, RejectsBadArguments) {
+  EXPECT_THROW(run_stream(10, 1, 1), std::invalid_argument);
+  EXPECT_THROW(run_stream(1 << 20, 0, 1), std::invalid_argument);
+  EXPECT_THROW(run_stream(1 << 20, 1, 0), std::invalid_argument);
+}
+
+TEST(Stream, PaperTableOneIsVerbatim) {
+  const auto rows = paper_table_one();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].system, "NaCL");
+  EXPECT_DOUBLE_EQ(rows[0].copy_MBps, 9814.2);
+  EXPECT_DOUBLE_EQ(rows[1].copy_MBps, 40091.3);
+  EXPECT_DOUBLE_EQ(rows[3].triad_MBps, 193216.3);
+}
+
+}  // namespace
+}  // namespace repro::stream

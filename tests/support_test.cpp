@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/aligned_buffer.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace repro {
+namespace {
+
+TEST(Units, GbitConversionRoundTrips) {
+  EXPECT_DOUBLE_EQ(gbit_per_s(32.0), 4e9);
+  EXPECT_DOUBLE_EQ(to_gbit_per_s(gbit_per_s(100.0)), 100.0);
+  EXPECT_DOUBLE_EQ(to_gb_per_s(39.1e9), 39.1);
+}
+
+TEST(Units, FormatBytesPicksLargestExactUnit) {
+  EXPECT_EQ(format_bytes(256), "256B");
+  EXPECT_EQ(format_bytes(4 * KiB), "4KiB");
+  EXPECT_EQ(format_bytes(3 * MiB), "3MiB");
+  EXPECT_EQ(format_bytes(2 * GiB), "2GiB");
+  EXPECT_EQ(format_bytes(1536), "1536B");  // 1.5KiB is not exact
+}
+
+TEST(AlignedBuffer, SixtyFourByteAlignment) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedBuffer<double> buf(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+    EXPECT_EQ(buf.size(), n);
+  }
+}
+
+TEST(AlignedBuffer, ZeroedInitializesAndMovePreservesData) {
+  auto buf = AlignedBuffer<double>::zeroed(128);
+  for (double v : buf) EXPECT_EQ(v, 0.0);
+  buf[5] = 3.5;
+  AlignedBuffer<double> moved = std::move(buf);
+  EXPECT_EQ(moved[5], 3.5);
+  EXPECT_EQ(buf.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(AlignedBuffer, EmptyBufferIsSafe) {
+  AlignedBuffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.begin(), buf.end());
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformDoublesInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  const double data[] = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, EmptySampleIsZeroes) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const double data[] = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 12.5), 15.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatchSummary) {
+  Rng rng(11);
+  std::vector<double> samples;
+  RunningStats running;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    samples.push_back(x);
+    running.add(x);
+  }
+  const Summary batch = summarize(samples);
+  EXPECT_NEAR(running.mean(), batch.mean, 1e-10);
+  EXPECT_NEAR(running.stddev(), batch.stddev, 1e-10);
+  EXPECT_DOUBLE_EQ(running.min(), batch.min);
+  EXPECT_DOUBLE_EQ(running.max(), batch.max);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1.00"});
+  t.add_row({"longer-name", "2.50"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("value"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Options, ParsesAllForms) {
+  const char* argv[] = {"prog", "--size=100", "--name=nacl", "--flag",
+                        "positional"};
+  Options opts(5, const_cast<char**>(argv));
+  EXPECT_EQ(opts.get_int("size", 0), 100);
+  EXPECT_EQ(opts.get_string("name", ""), "nacl");
+  EXPECT_TRUE(opts.get_bool("flag", false));
+  EXPECT_FALSE(opts.get_bool("absent", false));
+  EXPECT_EQ(opts.get_double("absent", 2.5), 2.5);
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "positional");
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spmv/laplacian.hpp"
+#include "spmv/task_cg.hpp"
+
+namespace repro::spmv {
+namespace {
+
+std::vector<double> poisson_rhs_zero_bc(int n) {
+  return build_poisson_rhs(
+      n, n, [n](long i, long j) {
+        return std::sin(3.14159 * (i + 1) / (n + 1)) +
+               0.2 * static_cast<double>((i * 7 + j * 3) % 5);
+      },
+      [](long, long) { return 0.0; });
+}
+
+TEST(TaskCg, ConvergesAndMatchesSerialCg) {
+  const int n = 20;
+  const auto b = poisson_rhs_zero_bc(n);
+  const int iters = 120;
+
+  const TaskCgResult parallel = task_cg(n, b, 4, iters, 2);
+  EXPECT_LT(parallel.residual_norm, 1e-8 * norm2(b) + 1e-10);
+
+  const CsrMatrix a = build_laplacian_matrix(n, n);
+  const CgResult serial = conjugate_gradient(a, b, 1e-12, iters);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    worst = std::max(worst, std::abs(parallel.x[i] - serial.x[i]));
+  }
+  // Block-wise dot products reorder the reductions; agreement is to solver
+  // tolerance, not bitwise.
+  EXPECT_LT(worst, 1e-8);
+  EXPECT_GT(parallel.stats.messages, 0u);  // halo + reduction traffic
+}
+
+TEST(TaskCg, BlockCountDoesNotChangeTheAnswerMaterially) {
+  const int n = 16;
+  const auto b = poisson_rhs_zero_bc(n);
+  const TaskCgResult one = task_cg(n, b, 1, 80);
+  const TaskCgResult four = task_cg(n, b, 4, 80);
+  const TaskCgResult eight = task_cg(n, b, 8, 80, 2);
+  EXPECT_LT(one.residual_norm, 1e-8);
+  EXPECT_LT(four.residual_norm, 1e-8);
+  EXPECT_LT(eight.residual_norm, 1e-8);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(one.x[i], four.x[i], 1e-8);
+    EXPECT_NEAR(one.x[i], eight.x[i], 1e-8);
+  }
+  // Single block: only scalar handles hop ranks... with nblocks=1 everything
+  // is rank 0: no remote messages at all.
+  EXPECT_EQ(one.stats.messages, 0u);
+}
+
+TEST(TaskCg, ZeroIterationsReturnsZero) {
+  const int n = 8;
+  const auto b = poisson_rhs_zero_bc(n);
+  const TaskCgResult r = task_cg(n, b, 2, 0);
+  for (double v : r.x) EXPECT_EQ(v, 0.0);
+  EXPECT_NEAR(r.residual_norm, norm2(b), 1e-12);
+}
+
+TEST(TaskCg, ValidatesArguments) {
+  std::vector<double> b(16, 1.0);
+  EXPECT_THROW(task_cg(5, b, 1, 1), std::invalid_argument);   // 5*5 != 16
+  EXPECT_THROW(task_cg(4, b, 0, 1), std::invalid_argument);
+  EXPECT_THROW(task_cg(4, b, 5, 1), std::invalid_argument);   // blocks > rows
+  EXPECT_THROW(task_cg(4, b, 2, -1), std::invalid_argument);
+}
+
+TEST(TaskCg, TaskCountMatchesStructure) {
+  // Per iteration: nblocks spmv + nblocks pap + 1 alpha + nblocks update +
+  // 1 beta + nblocks direction = 4*nblocks + 2. Plus setup: 9*nblocks + 3
+  // data sources, nblocks rr-partials + 1 rho-init.
+  const int n = 12, nblocks = 3, iters = 5;
+  const auto b = poisson_rhs_zero_bc(n);
+  const TaskCgResult r = task_cg(n, b, nblocks, iters);
+  const std::size_t expected = (6 * nblocks + 3)      // data sources
+                               + nblocks + 1          // rho init
+                               + iters * (4 * nblocks + 2);
+  EXPECT_EQ(r.stats.tasks_executed, expected);
+}
+
+}  // namespace
+}  // namespace repro::spmv

@@ -1,0 +1,113 @@
+// Output-format tests: ASCII Gantt rendering, trace analysis corner cases,
+// table CSV emission, and NetPIPE size sweeps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "net/netpipe.hpp"
+#include "runtime/trace.hpp"
+#include "support/table.hpp"
+
+namespace repro {
+namespace {
+
+rt::TraceEvent event(const char* klass, int rank, int worker, double begin,
+                     double end) {
+  rt::TraceEvent e;
+  e.klass = klass;
+  e.rank = rank;
+  e.worker = worker;
+  e.begin_s = begin;
+  e.end_s = end;
+  return e;
+}
+
+TEST(Gantt, EmptyTraceSaysSo) {
+  std::ostringstream os;
+  rt::print_ascii_gantt({}, os);
+  EXPECT_NE(os.str().find("empty trace"), std::string::npos);
+}
+
+TEST(Gantt, LanesAndDominantClasses) {
+  std::vector<rt::TraceEvent> events{
+      event("alpha", 0, 0, 0.0, 0.6),   // dominates first half of lane r0w0
+      event("beta", 0, 0, 0.6, 1.0),    // second part
+      event("gamma", 1, 0, 0.0, 1.0)};  // full lane r1w0
+  std::ostringstream os;
+  rt::print_ascii_gantt(events, os, /*columns=*/10);
+  const std::string text = os.str();
+  // One lane per (rank, worker).
+  EXPECT_NE(text.find("r0w0"), std::string::npos);
+  EXPECT_NE(text.find("r1w0"), std::string::npos);
+  EXPECT_EQ(text.find("r0w1"), std::string::npos);
+  // Lane r1w0 is solid 'g'; lane r0w0 starts with 'a' and ends with 'b'.
+  EXPECT_NE(text.find("gggggggggg"), std::string::npos);
+  EXPECT_NE(text.find("|aaaa"), std::string::npos);
+  EXPECT_NE(text.find("bb|"), std::string::npos);
+}
+
+TEST(Gantt, IdleGapsRenderAsDots) {
+  std::vector<rt::TraceEvent> events{event("x", 0, 0, 0.0, 0.2),
+                                     event("x", 0, 0, 0.8, 1.0)};
+  std::ostringstream os;
+  rt::print_ascii_gantt(events, os, /*columns=*/10);
+  EXPECT_NE(os.str().find("..."), std::string::npos);
+}
+
+TEST(TraceAnalysis, OccupancySplitsByRank) {
+  // Rank 0: one worker busy 1.0 of a 2.0 span with 2 workers -> 25%.
+  std::vector<rt::TraceEvent> events{event("k", 0, 0, 0.0, 1.0),
+                                     event("k", 1, 0, 0.0, 2.0),
+                                     event("k", 1, 1, 0.0, 2.0)};
+  const rt::TraceReport report = rt::analyze_trace(events, /*workers=*/2);
+  EXPECT_DOUBLE_EQ(report.span_s, 2.0);
+  EXPECT_DOUBLE_EQ(report.occupancy_by_rank.at(0), 0.25);
+  EXPECT_DOUBLE_EQ(report.occupancy_by_rank.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(report.median_duration_by_klass.at("k"), 2.0);
+  EXPECT_EQ(report.count_by_klass.at("k"), 3u);
+}
+
+TEST(TraceAnalysis, EmptyTraceIsZeroes) {
+  const rt::TraceReport report = rt::analyze_trace({}, 4);
+  EXPECT_EQ(report.span_s, 0.0);
+  EXPECT_TRUE(report.occupancy_by_rank.empty());
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "x"});
+  t.add_row({"2", "y"});
+  const std::string path = "/tmp/repro_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,y");
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(3.14159, 0), "3");
+  EXPECT_EQ(Table::cell(static_cast<long long>(-42)), "-42");
+}
+
+TEST(Netpipe, SizesArePowersOfTwoWithinBounds) {
+  const auto sizes = net::netpipe_sizes(64, 4096);
+  ASSERT_EQ(sizes.size(), 7u);  // 64..4096
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], 2 * sizes[i - 1]);
+  }
+  EXPECT_EQ(sizes.front(), 64u);
+  EXPECT_EQ(sizes.back(), 4096u);
+}
+
+}  // namespace
+}  // namespace repro
