@@ -1,0 +1,109 @@
+// Fault sweep (extension): what reliability costs the CA stencil.
+//
+// The paper's runs assume a lossless interconnect; this harness measures the
+// degradation when the channel is not. Two views per loss rate:
+//   * real execution on this host: the CA stencil over
+//     ReliableChannel(FaultInjector(Transport)) — wall time, retransmits,
+//     duplicate suppression, wire vs clean message counts, and a checksum
+//     proving the answer never changes;
+//   * DES at paper scale: the same loss rate fed through sim::LossModel
+//     (expected transmissions scale wire cost, expected timeout wait adds
+//     latency), base vs CA — CA's s-times-fewer messages buy it s-times
+//     fewer retransmission lotteries.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/reliable_channel.hpp"
+#include "net/transport.hpp"
+#include "sim/models.hpp"
+#include "stencil/dist_stencil.hpp"
+#include "stencil/serial.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const Options options(argc, argv);
+  bench::header("Fault sweep (extension): lossy links vs the CA stencil",
+                "reliability costs time, never correctness; CA's message "
+                "avoidance also avoids retransmission stalls");
+
+  const int n = static_cast<int>(options.get_int("n", 128));
+  const int iters = static_cast<int>(options.get_int("iters", 12));
+  const int steps = static_cast<int>(options.get_int("steps", 4));
+  // 5 ms default: comfortably above this host's ack round-trip, so the
+  // loss=0 row shows a clean zero-retransmit baseline; tighten to stress.
+  const double timeout_ms = options.get_double("timeout-ms", 5.0);
+
+  const stencil::Problem problem = stencil::laplace_problem(n, iters);
+  const double reference = solve_serial(problem).interior_sum();
+
+  std::cout << "Real CA run on this host (N=" << n << ", s=" << steps << ", "
+            << iters << " iters, 2x2 nodes, retransmit timeout "
+            << timeout_ms << " ms):\n";
+  Table real({"loss %", "time ms", "clean msgs", "wire msgs", "retransmits",
+              "dups dropped", "exact"});
+  for (double loss : {0.0, 0.05, 0.10, 0.20}) {
+    std::shared_ptr<fault::ReliableChannel> channel;
+    stencil::DistConfig config;
+    config.decomp = {n / 4, n / 4, 2, 2};
+    config.steps = steps;
+    config.workers_per_rank = 2;
+    config.channel_factory = [&channel, loss, timeout_ms](int nranks) {
+      auto transport = std::make_shared<net::Transport>(nranks);
+      auto injector = std::make_shared<fault::FaultInjector>(
+          transport, fault::FaultPlan::uniform(42, loss, loss / 2, loss / 2));
+      fault::ReliableConfig reliable;
+      reliable.timeout_s = timeout_ms * 1e-3;
+      channel = std::make_shared<fault::ReliableChannel>(injector, reliable);
+      return channel;
+    };
+
+    const auto result = run_distributed(problem, config);
+    const auto rel = channel->reliable_stats();
+    const auto wire = channel->stats();
+    real.add_row({Table::cell(100.0 * loss, 0),
+                  Table::cell(result.stats.wall_time_s * 1e3, 1),
+                  Table::cell(static_cast<long long>(rel.data_sent)),
+                  Table::cell(static_cast<long long>(wire.messages)),
+                  Table::cell(static_cast<long long>(rel.retransmits)),
+                  Table::cell(static_cast<long long>(rel.dup_dropped)),
+                  result.grid.interior_sum() == reference ? "yes" : "NO"});
+  }
+  real.print(std::cout);
+  bench::maybe_csv(real, options, "fault_sweep_real.csv");
+
+  // Paper-scale model in the communication-bound regime (fast tuned kernel,
+  // ratio 0.1, 64 nodes — the configuration where Figs. 8/9 show CA winning,
+  // and where retransmission cost actually surfaces).
+  const double ratio = options.get_double("ratio", 0.1);
+  std::cout << "\nDES at paper scale (NaCL, N=23040, tile 288, 64 nodes, 100 "
+               "iters, kernel ratio "
+            << ratio << "):\n";
+  Table model({"loss %", "E[attempts]", "E[wait] ms", "base GF/s", "CA GF/s",
+               "base slowdown", "CA slowdown"});
+  const sim::Machine machine = sim::nacl();
+  double base0 = 0.0, ca0 = 0.0;
+  for (double loss : {0.0, 0.05, 0.10, 0.20}) {
+    sim::LossModel lm;
+    lm.loss_rate = loss;
+    sim::StencilSimParams base{machine, 23040, 288, 8, 8, 100, 1, ratio};
+    base.loss = lm;
+    sim::StencilSimParams ca = base;
+    ca.steps = 15;
+    const auto rb = sim::simulate_stencil(base);
+    const auto rc = sim::simulate_stencil(ca);
+    if (loss == 0.0) {
+      base0 = rb.time_s;
+      ca0 = rc.time_s;
+    }
+    model.add_row({Table::cell(100.0 * loss, 0),
+                   Table::cell(lm.expected_attempts(), 3),
+                   Table::cell(lm.expected_extra_latency_s() * 1e3, 3),
+                   Table::cell(rb.gflops, 1), Table::cell(rc.gflops, 1),
+                   Table::cell(rb.time_s / base0, 2),
+                   Table::cell(rc.time_s / ca0, 2)});
+  }
+  model.print(std::cout);
+  bench::maybe_csv(model, options, "fault_sweep_model.csv");
+  return 0;
+}

@@ -21,6 +21,10 @@ int main(int argc, char** argv) {
 
   const int iters = static_cast<int>(options.get_int("iters", 100));
   const int steps = static_cast<int>(options.get_int("steps", 15));
+  // Optional lossy-link model: every message pays the expected retransmission
+  // cost of fault::ReliableChannel at this drop rate (0 = exact paper model).
+  sim::LossModel loss;
+  loss.loss_rate = options.get_double("loss", 0.0);
 
   struct System {
     sim::Machine machine;
@@ -33,8 +37,9 @@ int main(int argc, char** argv) {
   for (const auto& sys : systems) {
     std::cout << sys.machine.name << " (N=" << sys.n << ", tile=" << sys.tile
               << ", " << iters << " iters, CA s=" << steps << ")\n";
-    const sim::StencilSimParams one{sys.machine, sys.n, sys.tile, 1, 1,
-                                    iters, 1, 1.0};
+    sim::StencilSimParams one{sys.machine, sys.n, sys.tile, 1, 1,
+                              iters, 1, 1.0};
+    one.loss = loss;
     const double t1 = sim::simulate_stencil(one).time_s;
 
     Table table({"nodes", "PETSc GF/s", "base GF/s", "CA GF/s",
@@ -43,6 +48,7 @@ int main(int argc, char** argv) {
       const int nodes = side * side;
       sim::StencilSimParams base{sys.machine, sys.n, sys.tile, side, side,
                                  iters, 1, 1.0};
+      base.loss = loss;
       sim::StencilSimParams ca = base;
       ca.steps = steps;
       const auto rb = sim::simulate_stencil(base);

@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
 
   const int iters = static_cast<int>(options.get_int("iters", 60));
   const double ratio = options.get_double("ratio", 0.3);
+  sim::LossModel loss;
+  loss.loss_rate = options.get_double("loss", 0.0);
 
   struct System {
     sim::Machine machine;
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
       const int n = sys.block * side;
       sim::StencilSimParams base{sys.machine, n, sys.tile, side, side, iters,
                                  1, ratio};
+      base.loss = loss;
       sim::StencilSimParams ca = base;
       ca.steps = 15;
       const auto rb = sim::simulate_stencil(base);

@@ -2,8 +2,8 @@
 # ablation suites. Included from the top-level CMakeLists (not
 # add_subdirectory) so ${CMAKE_BINARY_DIR}/bench contains ONLY executables --
 # `for b in build/bench/*; do $b; done` then runs them all cleanly.
-set(REPRO_BENCH_LIBS repro_stream repro_sim repro_spmv repro_stencil
-    repro_runtime repro_net repro_support Threads::Threads)
+set(REPRO_BENCH_LIBS repro_fault repro_stream repro_sim repro_spmv
+    repro_stencil repro_runtime repro_net repro_support Threads::Threads)
 
 function(repro_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
@@ -26,3 +26,4 @@ repro_add_bench(bench_micro_kernels)
 target_link_libraries(bench_micro_kernels PRIVATE benchmark::benchmark)
 repro_add_bench(bench_exascale_projection)
 repro_add_bench(bench_weak_scaling)
+repro_add_bench(bench_fault_sweep)

@@ -1,0 +1,69 @@
+// Resilient stencil walkthrough: survive a mid-run network blackout.
+//
+// Builds the full resilience stack —
+//
+//   run_resilient                 (windowed execution + rollback)
+//     -> CheckpointStore          (tile snapshots at superstep boundaries)
+//     -> run_distributed          (the ordinary CA solver)
+//          -> ReliableChannel     (seq/ack/retransmit, exactly-once FIFO)
+//          -> FaultInjector       (seeded drop/dup/reorder + blackout)
+//          -> Transport           (the in-memory wire)
+//
+// — then kills the network partway through the first attempt and shows the
+// runner rolling back to the last complete superstep and finishing with a
+// result bit-identical to the fault-free serial reference.
+#include <iostream>
+#include <memory>
+
+#include "fault/fault_injector.hpp"
+#include "fault/reliable_channel.hpp"
+#include "fault/resilient.hpp"
+#include "net/transport.hpp"
+#include "stencil/dist_stencil.hpp"
+#include "stencil/serial.hpp"
+
+int main() {
+  using namespace repro;
+
+  const int n = 96;
+  const int iterations = 24;
+  const stencil::Problem problem = stencil::laplace_problem(n, iterations);
+  const stencil::Grid2D expected = solve_serial(problem);
+
+  fault::ResilientConfig config;
+  config.dist.decomp = {24, 24, 2, 2};
+  config.dist.steps = 4;
+  config.dist.workers_per_rank = 2;
+  config.checkpoint_supersteps = 1;  // checkpoint every 4 iterations
+
+  int attempt = 0;
+  config.channel_factory = [&attempt](int nranks) -> std::shared_ptr<net::Channel> {
+    auto transport = std::make_shared<net::Transport>(nranks);
+    fault::FaultPlan plan = fault::FaultPlan::uniform(7, 0.05, 0.02, 0.02);
+    if (attempt == 0) plan.blackout_after = 40;  // first attempt: net dies
+    ++attempt;
+    auto injector = std::make_shared<fault::FaultInjector>(transport, plan);
+    fault::ReliableConfig reliable;
+    reliable.timeout_s = 0.001;
+    reliable.max_retries = 5;
+    return std::make_shared<fault::ReliableChannel>(injector, reliable);
+  };
+
+  std::cout << "Running " << n << "x" << n << " Jacobi, " << iterations
+            << " iterations, CA s=" << config.dist.steps
+            << ", 5% loss, blackout on attempt 1...\n";
+  const fault::ResilientResult result = run_resilient(problem, config);
+
+  std::cout << "windows completed     " << result.windows << "\n"
+            << "attempts (total)      " << result.attempts << "\n"
+            << "rollbacks             " << result.rollbacks << "\n"
+            << "mid-window resumes    " << result.resumed_mid_window << "\n"
+            << "wire messages         " << result.messages << "\n"
+            << "checkpoints stored    " << result.checkpoints.stored << " ("
+            << result.checkpoints.bytes / 1024 << " KiB retained)\n";
+
+  const double diff = stencil::Grid2D::max_abs_diff(expected, result.grid);
+  std::cout << "max |resilient - serial| = " << diff
+            << (diff == 0.0 ? "  (bit-identical)" : "  (MISMATCH!)") << "\n";
+  return diff == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,195 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::fault {
+
+namespace {
+
+std::uint64_t channel_seed(std::uint64_t seed, int src, int dst) {
+  SplitMix64 sm(seed);
+  sm.state ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+               << 32) |
+              static_cast<std::uint32_t>(dst);
+  return sm.next();
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::shared_ptr<net::Channel> inner,
+                             FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  if (!inner_) throw std::invalid_argument("FaultInjector: null inner");
+  const auto n = static_cast<std::size_t>(inner_->nranks());
+  sends_per_rank_.assign(n, 0);
+  stall_until_.assign(n, Clock::time_point::min());
+  next_stall_.assign(n, 0);
+  // Stalls are matched in after_sends order per rank; sort once.
+  std::sort(plan_.stalls.begin(), plan_.stalls.end(),
+            [](const StallEvent& a, const StallEvent& b) {
+              return a.after_sends < b.after_sends;
+            });
+  pump_ = std::thread([this] { pump_loop(); });
+}
+
+FaultInjector::~FaultInjector() { close(); }
+
+FaultInjector::ChannelState& FaultInjector::channel(int src, int dst) {
+  const auto key = std::make_pair(src, dst);
+  auto it = channels_.find(key);
+  if (it == channels_.end()) {
+    it = channels_.emplace(key, ChannelState(channel_seed(plan_.seed, src, dst)))
+             .first;
+  }
+  return it->second;
+}
+
+void FaultInjector::forward(net::Message msg) {
+  try {
+    inner_->send(std::move(msg));
+  } catch (const std::exception&) {
+    if (!inner_->closed()) throw;
+  }
+}
+
+void FaultInjector::park(net::Message msg, double seconds) {
+  parked_.emplace(Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(seconds)),
+                  std::move(msg));
+  pump_cv_.notify_one();
+}
+
+void FaultInjector::send(net::Message msg) {
+  if (inner_->closed()) {
+    throw std::runtime_error("FaultInjector: send after close");
+  }
+  const int src = msg.src;
+  const int dst = msg.dst;
+  if (src < 0 || src >= nranks() || dst < 0 || dst >= nranks()) {
+    throw std::out_of_range("FaultInjector: bad rank");
+  }
+
+  std::optional<net::Message> released;  // held message to flush afterwards
+  {
+    std::lock_guard lock(mutex_);
+    ++total_sends_;
+    auto& sent = sends_per_rank_[static_cast<std::size_t>(src)];
+    ++sent;
+
+    if (total_sends_ > plan_.blackout_after) {
+      ++stats_.dropped;
+      return;
+    }
+
+    // Scripted stalls: trigger every event whose send-count threshold this
+    // rank has crossed, then hold the message until the stall window ends.
+    auto& cursor = next_stall_[static_cast<std::size_t>(src)];
+    const auto now = Clock::now();
+    while (cursor < plan_.stalls.size()) {
+      const StallEvent& event = plan_.stalls[cursor];
+      if (event.rank != src) {
+        ++cursor;
+        continue;
+      }
+      if (sent < event.after_sends) break;
+      const auto until =
+          now + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(event.duration_s));
+      auto& deadline = stall_until_[static_cast<std::size_t>(src)];
+      deadline = std::max(deadline, until);
+      ++cursor;
+    }
+    const auto stall_deadline = stall_until_[static_cast<std::size_t>(src)];
+    if (now < stall_deadline) {
+      ++stats_.stalled;
+      parked_.emplace(stall_deadline, std::move(msg));
+      pump_cv_.notify_one();
+      return;
+    }
+
+    ChannelState& ch = channel(src, dst);
+    const ChannelFaultSpec& spec = plan_.spec(src, dst);
+
+    if (ch.rng.next_double() < spec.drop) {
+      ++stats_.dropped;
+      return;  // the held message (if any) stays held for the next send
+    }
+    if (ch.rng.next_double() < spec.delay) {
+      ++stats_.delayed;
+      park(std::move(msg), spec.delay_s * ch.rng.uniform(0.5, 1.5));
+      return;
+    }
+    if (ch.rng.next_double() < spec.reorder && !ch.held) {
+      ++stats_.reordered;
+      ch.held = std::move(msg);
+      return;
+    }
+    const bool dup = ch.rng.next_double() < spec.duplicate;
+    if (dup) ++stats_.duplicated;
+    ++stats_.forwarded;
+    if (ch.held) {
+      released = std::move(ch.held);
+      ch.held.reset();
+    }
+    // Forward outside the fault bookkeeping but inside the per-injector
+    // critical section so the (msg, released) pair hits the wire in swap
+    // order atomically with respect to other senders on this channel.
+    forward(msg);          // copy: `msg` may be forwarded again below
+    if (dup) forward(msg);
+  }
+  if (released) forward(std::move(*released));
+}
+
+void FaultInjector::pump_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (stopping_) return;
+    if (parked_.empty()) {
+      pump_cv_.wait(lock);
+      continue;
+    }
+    const auto release = parked_.begin()->first;
+    const auto now = Clock::now();
+    if (now < release) {
+      pump_cv_.wait_until(lock, release);
+      continue;
+    }
+    net::Message msg = std::move(parked_.begin()->second);
+    parked_.erase(parked_.begin());
+    lock.unlock();
+    forward(std::move(msg));
+    lock.lock();
+  }
+}
+
+void FaultInjector::close() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      inner_->close();
+      return;
+    }
+    stopping_ = true;
+    // Parked and held messages are moot at shutdown; count them as dropped so
+    // the books balance (forwarded + dropped + ... = sends observed).
+    stats_.dropped += parked_.size();
+    parked_.clear();
+    for (auto& [key, ch] : channels_) {
+      if (ch.held) {
+        ++stats_.dropped;
+        ch.held.reset();
+      }
+    }
+  }
+  pump_cv_.notify_all();
+  if (pump_.joinable()) pump_.join();
+  inner_->close();
+}
+
+FaultStats FaultInjector::fault_stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace repro::fault

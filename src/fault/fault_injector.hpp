@@ -1,0 +1,154 @@
+// FaultInjector: a net::Channel decorator that perturbs traffic according to
+// a deterministic, seeded fault plan.
+//
+// Real interconnects at the paper's 64-node scale drop, duplicate, delay and
+// reorder packets; the in-memory Transport never does. This decorator sits
+// between a reliability layer (ReliableChannel) and the Transport and injects
+// exactly those faults at send() time:
+//
+//   * drop      — the message silently vanishes;
+//   * duplicate — the message is forwarded twice;
+//   * reorder   — the message is held back and released after its successor
+//                 on the same (src,dst) channel (adjacent swap);
+//   * delay     — the message is parked in a time-ordered queue and released
+//                 by a pump thread ~delay_s later;
+//   * stall     — a scripted per-rank event: everything rank r sends during a
+//                 T-second window is held until the window ends (GC pause /
+//                 OS jitter / slow-NIC model);
+//   * blackout  — after N total sends every message is dropped (the
+//                 loss-beyond-retry scenario for checkpoint recovery tests).
+//
+// Fault decisions are drawn from one xoshiro RNG per (src,dst) channel,
+// seeded by hash(plan.seed, src, dst): a given channel sees the same fault
+// sequence for the same sequence of sends regardless of what other channels
+// do. recv/try_recv/pending/stats pass straight through to the inner channel.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "support/rng.hpp"
+
+namespace repro::fault {
+
+/// Per-(src,dst) fault probabilities, applied independently per message.
+struct ChannelFaultSpec {
+  double drop = 0.0;       ///< message vanishes
+  double duplicate = 0.0;  ///< message forwarded twice
+  double reorder = 0.0;    ///< message released after its successor
+  double delay = 0.0;      ///< message parked for ~delay_s
+  double delay_s = 1e-3;   ///< mean park time for delayed messages
+};
+
+/// Scripted stall: once `rank` has sent `after_sends` messages, everything it
+/// sends for the next `duration_s` seconds is held until the window ends.
+struct StallEvent {
+  int rank = 0;
+  std::uint64_t after_sends = 0;
+  double duration_s = 0.0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  ChannelFaultSpec base;  ///< every (src,dst) channel, unless overridden
+  std::map<std::pair<int, int>, ChannelFaultSpec> overrides;
+  std::vector<StallEvent> stalls;
+  /// After this many total sends, every message is dropped.
+  std::uint64_t blackout_after = std::numeric_limits<std::uint64_t>::max();
+
+  const ChannelFaultSpec& spec(int src, int dst) const {
+    const auto it = overrides.find({src, dst});
+    return it != overrides.end() ? it->second : base;
+  }
+
+  /// Same drop/duplicate/reorder probabilities on every channel.
+  static FaultPlan uniform(std::uint64_t seed, double drop,
+                           double duplicate = 0.0, double reorder = 0.0,
+                           double delay = 0.0) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.base.drop = drop;
+    plan.base.duplicate = duplicate;
+    plan.base.reorder = reorder;
+    plan.base.delay = delay;
+    return plan;
+  }
+};
+
+/// Injection counters (what the fault layer did to the traffic).
+struct FaultStats {
+  std::uint64_t forwarded = 0;   ///< messages passed through unharmed
+  std::uint64_t dropped = 0;     ///< includes blackout drops
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t stalled = 0;
+};
+
+class FaultInjector final : public net::Channel {
+ public:
+  FaultInjector(std::shared_ptr<net::Channel> inner, FaultPlan plan);
+  ~FaultInjector() override;
+
+  int nranks() const override { return inner_->nranks(); }
+  void send(net::Message msg) override;
+  std::optional<net::Message> recv(int rank) override {
+    return inner_->recv(rank);
+  }
+  std::optional<net::Message> try_recv(int rank) override {
+    return inner_->try_recv(rank);
+  }
+  std::size_t pending(int rank) const override {
+    return inner_->pending(rank);
+  }
+  void close() override;
+  bool closed() const override { return inner_->closed(); }
+  net::TrafficStats stats() const override { return inner_->stats(); }
+
+  FaultStats fault_stats() const;
+  const std::shared_ptr<net::Channel>& inner() const { return inner_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct ChannelState {
+    explicit ChannelState(std::uint64_t seed) : rng(seed) {}
+    Rng rng;
+    std::optional<net::Message> held;  ///< reorder holdback slot
+  };
+
+  ChannelState& channel(int src, int dst);
+  /// Forward to the inner channel, tolerating shutdown races: a message
+  /// landing on a closed inner channel is moot, not an error.
+  void forward(net::Message msg);
+  void park(net::Message msg, double seconds);
+  void pump_loop();
+
+  std::shared_ptr<net::Channel> inner_;
+  FaultPlan plan_;
+
+  mutable std::mutex mutex_;
+  std::map<std::pair<int, int>, ChannelState> channels_;
+  std::vector<std::uint64_t> sends_per_rank_;
+  std::vector<Clock::time_point> stall_until_;
+  std::vector<std::size_t> next_stall_;
+  std::uint64_t total_sends_ = 0;
+  FaultStats stats_;
+
+  std::multimap<Clock::time_point, net::Message> parked_;
+  std::condition_variable pump_cv_;
+  bool stopping_ = false;
+  std::thread pump_;
+};
+
+}  // namespace repro::fault

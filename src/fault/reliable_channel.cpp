@@ -1,0 +1,329 @@
+#include "fault/reliable_channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::fault {
+
+namespace {
+
+// Envelope prepended to every header:
+//   [kMagic, kind, seq, cumulative_ack, original_header_len, <orig header>]
+constexpr std::uint64_t kMagic = 0x52454C4348414E00ULL;  // "RELCHAN"
+constexpr std::uint64_t kKindData = 0;
+constexpr std::uint64_t kKindAck = 1;
+constexpr std::size_t kEnvelopeWords = 5;
+
+net::Message unwrap(net::Message&& wire) {
+  net::Message msg;
+  msg.src = wire.src;
+  msg.dst = wire.dst;
+  msg.tag = wire.tag;
+  const auto orig_len = static_cast<std::size_t>(wire.header[4]);
+  msg.header.assign(wire.header.begin() + kEnvelopeWords,
+                    wire.header.begin() +
+                        static_cast<std::ptrdiff_t>(kEnvelopeWords + orig_len));
+  msg.payload = std::move(wire.payload);
+  return msg;
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(std::shared_ptr<net::Channel> inner,
+                                 ReliableConfig config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {
+  if (!inner_) throw std::invalid_argument("ReliableChannel: null inner");
+  if (config_.timeout_s <= 0.0 || config_.backoff < 1.0 ||
+      config_.max_retries < 1 || config_.window < 1) {
+    throw std::invalid_argument("ReliableChannel: bad config");
+  }
+  ready_.resize(static_cast<std::size_t>(inner_->nranks()));
+  retx_ = std::thread([this] { retransmit_loop(); });
+}
+
+ReliableChannel::~ReliableChannel() { close(); }
+
+void ReliableChannel::throw_failed() const {
+  std::string what;
+  {
+    std::lock_guard lock(mutex_);
+    what = error_;
+  }
+  throw net::ChannelError("ReliableChannel: " +
+                          (what.empty() ? std::string("failed") : what));
+}
+
+double ReliableChannel::jittered(double interval_s) {
+  return interval_s * (1.0 + config_.jitter * rng_.uniform(-1.0, 1.0));
+}
+
+void ReliableChannel::forward(net::Message msg) {
+  try {
+    inner_->send(std::move(msg));
+  } catch (const std::exception&) {
+    if (!inner_->closed()) throw;
+  }
+}
+
+void ReliableChannel::send(net::Message msg) {
+  if (failed_.load()) throw_failed();
+  if (closed_.load()) {
+    throw std::runtime_error("ReliableChannel: send after close");
+  }
+  const int src = msg.src;
+  const int dst = msg.dst;
+  if (src < 0 || src >= nranks() || dst < 0 || dst >= nranks()) {
+    throw std::out_of_range("ReliableChannel: bad rank");
+  }
+
+  std::unique_lock lock(mutex_);
+  SendState& st = send_states_[{src, dst}];
+  window_cv_.wait(lock, [&] {
+    return st.window.size() < config_.window || stopping_ || failed_.load();
+  });
+  if (failed_.load()) {
+    lock.unlock();
+    throw_failed();
+  }
+  if (stopping_) throw std::runtime_error("ReliableChannel: send after close");
+
+  const std::uint64_t seq = st.next_seq++;
+  // Piggyback the cumulative ack for the reverse direction.
+  const std::uint64_t rev_ack = recv_states_[{dst, src}].expected;
+
+  net::Message wire;
+  wire.src = src;
+  wire.dst = dst;
+  wire.tag = msg.tag;
+  wire.header.reserve(kEnvelopeWords + msg.header.size());
+  wire.header = {kMagic, kKindData, seq, rev_ack, msg.header.size()};
+  wire.header.insert(wire.header.end(), msg.header.begin(), msg.header.end());
+  wire.payload = std::move(msg.payload);
+
+  InFlight entry;
+  entry.seq = seq;
+  entry.wire = wire;  // retained copy for retransmission
+  entry.interval_s = jittered(config_.timeout_s);
+  entry.next_retry =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(entry.interval_s));
+  st.window.push_back(std::move(entry));
+  ++stats_.data_sent;
+
+  // Send while holding the lock so the inner channel sees sequence numbers
+  // in assignment order (per-channel FIFO of the clean path is preserved).
+  forward(std::move(wire));
+  retx_cv_.notify_one();
+}
+
+void ReliableChannel::apply_ack(int src, int dst, std::uint64_t ack) {
+  auto it = send_states_.find({src, dst});
+  if (it == send_states_.end()) return;
+  auto& window = it->second.window;
+  bool advanced = false;
+  while (!window.empty() && window.front().seq < ack) {
+    window.pop_front();
+    advanced = true;
+  }
+  if (advanced) window_cv_.notify_all();
+}
+
+void ReliableChannel::send_ack(int from, int to) {
+  net::Message ack;
+  ack.src = from;
+  ack.dst = to;
+  ack.header = {kMagic, kKindAck, 0, recv_states_[{to, from}].expected, 0};
+  ++stats_.acks_sent;
+  forward(std::move(ack));
+}
+
+void ReliableChannel::process(net::Message wire, int rank) {
+  if (wire.header.size() < kEnvelopeWords || wire.header[0] != kMagic) {
+    throw std::runtime_error(
+        "ReliableChannel: message without envelope (mis-stacked channel?)");
+  }
+  const std::uint64_t kind = wire.header[1];
+  const std::uint64_t seq = wire.header[2];
+  const std::uint64_t ack = wire.header[3];
+  const int src = wire.src;
+
+  // Both data and acks carry a cumulative ack for the reverse direction.
+  apply_ack(rank, src, ack);
+  if (kind == kKindAck) return;
+  if (kind != kKindData) {
+    throw std::runtime_error("ReliableChannel: unknown envelope kind");
+  }
+  if (wire.header.size() !=
+      kEnvelopeWords + static_cast<std::size_t>(wire.header[4])) {
+    throw std::runtime_error("ReliableChannel: malformed envelope");
+  }
+
+  RecvState& rs = recv_states_[{src, rank}];
+  if (seq < rs.expected) {
+    ++stats_.dup_dropped;
+    send_ack(rank, src);  // re-ack: the original ack may have been lost
+    return;
+  }
+  if (seq == rs.expected) {
+    ready_[static_cast<std::size_t>(rank)].push_back(unwrap(std::move(wire)));
+    ++rs.expected;
+    // Drain any buffered successors that are now in order.
+    auto it = rs.buffered.begin();
+    while (it != rs.buffered.end() && it->first == rs.expected) {
+      ready_[static_cast<std::size_t>(rank)].push_back(std::move(it->second));
+      it = rs.buffered.erase(it);
+      ++rs.expected;
+    }
+    send_ack(rank, src);
+    return;
+  }
+  // Out of order: park it past the gap (duplicates of parked data dropped).
+  if (rs.buffered.emplace(seq, unwrap(std::move(wire))).second) {
+    ++stats_.out_of_order;
+  } else {
+    ++stats_.dup_dropped;
+  }
+  send_ack(rank, src);
+}
+
+std::optional<net::Message> ReliableChannel::recv(int rank) {
+  if (rank < 0 || rank >= nranks()) {
+    throw std::out_of_range("ReliableChannel: bad rank");
+  }
+  while (true) {
+    {
+      std::lock_guard lock(mutex_);
+      auto& queue = ready_[static_cast<std::size_t>(rank)];
+      if (!queue.empty()) {
+        net::Message msg = std::move(queue.front());
+        queue.pop_front();
+        return msg;
+      }
+    }
+    if (failed_.load()) throw_failed();
+    auto wire = inner_->recv(rank);  // blocks; woken by inner close
+    if (!wire) {
+      std::unique_lock lock(mutex_);
+      auto& queue = ready_[static_cast<std::size_t>(rank)];
+      if (!queue.empty()) {
+        net::Message msg = std::move(queue.front());
+        queue.pop_front();
+        return msg;
+      }
+      lock.unlock();
+      if (failed_.load()) throw_failed();
+      return std::nullopt;
+    }
+    std::lock_guard lock(mutex_);
+    process(std::move(*wire), rank);
+  }
+}
+
+std::optional<net::Message> ReliableChannel::try_recv(int rank) {
+  if (rank < 0 || rank >= nranks()) {
+    throw std::out_of_range("ReliableChannel: bad rank");
+  }
+  while (true) {
+    {
+      std::lock_guard lock(mutex_);
+      auto& queue = ready_[static_cast<std::size_t>(rank)];
+      if (!queue.empty()) {
+        net::Message msg = std::move(queue.front());
+        queue.pop_front();
+        return msg;
+      }
+    }
+    if (failed_.load()) throw_failed();
+    auto wire = inner_->try_recv(rank);
+    if (!wire) return std::nullopt;
+    std::lock_guard lock(mutex_);
+    process(std::move(*wire), rank);
+  }
+}
+
+std::size_t ReliableChannel::pending(int rank) const {
+  std::size_t ready;
+  {
+    std::lock_guard lock(mutex_);
+    ready = ready_[static_cast<std::size_t>(rank)].size();
+  }
+  return ready + inner_->pending(rank);
+}
+
+void ReliableChannel::fail_locked(const std::string& what) {
+  if (error_.empty()) error_ = what;
+  failed_.store(true);
+}
+
+void ReliableChannel::retransmit_loop() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    // Earliest scheduled retry across all channels.
+    Clock::time_point earliest = Clock::time_point::max();
+    for (const auto& [key, st] : send_states_) {
+      for (const auto& entry : st.window) {
+        earliest = std::min(earliest, entry.next_retry);
+      }
+    }
+    const auto now = Clock::now();
+    if (earliest == Clock::time_point::max()) {
+      retx_cv_.wait(lock);
+      continue;
+    }
+    if (now < earliest) {
+      retx_cv_.wait_until(lock, earliest);
+      continue;
+    }
+    for (auto& [key, st] : send_states_) {
+      for (auto& entry : st.window) {
+        if (entry.next_retry > now) continue;
+        if (entry.attempts > config_.max_retries) {
+          fail_locked("gave up on seq " + std::to_string(entry.seq) +
+                      " from rank " + std::to_string(key.first) + " to rank " +
+                      std::to_string(key.second) + " after " +
+                      std::to_string(entry.attempts) + " attempts");
+          window_cv_.notify_all();
+          lock.unlock();
+          inner_->close();  // wakes receivers so they observe failed()
+          return;
+        }
+        ++entry.attempts;
+        ++stats_.retransmits;
+        entry.interval_s =
+            std::min(entry.interval_s * config_.backoff, config_.max_backoff_s);
+        const double wait = jittered(entry.interval_s);
+        stats_.backoff_wait_s += wait;
+        entry.next_retry =
+            now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(wait));
+        forward(entry.wire);  // copy stays in the window until acked
+      }
+    }
+  }
+}
+
+void ReliableChannel::close() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      inner_->close();
+      closed_.store(true);
+      return;
+    }
+    stopping_ = true;
+    closed_.store(true);
+  }
+  retx_cv_.notify_all();
+  window_cv_.notify_all();
+  if (retx_.joinable()) retx_.join();
+  inner_->close();
+}
+
+ReliableStats ReliableChannel::reliable_stats() const {
+  std::lock_guard lock(mutex_);
+  ReliableStats stats = stats_;
+  stats.failed = failed_.load();
+  return stats;
+}
+
+}  // namespace repro::fault

@@ -1,0 +1,132 @@
+// ReliableChannel: exactly-once FIFO delivery over a lossy net::Channel.
+//
+// The decorator restores the delivery contract the runtime assumes (per-
+// (src,dst) FIFO, no loss, no duplicates) on top of a channel that drops,
+// duplicates, delays and reorders — the classic reliable-datagram recipe:
+//
+//   * every data message carries a per-(src,dst) sequence number inside an
+//     envelope prepended to the header;
+//   * the receiver delivers in-order messages, buffers out-of-order ones,
+//     suppresses duplicates, and acknowledges with a cumulative ack (the
+//     next expected sequence number) — acks ride both on dedicated ACK
+//     messages and piggybacked on reverse-direction data;
+//   * the sender keeps unacked messages in a bounded in-flight window
+//     (send() blocks when the window is full) and a retransmit thread
+//     resends timed-out entries with exponential backoff + jitter;
+//   * after max_retries attempts the channel conclusively fails: pending and
+//     future operations throw net::ChannelError, which aborts the runtime's
+//     run so a recovery driver can roll back to a checkpoint.
+//
+// Stacking: ReliableChannel( FaultInjector( Transport ) ). The wire traffic
+// visible via stats() is the inner channel's (envelopes, retransmissions and
+// acks included) — honest accounting of what reliability costs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "net/channel.hpp"
+#include "support/rng.hpp"
+
+namespace repro::fault {
+
+struct ReliableConfig {
+  double timeout_s = 0.005;    ///< initial retransmit timeout
+  double backoff = 2.0;        ///< timeout multiplier per retry
+  double max_backoff_s = 0.25; ///< cap on the per-retry interval
+  double jitter = 0.2;         ///< +-fraction of random spread per interval
+  int max_retries = 12;        ///< attempts before the channel fails
+  std::size_t window = 256;    ///< max unacked messages per (src,dst)
+  std::uint64_t seed = 0x5eed; ///< jitter RNG seed
+};
+
+/// Reliability counters ("TrafficStats for the retry machinery").
+struct ReliableStats {
+  std::uint64_t data_sent = 0;      ///< first transmissions
+  std::uint64_t retransmits = 0;    ///< timeout-driven resends
+  std::uint64_t acks_sent = 0;      ///< dedicated ACK messages
+  std::uint64_t dup_dropped = 0;    ///< duplicate data suppressed
+  std::uint64_t out_of_order = 0;   ///< data buffered past a gap
+  double backoff_wait_s = 0.0;      ///< cumulative scheduled retry wait
+  bool failed = false;              ///< retries exhausted somewhere
+};
+
+class ReliableChannel final : public net::Channel {
+ public:
+  explicit ReliableChannel(std::shared_ptr<net::Channel> inner,
+                           ReliableConfig config = {});
+  ~ReliableChannel() override;
+
+  int nranks() const override { return inner_->nranks(); }
+  void send(net::Message msg) override;
+  std::optional<net::Message> recv(int rank) override;
+  std::optional<net::Message> try_recv(int rank) override;
+  std::size_t pending(int rank) const override;
+  void close() override;
+  bool closed() const override { return closed_.load(); }
+  /// Wire-level traffic (envelopes + retransmissions + acks).
+  net::TrafficStats stats() const override { return inner_->stats(); }
+
+  ReliableStats reliable_stats() const;
+  bool failed() const { return failed_.load(); }
+  const std::shared_ptr<net::Channel>& inner() const { return inner_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct InFlight {
+    std::uint64_t seq = 0;
+    net::Message wire;  ///< enveloped copy, ready to resend
+    Clock::time_point next_retry;
+    double interval_s = 0.0;
+    int attempts = 1;
+  };
+  struct SendState {
+    std::uint64_t next_seq = 0;
+    std::deque<InFlight> window;  ///< unacked, ascending seq
+  };
+  struct RecvState {
+    std::uint64_t expected = 0;  ///< next in-order seq == cumulative ack
+    std::map<std::uint64_t, net::Message> buffered;  ///< out-of-order data
+  };
+
+  void process(net::Message wire, int rank);  // mutex_ held
+  void apply_ack(int src, int dst, std::uint64_t ack);  // mutex_ held
+  void send_ack(int from, int to);  // mutex_ held
+  void forward(net::Message msg);   // shutdown-tolerant inner send
+  void retransmit_loop();
+  void fail_locked(const std::string& what);  // mutex_ held
+  double jittered(double interval_s);  // mutex_ held (rng)
+  [[noreturn]] void throw_failed() const;
+
+  std::shared_ptr<net::Channel> inner_;
+  ReliableConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable window_cv_;
+  std::condition_variable retx_cv_;
+  std::map<std::pair<int, int>, SendState> send_states_;
+  std::map<std::pair<int, int>, RecvState> recv_states_;
+  std::vector<std::deque<net::Message>> ready_;  ///< per-rank deliverable
+  ReliableStats stats_;
+  Rng rng_;
+  std::string error_;
+  bool stopping_ = false;
+
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> failed_{false};
+
+  std::thread retx_;
+};
+
+}  // namespace repro::fault

@@ -1,0 +1,170 @@
+// Message-channel abstraction between virtual processes.
+//
+// `Channel` is the interface the runtime's communication threads speak; the
+// canonical implementation is the in-memory `Transport` (transport.hpp), but
+// the fault subsystem stacks decorators behind the same interface:
+//
+//     ReliableChannel( FaultInjector( Transport ) )
+//
+// so lossy delivery and retransmission are invisible to the runtime. A
+// `ChannelFactory` lets callers inject such a stack per run without the
+// runtime depending on the fault library.
+//
+// Traffic accounting lives here too: `TrafficStats` counts messages/bytes and
+// keeps a fixed log2-bucket `SizeHistogram` of message sizes, so the memory
+// footprint of the counters is constant no matter how many messages a run
+// sends (previously one size_t was retained per message, forever).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "net/link_model.hpp"
+
+namespace repro::net {
+
+/// A message between ranks. `header` carries small metadata words (task keys,
+/// slot ids); `payload` carries the bulk data. Both count toward traffic.
+struct Message {
+  int src = -1;
+  int dst = -1;
+  std::uint64_t tag = 0;
+  std::vector<std::uint64_t> header;
+  std::vector<double> payload;
+
+  std::size_t bytes() const {
+    return sizeof(tag) + header.size() * sizeof(std::uint64_t) +
+           payload.size() * sizeof(double);
+  }
+};
+
+/// Fixed log2-bucket histogram of message sizes: bucket b covers
+/// [2^b, 2^(b+1)) bytes (sizes 0 and 1 both land in bucket 0). Constant
+/// memory regardless of message count; per-bucket byte totals are exact, so
+/// affine link models can still be evaluated exactly from it.
+class SizeHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  static int bucket_of(std::size_t bytes) {
+    return bytes <= 1 ? 0 : std::bit_width(bytes) - 1;
+  }
+  static std::size_t bucket_lo(int bucket) {
+    return static_cast<std::size_t>(1) << bucket;
+  }
+
+  void record(std::size_t bytes) {
+    const auto b = static_cast<std::size_t>(bucket_of(bytes));
+    counts_[b] += 1;
+    bytes_[b] += bytes;
+  }
+
+  void merge(const SizeHistogram& other) {
+    for (int b = 0; b < kBuckets; ++b) {
+      counts_[static_cast<std::size_t>(b)] +=
+          other.counts_[static_cast<std::size_t>(b)];
+      bytes_[static_cast<std::size_t>(b)] +=
+          other.bytes_[static_cast<std::size_t>(b)];
+    }
+  }
+
+  std::uint64_t count(int bucket) const {
+    return counts_[static_cast<std::size_t>(bucket)];
+  }
+  std::uint64_t bytes(int bucket) const {
+    return bytes_[static_cast<std::size_t>(bucket)];
+  }
+
+  std::uint64_t total_count() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : counts_) n += c;
+    return n;
+  }
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t b : bytes_) n += b;
+    return n;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::array<std::uint64_t, kBuckets> bytes_{};
+};
+
+/// Aggregate traffic counters, snapshot-able while the channel is running.
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  SizeHistogram sizes;  ///< log2-bucket message-size distribution
+
+  void record(std::size_t n) {
+    messages += 1;
+    bytes += n;
+    sizes.record(n);
+  }
+
+  void merge(const TrafficStats& other) {
+    messages += other.messages;
+    bytes += other.bytes;
+    sizes.merge(other.sizes);
+  }
+
+  /// Time the observed traffic would cost on `model`, summing per-message
+  /// transfer times (an upper bound that ignores overlap). Exact despite the
+  /// histogram: transfer_time is affine in size, so the sum only needs the
+  /// message count and the exact byte total.
+  double modeled_time(const LinkModel& model) const;
+};
+
+/// Abstract point-to-point message channel between `nranks` virtual
+/// processes. Implementations must be thread-safe: send() from any thread,
+/// recv()/try_recv() from per-rank receiver threads.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual int nranks() const = 0;
+
+  /// Deliver `msg` toward msg.dst. Throws on bad ranks or after close().
+  virtual void send(Message msg) = 0;
+
+  /// Blocking receive for `rank`. Returns std::nullopt once close() has been
+  /// called and the mailbox is drained. May throw ChannelError when the
+  /// channel has conclusively failed (e.g. retries exhausted).
+  virtual std::optional<Message> recv(int rank) = 0;
+
+  /// Non-blocking receive.
+  virtual std::optional<Message> try_recv(int rank) = 0;
+
+  /// Number of undelivered messages currently queued for `rank`.
+  virtual std::size_t pending(int rank) const = 0;
+
+  /// Wake all blocked receivers; subsequent recv() calls drain then return
+  /// nullopt. Idempotent.
+  virtual void close() = 0;
+
+  virtual bool closed() const = 0;
+
+  /// Snapshot of global traffic counters (for decorators: traffic actually
+  /// put on the underlying wire, including retransmissions and acks).
+  virtual TrafficStats stats() const = 0;
+};
+
+/// Builds the channel stack for one run. Null factory = plain Transport.
+using ChannelFactory = std::function<std::shared_ptr<Channel>(int nranks)>;
+
+/// Conclusive delivery failure (retries exhausted, peer unreachable). The
+/// runtime aborts the run when a communication thread observes this; a
+/// recovery driver can then roll back to a checkpoint and re-run.
+class ChannelError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace repro::net

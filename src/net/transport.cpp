@@ -1,12 +1,15 @@
 #include "net/transport.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace repro::net {
 
 double TrafficStats::modeled_time(const LinkModel& model) const {
-  double t = 0.0;
-  for (std::size_t n : message_sizes) t += model.transfer_time(n);
+  double t = static_cast<double>(messages) * model.transfer_time(0);
+  if (model.effective_bw_Bps > 0.0) {
+    t += static_cast<double>(bytes) / model.effective_bw_Bps;
+  }
   return t;
 }
 
@@ -27,16 +30,10 @@ void Transport::send(Message msg) {
   check_rank(msg.dst);
   if (closed()) throw std::runtime_error("Transport: send after close");
 
-  {
-    std::lock_guard lock(stats_mutex_);
-    stats_.messages += 1;
-    stats_.bytes += msg.bytes();
-    stats_.message_sizes.push_back(msg.bytes());
-  }
-
   Mailbox& box = *boxes_[static_cast<std::size_t>(msg.dst)];
   {
     std::lock_guard lock(box.mutex);
+    box.stats.record(msg.bytes());
     box.queue.push_back(std::move(msg));
   }
   box.cv.notify_one();
@@ -71,21 +68,22 @@ std::size_t Transport::pending(int rank) const {
 }
 
 void Transport::close() {
-  {
-    std::lock_guard lock(closed_mutex_);
-    closed_ = true;
+  closed_.store(true, std::memory_order_release);
+  // Taking each mailbox mutex before notifying guarantees no receiver is
+  // between its predicate check and its wait when the flag flips.
+  for (auto& box : boxes_) {
+    std::lock_guard lock(box->mutex);
+    box->cv.notify_all();
   }
-  for (auto& box : boxes_) box->cv.notify_all();
-}
-
-bool Transport::closed() const {
-  std::lock_guard lock(closed_mutex_);
-  return closed_;
 }
 
 TrafficStats Transport::stats() const {
-  std::lock_guard lock(stats_mutex_);
-  return stats_;
+  TrafficStats total;
+  for (const auto& box : boxes_) {
+    std::lock_guard lock(box->mutex);
+    total.merge(box->stats);
+  }
+  return total;
 }
 
 }  // namespace repro::net

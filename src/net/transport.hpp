@@ -7,92 +7,69 @@
 // shutdown. Per-(src,dst) FIFO ordering is guaranteed, matching MPI
 // non-overtaking semantics on a single tag.
 //
-// Traffic statistics (message count, byte count, per-size histogram) feed the
-// experiment harnesses; an optional LinkModel lets callers account the time
-// the same traffic would have cost on a real interconnect.
+// Transport implements net::Channel, so fault-injection / reliability
+// decorators (src/fault) can wrap it transparently.
+//
+// Locking: one mutex per mailbox guards both the queue and that mailbox's
+// traffic counters (stats() aggregates across mailboxes on demand); shutdown
+// state is a single std::atomic<bool>, so send()-vs-close() has exactly one
+// ordering point and no separate stats/closed mutexes exist.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
-#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <optional>
-#include <vector>
 
-#include "net/link_model.hpp"
+#include "net/channel.hpp"
 
 namespace repro::net {
 
-/// A message between ranks. `header` carries small metadata words (task keys,
-/// slot ids); `payload` carries the bulk data. Both count toward traffic.
-struct Message {
-  int src = -1;
-  int dst = -1;
-  std::uint64_t tag = 0;
-  std::vector<std::uint64_t> header;
-  std::vector<double> payload;
-
-  std::size_t bytes() const {
-    return sizeof(tag) + header.size() * sizeof(std::uint64_t) +
-           payload.size() * sizeof(double);
-  }
-};
-
-/// Aggregate traffic counters, snapshot-able while the transport is running.
-struct TrafficStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  /// Time the observed traffic would cost on `model`, summing per-message
-  /// transfer times (an upper bound that ignores overlap).
-  double modeled_time(const LinkModel& model) const;
-  std::vector<std::size_t> message_sizes;  ///< one entry per message
-};
-
-class Transport {
+class Transport final : public Channel {
  public:
   explicit Transport(int nranks);
 
-  int nranks() const { return nranks_; }
+  int nranks() const override { return nranks_; }
 
   /// Deliver `msg` to msg.dst's mailbox. Thread-safe. Throws on bad ranks or
   /// after close().
-  void send(Message msg);
+  void send(Message msg) override;
 
   /// Blocking receive for `rank`. Returns std::nullopt once close() has been
   /// called and the mailbox is drained.
-  std::optional<Message> recv(int rank);
+  std::optional<Message> recv(int rank) override;
 
   /// Non-blocking receive.
-  std::optional<Message> try_recv(int rank);
+  std::optional<Message> try_recv(int rank) override;
 
   /// Number of undelivered messages currently queued for `rank`.
-  std::size_t pending(int rank) const;
+  std::size_t pending(int rank) const override;
 
   /// Wake all blocked receivers; subsequent recv() calls drain then return
   /// nullopt. Idempotent.
-  void close();
+  void close() override;
 
-  bool closed() const;
+  bool closed() const override {
+    return closed_.load(std::memory_order_acquire);
+  }
 
   /// Snapshot of global traffic counters.
-  TrafficStats stats() const;
+  TrafficStats stats() const override;
 
  private:
   struct Mailbox {
     mutable std::mutex mutex;
     std::condition_variable cv;
     std::deque<Message> queue;
+    TrafficStats stats;  ///< traffic delivered into this mailbox
   };
 
   void check_rank(int rank) const;
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
-  mutable std::mutex stats_mutex_;
-  TrafficStats stats_;
-  bool closed_ = false;
-  mutable std::mutex closed_mutex_;
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace repro::net

@@ -135,7 +135,13 @@ RunStats Runtime::run(TaskGraph& graph) {
     queues_.push_back(std::make_unique<ReadyQueue>());
     outboxes_.push_back(std::make_unique<Outbox>());
   }
-  transport_ = std::make_unique<net::Transport>(config_.nranks);
+  channel_ = config_.channel_factory
+                 ? config_.channel_factory(config_.nranks)
+                 : std::make_shared<net::Transport>(config_.nranks);
+  if (!channel_ || channel_->nranks() != config_.nranks) {
+    throw std::invalid_argument("Runtime: channel factory returned a channel "
+                                "with the wrong rank count");
+  }
 
   seq_.store(0);
   remaining_tasks_.store(n);
@@ -174,7 +180,7 @@ RunStats Runtime::run(TaskGraph& graph) {
   for (auto& thread : workers) thread.join();
   for (auto& outbox : outboxes_) outbox->close();
   for (auto& thread : senders) thread.join();
-  transport_->close();
+  channel_->close();
   for (auto& thread : receivers) thread.join();
 
   if (aborted_.load()) {
@@ -185,10 +191,10 @@ RunStats Runtime::run(TaskGraph& graph) {
   RunStats stats;
   stats.wall_time_s = timer.elapsed();
   stats.tasks_executed = executed_tasks_.load();
-  const auto traffic = transport_->stats();
+  const auto traffic = channel_->stats();
   stats.messages = traffic.messages;
   stats.bytes = traffic.bytes;
-  stats.message_sizes = traffic.message_sizes;
+  stats.message_sizes = traffic.sizes;
   return stats;
 }
 
@@ -213,7 +219,7 @@ void Runtime::sender_loop(int rank) {
   auto& outbox = *outboxes_[static_cast<std::size_t>(rank)];
   while (auto msg = outbox.pop_blocking()) {
     try {
-      transport_->send(std::move(*msg));
+      channel_->send(std::move(*msg));
     } catch (const std::exception& e) {
       fail(std::string("sender: ") + e.what());
       return;
@@ -226,8 +232,11 @@ void Runtime::receiver_loop(int rank) {
   //   kWireSingle: [0, type, a, b, c, input_pos], payload = the flow data
   //   kWireMulti:  [1, n, then n x (type, a, b, c, input_pos, len)],
   //                payload = the n flow payloads concatenated
-  while (auto msg = transport_->recv(rank)) {
-    try {
+  // recv() itself may throw (net::ChannelError when a reliability layer has
+  // exhausted its retries), so the whole loop sits inside the try: a failed
+  // channel aborts the run instead of terminating the process.
+  try {
+    while (auto msg = channel_->recv(rank)) {
       if (msg->header.empty()) throw std::runtime_error("empty header");
       if (msg->header[0] == kWireSingle) {
         if (msg->header.size() != 6) {
@@ -269,10 +278,9 @@ void Runtime::receiver_loop(int rank) {
       } else {
         throw std::runtime_error("unknown wire format");
       }
-    } catch (const std::exception& e) {
-      fail(std::string("receiver: ") + e.what());
-      return;
     }
+  } catch (const std::exception& e) {
+    fail(std::string("receiver: ") + e.what());
   }
 }
 
@@ -447,7 +455,7 @@ void Runtime::post_message(int src_rank, net::Message msg) {
     outboxes_[static_cast<std::size_t>(src_rank)]->push(std::move(msg));
   } else {
     try {
-      transport_->send(std::move(msg));
+      channel_->send(std::move(msg));
     } catch (const std::exception& e) {
       fail(std::string("send: ") + e.what());
     }

@@ -55,6 +55,9 @@ struct Config {
   /// into one message (PaRSEC-style per-node aggregation). Fewer, larger
   /// messages; ablation knob for the CA experiments.
   bool aggregate_messages = false;
+  /// Builds the message channel for each run — the hook for fault-injection
+  /// and reliability stacks (src/fault). Null = plain in-memory Transport.
+  net::ChannelFactory channel_factory{};
 };
 
 struct RunStats {
@@ -62,7 +65,7 @@ struct RunStats {
   std::size_t tasks_executed = 0;
   std::uint64_t messages = 0;      ///< remote messages (inter-rank only)
   std::uint64_t bytes = 0;         ///< remote payload+header bytes
-  std::vector<std::size_t> message_sizes;
+  net::SizeHistogram message_sizes;  ///< log2-bucket size distribution
 };
 
 /// Execution context handed to task bodies.
@@ -190,7 +193,7 @@ class Runtime {
   std::vector<TaskState> states_;
   std::vector<std::unique_ptr<ReadyQueue>> queues_;
   std::vector<std::unique_ptr<Outbox>> outboxes_;
-  std::unique_ptr<net::Transport> transport_;
+  std::shared_ptr<net::Channel> channel_;
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::size_t> remaining_tasks_{0};
   std::atomic<std::size_t> executed_tasks_{0};

@@ -169,17 +169,19 @@ SimResult simulate(const SimGraph& graph, const SimMachineConfig& machine,
           const double send_start =
               std::max(now, comm_free_at[static_cast<std::size_t>(node)]);
           const double wire =
-              machine.comm_overhead_s + machine.link.per_message_s +
-              (machine.link.effective_bw_Bps > 0.0
-                   ? group.first / machine.link.effective_bw_Bps
-                   : 0.0);
+              machine.message_cost_multiplier *
+              (machine.comm_overhead_s + machine.link.per_message_s +
+               (machine.link.effective_bw_Bps > 0.0
+                    ? group.first / machine.link.effective_bw_Bps
+                    : 0.0));
           const double send_end = send_start + wire;
           comm_free_at[static_cast<std::size_t>(node)] = send_end;
           result.messages += 1;
           result.message_bytes += group.first;
           result.network_busy_s += wire;
           for (std::uint32_t dst : group.second) {
-            events.push({send_end + machine.link.latency_s,
+            events.push({send_end + machine.link.latency_s +
+                             machine.extra_latency_s,
                          EventType::MessageArrive, dst, seq++});
           }
         }

@@ -99,6 +99,12 @@ struct SimMachineConfig {
   /// destination into one message (payloads summed, one overhead each way) —
   /// the model counterpart of rt::Config::aggregate_messages.
   bool aggregate_per_destination = false;
+  /// Retry-cost model hooks (see sim::LossModel): every send's wire cost is
+  /// scaled by the expected transmission count, and every delivery pays the
+  /// expected retransmit-timeout wait on top of the link latency. 1.0 / 0.0
+  /// reproduce the lossless model exactly.
+  double message_cost_multiplier = 1.0;
+  double extra_latency_s = 0.0;
 };
 
 /// Run the graph to completion. Throws on cycles (tasks that never become

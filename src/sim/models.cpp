@@ -152,6 +152,8 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
   config.link = p.machine.link;
   config.comm_overhead_s = p.machine.comm_overhead_s;
   config.aggregate_per_destination = p.aggregate_messages;
+  config.message_cost_multiplier = p.loss.expected_attempts();
+  config.extra_latency_s = p.loss.expected_extra_latency_s();
 
   StencilSimOutput out;
   out.sim = simulate(graph, config, trace);

@@ -23,6 +23,47 @@ inline constexpr std::uint16_t kKlassInit = 0;
 inline constexpr std::uint16_t kKlassInterior = 1;
 inline constexpr std::uint16_t kKlassBoundary = 2;
 
+/// Expected retransmission cost of a lossy link under the capped-retry
+/// policy of fault::ReliableChannel: messages are dropped i.i.d. with
+/// probability `loss_rate`, retransmitted after an exponentially backed-off
+/// timeout, and given up after `max_retries` resends. The model feeds the
+/// DES two aggregates:
+///   * expected_attempts() scales every send's wire cost (the NIC/comm
+///     thread pays for each transmission, including the doomed ones);
+///   * expected_extra_latency_s() adds the mean timeout wait a delivered
+///     message accumulated before its successful transmission.
+struct LossModel {
+  double loss_rate = 0.0;  ///< per-transmission drop probability in [0, 1)
+  double retransmit_timeout_s = 5e-3;
+  double backoff = 2.0;
+  int max_retries = 12;
+
+  /// Mean transmissions per message: (1 - p^{R+1}) / (1 - p), capped at R+1.
+  double expected_attempts() const {
+    const double p = loss_rate;
+    if (p <= 0.0) return 1.0;
+    double attempts = 0.0, prob = 1.0;
+    for (int k = 0; k <= max_retries; ++k, prob *= p) attempts += prob;
+    return attempts;
+  }
+
+  /// Mean timeout wait before the transmission that succeeds, conditioned on
+  /// delivery within the retry budget.
+  double expected_extra_latency_s() const {
+    const double p = loss_rate;
+    if (p <= 0.0) return 0.0;
+    double wait = 0.0, norm = 0.0, prob = 1.0;  // prob = p^k
+    for (int k = 0; k <= max_retries; ++k, prob *= p) {
+      // k failed transmissions first: wait the first k backoff intervals.
+      double intervals = 0.0, t = retransmit_timeout_s;
+      for (int j = 0; j < k; ++j, t *= backoff) intervals += t;
+      wait += prob * (1.0 - p) * intervals;
+      norm += prob * (1.0 - p);
+    }
+    return norm > 0.0 ? wait / norm : 0.0;
+  }
+};
+
 struct StencilSimParams {
   Machine machine;
   int N = 0;            ///< square problem size
@@ -37,6 +78,8 @@ struct StencilSimParams {
   bool boundary_priority = true;
   /// Merge per-destination messages (rt::Config::aggregate_messages analog).
   bool aggregate_messages = false;
+  /// Lossy-link retry cost (loss_rate 0 = exact lossless model).
+  LossModel loss{};
 };
 
 struct StencilSimOutput {

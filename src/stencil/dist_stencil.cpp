@@ -42,6 +42,7 @@ struct Shared {
   double ratio;
   int radius = 1;    ///< stencil reach (1 for the paper's 5-point case)
   bool box = false;  ///< box-shaped stencil (reads diagonals every step)
+  SuperstepHook hook;  ///< superstep-boundary snapshot callback (may be empty)
   std::atomic<long long> computed_points{0};
 };
 
@@ -101,6 +102,19 @@ TileInfo make_tile_info(const TileMap& map, int steps, int radius, bool box,
   return info;
 }
 
+/// Hand the tile's h x w core (row-major) to the superstep hook.
+void call_hook(const Shared& shared, const TileInfo& info, int k,
+               const double* ext) {
+  const TileGeom& g = info.geom;
+  std::vector<double> core(static_cast<std::size_t>(g.h) * g.w);
+  for (int i = 0; i < g.h; ++i) {
+    for (int j = 0; j < g.w; ++j) {
+      core[static_cast<std::size_t>(i) * g.w + j] = ext[g.idx(i, j)];
+    }
+  }
+  shared.hook(k, info.ti, info.tj, core);
+}
+
 /// What a task publishes besides its state, decided at graph-build time so
 /// that producers and consumers agree by construction.
 struct PackPlan {
@@ -117,6 +131,7 @@ class Builder {
                     config.decomp.nb, config.decomp.node_rows,
                     config.decomp.node_cols),
             config.steps, config.kernel_ratio)) {
+    shared_->hook = config.superstep_hook;
     if (config.steps < 1) {
       throw std::invalid_argument("steps must be >= 1");
     }
@@ -264,6 +279,7 @@ class Builder {
         }
         ctx.publish(kSlotCoeff, std::move(coeff));
       }
+      if (shared->hook) call_hook(*shared, tile_info, 0, ext.data());
       publish_all(ctx, tile_info, plan, depth, std::move(ext));
     };
     return spec;
@@ -405,6 +421,11 @@ class Builder {
           static_cast<long long>(r1 - r0) * (c1 - c0),
           std::memory_order_relaxed);
 
+      // The tile is globally consistent again at superstep boundaries — the
+      // natural checkpoint instant.
+      if (shared->hook && k % steps == 0) {
+        call_hook(*shared, tile_info, k, out.data());
+      }
       publish_all(ctx, tile_info, plan, exchange_depth, std::move(out));
     };
     return spec;
@@ -441,6 +462,7 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
   rt_config.trace = config.trace;
   rt_config.scheduler = config.scheduler;
   rt_config.aggregate_messages = config.aggregate_messages;
+  rt_config.channel_factory = config.channel_factory;
 
   rt::Runtime runtime(rt_config);
   rt::RunStats stats = runtime.run(graph);

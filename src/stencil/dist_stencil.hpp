@@ -19,14 +19,24 @@
 // numerically meaningful when ratio < 1 (timing experiments only).
 #pragma once
 
+#include <functional>
 #include <vector>
 
+#include "net/channel.hpp"
 #include "runtime/runtime.hpp"
 #include "stencil/grid.hpp"
 #include "stencil/problem.hpp"
 #include "stencil/tile_map.hpp"
 
 namespace repro::stencil {
+
+/// Called as tile (ti,tj) reaches a globally consistent state: after INIT
+/// (k == 0) and after each iteration k with k % steps == 0. `core` is the
+/// tile's h x w interior, row-major. Invoked concurrently from worker
+/// threads — the callee must be thread-safe. Used by the fault subsystem to
+/// checkpoint at CA superstep boundaries.
+using SuperstepHook =
+    std::function<void(int k, int ti, int tj, const std::vector<double>& core)>;
 
 struct Decomposition {
   int mb = 0;         ///< nominal tile rows
@@ -45,6 +55,10 @@ struct DistConfig {
   rt::SchedPolicy scheduler = rt::SchedPolicy::PriorityFifo;
   /// Per-destination-node message aggregation (see rt::Config).
   bool aggregate_messages = false;
+  /// Snapshot callback at superstep boundaries (empty = disabled).
+  SuperstepHook superstep_hook{};
+  /// Custom channel stack for remote traffic (empty = plain Transport).
+  net::ChannelFactory channel_factory{};
 };
 
 struct DistResult {

@@ -136,15 +136,13 @@ TEST(EdgeCases, RuntimeObjectIsReusableAcrossGraphs) {
   }
 }
 
-TEST(EdgeCases, RunStatsMessageSizesMatchCount) {
+TEST(EdgeCases, RunStatsMessageSizeHistogramMatchesCounters) {
   const Problem problem = random_problem(16, 16, 3);
   DistConfig config;
   config.decomp = {4, 4, 2, 2};
   const DistResult r = run_distributed(problem, config);
-  EXPECT_EQ(r.stats.message_sizes.size(), r.stats.messages);
-  std::uint64_t sum = 0;
-  for (std::size_t n : r.stats.message_sizes) sum += n;
-  EXPECT_EQ(sum, r.stats.bytes);
+  EXPECT_EQ(r.stats.message_sizes.total_count(), r.stats.messages);
+  EXPECT_EQ(r.stats.message_sizes.total_bytes(), r.stats.bytes);
 }
 
 TEST(EdgeCases, IdealLinkHasNoPerByteCost) {

@@ -1,0 +1,199 @@
+// End-to-end resilience: the CA stencil over the full channel stack
+// ReliableChannel( FaultInjector( Transport ) ) must produce a final grid
+// bit-identical to the fault-free serial reference — faults may cost time,
+// never correctness.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fault/fault_injector.hpp"
+#include "fault/reliable_channel.hpp"
+#include "fault/resilient.hpp"
+#include "net/transport.hpp"
+#include "stencil/dist_stencil.hpp"
+#include "stencil/serial.hpp"
+
+namespace repro::fault {
+namespace {
+
+using stencil::DistConfig;
+using stencil::Grid2D;
+using stencil::Problem;
+
+/// Channel factory for the canonical stack; keeps a handle to the last built
+/// layers so tests can read their counters after the run.
+struct Stack {
+  FaultPlan plan;
+  ReliableConfig reliable;
+  std::shared_ptr<ReliableChannel> last;
+
+  net::ChannelFactory factory() {
+    return [this](int nranks) {
+      auto transport = std::make_shared<net::Transport>(nranks);
+      auto injector = std::make_shared<FaultInjector>(transport, plan);
+      last = std::make_shared<ReliableChannel>(injector, reliable);
+      return last;
+    };
+  }
+  const FaultInjector& injector() const {
+    return static_cast<const FaultInjector&>(*last->inner());
+  }
+};
+
+DistConfig small_config(int steps) {
+  DistConfig config;
+  config.decomp = {16, 16, 2, 2};
+  config.steps = steps;
+  config.workers_per_rank = 2;
+  return config;
+}
+
+TEST(FaultE2E, CaStencilBitIdenticalUnderHeavyFaults) {
+  // 10-20% of every fault type, CA step sizes bracketing the paper's sweep,
+  // three seeds each: the delivered field must match serial exactly.
+  const Problem problem = stencil::random_problem(64, 64, 15);
+  const Grid2D expected = solve_serial(problem);
+
+  for (int steps : {1, 5, 15}) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      Stack stack;
+      stack.plan = FaultPlan::uniform(seed, 0.15, 0.10, 0.20);
+      stack.reliable.timeout_s = 0.001;
+      DistConfig config = small_config(steps);
+      config.channel_factory = stack.factory();
+
+      const auto result = run_distributed(problem, config);
+      EXPECT_EQ(Grid2D::max_abs_diff(expected, result.grid), 0.0)
+          << "steps " << steps << " seed " << seed;
+
+      const FaultStats faults = stack.injector().fault_stats();
+      const ReliableStats rel = stack.last->reliable_stats();
+      EXPECT_GT(faults.dropped, 0u) << "fault plan was not exercised";
+      EXPECT_GT(rel.retransmits, 0u) << "drops must force retransmissions";
+      EXPECT_FALSE(rel.failed);
+    }
+  }
+}
+
+TEST(FaultE2E, ZeroFaultPlanAddsNoRetransmits) {
+  // With live runtime receivers draining acks at the default timeout, a
+  // clean channel must see zero reliability traffic beyond the acks.
+  const Problem problem = stencil::random_problem(64, 64, 10);
+  const Grid2D expected = solve_serial(problem);
+
+  Stack stack;
+  stack.plan = FaultPlan::uniform(1, 0.0);
+  // Acks turn around in microseconds here; the generous timeout only guards
+  // against sanitizer/CI scheduling stalls masquerading as losses.
+  stack.reliable.timeout_s = 0.1;
+  DistConfig config = small_config(5);
+  config.channel_factory = stack.factory();
+
+  const auto result = run_distributed(problem, config);
+  EXPECT_EQ(Grid2D::max_abs_diff(expected, result.grid), 0.0);
+
+  const FaultStats faults = stack.injector().fault_stats();
+  const ReliableStats rel = stack.last->reliable_stats();
+  EXPECT_EQ(faults.dropped, 0u);
+  EXPECT_EQ(faults.duplicated, 0u);
+  EXPECT_EQ(rel.retransmits, 0u);
+  EXPECT_EQ(rel.dup_dropped, 0u);
+  EXPECT_EQ(rel.out_of_order, 0u);
+  // Everything the injector saw was first-transmission data or acks.
+  EXPECT_EQ(rel.data_sent + rel.acks_sent, faults.forwarded);
+}
+
+TEST(FaultE2E, SuperstepHookSeesConsistentSnapshots) {
+  // The hook must observe, for every superstep boundary, tile cores that
+  // reassemble into exactly the serial iterate at that iteration.
+  const Problem problem = stencil::random_problem(32, 32, 6);
+  DistConfig config;
+  config.decomp = {8, 8, 2, 2};
+  config.steps = 3;
+
+  CheckpointStore store;
+  config.superstep_hook = [&store](int k, int ti, int tj,
+                                   const std::vector<double>& core) {
+    store.store(k, ti, tj, core);
+  };
+  run_distributed(problem, config);
+
+  const stencil::TileMap map(32, 32, 8, 8, 2, 2);
+  for (int k : {0, 3, 6}) {
+    Problem upto = problem;
+    upto.iterations = k;
+    const Grid2D reference = solve_serial(upto);
+    const auto tiles = store.tiles(k);
+    ASSERT_EQ(tiles.size(), 16u) << "superstep " << k;
+    for (const auto& [coord, core] : tiles) {
+      const auto [ti, tj] = coord;
+      for (int i = 0; i < map.tile_h(ti); ++i) {
+        for (int j = 0; j < map.tile_w(tj); ++j) {
+          ASSERT_EQ(core[static_cast<std::size_t>(i) * map.tile_w(tj) + j],
+                    reference.at(map.row0(ti) + i, map.col0(tj) + j))
+              << "k=" << k << " tile (" << ti << "," << tj << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultE2E, ResilientRunnerRecoversFromBlackoutBitIdentically) {
+  // The channel blacks out mid-run (every message dropped from then on), the
+  // reliable layer gives up, and the resilient runner must roll back to the
+  // last checkpoint, retry on a fresh channel, and still match serial.
+  const Problem problem = stencil::random_problem(48, 48, 12);
+  const Grid2D expected = solve_serial(problem);
+
+  int attempt = 0;
+  ResilientConfig config;
+  config.dist = small_config(3);
+  config.checkpoint_supersteps = 2;  // 6-iteration windows
+  config.channel_factory = [&attempt](int nranks) -> std::shared_ptr<net::Channel> {
+    auto transport = std::make_shared<net::Transport>(nranks);
+    FaultPlan plan;
+    // First attempt dies early; later attempts get a clean channel so the
+    // test terminates deterministically.
+    if (attempt++ == 0) plan.blackout_after = 40;
+    auto injector = std::make_shared<FaultInjector>(transport, plan);
+    ReliableConfig reliable;
+    reliable.timeout_s = 0.0005;
+    reliable.max_retries = 4;
+    return std::make_shared<ReliableChannel>(injector, reliable);
+  };
+
+  const ResilientResult result = run_resilient(problem, config);
+  EXPECT_EQ(Grid2D::max_abs_diff(expected, result.grid), 0.0);
+  EXPECT_GE(result.rollbacks, 1);
+  EXPECT_EQ(result.attempts, result.windows + result.rollbacks);
+  EXPECT_GT(result.checkpoints.stored, 0u);
+}
+
+TEST(FaultE2E, ResilientRunnerUnderSustainedRandomLoss) {
+  // Persistent 10% drop across every window, aggressive give-up threshold:
+  // windows may fail repeatedly, yet recovery must converge to the exact
+  // serial result within the attempt budget.
+  const Problem problem = stencil::random_problem(48, 48, 9);
+  const Grid2D expected = solve_serial(problem);
+
+  std::uint64_t next_seed = 100;
+  ResilientConfig config;
+  config.dist = small_config(3);
+  config.max_attempts = 25;
+  config.channel_factory =
+      [&next_seed](int nranks) -> std::shared_ptr<net::Channel> {
+    auto transport = std::make_shared<net::Transport>(nranks);
+    auto injector = std::make_shared<FaultInjector>(
+        transport, FaultPlan::uniform(next_seed++, 0.10, 0.05, 0.05));
+    ReliableConfig reliable;
+    reliable.timeout_s = 0.001;
+    return std::make_shared<ReliableChannel>(injector, reliable);
+  };
+
+  const ResilientResult result = run_resilient(problem, config);
+  EXPECT_EQ(Grid2D::max_abs_diff(expected, result.grid), 0.0);
+  EXPECT_GE(result.windows, 3);  // 9 iterations / (1 superstep * s=3) windows
+}
+
+}  // namespace
+}  // namespace repro::fault

@@ -1,0 +1,342 @@
+// Unit tests for the fault subsystem: injector determinism, the reliable
+// channel's exactly-once FIFO contract, checkpoint bookkeeping, and the DES
+// loss model's closed forms.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "fault/checkpoint.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/reliable_channel.hpp"
+#include "net/transport.hpp"
+#include "sim/models.hpp"
+
+namespace repro::fault {
+namespace {
+
+net::Message make_msg(int src, int dst, std::uint64_t value) {
+  net::Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.header = {value};
+  msg.payload = {static_cast<double>(value)};
+  return msg;
+}
+
+/// Acks are applied when the ack's destination rank receives them — the
+/// runtime's per-rank receiver loops do that in real runs. Lossy unit tests
+/// stand in this poller for the sender-side ranks, or the in-flight window
+/// would never drain.
+class AckDrainer {
+ public:
+  AckDrainer(ReliableChannel& channel, std::vector<int> ranks)
+      : channel_(channel), ranks_(std::move(ranks)), thread_([this] { run(); }) {}
+  ~AckDrainer() { stop(); }
+
+  void stop() {
+    done_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void run() {
+    try {
+      while (!done_.load()) {
+        for (int rank : ranks_) channel_.try_recv(rank);
+        std::this_thread::yield();
+      }
+    } catch (const net::ChannelError&) {
+      // A test that expects failure observes it on its own thread.
+    }
+  }
+
+  ReliableChannel& channel_;
+  std::vector<int> ranks_;
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
+TEST(FaultInjector, ZeroFaultPlanForwardsEverything) {
+  auto transport = std::make_shared<net::Transport>(2);
+  FaultInjector injector(transport, FaultPlan::uniform(7, 0.0));
+  for (int i = 0; i < 100; ++i) injector.send(make_msg(0, 1, i));
+  for (int i = 0; i < 100; ++i) {
+    const auto msg = injector.recv(1);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->header[0], static_cast<std::uint64_t>(i));
+  }
+  const FaultStats stats = injector.fault_stats();
+  EXPECT_EQ(stats.forwarded, 100u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.duplicated, 0u);
+  EXPECT_EQ(stats.reordered, 0u);
+  injector.close();
+}
+
+TEST(FaultInjector, FaultDrawsAreDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    auto transport = std::make_shared<net::Transport>(2);
+    FaultInjector injector(transport,
+                           FaultPlan::uniform(seed, 0.3, 0.1, 0.1));
+    for (int i = 0; i < 500; ++i) injector.send(make_msg(0, 1, i));
+    const FaultStats stats = injector.fault_stats();
+    injector.close();
+    return stats;
+  };
+  const FaultStats a = run(42);
+  const FaultStats b = run(42);
+  const FaultStats c = run(43);
+  EXPECT_EQ(a.forwarded, b.forwarded);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.reordered, b.reordered);
+  // A different seed draws a different fault sequence (with overwhelming
+  // probability for 500 sends at these rates).
+  EXPECT_NE(a.dropped, c.dropped);
+}
+
+TEST(FaultInjector, DropRateIsRoughlyHonored) {
+  auto transport = std::make_shared<net::Transport>(2);
+  FaultInjector injector(transport, FaultPlan::uniform(1, 0.2));
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) injector.send(make_msg(0, 1, i));
+  const FaultStats stats = injector.fault_stats();
+  EXPECT_EQ(stats.forwarded + stats.dropped, static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(static_cast<double>(stats.dropped) / n, 0.2, 0.05);
+  injector.close();
+}
+
+TEST(FaultInjector, BlackoutDropsEverythingAfterThreshold) {
+  auto transport = std::make_shared<net::Transport>(2);
+  FaultPlan plan;  // no random faults
+  plan.blackout_after = 10;
+  FaultInjector injector(transport, plan);
+  for (int i = 0; i < 25; ++i) injector.send(make_msg(0, 1, i));
+  const FaultStats stats = injector.fault_stats();
+  EXPECT_EQ(stats.forwarded, 10u);
+  EXPECT_EQ(stats.dropped, 15u);
+  injector.close();
+}
+
+TEST(ReliableChannel, ZeroFaultPathAddsNoRetransmits) {
+  auto transport = std::make_shared<net::Transport>(2);
+  auto injector =
+      std::make_shared<FaultInjector>(transport, FaultPlan::uniform(1, 0.0));
+  // Nobody drains rank 0's ack mailbox in this test, so park the timeout far
+  // beyond the test's lifetime; the e2e suite verifies zero retransmits with
+  // live receivers at the real 5 ms timeout.
+  ReliableConfig config;
+  config.timeout_s = 30.0;
+  ReliableChannel channel(injector, config);
+  for (int i = 0; i < 200; ++i) channel.send(make_msg(0, 1, i));
+  for (int i = 0; i < 200; ++i) {
+    const auto msg = channel.recv(1);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->header[0], static_cast<std::uint64_t>(i));
+    EXPECT_EQ(msg->payload[0], static_cast<double>(i));
+  }
+  const ReliableStats stats = channel.reliable_stats();
+  EXPECT_EQ(stats.data_sent, 200u);
+  EXPECT_EQ(stats.retransmits, 0u);
+  EXPECT_EQ(stats.dup_dropped, 0u);
+  EXPECT_EQ(stats.out_of_order, 0u);
+  EXPECT_FALSE(stats.failed);
+  channel.close();
+}
+
+TEST(ReliableChannel, ExactlyOnceFifoOverFaultyChannel) {
+  // 15% drop + 10% duplicate + 10% reorder, several seeds: every message
+  // arrives exactly once, in order, with its payload intact.
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    auto transport = std::make_shared<net::Transport>(2);
+    auto injector = std::make_shared<FaultInjector>(
+        transport, FaultPlan::uniform(seed, 0.15, 0.10, 0.10));
+    ReliableConfig config;
+    config.timeout_s = 0.001;
+    ReliableChannel channel(injector, config);
+    AckDrainer drainer(channel, {0});
+
+    const int n = 300;
+    std::thread sender([&] {
+      for (int i = 0; i < n; ++i) channel.send(make_msg(0, 1, i));
+    });
+    for (int i = 0; i < n; ++i) {
+      const auto msg = channel.recv(1);
+      ASSERT_TRUE(msg.has_value()) << "seed " << seed << " i " << i;
+      EXPECT_EQ(msg->header[0], static_cast<std::uint64_t>(i));
+      EXPECT_EQ(msg->payload[0], static_cast<double>(i));
+    }
+    sender.join();
+    drainer.stop();
+    EXPECT_FALSE(channel.failed());
+    channel.close();
+  }
+}
+
+TEST(ReliableChannel, ConcurrentSendersKeepPerChannelFifo) {
+  // Ranks 0 and 2 both stream to rank 1 over a lossy link; each (src,dst)
+  // stream must stay independently FIFO and complete.
+  auto transport = std::make_shared<net::Transport>(3);
+  auto injector = std::make_shared<FaultInjector>(
+      transport, FaultPlan::uniform(5, 0.1, 0.1, 0.1));
+  ReliableConfig config;
+  config.timeout_s = 0.001;
+  ReliableChannel channel(injector, config);
+  AckDrainer drainer(channel, {0, 2});
+
+  const int n = 200;
+  auto produce = [&](int src) {
+    for (int i = 0; i < n; ++i) channel.send(make_msg(src, 1, i));
+  };
+  std::thread s0(produce, 0);
+  std::thread s2(produce, 2);
+  std::uint64_t next_from[3] = {0, 0, 0};
+  for (int got = 0; got < 2 * n;) {
+    const auto msg = channel.recv(1);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->header[0], next_from[msg->src]) << "src " << msg->src;
+    ++next_from[msg->src];
+    ++got;
+  }
+  s0.join();
+  s2.join();
+  drainer.stop();
+  EXPECT_EQ(next_from[0], static_cast<std::uint64_t>(n));
+  EXPECT_EQ(next_from[2], static_cast<std::uint64_t>(n));
+  channel.close();
+}
+
+TEST(ReliableChannel, GivesUpAndThrowsWhenRetriesExhausted) {
+  auto transport = std::make_shared<net::Transport>(2);
+  auto injector =
+      std::make_shared<FaultInjector>(transport, FaultPlan::uniform(1, 1.0));
+  ReliableConfig config;
+  config.timeout_s = 0.0005;
+  config.max_retries = 3;
+  ReliableChannel channel(injector, config);
+  channel.send(make_msg(0, 1, 0));
+  // recv blocks until the retransmit thread gives up and fails the channel.
+  EXPECT_THROW(channel.recv(1), net::ChannelError);
+  EXPECT_TRUE(channel.failed());
+  EXPECT_TRUE(channel.reliable_stats().failed);
+  EXPECT_GE(channel.reliable_stats().retransmits, 3u);
+  EXPECT_THROW(channel.send(make_msg(0, 1, 1)), net::ChannelError);
+  channel.close();
+}
+
+TEST(ReliableChannel, TryRecvDrainsWithoutBlocking) {
+  auto transport = std::make_shared<net::Transport>(2);
+  ReliableConfig config;
+  config.timeout_s = 30.0;  // undrained acks again: keep retransmits out
+  ReliableChannel channel(transport, config);
+  EXPECT_FALSE(channel.try_recv(1).has_value());
+  for (int i = 0; i < 50; ++i) channel.send(make_msg(0, 1, i));
+  int got = 0;
+  while (got < 50) {
+    if (const auto msg = channel.try_recv(1)) {
+      EXPECT_EQ(msg->header[0], static_cast<std::uint64_t>(got));
+      ++got;
+    }
+  }
+  EXPECT_FALSE(channel.try_recv(1).has_value());
+  channel.close();
+}
+
+TEST(CheckpointStore, StoresFindsAndTracksCompleteness) {
+  CheckpointStore store;
+  EXPECT_EQ(store.last_complete_superstep(4), -1);
+  store.store(0, 0, 0, {1.0});
+  store.store(0, 0, 1, {2.0});
+  store.store(0, 1, 0, {3.0});
+  store.store(0, 1, 1, {4.0});
+  store.store(5, 0, 0, {5.0});  // superstep 5 incomplete: 1 of 4 tiles
+  EXPECT_EQ(store.last_complete_superstep(4), 0);
+  store.store(5, 0, 1, {6.0});
+  store.store(5, 1, 0, {7.0});
+  store.store(5, 1, 1, {8.0});
+  EXPECT_EQ(store.last_complete_superstep(4), 5);
+
+  const auto found = store.find(5, 1, 0);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ((*found)[0], 7.0);
+  EXPECT_FALSE(store.find(5, 2, 2).has_value());
+  EXPECT_FALSE(store.find(3, 0, 0).has_value());
+
+  EXPECT_EQ(store.tiles(0).size(), 4u);
+  EXPECT_EQ(store.stats().stored, 8u);
+  EXPECT_EQ(store.stats().supersteps, 2);
+  EXPECT_EQ(store.stats().bytes, 8u * sizeof(double));
+}
+
+TEST(CheckpointStore, OverwriteIsIdempotentAndTrimDropsOldSupersteps) {
+  CheckpointStore store;
+  store.store(0, 0, 0, {1.0});
+  store.store(0, 0, 0, {1.0});  // re-execution stores the same snapshot
+  EXPECT_EQ(store.tiles(0).size(), 1u);
+  EXPECT_EQ(store.stats().stored, 2u);
+  store.store(5, 0, 0, {2.0});
+  store.store(10, 0, 0, {3.0});
+  store.trim_below(5);
+  EXPECT_FALSE(store.find(0, 0, 0).has_value());
+  EXPECT_TRUE(store.find(5, 0, 0).has_value());
+  EXPECT_TRUE(store.find(10, 0, 0).has_value());
+  store.clear();
+  EXPECT_EQ(store.last_complete_superstep(1), -1);
+}
+
+TEST(CheckpointStore, ConcurrentStoresFromWorkerThreadsAreSafe) {
+  CheckpointStore store;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&store, t] {
+      for (int k = 0; k < 50; ++k) store.store(k, t, 0, {static_cast<double>(k)});
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(store.stats().stored, 200u);
+  EXPECT_EQ(store.last_complete_superstep(4), 49);
+}
+
+TEST(LossModel, ZeroLossIsExactlyFree) {
+  sim::LossModel loss;
+  EXPECT_DOUBLE_EQ(loss.expected_attempts(), 1.0);
+  EXPECT_DOUBLE_EQ(loss.expected_extra_latency_s(), 0.0);
+}
+
+TEST(LossModel, ExpectedAttemptsMatchesGeometricSeries) {
+  sim::LossModel loss;
+  loss.loss_rate = 0.5;
+  loss.max_retries = 2;
+  // 1 + p + p^2 = 1.75 transmissions on average with a 2-resend cap.
+  EXPECT_DOUBLE_EQ(loss.expected_attempts(), 1.75);
+
+  loss.max_retries = 60;  // effectively uncapped: -> 1 / (1 - p)
+  EXPECT_NEAR(loss.expected_attempts(), 2.0, 1e-9);
+}
+
+TEST(LossModel, ExtraLatencyGrowsWithLossAndBacksOff) {
+  sim::LossModel a;
+  a.loss_rate = 0.1;
+  sim::LossModel b = a;
+  b.loss_rate = 0.3;
+  EXPECT_GT(b.expected_extra_latency_s(), a.expected_extra_latency_s());
+  EXPECT_GT(a.expected_extra_latency_s(), 0.0);
+
+  // With backoff 1 and one retry max, the conditional mean wait is
+  // p * t / (1 - p + p(1-p)) ... simpler: P(1 fail then success) * t,
+  // normalized by P(success within budget).
+  sim::LossModel c;
+  c.loss_rate = 0.5;
+  c.backoff = 1.0;
+  c.max_retries = 1;
+  c.retransmit_timeout_s = 0.01;
+  const double p_success_0 = 0.5, p_success_1 = 0.25;
+  const double expect =
+      (p_success_1 * 0.01) / (p_success_0 + p_success_1);
+  EXPECT_NEAR(c.expected_extra_latency_s(), expect, 1e-12);
+}
+
+}  // namespace
+}  // namespace repro::fault

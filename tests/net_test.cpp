@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "net/link_model.hpp"
@@ -106,9 +107,34 @@ TEST(Transport, CountsMessagesAndBytes) {
   const TrafficStats stats = transport.stats();
   EXPECT_EQ(stats.messages, 1u);
   EXPECT_EQ(stats.bytes, expected);
-  ASSERT_EQ(stats.message_sizes.size(), 1u);
-  EXPECT_EQ(stats.message_sizes[0], expected);
+  EXPECT_EQ(stats.sizes.total_count(), 1u);
+  EXPECT_EQ(stats.sizes.total_bytes(), expected);
+  EXPECT_EQ(stats.sizes.count(SizeHistogram::bucket_of(expected)), 1u);
   transport.close();
+}
+
+TEST(SizeHistogram, BucketsByLog2AndKeepsExactByteTotals) {
+  SizeHistogram hist;
+  EXPECT_EQ(SizeHistogram::bucket_of(0), 0);
+  EXPECT_EQ(SizeHistogram::bucket_of(1), 0);
+  EXPECT_EQ(SizeHistogram::bucket_of(2), 1);
+  EXPECT_EQ(SizeHistogram::bucket_of(3), 1);
+  EXPECT_EQ(SizeHistogram::bucket_of(1024), 10);
+  EXPECT_EQ(SizeHistogram::bucket_of(1025), 10);
+  EXPECT_EQ(SizeHistogram::bucket_lo(10), 1024u);
+  hist.record(100);
+  hist.record(120);
+  hist.record(4096);
+  EXPECT_EQ(hist.count(6), 2u);   // [64, 128)
+  EXPECT_EQ(hist.bytes(6), 220u);
+  EXPECT_EQ(hist.count(12), 1u);  // [4096, 8192)
+  EXPECT_EQ(hist.total_count(), 3u);
+  EXPECT_EQ(hist.total_bytes(), 100u + 120u + 4096u);
+  SizeHistogram other;
+  other.record(100);
+  hist.merge(other);
+  EXPECT_EQ(hist.count(6), 3u);
+  EXPECT_EQ(hist.total_count(), 4u);
 }
 
 TEST(Transport, RejectsBadRanksAndSendAfterClose) {
@@ -167,6 +193,120 @@ TEST(Transport, ConcurrentSendersAllDeliver) {
   transport.close();
 }
 
+TEST(Transport, ConcurrentCloseAndRecvNeverHangs) {
+  // Regression for the closed-flag consolidation: a receiver that blocks
+  // just as close() lands must still wake. Repeat to give the race a chance.
+  for (int round = 0; round < 50; ++round) {
+    Transport transport(2);
+    std::thread receiver([&] {
+      while (transport.recv(0).has_value()) {
+      }
+    });
+    std::thread closer([&] { transport.close(); });
+    closer.join();
+    receiver.join();  // would deadlock on a missed wakeup
+    EXPECT_TRUE(transport.closed());
+  }
+}
+
+TEST(Transport, ConcurrentCloseAndSendIsAtomic) {
+  // send() either delivers fully (counted + queued) or throws; no partially
+  // recorded messages when close() races with senders.
+  for (int round = 0; round < 20; ++round) {
+    Transport transport(2);
+    std::atomic<int> delivered{0};
+    std::vector<std::thread> senders;
+    for (int t = 0; t < 4; ++t) {
+      senders.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) {
+          Message m;
+          m.src = 0;
+          m.dst = 1;
+          try {
+            transport.send(std::move(m));
+            delivered.fetch_add(1);
+          } catch (const std::runtime_error&) {
+            break;  // close won the race
+          }
+        }
+      });
+    }
+    transport.close();
+    for (auto& t : senders) t.join();
+    const TrafficStats stats = transport.stats();
+    // Every message that send() accepted is fully accounted; drain and check.
+    std::size_t drained = 0;
+    while (transport.try_recv(1).has_value()) ++drained;
+    EXPECT_EQ(stats.messages, static_cast<std::uint64_t>(delivered.load()));
+    EXPECT_EQ(drained, static_cast<std::size_t>(delivered.load()));
+  }
+}
+
+TEST(Transport, TryRecvUnderConcurrentSendersDeliversEverythingInOrder) {
+  Transport transport(3);
+  constexpr int kPerSender = 500;
+  std::vector<std::thread> senders;
+  for (int src = 1; src < 3; ++src) {
+    senders.emplace_back([&, src] {
+      for (int i = 0; i < kPerSender; ++i) {
+        Message m;
+        m.src = src;
+        m.dst = 0;
+        m.tag = static_cast<std::uint64_t>(src * 10000 + i);
+        transport.send(std::move(m));
+      }
+    });
+  }
+  // Consumer polls with try_recv only (the non-blocking path was previously
+  // untested under contention); FIFO must hold per source channel.
+  int received = 0;
+  int last_seen[3] = {-1, -1, -1};
+  while (received < 2 * kPerSender) {
+    auto m = transport.try_recv(0);
+    if (!m.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    const int src = m->src;
+    const int seq = static_cast<int>(m->tag) - src * 10000;
+    EXPECT_GT(seq, last_seen[src]) << "per-channel FIFO violated via try_recv";
+    last_seen[src] = seq;
+    ++received;
+  }
+  for (auto& t : senders) t.join();
+  EXPECT_FALSE(transport.try_recv(0).has_value());
+  EXPECT_EQ(transport.pending(0), 0u);
+  transport.close();
+}
+
+TEST(Transport, PendingIsConsistentUnderConcurrentSenders) {
+  Transport transport(2);
+  constexpr int kTotal = 400;
+  std::vector<std::thread> senders;
+  for (int t = 0; t < 4; ++t) {
+    senders.emplace_back([&] {
+      for (int i = 0; i < kTotal / 4; ++i) {
+        Message m;
+        m.src = 0;
+        m.dst = 1;
+        transport.send(std::move(m));
+      }
+    });
+  }
+  // pending() snapshots must never exceed the number of completed sends and
+  // must reach the exact total once senders are done.
+  std::size_t last = 0;
+  while (last < kTotal) {
+    const std::size_t now = transport.pending(1);
+    EXPECT_LE(now, static_cast<std::size_t>(kTotal));
+    last = now;
+  }
+  for (auto& t : senders) t.join();
+  EXPECT_EQ(transport.pending(1), static_cast<std::size_t>(kTotal));
+  EXPECT_EQ(transport.stats().messages, static_cast<std::uint64_t>(kTotal));
+  transport.close();
+}
+
 TEST(Netpipe, AnalyticCurveMatchesModel) {
   const LinkModel link = stampede2_link();
   const auto sizes = netpipe_sizes(64, 1 * MiB);
@@ -200,7 +340,8 @@ TEST(Netpipe, ModeledTrafficTimeSumsPerMessage) {
   }
   const LinkModel link = nacl_link();
   const TrafficStats stats = transport.stats();
-  const double expect = 4 * link.transfer_time(stats.message_sizes[0]);
+  // transfer_time is affine in size, so the histogram-backed sum is exact.
+  const double expect = 4 * link.transfer_time(stats.bytes / 4);
   EXPECT_NEAR(stats.modeled_time(link), expect, 1e-12);
   transport.close();
 }
