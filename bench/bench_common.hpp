@@ -4,6 +4,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/run_report.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -23,6 +24,22 @@ inline void maybe_csv(const Table& table, const Options& options,
     table.write_csv(path);
     std::cout << "\n(wrote " << path << ")\n";
   }
+}
+
+/// Write the machine-readable run report to --report=<path> when requested.
+/// Validates the document before writing so a schema regression fails the
+/// bench (and the CI smoke step) instead of producing a broken artefact.
+inline void maybe_report(const obs::RunReport& report, const Options& options,
+                         const std::string& default_name) {
+  if (!options.has("report")) return;
+  const std::string path = options.get_string("report", default_name);
+  std::string error;
+  const std::string text = report.to_string();
+  if (!obs::validate_run_report(text, &error)) {
+    throw std::runtime_error("run report failed validation: " + error);
+  }
+  report.write(path);
+  std::cout << "\n(wrote " << path << ")\n";
 }
 
 }  // namespace repro::bench

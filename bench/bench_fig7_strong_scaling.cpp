@@ -7,6 +7,8 @@
 //   * all three implementations scale well;
 //   * PaRSEC versions reach ~2x the PETSc speedup (CSR index traffic);
 //   * base and CA are "almost indistinguishable" at full kernel time.
+#include <memory>
+
 #include "bench_common.hpp"
 #include "sim/models.hpp"
 #include "spmv/petsc_like.hpp"
@@ -19,12 +21,17 @@ int main(int argc, char** argv) {
                 "PaRSEC ~2x PETSc everywhere; base ~= CA; near-linear "
                 "scaling to 64 nodes");
 
+  obs::RunReport report("bench_fig7_strong_scaling");
+
   const int iters = static_cast<int>(options.get_int("iters", 100));
   const int steps = static_cast<int>(options.get_int("steps", 15));
   // Optional lossy-link model: every message pays the expected retransmission
   // cost of fault::ReliableChannel at this drop rate (0 = exact paper model).
   sim::LossModel loss;
   loss.loss_rate = options.get_double("loss", 0.0);
+  report.set_param("iters", obs::Json(iters));
+  report.set_param("steps", obs::Json(steps));
+  report.set_param("loss", obs::Json(loss.loss_rate));
 
   struct System {
     sim::Machine machine;
@@ -61,6 +68,18 @@ int main(int argc, char** argv) {
                      Table::cell(t1 / rp.time_s, 2),
                      Table::cell(t1 / rb.time_s, 2),
                      Table::cell(t1 / rc.time_s, 2)});
+      obs::Json row = obs::Json::object();
+      row["machine"] = obs::Json(sys.machine.name);
+      row["N"] = obs::Json(sys.n);
+      row["tile"] = obs::Json(sys.tile);
+      row["nodes"] = obs::Json(nodes);
+      row["petsc_gflops"] = obs::Json(rp.gflops);
+      row["base_gflops"] = obs::Json(rb.gflops);
+      row["ca_gflops"] = obs::Json(rc.gflops);
+      row["ca_speedup"] = obs::Json(t1 / rc.time_s);
+      row["messages"] = obs::Json(rc.sim.messages);
+      row["bytes"] = obs::Json(rc.sim.message_bytes);
+      report.add_result(std::move(row));
     }
     table.print(std::cout);
     std::cout << '\n';
@@ -76,24 +95,58 @@ int main(int argc, char** argv) {
   std::cout << "Real execution on this host (N=" << n << ", " << host_iters
             << " iters, 4 virtual nodes / 4 SpMV ranks):\n";
   const stencil::Problem problem = stencil::laplace_problem(n, host_iters);
+  // Every real execution below shares one registry; the report carries its
+  // snapshot so the host run is reproducible from the JSON alone.
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
   Table real({"implementation", "time ms", "messages", "MB moved"});
   {
-    const auto r = spmv::run_petsc_like(problem, 4);
+    const auto r = spmv::run_petsc_like(problem, 4, metrics);
     real.add_row({"PETSc-like SpMV", Table::cell(r.wall_time_s * 1e3, 1),
                   Table::cell(static_cast<long long>(r.messages)),
                   Table::cell(static_cast<double>(r.bytes) / 1e6, 2)});
+    obs::Json row = obs::Json::object();
+    row["machine"] = obs::Json("host");
+    row["implementation"] = obs::Json("petsc_like");
+    row["time_ms"] = obs::Json(r.wall_time_s * 1e3);
+    row["messages"] = obs::Json(r.messages);
+    row["bytes"] = obs::Json(r.bytes);
+    report.add_result(std::move(row));
   }
   for (int steps : {1, 4}) {
     stencil::DistConfig config;
     config.decomp = {n / 8, n / 8, 2, 2};
     config.steps = steps;
     config.workers_per_rank = 2;
+    config.metrics = metrics;
     const auto r = run_distributed(problem, config);
     real.add_row({steps == 1 ? "base taskrt" : "CA taskrt (s=4)",
                   Table::cell(r.stats.wall_time_s * 1e3, 1),
                   Table::cell(static_cast<long long>(r.stats.messages)),
                   Table::cell(static_cast<double>(r.stats.bytes) / 1e6, 2)});
+    obs::Json row = obs::Json::object();
+    row["machine"] = obs::Json("host");
+    row["implementation"] =
+        obs::Json(steps == 1 ? "base_taskrt" : "ca_taskrt");
+    row["steps"] = obs::Json(steps);
+    row["time_ms"] = obs::Json(r.stats.wall_time_s * 1e3);
+    row["messages"] = obs::Json(r.stats.messages);
+    row["bytes"] = obs::Json(r.stats.bytes);
+    report.add_result(std::move(row));
   }
   real.print(std::cout);
+
+  report.set_param("host_n", obs::Json(n));
+  report.set_param("host_iters", obs::Json(host_iters));
+  report.add_metrics(*metrics);
+  if constexpr (obs::kEnabled) {
+    const obs::MetricsSnapshot snap = metrics->snapshot();
+    report.set_derived("host_messages_total",
+                       obs::Json(snap.counter_total("net_messages_total")));
+    report.set_derived("host_bytes_total",
+                       obs::Json(snap.counter_total("net_bytes_total")));
+    report.set_derived("host_tasks_executed_total",
+                       obs::Json(snap.counter_total("rt_tasks_executed_total")));
+  }
+  bench::maybe_report(report, options, "fig7_report.json");
   return 0;
 }

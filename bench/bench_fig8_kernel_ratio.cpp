@@ -11,6 +11,8 @@
 //     nodes and ~14% at ratio 0.4 (Fig. 10's configuration), 18-33% on
 //     Stampede2;
 //   * the "base, original kernel" (ratio=1) row is Fig. 8's black line.
+#include <algorithm>
+
 #include "bench_common.hpp"
 #include "sim/models.hpp"
 
@@ -23,6 +25,11 @@ int main(int argc, char** argv) {
 
   const int iters = static_cast<int>(options.get_int("iters", 100));
   const int steps = static_cast<int>(options.get_int("steps", 15));
+
+  obs::RunReport report("bench_fig8_kernel_ratio");
+  report.set_param("iters", obs::Json(iters));
+  report.set_param("steps", obs::Json(steps));
+  double best_gain_pct = 0.0;
 
   struct System {
     sim::Machine machine;
@@ -48,10 +55,21 @@ int main(int argc, char** argv) {
         ca.steps = steps;
         const auto rb = sim::simulate_stencil(base);
         const auto rc = sim::simulate_stencil(ca);
+        const double gain_pct = 100.0 * (rc.gflops / rb.gflops - 1.0);
         table.add_row({Table::cell(ratio, 1), Table::cell(rb.gflops, 1),
-                       Table::cell(rc.gflops, 1),
-                       Table::cell(100.0 * (rc.gflops / rb.gflops - 1.0), 1),
+                       Table::cell(rc.gflops, 1), Table::cell(gain_pct, 1),
                        Table::cell(base_full, 1)});
+        best_gain_pct = std::max(best_gain_pct, gain_pct);
+        obs::Json row = obs::Json::object();
+        row["machine"] = obs::Json(sys.machine.name);
+        row["nodes"] = obs::Json(side * side);
+        row["ratio"] = obs::Json(ratio);
+        row["base_gflops"] = obs::Json(rb.gflops);
+        row["ca_gflops"] = obs::Json(rc.gflops);
+        row["ca_gain_pct"] = obs::Json(gain_pct);
+        row["messages"] = obs::Json(rc.sim.messages);
+        row["bytes"] = obs::Json(rc.sim.message_bytes);
+        report.add_result(std::move(row));
       }
       table.print(std::cout);
       std::cout << '\n';
@@ -60,5 +78,7 @@ int main(int argc, char** argv) {
                            std::to_string(side * side) + "n.csv");
     }
   }
+  report.set_derived("best_ca_gain_pct", obs::Json(best_gain_pct));
+  bench::maybe_report(report, options, "fig8_report.json");
   return 0;
 }

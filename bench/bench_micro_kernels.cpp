@@ -5,8 +5,12 @@
 //   * corner block pack/unpack
 //   * CSR SpMV (reports the index-traffic handicap vs the raw stencil)
 //   * serial reference sweep
+//   * obs primitives (counter/histogram/gauge/timer) and an instrumented
+//     jacobi5 tile, backing the "<2% overhead" acceptance claim: compare
+//     BM_Jacobi5Instrumented here against a -DREPRO_OBS_DISABLE build.
 #include <benchmark/benchmark.h>
 
+#include "obs/metrics.hpp"
 #include "spmv/csr.hpp"
 #include "stencil/halo.hpp"
 #include "stencil/kernel.hpp"
@@ -154,6 +158,71 @@ void BM_Jacobi5Variable(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Jacobi5Variable);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterInc)->ThreadRange(1, 8);
+
+void BM_ObsGaugeAdd(benchmark::State& state) {
+  obs::Gauge gauge;
+  for (auto _ : state) {
+    gauge.add(1.0);
+  }
+  benchmark::DoNotOptimize(gauge.value());
+}
+BENCHMARK(BM_ObsGaugeAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram hist(obs::log2_size_bounds());
+  double v = 1.0;
+  for (auto _ : state) {
+    hist.observe(v);
+    v = v < 1e6 ? v * 1.5 : 1.0;
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_ObsHistogramObserve)->ThreadRange(1, 8);
+
+void BM_ObsScopedTimer(benchmark::State& state) {
+  obs::Gauge busy;
+  for (auto _ : state) {
+    obs::ScopedTimer timer(busy);
+  }
+  benchmark::DoNotOptimize(busy.value());
+}
+BENCHMARK(BM_ObsScopedTimer);
+
+void BM_Jacobi5Instrumented(benchmark::State& state) {
+  // The paper-configuration tile with the same per-task instrumentation the
+  // runtime applies: one counter bump per task-sized unit of work. Compare
+  // against BM_Jacobi5/288 and the REPRO_OBS_DISABLE build of this binary to
+  // bound the instrumentation overhead (<2% required).
+  const int tile = 288;
+  const TileGeom g{tile, tile, 1, 1, 1, 1};
+  std::vector<double> in(g.size(), 1.0);
+  std::vector<double> out(g.size(), 0.0);
+  const Stencil5 w = Stencil5::laplace_jacobi();
+  obs::MetricsRegistry registry;
+  auto tasks = registry.counter("rt_tasks_executed_total");
+  auto points = registry.counter("stencil_computed_points_total");
+  for (auto _ : state) {
+    jacobi5(in.data(), out.data(), g, w, 0, tile, 0, tile);
+    tasks->inc();
+    points->add(static_cast<std::uint64_t>(tile) * tile);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  const double pts = static_cast<double>(tile) * tile;
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      pts * kFlopsPerPoint * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Jacobi5Instrumented);
 
 void BM_SerialSweep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -5,6 +5,7 @@
 // kernel time is constant, so any efficiency loss is pure communication.
 // Per-node block: the paper's 16-node working set (5760^2 on NaCL-like
 // nodes, 13824^2 on Stampede2-like), tile sizes as in Fig. 7.
+#include <algorithm>
 #include <cmath>
 
 #include "bench_common.hpp"
@@ -21,6 +22,12 @@ int main(int argc, char** argv) {
   const double ratio = options.get_double("ratio", 0.3);
   sim::LossModel loss;
   loss.loss_rate = options.get_double("loss", 0.0);
+
+  obs::RunReport report("bench_weak_scaling");
+  report.set_param("iters", obs::Json(iters));
+  report.set_param("ratio", obs::Json(ratio));
+  report.set_param("loss", obs::Json(loss.loss_rate));
+  double worst_ca_eff_pct = 100.0;
 
   struct System {
     sim::Machine machine;
@@ -49,14 +56,31 @@ int main(int argc, char** argv) {
         t1_base = rb.time_s;
         t1_ca = rc.time_s;
       }
+      const double base_eff_pct = 100.0 * t1_base / rb.time_s;
+      const double ca_eff_pct = 100.0 * t1_ca / rc.time_s;
       table.add_row({Table::cell(static_cast<long long>(side * side)),
                      Table::cell(rb.gflops, 1), Table::cell(rc.gflops, 1),
-                     Table::cell(100.0 * t1_base / rb.time_s, 1),
-                     Table::cell(100.0 * t1_ca / rc.time_s, 1)});
+                     Table::cell(base_eff_pct, 1),
+                     Table::cell(ca_eff_pct, 1)});
+      worst_ca_eff_pct = std::min(worst_ca_eff_pct, ca_eff_pct);
+      obs::Json row = obs::Json::object();
+      row["machine"] = obs::Json(sys.machine.name);
+      row["nodes"] = obs::Json(side * side);
+      row["N"] = obs::Json(n);
+      row["tile"] = obs::Json(sys.tile);
+      row["base_gflops"] = obs::Json(rb.gflops);
+      row["ca_gflops"] = obs::Json(rc.gflops);
+      row["base_eff_pct"] = obs::Json(base_eff_pct);
+      row["ca_eff_pct"] = obs::Json(ca_eff_pct);
+      row["messages"] = obs::Json(rc.sim.messages);
+      row["bytes"] = obs::Json(rc.sim.message_bytes);
+      report.add_result(std::move(row));
     }
     table.print(std::cout);
     std::cout << '\n';
     bench::maybe_csv(table, options, "weak_" + sys.machine.name + ".csv");
   }
+  report.set_derived("worst_ca_eff_pct", obs::Json(worst_ca_eff_pct));
+  bench::maybe_report(report, options, "weak_report.json");
   return 0;
 }

@@ -31,13 +31,40 @@ net::Message unwrap(net::Message&& wire) {
 
 ReliableChannel::ReliableChannel(std::shared_ptr<net::Channel> inner,
                                  ReliableConfig config)
-    : inner_(std::move(inner)), config_(config), rng_(config.seed) {
+    : inner_(std::move(inner)),
+      config_(config),
+      metrics_(config.metrics ? config.metrics
+                              : std::make_shared<obs::MetricsRegistry>()),
+      rng_(config.seed) {
   if (!inner_) throw std::invalid_argument("ReliableChannel: null inner");
   if (config_.timeout_s <= 0.0 || config_.backoff < 1.0 ||
       config_.max_retries < 1 || config_.window < 1) {
     throw std::invalid_argument("ReliableChannel: bad config");
   }
   ready_.resize(static_cast<std::size_t>(inner_->nranks()));
+
+  m_data_sent_ = std::make_shared<obs::Counter>();
+  m_retransmits_ = std::make_shared<obs::Counter>();
+  m_acks_sent_ = std::make_shared<obs::Counter>();
+  m_dup_dropped_ = std::make_shared<obs::Counter>();
+  m_out_of_order_ = std::make_shared<obs::Counter>();
+  m_window_stalls_ = std::make_shared<obs::Counter>();
+  m_backoff_wait_ = std::make_shared<obs::Gauge>();
+  metrics_->attach("fault_data_sent_total", {}, m_data_sent_,
+                   "First transmissions through the reliable layer");
+  metrics_->attach("fault_retransmits_total", {}, m_retransmits_,
+                   "Timeout-driven resends");
+  metrics_->attach("fault_acks_sent_total", {}, m_acks_sent_,
+                   "Dedicated ACK messages");
+  metrics_->attach("fault_dup_dropped_total", {}, m_dup_dropped_,
+                   "Duplicate data messages suppressed");
+  metrics_->attach("fault_out_of_order_total", {}, m_out_of_order_,
+                   "Data messages buffered past a sequence gap");
+  metrics_->attach("fault_window_stalls_total", {}, m_window_stalls_,
+                   "send() calls that blocked on a full in-flight window");
+  metrics_->attach("fault_backoff_wait_seconds_total", {}, m_backoff_wait_,
+                   "Cumulative scheduled retry wait");
+
   retx_ = std::thread([this] { retransmit_loop(); });
 }
 
@@ -78,6 +105,10 @@ void ReliableChannel::send(net::Message msg) {
 
   std::unique_lock lock(mutex_);
   SendState& st = send_states_[{src, dst}];
+  if (st.window.size() >= config_.window && !stopping_ && !failed_.load()) {
+    ++stats_.window_stalls;
+    m_window_stalls_->inc();
+  }
   window_cv_.wait(lock, [&] {
     return st.window.size() < config_.window || stopping_ || failed_.load();
   });
@@ -109,6 +140,7 @@ void ReliableChannel::send(net::Message msg) {
                          std::chrono::duration<double>(entry.interval_s));
   st.window.push_back(std::move(entry));
   ++stats_.data_sent;
+  m_data_sent_->inc();
 
   // Send while holding the lock so the inner channel sees sequence numbers
   // in assignment order (per-channel FIFO of the clean path is preserved).
@@ -134,6 +166,7 @@ void ReliableChannel::send_ack(int from, int to) {
   ack.dst = to;
   ack.header = {kMagic, kKindAck, 0, recv_states_[{to, from}].expected, 0};
   ++stats_.acks_sent;
+  m_acks_sent_->inc();
   forward(std::move(ack));
 }
 
@@ -161,6 +194,7 @@ void ReliableChannel::process(net::Message wire, int rank) {
   RecvState& rs = recv_states_[{src, rank}];
   if (seq < rs.expected) {
     ++stats_.dup_dropped;
+    m_dup_dropped_->inc();
     send_ack(rank, src);  // re-ack: the original ack may have been lost
     return;
   }
@@ -180,8 +214,10 @@ void ReliableChannel::process(net::Message wire, int rank) {
   // Out of order: park it past the gap (duplicates of parked data dropped).
   if (rs.buffered.emplace(seq, unwrap(std::move(wire))).second) {
     ++stats_.out_of_order;
+    m_out_of_order_->inc();
   } else {
     ++stats_.dup_dropped;
+    m_dup_dropped_->inc();
   }
   send_ack(rank, src);
 }
@@ -289,10 +325,12 @@ void ReliableChannel::retransmit_loop() {
         }
         ++entry.attempts;
         ++stats_.retransmits;
+        m_retransmits_->inc();
         entry.interval_s =
             std::min(entry.interval_s * config_.backoff, config_.max_backoff_s);
         const double wait = jittered(entry.interval_s);
         stats_.backoff_wait_s += wait;
+        m_backoff_wait_->add(wait);
         entry.next_retry =
             now + std::chrono::duration_cast<Clock::duration>(
                       std::chrono::duration<double>(wait));

@@ -36,6 +36,7 @@
 #include <utility>
 
 #include "net/channel.hpp"
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace repro::fault {
@@ -48,15 +49,21 @@ struct ReliableConfig {
   int max_retries = 12;        ///< attempts before the channel fails
   std::size_t window = 256;    ///< max unacked messages per (src,dst)
   std::uint64_t seed = 0x5eed; ///< jitter RNG seed
+  /// Registry the fault_* counter families register into (null = private
+  /// registry, reachable via ReliableChannel::metrics()).
+  std::shared_ptr<obs::MetricsRegistry> metrics{};
 };
 
-/// Reliability counters ("TrafficStats for the retry machinery").
+/// Reliability counters ("TrafficStats for the retry machinery"). Kept as a
+/// mutex-guarded struct so the API works with obs compiled out; every field
+/// is mirrored into fault_* obs counters for scraping.
 struct ReliableStats {
   std::uint64_t data_sent = 0;      ///< first transmissions
   std::uint64_t retransmits = 0;    ///< timeout-driven resends
   std::uint64_t acks_sent = 0;      ///< dedicated ACK messages
   std::uint64_t dup_dropped = 0;    ///< duplicate data suppressed
   std::uint64_t out_of_order = 0;   ///< data buffered past a gap
+  std::uint64_t window_stalls = 0;  ///< send() blocked on a full window
   double backoff_wait_s = 0.0;      ///< cumulative scheduled retry wait
   bool failed = false;              ///< retries exhausted somewhere
 };
@@ -80,6 +87,10 @@ class ReliableChannel final : public net::Channel {
   ReliableStats reliable_stats() const;
   bool failed() const { return failed_.load(); }
   const std::shared_ptr<net::Channel>& inner() const { return inner_; }
+  /// Registry holding this channel's fault_* families. Never null.
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -111,6 +122,16 @@ class ReliableChannel final : public net::Channel {
 
   std::shared_ptr<net::Channel> inner_;
   ReliableConfig config_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+
+  // obs mirrors of ReliableStats (no-op objects when obs is compiled out).
+  std::shared_ptr<obs::Counter> m_data_sent_;
+  std::shared_ptr<obs::Counter> m_retransmits_;
+  std::shared_ptr<obs::Counter> m_acks_sent_;
+  std::shared_ptr<obs::Counter> m_dup_dropped_;
+  std::shared_ptr<obs::Counter> m_out_of_order_;
+  std::shared_ptr<obs::Counter> m_window_stalls_;
+  std::shared_ptr<obs::Gauge> m_backoff_wait_;
 
   mutable std::mutex mutex_;
   std::condition_variable window_cv_;

@@ -65,6 +65,13 @@ class SizeHistogram {
     bytes_[b] += bytes;
   }
 
+  /// Bulk-load one bucket (used when reconstructing a histogram from an
+  /// external store, e.g. the obs metrics registry).
+  void add_bucket(int bucket, std::uint64_t count, std::uint64_t bytes) {
+    counts_[static_cast<std::size_t>(bucket)] += count;
+    bytes_[static_cast<std::size_t>(bucket)] += bytes;
+  }
+
   void merge(const SizeHistogram& other) {
     for (int b = 0; b < kBuckets; ++b) {
       counts_[static_cast<std::size_t>(b)] +=

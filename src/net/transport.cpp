@@ -1,5 +1,6 @@
 #include "net/transport.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -13,10 +14,28 @@ double TrafficStats::modeled_time(const LinkModel& model) const {
   return t;
 }
 
-Transport::Transport(int nranks) : nranks_(nranks) {
+Transport::Transport(int nranks, std::shared_ptr<obs::MetricsRegistry> metrics)
+    : nranks_(nranks),
+      metrics_(metrics ? std::move(metrics)
+                       : std::make_shared<obs::MetricsRegistry>()) {
   if (nranks <= 0) throw std::invalid_argument("Transport needs >= 1 rank");
   boxes_.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) boxes_.push_back(std::make_unique<Mailbox>());
+  for (int r = 0; r < nranks; ++r) {
+    auto box = std::make_unique<Mailbox>();
+    if constexpr (obs::kEnabled) {
+      const obs::Labels labels{{"dst", std::to_string(r)}};
+      box->messages = std::make_shared<obs::Counter>();
+      box->bytes = std::make_shared<obs::Counter>();
+      box->sizes = std::make_shared<obs::Histogram>(obs::log2_size_bounds());
+      metrics_->attach("net_messages_total", labels, box->messages,
+                       "Messages delivered into this rank's mailbox");
+      metrics_->attach("net_bytes_total", labels, box->bytes,
+                       "Wire bytes (tag + header + payload) delivered");
+      metrics_->attach("net_message_size_bytes", labels, box->sizes,
+                       "Per-message wire size, log2 buckets");
+    }
+    boxes_.push_back(std::move(box));
+  }
 }
 
 void Transport::check_rank(int rank) const {
@@ -31,9 +50,16 @@ void Transport::send(Message msg) {
   if (closed()) throw std::runtime_error("Transport: send after close");
 
   Mailbox& box = *boxes_[static_cast<std::size_t>(msg.dst)];
+  const std::size_t wire_bytes = msg.bytes();
+  if constexpr (obs::kEnabled) {
+    // Sharded relaxed atomics: accounting never touches the mailbox mutex.
+    box.messages->inc();
+    box.bytes->add(wire_bytes);
+    box.sizes->observe(static_cast<double>(wire_bytes));
+  }
   {
     std::lock_guard lock(box.mutex);
-    box.stats.record(msg.bytes());
+    if constexpr (!obs::kEnabled) box.stats.record(wire_bytes);
     box.queue.push_back(std::move(msg));
   }
   box.cv.notify_one();
@@ -79,9 +105,27 @@ void Transport::close() {
 
 TrafficStats Transport::stats() const {
   TrafficStats total;
-  for (const auto& box : boxes_) {
-    std::lock_guard lock(box->mutex);
-    total.merge(box->stats);
+  if constexpr (obs::kEnabled) {
+    // Reconstruct the TrafficStats view from the obs counters. Per-bucket
+    // byte sums are exact: they are integer-valued doubles well below 2^53.
+    for (const auto& box : boxes_) {
+      total.messages += box->messages->value();
+      total.bytes += box->bytes->value();
+      for (int b = 0; b < SizeHistogram::kBuckets; ++b) {
+        const auto slot = static_cast<std::size_t>(b);
+        const std::uint64_t count = box->sizes->bucket_count(slot);
+        if (count == 0) continue;
+        total.sizes.add_bucket(
+            b, count,
+            static_cast<std::uint64_t>(
+                std::llround(box->sizes->bucket_sum(slot))));
+      }
+    }
+  } else {
+    for (const auto& box : boxes_) {
+      std::lock_guard lock(box->mutex);
+      total.merge(box->stats);
+    }
   }
   return total;
 }

@@ -10,10 +10,13 @@
 // Transport implements net::Channel, so fault-injection / reliability
 // decorators (src/fault) can wrap it transparently.
 //
-// Locking: one mutex per mailbox guards both the queue and that mailbox's
-// traffic counters (stats() aggregates across mailboxes on demand); shutdown
-// state is a single std::atomic<bool>, so send()-vs-close() has exactly one
-// ordering point and no separate stats/closed mutexes exist.
+// Locking: one mutex per mailbox guards the queue; shutdown state is a
+// single std::atomic<bool>, so send()-vs-close() has exactly one ordering
+// point. Traffic accounting lives in sharded obs counters per mailbox
+// (lock-free on the send path); stats() reconstructs the TrafficStats view
+// from them on demand, exact once senders quiesce. When obs is compiled out
+// (REPRO_OBS_DISABLE) the pre-obs per-mailbox TrafficStats path — guarded by
+// the mailbox mutex — takes over, so stats() works in both builds.
 #pragma once
 
 #include <atomic>
@@ -23,12 +26,24 @@
 #include <mutex>
 
 #include "net/channel.hpp"
+#include "obs/metrics.hpp"
 
 namespace repro::net {
 
 class Transport final : public Channel {
  public:
-  explicit Transport(int nranks);
+  /// `metrics`, when given, is the registry the per-destination traffic
+  /// counters register into (families net_messages_total, net_bytes_total,
+  /// net_message_size_bytes, label dst="<rank>"); a fresh private registry is
+  /// created otherwise. Counters are per-Transport: re-registering into a
+  /// shared registry replaces the previous transport's series.
+  explicit Transport(int nranks,
+                     std::shared_ptr<obs::MetricsRegistry> metrics = nullptr);
+
+  /// The registry this transport's counters live in (never null).
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
 
   int nranks() const override { return nranks_; }
 
@@ -62,12 +77,17 @@ class Transport final : public Channel {
     mutable std::mutex mutex;
     std::condition_variable cv;
     std::deque<Message> queue;
-    TrafficStats stats;  ///< traffic delivered into this mailbox
+    TrafficStats stats;  ///< fallback accounting when obs is compiled out
+    // obs accounting (lock-free sharded; unused no-ops when disabled)
+    std::shared_ptr<obs::Counter> messages;
+    std::shared_ptr<obs::Counter> bytes;
+    std::shared_ptr<obs::Histogram> sizes;
   };
 
   void check_rank(int rank) const;
 
   int nranks_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::atomic<bool> closed_{false};
 };

@@ -1,0 +1,398 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace repro::obs {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+  std::string* err;
+
+  bool fail(const std::string& what) {
+    if (err != nullptr) {
+      *err = what + " at offset " + std::to_string(i);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+
+  bool consume(char c) {
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (s.substr(i, word.size()) == word) {
+      i += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(unsigned* out) {
+    if (i + 4 > s.size()) return fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = s[i + k];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else return fail("bad hex digit in \\u escape");
+    }
+    i += 4;
+    *out = v;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    out->clear();
+    while (i < s.size()) {
+      const char c = s[i];
+      if (c == '"') {
+        ++i;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++i;
+        if (i >= s.size()) return fail("truncated escape");
+        const char e = s[i++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            unsigned cp = 0;
+            if (!hex4(&cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {  // surrogate pair
+              if (!literal("\\u")) return fail("unpaired surrogate");
+              unsigned lo = 0;
+              if (!hex4(&lo)) return false;
+              if (lo < 0xDC00 || lo > 0xDFFF) return fail("bad low surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            }
+            append_utf8(*out, cp);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      } else {
+        *out += c;
+        ++i;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Json* out) {
+    const std::size_t start = i;
+    if (consume('-')) {}
+    // Integer part: "0" or a nonzero digit followed by digits (no leading 0).
+    const std::size_t int_start = i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    const std::size_t int_digits = i - int_start;
+    if (int_digits == 0) return fail("bad number");
+    if (int_digits > 1 && s[int_start] == '0') {
+      return fail("leading zero in number");
+    }
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      const std::size_t frac_start = i;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+      if (i == frac_start) return fail("bad number: empty fraction");
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      integral = false;
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      const std::size_t exp_start = i;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+      if (i == exp_start) return fail("bad number: empty exponent");
+    }
+    const std::string text(s.substr(start, i - start));
+    try {
+      if (integral) {
+        *out = Json(static_cast<long long>(std::stoll(text)));
+      } else {
+        *out = Json(std::stod(text));
+      }
+    } catch (const std::out_of_range&) {
+      try {
+        *out = Json(std::stod(text));  // huge integer literal -> double
+      } catch (...) {
+        return fail("number out of range");
+      }
+    } catch (...) {
+      return fail("bad number");
+    }
+    return true;
+  }
+
+  bool parse_value(Json* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (i >= s.size()) return fail("unexpected end of input");
+    const char c = s[i];
+    if (c == '{') {
+      ++i;
+      *out = Json::object();
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (!consume(':')) return fail("expected ':'");
+        Json value;
+        if (!parse_value(&value, depth + 1)) return false;
+        (*out)[key] = std::move(value);
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++i;
+      *out = Json::array();
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        Json value;
+        if (!parse_value(&value, depth + 1)) return false;
+        out->push_back(std::move(value));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      std::string str;
+      if (!parse_string(&str)) return false;
+      *out = Json(std::move(str));
+      return true;
+    }
+    if (literal("true")) {
+      *out = Json(true);
+      return true;
+    }
+    if (literal("false")) {
+      *out = Json(false);
+      return true;
+    }
+    if (literal("null")) {
+      *out = Json(nullptr);
+      return true;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return parse_number(out);
+    }
+    return fail("unexpected character");
+  }
+};
+
+void dump_impl(const Json& v, std::string& out, int indent, int level);
+
+void append_newline(std::string& out, int indent, int level) {
+  if (indent > 0) {
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * level, ' ');
+  }
+}
+
+void dump_impl(const Json& v, std::string& out, int indent, int level) {
+  switch (v.type()) {
+    case Json::Type::Null: out += "null"; break;
+    case Json::Type::Bool: out += v.as_bool() ? "true" : "false"; break;
+    case Json::Type::Int: out += std::to_string(v.as_int()); break;
+    case Json::Type::Double: append_double(out, v.as_number()); break;
+    case Json::Type::String: append_escaped(out, v.as_string()); break;
+    case Json::Type::Array: {
+      const auto& arr = v.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& e : arr) {
+        if (!first) out += ',';
+        first = false;
+        append_newline(out, indent, level + 1);
+        dump_impl(e, out, indent, level + 1);
+      }
+      append_newline(out, indent, level);
+      out += ']';
+      break;
+    }
+    case Json::Type::Object: {
+      const auto& obj = v.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : obj) {
+        if (!first) out += ',';
+        first = false;
+        append_newline(out, indent, level + 1);
+        append_escaped(out, key);
+        out += indent > 0 ? ": " : ":";
+        dump_impl(value, out, indent, level + 1);
+      }
+      append_newline(out, indent, level);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Json::Json(unsigned long long v) {
+  if (v <= static_cast<unsigned long long>(INT64_MAX)) {
+    value_ = static_cast<std::int64_t>(v);
+  } else {
+    value_ = static_cast<double>(v);
+  }
+}
+
+std::int64_t Json::as_int() const {
+  if (is_double()) return static_cast<std::int64_t>(std::get<double>(value_));
+  return std::get<std::int64_t>(value_);
+}
+
+double Json::as_number() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+  return std::get<double>(value_);
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = Object{};
+  auto& obj = std::get<Object>(value_);
+  for (auto& [k, v] : obj) {
+    if (k == key) return v;
+  }
+  obj.emplace_back(key, Json());
+  return obj.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = Array{};
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return as_array().size();
+  if (is_object()) return as_object().size();
+  return 0;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(*this, out, indent, 0);
+  return out;
+}
+
+bool Json::parse(std::string_view text, Json* out, std::string* error) {
+  Parser p{text, 0, error};
+  Json result;
+  if (!p.parse_value(&result, 0)) return false;
+  p.skip_ws();
+  if (p.i != text.size()) return p.fail("trailing characters after document");
+  if (out != nullptr) *out = std::move(result);
+  return true;
+}
+
+}  // namespace repro::obs

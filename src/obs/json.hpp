@@ -1,0 +1,86 @@
+// Minimal JSON document model: build, serialize, parse.
+//
+// Exists so run reports and metric exports are real JSON without an external
+// dependency. Objects preserve insertion order (stable, diffable reports);
+// integers and doubles are distinct so 64-bit counters round-trip exactly;
+// the parser is a strict recursive-descent one (UTF-8 pass-through, \uXXXX
+// escapes decoded, depth-limited) used by the report validator and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace repro::obs {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;  // insertion order preserved
+
+  Json() = default;  // null
+  Json(std::nullptr_t) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long v) : Json(static_cast<unsigned long long>(v)) {}
+  Json(unsigned long long v);  // falls back to double above INT64_MAX
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_null() const { return type() == Type::Null; }
+  bool is_bool() const { return type() == Type::Bool; }
+  bool is_int() const { return type() == Type::Int; }
+  bool is_double() const { return type() == Type::Double; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::String; }
+  bool is_array() const { return type() == Type::Array; }
+  bool is_object() const { return type() == Type::Object; }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  std::int64_t as_int() const;     ///< Int, or truncated Double
+  double as_number() const;        ///< Int or Double, widened
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+
+  /// Object access. operator[] inserts a null member if absent (a null Json
+  /// silently becomes an object); find() returns nullptr when absent.
+  Json& operator[](const std::string& key);
+  const Json* find(const std::string& key) const;
+
+  /// Array append (a null Json silently becomes an array).
+  void push_back(Json v);
+
+  std::size_t size() const;  ///< elements (array) or members (object)
+
+  /// Serialize. indent == 0 -> compact one-liner; indent > 0 -> pretty with
+  /// that many spaces per level. Non-finite doubles serialize as null.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document (trailing garbage rejected).
+  /// Returns false and fills *error (when non-null) on malformed input.
+  static bool parse(std::string_view text, Json* out, std::string* error);
+
+ private:
+  explicit Json(Array a) : value_(std::move(a)) {}
+  explicit Json(Object o) : value_(std::move(o)) {}
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      value_{nullptr};
+};
+
+}  // namespace repro::obs

@@ -1,0 +1,407 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace repro::obs {
+
+namespace {
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    for (const char c : v) {  // minimal escaping for exposition safety
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string render_key(const std::string& name, const Labels& labels) {
+  return name + render_labels(labels);
+}
+
+/// Shortest decimal form that round-trips back to `v` exactly (so bound 0.1
+/// prints "0.1", not "0.10000000000000001").
+std::string format_double(double v) {
+  char buf[32];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+Json labels_json(const Labels& labels) {
+  Json obj = Json::object();
+  for (const auto& [k, v] : labels) obj[k] = v;
+  return obj;
+}
+
+}  // namespace
+
+#ifndef REPRO_OBS_DISABLE
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram bounds must be strictly increasing");
+    }
+  }
+  const std::size_t n = num_buckets();
+  for (auto& shard : shards_) {
+    shard.counts = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    shard.sums = std::make_unique<std::atomic<double>[]>(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+      shard.sums[b].store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto b = static_cast<std::size_t>(it - bounds_.begin());
+  Shard& shard = shards_[detail::shard_index()];
+  shard.counts[b].fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(shard.sums[b], v);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t b) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.counts[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::bucket_sum(std::size_t b) const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard.sums[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < num_buckets(); ++b) total += bucket_count(b);
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (std::size_t b = 0; b < num_buckets(); ++b) total += bucket_sum(b);
+  return total;
+}
+
+#else
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {}
+
+#endif  // REPRO_OBS_DISABLE
+
+std::vector<double> log2_size_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(63);
+  for (int i = 1; i <= 63; ++i) {
+    bounds.push_back(std::ldexp(1.0, i) - 1.0);  // 2^i - 1, "le" inclusive
+  }
+  return bounds;
+}
+
+std::vector<double> duration_seconds_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(25);
+  double b = 1e-6;
+  for (int i = 0; i < 25; ++i, b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::locate(const std::string& name,
+                                                const Labels& labels, Kind kind,
+                                                std::string help) {
+  const std::string key = render_key(name, labels);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.name = name;
+    entry.labels = labels;
+    entry.help = std::move(help);
+    entry.kind = kind;
+    it = entries_.emplace(key, std::move(entry)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + key +
+                           "' already registered as a different kind");
+  }
+  return it->second;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::counter(const std::string& name,
+                                                  Labels labels,
+                                                  std::string help) {
+#ifdef REPRO_OBS_DISABLE
+  (void)name;
+  (void)labels;
+  (void)help;
+  static const auto dummy = std::make_shared<Counter>();
+  return dummy;
+#else
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = locate(name, labels, Kind::Counter, std::move(help));
+  if (!entry.counter) entry.counter = std::make_shared<Counter>();
+  return entry.counter;
+#endif
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::gauge(const std::string& name,
+                                              Labels labels,
+                                              std::string help) {
+#ifdef REPRO_OBS_DISABLE
+  (void)name;
+  (void)labels;
+  (void)help;
+  static const auto dummy = std::make_shared<Gauge>();
+  return dummy;
+#else
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = locate(name, labels, Kind::Gauge, std::move(help));
+  if (!entry.gauge) entry.gauge = std::make_shared<Gauge>();
+  return entry.gauge;
+#endif
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::histogram(
+    const std::string& name, std::vector<double> bounds, Labels labels,
+    std::string help) {
+#ifdef REPRO_OBS_DISABLE
+  (void)name;
+  (void)labels;
+  (void)help;
+  static const auto dummy = std::make_shared<Histogram>(std::move(bounds));
+  return dummy;
+#else
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = locate(name, labels, Kind::Histogram, std::move(help));
+  if (!entry.histogram) {
+    entry.histogram = std::make_shared<Histogram>(std::move(bounds));
+  }
+  return entry.histogram;
+#endif
+}
+
+void MetricsRegistry::attach(const std::string& name, Labels labels,
+                             std::shared_ptr<Counter> metric,
+                             std::string help) {
+#ifdef REPRO_OBS_DISABLE
+  (void)name;
+  (void)labels;
+  (void)metric;
+  (void)help;
+#else
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = locate(name, labels, Kind::Counter, std::move(help));
+  entry.counter = std::move(metric);
+#endif
+}
+
+void MetricsRegistry::attach(const std::string& name, Labels labels,
+                             std::shared_ptr<Gauge> metric, std::string help) {
+#ifdef REPRO_OBS_DISABLE
+  (void)name;
+  (void)labels;
+  (void)metric;
+  (void)help;
+#else
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = locate(name, labels, Kind::Gauge, std::move(help));
+  entry.gauge = std::move(metric);
+#endif
+}
+
+void MetricsRegistry::attach(const std::string& name, Labels labels,
+                             std::shared_ptr<Histogram> metric,
+                             std::string help) {
+#ifdef REPRO_OBS_DISABLE
+  (void)name;
+  (void)labels;
+  (void)metric;
+  (void)help;
+#else
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = locate(name, labels, Kind::Histogram, std::move(help));
+  entry.histogram = std::move(metric);
+#endif
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+#ifndef REPRO_OBS_DISABLE
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::Counter:
+        snap.counters.push_back(
+            {entry.name, entry.labels, entry.help, entry.counter->value()});
+        break;
+      case Kind::Gauge:
+        snap.gauges.push_back(
+            {entry.name, entry.labels, entry.help, entry.gauge->value()});
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *entry.histogram;
+        HistogramSample sample;
+        sample.name = entry.name;
+        sample.labels = entry.labels;
+        sample.help = entry.help;
+        sample.bounds = h.bounds();
+        sample.counts.resize(h.num_buckets());
+        sample.sums.resize(h.num_buckets());
+        for (std::size_t b = 0; b < h.num_buckets(); ++b) {
+          sample.counts[b] = h.bucket_count(b);
+          sample.sums[b] = h.bucket_sum(b);
+          sample.count += sample.counts[b];
+          sample.sum += sample.sums[b];
+        }
+        snap.histograms.push_back(std::move(sample));
+        break;
+      }
+    }
+  }
+#endif
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::prometheus() const {
+  const MetricsSnapshot snap = snapshot();
+  std::string out;
+  std::string last_family;
+  // entries_ is sorted by key (= name first), so families come out grouped;
+  // snapshot preserves that order per metric kind. Emit counters, gauges,
+  // then histograms.
+  auto emit_header = [&](const std::string& name, const std::string& help,
+                         const char* type) {
+    if (name == last_family) return;
+    last_family = name;
+    if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " " + type + "\n";
+  };
+  for (const auto& c : snap.counters) {
+    emit_header(c.name, c.help, "counter");
+    out += c.name + render_labels(c.labels) + " " + std::to_string(c.value) +
+           "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    emit_header(g.name, g.help, "gauge");
+    out += g.name + render_labels(g.labels) + " " + format_double(g.value) +
+           "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    emit_header(h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      Labels with_le = h.labels;
+      with_le.emplace_back(
+          "le", b < h.bounds.size() ? format_double(h.bounds[b]) : "+Inf");
+      out += h.name + "_bucket" + render_labels(with_le) + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += h.name + "_sum" + render_labels(h.labels) + " " +
+           format_double(h.sum) + "\n";
+    out += h.name + "_count" + render_labels(h.labels) + " " +
+           std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+Json to_json(const MetricsSnapshot& snapshot) {
+  Json out = Json::object();
+  Json counters = Json::array();
+  for (const auto& c : snapshot.counters) {
+    Json entry = Json::object();
+    entry["name"] = c.name;
+    entry["labels"] = labels_json(c.labels);
+    entry["value"] = c.value;
+    counters.push_back(std::move(entry));
+  }
+  Json gauges = Json::array();
+  for (const auto& g : snapshot.gauges) {
+    Json entry = Json::object();
+    entry["name"] = g.name;
+    entry["labels"] = labels_json(g.labels);
+    entry["value"] = g.value;
+    gauges.push_back(std::move(entry));
+  }
+  Json histograms = Json::array();
+  for (const auto& h : snapshot.histograms) {
+    Json entry = Json::object();
+    entry["name"] = h.name;
+    entry["labels"] = labels_json(h.labels);
+    Json bounds = Json::array();
+    for (const double b : h.bounds) bounds.push_back(b);
+    Json counts = Json::array();
+    for (const std::uint64_t c : h.counts) counts.push_back(c);
+    Json sums = Json::array();
+    for (const double s : h.sums) sums.push_back(s);
+    entry["bounds"] = std::move(bounds);
+    entry["counts"] = std::move(counts);
+    entry["sums"] = std::move(sums);
+    entry["count"] = h.count;
+    entry["sum"] = h.sum;
+    histograms.push_back(std::move(entry));
+  }
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+Json MetricsRegistry::json() const { return to_json(snapshot()); }
+
+double MetricsSnapshot::counter_total(const std::string& name) const {
+  double total = 0.0;
+  for (const auto& c : counters) {
+    if (c.name == name) total += static_cast<double>(c.value);
+  }
+  return total;
+}
+
+double MetricsSnapshot::gauge_total(const std::string& name) const {
+  double total = 0.0;
+  for (const auto& g : gauges) {
+    if (g.name == name) total += g.value;
+  }
+  return total;
+}
+
+const CounterSample* MetricsSnapshot::find_counter(const std::string& name,
+                                                   const Labels& labels) const {
+  for (const auto& c : counters) {
+    if (c.name == name && c.labels == labels) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,293 @@
+// obs: low-overhead metrics shared by every layer of the runtime.
+//
+// Counters, gauges and fixed-bucket histograms designed for hot paths:
+//
+//   * Write side: relaxed atomics in per-thread shards (16 cache-line-aligned
+//     shards; each thread hashes to one shard once and sticks with it), so
+//     concurrent increments from workers + comm threads never contend on a
+//     single cache line.
+//   * Read side: a scraper merges the shards on demand -- snapshot(),
+//     prometheus(), json() -- without pausing writers. A concurrent scrape
+//     may lag by in-flight increments; values are exact once writers
+//     quiesce (e.g. after Runtime::run joins its threads).
+//   * Registry: named metric families with Prometheus-style labels. Metrics
+//     are shared_ptr-owned so a component can keep a hot handle and
+//     re-attach a fresh instance per run (attach() replaces); the registry
+//     stays the single scrape point across runtime, net, fault, and sim.
+//
+// Compile-out: building with -DREPRO_OBS_DISABLE (CMake option of the same
+// name) turns every primitive into an inline no-op -- no atomics, no clock
+// reads, empty snapshots. Accounting the public API guarantees independently
+// of obs (Transport::stats, ReliableStats, DistResult counters) falls back
+// to its pre-obs implementation, so the disabled build still passes the
+// whole test suite; only the scraped view goes dark.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "support/timing.hpp"
+
+namespace repro::obs {
+
+#ifdef REPRO_OBS_DISABLE
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Label set, rendered in the given order (call sites keep it deterministic).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+inline constexpr std::size_t kShards = 16;  // power of two
+
+/// Stable per-thread shard slot: threads round-robin over the shards, so up
+/// to kShards concurrent writers touch distinct cache lines.
+inline std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return slot;
+}
+
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct alignas(64) PaddedF64 {
+  std::atomic<double> v{0.0};
+};
+
+/// Relaxed atomic add for doubles via CAS (atomic<double>::fetch_add is not
+/// guaranteed pre-C++20 libs; this is portable and equally fast uncontended).
+inline void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotonically increasing 64-bit counter, sharded per thread.
+class Counter {
+ public:
+#ifndef REPRO_OBS_DISABLE
+  void inc() { add(1); }
+  void add(std::uint64_t n) {
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::array<detail::PaddedU64, detail::kShards> shards_;
+#else
+  void inc() {}
+  void add(std::uint64_t) {}
+  std::uint64_t value() const { return 0; }
+#endif
+};
+
+/// Double-valued gauge: set() for levels, add() for accumulated seconds etc.
+class Gauge {
+ public:
+#ifndef REPRO_OBS_DISABLE
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) { detail::atomic_add(value_, d); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+#else
+  void set(double) {}
+  void add(double) {}
+  double value() const { return 0.0; }
+#endif
+};
+
+/// Fixed-bucket histogram with inclusive upper bounds (Prometheus "le"
+/// semantics) plus one overflow bucket, tracking per-bucket counts AND
+/// per-bucket value sums (the latter lets net reconstruct its exact per-size
+/// byte totals). Bounds must be strictly increasing.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+#ifndef REPRO_OBS_DISABLE
+  void observe(double v);
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::size_t num_buckets() const { return bounds_.size() + 1; }
+  std::uint64_t bucket_count(std::size_t b) const;
+  double bucket_sum(std::size_t b) const;
+  std::uint64_t count() const;
+  double sum() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::unique_ptr<std::atomic<double>[]> sums;
+  };
+  std::vector<double> bounds_;
+  std::array<Shard, detail::kShards> shards_;
+#else
+  void observe(double) {}
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::size_t num_buckets() const { return 0; }
+  std::uint64_t bucket_count(std::size_t) const { return 0; }
+  double bucket_sum(std::size_t) const { return 0.0; }
+  std::uint64_t count() const { return 0; }
+  double sum() const { return 0.0; }
+
+ private:
+  std::vector<double> bounds_;  // kept so bounds() stays valid
+#endif
+};
+
+/// Bounds matching net::SizeHistogram's 64 log2 buckets: bucket 0 holds
+/// sizes <= 1, bucket i holds [2^i, 2^{i+1}-1], bucket 63 is the overflow.
+std::vector<double> log2_size_bounds();
+
+/// Exponential seconds bounds for latency-style histograms: 1us .. ~16s, x2.
+std::vector<double> duration_seconds_bounds();
+
+/// RAII wall-clock timer recording elapsed seconds into a Histogram
+/// (observe) or Gauge (add) on destruction. Disabled builds read no clock.
+class ScopedTimer {
+ public:
+#ifndef REPRO_OBS_DISABLE
+  explicit ScopedTimer(Histogram& h) : hist_(&h), start_(wall_time()) {}
+  explicit ScopedTimer(Gauge& g) : gauge_(&g), start_(wall_time()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Record now instead of at scope exit; returns elapsed seconds.
+  double stop() {
+    if (done_) return 0.0;
+    done_ = true;
+    const double elapsed = wall_time() - start_;
+    if (hist_ != nullptr) hist_->observe(elapsed);
+    if (gauge_ != nullptr) gauge_->add(elapsed);
+    return elapsed;
+  }
+
+ private:
+  Histogram* hist_ = nullptr;
+  Gauge* gauge_ = nullptr;
+  double start_ = 0.0;
+  bool done_ = false;
+#else
+  explicit ScopedTimer(Histogram&) {}
+  explicit ScopedTimer(Gauge&) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  double stop() { return 0.0; }
+#endif
+};
+
+struct CounterSample {
+  std::string name;
+  Labels labels;
+  std::string help;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  Labels labels;
+  std::string help;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  Labels labels;
+  std::string help;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // per bucket, bounds.size() + 1
+  std::vector<double> sums;           // per bucket value sums
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time merge of every metric in a registry.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Sum of every counter in the family `name`, across all label sets.
+  double counter_total(const std::string& name) const;
+  /// Sum of every gauge in the family `name`, across all label sets.
+  double gauge_total(const std::string& name) const;
+  const CounterSample* find_counter(const std::string& name,
+                                    const Labels& labels) const;
+};
+
+/// Thread-safe named registry. counter()/gauge()/histogram() create-or-get;
+/// attach() insert-or-replace (per-run components attach fresh instances so
+/// a scrape always shows the latest run). Keys are name + rendered labels;
+/// registering the same key as two different metric kinds throws.
+class MetricsRegistry {
+ public:
+  std::shared_ptr<Counter> counter(const std::string& name, Labels labels = {},
+                                   std::string help = "");
+  std::shared_ptr<Gauge> gauge(const std::string& name, Labels labels = {},
+                               std::string help = "");
+  std::shared_ptr<Histogram> histogram(const std::string& name,
+                                       std::vector<double> bounds,
+                                       Labels labels = {},
+                                       std::string help = "");
+
+  void attach(const std::string& name, Labels labels,
+              std::shared_ptr<Counter> metric, std::string help = "");
+  void attach(const std::string& name, Labels labels,
+              std::shared_ptr<Gauge> metric, std::string help = "");
+  void attach(const std::string& name, Labels labels,
+              std::shared_ptr<Histogram> metric, std::string help = "");
+
+  MetricsSnapshot snapshot() const;
+  /// Prometheus text exposition format (HELP/TYPE once per family).
+  std::string prometheus() const;
+  /// {"counters": [...], "gauges": [...], "histograms": [...]}.
+  Json json() const;
+
+  std::size_t size() const;
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::string help;
+    Kind kind = Kind::Counter;
+    std::shared_ptr<Counter> counter;
+    std::shared_ptr<Gauge> gauge;
+    std::shared_ptr<Histogram> histogram;
+  };
+
+  Entry& locate(const std::string& name, const Labels& labels, Kind kind,
+                std::string help);  // caller holds mutex_
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  // key: name{labels} -> deterministic
+};
+
+/// Json conversion shared with RunReport.
+Json to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace repro::obs

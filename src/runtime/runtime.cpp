@@ -58,6 +58,7 @@ void Runtime::ReadyQueue::push(ReadyEntry entry) {
     std::lock_guard lock(mutex_);
     heap_.push(entry);
   }
+  if (depth_) depth_->add(1.0);
   cv_.notify_one();
 }
 
@@ -67,6 +68,7 @@ std::optional<Runtime::ReadyEntry> Runtime::ReadyQueue::pop_blocking() {
   if (heap_.empty()) return std::nullopt;
   ReadyEntry entry = heap_.top();
   heap_.pop();
+  if (depth_) depth_->add(-1.0);
   return entry;
 }
 
@@ -108,9 +110,47 @@ void Runtime::Outbox::close() {
 
 // ---------------------------------------------------------------- runtime --
 
-Runtime::Runtime(Config config) : config_(config), tracer_(config.trace) {
+Runtime::Runtime(Config config)
+    : config_(config),
+      tracer_(config.trace),
+      metrics_(config.metrics ? config.metrics
+                              : std::make_shared<obs::MetricsRegistry>()) {
   if (config_.nranks < 1 || config_.workers_per_rank < 1) {
     throw std::invalid_argument("Runtime: need >=1 rank and >=1 worker");
+  }
+}
+
+void Runtime::setup_metrics() {
+  // Fresh handles per run, attached with replace semantics: a scrape always
+  // reads the latest run, and stale series never accumulate across runs.
+  const int W = config_.workers_per_rank;
+  worker_tasks_.assign(static_cast<std::size_t>(config_.nranks * W), nullptr);
+  tasks_enqueued_.assign(static_cast<std::size_t>(config_.nranks), nullptr);
+  comm_busy_.assign(static_cast<std::size_t>(config_.nranks), nullptr);
+  for (int r = 0; r < config_.nranks; ++r) {
+    const std::string rank = std::to_string(r);
+    for (int w = 0; w < W; ++w) {
+      auto counter = std::make_shared<obs::Counter>();
+      metrics_->attach("rt_tasks_executed_total",
+                       {{"rank", rank}, {"worker", std::to_string(w)}},
+                       counter, "Tasks executed, per worker thread");
+      worker_tasks_[static_cast<std::size_t>(r * W + w)] = std::move(counter);
+    }
+    auto enqueued = std::make_shared<obs::Counter>();
+    metrics_->attach("rt_tasks_enqueued_total", {{"rank", rank}}, enqueued,
+                     "Tasks that became ready on this rank");
+    tasks_enqueued_[static_cast<std::size_t>(r)] = std::move(enqueued);
+
+    auto depth = std::make_shared<obs::Gauge>();
+    metrics_->attach("rt_ready_queue_depth", {{"rank", rank}}, depth,
+                     "Tasks currently ready but not yet picked up");
+    queues_[static_cast<std::size_t>(r)]->set_depth_gauge(std::move(depth));
+
+    auto busy = std::make_shared<obs::Gauge>();
+    metrics_->attach("rt_comm_busy_seconds_total", {{"rank", rank}}, busy,
+                     "Seconds the comm threads spent sending or delivering "
+                     "(busy fraction = value / wall time)");
+    comm_busy_[static_cast<std::size_t>(r)] = std::move(busy);
   }
 }
 
@@ -135,9 +175,10 @@ RunStats Runtime::run(TaskGraph& graph) {
     queues_.push_back(std::make_unique<ReadyQueue>());
     outboxes_.push_back(std::make_unique<Outbox>());
   }
+  setup_metrics();
   channel_ = config_.channel_factory
                  ? config_.channel_factory(config_.nranks)
-                 : std::make_shared<net::Transport>(config_.nranks);
+                 : std::make_shared<net::Transport>(config_.nranks, metrics_);
   if (!channel_ || channel_->nranks() != config_.nranks) {
     throw std::invalid_argument("Runtime: channel factory returned a channel "
                                 "with the wrong rank count");
@@ -217,8 +258,11 @@ void Runtime::worker_loop(int rank, int worker) {
 
 void Runtime::sender_loop(int rank) {
   auto& outbox = *outboxes_[static_cast<std::size_t>(rank)];
+  obs::Gauge& busy = *comm_busy_[static_cast<std::size_t>(rank)];
   while (auto msg = outbox.pop_blocking()) {
     try {
+      // Busy time is the send itself; blocking in pop_blocking is idle.
+      obs::ScopedTimer timer(busy);
       channel_->send(std::move(*msg));
     } catch (const std::exception& e) {
       fail(std::string("sender: ") + e.what());
@@ -235,8 +279,11 @@ void Runtime::receiver_loop(int rank) {
   // recv() itself may throw (net::ChannelError when a reliability layer has
   // exhausted its retries), so the whole loop sits inside the try: a failed
   // channel aborts the run instead of terminating the process.
+  obs::Gauge& busy = *comm_busy_[static_cast<std::size_t>(rank)];
   try {
     while (auto msg = channel_->recv(rank)) {
+      // Busy time is decode + delivery; blocking in recv is idle.
+      obs::ScopedTimer timer(busy);
       if (msg->header.empty()) throw std::runtime_error("empty header");
       if (msg->header[0] == kWireSingle) {
         if (msg->header.size() != 6) {
@@ -313,6 +360,9 @@ void Runtime::execute_task(std::size_t index, int rank, int worker) {
   states_[index].executed.store(true, std::memory_order_release);
   complete_task(index, rank);
 
+  worker_tasks_[static_cast<std::size_t>(rank * config_.workers_per_rank +
+                                         worker)]
+      ->inc();
   executed_tasks_.fetch_add(1, std::memory_order_relaxed);
   if (remaining_tasks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     {
@@ -402,6 +452,7 @@ void Runtime::enqueue_ready(std::size_t index) {
       entry.seq = ~seq;
       break;
   }
+  tasks_enqueued_[static_cast<std::size_t>(spec.rank)]->inc();
   queues_[static_cast<std::size_t>(spec.rank)]->push(entry);
 }
 

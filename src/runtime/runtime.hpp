@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/buffer.hpp"
 #include "runtime/graph.hpp"
 #include "runtime/trace.hpp"
@@ -58,6 +59,10 @@ struct Config {
   /// Builds the message channel for each run — the hook for fault-injection
   /// and reliability stacks (src/fault). Null = plain in-memory Transport.
   net::ChannelFactory channel_factory{};
+  /// Registry the runtime scrapes into (rt_* families; the default Transport
+  /// also registers its net_* families here). Null = private registry,
+  /// reachable via Runtime::metrics().
+  std::shared_ptr<obs::MetricsRegistry> metrics{};
 };
 
 struct RunStats {
@@ -118,6 +123,12 @@ class Runtime {
   const Tracer& tracer() const { return tracer_; }
   const Config& config() const { return config_; }
 
+  /// Scrape point for this runtime's rt_* (and default transport's net_*)
+  /// metric families. Never null.
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
  private:
   friend class TaskContext;
 
@@ -145,12 +156,17 @@ class Runtime {
     void push(ReadyEntry entry);
     std::optional<ReadyEntry> pop_blocking();
     void stop();
+    /// Depth gauge updated on push/pop (no-op handle when obs is disabled).
+    void set_depth_gauge(std::shared_ptr<obs::Gauge> gauge) {
+      depth_ = std::move(gauge);
+    }
 
    private:
     std::mutex mutex_;
     std::condition_variable cv_;
     std::priority_queue<ReadyEntry> heap_;
     bool stopped_ = false;
+    std::shared_ptr<obs::Gauge> depth_;
   };
 
   class Outbox {
@@ -184,9 +200,17 @@ class Runtime {
   void post_message(int src_rank, net::Message msg);
   void fail(const std::string& message);
   void publish_output(std::size_t task_index, std::uint16_t slot, Buffer buf);
+  void setup_metrics();
 
   Config config_;
   Tracer tracer_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+
+  // Per-run obs handles, re-attached by setup_metrics() (always non-null
+  // during run(); no-op objects when obs is compiled out).
+  std::vector<std::shared_ptr<obs::Counter>> worker_tasks_;  // rank * W + w
+  std::vector<std::shared_ptr<obs::Counter>> tasks_enqueued_;  // per rank
+  std::vector<std::shared_ptr<obs::Gauge>> comm_busy_;         // per rank
 
   // Per-run state (valid during/after run()).
   TaskGraph* graph_ = nullptr;

@@ -13,6 +13,9 @@
 //     Drives the PETSc series of Fig. 7.
 #pragma once
 
+#include <memory>
+
+#include "obs/metrics.hpp"
 #include "sim/des.hpp"
 #include "sim/machine.hpp"
 
@@ -80,6 +83,11 @@ struct StencilSimParams {
   bool aggregate_messages = false;
   /// Lossy-link retry cost (loss_rate 0 = exact lossless model).
   LossModel loss{};
+  /// When set, the model publishes its counters into this registry under the
+  /// SAME family names the real stack uses (net_messages_total,
+  /// net_bytes_total, rt_tasks_executed_total; label source="sim"), so
+  /// model-vs-real cross-validation is a metrics diff.
+  std::shared_ptr<obs::MetricsRegistry> metrics{};
 };
 
 struct StencilSimOutput {

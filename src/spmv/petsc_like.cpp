@@ -242,11 +242,12 @@ class RankWorker {
 
 }  // namespace
 
-SpmvRunResult run_petsc_like(const stencil::Problem& problem, int nranks) {
+SpmvRunResult run_petsc_like(const stencil::Problem& problem, int nranks,
+                             std::shared_ptr<obs::MetricsRegistry> metrics) {
   if (nranks < 1) throw std::invalid_argument("run_petsc_like: nranks >= 1");
   const CsrMatrix global = build_problem_matrix(problem);
   const RowPartition partition(global.nrows, nranks);
-  net::Transport transport(nranks);
+  net::Transport transport(nranks, metrics);
 
   std::vector<std::unique_ptr<RankWorker>> workers;
   workers.reserve(static_cast<std::size_t>(nranks));
@@ -290,6 +291,21 @@ SpmvRunResult run_petsc_like(const stencil::Problem& problem, int nranks) {
                        total_traffic.bytes - setup_traffic.bytes,
                        setup_traffic.messages,
                        global.traffic_bytes()};
+
+  if (metrics) {
+    const auto publish = [&](const char* name, std::uint64_t value,
+                             const char* help) {
+      auto counter = std::make_shared<obs::Counter>();
+      counter->add(value);
+      metrics->attach(name, {}, std::move(counter), help);
+    };
+    publish("spmv_iteration_messages_total", result.messages,
+            "VecScatter messages during the iteration phase");
+    publish("spmv_iteration_bytes_total", result.bytes,
+            "VecScatter bytes during the iteration phase");
+    publish("spmv_setup_messages_total", result.setup_messages,
+            "Scatter-plan handshake messages");
+  }
 
   // Gather: workers still hold their owned slices.
   std::vector<double> full(static_cast<std::size_t>(global.nrows));

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "obs/metrics.hpp"
 #include "stencil/grid.hpp"
 #include "stencil/problem.hpp"
 
@@ -29,7 +31,12 @@ struct SpmvRunResult {
 };
 
 /// Run the PETSc-like solver on `nranks` single-threaded virtual MPI ranks.
-SpmvRunResult run_petsc_like(const stencil::Problem& problem, int nranks);
+/// `metrics`, when given, receives the transport's net_* families plus
+/// spmv_iteration_messages_total / spmv_setup_messages_total /
+/// spmv_iteration_bytes_total.
+SpmvRunResult run_petsc_like(
+    const stencil::Problem& problem, int nranks,
+    std::shared_ptr<obs::MetricsRegistry> metrics = nullptr);
 
 /// Analytic memory traffic per grid point per iteration for the CSR SpMV
 /// formulation (values + 64-bit indices + vector traffic), in bytes. The

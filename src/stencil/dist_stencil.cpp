@@ -1,5 +1,6 @@
 #include "stencil/dist_stencil.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <memory>
@@ -463,6 +464,8 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
   rt_config.scheduler = config.scheduler;
   rt_config.aggregate_messages = config.aggregate_messages;
   rt_config.channel_factory = config.channel_factory;
+  rt_config.metrics = config.metrics ? config.metrics
+                                     : std::make_shared<obs::MetricsRegistry>();
 
   rt::Runtime runtime(rt_config);
   rt::RunStats stats = runtime.run(graph);
@@ -500,6 +503,37 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
     result.nominal_points = static_cast<long long>(
         static_cast<double>(result.nominal_points) * config.kernel_ratio *
         config.kernel_ratio);
+  }
+
+  result.metrics = rt_config.metrics;
+  if constexpr (obs::kEnabled) {
+    // Publish driver-level counters into the same registry the runtime and
+    // transport scraped into, so one snapshot tells the whole story.
+    auto& registry = *result.metrics;
+    const auto publish = [&registry](const char* name, std::uint64_t value,
+                                     const char* help) {
+      auto counter = std::make_shared<obs::Counter>();
+      counter->add(value);
+      registry.attach(name, {}, std::move(counter), help);
+    };
+    const int iters = problem.iterations;
+    const int steps = config.steps;
+    publish("stencil_iterations_total", static_cast<std::uint64_t>(iters),
+            "Jacobi iterations performed");
+    publish("stencil_supersteps_total",
+            static_cast<std::uint64_t>((iters + steps - 1) / steps),
+            "CA supersteps (remote halo-exchange rounds)");
+    publish("stencil_computed_points_total",
+            static_cast<std::uint64_t>(result.computed_points),
+            "Stencil points updated, redundant recompute included");
+    const long long redundant =
+        std::max(0LL, result.computed_points - result.nominal_points);
+    publish("stencil_redundant_points_total",
+            static_cast<std::uint64_t>(redundant),
+            "Ghost-band points recomputed beyond nominal work");
+    auto flops = registry.gauge("stencil_flops_total", {},
+                                "Floating-point ops, redundancy included");
+    flops->set(result.flops());
   }
   return result;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/channel.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 #include "stencil/grid.hpp"
 #include "stencil/problem.hpp"
@@ -59,6 +60,10 @@ struct DistConfig {
   SuperstepHook superstep_hook{};
   /// Custom channel stack for remote traffic (empty = plain Transport).
   net::ChannelFactory channel_factory{};
+  /// Registry every layer of the run scrapes into: rt_* (runtime), net_*
+  /// (default transport), stencil_* (this driver). Null = private registry,
+  /// returned in DistResult::metrics either way.
+  std::shared_ptr<obs::MetricsRegistry> metrics{};
 };
 
 struct DistResult {
@@ -68,6 +73,9 @@ struct DistResult {
   long long computed_points = 0;  ///< stencil points updated (incl. redundant)
   long long nominal_points = 0;   ///< rows*cols*iterations (no redundancy)
   double flops_per_point = kFlopsPerPoint;  ///< 9 for 5-point; shape-derived
+  /// Scrape point for the run's metric families (never null after
+  /// run_distributed returns).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 
   double flops() const {
     return flops_per_point * static_cast<double>(computed_points);

@@ -39,7 +39,8 @@ double parallel_region(std::size_t n, int threads, Body body) {
 
 }  // namespace
 
-StreamResult run_stream(std::size_t n, int trials, int threads) {
+StreamResult run_stream(std::size_t n, int trials, int threads,
+                        std::shared_ptr<obs::MetricsRegistry> metrics) {
   if (n < 1000) throw std::invalid_argument("run_stream: array too small");
   if (trials < 1 || threads < 1) {
     throw std::invalid_argument("run_stream: bad trials/threads");
@@ -99,6 +100,19 @@ StreamResult run_stream(std::size_t n, int trials, int threads) {
   r.scale_Bps = 2.0 * nb / scale_t;
   r.add_Bps = 3.0 * nb / add_t;
   r.triad_Bps = 3.0 * nb / triad_t;
+
+  if (metrics) {
+    const auto publish = [&](const char* kernel, double value) {
+      metrics
+          ->gauge("stream_bandwidth_bytes_per_second", {{"kernel", kernel}},
+                  "Best STREAM kernel bandwidth")
+          ->set(value);
+    };
+    publish("copy", r.copy_Bps);
+    publish("scale", r.scale_Bps);
+    publish("add", r.add_Bps);
+    publish("triad", r.triad_Bps);
+  }
   return r;
 }
 

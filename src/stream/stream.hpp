@@ -13,8 +13,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace repro::stream {
 
@@ -29,7 +32,10 @@ struct StreamResult {
 /// `threads` threads (static contiguous partition, OpenMP-style), and report
 /// the best rate per kernel. Array contents are verified after the run; a
 /// validation failure throws (guards against the compiler eliding the work).
-StreamResult run_stream(std::size_t n, int trials = 10, int threads = 1);
+/// `metrics`, when given, receives stream_bandwidth_bytes_per_second gauges
+/// (label kernel="copy|scale|add|triad").
+StreamResult run_stream(std::size_t n, int trials = 10, int threads = 1,
+                        std::shared_ptr<obs::MetricsRegistry> metrics = {});
 
 /// A recorded Table I row (MB/s, as printed in the paper).
 struct TableOneRow {

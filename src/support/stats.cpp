@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace repro {
 
@@ -14,7 +15,7 @@ Summary summarize(std::span<const double> samples) {
   std::sort(sorted.begin(), sorted.end());
   s.min = sorted.front();
   s.max = sorted.back();
-  s.median = percentile(sorted, 50.0);
+  s.median = percentile_sorted(sorted, 50.0);
 
   double sum = 0.0;
   for (double x : sorted) sum += x;
@@ -30,6 +31,14 @@ double percentile(std::span<const double> samples, double p) {
   if (samples.empty()) return 0.0;
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  // std::clamp propagates NaN, and casting a NaN rank to size_t is UB; bail
+  // out before the cast.
+  if (std::isnan(p)) return std::numeric_limits<double>::quiet_NaN();
 
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);

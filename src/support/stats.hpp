@@ -21,8 +21,11 @@ struct Summary {
 Summary summarize(std::span<const double> samples);
 
 /// p-th percentile (p in [0,100]) with linear interpolation between ranks.
-/// An empty sample yields 0.
+/// An empty sample yields 0; a NaN p yields NaN. Out-of-range p is clamped.
 double percentile(std::span<const double> samples, double p);
+
+/// Same, but `sorted` must already be ascending (no copy, no sort).
+double percentile_sorted(std::span<const double> sorted, double p);
 
 /// Median shorthand.
 inline double median(std::span<const double> samples) {

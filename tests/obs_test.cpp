@@ -1,0 +1,299 @@
+// Unit and concurrency tests for the obs metrics primitives: sharded
+// counters/gauges/histograms, the registry's create-or-get / attach-replace
+// semantics, exposition formats, and a multi-writer hammer scraped live by a
+// concurrent reader (the TSan job runs this binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "obs/metrics.hpp"
+
+namespace repro::obs {
+namespace {
+
+TEST(Counter, AccumulatesAcrossShards) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  Counter c;
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.set(0.0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, LeBucketSemantics) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  Histogram h({1.0, 10.0, 100.0});
+  ASSERT_EQ(h.num_buckets(), 4u);
+
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0 (le is inclusive)
+  h.observe(1.5);   // bucket 1
+  h.observe(10.0);  // bucket 1
+  h.observe(99.0);  // bucket 2
+  h.observe(1e6);   // overflow bucket
+
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.bucket_sum(0), 1.5);
+  EXPECT_DOUBLE_EQ(h.bucket_sum(1), 11.5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 10.0 + 99.0 + 1e6);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+// The log2 bounds must bucket every size exactly like net::SizeHistogram, so
+// Transport::stats() can reconstruct its histogram from the registry.
+TEST(Histogram, Log2BoundsMatchSizeHistogram) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  Histogram h(log2_size_bounds());
+  ASSERT_EQ(h.num_buckets(),
+            static_cast<std::size_t>(net::SizeHistogram::kBuckets));
+
+  const std::vector<std::size_t> sizes = {0,    1,    2,       3,     4,
+                                          7,    8,    1023,    1024,  1025,
+                                          4096, 65535, 1u << 20, (1u << 20) + 1};
+  net::SizeHistogram reference;
+  for (std::size_t s : sizes) {
+    reference.record(s);
+    h.observe(static_cast<double>(s));
+  }
+  for (int b = 0; b < net::SizeHistogram::kBuckets; ++b) {
+    EXPECT_EQ(h.bucket_count(static_cast<std::size_t>(b)),
+              reference.count(b))
+        << "bucket " << b;
+    EXPECT_EQ(std::llround(h.bucket_sum(static_cast<std::size_t>(b))),
+              static_cast<long long>(reference.bytes(b)))
+        << "bucket " << b;
+  }
+}
+
+TEST(Registry, CreateOrGetReturnsSameInstance) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  MetricsRegistry reg;
+  auto a = reg.counter("requests_total", {{"method", "get"}});
+  auto b = reg.counter("requests_total", {{"method", "get"}});
+  auto c = reg.counter("requests_total", {{"method", "put"}});
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, KindConflictThrows) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::logic_error);
+}
+
+TEST(Registry, AttachReplacesPerRunSeries) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  MetricsRegistry reg;
+
+  auto run1 = std::make_shared<Counter>();
+  run1->add(100);
+  reg.attach("tasks_total", {}, run1);
+  EXPECT_EQ(reg.snapshot().counter_total("tasks_total"), 100.0);
+
+  // A second run attaches a fresh instance: the scrape shows the new run,
+  // not the sum of both.
+  auto run2 = std::make_shared<Counter>();
+  run2->add(7);
+  reg.attach("tasks_total", {}, run2);
+  EXPECT_EQ(reg.snapshot().counter_total("tasks_total"), 7.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, SnapshotTotalsAndFind) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  MetricsRegistry reg;
+  reg.counter("msgs", {{"dst", "0"}})->add(3);
+  reg.counter("msgs", {{"dst", "1"}})->add(4);
+  reg.gauge("depth", {{"rank", "0"}})->set(2.0);
+  reg.gauge("depth", {{"rank", "1"}})->set(5.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.counter_total("msgs"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.gauge_total("depth"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.counter_total("absent"), 0.0);
+
+  const CounterSample* s = snap.find_counter("msgs", {{"dst", "1"}});
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value, 4u);
+  EXPECT_EQ(snap.find_counter("msgs", {{"dst", "9"}}), nullptr);
+}
+
+TEST(Registry, PrometheusExposition) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  MetricsRegistry reg;
+  reg.counter("net_messages_total", {{"dst", "1"}}, "Messages sent")->add(5);
+  reg.gauge("queue_depth", {}, "Ready tasks")->set(3.0);
+  auto h = reg.histogram("latency_seconds", {0.1, 1.0});
+  h->observe(0.05);
+  h->observe(0.5);
+  h->observe(10.0);
+
+  const std::string text = reg.prometheus();
+  EXPECT_NE(text.find("# TYPE net_messages_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# HELP net_messages_total Messages sent"),
+            std::string::npos);
+  EXPECT_NE(text.find("net_messages_total{dst=\"1\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_seconds histogram"), std::string::npos);
+  // Cumulative buckets: 1, 2, +Inf=3.
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 3"), std::string::npos);
+}
+
+TEST(Registry, JsonExportParsesBack) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  MetricsRegistry reg;
+  reg.counter("c", {{"k", "v"}})->add(9);
+  reg.histogram("h", {1.0, 2.0})->observe(1.5);
+
+  const std::string text = reg.json().dump(2);
+  Json parsed;
+  std::string error;
+  ASSERT_TRUE(Json::parse(text, &parsed, &error)) << error;
+  const Json* counters = parsed.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->size(), 1u);
+  const Json* value = counters->as_array()[0].find("value");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->as_int(), 9);
+  const Json* histograms = parsed.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_EQ(histograms->size(), 1u);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedIntoGaugeAndHistogram) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  Gauge g;
+  {
+    ScopedTimer t(g);
+  }
+  EXPECT_GE(g.value(), 0.0);
+
+  Histogram h(duration_seconds_bounds());
+  {
+    ScopedTimer t(h);
+    const double elapsed = t.stop();
+    EXPECT_GE(elapsed, 0.0);
+  }
+  EXPECT_EQ(h.count(), 1u);  // stop() fired, destructor must not double-count
+}
+
+// N writers hammer one registry's counter/gauge/histogram while a scraper
+// merges concurrently; totals are exact after join. This is the test the
+// TSan CI job leans on.
+TEST(Concurrency, WritersVsScraper) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  constexpr int kThreads = 8;
+  constexpr int kOps = 20000;
+
+  MetricsRegistry reg;
+  auto counter = reg.counter("hammer_total");
+  auto gauge = reg.gauge("hammer_gauge");
+  auto hist = reg.histogram("hammer_hist", {10.0, 100.0, 1000.0});
+
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snap = reg.snapshot();
+      // Monotone counter: a concurrent scrape may lag but never overshoot.
+      EXPECT_LE(snap.counter_total("hammer_total"),
+                static_cast<double>(kThreads) * kOps);
+      (void)reg.prometheus();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        counter->inc();
+        gauge->add(1.0);
+        hist->observe(static_cast<double>((t * kOps + i) % 2000));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  done.store(true);
+  scraper.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.counter_total("hammer_total"),
+                   static_cast<double>(kThreads) * kOps);
+  EXPECT_DOUBLE_EQ(snap.gauge_total("hammer_gauge"),
+                   static_cast<double>(kThreads) * kOps);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count,
+            static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+// Concurrent create-or-get on the same keys must hand every thread the same
+// instances and never corrupt the map.
+TEST(Concurrency, RegistryCreateOrGet) {
+  if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  constexpr int kThreads = 8;
+  MetricsRegistry reg;
+  std::vector<std::thread> pool;
+  std::vector<std::shared_ptr<Counter>> handles(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        handles[t] = reg.counter("shared_total", {{"lane", std::to_string(i % 4)}});
+        handles[t]->inc();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_DOUBLE_EQ(reg.snapshot().counter_total("shared_total"),
+                   static_cast<double>(kThreads) * 200);
+}
+
+TEST(Disabled, PrimitivesAreInertWhenCompiledOut) {
+  if (kEnabled) GTEST_SKIP() << "only meaningful with REPRO_OBS_DISABLE";
+  MetricsRegistry reg;
+  auto c = reg.counter("c");
+  c->add(10);
+  EXPECT_EQ(c->value(), 0u);
+  auto h = reg.histogram("h", {1.0, 2.0});
+  h->observe(1.5);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_TRUE(reg.snapshot().counters.empty());
+}
+
+}  // namespace
+}  // namespace repro::obs

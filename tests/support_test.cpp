@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "support/aligned_buffer.hpp"
 #include "support/options.hpp"
@@ -104,6 +105,69 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(data, 50.0), 30.0);
   EXPECT_DOUBLE_EQ(percentile(data, 25.0), 20.0);
   EXPECT_DOUBLE_EQ(percentile(data, 12.5), 15.0);
+}
+
+TEST(Stats, PercentileTinySamples) {
+  // 1 sample: every percentile is that sample.
+  const double one[] = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 100.0), 7.0);
+
+  // 2 samples: linear interpolation between the two.
+  const double two[] = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(two, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 25.0), 12.5);
+  EXPECT_DOUBLE_EQ(percentile(two, 50.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 100.0), 20.0);
+
+  // Out-of-range p clamps instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(percentile(two, -5.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(two, 250.0), 20.0);
+}
+
+TEST(Stats, PercentileNanPIsNanNotUB) {
+  // std::clamp propagates NaN; the old code cast that NaN rank to size_t
+  // (undefined behavior, caught by UBSan). NaN in -> NaN out.
+  const double data[] = {1.0, 2.0, 3.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(percentile(data, nan)));
+  EXPECT_EQ(percentile({}, nan), 0.0);  // empty still wins
+}
+
+TEST(Stats, PercentileSortedSkipsTheCopy) {
+  const double sorted[] = {1.0, 2.0, 4.0, 8.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 100.0), 8.0);
+  EXPECT_EQ(percentile_sorted({}, 50.0), 0.0);
+}
+
+TEST(Stats, SingleSampleSummaryAndRunningStats) {
+  const double one[] = {3.5};
+  const Summary s = summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+
+  RunningStats running;
+  running.add(3.5);
+  EXPECT_EQ(running.count(), 1u);
+  EXPECT_DOUBLE_EQ(running.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(running.variance(), 0.0);  // population variance, not n-1
+  EXPECT_DOUBLE_EQ(running.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(running.min(), 3.5);
+  EXPECT_DOUBLE_EQ(running.max(), 3.5);
+}
+
+TEST(Stats, TwoSampleSummary) {
+  const double two[] = {2.0, 4.0};
+  const Summary s = summarize(two);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 1.0);
 }
 
 TEST(Stats, RunningStatsMatchesBatchSummary) {

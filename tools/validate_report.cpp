@@ -1,0 +1,37 @@
+// CLI wrapper around obs::validate_run_report for CI: exit 0 iff every file
+// given on the command line is a well-formed repro.run_report/v1 document.
+//
+//   validate_report report.json [more.json ...]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/run_report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: validate_report <report.json> [more.json ...]\n";
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << path << ": cannot open\n";
+      ++failures;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    if (repro::obs::validate_run_report(buffer.str(), &error)) {
+      std::cout << path << ": OK\n";
+    } else {
+      std::cerr << path << ": INVALID: " << error << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
