@@ -92,8 +92,16 @@ int main(int argc, char** argv) {
   // oversubscribed host; the traffic columns show the structural story.
   const int n = static_cast<int>(options.get_int("host-n", 1024));
   const int host_iters = static_cast<int>(options.get_int("host-iters", 8));
+  // --kernel= selects the compute-kernel variant for the task-runtime rows
+  // (scalar reproduces the paper's unoptimized kernel; see kernel_opt.hpp).
+  const stencil::KernelVariant host_kernel = stencil::parse_kernel_variant(
+      options.get_choice("kernel", "scalar",
+                         {"scalar", "vector", "blocked", "temporal"}));
+  report.set_param("kernel",
+                   obs::Json(stencil::kernel_variant_name(host_kernel)));
   std::cout << "Real execution on this host (N=" << n << ", " << host_iters
-            << " iters, 4 virtual nodes / 4 SpMV ranks):\n";
+            << " iters, 4 virtual nodes / 4 SpMV ranks, "
+            << stencil::kernel_variant_name(host_kernel) << " kernel):\n";
   const stencil::Problem problem = stencil::laplace_problem(n, host_iters);
   // Every real execution below shares one registry; the report carries its
   // snapshot so the host run is reproducible from the JSON alone.
@@ -117,6 +125,7 @@ int main(int argc, char** argv) {
     config.decomp = {n / 8, n / 8, 2, 2};
     config.steps = steps;
     config.workers_per_rank = 2;
+    config.kernel = host_kernel;
     config.metrics = metrics;
     const auto r = run_distributed(problem, config);
     real.add_row({steps == 1 ? "base taskrt" : "CA taskrt (s=4)",

@@ -1,24 +1,187 @@
 // Fig. 8: tuned-kernel performance — GFLOP/s vs kernel-adjustment ratio.
 //
-// The ratio parameter updates only (ratio*mb) x (ratio*nb) of each tile,
-// simulating a memory system / optimized kernel that is faster than the
-// baseline. NaCL: N = 23k, tile 288; Stampede2: N = 55k, tile 864; 100
-// iterations; CA step size 15; 4/16/64 nodes in square grids.
+// Default (simulated) mode: the ratio parameter updates only
+// (ratio*mb) x (ratio*nb) of each tile, simulating a memory system /
+// optimized kernel that is faster than the baseline. NaCL: N = 23k, tile
+// 288; Stampede2: N = 55k, tile 864; 100 iterations; CA step size 15;
+// 4/16/64 nodes in square grids.
+//
+// --measured mode: the same base-vs-CA comparison executed FOR REAL on this
+// host, with the kernel-time knob replaced by actual kernels from
+// kernel_opt.hpp — scalar vs SIMD/blocked vs fused-temporal. The measured
+// per-point speedup of the optimized kernel plays the role of the paper's
+// ratio, and every run is checked bit-for-bit against the serial reference
+// (unlike ratio < 1 runs, which are timing-only).
 //
 // Shapes to check (paper section VI-D):
-//   * base == CA at large ratios (kernel-bound);
-//   * CA pulls ahead as the ratio shrinks — the paper quotes 57% on 16 NaCL
-//     nodes and ~14% at ratio 0.4 (Fig. 10's configuration), 18-33% on
-//     Stampede2;
+//   * base == CA at large ratios / with the scalar kernel (kernel-bound);
+//   * CA pulls ahead as kernel time shrinks — the paper quotes 57% on 16
+//     NaCL nodes and ~14% at ratio 0.4, 18-33% on Stampede2;
 //   * the "base, original kernel" (ratio=1) row is Fig. 8's black line.
 #include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "sim/models.hpp"
+#include "stencil/dist_stencil.hpp"
+#include "stencil/serial.hpp"
+
+namespace {
+
+using namespace repro;
+using stencil::KernelVariant;
+
+/// Best-of-reps seconds per full-tile sweep of one kernel variant on a
+/// cache-resident ring-ghost tile (the paper's 288x288 NaCL tile).
+double time_kernel_sweep(KernelVariant variant, int tile, int reps) {
+  const stencil::TileGeom g{tile, tile, 1, 1, 1, 1};
+  std::vector<double> in(g.size(), 1.0);
+  std::vector<double> out(g.size(), 0.0);
+  const stencil::Stencil5 w = stencil::Stencil5::laplace_jacobi();
+  jacobi5_opt(in.data(), out.data(), g, w, 0, tile, 0, tile, variant);
+  double best = 1e300;
+  const int sweeps = 20;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int s = 0; s < sweeps; ++s) {
+      jacobi5_opt(in.data(), out.data(), g, w, 0, tile, 0, tile, variant);
+      std::swap(in, out);
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count() / sweeps);
+  }
+  return best;
+}
+
+int run_measured(const Options& options) {
+  bench::header(
+      "Fig. 8 (measured): base vs CA with real scalar vs optimized kernels",
+      "base ~= CA with the scalar kernel; CA ahead once the optimized "
+      "kernel shrinks compute time; all runs bit-identical to serial");
+
+  // Defaults tuned for a small host: tile 64 keeps per-superstep message
+  // counts high enough that the CA advantage is visible above the noise of
+  // an oversubscribed machine (see docs/REPRODUCING.md).
+  const int n = static_cast<int>(options.get_int("n", 768));
+  const int tile = static_cast<int>(options.get_int("tile", 64));
+  const int nodes = static_cast<int>(options.get_int("nodes", 2));
+  const int iters = static_cast<int>(options.get_int("iters", 40));
+  const int steps = static_cast<int>(options.get_int("steps", 8));
+  const int reps = static_cast<int>(options.get_int("reps", 5));
+  const KernelVariant opt_variant = stencil::parse_kernel_variant(
+      options.get_choice("kernel", "vector", {"vector", "blocked"}));
+
+  obs::RunReport report("bench_fig8_kernel_ratio_measured");
+  report.set_param("mode", obs::Json("measured"));
+  report.set_param("n", obs::Json(n));
+  report.set_param("tile", obs::Json(tile));
+  report.set_param("nodes", obs::Json(nodes * nodes));
+  report.set_param("iters", obs::Json(iters));
+  report.set_param("steps", obs::Json(steps));
+  report.set_param("kernel", obs::Json(kernel_variant_name(opt_variant)));
+
+  // The measured analogue of the paper's ratio axis: how much faster the
+  // optimized kernel retires points than the scalar one.
+  const double t_scalar = time_kernel_sweep(KernelVariant::Scalar, 288, reps);
+  const double t_opt = time_kernel_sweep(opt_variant, 288, reps);
+  const double kernel_speedup = t_scalar / t_opt;
+  std::cout << "Kernel microbenchmark (288x288 tile, best of " << reps
+            << "): scalar " << t_scalar * 1e6 << " us/sweep, "
+            << kernel_variant_name(opt_variant) << " " << t_opt * 1e6
+            << " us/sweep -> speedup " << kernel_speedup << "x\n"
+            << "AVX2: " << (stencil::avx2_selected({}) ? "active" : "off")
+            << "\n\n";
+  report.set_derived("measured_kernel_speedup", obs::Json(kernel_speedup));
+  report.set_derived("avx2_active", obs::Json(stencil::avx2_selected({})));
+
+  const stencil::Problem problem = stencil::random_problem(n, n, iters);
+  const stencil::Grid2D expected = stencil::solve_serial(problem);
+
+  struct RunCase {
+    const char* label;
+    int steps;
+    KernelVariant kernel;
+  };
+  const std::vector<RunCase> cases = {
+      {"base / scalar", 1, KernelVariant::Scalar},
+      {"base / optimized", 1, opt_variant},
+      {"CA / scalar", steps, KernelVariant::Scalar},
+      {"CA / optimized", steps, opt_variant},
+      {"CA / temporal (fused)", steps, KernelVariant::Temporal},
+  };
+
+  Table table({"configuration", "kernel", "time ms", "GFLOP/s",
+               "vs base/scalar", "exact"});
+  std::vector<double> gflops(cases.size(), 0.0);
+  std::vector<double> wall_ms(cases.size(), 0.0);
+  bool all_exact = true;
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const RunCase& rc = cases[ci];
+    stencil::DistConfig config;
+    config.decomp = {tile, tile, nodes, nodes};
+    config.steps = rc.steps;
+    config.kernel = rc.kernel;
+    double best_wall = 1e300;
+    double flops = 0.0;
+    bool exact = true;
+    for (int rep = 0; rep < reps; ++rep) {
+      const stencil::DistResult r = stencil::run_distributed(problem, config);
+      best_wall = std::min(best_wall, r.stats.wall_time_s);
+      flops = r.flops();
+      if (rep == 0) {
+        exact = stencil::Grid2D::max_abs_diff(expected, r.grid) == 0.0;
+      }
+    }
+    wall_ms[ci] = best_wall * 1e3;
+    gflops[ci] = flops / best_wall / 1e9;
+    all_exact = all_exact && exact;
+    table.add_row({rc.label, stencil::kernel_variant_name(rc.kernel),
+                   Table::cell(wall_ms[ci], 1), Table::cell(gflops[ci], 2),
+                   Table::cell(gflops[ci] / gflops[0], 2),
+                   exact ? "yes" : "NO"});
+    obs::Json row = obs::Json::object();
+    row["configuration"] = obs::Json(rc.label);
+    row["steps"] = obs::Json(rc.steps);
+    row["kernel"] = obs::Json(stencil::kernel_variant_name(rc.kernel));
+    row["time_ms"] = obs::Json(wall_ms[ci]);
+    row["gflops"] = obs::Json(gflops[ci]);
+    row["exact"] = obs::Json(exact);
+    report.add_result(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  bench::maybe_csv(table, options, "fig8_measured.csv");
+
+  // Fig. 8's qualitative claim, in measured numbers: the CA advantage with
+  // the scalar kernel (should be ~0) vs with the optimized kernel.
+  const double ca_gain_scalar_pct = 100.0 * (gflops[2] / gflops[0] - 1.0);
+  const double ca_gain_opt_pct = 100.0 * (gflops[3] / gflops[1] - 1.0);
+  const double ca_gain_fused_pct = 100.0 * (gflops[4] / gflops[1] - 1.0);
+  std::cout << "CA gain with scalar kernel:    " << ca_gain_scalar_pct
+            << "%\n"
+            << "CA gain with optimized kernel: " << ca_gain_opt_pct << "%\n"
+            << "CA gain with fused temporal:   " << ca_gain_fused_pct << "%\n"
+            << "all runs bit-identical to serial: "
+            << (all_exact ? "yes" : "NO") << "\n";
+  report.set_derived("ca_gain_scalar_pct", obs::Json(ca_gain_scalar_pct));
+  report.set_derived("ca_gain_opt_pct", obs::Json(ca_gain_opt_pct));
+  report.set_derived("ca_gain_fused_pct", obs::Json(ca_gain_fused_pct));
+  report.set_derived("all_exact", obs::Json(all_exact));
+  bench::maybe_report(report, options, "fig8_measured_report.json");
+  return all_exact ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace repro;
   const Options options(argc, argv);
+  if (options.get_bool("measured", false)) {
+    return run_measured(options);
+  }
   bench::header("Fig. 8: GFLOP/s vs kernel-adjustment ratio (CA s=15)",
                 "CA wins when kernel time is small: up to 57% (NaCL@16) and "
                 "33% (Stampede2); no difference at ratio ~0.6-0.8");

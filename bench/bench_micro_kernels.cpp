@@ -10,10 +10,13 @@
 //     BM_Jacobi5Instrumented here against a -DREPRO_OBS_DISABLE build.
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "obs/metrics.hpp"
 #include "spmv/csr.hpp"
 #include "stencil/halo.hpp"
 #include "stencil/kernel.hpp"
+#include "stencil/kernel_opt.hpp"
 #include "stencil/problem.hpp"
 #include "stencil/serial.hpp"
 #include "stencil/shape.hpp"
@@ -43,6 +46,65 @@ void BM_Jacobi5(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Jacobi5)->Arg(64)->Arg(128)->Arg(288)->Arg(512)->Arg(1024);
+
+void BM_Jacobi5Opt(benchmark::State& state) {
+  // Optimized variants vs BM_Jacobi5: arg 0 is the KernelVariant index
+  // (0 scalar, 1 vector, 2 blocked), arg 1 the square tile size. Acceptance:
+  // the vector/blocked rows must beat the scalar row by >= 1.5x on a
+  // cache-resident tile (see docs/REPRODUCING.md).
+  const auto variant = static_cast<KernelVariant>(state.range(0));
+  const int tile = static_cast<int>(state.range(1));
+  const TileGeom g{tile, tile, 1, 1, 1, 1};
+  std::vector<double> in(g.size(), 1.0);
+  std::vector<double> out(g.size(), 0.0);
+  const Stencil5 w = Stencil5::laplace_jacobi();
+  for (auto _ : state) {
+    jacobi5_opt(in.data(), out.data(), g, w, 0, tile, 0, tile, variant);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(kernel_variant_name(variant));
+  const double points = static_cast<double>(tile) * tile;
+  state.counters["points/s"] = benchmark::Counter(
+      points * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      points * kFlopsPerPoint * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Jacobi5Opt)->ArgsProduct({{0, 1, 2}, {64, 288, 1024}});
+
+void BM_Jacobi5Temporal(benchmark::State& state) {
+  // Fused supersteps on one CA-style deep-ghost tile: m steps per sweep over
+  // a shrinking region (all four sides deep), the shared-memory analogue of
+  // PA1. points/s counts every redundant update, so the win over m separate
+  // BM_Jacobi5DeepGhost-style sweeps is pure locality, not less work.
+  const int tile = 288;
+  const int m = static_cast<int>(state.range(0));
+  const TileGeom g{tile, tile, m, m, m, m};
+  std::vector<double> in(g.size(), 1.0);
+  std::vector<double> out(g.size(), 0.0);
+  const Stencil5 w = Stencil5::laplace_jacobi();
+  const std::array<bool, 4> shrink{true, true, true, true};
+  for (auto _ : state) {
+    jacobi5_temporal(in.data(), out.data(), g, w, -(m - 1), tile + m - 1,
+                     -(m - 1), tile + m - 1, m, shrink);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  double points = 0.0;
+  for (int t = 0; t < m; ++t) {
+    const double extent = tile + 2.0 * (m - 1 - t);
+    points += extent * extent;
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      points * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      points * kFlopsPerPoint * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Jacobi5Temporal)->Arg(1)->Arg(4)->Arg(15);
 
 void BM_Jacobi5DeepGhost(benchmark::State& state) {
   // The CA variant's extended-region update: tile 288 with 15-deep ghosts,

@@ -14,6 +14,7 @@ namespace repro::rt {
 
 using Buffer = std::shared_ptr<const std::vector<double>>;
 
+/// Seal a vector into an immutable shared Buffer (moves; no copy).
 inline Buffer make_buffer(std::vector<double>&& data) {
   return std::make_shared<const std::vector<double>>(std::move(data));
 }

@@ -57,6 +57,7 @@ class TaskGraph {
 
   /// Index lookup by key; throws if absent.
   std::size_t index_of(const TaskKey& key) const;
+  /// Whether a task with this key has been added.
   bool contains(const TaskKey& key) const;
 
   /// A consumer edge attached to a producer's output slot.

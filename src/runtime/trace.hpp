@@ -31,13 +31,17 @@ class Tracer {
  public:
   explicit Tracer(bool enabled = false) : enabled_(enabled) {}
 
+  /// Whether record() stores events (fixed at construction; callers may skip
+  /// building TraceEvents entirely when false).
   bool enabled() const { return enabled_; }
 
+  /// Append one event. Thread-safe; a no-op when the tracer is disabled.
   void record(TraceEvent event);
 
   /// All events, unordered. Call only after the run has finished.
   const std::vector<TraceEvent>& events() const { return events_; }
 
+  /// Discard all recorded events (e.g. between repetitions of a bench).
   void clear();
 
  private:

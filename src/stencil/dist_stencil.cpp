@@ -44,6 +44,10 @@ struct Shared {
   int radius = 1;    ///< stencil reach (1 for the paper's 5-point case)
   bool box = false;  ///< box-shaped stencil (reads diagonals every step)
   SuperstepHook hook;  ///< superstep-boundary snapshot callback (may be empty)
+  KernelVariant kernel = KernelVariant::Scalar;
+  KernelTuning tuning{};
+  /// Temporal variant: one fused task per tile per superstep.
+  bool fused = false;
   std::atomic<long long> computed_points{0};
 };
 
@@ -55,6 +59,11 @@ struct TileInfo {
   bool side_exists[4] = {};
   bool side_remote[4] = {};
   bool side_local[4] = {};
+  /// Deep (radius*steps) ghost band on this side, refreshed by packed bands
+  /// at superstep starts. Non-fused: the remote sides. Fused (Temporal):
+  /// every side with a neighbor — there is no per-inner-step local exchange
+  /// inside a fused task, so local neighbors need deep bands too.
+  bool side_deep[4] = {};
   /// This tile consumes a corner block from the diagonal neighbor at Corner c.
   bool corner_in[4] = {};
   /// Box shapes only: this tile reads the same-node diagonal's state at c.
@@ -63,7 +72,7 @@ struct TileInfo {
 };
 
 TileInfo make_tile_info(const TileMap& map, int steps, int radius, bool box,
-                        int ti, int tj) {
+                        bool fused, int ti, int tj) {
   TileInfo info;
   info.ti = ti;
   info.tj = tj;
@@ -73,12 +82,15 @@ TileInfo make_tile_info(const TileMap& map, int steps, int radius, bool box,
     const auto i = static_cast<int>(s);
     info.side_exists[i] = map.neighbor_exists(ti, tj, d_ti(s), d_tj(s));
     info.side_remote[i] = map.neighbor_remote(ti, tj, d_ti(s), d_tj(s));
-    info.side_local[i] = info.side_exists[i] && !info.side_remote[i];
+    // Fused tasks exchange packed bands with every neighbor; per-inner-step
+    // local line copies only happen in the non-fused graph.
+    info.side_deep[i] = fused ? info.side_exists[i] : info.side_remote[i];
+    info.side_local[i] = !fused && info.side_exists[i] && !info.side_remote[i];
     if (info.side_remote[i]) info.boundary = true;
   }
 
   auto ghost = [&](Side s) {
-    return info.side_remote[static_cast<int>(s)] ? radius * steps : radius;
+    return info.side_deep[static_cast<int>(s)] ? radius * steps : radius;
   };
   info.geom = TileGeom{map.tile_h(ti), map.tile_w(tj),
                        ghost(Side::North), ghost(Side::South),
@@ -87,6 +99,14 @@ TileInfo make_tile_info(const TileMap& map, int steps, int radius, bool box,
   for (Corner c : kAllCorners) {
     const bool diag_exists = map.neighbor_exists(ti, tj, d_ti(c), d_tj(c));
     const bool diag_remote = map.neighbor_remote(ti, tj, d_ti(c), d_tj(c));
+    if (fused) {
+      // Fused supersteps redundantly compute into every neighbor-facing band,
+      // so every existing diagonal must supply its corner block (steps > 1;
+      // a 1-step fused task only reads the one-deep cross halo).
+      info.corner_in[static_cast<int>(c)] = diag_exists && steps > 1;
+      info.corner_local[static_cast<int>(c)] = false;
+      continue;
+    }
     // The corner is read only when the tile redundantly computes into a
     // neighboring ghost band (steps > 1) adjacent to this corner.
     const Side row_side = d_ti(c) < 0 ? Side::North : Side::South;
@@ -133,12 +153,25 @@ class Builder {
                     config.decomp.node_cols),
             config.steps, config.kernel_ratio)) {
     shared_->hook = config.superstep_hook;
+    shared_->kernel = config.kernel;
+    shared_->tuning = config.tuning;
+    shared_->fused = config.kernel == KernelVariant::Temporal;
     if (config.steps < 1) {
       throw std::invalid_argument("steps must be >= 1");
     }
     if (shared_->problem.shape && shared_->problem.coefficient) {
       throw std::invalid_argument(
           "shape and variable coefficients are mutually exclusive");
+    }
+    if (shared_->fused &&
+        (shared_->problem.shape || shared_->problem.coefficient)) {
+      throw std::invalid_argument(
+          "the temporal kernel variant supports only the plain "
+          "constant-coefficient 5-point stencil");
+    }
+    if (shared_->fused && config.kernel_ratio != 1.0) {
+      throw std::invalid_argument(
+          "the temporal kernel variant requires kernel_ratio == 1");
     }
     if (shared_->radius * config.steps > shared_->map.min_tile_extent()) {
       throw std::invalid_argument(
@@ -153,7 +186,7 @@ class Builder {
     for (int ti = 0; ti < map.tiles_r(); ++ti) {
       for (int tj = 0; tj < map.tiles_c(); ++tj) {
         tiles_.push_back(make_tile_info(map, config.steps, shared_->radius,
-                                        shared_->box, ti, tj));
+                                        shared_->box, shared_->fused, ti, tj));
       }
     }
   }
@@ -169,12 +202,21 @@ class Builder {
     rt::TaskGraph graph;
     const TileMap& map = shared_->map;
     const int iters = shared_->problem.iterations;
+    const int steps = shared_->steps;
 
     for (int ti = 0; ti < map.tiles_r(); ++ti) {
       for (int tj = 0; tj < map.tiles_c(); ++tj) {
         graph.add_task(make_init_task(tile(ti, tj)));
-        for (int k = 1; k <= iters; ++k) {
-          graph.add_task(make_step_task(tile(ti, tj), k));
+        if (shared_->fused) {
+          // One task per superstep, keyed by its ending iteration so that
+          // state_key(boundary) names the same task in both graph shapes.
+          for (int k_start = 1; k_start <= iters; k_start += steps) {
+            graph.add_task(make_fused_step_task(tile(ti, tj), k_start));
+          }
+        } else {
+          for (int k = 1; k <= iters; ++k) {
+            graph.add_task(make_step_task(tile(ti, tj), k));
+          }
         }
       }
     }
@@ -201,7 +243,7 @@ class Builder {
     const int iters = shared_->problem.iterations;
     if (k >= iters || k % shared_->steps != 0) return plan;
     for (Side s : kAllSides) {
-      plan.bands[static_cast<int>(s)] = info.side_remote[static_cast<int>(s)];
+      plan.bands[static_cast<int>(s)] = info.side_deep[static_cast<int>(s)];
     }
     for (Corner c : kAllCorners) {
       // We pack corner c iff the diagonal neighbor consumes from its
@@ -415,8 +457,10 @@ class Builder {
         jacobi5_var(assembled.data(), out.data(), g, coeff.data(), r0, r1, c0,
                     c1);
       } else {
-        jacobi5(assembled.data(), out.data(), g, shared->problem.weights, r0,
-                r1, c0, c1);
+        // Constant-coefficient path: dispatch the selected kernel variant
+        // (bit-identical to jacobi5 by construction, see kernel_opt.hpp).
+        jacobi5_opt(assembled.data(), out.data(), g, shared->problem.weights,
+                    r0, r1, c0, c1, shared->kernel, shared->tuning);
       }
       shared->computed_points.fetch_add(
           static_cast<long long>(r1 - r0) * (c1 - c0),
@@ -432,18 +476,113 @@ class Builder {
     return spec;
   }
 
+  /// One fused CA superstep (Temporal variant): consume the state and
+  /// deep bands/corners published at the previous superstep boundary, then
+  /// advance every inner step of the superstep inside this single task via
+  /// jacobi5_temporal. The task is keyed by its ENDING iteration so that
+  /// state_key(boundary, ti, tj) names the same producer in both graph
+  /// shapes (gather, pack_plan, and neighbor wiring all reuse it).
+  rt::TaskSpec make_fused_step_task(const TileInfo& info, int k_start) {
+    const int iters = shared_->problem.iterations;
+    const int steps = shared_->steps;
+    const int k_end = std::min(k_start + steps - 1, iters);
+    const int m = k_end - k_start + 1;
+
+    rt::TaskSpec spec;
+    spec.key = step_key(k_end, info.ti, info.tj);
+    spec.rank = info.rank;
+    spec.priority = info.boundary ? 1 : 0;
+    spec.klass = info.boundary ? "boundary" : "interior";
+
+    // Input order: own previous-boundary state; neighbor bands (N,S,W,E);
+    // corner blocks (NW,NE,SW,SE). Body indexes inputs in exactly this order.
+    spec.inputs.push_back({state_key(k_start - 1, info.ti, info.tj),
+                           kSlotState});
+    for (Side s : kAllSides) {
+      if (info.side_deep[static_cast<int>(s)]) {
+        spec.inputs.push_back(
+            {state_key(k_start - 1, info.ti + d_ti(s), info.tj + d_tj(s)),
+             kSlotBand(opposite(s))});
+      }
+    }
+    for (Corner c : kAllCorners) {
+      if (info.corner_in[static_cast<int>(c)]) {
+        spec.inputs.push_back(
+            {state_key(k_start - 1, info.ti + d_ti(c), info.tj + d_tj(c)),
+             kSlotCorner(opposite(c))});
+      }
+    }
+
+    auto shared = shared_;
+    const TileInfo tile_info = info;
+    const PackPlan plan = pack_plan(info, k_end);
+    spec.body = [shared, tile_info, plan, k_end, m](rt::TaskContext& ctx) {
+      const TileGeom& g = tile_info.geom;
+      const int radius = shared->radius;  // always 1 on this path
+      const int depth = radius * shared->steps;
+
+      // 1. Assemble: previous boundary state (core + Dirichlet ring), then
+      //    overwrite every deep ghost band and corner block with the data
+      //    the neighbors packed at the boundary.
+      std::span<const double> prev = ctx.input(0);
+      std::vector<double> assembled(prev.begin(), prev.end());
+      std::size_t next_input = 1;
+      for (Side s : kAllSides) {
+        if (!tile_info.side_deep[static_cast<int>(s)]) continue;
+        unpack_band(assembled.data(), g, s, ctx.input(next_input), depth);
+        ++next_input;
+      }
+      for (Corner c : kAllCorners) {
+        if (!tile_info.corner_in[static_cast<int>(c)]) continue;
+        unpack_corner(assembled.data(), g, c, ctx.input(next_input), depth);
+        ++next_input;
+      }
+
+      // 2. First inner step covers the full redundant band on deep sides;
+      //    jacobi5_temporal shrinks it one layer per step toward the core.
+      //    Non-deep sides sit on the grid edge, against the fixed ring.
+      const std::array<bool, 4> shrink = {
+          tile_info.side_deep[0], tile_info.side_deep[1],
+          tile_info.side_deep[2], tile_info.side_deep[3]};
+      const int r0 = shrink[0] ? -(depth - radius) : 0;
+      const int r1 = g.h + (shrink[1] ? depth - radius : 0);
+      const int c0 = shrink[2] ? -(depth - radius) : 0;
+      const int c1 = g.w + (shrink[3] ? depth - radius : 0);
+
+      std::vector<double> out = assembled;  // ring + unwritten cells persist
+      jacobi5_temporal(assembled.data(), out.data(), g,
+                       shared->problem.weights, r0, r1, c0, c1, m, shrink,
+                       shared->tuning);
+
+      // Same accounting as m non-fused tasks: one shrinking region per step.
+      long long points = 0;
+      for (int t = 0; t < m; ++t) {
+        points += static_cast<long long>((r1 - (shrink[1] ? t : 0)) -
+                                         (r0 + (shrink[0] ? t : 0))) *
+                  ((c1 - (shrink[3] ? t : 0)) - (c0 + (shrink[2] ? t : 0)));
+      }
+      shared->computed_points.fetch_add(points, std::memory_order_relaxed);
+
+      if (shared->hook && k_end % shared->steps == 0) {
+        call_hook(*shared, tile_info, k_end, out.data());
+      }
+      publish_all(ctx, tile_info, plan, depth, std::move(out));
+    };
+    return spec;
+  }
+
   /// Geometry of the neighbor on `side` (for local line copies).
   static TileInfo make_nbr_info(const Shared& shared, const TileInfo& info,
                                 Side s) {
     return make_tile_info(shared.map, shared.steps, shared.radius, shared.box,
-                          info.ti + d_ti(s), info.tj + d_tj(s));
+                          shared.fused, info.ti + d_ti(s), info.tj + d_tj(s));
   }
 
   /// Geometry of the diagonal neighbor at `corner` (for box local corners).
   static TileInfo make_diag_info(const Shared& shared, const TileInfo& info,
                                  Corner c) {
     return make_tile_info(shared.map, shared.steps, shared.radius, shared.box,
-                          info.ti + d_ti(c), info.tj + d_tj(c));
+                          shared.fused, info.ti + d_ti(c), info.tj + d_tj(c));
   }
 
   std::shared_ptr<Shared> shared_;
@@ -483,7 +622,7 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
           Builder::state_key(problem.iterations, ti, tj), 0);
       const TileInfo info = make_tile_info(
           map, config.steps, builder.shared()->radius, builder.shared()->box,
-          ti, tj);
+          builder.shared()->fused, ti, tj);
       const TileGeom& g = info.geom;
       for (int i = 0; i < g.h; ++i) {
         for (int j = 0; j < g.w; ++j) {
@@ -534,6 +673,18 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
     auto flops = registry.gauge("stencil_flops_total", {},
                                 "Floating-point ops, redundancy included");
     flops->set(result.flops());
+    auto variant = registry.gauge(
+        "stencil_kernel_variant_info",
+        {{"variant", kernel_variant_name(config.kernel)}},
+        "Selected compute-kernel variant (value is always 1)");
+    variant->set(1.0);
+    if (result.stats.wall_time_s > 0.0) {
+      auto rate = registry.gauge("stencil_points_per_second", {},
+                                 "Computed points (redundancy included) "
+                                 "per wall-clock second");
+      rate->set(static_cast<double>(result.computed_points) /
+                result.stats.wall_time_s);
+    }
   }
   return result;
 }

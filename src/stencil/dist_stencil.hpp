@@ -26,6 +26,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 #include "stencil/grid.hpp"
+#include "stencil/kernel_opt.hpp"
 #include "stencil/problem.hpp"
 #include "stencil/tile_map.hpp"
 
@@ -56,6 +57,19 @@ struct DistConfig {
   rt::SchedPolicy scheduler = rt::SchedPolicy::PriorityFifo;
   /// Per-destination-node message aggregation (see rt::Config).
   bool aggregate_messages = false;
+  /// Compute-kernel variant for the constant-coefficient 5-point path
+  /// (shape/coefficient problems always use their dedicated kernels).
+  /// Scalar/Vector/Blocked only change the inner sweep — the task graph is
+  /// unchanged and results stay bit-identical to the serial reference.
+  /// Temporal additionally FUSES each superstep into one task per tile:
+  /// every neighbor side carries a steps-deep ghost band (local neighbors
+  /// included, since there is no per-inner-step exchange to refresh them)
+  /// and jacobi5_temporal advances all inner steps in-task. Temporal
+  /// requires the plain constant-coefficient problem (no shape, no variable
+  /// coefficients) and kernel_ratio == 1.
+  KernelVariant kernel = KernelVariant::Scalar;
+  /// Blocking and SIMD-dispatch tuning for the optimized variants.
+  KernelTuning tuning{};
   /// Snapshot callback at superstep boundaries (empty = disabled).
   SuperstepHook superstep_hook{};
   /// Custom channel stack for remote traffic (empty = plain Transport).

@@ -21,9 +21,12 @@ class Grid2D {
  public:
   Grid2D(int rows, int cols);
 
+  /// Interior extent (the boundary ring is not counted).
   int rows() const { return rows_; }
   int cols() const { return cols_; }
 
+  /// Cell access; i in [-1, rows] and j in [-1, cols] are valid (ring cells
+  /// hold the Dirichlet boundary). No bounds checking.
   double& at(int i, int j) { return data_[index(i, j)]; }
   double at(int i, int j) const { return data_[index(i, j)]; }
 

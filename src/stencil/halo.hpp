@@ -56,6 +56,7 @@ constexpr Corner opposite(Corner c) {
   return Corner::NW;
 }
 
+/// Static display name of a side ("north", "south", "west", "east").
 const char* side_name(Side s);
 
 /// Pack `depth` core rows/cols adjacent to `side`. North/South bands are

@@ -1,5 +1,8 @@
 #include "stencil/serial.hpp"
 
+#include <algorithm>
+#include <array>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -70,6 +73,58 @@ Grid2D solve_serial_shape(const Problem& problem) {
     apply_shape(current.data(), next.data(), g, shape, 0, problem.rows, 0,
                 problem.cols);
     std::swap(current, next);
+  }
+
+  Grid2D grid(problem.rows, problem.cols);
+  grid.fill([&](long i, long j) { return current[g.idx(static_cast<int>(i),
+                                                       static_cast<int>(j))]; },
+            problem.boundary);
+  return grid;
+}
+
+Grid2D solve_serial_opt(const Problem& problem, KernelVariant variant,
+                        const KernelTuning& tuning, int fuse) {
+  if (problem.shape || problem.coefficient) {
+    throw std::invalid_argument(
+        "solve_serial_opt supports only the plain constant-coefficient "
+        "5-point stencil");
+  }
+  if (fuse < 1) {
+    throw std::invalid_argument("solve_serial_opt: fuse must be >= 1");
+  }
+
+  // One ring-padded "tile" covering the whole grid, like solve_serial_shape.
+  const TileGeom g{problem.rows, problem.cols, 1, 1, 1, 1};
+  std::vector<double> current(g.size());
+  for (int i = -1; i < problem.rows + 1; ++i) {
+    for (int j = -1; j < problem.cols + 1; ++j) {
+      const bool inside = i >= 0 && i < problem.rows && j >= 0 &&
+                          j < problem.cols;
+      current[g.idx(i, j)] =
+          inside ? problem.initial(i, j) : problem.boundary(i, j);
+    }
+  }
+  std::vector<double> next = current;
+
+  if (variant == KernelVariant::Temporal) {
+    // The fixed Dirichlet ring bounds all four sides, so fused steps need no
+    // shrinking: each inner step re-reads the ring and the previous step's
+    // full interior.
+    const std::array<bool, 4> no_shrink = {false, false, false, false};
+    int iter = 0;
+    while (iter < problem.iterations) {
+      const int m = std::min(fuse, problem.iterations - iter);
+      jacobi5_temporal(current.data(), next.data(), g, problem.weights, 0,
+                       g.h, 0, g.w, m, no_shrink, tuning);
+      std::swap(current, next);
+      iter += m;
+    }
+  } else {
+    for (int iter = 0; iter < problem.iterations; ++iter) {
+      jacobi5_opt(current.data(), next.data(), g, problem.weights, 0, g.h, 0,
+                  g.w, variant, tuning);
+      std::swap(current, next);
+    }
   }
 
   Grid2D grid(problem.rows, problem.cols);

@@ -52,6 +52,7 @@ class TileMap {
     return node_r(ti) * node_cols_ + node_c(tj);
   }
 
+  /// Whether (ti,tj) names a tile of this decomposition.
   bool valid(int ti, int tj) const {
     return ti >= 0 && ti < tiles_r_ && tj >= 0 && tj < tiles_c_;
   }

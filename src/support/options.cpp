@@ -47,4 +47,21 @@ bool Options::get_bool(const std::string& key, bool fallback) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+std::string Options::get_choice(const std::string& key,
+                                const std::string& fallback,
+                                const std::vector<std::string>& allowed) const {
+  const std::string value = get_string(key, fallback);
+  for (const auto& candidate : allowed) {
+    if (value == candidate) return value;
+  }
+  std::string expected;
+  for (const auto& candidate : allowed) {
+    if (!expected.empty()) expected += ", ";
+    expected += candidate;
+  }
+  throw std::invalid_argument("--" + key + "=" + value +
+                              " is not a valid choice (expected one of: " +
+                              expected + ")");
+}
+
 }  // namespace repro

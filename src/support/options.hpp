@@ -20,11 +20,21 @@ class Options {
 
   bool has(const std::string& key) const;
 
+  /// Raw value of --key=..., or `fallback` when the key is absent.
   std::string get_string(const std::string& key,
                          const std::string& fallback) const;
+  /// Integer value via strtoll; absent key -> fallback, garbage -> 0.
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  /// Double value via strtod; absent key -> fallback, garbage -> 0.
   double get_double(const std::string& key, double fallback) const;
+  /// True for "true"/"1"/"yes" (and for a bare --flag); absent -> fallback.
   bool get_bool(const std::string& key, bool fallback) const;
+  /// Value constrained to `allowed` (e.g. --kernel=scalar|vector|blocked|
+  /// temporal). Absent key -> fallback; a value outside `allowed` throws
+  /// std::invalid_argument listing the accepted spellings, so benches fail
+  /// loudly instead of silently running the default configuration.
+  std::string get_choice(const std::string& key, const std::string& fallback,
+                         const std::vector<std::string>& allowed) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

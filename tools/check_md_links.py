@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs.
+
+Scans the given files (or, with no arguments, every *.md at the repo root
+and under docs/) for inline links and images `[text](target)` and verifies
+that every RELATIVE target resolves to an existing file or directory,
+after stripping any #fragment. External schemes (http, https, mailto) and
+pure-fragment links (#section) are skipped — CI must not depend on network
+reachability. Exits 1 and lists every broken link otherwise.
+
+Usage: tools/check_md_links.py [file.md ...]
+"""
+import os
+import re
+import sys
+
+# Inline links/images. [text](target "title") — capture the target up to the
+# first unescaped space or closing paren. Reference-style definitions
+# `[id]: target` are also covered.
+INLINE_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def find_targets(text):
+    for match in INLINE_RE.finditer(text):
+        yield match.group(1), text[: match.start()].count("\n") + 1
+    for match in REFDEF_RE.finditer(text):
+        yield match.group(1), text[: match.start()].count("\n") + 1
+
+
+def default_files(root):
+    files = sorted(
+        os.path.join(root, f) for f in os.listdir(root) if f.endswith(".md")
+    )
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for dirpath, _dirnames, filenames in os.walk(docs):
+            files.extend(
+                os.path.join(dirpath, f)
+                for f in sorted(filenames)
+                if f.endswith(".md")
+            )
+    return files
+
+
+def check_file(path, broken):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    base = os.path.dirname(os.path.abspath(path))
+    count = 0
+    for target, line in find_targets(text):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        count += 1
+        resolved = os.path.normpath(
+            os.path.join(base, target.split("#", 1)[0])
+        )
+        if not os.path.exists(resolved):
+            broken.append(f"{path}:{line}: broken link -> {target}")
+    return count
+
+
+def main(argv):
+    files = argv[1:] or default_files(os.getcwd())
+    if not files:
+        print("check_md_links: no markdown files found", file=sys.stderr)
+        return 1
+    broken = []
+    checked = 0
+    for path in files:
+        checked += check_file(path, broken)
+    for message in broken:
+        print(message, file=sys.stderr)
+    print(
+        f"check_md_links: {len(files)} files, {checked} relative links, "
+        f"{len(broken)} broken"
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
