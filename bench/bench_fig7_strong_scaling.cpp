@@ -99,9 +99,16 @@ int main(int argc, char** argv) {
                          {"scalar", "vector", "blocked", "temporal"}));
   report.set_param("kernel",
                    obs::Json(stencil::kernel_variant_name(host_kernel)));
+  // --sched= selects the ready-queue discipline for the task-runtime rows
+  // (priority = shared heap; steal = per-worker deques, see scheduler.hpp).
+  const rt::SchedPolicy host_sched = rt::parse_sched_policy(
+      options.get_choice("sched", "priority",
+                         {"priority", "fifo", "lifo", "steal"}));
+  report.set_param("sched", obs::Json(rt::sched_policy_name(host_sched)));
   std::cout << "Real execution on this host (N=" << n << ", " << host_iters
             << " iters, 4 virtual nodes / 4 SpMV ranks, "
-            << stencil::kernel_variant_name(host_kernel) << " kernel):\n";
+            << stencil::kernel_variant_name(host_kernel) << " kernel, "
+            << rt::sched_policy_name(host_sched) << " scheduler):\n";
   const stencil::Problem problem = stencil::laplace_problem(n, host_iters);
   // Every real execution below shares one registry; the report carries its
   // snapshot so the host run is reproducible from the JSON alone.
@@ -126,6 +133,7 @@ int main(int argc, char** argv) {
     config.steps = steps;
     config.workers_per_rank = 2;
     config.kernel = host_kernel;
+    config.scheduler = host_sched;
     config.metrics = metrics;
     const auto r = run_distributed(problem, config);
     real.add_row({steps == 1 ? "base taskrt" : "CA taskrt (s=4)",

@@ -73,6 +73,12 @@ int run_measured(const Options& options) {
   const int reps = static_cast<int>(options.get_int("reps", 5));
   const KernelVariant opt_variant = stencil::parse_kernel_variant(
       options.get_choice("kernel", "vector", {"vector", "blocked"}));
+  // --sched= applies the chosen ready-queue discipline to every measured run
+  // (exactness vs serial is asserted regardless, so this doubles as a quick
+  // scheduler-correctness gate at bench scale).
+  const rt::SchedPolicy sched = rt::parse_sched_policy(
+      options.get_choice("sched", "priority",
+                         {"priority", "fifo", "lifo", "steal"}));
 
   obs::RunReport report("bench_fig8_kernel_ratio_measured");
   report.set_param("mode", obs::Json("measured"));
@@ -82,6 +88,7 @@ int run_measured(const Options& options) {
   report.set_param("iters", obs::Json(iters));
   report.set_param("steps", obs::Json(steps));
   report.set_param("kernel", obs::Json(kernel_variant_name(opt_variant)));
+  report.set_param("sched", obs::Json(rt::sched_policy_name(sched)));
 
   // The measured analogue of the paper's ratio axis: how much faster the
   // optimized kernel retires points than the scalar one.
@@ -124,6 +131,7 @@ int run_measured(const Options& options) {
     config.decomp = {tile, tile, nodes, nodes};
     config.steps = rc.steps;
     config.kernel = rc.kernel;
+    config.scheduler = sched;
     double best_wall = 1e300;
     double flops = 0.0;
     bool exact = true;

@@ -28,3 +28,4 @@ target_link_libraries(bench_micro_kernels PRIVATE benchmark::benchmark)
 repro_add_bench(bench_exascale_projection)
 repro_add_bench(bench_weak_scaling)
 repro_add_bench(bench_fault_sweep)
+repro_add_bench(bench_sched_compare)

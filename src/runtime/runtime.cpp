@@ -9,6 +9,12 @@ namespace repro::rt {
 namespace {
 constexpr std::uint64_t kWireSingle = 0;
 constexpr std::uint64_t kWireMulti = 1;
+
+// Which worker thread (of which rank) is running, so enqueue_ready can push
+// a newly-ready task onto the enqueuing worker's own deque under the
+// work-stealing scheduler. -1 outside worker threads.
+thread_local int tl_rank = -1;
+thread_local int tl_worker = -1;
 }  // namespace
 
 // ---------------------------------------------------------------- context --
@@ -49,35 +55,6 @@ void TaskContext::publish(std::uint16_t slot, std::vector<double>&& data) {
 void TaskContext::publish(std::uint16_t slot, Buffer buffer) {
   if (!buffer) throw std::invalid_argument("publish: null buffer");
   runtime_.publish_output(task_index_, slot, std::move(buffer));
-}
-
-// ------------------------------------------------------------ ready queue --
-
-void Runtime::ReadyQueue::push(ReadyEntry entry) {
-  {
-    std::lock_guard lock(mutex_);
-    heap_.push(entry);
-  }
-  if (depth_) depth_->add(1.0);
-  cv_.notify_one();
-}
-
-std::optional<Runtime::ReadyEntry> Runtime::ReadyQueue::pop_blocking() {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return !heap_.empty() || stopped_; });
-  if (heap_.empty()) return std::nullopt;
-  ReadyEntry entry = heap_.top();
-  heap_.pop();
-  if (depth_) depth_->add(-1.0);
-  return entry;
-}
-
-void Runtime::ReadyQueue::stop() {
-  {
-    std::lock_guard lock(mutex_);
-    stopped_ = true;
-  }
-  cv_.notify_all();
 }
 
 // ----------------------------------------------------------------- outbox --
@@ -146,6 +123,18 @@ void Runtime::setup_metrics() {
                      "Tasks currently ready but not yet picked up");
     queues_[static_cast<std::size_t>(r)]->set_depth_gauge(std::move(depth));
 
+    // Steal accounting is attached for every policy so scrapes and the
+    // RunReport schema see a stable family set; non-stealing schedulers
+    // simply leave both at zero.
+    auto steals = std::make_shared<obs::Counter>();
+    metrics_->attach("rt_steals_total", {{"rank", rank}}, steals,
+                     "Ready tasks taken from another worker's deque");
+    auto failed = std::make_shared<obs::Counter>();
+    metrics_->attach("rt_failed_steals_total", {{"rank", rank}}, failed,
+                     "Steal attempts that found the victim's deque empty");
+    queues_[static_cast<std::size_t>(r)]->set_steal_counters(
+        std::move(steals), std::move(failed));
+
     auto busy = std::make_shared<obs::Gauge>();
     metrics_->attach("rt_comm_busy_seconds_total", {{"rank", rank}}, busy,
                      "Seconds the comm threads spent sending or delivering "
@@ -172,7 +161,10 @@ RunStats Runtime::run(TaskGraph& graph) {
   queues_.clear();
   outboxes_.clear();
   for (int r = 0; r < config_.nranks; ++r) {
-    queues_.push_back(std::make_unique<ReadyQueue>());
+    queues_.push_back(make_scheduler(config_.scheduler, r,
+                                     config_.workers_per_rank,
+                                     config_.sched_seed,
+                                     config_.sched_test_hook, &tracer_));
     outboxes_.push_back(std::make_unique<Outbox>());
   }
   setup_metrics();
@@ -250,10 +242,20 @@ Buffer Runtime::result(const TaskKey& key, std::uint16_t slot) const {
 }
 
 void Runtime::worker_loop(int rank, int worker) {
+  tl_rank = rank;
+  tl_worker = worker;
+  const SchedTestHook* hook = config_.sched_test_hook.get();
   auto& queue = *queues_[static_cast<std::size_t>(rank)];
-  while (auto entry = queue.pop_blocking()) {
+  while (auto entry = queue.pop_blocking(worker)) {
+    // The hook fires under every policy, so even PriorityFifo schedules can
+    // be perturbed by the fuzz harness.
+    if (hook != nullptr && hook->before_execute) {
+      hook->before_execute(rank, worker, entry->seq);
+    }
     execute_task(entry->task, rank, worker);
   }
+  tl_rank = -1;
+  tl_worker = -1;
 }
 
 void Runtime::sender_loop(int rank) {
@@ -438,6 +440,7 @@ void Runtime::enqueue_ready(std::size_t index) {
   const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
   switch (config_.scheduler) {
     case SchedPolicy::PriorityFifo:
+    case SchedPolicy::WorkStealing:
       entry.priority = spec.priority;
       entry.seq = seq;
       break;
@@ -453,7 +456,8 @@ void Runtime::enqueue_ready(std::size_t index) {
       break;
   }
   tasks_enqueued_[static_cast<std::size_t>(spec.rank)]->inc();
-  queues_[static_cast<std::size_t>(spec.rank)]->push(entry);
+  const int from_worker = tl_rank == spec.rank ? tl_worker : -1;
+  queues_[static_cast<std::size_t>(spec.rank)]->push(entry, from_worker);
 }
 
 void Runtime::send_remote(int src_rank, std::size_t consumer_index,

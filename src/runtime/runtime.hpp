@@ -2,7 +2,8 @@
 //
 // The runtime executes a sealed TaskGraph over `nranks` virtual processes
 // living in one OS process. Each virtual process owns:
-//   * a pool of compute worker threads popping from a priority ready-queue,
+//   * a pool of compute worker threads fed by a pluggable scheduler (shared
+//     priority queue or per-worker deques with stealing; see scheduler.hpp),
 //   * a dedicated communication thread pair (sender draining an outbox into
 //     the Transport, receiver delivering incoming messages), mirroring the
 //     paper's "one thread dedicated for communication" configuration.
@@ -32,17 +33,10 @@
 #include "obs/metrics.hpp"
 #include "runtime/buffer.hpp"
 #include "runtime/graph.hpp"
+#include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
 
 namespace repro::rt {
-
-/// Ready-queue discipline (PaRSEC ships several schedulers; these are the
-/// three orderings that matter for a stencil workload).
-enum class SchedPolicy {
-  PriorityFifo,  ///< higher priority first, FIFO within a priority (default)
-  Fifo,          ///< plain arrival order, priorities ignored
-  Lifo,          ///< newest-ready first (depth-first; cache-friendly)
-};
 
 struct Config {
   int nranks = 1;
@@ -63,6 +57,12 @@ struct Config {
   /// also registers its net_* families here). Null = private registry,
   /// reachable via Runtime::metrics().
   std::shared_ptr<obs::MetricsRegistry> metrics{};
+  /// Seed for the WorkStealing victim-selection streams; each (rank, worker)
+  /// derives its own deterministic sequence. Ignored by the other policies.
+  std::uint64_t sched_seed = 0;
+  /// Schedule-fuzzing instrumentation (see SchedTestHook). Null in
+  /// production; set by tests to perturb victim choice and interleavings.
+  std::shared_ptr<SchedTestHook> sched_test_hook{};
 };
 
 struct RunStats {
@@ -139,36 +139,6 @@ class Runtime {
     std::atomic<bool> executed{false};
   };
 
-  struct ReadyEntry {
-    int priority = 0;
-    std::uint64_t seq = 0;
-    std::uint32_t task = 0;
-
-    /// std::priority_queue is a max-heap: higher priority first, then FIFO.
-    friend bool operator<(const ReadyEntry& a, const ReadyEntry& b) {
-      if (a.priority != b.priority) return a.priority < b.priority;
-      return a.seq > b.seq;
-    }
-  };
-
-  class ReadyQueue {
-   public:
-    void push(ReadyEntry entry);
-    std::optional<ReadyEntry> pop_blocking();
-    void stop();
-    /// Depth gauge updated on push/pop (no-op handle when obs is disabled).
-    void set_depth_gauge(std::shared_ptr<obs::Gauge> gauge) {
-      depth_ = std::move(gauge);
-    }
-
-   private:
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::priority_queue<ReadyEntry> heap_;
-    bool stopped_ = false;
-    std::shared_ptr<obs::Gauge> depth_;
-  };
-
   class Outbox {
    public:
     void push(net::Message msg);
@@ -215,7 +185,7 @@ class Runtime {
   // Per-run state (valid during/after run()).
   TaskGraph* graph_ = nullptr;
   std::vector<TaskState> states_;
-  std::vector<std::unique_ptr<ReadyQueue>> queues_;
+  std::vector<std::unique_ptr<Scheduler>> queues_;
   std::vector<std::unique_ptr<Outbox>> outboxes_;
   std::shared_ptr<net::Channel> channel_;
   std::atomic<std::uint64_t> seq_{0};

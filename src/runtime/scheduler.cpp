@@ -1,0 +1,257 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "runtime/trace.hpp"
+#include "support/timing.hpp"
+
+namespace repro::rt {
+
+SchedPolicy parse_sched_policy(const std::string& name) {
+  if (name == "priority") return SchedPolicy::PriorityFifo;
+  if (name == "fifo") return SchedPolicy::Fifo;
+  if (name == "lifo") return SchedPolicy::Lifo;
+  if (name == "steal") return SchedPolicy::WorkStealing;
+  throw std::invalid_argument(
+      "unknown scheduler '" + name +
+      "' (expected priority | fifo | lifo | steal)");
+}
+
+const char* sched_policy_name(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::PriorityFifo: return "priority";
+    case SchedPolicy::Fifo: return "fifo";
+    case SchedPolicy::Lifo: return "lifo";
+    case SchedPolicy::WorkStealing: return "steal";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------- shared queue --
+
+void SharedReadyQueue::push(ReadyEntry entry, int /*from_worker*/) {
+  {
+    std::lock_guard lock(mutex_);
+    heap_.push(entry);
+  }
+  if (depth_) depth_->add(1.0);
+  cv_.notify_one();
+}
+
+std::optional<ReadyEntry> SharedReadyQueue::pop_blocking(int /*worker*/) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return !heap_.empty() || stopped_; });
+  if (heap_.empty()) return std::nullopt;
+  ReadyEntry entry = heap_.top();
+  heap_.pop();
+  if (depth_) depth_->add(-1.0);
+  return entry;
+}
+
+void SharedReadyQueue::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------- work stealing --
+
+WorkStealingScheduler::WorkStealingScheduler(int rank, int workers,
+                                             std::uint64_t seed,
+                                             std::shared_ptr<SchedTestHook> hook,
+                                             Tracer* tracer)
+    : rank_(rank), workers_(workers), hook_(std::move(hook)), tracer_(tracer) {
+  if (workers < 1) {
+    throw std::invalid_argument("WorkStealingScheduler: need >= 1 worker");
+  }
+  deques_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    auto deque = std::make_unique<WorkerDeque>();
+    // Distinct deterministic stream per (seed, rank, worker).
+    SplitMix64 mix(seed);
+    mix.state ^= 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rank + 1);
+    mix.state ^= 0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(w + 1);
+    deque->rng = Rng(mix.next());
+    deques_.push_back(std::move(deque));
+  }
+}
+
+void WorkStealingScheduler::insert(WorkerDeque& deque, ReadyEntry entry) {
+  if (entry.priority > 0) {
+    // Appending to the per-level bucket keeps each level FIFO by arrival;
+    // the map orders levels highest-first for take_high.
+    deque.high[entry.priority].push_back(entry);
+  } else {
+    deque.low.push_back(entry);
+  }
+}
+
+std::optional<ReadyEntry> WorkStealingScheduler::take_high(WorkerDeque& deque) {
+  if (deque.high.empty()) return std::nullopt;
+  const auto it = deque.high.begin();  // highest priority level
+  ReadyEntry entry = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) deque.high.erase(it);
+  return entry;
+}
+
+void WorkStealingScheduler::notify_push() {
+  count_.fetch_add(1, std::memory_order_seq_cst);
+  if (depth_) depth_->add(1.0);
+  {
+    // Empty critical section: serializes with the sleeper's count_ re-check
+    // under idle_mutex_, so the notify below cannot slip between that check
+    // and the wait.
+    std::lock_guard lock(idle_mutex_);
+  }
+  idle_cv_.notify_all();
+}
+
+void WorkStealingScheduler::push(ReadyEntry entry, int from_worker) {
+  std::size_t target;
+  if (from_worker >= 0 && from_worker < workers_) {
+    target = static_cast<std::size_t>(from_worker);
+  } else {
+    // External producers (receiver thread, initial seeding) spread entries
+    // round-robin so all workers start with local work.
+    target = static_cast<std::size_t>(
+        rr_.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<std::uint64_t>(workers_));
+  }
+  {
+    std::lock_guard lock(deques_[target]->mutex);
+    insert(*deques_[target], entry);
+  }
+  notify_push();
+}
+
+std::optional<ReadyEntry> WorkStealingScheduler::take_front(
+    WorkerDeque& deque) {
+  if (auto entry = take_high(deque)) return entry;
+  if (!deque.low.empty()) {
+    ReadyEntry entry = deque.low.front();
+    deque.low.pop_front();
+    return entry;
+  }
+  return std::nullopt;
+}
+
+std::optional<ReadyEntry> WorkStealingScheduler::pop_own(int worker) {
+  WorkerDeque& mine = *deques_[static_cast<std::size_t>(worker)];
+  std::lock_guard lock(mine.mutex);
+  if (auto entry = take_high(mine)) return entry;
+  if (!mine.low.empty()) {
+    // Owner side: LIFO — the freshest task's inputs are still in cache.
+    ReadyEntry entry = mine.low.back();
+    mine.low.pop_back();
+    return entry;
+  }
+  return std::nullopt;
+}
+
+std::optional<ReadyEntry> WorkStealingScheduler::steal_one(int thief) {
+  if (workers_ < 2) return std::nullopt;
+  WorkerDeque& mine = *deques_[static_cast<std::size_t>(thief)];
+  const std::uint64_t attempt = mine.attempts++;
+
+  // Starting victim: the fuzz hook's choice if present, else the thief's own
+  // seeded stream. Either way the value is reduced into range with the thief
+  // skipped, then the scan probes the remaining workers linearly so one pass
+  // visits every possible victim exactly once.
+  std::uint64_t start;
+  if (hook_ && hook_->pick_victim) {
+    const int picked = hook_->pick_victim(rank_, thief, workers_, attempt);
+    start = static_cast<std::uint64_t>(picked < 0 ? -(picked + 1) : picked);
+  } else {
+    start = mine.rng.next_u64();
+  }
+  for (int probe = 0; probe < workers_ - 1; ++probe) {
+    const int victim = static_cast<int>(
+        (start + static_cast<std::uint64_t>(probe)) %
+        static_cast<std::uint64_t>(workers_ - 1));
+    const int v = victim >= thief ? victim + 1 : victim;  // skip self
+    if (hook_ && hook_->before_steal) {
+      hook_->before_steal(rank_, thief, v, attempt);
+    }
+    std::optional<ReadyEntry> entry;
+    {
+      std::lock_guard lock(deques_[static_cast<std::size_t>(v)]->mutex);
+      entry = take_front(*deques_[static_cast<std::size_t>(v)]);
+    }
+    if (entry) {
+      if (steals_) steals_->inc();
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        TraceEvent event;
+        event.kind = TraceEventKind::Steal;
+        event.klass = "steal";
+        event.rank = rank_;
+        event.worker = thief;
+        event.steal_victim = v;
+        event.begin_s = wall_time();
+        event.end_s = event.begin_s;
+        tracer_->record(std::move(event));
+      }
+      return entry;
+    }
+    if (failed_steals_) failed_steals_->inc();
+  }
+  return std::nullopt;
+}
+
+std::optional<ReadyEntry> WorkStealingScheduler::pop_blocking(int worker) {
+  for (;;) {
+    if (auto entry = pop_own(worker)) {
+      count_.fetch_sub(1, std::memory_order_seq_cst);
+      if (depth_) depth_->add(-1.0);
+      return entry;
+    }
+    if (count_.load(std::memory_order_seq_cst) > 0) {
+      if (auto entry = steal_one(worker)) {
+        count_.fetch_sub(1, std::memory_order_seq_cst);
+        if (depth_) depth_->add(-1.0);
+        return entry;
+      }
+      // Entries exist (or existed an instant ago) but every visible deque
+      // was empty — either a race or an in-flight insert. Yield and rescan
+      // rather than sleeping past work.
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock lock(idle_mutex_);
+    if (count_.load(std::memory_order_seq_cst) > 0) continue;
+    if (stopped_) return std::nullopt;
+    idle_cv_.wait(lock, [&] {
+      return count_.load(std::memory_order_seq_cst) > 0 || stopped_;
+    });
+    if (count_.load(std::memory_order_seq_cst) <= 0 && stopped_) {
+      return std::nullopt;
+    }
+  }
+}
+
+void WorkStealingScheduler::stop() {
+  {
+    std::lock_guard lock(idle_mutex_);
+    stopped_ = true;
+  }
+  idle_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------- factory --
+
+std::unique_ptr<Scheduler> make_scheduler(SchedPolicy policy, int rank,
+                                          int workers, std::uint64_t seed,
+                                          std::shared_ptr<SchedTestHook> hook,
+                                          Tracer* tracer) {
+  if (policy == SchedPolicy::WorkStealing) {
+    return std::make_unique<WorkStealingScheduler>(rank, workers, seed,
+                                                   std::move(hook), tracer);
+  }
+  return std::make_unique<SharedReadyQueue>();
+}
+
+}  // namespace repro::rt

@@ -1,0 +1,226 @@
+// Ready-task scheduling: the pluggable half of the runtime's execution model.
+//
+// PaRSEC ships several schedulers (LFQ, LTQ, AP, ...) precisely because the
+// ready-queue discipline decides how well workers stay busy and how early
+// halo-producing tasks reach the wire. This header carries the same idea:
+//   * SharedReadyQueue — one mutex-guarded priority heap per rank (the
+//     original design; a contention point, but simple and strictly ordered).
+//   * WorkStealingScheduler — one deque pair per worker with seeded random
+//     stealing (the LFQ/LTQ analogue): owners push and pop their own low
+//     deque LIFO for cache locality, thieves take from the opposite end
+//     (FIFO), and prioritized tasks go to a separate priority-ordered lane
+//     that everyone drains front-first so halo publishes leave early.
+//
+// Every discipline preserves the dataflow contract — a task runs only after
+// all inputs arrive — so results are bit-identical regardless of policy.
+// tests/sched_fuzz_test.cpp turns that claim into a tested invariant via
+// SchedTestHook, which lets a harness perturb victim selection and inject
+// delays at the scheduler's decision points.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace repro::rt {
+
+class Tracer;
+
+/// Ready-queue discipline (PaRSEC ships several schedulers; these are the
+/// orderings that matter for a stencil workload).
+enum class SchedPolicy {
+  PriorityFifo,  ///< higher priority first, FIFO within a priority (default)
+  Fifo,          ///< plain arrival order, priorities ignored
+  Lifo,          ///< newest-ready first (depth-first; cache-friendly)
+  WorkStealing,  ///< per-worker deques + seeded random stealing
+};
+
+/// Parse a command-line spelling ("priority", "fifo", "lifo", "steal").
+/// Throws std::invalid_argument on anything else.
+SchedPolicy parse_sched_policy(const std::string& name);
+
+/// Canonical spelling for a policy (inverse of parse_sched_policy).
+const char* sched_policy_name(SchedPolicy policy);
+
+/// Test-only instrumentation points inside the scheduler, used by the
+/// schedule-fuzzing harness to force adversarial interleavings. All callbacks
+/// may be invoked concurrently from worker threads and must be thread-safe.
+/// Production runs leave the hook null and pay nothing.
+struct SchedTestHook {
+  /// Override victim selection: given (rank, thief worker, workers per rank,
+  /// running attempt counter), return the worker id to rob first. Any int is
+  /// accepted — the scheduler reduces it into range and skips the thief.
+  std::function<int(int rank, int thief, int workers, std::uint64_t attempt)>
+      pick_victim;
+  /// Called right before the thief inspects the chosen victim's deque; a
+  /// harness can sleep or yield here to shift the steal/pop race.
+  std::function<void(int rank, int thief, int victim, std::uint64_t attempt)>
+      before_steal;
+  /// Called by the worker loop before each task body runs, under every
+  /// policy (so PriorityFifo schedules can be perturbed too). `seq` is the
+  /// entry's enqueue sequence number.
+  std::function<void(int rank, int worker, std::uint64_t seq)> before_execute;
+};
+
+/// One ready task, as seen by a scheduler.
+struct ReadyEntry {
+  int priority = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t task = 0;
+
+  /// std::priority_queue is a max-heap: higher priority first, then FIFO.
+  friend bool operator<(const ReadyEntry& a, const ReadyEntry& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq > b.seq;
+  }
+};
+
+/// Per-rank ready-task dispenser. push() may be called from any thread;
+/// pop_blocking() only from this rank's workers (worker ids 0..W-1). After
+/// stop(), pop_blocking drains whatever is left and then returns nullopt.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Hand a ready task to the scheduler. `from_worker` is the calling
+  /// worker's id when the caller is one of this rank's workers, -1 when the
+  /// push comes from outside (receiver thread, main thread).
+  virtual void push(ReadyEntry entry, int from_worker) = 0;
+
+  /// Block until a task is available (returned) or the scheduler is stopped
+  /// and empty (nullopt).
+  virtual std::optional<ReadyEntry> pop_blocking(int worker) = 0;
+
+  /// Wake all blocked workers; subsequent pops drain remaining entries.
+  virtual void stop() = 0;
+
+  /// Depth gauge updated on push/pop (no-op handle when obs is disabled).
+  virtual void set_depth_gauge(std::shared_ptr<obs::Gauge> gauge) = 0;
+
+  /// Steal accounting (successful steals / empty-handed victim visits).
+  /// Non-stealing schedulers accept and ignore the handles.
+  virtual void set_steal_counters(std::shared_ptr<obs::Counter> steals,
+                                  std::shared_ptr<obs::Counter> failed) = 0;
+};
+
+/// The original design: one mutex+condvar priority heap shared by all of the
+/// rank's workers. Strict PriorityFifo/Fifo/Lifo ordering (the ordering
+/// itself is encoded in the entries' priority/seq by the runtime).
+class SharedReadyQueue final : public Scheduler {
+ public:
+  void push(ReadyEntry entry, int from_worker) override;
+  std::optional<ReadyEntry> pop_blocking(int worker) override;
+  void stop() override;
+  void set_depth_gauge(std::shared_ptr<obs::Gauge> gauge) override {
+    depth_ = std::move(gauge);
+  }
+  void set_steal_counters(std::shared_ptr<obs::Counter>,
+                          std::shared_ptr<obs::Counter>) override {}
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<ReadyEntry> heap_;
+  bool stopped_ = false;
+  std::shared_ptr<obs::Gauge> depth_;
+};
+
+/// Per-worker deques with seeded random stealing (Chase–Lev style split,
+/// guarded by a per-deque mutex rather than lock-free CAS — virtual ranks
+/// share one process, so the simplicity is worth more than the nanoseconds).
+///
+/// Each worker owns two lanes:
+///   * `high` — entries with priority > 0, kept priority-ordered (stable, so
+///     FIFO within a priority). Everyone — owner and thief alike — takes
+///     from the front, so the highest-priority ready task (e.g. a
+///     halo-publishing boundary tile) runs at the earliest opportunity.
+///   * `low`  — priority-0 entries. The owner pushes and pops at the back
+///     (LIFO: the freshest task's tiles are still in cache); thieves take
+///     from the front (FIFO: the oldest task, the one the owner would reach
+///     last).
+///
+/// Wakeup protocol: `count_` tracks entries across all deques (incremented
+/// after an insert, decremented after a removal). An idle worker that finds
+/// nothing re-checks `count_` under `idle_mutex_` before sleeping, and every
+/// push bumps `count_` and then notifies under the same mutex — so a sleeper
+/// either sees the new count or is woken after entering the wait.
+class WorkStealingScheduler final : public Scheduler {
+ public:
+  /// `seed` perturbs victim selection deterministically (each (rank, worker)
+  /// derives its own stream). `hook` may be null; `tracer` may be null or
+  /// disabled — successful steals are recorded as TraceEventKind::Steal.
+  WorkStealingScheduler(int rank, int workers, std::uint64_t seed,
+                        std::shared_ptr<SchedTestHook> hook, Tracer* tracer);
+
+  void push(ReadyEntry entry, int from_worker) override;
+  std::optional<ReadyEntry> pop_blocking(int worker) override;
+  void stop() override;
+  void set_depth_gauge(std::shared_ptr<obs::Gauge> gauge) override {
+    depth_ = std::move(gauge);
+  }
+  void set_steal_counters(std::shared_ptr<obs::Counter> steals,
+                          std::shared_ptr<obs::Counter> failed) override {
+    steals_ = std::move(steals);
+    failed_steals_ = std::move(failed);
+  }
+
+ private:
+  // Padded to a cache line so two workers hammering adjacent deques don't
+  // false-share the mutex words.
+  struct alignas(64) WorkerDeque {
+    std::mutex mutex;
+    /// priority > 0 lanes, highest priority first; each bucket is FIFO by
+    /// arrival. Keyed per level (not one sorted list) so an insert costs
+    /// O(log #levels) — the stencil uses three levels, a sorted list would
+    /// degrade to O(n) per push when most tasks are prioritized.
+    std::map<int, std::deque<ReadyEntry>, std::greater<int>> high;
+    std::deque<ReadyEntry> low;   ///< priority == 0, owner back / thief front
+    Rng rng{0};                   ///< victim-selection stream (owner only)
+    std::uint64_t attempts = 0;   ///< steal-scan counter (owner only)
+  };
+
+  void insert(WorkerDeque& deque, ReadyEntry entry);
+  std::optional<ReadyEntry> take_high(WorkerDeque& deque);
+  std::optional<ReadyEntry> pop_own(int worker);
+  std::optional<ReadyEntry> steal_one(int thief);
+  std::optional<ReadyEntry> take_front(WorkerDeque& deque);
+  void notify_push();
+
+  int rank_;
+  int workers_;
+  std::shared_ptr<SchedTestHook> hook_;
+  Tracer* tracer_;
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+
+  std::atomic<std::int64_t> count_{0};  ///< entries across all deques
+  std::atomic<std::uint64_t> rr_{0};    ///< round-robin target for externals
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  bool stopped_ = false;
+
+  std::shared_ptr<obs::Gauge> depth_;
+  std::shared_ptr<obs::Counter> steals_;
+  std::shared_ptr<obs::Counter> failed_steals_;
+};
+
+/// Build the scheduler for one rank. PriorityFifo/Fifo/Lifo share the
+/// SharedReadyQueue (their ordering lives in the entries); WorkStealing gets
+/// the per-worker deques.
+std::unique_ptr<Scheduler> make_scheduler(SchedPolicy policy, int rank,
+                                          int workers, std::uint64_t seed,
+                                          std::shared_ptr<SchedTestHook> hook,
+                                          Tracer* tracer);
+
+}  // namespace repro::rt

@@ -1,7 +1,11 @@
 #include "runtime/trace.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <limits>
+#include <sstream>
+#include <stdexcept>
 
 #include "support/stats.hpp"
 
@@ -29,12 +33,19 @@ TraceReport analyze_trace(const std::vector<TraceEvent>& events,
   std::map<std::string, std::vector<double>> durations;
 
   for (const auto& e : events) {
+    if (e.kind == TraceEventKind::Steal) {
+      // Steals are bookkeeping, not work: count them but keep them out of
+      // the span/occupancy/duration statistics.
+      report.steals += 1;
+      continue;
+    }
     t0 = std::min(t0, e.begin_s);
     t1 = std::max(t1, e.end_s);
     busy_by_rank[e.rank] += e.duration();
     durations[e.klass].push_back(e.duration());
     report.count_by_klass[e.klass] += 1;
   }
+  if (t1 < t0) return report;  // only steal events: no span to report
   report.span_s = t1 - t0;
 
   for (const auto& [rank, busy] : busy_by_rank) {
@@ -48,12 +59,106 @@ TraceReport analyze_trace(const std::vector<TraceEvent>& events,
 }
 
 void write_trace_csv(const std::vector<TraceEvent>& events, std::ostream& os) {
-  os << "rank,worker,klass,key,begin_s,end_s,duration_s\n";
+  // max_digits10 keeps the double -> text -> double round trip exact, and
+  // the key is quoted because TaskKey::to_string() contains commas.
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "rank,worker,klass,key,begin_s,end_s,duration_s,kind,victim\n";
   for (const auto& e : events) {
-    os << e.rank << ',' << e.worker << ',' << e.klass << ','
-       << e.key.to_string() << ',' << e.begin_s << ',' << e.end_s << ','
-       << e.duration() << '\n';
+    os << e.rank << ',' << e.worker << ',' << e.klass << ",\""
+       << e.key.to_string() << "\"," << e.begin_s << ',' << e.end_s << ','
+       << e.duration() << ','
+       << (e.kind == TraceEventKind::Steal ? "steal" : "task") << ','
+       << e.steal_victim << '\n';
   }
+  os.precision(precision);
+  os.flags(flags);
+}
+
+namespace {
+
+// Split one CSV line into fields; only the key column is ever quoted and
+// quotes never nest, so a simple state machine suffices.
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (const char c : line) {
+    if (c == '"') {
+      quoted = !quoted;
+    } else if (c == ',' && !quoted) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+TaskKey parse_task_key(const std::string& text) {
+  TaskKey key;
+  std::uint32_t type = 0;
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  if (std::sscanf(text.c_str(), "t%" SCNu32 "(%d,%d,%d)", &type, &a, &b, &c) !=
+      4) {
+    throw std::runtime_error("read_trace_csv: bad task key '" + text + "'");
+  }
+  key.type = type;
+  key.a = a;
+  key.b = b;
+  key.c = c;
+  return key;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> read_trace_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) return {};
+  const auto header = split_csv_line(line);
+  const bool has_kind = header.size() >= 9;
+  if (header.size() != 7 && !has_kind) {
+    throw std::runtime_error("read_trace_csv: unrecognized header '" + line +
+                             "'");
+  }
+
+  std::vector<TraceEvent> events;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto fields = split_csv_line(line);
+    if (!has_kind && fields.size() == 9) {
+      // The legacy writer did not quote the key, so "t3(4,5,6)" spans three
+      // fields; re-join them before shape-checking the row.
+      fields[3] += "," + fields[4] + "," + fields[5];
+      fields.erase(fields.begin() + 4, fields.begin() + 6);
+    }
+    if (fields.size() != header.size()) {
+      throw std::runtime_error("read_trace_csv: bad row '" + line + "'");
+    }
+    TraceEvent e;
+    e.rank = std::stoi(fields[0]);
+    e.worker = std::stoi(fields[1]);
+    e.klass = fields[2];
+    e.key = parse_task_key(fields[3]);
+    e.begin_s = std::stod(fields[4]);
+    e.end_s = std::stod(fields[5]);
+    if (has_kind) {
+      if (fields[7] == "steal") {
+        e.kind = TraceEventKind::Steal;
+      } else if (fields[7] != "task") {
+        throw std::runtime_error("read_trace_csv: bad kind '" + fields[7] +
+                                 "'");
+      }
+      e.steal_victim = std::stoi(fields[8]);
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
 }
 
 void write_chrome_trace(const std::vector<TraceEvent>& events,
@@ -67,6 +172,14 @@ void write_chrome_trace(const std::vector<TraceEvent>& events,
   for (const auto& e : events) {
     if (!first) os << ",";
     first = false;
+    if (e.kind == TraceEventKind::Steal) {
+      // Instant event on the thief's lane; the victim id rides in args.
+      os << "\n  {\"name\":\"steal<-w" << e.steal_victim
+         << "\",\"cat\":\"steal\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << e.rank
+         << ",\"tid\":" << e.worker << ",\"ts\":" << (e.begin_s - t0) * 1e6
+         << "}";
+      continue;
+    }
     os << "\n  {\"name\":\"" << e.klass << ' ' << e.key.to_string()
        << "\",\"cat\":\"" << e.klass << "\",\"ph\":\"X\",\"pid\":" << e.rank
        << ",\"tid\":" << e.worker << ",\"ts\":" << (e.begin_s - t0) * 1e6
@@ -94,6 +207,7 @@ void print_ascii_gantt(const std::vector<TraceEvent>& events, std::ostream& os,
   // wins; idle buckets print '.'.
   std::map<std::pair<int, int>, std::vector<std::map<char, double>>> lanes;
   for (const auto& e : events) {
+    if (e.kind == TraceEventKind::Steal) continue;  // zero-width, skip
     auto& lane = lanes[{e.rank, e.worker}];
     if (lane.empty()) lane.resize(static_cast<std::size_t>(columns));
     const char initial = e.klass.empty() ? '?' : e.klass.front();

@@ -6,6 +6,7 @@
 // class (boundary vs interior tiles).
 #pragma once
 
+#include <istream>
 #include <map>
 #include <mutex>
 #include <ostream>
@@ -16,6 +17,13 @@
 
 namespace repro::rt {
 
+/// What a trace event records: a task body execution, or a scheduler steal
+/// (a worker taking a ready task from another worker's deque).
+enum class TraceEventKind {
+  Task,   ///< [begin_s, end_s] spent inside a task body
+  Steal,  ///< instantaneous; `worker` is the thief, `steal_victim` the victim
+};
+
 struct TraceEvent {
   TaskKey key;
   std::string klass;
@@ -23,6 +31,8 @@ struct TraceEvent {
   int worker = 0;
   double begin_s = 0.0;
   double end_s = 0.0;
+  TraceEventKind kind = TraceEventKind::Task;
+  int steal_victim = -1;  ///< robbed worker id for Steal events, else -1
 
   double duration() const { return end_s - begin_s; }
 };
@@ -59,13 +69,25 @@ struct TraceReport {
   std::map<std::string, double> median_duration_by_klass;
   /// task counts per class
   std::map<std::string, std::size_t> count_by_klass;
+  /// number of Steal events (work-stealing scheduler only; 0 otherwise).
+  /// Steal events are excluded from span/occupancy/duration statistics.
+  std::size_t steals = 0;
 };
 
 TraceReport analyze_trace(const std::vector<TraceEvent>& events,
                           int workers_per_rank);
 
-/// Write one CSV row per event: rank,worker,klass,key,begin,end,duration.
+/// Write one CSV row per event:
+///   rank,worker,klass,"key",begin_s,end_s,duration_s,kind,victim
+/// The key column is quoted (TaskKey::to_string() contains commas) and
+/// timestamps use max_digits10 precision, so read_trace_csv round-trips the
+/// stream exactly. kind is "task" or "steal"; victim is -1 for task rows.
 void write_trace_csv(const std::vector<TraceEvent>& events, std::ostream& os);
+
+/// Parse a stream produced by write_trace_csv back into events. Accepts the
+/// pre-steal 7-column header too (kind defaults to Task). Throws
+/// std::runtime_error on malformed input.
+std::vector<TraceEvent> read_trace_csv(std::istream& is);
 
 /// Export in Chrome tracing format (chrome://tracing, Perfetto): one
 /// complete event ("ph":"X") per task, pid = rank, tid = worker. The

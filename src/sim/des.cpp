@@ -30,13 +30,16 @@ struct ReadyEntry {
   int priority;
   double ready_s;
   std::uint32_t task;
+  std::uint64_t seq;  ///< enqueue order: FIFO within (priority, ready time)
 
   friend bool operator<(const ReadyEntry& a, const ReadyEntry& b) {
     // std::priority_queue is a max-heap; we want high priority first, then
-    // earlier ready time, then lower id (determinism).
+    // earlier ready time, then true arrival order. Without the seqno, ties
+    // fell back to task id — heap order, not FIFO (the rt::Runtime queue
+    // carries the same seqno for the same reason).
     if (a.priority != b.priority) return a.priority < b.priority;
     if (a.ready_s != b.ready_s) return a.ready_s > b.ready_s;
-    return a.task > b.task;
+    return a.seq > b.seq;
   }
 };
 
@@ -89,6 +92,7 @@ SimResult simulate(const SimGraph& graph, const SimMachineConfig& machine,
 
   std::priority_queue<Event> events;
   std::uint64_t seq = 0;
+  std::uint64_t ready_seq = 0;  ///< arrival stamp for ready-queue FIFO ties
   std::size_t finished = 0;
 
   auto start_if_possible = [&](int node, double now) {
@@ -115,7 +119,7 @@ SimResult simulate(const SimGraph& graph, const SimMachineConfig& machine,
   auto mark_ready = [&](std::uint32_t task, double when) {
     const int node = graph.task(task).node;
     ready[static_cast<std::size_t>(node)].push(
-        {graph.task(task).priority, when, task});
+        {graph.task(task).priority, when, task, ready_seq++});
     start_if_possible(node, when);
   };
 
@@ -124,7 +128,7 @@ SimResult simulate(const SimGraph& graph, const SimMachineConfig& machine,
   for (std::uint32_t t = 0; t < n; ++t) {
     if (remaining[t] == 0) {
       ready[static_cast<std::size_t>(graph.task(t).node)].push(
-          {graph.task(t).priority, 0.0, t});
+          {graph.task(t).priority, 0.0, t, ready_seq++});
     }
   }
   for (int node = 0; node < machine.nodes; ++node) {

@@ -143,6 +143,29 @@ struct PackPlan {
   bool corners[4] = {};
 };
 
+/// Does this plan ship bands/corners to a remote node?
+bool publishes_remote(const PackPlan& plan) {
+  for (const bool band : plan.bands) {
+    if (band) return true;
+  }
+  for (const bool corner : plan.corners) {
+    if (corner) return true;
+  }
+  return false;
+}
+
+// Task priorities, highest first: tasks whose outputs cross the wire leave
+// earliest (the paper's overlap argument — remote sends should depart while
+// interior work still fills the workers), then boundary tiles, then interior.
+constexpr int kPriorityHaloPublish = 2;
+constexpr int kPriorityBoundary = 1;
+constexpr int kPriorityInterior = 0;
+
+int task_priority(bool boundary, const PackPlan& plan) {
+  if (publishes_remote(plan)) return kPriorityHaloPublish;
+  return boundary ? kPriorityBoundary : kPriorityInterior;
+}
+
 class Builder {
  public:
   Builder(const Problem& problem, const DistConfig& config)
@@ -281,12 +304,12 @@ class Builder {
     rt::TaskSpec spec;
     spec.key = init_key(info.ti, info.tj);
     spec.rank = info.rank;
-    spec.priority = info.boundary ? 1 : 0;
     spec.klass = "init";
 
     auto shared = shared_;
     const TileInfo tile_info = info;
     const PackPlan plan = pack_plan(info, 0);
+    spec.priority = task_priority(info.boundary, plan);
     const int depth = shared_->radius * shared_->steps;
     spec.body = [shared, tile_info, plan, depth](rt::TaskContext& ctx) {
       const TileGeom& g = tile_info.geom;
@@ -332,7 +355,7 @@ class Builder {
     rt::TaskSpec spec;
     spec.key = step_key(k, info.ti, info.tj);
     spec.rank = info.rank;
-    spec.priority = info.boundary ? 1 : 0;
+    spec.priority = task_priority(info.boundary, pack_plan(info, k));
     spec.klass = info.boundary ? "boundary" : "interior";
 
     const bool start = superstep_start(k);
@@ -491,7 +514,7 @@ class Builder {
     rt::TaskSpec spec;
     spec.key = step_key(k_end, info.ti, info.tj);
     spec.rank = info.rank;
-    spec.priority = info.boundary ? 1 : 0;
+    spec.priority = task_priority(info.boundary, pack_plan(info, k_end));
     spec.klass = info.boundary ? "boundary" : "interior";
 
     // Input order: own previous-boundary state; neighbor bands (N,S,W,E);
@@ -605,6 +628,8 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
   rt_config.channel_factory = config.channel_factory;
   rt_config.metrics = config.metrics ? config.metrics
                                      : std::make_shared<obs::MetricsRegistry>();
+  rt_config.sched_seed = config.sched_seed;
+  rt_config.sched_test_hook = config.sched_test_hook;
 
   rt::Runtime runtime(rt_config);
   rt::RunStats stats = runtime.run(graph);
@@ -613,7 +638,8 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
   DistResult result{Grid2D(problem.rows, problem.cols), std::move(stats), {},
                     0, 0,
                     problem.shape ? problem.shape->flops_per_point()
-                                  : kFlopsPerPoint};
+                                  : kFlopsPerPoint,
+                    {}};
   result.grid.fill([](long, long) { return 0.0; }, problem.boundary);
 
   for (int ti = 0; ti < map.tiles_r(); ++ti) {

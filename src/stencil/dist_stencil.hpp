@@ -78,6 +78,10 @@ struct DistConfig {
   /// (default transport), stencil_* (this driver). Null = private registry,
   /// returned in DistResult::metrics either way.
   std::shared_ptr<obs::MetricsRegistry> metrics{};
+  /// Victim-selection seed for SchedPolicy::WorkStealing (see rt::Config).
+  std::uint64_t sched_seed = 0;
+  /// Schedule-fuzzing hook, forwarded to the runtime (tests only).
+  std::shared_ptr<rt::SchedTestHook> sched_test_hook{};
 };
 
 struct DistResult {

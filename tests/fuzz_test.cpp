@@ -45,8 +45,10 @@ TEST(FuzzDistStencil, RandomConfigurationsMatchSerial) {
     config.dedicated_comm_thread = rng.next_below(2) == 0;
     const rt::SchedPolicy policies[] = {rt::SchedPolicy::PriorityFifo,
                                         rt::SchedPolicy::Fifo,
-                                        rt::SchedPolicy::Lifo};
-    config.scheduler = policies[rng.next_below(3)];
+                                        rt::SchedPolicy::Lifo,
+                                        rt::SchedPolicy::WorkStealing};
+    config.scheduler = policies[rng.next_below(4)];
+    config.sched_seed = rng.next_u64();
 
     const bool variable = rng.next_below(3) == 0;
     const stencil::Problem problem =
@@ -105,6 +107,82 @@ TEST(FuzzDistStencil, RedundancyGrowsMonotonicallyWithStepSize) {
     EXPECT_GT(result.redundancy() + 1e-15, prev) << s;
     prev = result.redundancy();
   }
+}
+
+TEST(FuzzDistStencil, RandomShapesRejectOversizedStepsOrMatchSerial) {
+  // Seeded random problem shapes: non-square grids, tile sizes that do not
+  // divide the extents (ragged last tiles), and step sizes drawn past the
+  // smallest tile extent. Oversized steps must be rejected with
+  // std::invalid_argument; every accepted configuration must match the
+  // serial reference bit for bit. Each round is derived from its own seed,
+  // printed on failure so a reproduction needs only that number.
+  int accepted = 0;
+  int rejected = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(0x517A9E50 + seed);
+    const int rows = 5 + static_cast<int>(rng.next_below(40));
+    const int cols = 5 + static_cast<int>(rng.next_below(40));
+    const int iters = 1 + static_cast<int>(rng.next_below(6));
+    const int mb = 2 + static_cast<int>(rng.next_below(8));
+    const int nb = 2 + static_cast<int>(rng.next_below(8));
+    const int tiles_r = (rows + mb - 1) / mb;
+    const int tiles_c = (cols + nb - 1) / nb;
+    const int node_rows = 1 + static_cast<int>(rng.next_below(
+                                  static_cast<std::uint64_t>(
+                                      std::min(tiles_r, 3))));
+    const int node_cols = 1 + static_cast<int>(rng.next_below(
+                                  static_cast<std::uint64_t>(
+                                      std::min(tiles_c, 3))));
+    const stencil::TileMap map(rows, cols, mb, nb, node_rows, node_cols);
+
+    stencil::DistConfig config;
+    config.decomp = {mb, nb, node_rows, node_cols};
+    // Deliberately overshoot: ~half the draws land past min_tile_extent and
+    // must hit the validation path instead of silently corrupting results.
+    config.steps = 1 + static_cast<int>(rng.next_below(
+                           static_cast<std::uint64_t>(
+                               map.min_tile_extent() + 3)));
+    config.workers_per_rank = 1 + static_cast<int>(rng.next_below(4));
+    const rt::SchedPolicy policies[] = {rt::SchedPolicy::PriorityFifo,
+                                        rt::SchedPolicy::Fifo,
+                                        rt::SchedPolicy::Lifo,
+                                        rt::SchedPolicy::WorkStealing};
+    config.scheduler = policies[rng.next_below(4)];
+    config.sched_seed = rng.next_u64();
+
+    const bool variable = rng.next_below(4) == 0;
+    const stencil::KernelVariant kernels[] = {stencil::KernelVariant::Scalar,
+                                              stencil::KernelVariant::Vector,
+                                              stencil::KernelVariant::Blocked};
+    config.kernel = kernels[rng.next_below(3)];
+
+    const stencil::Problem problem =
+        variable
+            ? stencil::random_variable_problem(rows, cols, iters,
+                                               3000 + static_cast<int>(seed))
+            : stencil::random_problem(rows, cols, iters,
+                                      4000 + static_cast<int>(seed));
+
+    SCOPED_TRACE("FAILING SEED=" + std::to_string(seed) + " (" +
+                 std::to_string(rows) + "x" + std::to_string(cols) +
+                 " tiles " + std::to_string(mb) + "x" + std::to_string(nb) +
+                 " nodes " + std::to_string(node_rows) + "x" +
+                 std::to_string(node_cols) + " s=" +
+                 std::to_string(config.steps) + ")");
+
+    if (config.steps > map.min_tile_extent()) {
+      EXPECT_THROW(run_distributed(problem, config), std::invalid_argument);
+      ++rejected;
+      continue;
+    }
+    const stencil::DistResult result = run_distributed(problem, config);
+    const stencil::Grid2D expected = solve_serial(problem);
+    ASSERT_EQ(stencil::Grid2D::max_abs_diff(expected, result.grid), 0.0);
+    ++accepted;
+  }
+  // The sweep must exercise both outcomes, or the seed constants regressed.
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(rejected, 0);
 }
 
 TEST(FuzzRuntime, RandomDagsWithRandomPlacementComputeCorrectly) {
@@ -189,8 +267,9 @@ TEST(FuzzRuntime, RandomlyPlacedFailureAlwaysSurfacesAndNeverHangs) {
 }
 
 TEST(FuzzRuntime, WideFanoutUnderEveryScheduler) {
-  for (const auto policy : {rt::SchedPolicy::PriorityFifo,
-                            rt::SchedPolicy::Fifo, rt::SchedPolicy::Lifo}) {
+  for (const auto policy :
+       {rt::SchedPolicy::PriorityFifo, rt::SchedPolicy::Fifo,
+        rt::SchedPolicy::Lifo, rt::SchedPolicy::WorkStealing}) {
     rt::TaskGraph graph;
     rt::TaskSpec src;
     src.key = rt::TaskKey{0, 0, 0, 0};

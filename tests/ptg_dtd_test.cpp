@@ -368,6 +368,19 @@ TEST(Scheduler, PolicyControlsReadyOrder) {
             (std::vector<int>{3, 2, 1, 0}));
   EXPECT_EQ(run_order(SchedPolicy::Fifo), (std::vector<int>{0, 1, 2, 3}));
   EXPECT_EQ(run_order(SchedPolicy::Lifo), (std::vector<int>{3, 2, 1, 0}));
+  // Work stealing with a single worker degenerates to the owner draining
+  // its priority lane (priority order, FIFO within) then its low lane.
+  EXPECT_EQ(run_order(SchedPolicy::WorkStealing),
+            (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Scheduler, PolicyNamesRoundTrip) {
+  for (const auto policy :
+       {SchedPolicy::PriorityFifo, SchedPolicy::Fifo, SchedPolicy::Lifo,
+        SchedPolicy::WorkStealing}) {
+    EXPECT_EQ(parse_sched_policy(sched_policy_name(policy)), policy);
+  }
+  EXPECT_THROW(parse_sched_policy("roundrobin"), std::invalid_argument);
 }
 
 TEST(Scheduler, LifoDiffersFromFifoOnDynamicGraph) {

@@ -281,6 +281,86 @@ TEST(Runtime, PriorityOrdersReadyTasksOnSingleWorker) {
   EXPECT_EQ(order.back(), 0);
 }
 
+TEST(Runtime, FifoWithinEqualPriorityFollowsArrivalOrder) {
+  // Regression guard for the ready-queue tie-break: entries of equal
+  // priority must run in true arrival (enqueue) order, not in whatever
+  // order the heap happens to surface them. The ReadyEntry seqno provides
+  // this; without it, ties fall back to heap order and this test flakes.
+  TaskGraph graph;
+  static std::mutex order_mutex;
+  static std::vector<int> order;
+  order.clear();
+  constexpr int kTasks = 12;
+  for (int i = 0; i < kTasks; ++i) {
+    TaskSpec t;
+    t.key = key(1, i);
+    t.priority = i % 2;  // two priority classes, interleaved arrivals
+    t.body = [i](TaskContext&) {
+      std::lock_guard lock(order_mutex);
+      order.push_back(i);
+    };
+    graph.add_task(t);
+  }
+  Runtime runtime(Config{1, 1, true, false});
+  runtime.run(graph);
+
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kTasks));
+  // All priority-1 tasks first (odd ids, ascending = arrival order), then
+  // all priority-0 tasks (even ids, ascending).
+  std::vector<int> expected;
+  for (int i = 1; i < kTasks; i += 2) expected.push_back(i);
+  for (int i = 0; i < kTasks; i += 2) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Runtime, WorkStealingSingleWorkerHonorsPriorityThenArrival) {
+  // With one worker there is nobody to steal from: the owner drains its
+  // priority lane front-first (priority-ordered, FIFO within priority),
+  // then its low lane. Priorities 3..0 must therefore run 3,2,1,0 — same
+  // observable order as PriorityFifo.
+  TaskGraph graph;
+  static std::mutex order_mutex;
+  static std::vector<int> order;
+  order.clear();
+  for (int i = 0; i < 4; ++i) {
+    TaskSpec t;
+    t.key = key(1, i);
+    t.priority = i;
+    t.body = [i](TaskContext&) {
+      std::lock_guard lock(order_mutex);
+      order.push_back(i);
+    };
+    graph.add_task(t);
+  }
+  Config config{1, 1, true, false};
+  config.scheduler = SchedPolicy::WorkStealing;
+  Runtime runtime(config);
+  runtime.run(graph);
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Runtime, StealCountersStayZeroWithoutWorkStealing) {
+  TaskGraph graph;
+  for (int i = 0; i < 8; ++i) {
+    TaskSpec t;
+    t.key = key(1, i);
+    t.body = [](TaskContext&) {};
+    graph.add_task(t);
+  }
+  Runtime runtime(Config{1, 2, true, false});
+  runtime.run(graph);
+#ifndef REPRO_OBS_DISABLE
+  // The families exist for every policy (stable scrape schema)...
+  const auto snap = runtime.metrics()->snapshot();
+  EXPECT_DOUBLE_EQ(snap.counter_total("rt_steals_total"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.counter_total("rt_failed_steals_total"), 0.0);
+#endif
+  // ...and the shared-queue run never records steal trace events.
+  for (const auto& e : runtime.tracer().events()) {
+    EXPECT_NE(e.kind, TraceEventKind::Steal);
+  }
+}
+
 TEST(Runtime, InlineSendModeMatchesDedicatedCommThread) {
   for (bool dedicated : {true, false}) {
     TaskGraph graph;

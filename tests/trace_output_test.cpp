@@ -2,11 +2,16 @@
 // table CSV emission, and NetPIPE size sweeps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "net/netpipe.hpp"
+#include "runtime/runtime.hpp"
 #include "runtime/trace.hpp"
 #include "support/table.hpp"
 
@@ -73,6 +78,140 @@ TEST(TraceAnalysis, EmptyTraceIsZeroes) {
   const rt::TraceReport report = rt::analyze_trace({}, 4);
   EXPECT_EQ(report.span_s, 0.0);
   EXPECT_TRUE(report.occupancy_by_rank.empty());
+}
+
+TEST(TraceAnalysis, StealEventsAreCountedButExcludedFromOccupancy) {
+  std::vector<rt::TraceEvent> events{event("k", 0, 0, 0.0, 1.0),
+                                     event("k", 0, 1, 0.0, 1.0)};
+  rt::TraceEvent steal;
+  steal.kind = rt::TraceEventKind::Steal;
+  steal.klass = "steal";
+  steal.rank = 0;
+  steal.worker = 1;
+  steal.steal_victim = 0;
+  steal.begin_s = steal.end_s = 0.5;
+  events.push_back(steal);
+
+  const rt::TraceReport report = rt::analyze_trace(events, /*workers=*/2);
+  EXPECT_EQ(report.steals, 1u);
+  // The steal neither widens the span nor shows up as a task class.
+  EXPECT_DOUBLE_EQ(report.span_s, 1.0);
+  EXPECT_DOUBLE_EQ(report.occupancy_by_rank.at(0), 1.0);
+  EXPECT_EQ(report.count_by_klass.count("steal"), 0u);
+}
+
+TEST(TraceCsv, RoundTripsTaskAndStealEventsExactly) {
+  // Keys contain commas ("t7(1,2,3)") and timestamps are full-precision
+  // doubles: the writer must quote and the reader must recover every field
+  // bit for bit.
+  std::vector<rt::TraceEvent> events;
+  rt::TraceEvent task = event("boundary", 2, 3, 0.1234567890123456789, 0.5);
+  task.key = rt::TaskKey{7, 1, -2, 3};
+  events.push_back(task);
+  rt::TraceEvent steal;
+  steal.kind = rt::TraceEventKind::Steal;
+  steal.klass = "steal";
+  steal.rank = 1;
+  steal.worker = 0;
+  steal.steal_victim = 3;
+  steal.begin_s = steal.end_s = 1.0 / 3.0;
+  events.push_back(steal);
+
+  std::stringstream ss;
+  rt::write_trace_csv(events, ss);
+  const std::vector<rt::TraceEvent> back = rt::read_trace_csv(ss);
+
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back[i].kind, events[i].kind) << i;
+    EXPECT_EQ(back[i].key, events[i].key) << i;
+    EXPECT_EQ(back[i].klass, events[i].klass) << i;
+    EXPECT_EQ(back[i].rank, events[i].rank) << i;
+    EXPECT_EQ(back[i].worker, events[i].worker) << i;
+    EXPECT_EQ(back[i].steal_victim, events[i].steal_victim) << i;
+    EXPECT_EQ(back[i].begin_s, events[i].begin_s) << i;  // exact, not near
+    EXPECT_EQ(back[i].end_s, events[i].end_s) << i;
+  }
+}
+
+TEST(TraceCsv, ReadsLegacySevenColumnHeader) {
+  std::stringstream ss;
+  ss << "rank,worker,klass,key,begin_s,end_s,duration_s\n"
+     << "0,1,init,t3(4,5,6),0.25,0.75,0.5\n";
+  const auto events = rt::read_trace_csv(ss);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, rt::TraceEventKind::Task);
+  EXPECT_EQ(events[0].key, (rt::TaskKey{3, 4, 5, 6}));
+  EXPECT_EQ(events[0].steal_victim, -1);
+  EXPECT_EQ(events[0].begin_s, 0.25);
+}
+
+TEST(TraceCsv, RejectsMalformedRows) {
+  std::stringstream bad_header;
+  bad_header << "rank,worker\n";
+  EXPECT_THROW(rt::read_trace_csv(bad_header), std::runtime_error);
+
+  std::stringstream bad_key;
+  bad_key << "rank,worker,klass,key,begin_s,end_s,duration_s,kind,victim\n"
+          << "0,0,k,\"nonsense\",0,1,1,task,-1\n";
+  EXPECT_THROW(rt::read_trace_csv(bad_key), std::runtime_error);
+}
+
+// Concurrent workers write one shared tracer; per worker, task events must
+// still be well-formed and monotone (a worker executes serially, so after
+// sorting its events by begin time they may not overlap). Exercised under
+// both schedulers with enough tasks to keep every worker busy.
+TEST(TraceConcurrency, PerWorkerTimestampsAreMonotone) {
+  for (const auto policy :
+       {rt::SchedPolicy::PriorityFifo, rt::SchedPolicy::WorkStealing}) {
+    rt::TaskGraph graph;
+    constexpr int kTasks = 120;
+    for (int i = 0; i < kTasks; ++i) {
+      rt::TaskSpec t;
+      t.key = rt::TaskKey{4, i, 0, 0};
+      t.rank = i % 2;
+      t.body = [](rt::TaskContext&) {
+        volatile double sink = 0.0;
+        for (int n = 0; n < 500; ++n) sink = sink + n;
+      };
+      graph.add_task(std::move(t));
+    }
+
+    rt::Config config;
+    config.nranks = 2;
+    config.workers_per_rank = 3;
+    config.trace = true;
+    config.scheduler = policy;
+    rt::Runtime runtime(config);
+    runtime.run(graph);
+
+    std::map<std::pair<int, int>, std::vector<rt::TraceEvent>> by_worker;
+    std::size_t task_events = 0;
+    for (const auto& e : runtime.tracer().events()) {
+      if (e.kind != rt::TraceEventKind::Task) continue;
+      ++task_events;
+      by_worker[{e.rank, e.worker}].push_back(e);
+    }
+    EXPECT_EQ(task_events, static_cast<std::size_t>(kTasks))
+        << rt::sched_policy_name(policy);
+
+    for (auto& [id, lane] : by_worker) {
+      std::sort(lane.begin(), lane.end(),
+                [](const rt::TraceEvent& a, const rt::TraceEvent& b) {
+                  return a.begin_s < b.begin_s;
+                });
+      for (std::size_t i = 0; i < lane.size(); ++i) {
+        ASSERT_LE(lane[i].begin_s, lane[i].end_s)
+            << "r" << id.first << "w" << id.second << " event " << i;
+        if (i > 0) {
+          ASSERT_LE(lane[i - 1].end_s, lane[i].begin_s)
+              << "r" << id.first << "w" << id.second << " events " << i - 1
+              << "," << i << " overlap under "
+              << rt::sched_policy_name(policy);
+        }
+      }
+    }
+  }
 }
 
 TEST(Table, CsvRoundTrip) {
