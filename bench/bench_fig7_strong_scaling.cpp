@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "bench_common.hpp"
+#include "obs/trace_analysis.hpp"
 #include "sim/models.hpp"
 #include "spmv/petsc_like.hpp"
 #include "stencil/dist_stencil.hpp"
@@ -127,6 +128,9 @@ int main(int argc, char** argv) {
     row["bytes"] = obs::Json(r.bytes);
     report.add_result(std::move(row));
   }
+  // --trace-analyze traces the host runs and prints the causal summary
+  // (critical path, network share, overlap) beside the traffic columns.
+  const bool trace_analyze = options.get_bool("trace-analyze", false);
   for (int steps : {1, 4}) {
     stencil::DistConfig config;
     config.decomp = {n / 8, n / 8, 2, 2};
@@ -135,6 +139,7 @@ int main(int argc, char** argv) {
     config.kernel = host_kernel;
     config.scheduler = host_sched;
     config.metrics = metrics;
+    config.trace = trace_analyze;
     const auto r = run_distributed(problem, config);
     real.add_row({steps == 1 ? "base taskrt" : "CA taskrt (s=4)",
                   Table::cell(r.stats.wall_time_s * 1e3, 1),
@@ -149,6 +154,21 @@ int main(int argc, char** argv) {
     row["messages"] = obs::Json(r.stats.messages);
     row["bytes"] = obs::Json(r.stats.bytes);
     report.add_result(std::move(row));
+    if (trace_analyze) {
+      const obs::TraceAnalysis a = obs::analyze_dataflow(r.trace_events);
+      const std::string tag = steps == 1 ? "base" : "ca";
+      std::cout << "  causal " << tag << ": critical path "
+                << Table::cell(a.critical_path_s * 1e3, 3) << " ms ("
+                << Table::cell(100.0 * a.network_share(), 1)
+                << "% network), overlap "
+                << Table::cell(100.0 * a.overlap_efficiency, 1) << "%\n";
+      report.set_derived(tag + "_critical_path_s",
+                         obs::Json(a.critical_path_s));
+      report.set_derived(tag + "_network_share",
+                         obs::Json(a.network_share()));
+      report.set_derived(tag + "_overlap_efficiency",
+                         obs::Json(a.overlap_efficiency));
+    }
   }
   real.print(std::cout);
 

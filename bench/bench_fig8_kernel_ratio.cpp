@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/trace_analysis.hpp"
 #include "sim/models.hpp"
 #include "stencil/dist_stencil.hpp"
 #include "stencil/serial.hpp"
@@ -125,6 +126,9 @@ int run_measured(const Options& options) {
   std::vector<double> gflops(cases.size(), 0.0);
   std::vector<double> wall_ms(cases.size(), 0.0);
   bool all_exact = true;
+  // --trace-analyze traces the first repetition of each configuration and
+  // prints the causal summary (critical path, network share, overlap).
+  const bool trace_analyze = options.get_bool("trace-analyze", false);
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
     const RunCase& rc = cases[ci];
     stencil::DistConfig config;
@@ -136,11 +140,20 @@ int run_measured(const Options& options) {
     double flops = 0.0;
     bool exact = true;
     for (int rep = 0; rep < reps; ++rep) {
+      config.trace = trace_analyze && rep == 0;
       const stencil::DistResult r = stencil::run_distributed(problem, config);
       best_wall = std::min(best_wall, r.stats.wall_time_s);
       flops = r.flops();
       if (rep == 0) {
         exact = stencil::Grid2D::max_abs_diff(expected, r.grid) == 0.0;
+        if (trace_analyze) {
+          const obs::TraceAnalysis a = obs::analyze_dataflow(r.trace_events);
+          std::cout << "  causal [" << rc.label << "]: critical path "
+                    << Table::cell(a.critical_path_s * 1e3, 3) << " ms ("
+                    << Table::cell(100.0 * a.network_share(), 1)
+                    << "% network), overlap "
+                    << Table::cell(100.0 * a.overlap_efficiency, 1) << "%\n";
+        }
       }
     }
     wall_ms[ci] = best_wall * 1e3;

@@ -13,6 +13,7 @@
 #include <array>
 
 #include "obs/metrics.hpp"
+#include "runtime/trace.hpp"
 #include "spmv/csr.hpp"
 #include "stencil/halo.hpp"
 #include "stencil/kernel.hpp"
@@ -258,6 +259,34 @@ void BM_ObsScopedTimer(benchmark::State& state) {
   benchmark::DoNotOptimize(busy.value());
 }
 BENCHMARK(BM_ObsScopedTimer);
+
+rt::Tracer& tracer_record_tracer() {
+  static rt::Tracer tracer(/*enabled=*/true);
+  return tracer;
+}
+
+void BM_TracerRecord(benchmark::State& state) {
+  // The tracer hot path: each recording thread appends to its own buffer,
+  // so throughput must scale with the thread count — a per-event lock would
+  // flatten the ThreadRange curve the way a shared mutex does. Iterations
+  // are fixed to bound the retained event memory; Teardown drops it.
+  rt::Tracer& tracer = tracer_record_tracer();
+  for (auto _ : state) {
+    rt::TraceEvent event;
+    event.kind = rt::TraceEventKind::Task;
+    event.rank = 0;
+    event.worker = state.thread_index();
+    event.begin_s = 0.0;
+    event.end_s = 1.0;
+    tracer.record(std::move(event));
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TracerRecord)
+    ->ThreadRange(1, 8)
+    ->Iterations(1 << 16)
+    ->Teardown([](const benchmark::State&) { tracer_record_tracer().clear(); });
 
 void BM_Jacobi5Instrumented(benchmark::State& state) {
   // The paper-configuration tile with the same per-task instrumentation the

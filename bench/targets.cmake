@@ -3,8 +3,8 @@
 # add_subdirectory) so ${CMAKE_BINARY_DIR}/bench contains ONLY executables --
 # `for b in build/bench/*; do $b; done` then runs them all cleanly.
 set(REPRO_BENCH_LIBS repro_fault repro_stream repro_sim repro_spmv
-    repro_stencil repro_runtime repro_net repro_obs repro_support
-    Threads::Threads)
+    repro_stencil repro_runtime repro_net repro_obs_trace repro_obs
+    repro_support Threads::Threads)
 
 function(repro_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)

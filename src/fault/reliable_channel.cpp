@@ -19,6 +19,7 @@ net::Message unwrap(net::Message&& wire) {
   msg.src = wire.src;
   msg.dst = wire.dst;
   msg.tag = wire.tag;
+  msg.trace = wire.trace;  // the delivered copy keeps its Send identity
   const auto orig_len = static_cast<std::size_t>(wire.header[4]);
   msg.header.assign(wire.header.begin() + kEnvelopeWords,
                     wire.header.begin() +
@@ -126,6 +127,7 @@ void ReliableChannel::send(net::Message msg) {
   wire.src = src;
   wire.dst = dst;
   wire.tag = msg.tag;
+  wire.trace = msg.trace;
   wire.header.reserve(kEnvelopeWords + msg.header.size());
   wire.header = {kMagic, kKindData, seq, rev_ack, msg.header.size()};
   wire.header.insert(wire.header.end(), msg.header.begin(), msg.header.end());
@@ -326,6 +328,10 @@ void ReliableChannel::retransmit_loop() {
         ++entry.attempts;
         ++stats_.retransmits;
         m_retransmits_->inc();
+        // The retained wire copy carries the running attempt count, so
+        // whichever transmission reaches the receiver reports how many
+        // resends it took (1 + retransmits observed on the delivered copy).
+        entry.wire.trace.attempt += 1;
         entry.interval_s =
             std::min(entry.interval_s * config_.backoff, config_.max_backoff_s);
         const double wait = jittered(entry.interval_s);

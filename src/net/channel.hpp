@@ -38,6 +38,22 @@ struct Message {
   std::vector<std::uint64_t> header;
   std::vector<double> payload;
 
+  /// In-memory trace metadata riding along with the message (never
+  /// serialized, never counted in bytes()). Filled by the runtime when
+  /// tracing is on; decorator channels must carry it across wrap/unwrap so
+  /// the delivered copy still identifies its Send span.
+  struct TraceMeta {
+    std::uint64_t flow = 0;  ///< nonzero id linking the Send and Recv spans
+    double queued_s = 0.0;   ///< when the producer enqueued the message
+    double wire_s = 0.0;     ///< when the channel accepted it
+    /// Transmission attempt that produced this copy (1 = first send). A
+    /// reliability layer bumps it on every retransmit of the retained wire
+    /// copy, so the receiver sees the attempt count of the copy that got
+    /// through.
+    std::uint32_t attempt = 1;
+  };
+  TraceMeta trace;
+
   std::size_t bytes() const {
     return sizeof(tag) + header.size() * sizeof(std::uint64_t) +
            payload.size() * sizeof(double);

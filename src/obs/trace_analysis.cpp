@@ -1,0 +1,478 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace repro::obs {
+
+namespace {
+
+using rt::TaskKey;
+using rt::TaskKeyHash;
+using rt::TraceEvent;
+using rt::TraceEventKind;
+
+/// Hash for the (consumer, producer) edge index over Recv events.
+struct EdgeKey {
+  TaskKey consumer;
+  TaskKey producer;
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+};
+
+struct EdgeKeyHash {
+  std::size_t operator()(const EdgeKey& e) const {
+    TaskKeyHash h;
+    return h(e.consumer) * 0x9e3779b97f4a7c15ULL + h(e.producer);
+  }
+};
+
+/// Sorted, disjoint [begin, end) intervals from an unsorted span list.
+std::vector<std::pair<double, double>> merge_intervals(
+    std::vector<std::pair<double, double>> spans) {
+  std::sort(spans.begin(), spans.end());
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& [b, e] : spans) {
+    if (e <= b) continue;  // zero-width spans carry no time
+    if (merged.empty() || b > merged.back().second) {
+      merged.emplace_back(b, e);
+    } else if (e > merged.back().second) {
+      merged.back().second = e;
+    }
+  }
+  return merged;
+}
+
+double union_length(const std::vector<std::pair<double, double>>& merged) {
+  double total = 0.0;
+  for (const auto& [b, e] : merged) total += e - b;
+  return total;
+}
+
+/// Length of [begin, end) covered by the merged interval union.
+double overlap_with(const std::vector<std::pair<double, double>>& merged,
+                    double begin, double end) {
+  double covered = 0.0;
+  for (const auto& [b, e] : merged) {
+    if (e <= begin) continue;
+    if (b >= end) break;
+    covered += std::min(e, end) - std::max(b, begin);
+  }
+  return covered;
+}
+
+}  // namespace
+
+TraceAnalysis analyze_dataflow(const std::vector<TraceEvent>& events) {
+  TraceAnalysis out;
+  if (events.empty()) {
+    out.overlap_efficiency = 1.0;  // nothing in flight, nothing unhidden
+    return out;
+  }
+
+  // Pass 1: index the stream and accumulate whole-trace totals.
+  std::unordered_map<TaskKey, const TraceEvent*, TaskKeyHash> tasks;
+  std::unordered_map<EdgeKey, const TraceEvent*, EdgeKeyHash> recv_edges;
+  struct FlowWindow {
+    double queued = 0.0;
+    double delivered = 0.0;
+    bool seen_recv = false;
+  };
+  std::unordered_map<std::uint64_t, FlowWindow> flows;
+  std::vector<std::pair<double, double>> task_spans;
+
+  double min_begin = events.front().begin_s;
+  double max_end = events.front().end_s;
+  const TraceEvent* last_task = nullptr;
+
+  for (const TraceEvent& e : events) {
+    min_begin = std::min(min_begin, e.begin_s);
+    max_end = std::max(max_end, e.end_s);
+    switch (e.kind) {
+      case TraceEventKind::Task: {
+        ++out.tasks;
+        out.compute_seconds += e.duration();
+        task_spans.emplace_back(e.begin_s, e.end_s);
+        // Keep the earliest execution per key (duplicates should not occur).
+        tasks.emplace(e.key, &e);
+        if (last_task == nullptr || e.end_s > last_task->end_s) {
+          last_task = &e;
+        }
+        break;
+      }
+      case TraceEventKind::Steal:
+        ++out.steals;
+        break;
+      case TraceEventKind::Send: {
+        ++out.sends;
+        out.bytes_sent += e.bytes;
+        FlowWindow& w = flows[e.flow];
+        w.queued = e.queued_s > 0.0 ? e.queued_s : e.begin_s;
+        break;
+      }
+      case TraceEventKind::Recv: {
+        ++out.recvs;
+        out.retransmits += e.retransmits;
+        if (!e.deps.empty()) {
+          recv_edges.emplace(EdgeKey{e.key, e.deps.front()}, &e);
+        }
+        FlowWindow& w = flows[e.flow];
+        if (!w.seen_recv && w.queued == 0.0 && e.queued_s > 0.0) {
+          w.queued = e.queued_s;  // trace without the matching Send event
+        }
+        w.delivered = std::max(w.delivered, e.end_s);
+        w.seen_recv = true;
+        break;
+      }
+      case TraceEventKind::Idle: {
+        std::string kind = e.klass;
+        if (kind.rfind("idle-", 0) == 0) kind = kind.substr(5);
+        out.idle_by_rank[e.rank][kind] += e.duration();
+        break;
+      }
+    }
+  }
+  out.span_s = max_end - min_begin;
+
+  // Comm/compute overlap: a flow is "in flight" from producer enqueue until
+  // the last of its sections is delivered; it is "hidden" while at least one
+  // task body is running anywhere. Efficiency 1.0 when nothing was sent.
+  const auto busy = merge_intervals(std::move(task_spans));
+  out.compute_active_s = union_length(busy);
+  double hidden = 0.0;
+  for (const auto& [flow, w] : flows) {
+    (void)flow;
+    if (!w.seen_recv || w.delivered <= w.queued) continue;
+    out.network_inflight_s += w.delivered - w.queued;
+    hidden += overlap_with(busy, w.queued, w.delivered);
+  }
+  out.overlap_efficiency =
+      out.network_inflight_s > 0.0 ? hidden / out.network_inflight_s : 1.0;
+
+  // Critical path: back-chain from the last-finishing task. Each task's
+  // binding predecessor is the dependency whose release arrived last — via
+  // the Recv event for remote flows (release = delivery time) or the
+  // producer's own end for local ones. The walk follows measured timestamps,
+  // so chain length == last.end - head.begin <= wall clock by construction.
+  if (last_task != nullptr) {
+    std::unordered_set<TaskKey, TaskKeyHash> visited;
+    std::vector<CriticalStep> reverse_path;
+    const TraceEvent* cur = last_task;
+    for (;;) {
+      if (!visited.insert(cur->key).second) break;
+
+      const TraceEvent* binding = nullptr;
+      const TraceEvent* binding_recv = nullptr;
+      double release = 0.0;
+      for (const TaskKey& dep : cur->deps) {
+        auto prod = tasks.find(dep);
+        if (prod == tasks.end()) continue;  // partial trace: chain ends here
+        const TraceEvent* recv = nullptr;
+        double r = prod->second->end_s;
+        auto edge = recv_edges.find(EdgeKey{cur->key, dep});
+        if (edge != recv_edges.end()) {
+          recv = edge->second;
+          r = std::max(r, recv->end_s);
+        }
+        if (binding == nullptr || r > release) {
+          binding = prod->second;
+          binding_recv = recv;
+          release = r;
+        }
+      }
+
+      CriticalStep step;
+      step.key = cur->key;
+      step.klass = cur->klass;
+      step.rank = cur->rank;
+      step.compute_s = std::max(0.0, cur->duration());
+      if (binding != nullptr) {
+        step.remote_release = binding_recv != nullptr;
+        // The receiver thread stamps a Recv's end after the consumer may
+        // already be running; cap the release at the consumer's begin so the
+        // per-step parts telescope to exactly begin - predecessor.end and
+        // the attribution sum never exceeds the chain length.
+        const double capped = std::min(release, cur->begin_s);
+        step.network_s = std::max(0.0, capped - binding->end_s);
+        step.runtime_s = std::max(0.0, cur->begin_s - capped);
+      }
+      reverse_path.push_back(std::move(step));
+      if (binding == nullptr) break;
+      cur = binding;
+    }
+
+    std::reverse(reverse_path.begin(), reverse_path.end());
+    out.path = std::move(reverse_path);
+    out.cp_tasks = out.path.size();
+    for (const CriticalStep& s : out.path) {
+      out.cp_compute_s += s.compute_s;
+      out.cp_network_s += s.network_s;
+      out.cp_runtime_s += s.runtime_s;
+      if (s.remote_release) ++out.cp_messages;
+    }
+    // The exact chain length; clamp-induced drift in the attribution sums
+    // never leaks into the headline number.
+    out.critical_path_s = std::max(0.0, last_task->end_s - cur->begin_s);
+  }
+  return out;
+}
+
+Json make_trace_analysis_report(const std::string& name,
+                                const TraceAnalysis& a, Json params) {
+  Json out = Json::object();
+  out["schema"] = kTraceAnalysisSchema;
+  out["name"] = name;
+  out["params"] = params.is_object() ? std::move(params) : Json::object();
+
+  Json cp = Json::object();
+  cp["seconds"] = a.critical_path_s;
+  cp["compute_s"] = a.cp_compute_s;
+  cp["network_s"] = a.cp_network_s;
+  cp["runtime_s"] = a.cp_runtime_s;
+  cp["network_share"] = a.network_share();
+  cp["tasks"] = a.cp_tasks;
+  cp["messages"] = a.cp_messages;
+  Json steps = Json::array();
+  for (const CriticalStep& s : a.path) {
+    Json step = Json::object();
+    step["key"] = s.key.to_string();
+    step["klass"] = s.klass;
+    step["rank"] = s.rank;
+    step["compute_s"] = s.compute_s;
+    step["network_s"] = s.network_s;
+    step["runtime_s"] = s.runtime_s;
+    step["remote"] = s.remote_release;
+    steps.push_back(std::move(step));
+  }
+  cp["steps"] = std::move(steps);
+  out["critical_path"] = std::move(cp);
+
+  Json overlap = Json::object();
+  overlap["efficiency"] = a.overlap_efficiency;
+  overlap["inflight_s"] = a.network_inflight_s;
+  overlap["compute_active_s"] = a.compute_active_s;
+  out["overlap"] = std::move(overlap);
+
+  Json idle = Json::array();
+  for (const auto& [rank, kinds] : a.idle_by_rank) {
+    for (const auto& [kind, seconds] : kinds) {
+      Json row = Json::object();
+      row["rank"] = rank;
+      row["kind"] = kind;
+      row["seconds"] = seconds;
+      idle.push_back(std::move(row));
+    }
+  }
+  out["idle"] = std::move(idle);
+
+  Json totals = Json::object();
+  totals["span_s"] = a.span_s;
+  totals["compute_seconds"] = a.compute_seconds;
+  totals["tasks"] = a.tasks;
+  totals["sends"] = a.sends;
+  totals["recvs"] = a.recvs;
+  totals["steals"] = a.steals;
+  totals["bytes_sent"] = a.bytes_sent;
+  totals["retransmits"] = a.retransmits;
+  out["totals"] = std::move(totals);
+  return out;
+}
+
+namespace {
+
+/// Same first-failure-wins accumulator idiom as the run-report validator.
+struct Checker {
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+  bool fail(const std::string& what) {
+    if (error.empty()) error = what;
+    return false;
+  }
+
+  bool check_finite_number(const Json& v, const std::string& where) {
+    if (!ok()) return false;
+    if (!v.is_number()) return fail(where + ": expected a number");
+    if (!std::isfinite(v.as_number())) {
+      return fail(where + ": number is not finite");
+    }
+    return true;
+  }
+
+  bool check_nonneg_number(const Json& v, const std::string& where) {
+    if (!check_finite_number(v, where)) return false;
+    if (v.as_number() < 0.0) return fail(where + ": must be non-negative");
+    return true;
+  }
+
+  bool check_scalar(const Json& v, const std::string& where) {
+    if (!ok()) return false;
+    if (v.is_string() || v.is_bool()) return true;
+    if (v.is_number()) return check_finite_number(v, where);
+    return fail(where + ": expected a scalar (number, string, or bool)");
+  }
+
+  const Json* require(const Json& parent, const std::string& key,
+                      const std::string& where) {
+    if (!ok()) return nullptr;
+    const Json* v = parent.find(key);
+    if (v == nullptr) {
+      fail(where + ": missing required key '" + key + "'");
+      return nullptr;
+    }
+    return v;
+  }
+
+  bool require_nonneg(const Json& parent, const std::string& key,
+                      const std::string& where) {
+    const Json* v = require(parent, key, where);
+    if (v == nullptr) return false;
+    return check_nonneg_number(*v, where + "." + key);
+  }
+};
+
+}  // namespace
+
+bool validate_trace_analysis(const std::string& json_text,
+                             std::string* error) {
+  Json doc;
+  std::string parse_error;
+  if (!Json::parse(json_text, &doc, &parse_error)) {
+    if (error != nullptr) *error = "invalid JSON: " + parse_error;
+    return false;
+  }
+  Checker ck;
+  auto done = [&]() {
+    if (error != nullptr) *error = ck.error;
+    return ck.ok();
+  };
+  if (!doc.is_object()) {
+    ck.fail("top level: expected an object");
+    return done();
+  }
+  const Json* schema = ck.require(doc, "schema", "top level");
+  if (schema != nullptr &&
+      (!schema->is_string() || schema->as_string() != kTraceAnalysisSchema)) {
+    ck.fail(std::string("schema: expected \"") + kTraceAnalysisSchema + "\"");
+  }
+  const Json* name = ck.require(doc, "name", "top level");
+  if (name != nullptr && (!name->is_string() || name->as_string().empty())) {
+    ck.fail("name: expected a non-empty string");
+  }
+  const Json* params = ck.require(doc, "params", "top level");
+  if (params != nullptr) {
+    if (!params->is_object()) {
+      ck.fail("params: expected an object");
+    } else {
+      for (const auto& [key, value] : params->as_object()) {
+        ck.check_scalar(value, "params." + key);
+      }
+    }
+  }
+
+  const Json* cp = ck.require(doc, "critical_path", "top level");
+  if (cp != nullptr) {
+    if (!cp->is_object()) {
+      ck.fail("critical_path: expected an object");
+    } else {
+      for (const char* key :
+           {"seconds", "compute_s", "network_s", "runtime_s", "network_share",
+            "tasks", "messages"}) {
+        ck.require_nonneg(*cp, key, "critical_path");
+      }
+      const Json* share = cp->find("network_share");
+      if (ck.ok() && share != nullptr && share->as_number() > 1.0) {
+        ck.fail("critical_path.network_share: must be <= 1");
+      }
+      const Json* steps = ck.require(*cp, "steps", "critical_path");
+      if (steps != nullptr) {
+        if (!steps->is_array()) {
+          ck.fail("critical_path.steps: expected an array");
+        } else {
+          for (std::size_t i = 0; i < steps->size(); ++i) {
+            const Json& step = steps->as_array()[i];
+            const std::string where =
+                "critical_path.steps[" + std::to_string(i) + "]";
+            if (!step.is_object()) {
+              ck.fail(where + ": expected an object");
+              break;
+            }
+            const Json* key = ck.require(step, "key", where);
+            if (key != nullptr && !key->is_string()) {
+              ck.fail(where + ".key: expected a string");
+            }
+            const Json* klass = ck.require(step, "klass", where);
+            if (klass != nullptr && !klass->is_string()) {
+              ck.fail(where + ".klass: expected a string");
+            }
+            const Json* rank = ck.require(step, "rank", where);
+            if (rank != nullptr) {
+              ck.check_finite_number(*rank, where + ".rank");
+            }
+            for (const char* field : {"compute_s", "network_s", "runtime_s"}) {
+              ck.require_nonneg(step, field, where);
+            }
+            const Json* remote = ck.require(step, "remote", where);
+            if (remote != nullptr && !remote->is_bool()) {
+              ck.fail(where + ".remote: expected a bool");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const Json* overlap = ck.require(doc, "overlap", "top level");
+  if (overlap != nullptr) {
+    if (!overlap->is_object()) {
+      ck.fail("overlap: expected an object");
+    } else {
+      for (const char* key : {"efficiency", "inflight_s", "compute_active_s"}) {
+        ck.require_nonneg(*overlap, key, "overlap");
+      }
+      const Json* eff = overlap->find("efficiency");
+      if (ck.ok() && eff != nullptr && eff->as_number() > 1.0 + 1e-9) {
+        ck.fail("overlap.efficiency: must be <= 1");
+      }
+    }
+  }
+
+  const Json* idle = ck.require(doc, "idle", "top level");
+  if (idle != nullptr) {
+    if (!idle->is_array()) {
+      ck.fail("idle: expected an array");
+    } else {
+      for (std::size_t i = 0; i < idle->size(); ++i) {
+        const Json& row = idle->as_array()[i];
+        const std::string where = "idle[" + std::to_string(i) + "]";
+        if (!row.is_object()) {
+          ck.fail(where + ": expected an object");
+          break;
+        }
+        const Json* rank = ck.require(row, "rank", where);
+        if (rank != nullptr) ck.check_finite_number(*rank, where + ".rank");
+        const Json* kind = ck.require(row, "kind", where);
+        if (kind != nullptr && (!kind->is_string() || kind->as_string().empty())) {
+          ck.fail(where + ".kind: expected a non-empty string");
+        }
+        ck.require_nonneg(row, "seconds", where);
+      }
+    }
+  }
+
+  const Json* totals = ck.require(doc, "totals", "top level");
+  if (totals != nullptr) {
+    if (!totals->is_object()) {
+      ck.fail("totals: expected an object");
+    } else {
+      for (const char* key : {"span_s", "compute_seconds", "tasks", "sends",
+                              "recvs", "steals", "bytes_sent", "retransmits"}) {
+        ck.require_nonneg(*totals, key, "totals");
+      }
+    }
+  }
+  return done();
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,100 @@
+// Causal analysis over a finished rt::Tracer event stream: the layer that
+// turns the paper's Fig. 10 Gantt strips into the story the text narrates.
+//
+// From the flat stream (Task spans with predecessor keys, Send/Recv message
+// spans linked by flow id, classified Idle gaps) this library rebuilds the
+// executed dataflow DAG and derives:
+//   * the critical path — the timestamp-backed chain from the last finishing
+//     task through each task's binding predecessor (the one whose release
+//     arrived last), with every second attributed to compute (task bodies),
+//     network (remote message segments) or runtime (scheduling gaps),
+//   * comm/compute overlap efficiency — the fraction of message in-flight
+//     time during which at least one worker was computing (fully hidden
+//     communication scores 1.0),
+//   * per-rank idle breakdowns from the worker gap taxonomy.
+//
+// Because the walk follows real timestamps, the reported critical path is a
+// lower bound on the measured wall clock by construction — the cross-check
+// tests assert exactly that on every traced run.
+//
+// Lives in obs (report/JSON side) but reads rt::TraceEvent, so it builds as
+// its own library target (repro_obs_trace) on top of repro_runtime and
+// repro_obs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "runtime/trace.hpp"
+
+namespace repro::obs {
+
+/// One link of the critical path, in execution order.
+struct CriticalStep {
+  rt::TaskKey key;
+  std::string klass;
+  int rank = 0;
+  double compute_s = 0.0;  ///< the task body itself
+  double network_s = 0.0;  ///< remote message segment that released the task
+  double runtime_s = 0.0;  ///< gap between release and the body starting
+  bool remote_release = false;  ///< binding predecessor was on another rank
+};
+
+struct TraceAnalysis {
+  // Critical path and its per-class attribution (seconds on the path).
+  double critical_path_s = 0.0;
+  double cp_compute_s = 0.0;
+  double cp_network_s = 0.0;
+  double cp_runtime_s = 0.0;
+  std::size_t cp_tasks = 0;     ///< tasks on the path
+  std::size_t cp_messages = 0;  ///< remote releases on the path
+  std::vector<CriticalStep> path;  ///< chronological
+
+  /// cp_network_s / critical_path_s (0 when the path is empty).
+  double network_share() const {
+    return critical_path_s > 0.0 ? cp_network_s / critical_path_s : 0.0;
+  }
+
+  // Comm/compute overlap.
+  double overlap_efficiency = 0.0;  ///< hidden fraction of in-flight time
+  double network_inflight_s = 0.0;  ///< summed per-flow in-flight seconds
+  double compute_active_s = 0.0;    ///< wall seconds with >=1 task running
+
+  // Idle taxonomy: rank -> kind ("halo"|"noready"|"steal"|"shutdown") ->
+  // summed gap seconds.
+  std::map<int, std::map<std::string, double>> idle_by_rank;
+
+  // Whole-trace totals.
+  double span_s = 0.0;            ///< max(end) - min(begin) over all events
+  double compute_seconds = 0.0;   ///< summed task durations (CPU seconds)
+  std::size_t tasks = 0;
+  std::size_t sends = 0;
+  std::size_t recvs = 0;
+  std::size_t steals = 0;
+  std::uint64_t bytes_sent = 0;   ///< wire bytes over Send events
+  std::uint64_t retransmits = 0;  ///< per-flow resends observed on delivery
+};
+
+/// Rebuild the executed DAG from the event stream and derive the analysis.
+/// Tolerates partial traces (a missing predecessor event ends the chain).
+TraceAnalysis analyze_dataflow(const std::vector<rt::TraceEvent>& events);
+
+inline constexpr const char* kTraceAnalysisSchema = "repro.trace_analysis/v1";
+
+/// Build a "repro.trace_analysis/v1" report document:
+///   { "schema", "name", "params": {scalars},
+///     "critical_path": {...}, "overlap": {...},
+///     "idle": [ {"rank", "kind", "seconds"}, ... ], "totals": {...} }
+Json make_trace_analysis_report(const std::string& name,
+                                const TraceAnalysis& analysis,
+                                Json params = Json::object());
+
+/// Validate a serialized document against repro.trace_analysis/v1. Returns
+/// true on success; otherwise false with a human-readable reason in *error.
+bool validate_trace_analysis(const std::string& json_text, std::string* error);
+
+}  // namespace repro::obs

@@ -177,6 +177,7 @@ RunStats Runtime::run(TaskGraph& graph) {
   }
 
   seq_.store(0);
+  next_flow_.store(1);
   remaining_tasks_.store(n);
   executed_tasks_.store(0);
   done_ = n == 0;
@@ -216,6 +217,10 @@ RunStats Runtime::run(TaskGraph& graph) {
   channel_->close();
   for (auto& thread : receivers) thread.join();
 
+  // All recording threads have joined: splice the per-thread trace buffers
+  // into one timestamp-ordered stream.
+  tracer_.merge();
+
   if (aborted_.load()) {
     std::lock_guard lock(error_mutex_);
     throw std::runtime_error("Runtime: " + error_);
@@ -246,7 +251,28 @@ void Runtime::worker_loop(int rank, int worker) {
   tl_worker = worker;
   const SchedTestHook* hook = config_.sched_test_hook.get();
   auto& queue = *queues_[static_cast<std::size_t>(rank)];
-  while (auto entry = queue.pop_blocking(worker)) {
+  const bool tracing = tracer_.enabled();
+  for (;;) {
+    // Every gap between pops becomes an Idle event classified by what ended
+    // it: the entry that arrived (halo-released / stolen / plain ready) or
+    // the shutdown signal. That is the paper's idle taxonomy — "waiting on
+    // halo" vs "no ready task" is exactly the base-vs-CA causal story.
+    const double gap_begin = tracing ? wall_time() : 0.0;
+    auto entry = queue.pop_blocking(worker);
+    if (tracing) {
+      TraceEvent event;
+      event.kind = TraceEventKind::Idle;
+      event.klass = !entry             ? "idle-shutdown"
+                    : entry->stolen    ? "idle-steal"
+                    : entry->halo      ? "idle-halo"
+                                       : "idle-noready";
+      event.rank = rank;
+      event.worker = worker;
+      event.begin_s = gap_begin;
+      event.end_s = wall_time();
+      tracer_.record(std::move(event));
+    }
+    if (!entry) break;
     // The hook fires under every policy, so even PriorityFifo schedules can
     // be perturbed by the fuzz harness.
     if (hook != nullptr && hook->before_execute) {
@@ -265,12 +291,34 @@ void Runtime::sender_loop(int rank) {
     try {
       // Busy time is the send itself; blocking in pop_blocking is idle.
       obs::ScopedTimer timer(busy);
-      channel_->send(std::move(*msg));
+      channel_send(rank, std::move(*msg));
     } catch (const std::exception& e) {
       fail(std::string("sender: ") + e.what());
       return;
     }
   }
+}
+
+void Runtime::channel_send(int src_rank, net::Message msg) {
+  if (!tracer_.enabled()) {
+    channel_->send(std::move(msg));
+    return;
+  }
+  TraceEvent event;
+  event.kind = TraceEventKind::Send;
+  event.klass = "send";
+  event.rank = src_rank;
+  event.worker = kTraceLaneSend;
+  event.peer = msg.dst;
+  event.flow = msg.trace.flow;
+  event.bytes = msg.bytes();
+  event.queued_s = msg.trace.queued_s;
+  msg.trace.wire_s = wall_time();
+  event.wire_s = msg.trace.wire_s;
+  event.begin_s = event.wire_s;
+  channel_->send(std::move(msg));
+  event.end_s = wall_time();
+  tracer_.record(std::move(event));
 }
 
 void Runtime::receiver_loop(int rank) {
@@ -282,10 +330,39 @@ void Runtime::receiver_loop(int rank) {
   // exhausted its retries), so the whole loop sits inside the try: a failed
   // channel aborts the run instead of terminating the process.
   obs::Gauge& busy = *comm_busy_[static_cast<std::size_t>(rank)];
+  const bool tracing = tracer_.enabled();
+  // One Recv span per delivered flow section, on the rank's rx lane: key =
+  // the consuming task, deps = {producing task}, flow/queued/wire/attempt
+  // copied from the message's trace metadata. These are the edges the
+  // critical-path analysis walks when a binding predecessor is remote.
+  const auto record_recv = [&](const net::Message& msg, std::size_t index,
+                               std::uint16_t input_pos, std::uint64_t bytes,
+                               double begin) {
+    TraceEvent event;
+    event.kind = TraceEventKind::Recv;
+    event.klass = "recv";
+    const TaskSpec& consumer = graph_->spec(index);
+    event.key = consumer.key;
+    if (input_pos < consumer.inputs.size()) {
+      event.deps.push_back(consumer.inputs[input_pos].producer);
+    }
+    event.rank = rank;
+    event.worker = kTraceLaneRecv;
+    event.peer = msg.src;
+    event.flow = msg.trace.flow;
+    event.bytes = bytes;
+    event.queued_s = msg.trace.queued_s;
+    event.wire_s = msg.trace.wire_s;
+    event.retransmits = msg.trace.attempt > 0 ? msg.trace.attempt - 1 : 0;
+    event.begin_s = begin;
+    event.end_s = wall_time();
+    tracer_.record(std::move(event));
+  };
   try {
     while (auto msg = channel_->recv(rank)) {
       // Busy time is decode + delivery; blocking in recv is idle.
       obs::ScopedTimer timer(busy);
+      const double recv_begin = tracing ? wall_time() : 0.0;
       if (msg->header.empty()) throw std::runtime_error("empty header");
       if (msg->header[0] == kWireSingle) {
         if (msg->header.size() != 6) {
@@ -298,7 +375,10 @@ void Runtime::receiver_loop(int rank) {
         key.c = static_cast<std::int32_t>(msg->header[4]);
         const auto input_pos = static_cast<std::uint16_t>(msg->header[5]);
         const std::size_t index = graph_->index_of(key);
-        deliver_input(index, input_pos, make_buffer(std::move(msg->payload)));
+        const std::uint64_t bytes = msg->bytes();
+        deliver_input(index, input_pos, make_buffer(std::move(msg->payload)),
+                      /*remote=*/true);
+        if (tracing) record_recv(*msg, index, input_pos, bytes, recv_begin);
       } else if (msg->header[0] == kWireMulti) {
         const auto sections = static_cast<std::size_t>(msg->header[1]);
         if (msg->header.size() != 2 + 6 * sections) {
@@ -322,7 +402,12 @@ void Runtime::receiver_loop(int rank) {
               msg->payload.begin() + static_cast<std::ptrdiff_t>(offset + len));
           offset += len;
           const std::size_t index = graph_->index_of(key);
-          deliver_input(index, input_pos, make_buffer(std::move(section)));
+          deliver_input(index, input_pos, make_buffer(std::move(section)),
+                        /*remote=*/true);
+          if (tracing) {
+            record_recv(*msg, index, input_pos, len * sizeof(double),
+                        recv_begin);
+          }
         }
       } else {
         throw std::runtime_error("unknown wire format");
@@ -343,6 +428,10 @@ void Runtime::execute_task(std::size_t index, int rank, int worker) {
     event.klass = spec.klass;
     event.rank = rank;
     event.worker = worker;
+    // Predecessor keys straight from the spec's input flows: the executed
+    // DAG is reconstructible from the event stream alone.
+    event.deps.reserve(spec.inputs.size());
+    for (const auto& input : spec.inputs) event.deps.push_back(input.producer);
     event.begin_s = wall_time();
   }
 
@@ -420,7 +509,8 @@ void Runtime::complete_task(std::size_t index, int rank) {
 }
 
 void Runtime::deliver_input(std::size_t consumer_index,
-                            std::uint16_t input_pos, Buffer buffer) {
+                            std::uint16_t input_pos, Buffer buffer,
+                            bool remote) {
   TaskState& state = states_[consumer_index];
   if (input_pos >= state.inputs.size()) {
     fail("deliver: input position out of range for " +
@@ -429,14 +519,15 @@ void Runtime::deliver_input(std::size_t consumer_index,
   }
   state.inputs[input_pos] = std::move(buffer);
   if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    enqueue_ready(consumer_index);
+    enqueue_ready(consumer_index, /*halo=*/remote);
   }
 }
 
-void Runtime::enqueue_ready(std::size_t index) {
+void Runtime::enqueue_ready(std::size_t index, bool halo) {
   const TaskSpec& spec = graph_->spec(index);
   ReadyEntry entry;
   entry.task = static_cast<std::uint32_t>(index);
+  entry.halo = halo;
   const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
   switch (config_.scheduler) {
     case SchedPolicy::PriorityFifo:
@@ -506,11 +597,15 @@ void Runtime::send_remote_aggregated(
 }
 
 void Runtime::post_message(int src_rank, net::Message msg) {
+  if (tracer_.enabled()) {
+    msg.trace.flow = next_flow_.fetch_add(1, std::memory_order_relaxed);
+    msg.trace.queued_s = wall_time();
+  }
   if (config_.dedicated_comm_thread) {
     outboxes_[static_cast<std::size_t>(src_rank)]->push(std::move(msg));
   } else {
     try {
-      channel_->send(std::move(msg));
+      channel_send(src_rank, std::move(msg));
     } catch (const std::exception& e) {
       fail(std::string("send: ") + e.what());
     }

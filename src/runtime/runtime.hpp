@@ -158,9 +158,12 @@ class Runtime {
 
   void execute_task(std::size_t index, int rank, int worker);
   void complete_task(std::size_t index, int rank);
+  /// `remote` marks deliveries arriving via the receiver thread; when such a
+  /// delivery completes the consumer's inputs the ready entry is tagged as
+  /// halo-released for the idle taxonomy.
   void deliver_input(std::size_t consumer_index, std::uint16_t input_pos,
-                     Buffer buffer);
-  void enqueue_ready(std::size_t index);
+                     Buffer buffer, bool remote = false);
+  void enqueue_ready(std::size_t index, bool halo = false);
   void send_remote(int src_rank, std::size_t consumer_index,
                    std::uint16_t input_pos, const Buffer& buffer);
   void send_remote_aggregated(
@@ -168,6 +171,10 @@ class Runtime {
       const std::vector<std::pair<const TaskGraph::ConsumerEdge*,
                                   const Buffer*>>& sections);
   void post_message(int src_rank, net::Message msg);
+  /// Hand `msg` to the channel, recording a Send span (wire timestamps,
+  /// bytes, flow id) on the rank's tx lane when tracing. Throws like
+  /// Channel::send; callers keep their own error handling.
+  void channel_send(int src_rank, net::Message msg);
   void fail(const std::string& message);
   void publish_output(std::size_t task_index, std::uint16_t slot, Buffer buf);
   void setup_metrics();
@@ -189,6 +196,7 @@ class Runtime {
   std::vector<std::unique_ptr<Outbox>> outboxes_;
   std::shared_ptr<net::Channel> channel_;
   std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> next_flow_{1};  ///< trace flow-id source
   std::atomic<std::size_t> remaining_tasks_{0};
   std::atomic<std::size_t> executed_tasks_{0};
 

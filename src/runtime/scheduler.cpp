@@ -183,6 +183,7 @@ std::optional<ReadyEntry> WorkStealingScheduler::steal_one(int thief) {
       entry = take_front(*deques_[static_cast<std::size_t>(v)]);
     }
     if (entry) {
+      entry->stolen = true;
       if (steals_) steals_->inc();
       if (tracer_ != nullptr && tracer_->enabled()) {
         TraceEvent event;

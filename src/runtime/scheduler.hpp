@@ -79,6 +79,13 @@ struct ReadyEntry {
   int priority = 0;
   std::uint64_t seq = 0;
   std::uint32_t task = 0;
+  /// The delivery completing this task's inputs came from the receiver
+  /// thread (a remote halo), so a worker whose idle gap ends on this entry
+  /// was waiting on the network. Set by the runtime; ignored by ordering.
+  bool halo = false;
+  /// Set by a stealing scheduler when the entry was taken from another
+  /// worker's deque; classifies the thief's preceding gap as steal latency.
+  bool stolen = false;
 
   /// std::priority_queue is a max-heap: higher priority first, then FIFO.
   friend bool operator<(const ReadyEntry& a, const ReadyEntry& b) {

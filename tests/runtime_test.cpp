@@ -464,15 +464,26 @@ TEST(Runtime, TraceRecordsEveryTaskWithSaneTimestamps) {
   Runtime runtime(Config{1, 2, true, true});
   runtime.run(graph);
   const auto& events = runtime.tracer().events();
-  ASSERT_EQ(events.size(), 5u);
+#ifdef REPRO_OBS_DISABLE
+  EXPECT_TRUE(events.empty());
+  GTEST_SKIP() << "tracing is compiled out";
+#else
+  // The stream carries Task events plus the Idle gaps between pops; exactly
+  // the five task bodies must appear as Task events.
+  std::size_t tasks = 0;
   for (const auto& e : events) {
     EXPECT_GE(e.end_s, e.begin_s);
+    if (e.kind != TraceEventKind::Task) continue;
+    ++tasks;
     EXPECT_TRUE(e.klass == "even" || e.klass == "odd");
+    EXPECT_TRUE(e.deps.empty());  // source tasks have no input flows
   }
+  EXPECT_EQ(tasks, 5u);
   const TraceReport report = analyze_trace(events, 2);
   EXPECT_EQ(report.count_by_klass.at("even"), 3u);
   EXPECT_EQ(report.count_by_klass.at("odd"), 2u);
   EXPECT_GE(report.span_s, 0.0);
+#endif
 }
 
 TEST(Runtime, EmptyGraphCompletesImmediately) {

@@ -1,0 +1,250 @@
+// obs::analyze_dataflow: critical path, overlap, idle taxonomy — first on
+// hand-built event streams with closed-form answers, then cross-checked
+// against real traced runs (analyzed critical path must bound the measured
+// wall clock from below and the longest task from above).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/trace_analysis.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/trace.hpp"
+
+namespace repro {
+namespace {
+
+rt::TraceEvent task(rt::TaskKey key, const char* klass, int rank, int worker,
+                    double begin, double end,
+                    std::vector<rt::TaskKey> deps = {}) {
+  rt::TraceEvent e;
+  e.kind = rt::TraceEventKind::Task;
+  e.key = key;
+  e.klass = klass;
+  e.rank = rank;
+  e.worker = worker;
+  e.begin_s = begin;
+  e.end_s = end;
+  e.deps = std::move(deps);
+  return e;
+}
+
+rt::TraceEvent recv(rt::TaskKey consumer, rt::TaskKey producer, int rank,
+                    int peer, std::uint64_t flow, double queued, double begin,
+                    double end) {
+  rt::TraceEvent e;
+  e.kind = rt::TraceEventKind::Recv;
+  e.key = consumer;
+  e.klass = "recv";
+  e.rank = rank;
+  e.worker = rt::kTraceLaneRecv;
+  e.peer = peer;
+  e.flow = flow;
+  e.queued_s = queued;
+  e.wire_s = queued;
+  e.begin_s = begin;
+  e.end_s = end;
+  e.deps = {producer};
+  return e;
+}
+
+TEST(TraceAnalysisDag, EmptyStreamIsAllZeroes) {
+  const obs::TraceAnalysis a = obs::analyze_dataflow({});
+  EXPECT_EQ(a.critical_path_s, 0.0);
+  EXPECT_EQ(a.tasks, 0u);
+  EXPECT_TRUE(a.path.empty());
+  EXPECT_DOUBLE_EQ(a.overlap_efficiency, 1.0);  // nothing in flight
+}
+
+TEST(TraceAnalysisDag, ClosedFormCriticalPathWithRemoteRelease) {
+  // Three-task chain across two ranks with exact, hand-computed attribution:
+  //   A on rank 0: [0.0, 1.0]                       (head, compute 1.0)
+  //   A -> B remote: queued 1.0, delivered 1.5      (network 0.5)
+  //   B on rank 1: [1.7, 2.2], released at 1.5      (runtime 0.2, compute 0.5)
+  //   C on rank 1: [2.2, 3.0], local dep on B       (runtime 0, compute 0.8)
+  // A decoy task D finishes earlier than C, so C is the chain tail.
+  const rt::TaskKey ka{1, 0, 0, 0}, kb{1, 1, 0, 0}, kc{1, 2, 0, 0},
+      kd{9, 0, 0, 0};
+  std::vector<rt::TraceEvent> events;
+  events.push_back(task(ka, "a", 0, 0, 0.0, 1.0));
+  events.push_back(recv(kb, ka, 1, 0, 5, 1.0, 1.45, 1.5));
+  events.push_back(task(kb, "b", 1, 0, 1.7, 2.2, {ka}));
+  events.push_back(task(kc, "c", 1, 0, 2.2, 3.0, {kb}));
+  events.push_back(task(kd, "d", 0, 0, 1.0, 2.5));
+
+  const obs::TraceAnalysis a = obs::analyze_dataflow(events);
+  EXPECT_EQ(a.cp_tasks, 3u);
+  EXPECT_EQ(a.cp_messages, 1u);
+  EXPECT_DOUBLE_EQ(a.critical_path_s, 3.0);  // C.end - A.begin
+  EXPECT_DOUBLE_EQ(a.cp_compute_s, 1.0 + 0.5 + 0.8);
+  EXPECT_DOUBLE_EQ(a.cp_network_s, 0.5);
+  EXPECT_NEAR(a.cp_runtime_s, 0.2, 1e-12);
+  EXPECT_NEAR(a.network_share(), 0.5 / 3.0, 1e-12);
+  // Attribution covers the chain exactly in this gap-free construction.
+  EXPECT_NEAR(a.cp_compute_s + a.cp_network_s + a.cp_runtime_s,
+              a.critical_path_s, 1e-12);
+  // Path is chronological: A, B, C.
+  ASSERT_EQ(a.path.size(), 3u);
+  EXPECT_EQ(a.path[0].key, ka);
+  EXPECT_EQ(a.path[1].key, kb);
+  EXPECT_TRUE(a.path[1].remote_release);
+  EXPECT_EQ(a.path[2].key, kc);
+  EXPECT_FALSE(a.path[2].remote_release);
+}
+
+TEST(TraceAnalysisDag, BindingPredecessorIsTheLatestRelease) {
+  // C depends on A (local, ends 1.0) and B (remote, delivered 1.8): the
+  // remote release binds even though B's body finished first.
+  const rt::TaskKey ka{1, 0, 0, 0}, kb{1, 1, 0, 0}, kc{1, 2, 0, 0};
+  std::vector<rt::TraceEvent> events;
+  events.push_back(task(ka, "a", 0, 0, 0.0, 1.0));
+  events.push_back(task(kb, "b", 1, 0, 0.0, 0.6));
+  events.push_back(recv(kc, kb, 0, 1, 3, 0.6, 1.7, 1.8));
+  events.push_back(task(kc, "c", 0, 0, 1.9, 2.4, {ka, kb}));
+
+  const obs::TraceAnalysis a = obs::analyze_dataflow(events);
+  ASSERT_EQ(a.path.size(), 2u);
+  EXPECT_EQ(a.path[0].key, kb);
+  EXPECT_EQ(a.path[1].key, kc);
+  EXPECT_TRUE(a.path[1].remote_release);
+  EXPECT_NEAR(a.path[1].network_s, 1.2, 1e-12);  // 1.8 - 0.6
+  EXPECT_NEAR(a.path[1].runtime_s, 0.1, 1e-12);  // 1.9 - 1.8
+  EXPECT_DOUBLE_EQ(a.critical_path_s, 2.4);      // C.end - B.begin
+}
+
+TEST(TraceAnalysisDag, OverlapEfficiencyCountsHiddenInflightTime) {
+  // Flow in flight [1.0, 3.0] (2.0 s); tasks cover [0.0, 2.0] -> half the
+  // in-flight window is hidden behind compute.
+  const rt::TaskKey ka{1, 0, 0, 0}, kb{1, 1, 0, 0};
+  std::vector<rt::TraceEvent> events;
+  events.push_back(task(ka, "a", 0, 0, 0.0, 2.0));
+  rt::TraceEvent send = recv(kb, ka, 0, 1, 11, 1.0, 1.0, 1.1);
+  send.kind = rt::TraceEventKind::Send;
+  send.worker = rt::kTraceLaneSend;
+  send.deps.clear();
+  events.push_back(send);
+  events.push_back(recv(kb, ka, 1, 0, 11, 1.0, 2.9, 3.0));
+  events.push_back(task(kb, "b", 1, 0, 3.1, 3.2, {ka}));
+
+  const obs::TraceAnalysis a = obs::analyze_dataflow(events);
+  EXPECT_DOUBLE_EQ(a.network_inflight_s, 2.0);
+  // Tasks cover [0, 2] plus [3.1, 3.2]; the in-flight window [1, 3] overlaps
+  // only [1, 2].
+  EXPECT_NEAR(a.overlap_efficiency, 0.5, 1e-12);
+  EXPECT_NEAR(a.compute_active_s, 2.1, 1e-12);
+}
+
+TEST(TraceAnalysisDag, IdleTaxonomyAggregatesPerRank) {
+  std::vector<rt::TraceEvent> events;
+  events.push_back(task(rt::TaskKey{1, 0, 0, 0}, "k", 0, 0, 0.0, 1.0));
+  for (const char* klass : {"idle-halo", "idle-halo", "idle-shutdown"}) {
+    rt::TraceEvent e;
+    e.kind = rt::TraceEventKind::Idle;
+    e.klass = klass;
+    e.rank = 0;
+    e.worker = 1;
+    e.begin_s = 0.0;
+    e.end_s = 0.25;
+    events.push_back(e);
+  }
+  const obs::TraceAnalysis a = obs::analyze_dataflow(events);
+  EXPECT_DOUBLE_EQ(a.idle_by_rank.at(0).at("halo"), 0.5);
+  EXPECT_DOUBLE_EQ(a.idle_by_rank.at(0).at("shutdown"), 0.25);
+  EXPECT_EQ(a.idle_by_rank.at(0).count("noready"), 0u);
+}
+
+TEST(TraceAnalysisReport, BuildsAndValidates) {
+  const rt::TaskKey ka{1, 0, 0, 0}, kb{1, 1, 0, 0};
+  std::vector<rt::TraceEvent> events;
+  events.push_back(task(ka, "a", 0, 0, 0.0, 1.0));
+  events.push_back(recv(kb, ka, 1, 0, 2, 1.0, 1.4, 1.5));
+  events.push_back(task(kb, "b", 1, 0, 1.5, 2.0, {ka}));
+
+  obs::Json params = obs::Json::object();
+  params["n"] = 64;
+  const obs::Json doc = obs::make_trace_analysis_report(
+      "unit", obs::analyze_dataflow(events), std::move(params));
+  std::string error;
+  EXPECT_TRUE(obs::validate_trace_analysis(doc.dump(2), &error)) << error;
+
+  // The validator actually rejects structural damage.
+  EXPECT_FALSE(obs::validate_trace_analysis("{}", &error));
+  EXPECT_FALSE(obs::validate_trace_analysis("not json", &error));
+  obs::Json broken = doc;
+  broken["critical_path"]["seconds"] = -1.0;
+  EXPECT_FALSE(obs::validate_trace_analysis(broken.dump(), &error));
+  EXPECT_NE(error.find("critical_path"), std::string::npos);
+}
+
+// Cross-check on real traced runs (the sim_vs_real-style consistency bound):
+// for every scheduler, the analyzed critical path must not exceed the
+// measured wall clock and must cover at least the longest single task.
+TEST(TraceAnalysisCrossCheck, CriticalPathBoundsWallClockOnRealRuns) {
+#ifdef REPRO_OBS_DISABLE
+  GTEST_SKIP() << "tracing is compiled out";
+#endif
+  for (const auto policy :
+       {rt::SchedPolicy::PriorityFifo, rt::SchedPolicy::WorkStealing}) {
+    rt::TaskGraph graph;
+    constexpr int kChains = 4, kDepth = 6;
+    for (int c = 0; c < kChains; ++c) {
+      for (int d = 0; d < kDepth; ++d) {
+        rt::TaskSpec t;
+        t.key = rt::TaskKey{2, c, d, 0};
+        // Alternate ranks along each chain so every link is a remote flow
+        // and the path exercises Recv-based releases.
+        t.rank = (c + d) % 2;
+        t.klass = "link";
+        if (d > 0) {
+          t.inputs.push_back({rt::TaskKey{2, c, d - 1, 0}, 0});
+        }
+        t.body = [](rt::TaskContext& ctx) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          ctx.publish(0, std::vector<double>{1.0});
+        };
+        graph.add_task(std::move(t));
+      }
+    }
+
+    rt::Config config;
+    config.nranks = 2;
+    config.workers_per_rank = 2;
+    config.trace = true;
+    config.scheduler = policy;
+    rt::Runtime runtime(config);
+    const rt::RunStats stats = runtime.run(graph);
+
+    const obs::TraceAnalysis a =
+        obs::analyze_dataflow(runtime.tracer().events());
+    EXPECT_EQ(a.tasks, static_cast<std::size_t>(kChains * kDepth));
+    // Every chain is a pure pipeline, so the back-chained path is exactly
+    // the tail task's chain.
+    EXPECT_EQ(a.cp_tasks, static_cast<std::size_t>(kDepth))
+        << rt::sched_policy_name(policy);
+
+    // Lower bound: the path serializes kDepth bodies of >= 200 us each
+    // (sleep_for never undershoots). Upper bound: the chain is a real
+    // timestamp interval inside the run, so it cannot exceed the wall clock.
+    EXPECT_GE(a.critical_path_s, kDepth * 200e-6)
+        << rt::sched_policy_name(policy);
+    EXPECT_LE(a.critical_path_s, stats.wall_time_s + 1e-9)
+        << rt::sched_policy_name(policy);
+    // Attribution never exceeds the chain it explains.
+    EXPECT_LE(a.cp_compute_s + a.cp_network_s + a.cp_runtime_s,
+              a.critical_path_s + 1e-9)
+        << rt::sched_policy_name(policy);
+    EXPECT_GE(a.overlap_efficiency, 0.0);
+    EXPECT_LE(a.overlap_efficiency, 1.0 + 1e-9);
+    // Alternating ranks makes every link remote: the comm threads traced
+    // their halves and every release on the path came via a Recv.
+    EXPECT_EQ(a.recvs, static_cast<std::size_t>(kChains * (kDepth - 1)));
+    EXPECT_EQ(a.cp_messages, static_cast<std::size_t>(kDepth - 1))
+        << rt::sched_policy_name(policy);
+  }
+}
+
+}  // namespace
+}  // namespace repro

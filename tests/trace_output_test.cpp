@@ -134,6 +134,127 @@ TEST(TraceCsv, RoundTripsTaskAndStealEventsExactly) {
   }
 }
 
+TEST(TraceAnalysis, ZeroWidthAndBoundaryEventsDontInflateBusyTime) {
+  // Two back-to-back tasks on one worker share the instant t=1.0, and a
+  // zero-width Steal sits exactly on that boundary. Busy time is the union
+  // of intervals, so the lane reports exactly 2.0 s busy — the old
+  // sum-of-durations accounting would have been correct here, but any
+  // overlap (or a nonzero-width event at the seam) must not double-count.
+  std::vector<rt::TraceEvent> events{event("k", 0, 0, 0.0, 1.0),
+                                     event("k", 0, 0, 1.0, 2.0)};
+  rt::TraceEvent steal;
+  steal.kind = rt::TraceEventKind::Steal;
+  steal.klass = "steal";
+  steal.rank = 0;
+  steal.worker = 0;
+  steal.steal_victim = 1;
+  steal.begin_s = steal.end_s = 1.0;
+  events.push_back(steal);
+  // An overlapping duplicate span (e.g. from a merged multi-run stream) only
+  // extends the union by its uncovered part.
+  events.push_back(event("k", 0, 0, 0.5, 1.5));
+
+  const rt::TraceReport report = rt::analyze_trace(events, /*workers=*/1);
+  EXPECT_DOUBLE_EQ(report.busy_by_worker.at({0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(report.occupancy_by_rank.at(0), 1.0);
+  EXPECT_EQ(report.steals, 1u);
+}
+
+TEST(TraceCsv, RoundTripsCausalMessageAndIdleEvents) {
+  // The causal kinds carry the message fields (peer, flow, bytes, enqueue /
+  // wire timestamps, retransmits) and dependency-key lists; all must
+  // round-trip exactly, including multi-entry deps on Task events.
+  std::vector<rt::TraceEvent> events;
+
+  rt::TraceEvent task = event("boundary", 0, 1, 0.1, 0.2);
+  task.key = rt::TaskKey{7, 1, 2, 3};
+  task.deps = {rt::TaskKey{7, 0, 2, 3}, rt::TaskKey{7, 0, 1, 3}};
+  events.push_back(task);
+
+  rt::TraceEvent send = event("send", 0, rt::kTraceLaneSend, 0.25, 0.26);
+  send.kind = rt::TraceEventKind::Send;
+  send.peer = 3;
+  send.flow = 42;
+  send.bytes = 4096;
+  send.queued_s = 0.24;
+  send.wire_s = 0.25;
+  events.push_back(send);
+
+  rt::TraceEvent recv = event("recv", 3, rt::kTraceLaneRecv, 0.27, 0.28);
+  recv.kind = rt::TraceEventKind::Recv;
+  recv.key = rt::TaskKey{7, 2, 2, 3};
+  recv.deps = {rt::TaskKey{7, 1, 2, 3}};
+  recv.peer = 0;
+  recv.flow = 42;
+  recv.bytes = 4000;
+  recv.queued_s = 0.24;
+  recv.wire_s = 0.25;
+  recv.retransmits = 2;
+  events.push_back(recv);
+
+  rt::TraceEvent idle = event("idle-halo", 3, 0, 0.2, 0.28);
+  idle.kind = rt::TraceEventKind::Idle;
+  events.push_back(idle);
+
+  std::stringstream ss;
+  rt::write_trace_csv(events, ss);
+  const std::vector<rt::TraceEvent> back = rt::read_trace_csv(ss);
+
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back[i].kind, events[i].kind) << i;
+    EXPECT_EQ(back[i].key, events[i].key) << i;
+    EXPECT_EQ(back[i].klass, events[i].klass) << i;
+    EXPECT_EQ(back[i].peer, events[i].peer) << i;
+    EXPECT_EQ(back[i].flow, events[i].flow) << i;
+    EXPECT_EQ(back[i].bytes, events[i].bytes) << i;
+    EXPECT_EQ(back[i].queued_s, events[i].queued_s) << i;
+    EXPECT_EQ(back[i].wire_s, events[i].wire_s) << i;
+    EXPECT_EQ(back[i].retransmits, events[i].retransmits) << i;
+    ASSERT_EQ(back[i].deps.size(), events[i].deps.size()) << i;
+    for (std::size_t d = 0; d < events[i].deps.size(); ++d) {
+      EXPECT_EQ(back[i].deps[d], events[i].deps[d]) << i << "/" << d;
+    }
+  }
+}
+
+TEST(TraceChrome, EmitsCommSpansAndFlowArrows) {
+  // Producer task on rank 0, consumer on rank 1, linked by a Recv whose dep
+  // names the producer: the Chrome export must contain complete events for
+  // both comm lanes and a flow-arrow start/finish pair.
+  std::vector<rt::TraceEvent> events;
+  rt::TraceEvent producer = event("p", 0, 0, 0.0, 1.0);
+  producer.key = rt::TaskKey{1, 0, 0, 0};
+  events.push_back(producer);
+  rt::TraceEvent consumer = event("c", 1, 0, 2.0, 3.0);
+  consumer.key = rt::TaskKey{1, 1, 0, 0};
+  consumer.deps = {producer.key};
+  events.push_back(consumer);
+  rt::TraceEvent send = event("send", 0, rt::kTraceLaneSend, 1.0, 1.1);
+  send.kind = rt::TraceEventKind::Send;
+  send.peer = 1;
+  send.flow = 7;
+  events.push_back(send);
+  rt::TraceEvent recv = event("recv", 1, rt::kTraceLaneRecv, 1.5, 1.9);
+  recv.kind = rt::TraceEventKind::Recv;
+  recv.key = consumer.key;
+  recv.deps = {producer.key};
+  recv.peer = 0;
+  recv.flow = 7;
+  events.push_back(recv);
+
+  std::ostringstream os;
+  rt::write_chrome_trace(events, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"ph\":\"s\""), std::string::npos);  // arrow start
+  EXPECT_NE(text.find("\"ph\":\"f\""), std::string::npos);  // arrow finish
+  EXPECT_NE(text.find("\"name\":\"send "), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"recv "), std::string::npos);
+  EXPECT_NE(text.find("\"cat\":\"comm\""), std::string::npos);
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text.back(), '\n');
+}
+
 TEST(TraceCsv, ReadsLegacySevenColumnHeader) {
   std::stringstream ss;
   ss << "rank,worker,klass,key,begin_s,end_s,duration_s\n"
@@ -144,6 +265,22 @@ TEST(TraceCsv, ReadsLegacySevenColumnHeader) {
   EXPECT_EQ(events[0].key, (rt::TaskKey{3, 4, 5, 6}));
   EXPECT_EQ(events[0].steal_victim, -1);
   EXPECT_EQ(events[0].begin_s, 0.25);
+}
+
+TEST(TraceCsv, ReadsLegacyNineColumnHeader) {
+  // The pre-causal header (kind + victim but no message columns): message
+  // fields default to zero / -1 and deps stay empty.
+  std::stringstream ss;
+  ss << "rank,worker,klass,key,begin_s,end_s,duration_s,kind,victim\n"
+     << "1,2,steal,\"t0(0,0,0)\",0.5,0.5,0,steal,0\n";
+  const auto events = rt::read_trace_csv(ss);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, rt::TraceEventKind::Steal);
+  EXPECT_EQ(events[0].steal_victim, 0);
+  EXPECT_EQ(events[0].peer, -1);
+  EXPECT_EQ(events[0].flow, 0u);
+  EXPECT_EQ(events[0].bytes, 0u);
+  EXPECT_TRUE(events[0].deps.empty());
 }
 
 TEST(TraceCsv, RejectsMalformedRows) {
@@ -162,6 +299,9 @@ TEST(TraceCsv, RejectsMalformedRows) {
 // sorting its events by begin time they may not overlap). Exercised under
 // both schedulers with enough tasks to keep every worker busy.
 TEST(TraceConcurrency, PerWorkerTimestampsAreMonotone) {
+#ifdef REPRO_OBS_DISABLE
+  GTEST_SKIP() << "tracing is compiled out";
+#endif
   for (const auto policy :
        {rt::SchedPolicy::PriorityFifo, rt::SchedPolicy::WorkStealing}) {
     rt::TaskGraph graph;

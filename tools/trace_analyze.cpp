@@ -1,0 +1,182 @@
+// Offline causal analysis of taskrt trace CSVs (Fig. 10 companion).
+//
+//   trace_analyze trace.csv
+//       Print critical path (seconds, compute/network/runtime split, % in
+//       halo messages), comm/compute overlap efficiency, per-rank idle
+//       breakdown, and totals for one run.
+//
+//   trace_analyze base.csv ca.csv --diff
+//       Compare a baseline trace against a communication-avoiding variant of
+//       the same problem: critical-path delta, network-share delta, and the
+//       redundant-compute share (extra CPU seconds the CA run spends
+//       recomputing ghost regions, as a fraction of the base run's compute).
+//
+// Options:
+//   --diff               two-trace comparison mode (requires two inputs)
+//   --report=out.json    write a repro.trace_analysis/v1 document (single
+//                        trace mode; validated by tools/validate_report)
+//   --chrome=out.json    re-export the trace for chrome://tracing
+//   --name=label         report name (default: the input filename)
+//   --steps=N            print the last N critical-path steps (default 0)
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.hpp"
+#include "runtime/trace.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+std::vector<repro::rt::TraceEvent> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  return repro::rt::read_trace_csv(in);
+}
+
+void print_analysis(const std::string& label,
+                    const repro::obs::TraceAnalysis& a, int steps) {
+  std::cout << "== " << label << " ==\n";
+  std::cout << std::fixed << std::setprecision(6);
+  std::cout << "  span               " << a.span_s << " s\n";
+  std::cout << "  critical path      " << a.critical_path_s << " s  ("
+            << a.cp_tasks << " tasks, " << a.cp_messages << " messages)\n";
+  std::cout << "    compute          " << a.cp_compute_s << " s\n";
+  std::cout << "    network          " << a.cp_network_s << " s  ("
+            << std::setprecision(1) << 100.0 * a.network_share()
+            << "% of path)\n"
+            << std::setprecision(6);
+  std::cout << "    runtime          " << a.cp_runtime_s << " s\n";
+  std::cout << "  overlap efficiency " << std::setprecision(1)
+            << 100.0 * a.overlap_efficiency << "%  ("
+            << std::setprecision(6) << a.network_inflight_s
+            << " s in flight, " << a.compute_active_s
+            << " s compute-active)\n";
+  std::cout << "  totals             " << a.tasks << " tasks, " << a.sends
+            << " sends, " << a.recvs << " recvs, " << a.steals << " steals, "
+            << a.bytes_sent << " bytes, " << a.retransmits
+            << " retransmits\n";
+  for (const auto& [rank, kinds] : a.idle_by_rank) {
+    std::cout << "  idle rank " << rank << "      ";
+    bool first = true;
+    for (const auto& [kind, seconds] : kinds) {
+      if (!first) std::cout << ", ";
+      std::cout << kind << "=" << seconds << "s";
+      first = false;
+    }
+    std::cout << "\n";
+  }
+  if (steps > 0 && !a.path.empty()) {
+    const std::size_t n = std::min<std::size_t>(steps, a.path.size());
+    std::cout << "  last " << n << " critical-path steps:\n";
+    for (std::size_t i = a.path.size() - n; i < a.path.size(); ++i) {
+      const auto& s = a.path[i];
+      std::cout << "    " << s.key.to_string() << " [" << s.klass << "] r"
+                << s.rank << "  compute=" << s.compute_s
+                << "s network=" << s.network_s << "s runtime=" << s.runtime_s
+                << "s" << (s.remote_release ? "  (remote release)" : "")
+                << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  repro::Options opts(argc, argv);
+  const auto& inputs = opts.positional();
+  const bool diff = opts.get_bool("diff", false);
+  if (inputs.empty() || (diff && inputs.size() != 2) ||
+      (!diff && inputs.size() != 1)) {
+    std::cerr << "usage: trace_analyze <trace.csv> [--report=out.json] "
+                 "[--chrome=out.json] [--name=label] [--steps=N]\n"
+                 "       trace_analyze <base.csv> <ca.csv> --diff\n";
+    return 2;
+  }
+
+  try {
+    if (!diff) {
+      const std::string& path = inputs[0];
+      const auto events = load_trace(path);
+      const auto analysis = repro::obs::analyze_dataflow(events);
+      print_analysis(opts.get_string("name", path), analysis,
+                     static_cast<int>(opts.get_int("steps", 0)));
+
+      const std::string report_path = opts.get_string("report", "");
+      if (!report_path.empty()) {
+        repro::obs::Json params = repro::obs::Json::object();
+        params["trace"] = path;
+        repro::obs::Json doc = repro::obs::make_trace_analysis_report(
+            opts.get_string("name", path), analysis, std::move(params));
+        const std::string text = doc.dump(2) + "\n";
+        std::string error;
+        if (!repro::obs::validate_trace_analysis(text, &error)) {
+          std::cerr << "internal error: generated report is invalid: " << error
+                    << "\n";
+          return 1;
+        }
+        std::ofstream out(report_path);
+        if (!out) {
+          std::cerr << "cannot open '" << report_path << "' for writing\n";
+          return 1;
+        }
+        out << text;
+        std::cout << "report written to " << report_path << "\n";
+      }
+
+      const std::string chrome_path = opts.get_string("chrome", "");
+      if (!chrome_path.empty()) {
+        std::ofstream out(chrome_path);
+        if (!out) {
+          std::cerr << "cannot open '" << chrome_path << "' for writing\n";
+          return 1;
+        }
+        repro::rt::write_chrome_trace(events, out);
+        std::cout << "chrome trace written to " << chrome_path << "\n";
+      }
+      return 0;
+    }
+
+    // Diff mode: base vs communication-avoiding run of the same problem.
+    const auto base = repro::obs::analyze_dataflow(load_trace(inputs[0]));
+    const auto ca = repro::obs::analyze_dataflow(load_trace(inputs[1]));
+    const int steps = static_cast<int>(opts.get_int("steps", 0));
+    print_analysis("base: " + inputs[0], base, steps);
+    print_analysis("ca:   " + inputs[1], ca, steps);
+
+    std::cout << "== diff (ca vs base) ==\n";
+    std::cout << std::fixed << std::setprecision(6);
+    const double cp_delta = ca.critical_path_s - base.critical_path_s;
+    std::cout << "  critical path      " << base.critical_path_s << " -> "
+              << ca.critical_path_s << " s  ("
+              << (cp_delta <= 0.0 ? "" : "+") << cp_delta << " s)\n";
+    std::cout << "  network share      " << std::setprecision(1)
+              << 100.0 * base.network_share() << "% -> "
+              << 100.0 * ca.network_share() << "%\n";
+    std::cout << "  overlap efficiency " << 100.0 * base.overlap_efficiency
+              << "% -> " << 100.0 * ca.overlap_efficiency << "%\n";
+    std::cout << std::setprecision(6);
+    std::cout << "  cp messages        " << base.cp_messages << " -> "
+              << ca.cp_messages << "\n";
+    // CA trades messages for ghost-region recomputation: any compute beyond
+    // the base run is redundant work, reported relative to base compute.
+    const double redundant =
+        base.compute_seconds > 0.0
+            ? std::max(0.0, ca.compute_seconds - base.compute_seconds) /
+                  base.compute_seconds
+            : 0.0;
+    std::cout << "  compute seconds    " << base.compute_seconds << " -> "
+              << ca.compute_seconds << " s\n";
+    std::cout << "  redundant compute  " << std::setprecision(1)
+              << 100.0 * redundant << "% of base compute\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "trace_analyze: " << e.what() << "\n";
+    return 1;
+  }
+}

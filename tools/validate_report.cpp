@@ -1,5 +1,8 @@
-// CLI wrapper around obs::validate_run_report for CI: exit 0 iff every file
-// given on the command line is a well-formed repro.run_report/v1 document.
+// CLI report validator for CI: exit 0 iff every file given on the command
+// line is a well-formed report of a known schema. The document's "schema"
+// field picks the validator:
+//   repro.run_report/v1      -> obs::validate_run_report
+//   repro.trace_analysis/v1  -> obs::validate_trace_analysis
 //
 //   validate_report report.json [more.json ...]
 #include <fstream>
@@ -7,7 +10,37 @@
 #include <sstream>
 #include <string>
 
+#include "obs/json.hpp"
 #include "obs/run_report.hpp"
+#include "obs/trace_analysis.hpp"
+
+namespace {
+
+bool validate_any(const std::string& text, std::string* error) {
+  repro::obs::Json doc;
+  std::string parse_error;
+  if (!repro::obs::Json::parse(text, &doc, &parse_error)) {
+    *error = "invalid JSON: " + parse_error;
+    return false;
+  }
+  const repro::obs::Json* schema =
+      doc.is_object() ? doc.find("schema") : nullptr;
+  if (schema == nullptr || !schema->is_string()) {
+    *error = "top level: missing string 'schema' field";
+    return false;
+  }
+  const std::string& id = schema->as_string();
+  if (id == repro::obs::RunReport::kSchema) {
+    return repro::obs::validate_run_report(text, error);
+  }
+  if (id == repro::obs::kTraceAnalysisSchema) {
+    return repro::obs::validate_trace_analysis(text, error);
+  }
+  *error = "unknown schema '" + id + "'";
+  return false;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
@@ -26,7 +59,7 @@ int main(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << in.rdbuf();
     std::string error;
-    if (repro::obs::validate_run_report(buffer.str(), &error)) {
+    if (validate_any(buffer.str(), &error)) {
       std::cout << path << ": OK\n";
     } else {
       std::cerr << path << ": INVALID: " << error << "\n";
