@@ -1,0 +1,279 @@
+// Service-mode saturation sweep (extension): the solver farm under load.
+//
+// Open-loop clients (one thread per tenant) pace solve requests at an
+// increasing offered rate against a single resident farm per load point.
+// Each point reports achieved requests/s, acceptance rate, p50/p99
+// submit-to-completion latency, aggregate goodput (grid-points x iterations
+// of COMPLETED jobs per second), and the cross-tenant fairness ratio
+// (max/min per-tenant goodput; equal quotas should hold it near 1).
+//
+// A background "whale" tenant keeps one long CA job resident so every sweep
+// also exercises checkpoint-backed preemption (deadline submits from the
+// paced tenants preempt it at superstep boundaries).
+//
+// SIGINT/SIGTERM are handled gracefully: clients stop submitting, in-flight
+// work is cancelled at the last checkpoint, and the (validated) report is
+// still emitted — the soak harness in CI relies on this contract.
+//
+//   bench_serve_saturation [--tenants=3] [--jobs=12] [--n=24] [--iters=4]
+//       [--steps=2] [--workers=2] [--rates=2,8,32,128]
+//       [--whale=1] [--seed=1] [--csv=...] [--report=...]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "serve/serve_report.hpp"
+#include "serve/solver_farm.hpp"
+#include "stencil/problem.hpp"
+#include "support/stats.hpp"
+#include "support/timing.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+std::vector<double> parse_rates(const std::string& csv) {
+  std::vector<double> rates;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const double r = std::stod(item);
+    if (r > 0) rates.push_back(r);
+  }
+  return rates;
+}
+
+std::string fmt(double v, int prec = 1) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(prec);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const Options options(argc, argv);
+  bench::header(
+      "Service-mode saturation: multi-tenant farm, one resident runtime",
+      "extension beyond the paper -- the CA stencil as a served workload: "
+      "admission control bounds memory, DRR bounds unfairness, superstep "
+      "checkpoints bound preemption loss");
+
+  const int tenants = static_cast<int>(options.get_int("tenants", 3));
+  const int jobs = static_cast<int>(options.get_int("jobs", 12));
+  const int n = static_cast<int>(options.get_int("n", 24));
+  const int iters = static_cast<int>(options.get_int("iters", 4));
+  const int steps = static_cast<int>(options.get_int("steps", 2));
+  const int workers = static_cast<int>(options.get_int("workers", 2));
+  const bool whale = options.get_int("whale", 1) != 0;
+  const unsigned long seed =
+      static_cast<unsigned long>(options.get_int("seed", 1));
+  const std::vector<double> rates =
+      parse_rates(options.get_string("rates", "2,8,32,128"));
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  Table table({"offered/s/client", "req/s", "accept %", "p50 ms", "p99 ms",
+               "goodput Mpt/s", "fairness", "preempts"});
+  serve::ServeReport report("bench_serve_saturation");
+  report.set_param("tenants", tenants);
+  report.set_param("jobs_per_client", jobs);
+  report.set_param("n", n);
+  report.set_param("iters", iters);
+  report.set_param("steps", steps);
+  report.set_param("workers_per_rank", workers);
+  report.set_param("whale", whale ? 1 : 0);
+  report.set_param("seed", static_cast<long long>(seed));
+
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  std::vector<serve::TenantStats> last_stats;
+  double last_fairness = 0.0;
+  std::uint64_t total_preemptions = 0;
+
+  for (const double rate : rates) {
+    if (g_stop) break;
+
+    serve::FarmConfig config;
+    config.node_rows = 2;
+    config.node_cols = 2;
+    config.workers_per_rank = workers;
+    config.metrics = registry;
+    // Paced tenants stay batched; only the whale crosses into windowed mode.
+    config.preempt_cost_threshold =
+        static_cast<long long>(n) * n * iters + 1;
+    config.checkpoint_supersteps = 1;
+    config.admission.max_queued = tenants * jobs + 8;
+    config.admission.max_queued_per_tenant = jobs + 4;
+    config.admission.max_cost_per_tenant = 1LL << 40;
+    serve::SolverFarm farm(config);
+
+    std::future<serve::SolveResponse> whale_future;
+    if (whale) {
+      serve::SolveRequest big;
+      big.tenant = "whale";
+      // ~50x a paced job: resident across the whole sweep point, windowed.
+      big.problem = stencil::random_problem(4 * n, 4 * n,
+                                           8 * ((iters + 3) / 4) * 4, seed);
+      big.mb = 2 * n;
+      big.nb = 2 * n;
+      big.steps = 4;
+      auto submission = farm.submit(big);
+      if (submission.accepted()) whale_future = std::move(submission.response);
+    }
+
+    const double t0 = wall_time();
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> accepted{0};
+    std::vector<std::thread> clients;
+    std::vector<std::vector<std::future<serve::SolveResponse>>> futures(
+        static_cast<std::size_t>(tenants));
+    for (int t = 0; t < tenants; ++t) {
+      clients.emplace_back([&, t] {
+        const auto gap =
+            std::chrono::duration<double>(1.0 / rate);
+        for (int j = 0; j < jobs && !g_stop; ++j) {
+          serve::SolveRequest request;
+          request.tenant = "tenant-" + std::to_string(t);
+          request.problem = stencil::random_problem(
+              n, n, iters, seed + static_cast<unsigned long>(100 * t + j));
+          request.mb = n / 2;
+          request.nb = n / 2;
+          request.steps = steps;
+          request.deadline_s = 2.0;  // deadline submits preempt the whale
+          auto submission = farm.submit(request);
+          submitted.fetch_add(1);
+          if (submission.accepted()) {
+            accepted.fetch_add(1);
+            futures[static_cast<std::size_t>(t)].push_back(
+                std::move(submission.response));
+          }
+          std::this_thread::sleep_for(gap);
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    // Interrupted: cancel what is left at its last checkpoint. Otherwise
+    // drain so every accepted job's latency is measured to completion.
+    farm.shutdown(/*drain=*/g_stop == 0);
+    for (auto& lane : futures) {
+      for (auto& f : lane) f.wait();
+    }
+    if (whale_future.valid()) whale_future.wait();
+    const double elapsed = wall_time() - t0;
+
+    last_stats = farm.tenant_stats();
+    std::vector<double> latencies;
+    long long goodput = 0;
+    long long goodput_min = -1, goodput_max = 0;
+    for (const auto& s : last_stats) {
+      if (s.tenant == "whale") {
+        total_preemptions += s.preemptions;
+        continue;
+      }
+      latencies.insert(latencies.end(), s.latency_s.begin(),
+                       s.latency_s.end());
+      goodput += s.goodput_points;
+      goodput_max = std::max(goodput_max, s.goodput_points);
+      goodput_min = goodput_min < 0
+                        ? s.goodput_points
+                        : std::min(goodput_min, s.goodput_points);
+    }
+    const double fairness =
+        goodput_min > 0 ? static_cast<double>(goodput_max) /
+                              static_cast<double>(goodput_min)
+                        : 0.0;
+    last_fairness = fairness;
+    const double req_s =
+        elapsed > 0 ? static_cast<double>(submitted.load()) / elapsed : 0.0;
+    const double accept_pct =
+        submitted.load() > 0 ? 100.0 * static_cast<double>(accepted.load()) /
+                                   static_cast<double>(submitted.load())
+                             : 0.0;
+    const double p50 =
+        latencies.empty() ? 0.0 : percentile(latencies, 50.0) * 1e3;
+    const double p99 =
+        latencies.empty() ? 0.0 : percentile(latencies, 99.0) * 1e3;
+
+    table.add_row({fmt(rate), fmt(req_s), fmt(accept_pct),
+                   fmt(p50, 3), fmt(p99, 3),
+                   fmt(static_cast<double>(goodput) / elapsed / 1e6, 2),
+                   fmt(fairness, 2), std::to_string(total_preemptions)});
+
+    // The curve itself lives in totals as flat scalars (the schema keeps
+    // params/totals scalar-only); the CSV carries the full table.
+    const std::string key = "rate_" + fmt(rate, 0);
+    report.set_total(key + "_requests_per_s", req_s);
+    report.set_total(key + "_p50_ms", p50);
+    report.set_total(key + "_p99_ms", p99);
+    report.set_total(key + "_goodput_points_per_s",
+                     elapsed > 0 ? static_cast<double>(goodput) / elapsed
+                                 : 0.0);
+  }
+
+  table.print(std::cout);
+  bench::maybe_csv(table, options, "serve_saturation.csv");
+  if (g_stop) {
+    std::cout << "\n(interrupted: drained at last checkpoint, report below "
+                 "covers completed work)\n";
+  }
+
+  // Per-tenant rows from the LAST (highest-load) sweep point: that is where
+  // fairness and tail latency are at their worst, i.e. the interesting bar.
+  for (const auto& s : last_stats) {
+    obs::Json row = obs::Json::object();
+    row["tenant"] = s.tenant;
+    row["submitted"] = static_cast<long long>(s.submitted);
+    row["completed"] = static_cast<long long>(s.completed);
+    row["rejected"] = static_cast<long long>(s.rejected);
+    row["cancelled"] = static_cast<long long>(s.cancelled);
+    row["preemptions"] = static_cast<long long>(s.preemptions);
+    row["deadline_misses"] = static_cast<long long>(s.deadline_misses);
+    row["goodput_points"] = s.goodput_points;
+    if (!s.latency_s.empty()) {
+      row["p50_latency_s"] = percentile(s.latency_s, 50.0);
+      row["p99_latency_s"] = percentile(s.latency_s, 99.0);
+    }
+    report.add_tenant(std::move(row));
+  }
+  report.set_total("fairness_ratio_last_point", last_fairness);
+  report.set_total("whale_preemptions",
+                   static_cast<long long>(total_preemptions));
+  report.set_total("interrupted", g_stop ? 1 : 0);
+  report.add_metrics(*registry);
+
+  if (last_fairness > 0) {
+    std::cout << "\nFairness (max/min tenant goodput at top load): "
+              << fmt(last_fairness, 2)
+              << (last_fairness <= 1.5 ? "  [OK <= 1.5]" : "  [UNFAIR]")
+              << "\n";
+  }
+
+  if (options.has("report")) {
+    const std::string path =
+        options.get_string("report", "serve_saturation.json");
+    std::string error;
+    const std::string text = report.to_string();
+    if (!serve::validate_serve_report(text, &error)) {
+      std::cerr << "serve report failed validation: " << error << "\n";
+      return 1;
+    }
+    report.write(path);
+    std::cout << "\n(wrote " << path << ")\n";
+  }
+  return 0;
+}

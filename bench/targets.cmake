@@ -2,7 +2,7 @@
 # ablation suites. Included from the top-level CMakeLists (not
 # add_subdirectory) so ${CMAKE_BINARY_DIR}/bench contains ONLY executables --
 # `for b in build/bench/*; do $b; done` then runs them all cleanly.
-set(REPRO_BENCH_LIBS repro_fault repro_stream repro_sim repro_spmv
+set(REPRO_BENCH_LIBS repro_serve repro_fault repro_stream repro_sim repro_spmv
     repro_stencil repro_runtime repro_net repro_obs_trace repro_obs
     repro_support Threads::Threads)
 
@@ -29,3 +29,4 @@ repro_add_bench(bench_exascale_projection)
 repro_add_bench(bench_weak_scaling)
 repro_add_bench(bench_fault_sweep)
 repro_add_bench(bench_sched_compare)
+repro_add_bench(bench_serve_saturation)

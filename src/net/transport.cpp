@@ -1,5 +1,6 @@
 #include "net/transport.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -20,19 +21,44 @@ Transport::Transport(int nranks, std::shared_ptr<obs::MetricsRegistry> metrics)
                        : std::make_shared<obs::MetricsRegistry>()) {
   if (nranks <= 0) throw std::invalid_argument("Transport needs >= 1 rank");
   boxes_.reserve(static_cast<std::size_t>(nranks));
+  // Destinations past the cardinality cap share one dst="overflow" series
+  // (created lazily on the first capped rank) so a huge rank count cannot
+  // grow the registry without bound.
+  std::shared_ptr<obs::Counter> over_messages;
+  std::shared_ptr<obs::Counter> over_bytes;
+  std::shared_ptr<obs::Histogram> over_sizes;
   for (int r = 0; r < nranks; ++r) {
     auto box = std::make_unique<Mailbox>();
     if constexpr (obs::kEnabled) {
-      const obs::Labels labels{{"dst", std::to_string(r)}};
-      box->messages = std::make_shared<obs::Counter>();
-      box->bytes = std::make_shared<obs::Counter>();
-      box->sizes = std::make_shared<obs::Histogram>(obs::log2_size_bounds());
-      metrics_->attach("net_messages_total", labels, box->messages,
-                       "Messages delivered into this rank's mailbox");
-      metrics_->attach("net_bytes_total", labels, box->bytes,
-                       "Wire bytes (tag + header + payload) delivered");
-      metrics_->attach("net_message_size_bytes", labels, box->sizes,
-                       "Per-message wire size, log2 buckets");
+      if (r < kMaxDstSeries) {
+        const obs::Labels labels{{"dst", std::to_string(r)}};
+        box->messages = std::make_shared<obs::Counter>();
+        box->bytes = std::make_shared<obs::Counter>();
+        box->sizes = std::make_shared<obs::Histogram>(obs::log2_size_bounds());
+        metrics_->attach("net_messages_total", labels, box->messages,
+                         "Messages delivered into this rank's mailbox");
+        metrics_->attach("net_bytes_total", labels, box->bytes,
+                         "Wire bytes (tag + header + payload) delivered");
+        metrics_->attach("net_message_size_bytes", labels, box->sizes,
+                         "Per-message wire size, log2 buckets");
+      } else {
+        if (!over_messages) {
+          const obs::Labels labels{{"dst", "overflow"}};
+          over_messages = std::make_shared<obs::Counter>();
+          over_bytes = std::make_shared<obs::Counter>();
+          over_sizes =
+              std::make_shared<obs::Histogram>(obs::log2_size_bounds());
+          metrics_->attach("net_messages_total", labels, over_messages,
+                           "Messages to destinations past the label cap");
+          metrics_->attach("net_bytes_total", labels, over_bytes,
+                           "Wire bytes to destinations past the label cap");
+          metrics_->attach("net_message_size_bytes", labels, over_sizes,
+                           "Per-message wire size past the label cap");
+        }
+        box->messages = over_messages;
+        box->bytes = over_bytes;
+        box->sizes = over_sizes;
+      }
     }
     boxes_.push_back(std::move(box));
   }
@@ -108,7 +134,12 @@ TrafficStats Transport::stats() const {
   if constexpr (obs::kEnabled) {
     // Reconstruct the TrafficStats view from the obs counters. Per-bucket
     // byte sums are exact: they are integer-valued doubles well below 2^53.
-    for (const auto& box : boxes_) {
+    // Boxes past the cardinality cap all alias the one dst="overflow"
+    // series, so count it once (the first capped box) and skip the rest.
+    const std::size_t distinct = std::min(
+        boxes_.size(), static_cast<std::size_t>(kMaxDstSeries) + 1);
+    for (std::size_t r = 0; r < distinct; ++r) {
+      const auto& box = boxes_[r];
       total.messages += box->messages->value();
       total.bytes += box->bytes->value();
       for (int b = 0; b < SizeHistogram::kBuckets; ++b) {

@@ -32,11 +32,21 @@ namespace repro::net {
 
 class Transport final : public Channel {
  public:
+  /// Per-destination label cardinality cap: only the first kMaxDstSeries
+  /// ranks get their own dst="<rank>" series; every rank beyond the cap
+  /// shares one dst="overflow" series. Bounds the registry footprint when a
+  /// resident registry sees large rank counts or thousands of short-lived
+  /// transports (the serve farm), at the cost of per-destination resolution
+  /// past the cap. stats() remains exact either way.
+  static constexpr int kMaxDstSeries = 64;
+
   /// `metrics`, when given, is the registry the per-destination traffic
   /// counters register into (families net_messages_total, net_bytes_total,
-  /// net_message_size_bytes, label dst="<rank>"); a fresh private registry is
-  /// created otherwise. Counters are per-Transport: re-registering into a
-  /// shared registry replaces the previous transport's series.
+  /// net_message_size_bytes, label dst="<rank>", capped at kMaxDstSeries
+  /// distinct destinations + one dst="overflow" bucket); a fresh private
+  /// registry is created otherwise. Counters are per-Transport:
+  /// re-registering into a shared registry replaces the previous transport's
+  /// series.
   explicit Transport(int nranks,
                      std::shared_ptr<obs::MetricsRegistry> metrics = nullptr);
 

@@ -250,6 +250,17 @@ void MetricsRegistry::attach(const std::string& name, Labels labels,
 #endif
 }
 
+bool MetricsRegistry::remove(const std::string& name, const Labels& labels) {
+#ifdef REPRO_OBS_DISABLE
+  (void)name;
+  (void)labels;
+  return false;
+#else
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.erase(render_key(name, labels)) > 0;
+#endif
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
 #ifndef REPRO_OBS_DISABLE

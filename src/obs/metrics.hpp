@@ -260,6 +260,14 @@ class MetricsRegistry {
   void attach(const std::string& name, Labels labels,
               std::shared_ptr<Histogram> metric, std::string help = "");
 
+  /// Drop the series (name, labels) from the registry, if present. Returns
+  /// whether a series was removed. Holders of the metric handle may keep
+  /// writing to it — the series just stops being scraped. Used by per-run
+  /// components to retire series whose label values no longer exist (e.g. a
+  /// tenant lane absent from the next graph), so back-to-back runs on one
+  /// resident registry never accumulate stale series.
+  bool remove(const std::string& name, const Labels& labels);
+
   MetricsSnapshot snapshot() const;
   /// Prometheus text exposition format (HELP/TYPE once per family).
   std::string prometheus() const;

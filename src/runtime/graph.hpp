@@ -34,6 +34,10 @@ struct TaskSpec {
   TaskKey key;
   int rank = 0;      ///< owning virtual process; the body runs there
   int priority = 0;  ///< higher value runs earlier among ready tasks
+  /// Accounting lane (serve: the tenant's lane id). Tasks with lane >= 0 are
+  /// counted in rt_lane_tasks_executed_total{lane=...}; -1 = unlabeled.
+  /// Purely observational — scheduling order comes from `priority` alone.
+  int lane = -1;
   std::string klass; ///< trace label, e.g. "jacobi-boundary"
   std::vector<FlowRef> inputs;
   TaskBody body;

@@ -141,9 +141,40 @@ void Runtime::setup_metrics() {
                      "(busy fraction = value / wall time)");
     comm_busy_[static_cast<std::size_t>(r)] = std::move(busy);
   }
+
+  // Lane accounting: one counter per distinct TaskSpec::lane in this graph.
+  // Series for lanes the previous run had but this graph lacks are retired,
+  // so a resident runtime's registry tracks exactly the current tenant set.
+  std::map<int, std::shared_ptr<obs::Counter>> lanes;
+  for (std::size_t i = 0; i < graph_->size(); ++i) {
+    const int lane = graph_->spec(i).lane;
+    if (lane < 0 || lanes.count(lane) != 0) continue;
+    auto counter = std::make_shared<obs::Counter>();
+    metrics_->attach("rt_lane_tasks_executed_total",
+                     {{"lane", std::to_string(lane)}}, counter,
+                     "Tasks executed, per accounting lane (serve tenants)");
+    lanes.emplace(lane, std::move(counter));
+  }
+  for (const auto& [lane, counter] : lane_tasks_) {
+    if (lanes.count(lane) == 0) {
+      metrics_->remove("rt_lane_tasks_executed_total",
+                       {{"lane", std::to_string(lane)}});
+    }
+  }
+  lane_tasks_ = std::move(lanes);
 }
 
 Runtime::~Runtime() = default;
+
+void Runtime::release_run() {
+  graph_ = nullptr;
+  states_.clear();
+  states_.shrink_to_fit();
+  queues_.clear();
+  outboxes_.clear();
+  channel_.reset();
+  tracer_.clear();
+}
 
 RunStats Runtime::run(TaskGraph& graph) {
   if (!graph.sealed()) graph.seal(config_.nranks);
@@ -454,6 +485,11 @@ void Runtime::execute_task(std::size_t index, int rank, int worker) {
   worker_tasks_[static_cast<std::size_t>(rank * config_.workers_per_rank +
                                          worker)]
       ->inc();
+  if (spec.lane >= 0) {
+    // lane_tasks_ is read-only during the run; find() never races.
+    const auto it = lane_tasks_.find(spec.lane);
+    if (it != lane_tasks_.end()) it->second->inc();
+  }
   executed_tasks_.fetch_add(1, std::memory_order_relaxed);
   if (remaining_tasks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     {

@@ -114,7 +114,21 @@ class Runtime {
   /// Execute the graph to completion. The graph is sealed here if the caller
   /// has not sealed it yet. Throws if any task body threw (first error wins)
   /// or if the graph deadlocks (cyclic dependencies).
+  ///
+  /// A Runtime instance is resident: run() may be called again with another
+  /// graph (the serve layer runs a stream of graphs on one instance). Each
+  /// run starts from a clean slate — fresh schedulers, outboxes, channel,
+  /// task states, and re-attached metric handles — so no ready-queue or
+  /// metric state leaks from one graph into the next (regression-tested by
+  /// runtime_test's ResidentRuntime suite).
   RunStats run(TaskGraph& graph);
+
+  /// Release everything retained from the last run (task states incl. kept
+  /// output buffers, schedulers, outboxes, channel, graph pointer). After
+  /// this, result() throws until the next run(). Call between back-to-back
+  /// graphs on a resident runtime once results are extracted, so a large
+  /// job's buffers don't sit in memory while unrelated jobs execute.
+  void release_run();
 
   /// After run(): buffer published on (task, slot). Only slots with no
   /// consumers are guaranteed to be retained. Throws when absent.
@@ -188,6 +202,11 @@ class Runtime {
   std::vector<std::shared_ptr<obs::Counter>> worker_tasks_;  // rank * W + w
   std::vector<std::shared_ptr<obs::Counter>> tasks_enqueued_;  // per rank
   std::vector<std::shared_ptr<obs::Gauge>> comm_busy_;         // per rank
+  /// Per-lane executed-task counters (rt_lane_tasks_executed_total{lane=}),
+  /// one per distinct TaskSpec::lane >= 0 in the current graph. Lanes from
+  /// the previous run that the current graph lacks are removed from the
+  /// registry, so a resident runtime never scrapes stale tenant series.
+  std::map<int, std::shared_ptr<obs::Counter>> lane_tasks_;
 
   // Per-run state (valid during/after run()).
   TaskGraph* graph_ = nullptr;

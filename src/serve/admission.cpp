@@ -1,0 +1,73 @@
+#include "serve/admission.hpp"
+
+#include <stdexcept>
+
+namespace repro::serve {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  if (config.max_queued < 1 || config.max_queued_per_tenant < 1 ||
+      config.max_cost_per_tenant < 1 || config.max_tenants < 1) {
+    throw std::invalid_argument("AdmissionController: caps must be >= 1");
+  }
+}
+
+RejectReason AdmissionController::try_admit(const std::string& tenant,
+                                            long long cost) {
+  if (cost <= 0) return RejectReason::BadRequest;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return RejectReason::ShuttingDown;
+  if (queued_ >= config_.max_queued) return RejectReason::QueueFull;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    if (static_cast<int>(tenants_.size()) >= config_.max_tenants) {
+      return RejectReason::TenantLimit;
+    }
+    it = tenants_.emplace(tenant, Tenant{}).first;
+  }
+  Tenant& t = it->second;
+  if (t.jobs >= config_.max_queued_per_tenant) return RejectReason::TenantQuota;
+  if (t.cost + cost > config_.max_cost_per_tenant) {
+    // A single job above the tenant cost cap would never fit; still a quota
+    // rejection (the caller can resubmit smaller), not a bad request.
+    return RejectReason::TenantCost;
+  }
+  ++t.jobs;
+  t.cost += cost;
+  ++queued_;
+  queued_cost_ += cost;
+  return RejectReason::None;
+}
+
+void AdmissionController::release(const std::string& tenant, long long cost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  Tenant& t = it->second;
+  if (t.jobs > 0) --t.jobs;
+  t.cost = t.cost > cost ? t.cost - cost : 0;
+  if (queued_ > 0) --queued_;
+  queued_cost_ = queued_cost_ > cost ? queued_cost_ - cost : 0;
+}
+
+void AdmissionController::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+}
+
+bool AdmissionController::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+bool AdmissionController::knows(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_.count(tenant) != 0;
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{queued_, queued_cost_, static_cast<int>(tenants_.size())};
+}
+
+}  // namespace repro::serve

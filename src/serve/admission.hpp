@@ -1,0 +1,66 @@
+// Admission control: bounded queueing with per-tenant quotas.
+//
+// Every SolveRequest passes through try_admit() before it may occupy queue
+// or checkpoint memory; the controller therefore bounds the farm's total
+// footprint by construction — a burst beyond the caps is rejected with a
+// reason, never buffered. Quotas are held until the job reaches a terminal
+// state (release()), so in-flight work counts against its tenant exactly
+// like queued work. The distinct-tenant cap doubles as the bound on tenant
+// label cardinality in the metrics registry.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "serve/serve.hpp"
+
+namespace repro::serve {
+
+struct AdmissionConfig {
+  int max_queued = 64;                ///< global queued+running job cap
+  int max_queued_per_tenant = 16;     ///< per-tenant job cap
+  long long max_cost_per_tenant = 1LL << 26;  ///< per-tenant point-update cap
+  int max_tenants = 32;               ///< distinct tenants ever admitted
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Admit `cost` units of work for `tenant`, or say why not. Thread-safe.
+  RejectReason try_admit(const std::string& tenant, long long cost);
+
+  /// Return the quota held by a finished (or never-dispatched) job. Must be
+  /// called exactly once per successful try_admit, with the same arguments.
+  void release(const std::string& tenant, long long cost);
+
+  /// Reject everything from now on (ShuttingDown). Idempotent.
+  void close();
+  bool closed() const;
+
+  /// Is `tenant` already known (admitted at least once)?
+  bool knows(const std::string& tenant) const;
+
+  struct Stats {
+    int queued = 0;           ///< jobs currently holding quota
+    long long queued_cost = 0;
+    int tenants = 0;          ///< distinct tenants ever admitted
+  };
+  Stats stats() const;
+
+ private:
+  struct Tenant {
+    int jobs = 0;
+    long long cost = 0;
+  };
+
+  AdmissionConfig config_;
+  mutable std::mutex mutex_;
+  bool closed_ = false;
+  int queued_ = 0;
+  long long queued_cost_ = 0;
+  std::map<std::string, Tenant> tenants_;
+};
+
+}  // namespace repro::serve

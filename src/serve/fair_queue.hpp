@@ -1,0 +1,113 @@
+// Deficit-round-robin multiplexing across tenant lanes.
+//
+// Classic DRR (Shreedhar & Varghese): each lane accumulates `quantum` cost
+// units of credit per scheduler visit and may dispatch queued items while
+// its front item fits the accumulated deficit. With equal quanta, long-run
+// throughput converges to an equal share per backlogged lane regardless of
+// item sizes — the fairness the serve report's max/min goodput ratio checks.
+//
+// One serve-specific twist: items at or above `solo_threshold` are
+// dispatched ALONE (a wave of exactly one). The farm runs a wave as a single
+// runtime graph, and a preempted wave aborts the whole graph; keeping large
+// preemptible jobs out of shared waves means preemption can never destroy an
+// innocent small job's work.
+//
+// Not thread-safe — the owner (SolverFarm) serializes access under its own
+// mutex.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace repro::serve {
+
+template <typename T>
+class FairQueue {
+ public:
+  explicit FairQueue(long long quantum)
+      : quantum_(quantum > 0 ? quantum : 1) {}
+
+  /// Append to `lane`'s queue (lanes are dense small ints; the vector grows
+  /// on first use of a lane index).
+  void push(int lane, long long cost, T item) {
+    lane_ref(lane).q.emplace_back(cost, std::move(item));
+    ++size_;
+  }
+
+  /// Prepend — used to resume a preempted job ahead of its lane-mates.
+  void push_front(int lane, long long cost, T item) {
+    lane_ref(lane).q.emplace_front(cost, std::move(item));
+    ++size_;
+  }
+
+  /// Dispatch the next wave: up to `max_items` items in DRR order, except
+  /// that an item with cost >= solo_threshold (> 0) forms a wave by itself.
+  /// Never returns empty while the queue is non-empty — the deficit loop
+  /// cycles until some lane can afford its front item.
+  std::vector<T> pop_wave(std::size_t max_items, long long solo_threshold) {
+    std::vector<T> wave;
+    if (max_items == 0) return wave;
+    while (wave.empty() && size_ > 0) {
+      for (std::size_t visited = 0; visited < lanes_.size(); ++visited) {
+        Lane& lane = lanes_[cursor_];
+        cursor_ = (cursor_ + 1) % lanes_.size();
+        if (lane.q.empty()) {
+          lane.deficit = 0;  // credit does not accrue while idle
+          continue;
+        }
+        lane.deficit += quantum_;
+        while (!lane.q.empty() && wave.size() < max_items) {
+          auto& [cost, item] = lane.q.front();
+          if (cost > lane.deficit) break;
+          const bool solo = solo_threshold > 0 && cost >= solo_threshold;
+          if (solo && !wave.empty()) break;  // next wave, alone
+          lane.deficit -= cost;
+          wave.push_back(std::move(item));
+          lane.q.pop_front();
+          --size_;
+          if (solo) return wave;
+        }
+        if (wave.size() >= max_items) return wave;
+      }
+    }
+    return wave;
+  }
+
+  /// Remove everything, in lane order (shutdown-without-drain cancellation).
+  std::vector<T> drain_all() {
+    std::vector<T> all;
+    all.reserve(size_);
+    for (Lane& lane : lanes_) {
+      for (auto& [cost, item] : lane.q) all.push_back(std::move(item));
+      lane.q.clear();
+      lane.deficit = 0;
+    }
+    size_ = 0;
+    return all;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t lanes() const { return lanes_.size(); }
+
+ private:
+  struct Lane {
+    std::deque<std::pair<long long, T>> q;
+    long long deficit = 0;
+  };
+
+  Lane& lane_ref(int lane) {
+    const auto index = static_cast<std::size_t>(lane < 0 ? 0 : lane);
+    if (index >= lanes_.size()) lanes_.resize(index + 1);
+    return lanes_[index];
+  }
+
+  std::vector<Lane> lanes_;
+  std::size_t cursor_ = 0;
+  long long quantum_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace repro::serve

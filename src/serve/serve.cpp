@@ -1,0 +1,32 @@
+#include "serve/serve.hpp"
+
+namespace repro::serve {
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::None: return "none";
+    case RejectReason::ShuttingDown: return "shutting_down";
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::TenantQuota: return "tenant_quota";
+    case RejectReason::TenantCost: return "tenant_cost";
+    case RejectReason::TenantLimit: return "tenant_limit";
+    case RejectReason::BadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::Completed: return "completed";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::Cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+long long request_cost(const SolveRequest& request) {
+  return static_cast<long long>(request.problem.rows) *
+         request.problem.cols * request.problem.iterations;
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,88 @@
+// serve: a multi-tenant stencil solver service over the task runtime.
+//
+// The paper's solvers run one problem per process; this subsystem turns the
+// same machinery into a resident "solver farm": one long-lived rt::Runtime
+// instance accepts a stream of SolveRequests from concurrent client threads
+// — mixed grid shapes, kernel variants, CA step sizes, deadlines, tenants —
+// and multiplexes them fairly:
+//
+//   * admission.hpp — per-tenant quotas and bounded queueing; every request
+//     is accepted or rejected-with-reason, never buffered without bound.
+//   * fair_queue.hpp — deficit-round-robin dispatch across tenant lanes.
+//   * solver_farm.hpp — the farm itself: small jobs are batched into shared
+//     task graphs (distinct key_space per job), large jobs run in
+//     checkpoint-delimited windows and can be preempted at CA superstep
+//     boundaries, resuming bit-identically from fault::CheckpointStore.
+//   * serve_report.hpp — the machine-readable repro.serve_report/v1 schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stencil/grid.hpp"
+#include "stencil/kernel_opt.hpp"
+#include "stencil/problem.hpp"
+
+namespace repro::serve {
+
+/// Why a request was not admitted. None means "accepted".
+enum class RejectReason {
+  None,
+  ShuttingDown,  ///< farm is draining or stopped
+  QueueFull,     ///< global queued-job cap reached
+  TenantQuota,   ///< tenant's queued-job cap reached
+  TenantCost,    ///< tenant's queued-cost cap reached
+  TenantLimit,   ///< distinct-tenant cap reached (bounds label cardinality)
+  BadRequest,    ///< request fails solver validation (shape, steps, tiles)
+};
+
+const char* reject_reason_name(RejectReason reason);
+
+/// One solve, as submitted by a client. The node grid is a property of the
+/// farm (its resident runtime has a fixed virtual process count); requests
+/// choose everything else about the problem and its decomposition.
+struct SolveRequest {
+  std::string tenant = "default";
+  stencil::Problem problem;
+  int mb = 0;  ///< nominal tile rows
+  int nb = 0;  ///< nominal tile cols
+  int steps = 1;  ///< CA step size; 1 = base variant
+  stencil::KernelVariant kernel = stencil::KernelVariant::Scalar;
+  /// Soft latency target in seconds from submit; 0 = none. Deadline jobs get
+  /// a task-priority boost and (configurably) preempt a running long job
+  /// from another tenant.
+  double deadline_s = 0.0;
+};
+
+/// The work unit the admission controller and the fair scheduler meter:
+/// interior points times iterations (the solve's nominal point updates).
+long long request_cost(const SolveRequest& request);
+
+enum class JobStatus {
+  Completed,  ///< solved; `grid` is the final field
+  Failed,     ///< a task body threw; `error` says why
+  Cancelled,  ///< farm shut down without drain; `grid` holds progress so far
+};
+
+const char* job_status_name(JobStatus status);
+
+/// Terminal result of one job (move-only — it carries the solved field).
+struct SolveResponse {
+  std::uint64_t job_id = 0;
+  std::string tenant;
+  JobStatus status = JobStatus::Failed;
+  std::string error;
+  /// Final field (Completed), the last consistent state (Cancelled with
+  /// progress), or a 1x1 placeholder (Failed / Cancelled before any work —
+  /// Grid2D requires dimensions >= 1, so there is no empty grid).
+  stencil::Grid2D grid{1, 1};
+  int iterations_done = 0;  ///< completed Jacobi sweeps (== problem
+                            ///< iterations when Completed)
+  double wait_s = 0.0;      ///< submit -> first dispatch
+  double run_s = 0.0;       ///< wall time inside runtime waves
+  int preemptions = 0;      ///< times the job yielded at a superstep boundary
+  int windows = 0;          ///< checkpoint windows executed (0 for batched)
+  bool deadline_met = true; ///< false iff deadline_s > 0 and latency exceeded it
+};
+
+}  // namespace repro::serve

@@ -1,0 +1,180 @@
+#include "serve/serve_report.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace repro::serve {
+
+using obs::Json;
+
+void ServeReport::set_param(const std::string& key, Json value) {
+  params_[key] = std::move(value);
+}
+
+void ServeReport::set_total(const std::string& key, Json value) {
+  totals_[key] = std::move(value);
+}
+
+void ServeReport::add_tenant(Json row) {
+  if (!row.is_object()) {
+    throw std::invalid_argument("ServeReport tenant rows must be JSON objects");
+  }
+  tenants_.push_back(std::move(row));
+}
+
+void ServeReport::add_metrics(const obs::MetricsSnapshot& snapshot) {
+  Json exported = obs::to_json(snapshot);
+  for (auto& entry : exported["counters"].as_array()) {
+    counters_.push_back(entry);
+  }
+  for (auto& entry : exported["gauges"].as_array()) {
+    gauges_.push_back(entry);
+  }
+  for (auto& entry : exported["histograms"].as_array()) {
+    histograms_.push_back(entry);
+  }
+}
+
+void ServeReport::add_metrics(const obs::MetricsRegistry& registry) {
+  add_metrics(registry.snapshot());
+}
+
+Json ServeReport::to_json() const {
+  Json out = Json::object();
+  out["schema"] = kSchema;
+  out["name"] = name_;
+  out["params"] = params_;
+  out["tenants"] = tenants_;
+  out["totals"] = totals_;
+  Json metrics = Json::object();
+  metrics["counters"] = counters_;
+  metrics["gauges"] = gauges_;
+  metrics["histograms"] = histograms_;
+  out["metrics"] = std::move(metrics);
+  return out;
+}
+
+std::string ServeReport::to_string(int indent) const {
+  return to_json().dump(indent) + "\n";
+}
+
+void ServeReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("ServeReport: cannot open '" + path +
+                             "' for writing");
+  }
+  out << to_string();
+  if (!out) {
+    throw std::runtime_error("ServeReport: write to '" + path + "' failed");
+  }
+}
+
+namespace {
+
+/// First-failure accumulator, mirroring run_report's validator style.
+struct Checker {
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+  bool fail(const std::string& what) {
+    if (error.empty()) error = what;
+    return false;
+  }
+
+  bool check_scalar(const Json& v, const std::string& where) {
+    if (!ok()) return false;
+    if (v.is_string() || v.is_bool()) return true;
+    if (v.is_number()) {
+      if (!std::isfinite(v.as_number())) {
+        return fail(where + ": number is not finite");
+      }
+      return true;
+    }
+    return fail(where + ": expected a scalar (number, string, or bool)");
+  }
+
+  bool check_scalar_object(const Json& v, const std::string& where) {
+    if (!ok()) return false;
+    if (!v.is_object()) return fail(where + ": expected an object");
+    for (const auto& [key, value] : v.as_object()) {
+      if (!check_scalar(value, where + "." + key)) return false;
+    }
+    return true;
+  }
+
+  bool check_metric_arrays(const Json& v, const std::string& where) {
+    if (!ok()) return false;
+    if (!v.is_object()) return fail(where + ": expected an object");
+    for (const char* key : {"counters", "gauges", "histograms"}) {
+      const Json* arr = v.find(key);
+      if (arr == nullptr) return fail(where + ": missing '" + key + "'");
+      if (!arr->is_array()) {
+        return fail(where + "." + key + ": expected an array");
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool validate_serve_report(const std::string& json_text, std::string* error) {
+  Json doc;
+  std::string parse_error;
+  if (!Json::parse(json_text, &doc, &parse_error)) {
+    if (error != nullptr) *error = "invalid JSON: " + parse_error;
+    return false;
+  }
+  Checker c;
+  [&]() -> bool {
+    if (!doc.is_object()) return c.fail("top level: expected an object");
+    const Json* schema = doc.find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != ServeReport::kSchema) {
+      return c.fail(std::string("top level: 'schema' must be \"") +
+                    ServeReport::kSchema + "\"");
+    }
+    const Json* name = doc.find("name");
+    if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+      return c.fail("top level: missing non-empty string 'name'");
+    }
+    const Json* params = doc.find("params");
+    if (params == nullptr || !c.check_scalar_object(*params, "params")) {
+      return c.fail("params: missing or invalid");
+    }
+    const Json* totals = doc.find("totals");
+    if (totals == nullptr || !c.check_scalar_object(*totals, "totals")) {
+      return c.fail("totals: missing or invalid");
+    }
+    const Json* tenants = doc.find("tenants");
+    if (tenants == nullptr || !tenants->is_array()) {
+      return c.fail("tenants: missing or not an array");
+    }
+    for (std::size_t i = 0; i < tenants->as_array().size(); ++i) {
+      const Json& row = tenants->as_array()[i];
+      const std::string where = "tenants[" + std::to_string(i) + "]";
+      if (!c.check_scalar_object(row, where)) return false;
+      const Json* tenant = row.find("tenant");
+      if (tenant == nullptr || !tenant->is_string()) {
+        return c.fail(where + ": missing string 'tenant'");
+      }
+      for (const char* key : {"submitted", "completed"}) {
+        const Json* v = row.find(key);
+        if (v == nullptr || !v->is_number()) {
+          return c.fail(where + ": missing number '" + key + "'");
+        }
+      }
+    }
+    const Json* metrics = doc.find("metrics");
+    if (metrics == nullptr || !c.check_metric_arrays(*metrics, "metrics")) {
+      return c.fail("metrics: missing or invalid");
+    }
+    return true;
+  }();
+  if (!c.ok() && error != nullptr) *error = c.error;
+  return c.ok();
+}
+
+}  // namespace repro::serve

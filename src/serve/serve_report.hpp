@@ -1,0 +1,62 @@
+// Machine-readable serve-mode reports, sibling of obs::RunReport.
+//
+// Schema "repro.serve_report/v1":
+//
+//   {
+//     "schema":  "repro.serve_report/v1",
+//     "name":    "<harness id>",            // e.g. "bench_serve_saturation"
+//     "params":  { scalar, ... },           // farm + load-generator config
+//     "tenants": [ { "tenant": "...",       // one row per tenant
+//                    "submitted": n, "completed": n, scalar... }, ... ],
+//     "totals":  { scalar, ... },           // farm-wide throughput, fairness
+//     "metrics": { "counters": [...],       // MetricsSnapshot export
+//                  "gauges": [...],
+//                  "histograms": [...] }
+//   }
+//
+// "scalar" means finite number, string, or bool, as in run_report — rows
+// stay flat and diffable. validate_serve_report() enforces the schema; the
+// tools/validate_report CLI dispatches to it on the "schema" field.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace repro::serve {
+
+class ServeReport {
+ public:
+  static constexpr const char* kSchema = "repro.serve_report/v1";
+
+  explicit ServeReport(std::string name) : name_(std::move(name)) {}
+
+  void set_param(const std::string& key, obs::Json value);
+  void set_total(const std::string& key, obs::Json value);
+  /// Append one per-tenant row: an object of scalars that must include a
+  /// string "tenant" and numbers "submitted" and "completed".
+  void add_tenant(obs::Json row);
+  void add_metrics(const obs::MetricsSnapshot& snapshot);
+  void add_metrics(const obs::MetricsRegistry& registry);
+
+  obs::Json to_json() const;
+  std::string to_string(int indent = 2) const;
+  /// Serialize to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  obs::Json params_ = obs::Json::object();
+  obs::Json totals_ = obs::Json::object();
+  obs::Json tenants_ = obs::Json::array();
+  obs::Json counters_ = obs::Json::array();
+  obs::Json gauges_ = obs::Json::array();
+  obs::Json histograms_ = obs::Json::array();
+};
+
+/// Validate a serialized report against repro.serve_report/v1. Returns true
+/// on success; otherwise false with a human-readable reason in *error.
+bool validate_serve_report(const std::string& json_text, std::string* error);
+
+}  // namespace repro::serve

@@ -1,0 +1,533 @@
+#include "serve/solver_farm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "fault/checkpoint.hpp"
+#include "stencil/dist_stencil.hpp"
+#include "stencil/tile_map.hpp"
+#include "support/timing.hpp"
+
+namespace repro::serve {
+
+namespace {
+
+using stencil::Grid2D;
+
+/// Thrown from the superstep hook to abort a window at a consistent state.
+/// The runtime reports it like any task failure; the farm distinguishes
+/// preemption from a genuine error by the job's preempt flag, not by message.
+struct PreemptSignal : std::runtime_error {
+  PreemptSignal() : std::runtime_error("serve: preempted at superstep") {}
+};
+
+std::shared_ptr<Grid2D> copy_grid(const Grid2D& src,
+                                  const stencil::Problem& problem) {
+  auto dst = std::make_shared<Grid2D>(src.rows(), src.cols());
+  dst->fill(
+      [&src](long i, long j) {
+        return src.at(static_cast<int>(i), static_cast<int>(j));
+      },
+      problem.boundary);
+  return dst;
+}
+
+}  // namespace
+
+/// One admitted solve, from submit to terminal state. The dispatcher thread
+/// owns all mutation except `preempt`, which any thread may set.
+struct SolverFarm::Job {
+  std::uint64_t id = 0;
+  SolveRequest req;
+  int lane = 0;
+  long long admitted_cost = 0;
+  bool preemptible = false;
+  double submit_time = 0.0;
+  double first_dispatch = -1.0;
+  /// Iterations of the original problem completed and checkpointed.
+  int done = 0;
+  /// The consistent field at iteration `done` (windowed jobs only).
+  std::shared_ptr<Grid2D> snapshot;
+  fault::CheckpointStore store;
+  std::atomic<bool> preempt{false};
+  int preemptions = 0;
+  int windows = 0;
+  double run_s = 0.0;
+  std::promise<SolveResponse> promise;
+
+  long long remaining_cost() const {
+    return static_cast<long long>(req.problem.rows) * req.problem.cols *
+           (req.problem.iterations - done);
+  }
+};
+
+SolverFarm::SolverFarm(FarmConfig config)
+    : config_(std::move(config)),
+      metrics_(config_.metrics ? config_.metrics
+                               : std::make_shared<obs::MetricsRegistry>()),
+      admission_(config_.admission),
+      queue_(config_.quantum) {
+  if (config_.node_rows < 1 || config_.node_cols < 1 ||
+      config_.workers_per_rank < 1 || config_.quantum < 1 ||
+      config_.max_batch_jobs < 1 || config_.preempt_cost_threshold < 1 ||
+      config_.checkpoint_supersteps < 1) {
+    throw std::invalid_argument("SolverFarm: config values must be >= 1");
+  }
+  rt::Config rc;
+  rc.nranks = nodes();
+  rc.workers_per_rank = config_.workers_per_rank;
+  rc.dedicated_comm_thread = config_.dedicated_comm_thread;
+  rc.scheduler = config_.scheduler;
+  rc.sched_seed = config_.sched_seed;
+  rc.sched_test_hook = config_.sched_test_hook;
+  rc.metrics = metrics_;
+  runtime_ = std::make_unique<rt::Runtime>(rc);
+
+  queue_depth_ = metrics_->gauge("serve_queue_depth", {},
+                                 "Jobs admitted and not yet terminal");
+  waves_batch_ = metrics_->counter("serve_waves_total", {{"kind", "batch"}},
+                                   "Dispatched waves, by kind");
+  waves_window_ = metrics_->counter("serve_waves_total", {{"kind", "window"}},
+                                    "Dispatched waves, by kind");
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+SolverFarm::~SolverFarm() {
+  bool already = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    already = stopping_;
+  }
+  if (!already) shutdown(false);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+RejectReason SolverFarm::validate(const SolveRequest& request) const {
+  const stencil::Problem& p = request.problem;
+  if (p.rows < 1 || p.cols < 1 || p.iterations < 1) {
+    return RejectReason::BadRequest;
+  }
+  if (request.mb < 1 || request.nb < 1 || request.steps < 1) {
+    return RejectReason::BadRequest;
+  }
+  if (p.shape && p.coefficient) return RejectReason::BadRequest;
+  if (request.kernel == stencil::KernelVariant::Temporal &&
+      (p.shape || p.coefficient)) {
+    return RejectReason::BadRequest;
+  }
+  try {
+    if (p.shape) p.shape->validate();
+    const stencil::TileMap map(p.rows, p.cols, request.mb, request.nb,
+                               config_.node_rows, config_.node_cols);
+    const int radius = p.shape ? p.shape->radius : 1;
+    if (radius * request.steps > map.min_tile_extent()) {
+      return RejectReason::BadRequest;
+    }
+  } catch (const std::exception&) {
+    return RejectReason::BadRequest;
+  }
+  return RejectReason::None;
+}
+
+int SolverFarm::lane_for_locked(const std::string& tenant) {
+  const auto it = lanes_.find(tenant);
+  if (it != lanes_.end()) return it->second;
+  const int lane = static_cast<int>(lanes_.size());
+  lanes_.emplace(tenant, lane);
+  stats_[tenant].tenant = tenant;
+  stats_[tenant].lane = lane;
+  return lane;
+}
+
+std::shared_ptr<obs::Counter> SolverFarm::tenant_counter(
+    const std::string& name, const std::string& tenant,
+    const std::string& help) {
+  return metrics_->counter(name, {{"tenant", tenant}}, help);
+}
+
+SolverFarm::Submission SolverFarm::submit(SolveRequest request) {
+  Submission out;
+  const long long cost = request_cost(request);
+  RejectReason reason = validate(request);
+  if (reason == RejectReason::None) {
+    reason = admission_.try_admit(request.tenant, cost);
+  }
+  if (reason != RejectReason::None) {
+    std::string label;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Unknown tenants fold into one "other" row/series so a reject storm
+      // from arbitrary tenant names cannot grow state without bound.
+      label = lanes_.count(request.tenant) != 0 ? request.tenant : "other";
+      TenantStats& s = stats_[label];
+      if (s.tenant.empty()) s.tenant = label;
+      ++s.submitted;
+      ++s.rejected;
+    }
+    tenant_counter("serve_requests_total", label, "Requests submitted")->inc();
+    metrics_
+        ->counter("serve_rejected_total",
+                  {{"tenant", label}, {"reason", reject_reason_name(reason)}},
+                  "Requests rejected, by reason")
+        ->inc();
+    out.rejected = reason;
+    return out;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->req = std::move(request);
+  job->admitted_cost = cost;
+  job->preemptible = cost >= config_.preempt_cost_threshold;
+  job->submit_time = wall_time();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->id = next_id_++;
+    job->lane = lane_for_locked(job->req.tenant);
+    TenantStats& s = stats_[job->req.tenant];
+    ++s.submitted;
+    ++s.accepted;
+    queue_.push(job->lane, cost, job);
+    jobs_.emplace(job->id, job);
+    queue_depth_->set(static_cast<double>(jobs_.size()));
+    if (config_.preempt_on_deadline_submit && job->req.deadline_s > 0) {
+      if (const JobPtr running = running_.lock();
+          running && running->req.tenant != job->req.tenant) {
+        running->preempt.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  tenant_counter("serve_requests_total", job->req.tenant,
+                 "Requests submitted")
+      ->inc();
+  out.job_id = job->id;
+  out.response = job->promise.get_future();
+  cv_.notify_one();
+  return out;
+}
+
+bool SolverFarm::preempt(std::uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  it->second->preempt.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void SolverFarm::shutdown(bool drain) {
+  admission_.close();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    if (!drain) {
+      drain_ = false;
+      if (const JobPtr running = running_.lock()) {
+        running->preempt.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+void SolverFarm::dispatcher_loop() {
+  for (;;) {
+    std::vector<JobPtr> wave;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && (!drain_ || queue_.empty())) break;
+      wave = queue_.pop_wave(static_cast<std::size_t>(config_.max_batch_jobs),
+                             config_.preempt_cost_threshold);
+    }
+    if (wave.empty()) continue;
+    if (wave.size() == 1 && wave[0]->preemptible) {
+      run_window(wave[0]);
+    } else {
+      run_batch(wave);
+    }
+  }
+  // Cancel whatever is still queued (shutdown without drain, or jobs that
+  // arrived after the drain decision).
+  std::vector<JobPtr> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftovers = queue_.drain_all();
+  }
+  for (const JobPtr& job : leftovers) cancel(job);
+}
+
+namespace {
+
+stencil::DistConfig make_dist_config(const SolveRequest& req, int node_rows,
+                                     int node_cols, std::uint32_t key_space,
+                                     int lane) {
+  stencil::DistConfig cfg;
+  cfg.decomp = {req.mb, req.nb, node_rows, node_cols};
+  cfg.steps = req.steps;
+  cfg.kernel = req.kernel;
+  cfg.key_space = key_space;
+  cfg.lane = lane;
+  // Per-job task priorities span 0..2; a bias of 3 lifts every task of a
+  // deadline job above every task of a best-effort one.
+  cfg.priority_bias = req.deadline_s > 0 ? 3 : 0;
+  return cfg;
+}
+
+}  // namespace
+
+void SolverFarm::run_batch(std::vector<JobPtr>& wave) {
+  rt::TaskGraph graph;
+  std::vector<stencil::SolveSubgraph> subgraphs;
+  subgraphs.reserve(wave.size());
+  const double start = wall_time();
+  for (const JobPtr& job : wave) {
+    if (job->first_dispatch < 0) job->first_dispatch = start;
+  }
+  std::string error;
+  try {
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      subgraphs.push_back(stencil::add_solve_subgraph(
+          graph, wave[i]->req.problem,
+          make_dist_config(wave[i]->req, config_.node_rows, config_.node_cols,
+                           static_cast<std::uint32_t>(i), wave[i]->lane)));
+    }
+    waves_batch_->inc();
+    runtime_->run(graph);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  const double elapsed = wall_time() - start;
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    const JobPtr& job = wave[i];
+    job->run_s += elapsed;
+    SolveResponse response;
+    if (error.empty()) {
+      response.status = JobStatus::Completed;
+      response.grid = subgraphs[i].gather(*runtime_);
+      response.iterations_done = job->req.problem.iterations;
+    } else {
+      response.status = JobStatus::Failed;
+      response.error = error;
+    }
+    fulfill(job, std::move(response));
+  }
+  runtime_->release_run();
+}
+
+void SolverFarm::run_window(const JobPtr& job) {
+  const stencil::Problem& p = job->req.problem;
+  const int steps = std::max(1, job->req.steps);
+  const stencil::TileMap map(p.rows, p.cols, job->req.mb, job->req.nb,
+                             config_.node_rows, config_.node_cols);
+  const auto total_tiles =
+      static_cast<std::size_t>(map.tiles_r()) * map.tiles_c();
+
+  if (!job->snapshot) {
+    job->snapshot = std::make_shared<Grid2D>(p.rows, p.cols);
+    job->snapshot->fill(p.initial, p.boundary);
+  }
+  const int base = job->done;
+  const int iters =
+      std::min(config_.checkpoint_supersteps * steps, p.iterations - base);
+
+  stencil::Problem sub = p;
+  sub.iterations = iters;
+  const std::shared_ptr<Grid2D> snapshot = job->snapshot;
+  sub.initial = [snapshot](long i, long j) {
+    return snapshot->at(static_cast<int>(i), static_cast<int>(j));
+  };
+
+  stencil::DistConfig cfg = make_dist_config(
+      job->req, config_.node_rows, config_.node_cols, 0, job->lane);
+  const auto observer = config_.superstep_observer;
+  const JobPtr hook_job = job;
+  cfg.superstep_hook = [hook_job, base, observer](
+                           int k, int ti, int tj,
+                           const std::vector<double>& core) {
+    hook_job->store.store(base + k, ti, tj, core);
+    if (observer) observer(hook_job->id, base + k);
+    // Yield only at a boundary with progress (k == 0 re-records the window
+    // start — aborting there would spin without advancing).
+    if (k > 0 && hook_job->preempt.load(std::memory_order_relaxed)) {
+      throw PreemptSignal();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = job;
+  }
+  if (job->first_dispatch < 0) job->first_dispatch = wall_time();
+  ++job->windows;
+  waves_window_->inc();
+
+  rt::TaskGraph graph;
+  std::string error;
+  bool ok = true;
+  const double start = wall_time();
+  try {
+    const stencil::SolveSubgraph subgraph =
+        stencil::add_solve_subgraph(graph, sub, cfg);
+    runtime_->run(graph);
+    job->run_s += wall_time() - start;
+    Grid2D result = subgraph.gather(*runtime_);
+    runtime_->release_run();
+    job->done = base + iters;
+    job->store.trim_below(job->done);
+    if (job->done >= p.iterations) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        running_.reset();
+      }
+      SolveResponse response;
+      response.status = JobStatus::Completed;
+      response.grid = std::move(result);
+      response.iterations_done = job->done;
+      fulfill(job, std::move(response));
+      return;
+    }
+    job->snapshot = copy_grid(result, p);
+  } catch (const std::exception& e) {
+    ok = false;
+    error = e.what();
+    job->run_s += wall_time() - start;
+    runtime_->release_run();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_.reset();
+  }
+
+  if (!ok) {
+    if (job->preempt.exchange(false, std::memory_order_relaxed)) {
+      // Preempted: roll back to the newest complete superstep (possibly
+      // ahead of the window start) and requeue at the lane front.
+      ++job->preemptions;
+      const int resume = job->store.last_complete_superstep(total_tiles);
+      if (resume > job->done) {
+        auto recovered = std::make_shared<Grid2D>(p.rows, p.cols);
+        recovered->fill([](long, long) { return 0.0; }, p.boundary);
+        for (const auto& [coord, core] : job->store.tiles(resume)) {
+          const auto [ti, tj] = coord;
+          const int h = map.tile_h(ti);
+          const int w = map.tile_w(tj);
+          for (int i = 0; i < h; ++i) {
+            for (int j = 0; j < w; ++j) {
+              recovered->at(map.row0(ti) + i, map.col0(tj) + j) =
+                  core[static_cast<std::size_t>(i) * w + j];
+            }
+          }
+        }
+        job->snapshot = std::move(recovered);
+        job->done = resume;
+      }
+      job->store.trim_below(job->done);
+      tenant_counter("serve_preemptions_total", job->req.tenant,
+                     "Superstep-boundary preemptions")
+          ->inc();
+    } else {
+      SolveResponse response;
+      response.status = JobStatus::Failed;
+      response.error = error;
+      response.iterations_done = job->done;
+      fulfill(job, std::move(response));
+      return;
+    }
+  }
+
+  // Window done (or rolled back): requeue the remainder. push_front keeps
+  // the job ahead of lane-mates so its checkpoints stay warm; DRR still
+  // gives other lanes their quantum first.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_front(job->lane, job->remaining_cost(), job);
+  }
+  cv_.notify_one();
+}
+
+void SolverFarm::cancel(const JobPtr& job) {
+  SolveResponse response;
+  response.status = JobStatus::Cancelled;
+  response.iterations_done = job->done;
+  if (job->snapshot && job->done > 0) {
+    // Hand back the checkpointed progress so a client (or a future farm)
+    // can resume from iteration `done`.
+    const Grid2D& snap = *job->snapshot;
+    Grid2D progress(snap.rows(), snap.cols());
+    progress.fill(
+        [&snap](long i, long j) {
+          return snap.at(static_cast<int>(i), static_cast<int>(j));
+        },
+        job->req.problem.boundary);
+    response.grid = std::move(progress);
+  }
+  fulfill(job, std::move(response));
+}
+
+void SolverFarm::fulfill(const JobPtr& job, SolveResponse&& response) {
+  response.job_id = job->id;
+  response.tenant = job->req.tenant;
+  response.preemptions = job->preemptions;
+  response.windows = job->windows;
+  response.run_s = job->run_s;
+  const double now = wall_time();
+  const double latency = now - job->submit_time;
+  response.wait_s = job->first_dispatch >= 0
+                        ? job->first_dispatch - job->submit_time
+                        : latency;
+  response.deadline_met =
+      job->req.deadline_s <= 0 || latency <= job->req.deadline_s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TenantStats& s = stats_[job->req.tenant];
+    switch (response.status) {
+      case JobStatus::Completed:
+        ++s.completed;
+        s.goodput_points += job->admitted_cost;
+        if (s.latency_s.size() < kMaxLatencySamples) {
+          s.latency_s.push_back(latency);
+        }
+        break;
+      case JobStatus::Failed:
+        ++s.failed;
+        break;
+      case JobStatus::Cancelled:
+        ++s.cancelled;
+        break;
+    }
+    s.preemptions += static_cast<std::uint64_t>(job->preemptions);
+    s.windows += static_cast<std::uint64_t>(job->windows);
+    if (!response.deadline_met) ++s.deadline_misses;
+    jobs_.erase(job->id);
+    queue_depth_->set(static_cast<double>(jobs_.size()));
+  }
+  metrics_
+      ->counter("serve_jobs_total",
+                {{"tenant", job->req.tenant},
+                 {"status", job_status_name(response.status)}},
+                "Jobs reaching a terminal state, by status")
+      ->inc();
+  if (response.status == JobStatus::Completed) {
+    tenant_counter("serve_goodput_points_total", job->req.tenant,
+                   "Nominal point updates of completed jobs")
+        ->add(static_cast<std::uint64_t>(job->admitted_cost));
+    metrics_
+        ->histogram("serve_latency_seconds", obs::duration_seconds_bounds(),
+                    {{"tenant", job->req.tenant}},
+                    "Submit-to-completion latency")
+        ->observe(latency);
+  }
+  admission_.release(job->req.tenant, job->admitted_cost);
+  job->promise.set_value(std::move(response));
+}
+
+std::vector<TenantStats> SolverFarm::tenant_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TenantStats> out;
+  out.reserve(stats_.size());
+  for (const auto& [tenant, s] : stats_) out.push_back(s);
+  return out;
+}
+
+}  // namespace repro::serve

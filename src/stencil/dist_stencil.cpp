@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
@@ -12,7 +13,9 @@ namespace repro::stencil {
 
 namespace {
 
-// Task types and output slots of the stencil graph.
+// Task types and output slots of the stencil graph. A solve's key space
+// shifts both types by key_space * 2, so batched solves sharing one graph
+// stay collision-free.
 constexpr std::uint32_t kTypeInit = 0;  // INIT(0, ti, tj)
 constexpr std::uint32_t kTypeStep = 1;  // STEP(k, ti, tj), k in 1..iterations
 
@@ -174,7 +177,13 @@ class Builder {
             TileMap(problem.rows, problem.cols, config.decomp.mb,
                     config.decomp.nb, config.decomp.node_rows,
                     config.decomp.node_cols),
-            config.steps, config.kernel_ratio)) {
+            config.steps, config.kernel_ratio)),
+        type_base_(config.key_space * 2),
+        priority_bias_(config.priority_bias),
+        lane_(config.lane) {
+    if (config.key_space > (std::numeric_limits<std::uint32_t>::max() - 1) / 2) {
+      throw std::invalid_argument("key_space out of range");
+    }
     shared_->hook = config.superstep_hook;
     shared_->kernel = config.kernel;
     shared_->tuning = config.tuning;
@@ -221,8 +230,7 @@ class Builder {
     return tiles_[static_cast<std::size_t>(ti) * shared_->map.tiles_c() + tj];
   }
 
-  rt::TaskGraph build() {
-    rt::TaskGraph graph;
+  void build(rt::TaskGraph& graph) {
     const TileMap& map = shared_->map;
     const int iters = shared_->problem.iterations;
     const int steps = shared_->steps;
@@ -243,19 +251,20 @@ class Builder {
         }
       }
     }
-    return graph;
   }
 
-  static rt::TaskKey init_key(int ti, int tj) {
-    return rt::TaskKey{kTypeInit, 0, ti, tj};
+  rt::TaskKey init_key(int ti, int tj) const {
+    return rt::TaskKey{type_base_ + kTypeInit, 0, ti, tj};
   }
-  static rt::TaskKey step_key(int k, int ti, int tj) {
-    return rt::TaskKey{kTypeStep, k, ti, tj};
+  rt::TaskKey step_key(int k, int ti, int tj) const {
+    return rt::TaskKey{type_base_ + kTypeStep, k, ti, tj};
   }
   /// The task holding tile (ti,tj)'s state after iteration k.
-  static rt::TaskKey state_key(int k, int ti, int tj) {
+  rt::TaskKey state_key(int k, int ti, int tj) const {
     return k == 0 ? init_key(ti, tj) : step_key(k, ti, tj);
   }
+
+  std::uint32_t type_base() const { return type_base_; }
 
  private:
   bool superstep_start(int k) const { return (k - 1) % shared_->steps == 0; }
@@ -304,12 +313,13 @@ class Builder {
     rt::TaskSpec spec;
     spec.key = init_key(info.ti, info.tj);
     spec.rank = info.rank;
+    spec.lane = lane_;
     spec.klass = "init";
 
     auto shared = shared_;
     const TileInfo tile_info = info;
     const PackPlan plan = pack_plan(info, 0);
-    spec.priority = task_priority(info.boundary, plan);
+    spec.priority = task_priority(info.boundary, plan) + priority_bias_;
     const int depth = shared_->radius * shared_->steps;
     spec.body = [shared, tile_info, plan, depth](rt::TaskContext& ctx) {
       const TileGeom& g = tile_info.geom;
@@ -355,7 +365,9 @@ class Builder {
     rt::TaskSpec spec;
     spec.key = step_key(k, info.ti, info.tj);
     spec.rank = info.rank;
-    spec.priority = task_priority(info.boundary, pack_plan(info, k));
+    spec.lane = lane_;
+    spec.priority = task_priority(info.boundary, pack_plan(info, k)) +
+                    priority_bias_;
     spec.klass = info.boundary ? "boundary" : "interior";
 
     const bool start = superstep_start(k);
@@ -363,7 +375,7 @@ class Builder {
     // Input order: own prev state; local neighbor states (N,S,W,E); then at
     // superstep starts, remote bands (N,S,W,E) and remote corners
     // (NW,NE,SW,SE). Body indexes inputs in exactly this order.
-    spec.inputs.push_back({Builder::state_key(k - 1, info.ti, info.tj),
+    spec.inputs.push_back({state_key(k - 1, info.ti, info.tj),
                            kSlotState});
     for (Side s : kAllSides) {
       if (info.side_local[static_cast<int>(s)]) {
@@ -514,7 +526,9 @@ class Builder {
     rt::TaskSpec spec;
     spec.key = step_key(k_end, info.ti, info.tj);
     spec.rank = info.rank;
-    spec.priority = task_priority(info.boundary, pack_plan(info, k_end));
+    spec.lane = lane_;
+    spec.priority = task_priority(info.boundary, pack_plan(info, k_end)) +
+                    priority_bias_;
     spec.klass = info.boundary ? "boundary" : "interior";
 
     // Input order: own previous-boundary state; neighbor bands (N,S,W,E);
@@ -609,17 +623,94 @@ class Builder {
   }
 
   std::shared_ptr<Shared> shared_;
+  std::uint32_t type_base_ = 0;
+  int priority_bias_ = 0;
+  int lane_ = -1;
   std::vector<TileInfo> tiles_;
 };
 
 }  // namespace
 
+// ----------------------------------------------------------- subgraph API --
+
+/// Everything gather() needs, captured at build time. Holds the Builder
+/// itself (its Shared context carries the live computed_points counter the
+/// task bodies update).
+struct SolveSubgraph::Impl {
+  Impl(const Problem& problem, const DistConfig& config)
+      : builder(problem, config), kernel_ratio(config.kernel_ratio) {}
+
+  Builder builder;
+  double kernel_ratio;
+};
+
+int SolveSubgraph::nodes() const { return impl_->builder.map().nodes(); }
+
+std::size_t SolveSubgraph::tasks() const {
+  const Shared& shared = *impl_->builder.shared();
+  const TileMap& map = shared.map;
+  const auto tiles = static_cast<std::size_t>(map.tiles_r()) * map.tiles_c();
+  const int iters = shared.problem.iterations;
+  const int steps = shared.steps;
+  const int per_tile =
+      1 + (shared.fused ? (iters + steps - 1) / steps : iters);
+  return tiles * static_cast<std::size_t>(per_tile);
+}
+
+Grid2D SolveSubgraph::gather(const rt::Runtime& runtime) const {
+  const Builder& builder = impl_->builder;
+  const Shared& shared = *builder.shared();
+  const TileMap& map = shared.map;
+  const Problem& problem = shared.problem;
+
+  Grid2D grid(problem.rows, problem.cols);
+  grid.fill([](long, long) { return 0.0; }, problem.boundary);
+  for (int ti = 0; ti < map.tiles_r(); ++ti) {
+    for (int tj = 0; tj < map.tiles_c(); ++tj) {
+      const rt::Buffer state = runtime.result(
+          builder.state_key(problem.iterations, ti, tj), 0);
+      const TileGeom& g = builder.tile(ti, tj).geom;
+      for (int i = 0; i < g.h; ++i) {
+        for (int j = 0; j < g.w; ++j) {
+          grid.at(map.row0(ti) + i, map.col0(tj) + j) = (*state)[g.idx(i, j)];
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+long long SolveSubgraph::computed_points() const {
+  return impl_->builder.shared()->computed_points.load();
+}
+
+long long SolveSubgraph::nominal_points() const {
+  const Problem& problem = impl_->builder.shared()->problem;
+  auto nominal = static_cast<long long>(problem.rows) * problem.cols *
+                 problem.iterations;
+  if (impl_->kernel_ratio < 1.0) {
+    // Nominal work shrinks with the ratio squared (paper's definition).
+    nominal = static_cast<long long>(static_cast<double>(nominal) *
+                                     impl_->kernel_ratio *
+                                     impl_->kernel_ratio);
+  }
+  return nominal;
+}
+
+SolveSubgraph add_solve_subgraph(rt::TaskGraph& graph, const Problem& problem,
+                                 const DistConfig& config) {
+  SolveSubgraph subgraph;
+  subgraph.impl_ = std::make_shared<SolveSubgraph::Impl>(problem, config);
+  subgraph.impl_->builder.build(graph);
+  return subgraph;
+}
+
 DistResult run_distributed(const Problem& problem, const DistConfig& config) {
-  Builder builder(problem, config);
-  rt::TaskGraph graph = builder.build();
+  rt::TaskGraph graph;
+  const SolveSubgraph subgraph = add_solve_subgraph(graph, problem, config);
 
   rt::Config rt_config;
-  rt_config.nranks = builder.map().nodes();
+  rt_config.nranks = subgraph.nodes();
   rt_config.workers_per_rank = config.workers_per_rank;
   rt_config.dedicated_comm_thread = config.dedicated_comm_thread;
   rt_config.trace = config.trace;
@@ -634,41 +725,14 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
   rt::Runtime runtime(rt_config);
   rt::RunStats stats = runtime.run(graph);
 
-  const TileMap& map = builder.map();
-  DistResult result{Grid2D(problem.rows, problem.cols), std::move(stats), {},
+  DistResult result{subgraph.gather(runtime), std::move(stats), {},
                     0, 0,
                     problem.shape ? problem.shape->flops_per_point()
                                   : kFlopsPerPoint,
                     {}};
-  result.grid.fill([](long, long) { return 0.0; }, problem.boundary);
-
-  for (int ti = 0; ti < map.tiles_r(); ++ti) {
-    for (int tj = 0; tj < map.tiles_c(); ++tj) {
-      const rt::Buffer state = runtime.result(
-          Builder::state_key(problem.iterations, ti, tj), 0);
-      const TileInfo info = make_tile_info(
-          map, config.steps, builder.shared()->radius, builder.shared()->box,
-          builder.shared()->fused, ti, tj);
-      const TileGeom& g = info.geom;
-      for (int i = 0; i < g.h; ++i) {
-        for (int j = 0; j < g.w; ++j) {
-          result.grid.at(map.row0(ti) + i, map.col0(tj) + j) =
-              (*state)[g.idx(i, j)];
-        }
-      }
-    }
-  }
-
   result.trace_events = runtime.tracer().events();
-  result.computed_points = builder.shared()->computed_points.load();
-  result.nominal_points = static_cast<long long>(problem.rows) * problem.cols *
-                          problem.iterations;
-  if (config.kernel_ratio < 1.0) {
-    // Nominal work shrinks with the ratio squared (paper's definition).
-    result.nominal_points = static_cast<long long>(
-        static_cast<double>(result.nominal_points) * config.kernel_ratio *
-        config.kernel_ratio);
-  }
+  result.computed_points = subgraph.computed_points();
+  result.nominal_points = subgraph.nominal_points();
 
   result.metrics = rt_config.metrics;
   if constexpr (obs::kEnabled) {

@@ -82,6 +82,18 @@ struct DistConfig {
   std::uint64_t sched_seed = 0;
   /// Schedule-fuzzing hook, forwarded to the runtime (tests only).
   std::shared_ptr<rt::SchedTestHook> sched_test_hook{};
+  /// Task-key namespace. Every task key's type becomes
+  /// key_space * 2 + {0 = INIT, 1 = STEP}, so several solves can coexist in
+  /// one TaskGraph without key collisions (the serve layer batches small
+  /// jobs into shared graphs this way). 0 = the classic single-job keys.
+  std::uint32_t key_space = 0;
+  /// Added to every task's priority. The serve layer maps tenant lanes onto
+  /// the scheduler's priority levels with this knob (a latency-sensitive
+  /// tenant's interior tasks outrank a batch tenant's halo publishes when
+  /// bias >= 3, since the per-job priorities span 0..2).
+  int priority_bias = 0;
+  /// Accounting lane stamped on every task (rt::TaskSpec::lane); -1 = none.
+  int lane = -1;
 };
 
 struct DistResult {
@@ -110,5 +122,41 @@ struct DistResult {
 /// Run the distributed solver. Validates that `steps` fits the decomposition
 /// (1 <= steps <= smallest tile extent) and that tile/node grids are sound.
 DistResult run_distributed(const Problem& problem, const DistConfig& config);
+
+/// Handle to one solve compiled into a (possibly shared) TaskGraph by
+/// add_solve_subgraph(). After a runtime has executed the graph, gather()
+/// reassembles the final field from the retained state buffers. The handle
+/// stays valid for exactly one run — gather before Runtime::release_run().
+class SolveSubgraph {
+ public:
+  /// Virtual process count the subgraph was decomposed for; must equal the
+  /// executing runtime's nranks.
+  int nodes() const;
+  /// Tasks this solve contributed to the graph.
+  std::size_t tasks() const;
+  /// Gather the solve's final field. Throws if the graph has not run.
+  Grid2D gather(const rt::Runtime& runtime) const;
+  /// Stencil points updated (redundant recompute included); valid after run.
+  long long computed_points() const;
+  /// rows * cols * iterations (no redundancy).
+  long long nominal_points() const;
+
+  struct Impl;
+
+ private:
+  friend SolveSubgraph add_solve_subgraph(rt::TaskGraph& graph,
+                                          const Problem& problem,
+                                          const DistConfig& config);
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Compile one solve into `graph` (the multi-tenant entry point: the serve
+/// layer batches several solves — distinct key_space values — into one graph
+/// and runs them on a resident runtime). Performs the same validation as
+/// run_distributed. The runtime-level DistConfig knobs (workers, scheduler,
+/// channel_factory, ...) are ignored here; only the decomposition, CA steps,
+/// kernel, hook, key_space, priority_bias, and lane matter.
+SolveSubgraph add_solve_subgraph(rt::TaskGraph& graph, const Problem& problem,
+                                 const DistConfig& config);
 
 }  // namespace repro::stencil

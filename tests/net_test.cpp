@@ -346,5 +346,40 @@ TEST(Netpipe, ModeledTrafficTimeSumsPerMessage) {
   transport.close();
 }
 
+
+TEST(Transport, DestinationLabelCardinalityIsCapped) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  const int nranks = Transport::kMaxDstSeries + 8;
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  Transport transport(nranks, metrics);
+
+  // Exactly kMaxDstSeries per-destination series plus one shared overflow
+  // bucket, no matter how large the rank count grows.
+  int series = 0;
+  for (const auto& c : metrics->snapshot().counters) {
+    if (c.name == "net_messages_total") ++series;
+  }
+  EXPECT_EQ(series, Transport::kMaxDstSeries + 1);
+
+  for (int r = 0; r < nranks; ++r) {
+    Message m;
+    m.src = 0;
+    m.dst = r;
+    m.payload.assign(4, 1.0);
+    transport.send(std::move(m));
+  }
+
+  // Capped destinations alias the overflow series...
+  const auto* overflow = metrics->snapshot().find_counter(
+      "net_messages_total", {{"dst", "overflow"}});
+  ASSERT_NE(overflow, nullptr);
+  EXPECT_EQ(overflow->value, 8u);
+
+  // ...and the global traffic view stays exact (no double counting).
+  const TrafficStats stats = transport.stats();
+  EXPECT_EQ(stats.messages, static_cast<std::uint64_t>(nranks));
+  transport.close();
+}
+
 }  // namespace
 }  // namespace repro::net

@@ -553,5 +553,123 @@ TEST(Runtime, FuzzedLayeredDagMatchesSequentialEvaluation) {
   }
 }
 
+
+// ---------------------------------------------------------------------------
+// ResidentRuntime: one Runtime instance executing back-to-back graphs (the
+// serve farm's mode of operation). Regression suite for run()'s clean-slate
+// contract: no ready-queue, result, or metric state may leak between runs.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Add a source -> kStages chain under key type `type`, alternating ranks.
+/// Final value per element: base + stages.
+void add_chain(TaskGraph& graph, std::uint32_t type, int stages, double base,
+               int lane = -1) {
+  TaskSpec source;
+  source.key = key(type);
+  source.rank = 0;
+  source.lane = lane;
+  source.body = [base](TaskContext& ctx) {
+    ctx.publish(0, std::vector<double>{base, base + 1.0});
+  };
+  graph.add_task(source);
+  for (int s = 1; s <= stages; ++s) {
+    TaskSpec stage;
+    stage.key = key(type, s);
+    stage.rank = s % 2;
+    stage.lane = lane;
+    stage.inputs = {{s == 1 ? key(type) : key(type, s - 1), 0}};
+    stage.body = [](TaskContext& ctx) {
+      auto in = ctx.input(0);
+      std::vector<double> out(in.begin(), in.end());
+      for (double& v : out) v += 1.0;
+      ctx.publish(0, std::move(out));
+    };
+    graph.add_task(stage);
+  }
+}
+
+}  // namespace
+
+TEST(ResidentRuntime, BackToBackGraphsComputeIndependently) {
+  Runtime runtime(Config{2, 2, true, false});
+
+  TaskGraph first;
+  add_chain(first, 7, 5, 10.0);
+  const RunStats stats_a = runtime.run(first);
+  EXPECT_EQ(stats_a.tasks_executed, 6u);
+  EXPECT_DOUBLE_EQ((*runtime.result(key(7, 5), 0))[0], 15.0);
+
+  // A different graph — different keys, more tasks — on the same instance.
+  TaskGraph second;
+  add_chain(second, 9, 8, 100.0);
+  const RunStats stats_b = runtime.run(second);
+  EXPECT_EQ(stats_b.tasks_executed, 9u);
+  EXPECT_DOUBLE_EQ((*runtime.result(key(9, 8), 0))[0], 108.0);
+
+  // Per-run stats must reflect the second run only, not accumulate.
+  EXPECT_EQ(stats_b.messages, 8u);
+
+  // Metric handles are re-attached per run: the scrape shows run B's counts.
+  const auto snapshot = runtime.metrics()->snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.counter_total("rt_tasks_executed_total"), 9.0);
+}
+
+TEST(ResidentRuntime, ReleaseRunDropsResultsButAllowsNextRun) {
+  Runtime runtime(Config{2, 1, true, false});
+
+  TaskGraph first;
+  add_chain(first, 3, 2, 1.0);
+  runtime.run(first);
+  EXPECT_DOUBLE_EQ((*runtime.result(key(3, 2), 0))[0], 3.0);
+
+  runtime.release_run();
+  EXPECT_THROW(runtime.result(key(3, 2), 0), std::exception);
+
+  TaskGraph second;
+  add_chain(second, 3, 4, 2.0);  // same keys as the released graph
+  runtime.run(second);
+  EXPECT_DOUBLE_EQ((*runtime.result(key(3, 4), 0))[0], 6.0);
+}
+
+TEST(ResidentRuntime, LaneCountersTrackCurrentGraphAndRetireStaleLanes) {
+  Runtime runtime(Config{2, 1, true, false});
+
+  TaskGraph first;
+  add_chain(first, 1, 3, 0.0, /*lane=*/0);   // 4 tasks on lane 0
+  add_chain(first, 2, 1, 0.0, /*lane=*/5);   // 2 tasks on lane 5
+  runtime.run(first);
+  {
+    const auto snapshot = runtime.metrics()->snapshot();
+    const auto* lane0 = snapshot.find_counter("rt_lane_tasks_executed_total",
+                                              {{"lane", "0"}});
+    const auto* lane5 = snapshot.find_counter("rt_lane_tasks_executed_total",
+                                              {{"lane", "5"}});
+    ASSERT_NE(lane0, nullptr);
+    ASSERT_NE(lane5, nullptr);
+    EXPECT_EQ(lane0->value, 4u);
+    EXPECT_EQ(lane5->value, 2u);
+  }
+
+  // The next graph uses only lane 5: lane 0's series must disappear (a
+  // resident registry never scrapes tenants that no longer exist) and lane
+  // 5 must restart from zero, not accumulate.
+  TaskGraph second;
+  add_chain(second, 1, 2, 0.0, /*lane=*/5);
+  runtime.run(second);
+  {
+    const auto snapshot = runtime.metrics()->snapshot();
+    EXPECT_EQ(snapshot.find_counter("rt_lane_tasks_executed_total",
+                                    {{"lane", "0"}}),
+              nullptr);
+    const auto* lane5 = snapshot.find_counter("rt_lane_tasks_executed_total",
+                                              {{"lane", "5"}});
+    ASSERT_NE(lane5, nullptr);
+    EXPECT_EQ(lane5->value, 3u);
+  }
+}
+
+
 }  // namespace
 }  // namespace repro::rt

@@ -14,15 +14,19 @@
 // lane runs the full sweep). Every assertion carries the failing seed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <future>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "runtime/runtime.hpp"
+#include "serve/solver_farm.hpp"
 #include "stencil/dist_stencil.hpp"
 #include "stencil/serial.hpp"
 #include "support/rng.hpp"
@@ -252,6 +256,67 @@ TEST(SchedFuzz, SeededRunsStayBitIdenticalWithoutHook) {
     const stencil::DistResult result = run_distributed(problem, config);
     ASSERT_EQ(stencil::Grid2D::max_abs_diff(expected, result.grid), 0.0)
         << "FAILING SEED=" << seed;
+  }
+}
+
+// The solver farm rides the same seed pool: a resident runtime multiplexing
+// a batch of small tenants plus one windowed (checkpoint/resume) job, all
+// under the adversarial hook. Every schedule must hand every tenant bits
+// identical to the serial reference.
+TEST(SchedFuzz, SolverFarmBitIdenticalUnderAllSchedules) {
+  const stencil::Problem small =
+      stencil::random_problem(kRows, kCols, kIters, 0x5eed);
+  const stencil::Grid2D small_expected = solve_serial(small);
+  const stencil::Problem big = stencil::random_problem(20, 20, 8, 0xb16);
+  const stencil::Grid2D big_expected = solve_serial(big);
+
+  const int seeds = std::min(seeds_per_config(), 12);
+  for (int seed = 0; seed < seeds; ++seed) {
+    serve::FarmConfig config;
+    config.node_rows = 2;
+    config.node_cols = 2;
+    config.workers_per_rank = 4;
+    config.scheduler = rt::SchedPolicy::WorkStealing;
+    config.sched_seed = static_cast<std::uint64_t>(seed);
+    config.sched_test_hook = make_fuzz_hook(static_cast<std::uint64_t>(seed));
+    config.preempt_cost_threshold = 20 * 20 * 8;  // the big job is windowed
+    config.checkpoint_supersteps = 1;
+    serve::SolverFarm farm(config);
+
+    std::vector<std::future<serve::SolveResponse>> futures;
+    std::vector<const stencil::Grid2D*> expected;
+    for (int t = 0; t < 3; ++t) {
+      serve::SolveRequest request;
+      request.tenant = "t" + std::to_string(t);
+      request.problem = small;
+      request.mb = 4;
+      request.nb = 5;
+      request.steps = 2;
+      auto submission = farm.submit(request);
+      ASSERT_TRUE(submission.accepted()) << "seed " << seed;
+      futures.push_back(std::move(submission.response));
+      expected.push_back(&small_expected);
+    }
+    serve::SolveRequest windowed;
+    windowed.tenant = "big";
+    windowed.problem = big;
+    windowed.mb = 5;
+    windowed.nb = 5;
+    windowed.steps = 2;
+    auto submission = farm.submit(windowed);
+    ASSERT_TRUE(submission.accepted()) << "seed " << seed;
+    futures.push_back(std::move(submission.response));
+    expected.push_back(&big_expected);
+
+    farm.shutdown(/*drain=*/true);
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      serve::SolveResponse response = futures[i].get();
+      ASSERT_EQ(response.status, serve::JobStatus::Completed)
+          << response.error << " job " << i << " FAILING SEED=" << seed;
+      ASSERT_EQ(stencil::Grid2D::max_abs_diff(response.grid, *expected[i]),
+                0.0)
+          << "job " << i << " FAILING SEED=" << seed;
+    }
   }
 }
 

@@ -1,0 +1,276 @@
+// End-to-end tests for the solver farm: multi-tenant batches against the
+// serial reference, seeded superstep preemption with bit-identical resume,
+// deterministic rejection, and graceful shutdown in both drain modes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/serve_report.hpp"
+#include "serve/solver_farm.hpp"
+#include "stencil/serial.hpp"
+
+namespace repro::serve {
+namespace {
+
+using stencil::Grid2D;
+
+FarmConfig small_farm_config() {
+  FarmConfig config;
+  config.node_rows = 2;
+  config.node_cols = 2;
+  config.workers_per_rank = 2;
+  return config;
+}
+
+SolveRequest make_request(const std::string& tenant, int rows, int cols,
+                          int iters, int mb, int nb, int steps,
+                          unsigned long seed) {
+  SolveRequest request;
+  request.tenant = tenant;
+  request.problem = stencil::random_problem(rows, cols, iters, seed);
+  request.mb = mb;
+  request.nb = nb;
+  request.steps = steps;
+  return request;
+}
+
+TEST(SolverFarm, ConcurrentTenantsBatchedJobsMatchSerial) {
+  SolverFarm farm(small_farm_config());
+
+  struct Spec {
+    SolveRequest request;
+    Grid2D expected;
+  };
+  std::vector<Spec> specs;
+  const int sizes[3][2] = {{16, 20}, {24, 16}, {20, 20}};
+  for (int t = 0; t < 3; ++t) {
+    for (int j = 0; j < 2; ++j) {
+      SolveRequest request = make_request(
+          "tenant-" + std::to_string(t), sizes[t][0], sizes[t][1],
+          /*iters=*/4, sizes[t][0] / 2, sizes[t][1] / 2,
+          /*steps=*/j == 0 ? 1 : 2, /*seed=*/100 + 10 * t + j);
+      Grid2D expected = stencil::solve_serial(request.problem);
+      specs.push_back(Spec{std::move(request), std::move(expected)});
+    }
+  }
+
+  // One client thread per tenant, submitting concurrently.
+  std::vector<std::future<SolveResponse>> futures(specs.size());
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      for (int j = 0; j < 2; ++j) {
+        const std::size_t i = static_cast<std::size_t>(t) * 2 + j;
+        auto submission = farm.submit(specs[i].request);
+        ASSERT_TRUE(submission.accepted())
+            << reject_reason_name(submission.rejected);
+        futures[i] = std::move(submission.response);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SolveResponse response = futures[i].get();
+    ASSERT_EQ(response.status, JobStatus::Completed) << response.error;
+    EXPECT_EQ(Grid2D::max_abs_diff(response.grid, specs[i].expected), 0.0)
+        << "job " << i;
+    EXPECT_EQ(response.iterations_done, 4);
+  }
+
+  const auto stats = farm.tenant_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.rejected, 0u);
+    // Both of a tenant's jobs share one size, so goodput is exactly 2x cost.
+    const std::size_t t =
+        static_cast<std::size_t>(s.tenant.back() - '0');
+    ASSERT_LT(t, 3u);
+    EXPECT_EQ(s.goodput_points, 2 * request_cost(specs[t * 2].request))
+        << s.tenant;
+  }
+}
+
+/// Shared state for tests that preempt from the superstep observer.
+struct PreemptDriver {
+  std::atomic<SolverFarm*> farm{nullptr};
+  std::mutex mutex;
+  std::set<int> target_supersteps;
+
+  void maybe_preempt(std::uint64_t job_id, int superstep) {
+    SolverFarm* f = farm.load();
+    if (f == nullptr) return;
+    bool fire = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      fire = target_supersteps.erase(superstep) > 0;
+    }
+    if (fire) f->preempt(job_id);
+  }
+};
+
+TEST(SolverFarm, PreemptedCaSolveResumesBitIdentical) {
+  for (const unsigned long seed : {1ul, 2ul, 3ul}) {
+    auto driver = std::make_shared<PreemptDriver>();
+    FarmConfig config = small_farm_config();
+    config.preempt_cost_threshold = 1000;  // 40*40*24 >> 1000: windowed
+    config.checkpoint_supersteps = 2;      // window = 8 iterations at s=4
+    config.superstep_observer = [driver](std::uint64_t job_id, int k) {
+      driver->maybe_preempt(job_id, k);
+    };
+    SolverFarm farm(config);
+    driver->farm.store(&farm);
+
+    SolveRequest request =
+        make_request("big", 40, 40, /*iters=*/24, 10, 10, /*steps=*/4, seed);
+    const Grid2D expected = stencil::solve_serial(request.problem);
+    {
+      // Seeded preemption points: two distinct superstep boundaries.
+      std::lock_guard<std::mutex> lock(driver->mutex);
+      driver->target_supersteps = {
+          static_cast<int>(4 * (1 + seed % 3)),        // 4, 8, or 12
+          static_cast<int>(4 * (4 + seed % 2)),        // 16 or 20
+      };
+    }
+
+    auto submission = farm.submit(request);
+    ASSERT_TRUE(submission.accepted());
+    SolveResponse response = submission.response.get();
+    ASSERT_EQ(response.status, JobStatus::Completed) << response.error;
+    EXPECT_GE(response.preemptions, 1) << "seed " << seed;
+    EXPECT_GE(response.windows, 3) << "seed " << seed;
+    EXPECT_EQ(response.iterations_done, 24);
+    // The acceptance bar: preempted + resumed == never interrupted, bitwise.
+    EXPECT_EQ(Grid2D::max_abs_diff(response.grid, expected), 0.0)
+        << "seed " << seed;
+    driver->farm.store(nullptr);
+  }
+}
+
+TEST(SolverFarm, TenantLimitRejectsDeterministically) {
+  FarmConfig config = small_farm_config();
+  config.admission.max_tenants = 2;
+  SolverFarm farm(config);
+  auto a = farm.submit(make_request("a", 16, 16, 2, 8, 8, 1, 1));
+  auto b = farm.submit(make_request("b", 16, 16, 2, 8, 8, 1, 2));
+  auto c = farm.submit(make_request("c", 16, 16, 2, 8, 8, 1, 3));
+  EXPECT_TRUE(a.accepted());
+  EXPECT_TRUE(b.accepted());
+  EXPECT_EQ(c.rejected, RejectReason::TenantLimit);
+  EXPECT_EQ(a.response.get().status, JobStatus::Completed);
+  EXPECT_EQ(b.response.get().status, JobStatus::Completed);
+}
+
+TEST(SolverFarm, MalformedRequestsAreBadRequests) {
+  SolverFarm farm(small_farm_config());
+  // steps too deep for the tiles: radius * steps > min tile extent.
+  auto deep = farm.submit(make_request("a", 16, 16, 4, 8, 8, /*steps=*/9, 1));
+  EXPECT_EQ(deep.rejected, RejectReason::BadRequest);
+  // No iterations.
+  auto empty = farm.submit(make_request("a", 16, 16, 0, 8, 8, 1, 1));
+  EXPECT_EQ(empty.rejected, RejectReason::BadRequest);
+  // Tiles don't cover the node grid.
+  auto thin = farm.submit(make_request("a", 4, 4, 2, 4, 4, 1, 1));
+  EXPECT_EQ(thin.rejected, RejectReason::BadRequest);
+}
+
+TEST(SolverFarm, ShutdownDrainFinishesQueuedJobsThenRejects) {
+  SolverFarm farm(small_farm_config());
+  std::vector<std::future<SolveResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto submission =
+        farm.submit(make_request("t" + std::to_string(i % 2), 16, 16, 3, 8, 8,
+                                 1, 50 + static_cast<unsigned long>(i)));
+    ASSERT_TRUE(submission.accepted());
+    futures.push_back(std::move(submission.response));
+  }
+  farm.shutdown(/*drain=*/true);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, JobStatus::Completed);
+  }
+  auto late = farm.submit(make_request("t0", 16, 16, 3, 8, 8, 1, 99));
+  EXPECT_EQ(late.rejected, RejectReason::ShuttingDown);
+}
+
+TEST(SolverFarm, ShutdownWithoutDrainCancelsWithCheckpointedProgress) {
+  auto driver = std::make_shared<PreemptDriver>();
+  std::atomic<bool> fired{false};
+  FarmConfig config = small_farm_config();
+  config.preempt_cost_threshold = 1000;
+  config.checkpoint_supersteps = 1;  // window = 4 iterations at s=4
+  config.superstep_observer = [&fired, driver](std::uint64_t, int k) {
+    // Superstep 8 first appears in the SECOND window (base 4, k 4), so
+    // window one has completed and checkpointed by the time this fires.
+    if (k >= 8 && !fired.exchange(true)) {
+      if (SolverFarm* f = driver->farm.load()) f->shutdown(/*drain=*/false);
+    }
+  };
+  SolverFarm farm(config);
+  driver->farm.store(&farm);
+
+  SolveRequest request =
+      make_request("big", 40, 40, /*iters=*/200, 10, 10, /*steps=*/4, 7);
+  auto submission = farm.submit(request);
+  ASSERT_TRUE(submission.accepted());
+  SolveResponse response = submission.response.get();
+  EXPECT_EQ(response.status, JobStatus::Cancelled);
+  ASSERT_GT(response.iterations_done, 0);
+  ASSERT_LT(response.iterations_done, 200);
+  // The handed-back progress is the consistent state at `iterations_done` —
+  // bit-identical to a serial solve stopped there.
+  stencil::Problem partial = request.problem;
+  partial.iterations = response.iterations_done;
+  const Grid2D expected = stencil::solve_serial(partial);
+  EXPECT_EQ(Grid2D::max_abs_diff(response.grid, expected), 0.0);
+  driver->farm.store(nullptr);
+}
+
+TEST(SolverFarm, ServesMetricsAndValidReport) {
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  FarmConfig config = small_farm_config();
+  config.metrics = registry;
+  SolverFarm farm(config);
+  SolveRequest request = make_request("alpha", 16, 16, 3, 8, 8, 1, 11);
+  request.deadline_s = 300.0;  // generous: must be met
+  auto submission = farm.submit(request);
+  ASSERT_TRUE(submission.accepted());
+  const SolveResponse response = submission.response.get();
+  ASSERT_EQ(response.status, JobStatus::Completed);
+  EXPECT_TRUE(response.deadline_met);
+
+  if (obs::kEnabled) {
+    const auto snapshot = registry->snapshot();
+    const auto* jobs = snapshot.find_counter(
+        "serve_jobs_total", {{"tenant", "alpha"}, {"status", "completed"}});
+    ASSERT_NE(jobs, nullptr);
+    EXPECT_EQ(jobs->value, 1u);
+    // The runtime stamped the tenant's accounting lane on every task.
+    EXPECT_NE(snapshot.find_counter("rt_lane_tasks_executed_total",
+                                    {{"lane", "0"}}),
+              nullptr);
+  }
+
+  ServeReport report("serve_e2e_test");
+  report.set_param("nodes", farm.nodes());
+  for (const auto& s : farm.tenant_stats()) {
+    obs::Json row = obs::Json::object();
+    row["tenant"] = s.tenant;
+    row["submitted"] = static_cast<long long>(s.submitted);
+    row["completed"] = static_cast<long long>(s.completed);
+    report.add_tenant(std::move(row));
+  }
+  report.set_total("jobs", 1);
+  report.add_metrics(*registry);
+  std::string error;
+  EXPECT_TRUE(validate_serve_report(report.to_string(), &error)) << error;
+}
+
+}  // namespace
+}  // namespace repro::serve

@@ -1,0 +1,193 @@
+// Unit tests for the serve subsystem's pieces in isolation: admission
+// quotas, the deficit-round-robin fair queue, and the serve_report schema.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/fair_queue.hpp"
+#include "serve/serve.hpp"
+#include "serve/serve_report.hpp"
+#include "stencil/problem.hpp"
+
+namespace repro::serve {
+namespace {
+
+TEST(Admission, GlobalCapRejectsThenReleaseRestores) {
+  AdmissionConfig config;
+  config.max_queued = 2;
+  AdmissionController admission(config);
+  EXPECT_EQ(admission.try_admit("a", 10), RejectReason::None);
+  EXPECT_EQ(admission.try_admit("b", 10), RejectReason::None);
+  EXPECT_EQ(admission.try_admit("c", 10), RejectReason::QueueFull);
+  admission.release("a", 10);
+  EXPECT_EQ(admission.try_admit("c", 10), RejectReason::None);
+  EXPECT_EQ(admission.stats().queued, 2);
+}
+
+TEST(Admission, PerTenantJobAndCostQuotas) {
+  AdmissionConfig config;
+  config.max_queued_per_tenant = 2;
+  config.max_cost_per_tenant = 100;
+  AdmissionController admission(config);
+  EXPECT_EQ(admission.try_admit("a", 60), RejectReason::None);
+  // Second job fits the job quota but overflows the cost quota.
+  EXPECT_EQ(admission.try_admit("a", 60), RejectReason::TenantCost);
+  EXPECT_EQ(admission.try_admit("a", 40), RejectReason::None);
+  EXPECT_EQ(admission.try_admit("a", 1), RejectReason::TenantQuota);
+  // Other tenants are unaffected.
+  EXPECT_EQ(admission.try_admit("b", 60), RejectReason::None);
+}
+
+TEST(Admission, TenantLimitBoundsDistinctTenants) {
+  AdmissionConfig config;
+  config.max_tenants = 2;
+  AdmissionController admission(config);
+  EXPECT_EQ(admission.try_admit("a", 1), RejectReason::None);
+  EXPECT_EQ(admission.try_admit("b", 1), RejectReason::None);
+  EXPECT_EQ(admission.try_admit("c", 1), RejectReason::TenantLimit);
+  // Known tenants keep their identity even when drained.
+  admission.release("a", 1);
+  EXPECT_EQ(admission.try_admit("a", 1), RejectReason::None);
+  EXPECT_TRUE(admission.knows("a"));
+  EXPECT_FALSE(admission.knows("c"));
+}
+
+TEST(Admission, CloseRejectsEverything) {
+  AdmissionController admission(AdmissionConfig{});
+  admission.close();
+  EXPECT_EQ(admission.try_admit("a", 1), RejectReason::ShuttingDown);
+  EXPECT_TRUE(admission.closed());
+}
+
+TEST(Admission, NonPositiveCostIsBadRequest) {
+  AdmissionController admission(AdmissionConfig{});
+  EXPECT_EQ(admission.try_admit("a", 0), RejectReason::BadRequest);
+  EXPECT_EQ(admission.try_admit("a", -5), RejectReason::BadRequest);
+}
+
+TEST(FairQueue, RoundRobinsAcrossLanesWithEqualQuanta) {
+  FairQueue<int> queue(/*quantum=*/10);
+  for (int i = 0; i < 3; ++i) queue.push(0, 10, 100 + i);
+  for (int i = 0; i < 3; ++i) queue.push(1, 10, 200 + i);
+  // Each wave of 2 should take one item from each lane.
+  for (int round = 0; round < 3; ++round) {
+    const auto wave = queue.pop_wave(2, /*solo_threshold=*/0);
+    ASSERT_EQ(wave.size(), 2u);
+    EXPECT_EQ(wave[0] / 100 + wave[1] / 100, 3) << "round " << round;
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(FairQueue, DeficitLetsExpensiveItemsThroughEventually) {
+  FairQueue<int> queue(/*quantum=*/10);
+  queue.push(0, 35, 1);  // needs 4 visits' credit
+  queue.push(1, 10, 2);
+  const auto first = queue.pop_wave(4, 0);
+  // The cheap lane-1 item fits immediately; the expensive one does not.
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], 2);
+  const auto second = queue.pop_wave(4, 0);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], 1);  // deficit accumulated across cycles
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(FairQueue, LargeItemsDispatchAlone) {
+  FairQueue<int> queue(/*quantum=*/100);
+  queue.push(0, 10, 1);
+  queue.push(0, 50, 2);  // >= solo threshold
+  queue.push(0, 10, 3);
+  const auto first = queue.pop_wave(8, /*solo_threshold=*/50);
+  // The small leader is batched; the large item must not join it.
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], 1);
+  const auto second = queue.pop_wave(8, 50);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], 2);
+  const auto third = queue.pop_wave(8, 50);
+  ASSERT_EQ(third.size(), 1u);
+  EXPECT_EQ(third[0], 3);
+}
+
+TEST(FairQueue, PushFrontResumesAheadOfLaneMates) {
+  FairQueue<int> queue(/*quantum=*/100);
+  queue.push(0, 10, 1);
+  queue.push(0, 10, 2);
+  queue.push_front(0, 10, 3);
+  const auto wave = queue.pop_wave(3, 0);
+  ASSERT_EQ(wave.size(), 3u);
+  EXPECT_EQ(wave[0], 3);
+  EXPECT_EQ(wave[1], 1);
+  EXPECT_EQ(wave[2], 2);
+}
+
+TEST(FairQueue, DrainAllEmptiesEverything) {
+  FairQueue<int> queue(10);
+  queue.push(0, 5, 1);
+  queue.push(2, 5, 2);
+  const auto all = queue.drain_all();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_TRUE(queue.pop_wave(4, 0).empty());
+}
+
+TEST(RequestCost, IsPointsTimesIterations) {
+  SolveRequest request;
+  request.problem = stencil::random_problem(12, 10, 3);
+  EXPECT_EQ(request_cost(request), 12LL * 10 * 3);
+}
+
+TEST(ServeReportSchema, RoundTripsAndValidates) {
+  ServeReport report("unit_test");
+  report.set_param("nodes", 4);
+  report.set_param("scheduler", "ws");
+  obs::Json row = obs::Json::object();
+  row["tenant"] = "alpha";
+  row["submitted"] = 10;
+  row["completed"] = 9;
+  row["p99_latency_s"] = 0.125;
+  report.add_tenant(std::move(row));
+  report.set_total("goodput_points_per_s", 1.5e6);
+  report.set_total("fairness_ratio", 1.1);
+  obs::MetricsRegistry registry;
+  registry.counter("serve_requests_total", {{"tenant", "alpha"}})->add(10);
+  report.add_metrics(registry);
+
+  std::string error;
+  EXPECT_TRUE(validate_serve_report(report.to_string(), &error)) << error;
+}
+
+TEST(ServeReportSchema, RejectsMissingOrMalformedFields) {
+  std::string error;
+  EXPECT_FALSE(validate_serve_report("{", &error));
+  EXPECT_FALSE(validate_serve_report("{\"schema\":\"nope\"}", &error));
+
+  // Valid except the tenant row is missing "completed".
+  const std::string missing =
+      "{\"schema\":\"repro.serve_report/v1\",\"name\":\"x\","
+      "\"params\":{},\"tenants\":[{\"tenant\":\"a\",\"submitted\":1}],"
+      "\"totals\":{},\"metrics\":{\"counters\":[],\"gauges\":[],"
+      "\"histograms\":[]}}";
+  EXPECT_FALSE(validate_serve_report(missing, &error));
+  EXPECT_NE(error.find("completed"), std::string::npos) << error;
+
+  // Non-scalar value inside totals.
+  const std::string nested =
+      "{\"schema\":\"repro.serve_report/v1\",\"name\":\"x\","
+      "\"params\":{},\"tenants\":[],\"totals\":{\"bad\":[1]},"
+      "\"metrics\":{\"counters\":[],\"gauges\":[],\"histograms\":[]}}";
+  EXPECT_FALSE(validate_serve_report(nested, &error));
+}
+
+TEST(RejectReasonNames, AreStableStrings) {
+  EXPECT_STREQ(reject_reason_name(RejectReason::None), "none");
+  EXPECT_STREQ(reject_reason_name(RejectReason::QueueFull), "queue_full");
+  EXPECT_STREQ(reject_reason_name(RejectReason::TenantLimit), "tenant_limit");
+  EXPECT_STREQ(job_status_name(JobStatus::Completed), "completed");
+  EXPECT_STREQ(job_status_name(JobStatus::Cancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace repro::serve

@@ -3,6 +3,7 @@
 // field picks the validator:
 //   repro.run_report/v1      -> obs::validate_run_report
 //   repro.trace_analysis/v1  -> obs::validate_trace_analysis
+//   repro.serve_report/v1    -> serve::validate_serve_report
 //
 //   validate_report report.json [more.json ...]
 #include <fstream>
@@ -13,6 +14,7 @@
 #include "obs/json.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace_analysis.hpp"
+#include "serve/serve_report.hpp"
 
 namespace {
 
@@ -35,6 +37,9 @@ bool validate_any(const std::string& text, std::string* error) {
   }
   if (id == repro::obs::kTraceAnalysisSchema) {
     return repro::obs::validate_trace_analysis(text, error);
+  }
+  if (id == repro::serve::ServeReport::kSchema) {
+    return repro::serve::validate_serve_report(text, error);
   }
   *error = "unknown schema '" + id + "'";
   return false;
