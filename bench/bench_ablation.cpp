@@ -76,8 +76,8 @@ void ablation_comm_thread_real() {
   Table table({"mode", "time ms", "messages", "max |diff| vs other mode"});
   const stencil::Problem problem = stencil::random_problem(768, 768, 10);
   stencil::DistResult results[2] = {
-      stencil::DistResult{stencil::Grid2D(1, 1), {}, {}, 0, 0},
-      stencil::DistResult{stencil::Grid2D(1, 1), {}, {}, 0, 0}};
+      stencil::DistResult{stencil::Grid2D(1, 1), {}, {}, {}, 0, 0},
+      stencil::DistResult{stencil::Grid2D(1, 1), {}, {}, {}, 0, 0}};
   int idx = 0;
   for (bool dedicated : {true, false}) {
     stencil::DistConfig config;

@@ -1,0 +1,150 @@
+// Spec sweep: the fig. 8-style CA-vs-base comparison run over the stencil
+// spec pool instead of the single hard-wired 5-point stencil.
+//
+// For every requested spec (--specs=star5,box9,heat3d,... — any spelling
+// spec_by_name accepts) the bench runs the distributed solver in base
+// (steps = 1) and CA (--steps) mode, reports points/s, remote halo traffic,
+// and the redundant-compute fraction, and checks every run bit-for-bit
+// against the spec's own serial reference (solve_serial_spec) on all z
+// planes. The --report= artefact carries the optional "stencil_spec" block
+// (one descriptor per swept spec) and is validated before writing.
+//
+// What to expect: multi-stage specs (star9: radius 2 = 2 atomic stages) pay
+// more redundant recompute per CA superstep; diagonal-tap specs (box9,
+// box27) add corner messages every superstep; rank-3 specs multiply halo
+// bytes by their field-plane count.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "spec/stages.hpp"
+#include "spec/stencil_spec.hpp"
+#include "stencil/dist_stencil.hpp"
+#include "stencil/spec_kernel.hpp"
+
+namespace {
+
+using namespace repro;
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : text) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  bench::header("Spec sweep: CA vs base across the stencil-spec pool",
+                "per-spec points/s, halo bytes, and redundant-compute "
+                "fraction; every run bit-identical to its serial reference");
+
+  const int n = static_cast<int>(options.get_int("n", 384));
+  const int tile = static_cast<int>(options.get_int("tile", 48));
+  const int nodes = static_cast<int>(options.get_int("nodes", 2));
+  const int iters = static_cast<int>(options.get_int("iters", 12));
+  const int steps = static_cast<int>(options.get_int("steps", 3));
+  const int nz = static_cast<int>(options.get_int("nz", 4));
+  const rt::SchedPolicy sched = rt::parse_sched_policy(
+      options.get_choice("sched", "priority",
+                         {"priority", "fifo", "lifo", "steal"}));
+  std::vector<std::string> names;
+  if (options.has("specs")) {
+    names = split_csv(options.get_string("specs", ""));
+  } else {
+    names = spec::spec_names();
+  }
+
+  obs::RunReport report("bench_spec_sweep");
+  report.set_param("n", obs::Json(n));
+  report.set_param("tile", obs::Json(tile));
+  report.set_param("nodes", obs::Json(nodes * nodes));
+  report.set_param("iters", obs::Json(iters));
+  report.set_param("steps", obs::Json(steps));
+  report.set_param("nz", obs::Json(nz));
+  report.set_param("sched", obs::Json(rt::sched_policy_name(sched)));
+
+  Table table({"spec", "stages", "mode", "time ms", "Mpoints/s", "messages",
+               "halo KiB", "redundant", "exact"});
+  bool all_exact = true;
+
+  for (const std::string& name : names) {
+    const spec::StencilSpec sp = spec::spec_by_name(name);
+    const spec::CompiledProgram program =
+        spec::compile_spec(sp, sp.rank == 3 ? nz : 1);
+    const stencil::Problem problem = stencil::spec_problem(
+        sp, n, n, iters, sp.rank == 3 ? nz : 1);
+    const std::vector<stencil::Grid2D> expected =
+        stencil::solve_serial_spec(problem);
+
+    obs::Json descriptor = obs::Json::object();
+    descriptor["name"] = obs::Json(sp.name);
+    descriptor["rank"] = obs::Json(sp.rank);
+    descriptor["radius"] = obs::Json(sp.radius());
+    descriptor["stages"] = obs::Json(program.nstages);
+    descriptor["points"] = obs::Json(static_cast<long>(sp.points.size()));
+    descriptor["field_planes"] = obs::Json(program.nfield);
+    descriptor["diagonal_taps"] = obs::Json(program.diagonal_taps);
+    report.add_stencil_spec(std::move(descriptor));
+
+    for (const int run_steps : {1, steps}) {
+      stencil::DistConfig config;
+      config.decomp = {tile, tile, nodes, nodes};
+      config.steps = run_steps;
+      config.scheduler = sched;
+      config.workers_per_rank = 2;
+      const stencil::DistResult r = stencil::run_distributed(problem, config);
+
+      bool exact = true;
+      for (std::size_t z = 0; z < expected.size(); ++z) {
+        exact = exact &&
+                stencil::Grid2D::max_abs_diff(expected[z], r.planes[z]) == 0.0;
+      }
+      all_exact = all_exact && exact;
+
+      const double mpoints_s =
+          static_cast<double>(r.computed_points) / r.stats.wall_time_s / 1e6;
+      const char* mode = run_steps == 1 ? "base" : "CA";
+      table.add_row({sp.name,
+                     Table::cell(static_cast<long long>(program.nstages)), mode,
+                     Table::cell(r.stats.wall_time_s * 1e3, 2),
+                     Table::cell(mpoints_s, 1),
+                     Table::cell(static_cast<double>(r.stats.messages), 0),
+                     Table::cell(static_cast<double>(r.stats.bytes) / 1024.0,
+                                 1),
+                     Table::cell(r.redundancy(), 3), exact ? "yes" : "NO"});
+
+      obs::Json row = obs::Json::object();
+      row["spec"] = obs::Json(sp.name);
+      row["mode"] = obs::Json(mode);
+      row["steps"] = obs::Json(run_steps);
+      row["stages"] = obs::Json(program.nstages);
+      row["time_ms"] = obs::Json(r.stats.wall_time_s * 1e3);
+      row["mpoints_per_s"] = obs::Json(mpoints_s);
+      row["messages"] = obs::Json(static_cast<long>(r.stats.messages));
+      row["halo_bytes"] = obs::Json(static_cast<long>(r.stats.bytes));
+      row["redundant_fraction"] = obs::Json(r.redundancy());
+      row["exact"] = obs::Json(exact);
+      report.add_result(std::move(row));
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nall runs bit-identical to their serial reference: "
+            << (all_exact ? "yes" : "NO") << "\n";
+  report.set_derived("all_exact", obs::Json(all_exact));
+  bench::maybe_csv(table, options, "spec_sweep.csv");
+  bench::maybe_report(report, options, "spec_sweep_report.json");
+  return all_exact ? 0 : 1;
+}

@@ -19,6 +19,7 @@ repro_add_bench(bench_fig6_tilesize)
 repro_add_bench(bench_fig7_strong_scaling)
 repro_add_bench(bench_fig8_kernel_ratio)
 repro_add_bench(bench_fig9_stepsize)
+repro_add_bench(bench_spec_sweep)
 repro_add_bench(bench_fig10_trace)
 repro_add_bench(bench_roofline)
 repro_add_bench(bench_ablation)

@@ -15,6 +15,14 @@ void RunReport::set_derived(const std::string& key, Json value) {
   derived_[key] = std::move(value);
 }
 
+void RunReport::add_stencil_spec(Json descriptor) {
+  if (!descriptor.is_object()) {
+    throw std::invalid_argument(
+        "RunReport stencil_spec entries must be JSON objects");
+  }
+  stencil_specs_.push_back(std::move(descriptor));
+}
+
 void RunReport::add_result(Json row) {
   if (!row.is_object()) {
     throw std::invalid_argument("RunReport result rows must be JSON objects");
@@ -51,6 +59,7 @@ Json RunReport::to_json() const {
   metrics["histograms"] = histograms_;
   out["metrics"] = std::move(metrics);
   out["derived"] = derived_;
+  if (stencil_specs_.size() > 0) out["stencil_spec"] = stencil_specs_;
   return out;
 }
 
@@ -250,6 +259,28 @@ bool validate_run_report(const std::string& json_text, std::string* error) {
       for (std::size_t i = 0; i < results->size(); ++i) {
         ck.check_scalar_object(results->as_array()[i],
                                "results[" + std::to_string(i) + "]");
+      }
+    }
+  }
+  // Optional block: spec-driven benches describe the stencils they swept.
+  const Json* stencil_spec = doc.find("stencil_spec");
+  if (stencil_spec != nullptr) {
+    if (!stencil_spec->is_array()) {
+      ck.fail("stencil_spec: expected an array");
+    } else {
+      for (std::size_t i = 0; i < stencil_spec->size(); ++i) {
+        const std::string where = "stencil_spec[" + std::to_string(i) + "]";
+        const Json& entry = stencil_spec->as_array()[i];
+        if (!ck.check_scalar_object(entry, where)) break;
+        const Json* spec_name = ck.require(entry, "name", where);
+        if (spec_name != nullptr &&
+            (!spec_name->is_string() || spec_name->as_string().empty())) {
+          ck.fail(where + ".name: expected a non-empty string");
+        }
+        for (const char* key : {"rank", "radius", "stages", "points"}) {
+          const Json* v = ck.require(entry, key, where);
+          if (v != nullptr) ck.check_finite_number(*v, where + "." + key);
+        }
       }
     }
   }

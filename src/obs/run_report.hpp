@@ -10,7 +10,10 @@
 //     "metrics": { "counters": [...],          // MetricsSnapshot export
 //                  "gauges": [...],
 //                  "histograms": [...] },
-//     "derived": { scalar, ... }               // stats computed from the above
+//     "derived": { scalar, ... },              // stats computed from the above
+//     "stencil_spec": [ { "name", "rank",      // OPTIONAL: stencil specs the
+//                         "radius", "stages",  // run swept (spec-driven
+//                         "points", ... }, ... ]  // benches only)
 //   }
 //
 // "scalar" means finite number, string, or bool — rows stay flat so reports
@@ -33,6 +36,10 @@ class RunReport {
 
   void set_param(const std::string& key, Json value);
   void set_derived(const std::string& key, Json value);
+  /// Append one stencil-spec descriptor (object of scalars: name, rank,
+  /// radius, stages, points, ...). Emits the optional top-level
+  /// "stencil_spec" array; reports that never call this are unchanged.
+  void add_stencil_spec(Json descriptor);
   /// Append one result row; must be a JSON object of scalars.
   void add_result(Json row);
   /// Merge a metrics snapshot into the report (appends samples; callable
@@ -50,6 +57,7 @@ class RunReport {
   Json params_ = Json::object();
   Json derived_ = Json::object();
   Json results_ = Json::array();
+  Json stencil_specs_ = Json::array();
   Json counters_ = Json::array();
   Json gauges_ = Json::array();
   Json histograms_ = Json::array();

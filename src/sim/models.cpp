@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "spec/stages.hpp"
 #include "stencil/halo.hpp"
 #include "stencil/tile_map.hpp"
 
@@ -37,7 +38,20 @@ double spill_factor(const Machine& m, double working_set) {
 StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
   const stencil::TileMap map(p.N, p.N, p.tile, p.tile, p.node_rows,
                              p.node_cols);
-  if (p.steps < 1 || p.steps > map.min_tile_extent()) {
+  // Compile the spec exactly like the real driver: the run advances in STAGE
+  // UNITS (steps_eff = steps * nstages), remote payloads carry the nfield
+  // field planes, and diagonal-tap programs exchange corners every superstep.
+  const spec::CompiledProgram program = spec::compile_spec(p.stencil, p.nz);
+  const int nstages = program.nstages;
+  const int steps_eff = p.steps * nstages;
+  const int nfield = program.nfield;
+  const bool diag_taps = program.diagonal_taps;
+  const double flops_pp = program.flops_per_point();
+  // Task costs are calibrated in 9-FLOP 5-point units; other programs scale
+  // by their per-stage tap work (approximate — the real kernel's cache
+  // behavior differs — but message counts and bytes below are exact).
+  const double flops_scale = flops_pp / 9.0;
+  if (p.steps < 1 || steps_eff > map.min_tile_extent()) {
     throw std::invalid_argument("simulate_stencil: bad step size");
   }
   const double worker_rate = p.machine.worker_point_rate();
@@ -81,18 +95,26 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
                         static_cast<double>(h) * w / worker_rate;
         } else {
           task.klass = boundary ? kKlassBoundary : kKlassInterior;
-          const int jj = (k - 1) % p.steps;
-          const int shrink = jj + 1;
-          const int extra = p.steps - shrink;
-          double rows = h + (remote[0] ? extra : 0) + (remote[1] ? extra : 0);
-          double cols = w + (remote[2] ? extra : 0) + (remote[3] ? extra : 0);
-          rows = std::max(1.0, std::round(rows * p.ratio));
-          cols = std::max(1.0, std::round(cols * p.ratio));
-          const double points = rows * cols;
-          redundant_points +=
-              points - std::max(1.0, std::round(h * p.ratio)) *
-                           std::max(1.0, std::round(w * p.ratio));
-          task.cost_s = p.machine.task_overhead_s + points * point_time;
+          // One task models the iteration's nstages atomic stages; each
+          // stage's shrink region loses one layer per STAGE unit, exactly as
+          // the real driver's stage tasks do.
+          double points = 0.0;
+          const double core = std::max(1.0, std::round(h * p.ratio)) *
+                              std::max(1.0, std::round(w * p.ratio));
+          for (int t = 0; t < nstages; ++t) {
+            const int jj = ((k - 1) * nstages + t) % steps_eff;
+            const int extra = steps_eff - (jj + 1);
+            double rows =
+                h + (remote[0] ? extra : 0) + (remote[1] ? extra : 0);
+            double cols =
+                w + (remote[2] ? extra : 0) + (remote[3] ? extra : 0);
+            rows = std::max(1.0, std::round(rows * p.ratio));
+            cols = std::max(1.0, std::round(cols * p.ratio));
+            points += rows * cols;
+            redundant_points += rows * cols - core;
+          }
+          task.cost_s = p.machine.task_overhead_s * nstages +
+                        points * flops_scale * point_time;
         }
         graph.add_task(task);
       }
@@ -119,12 +141,12 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
                                     ? map.tile_w(tj)
                                     : map.tile_h(ti);
             const double bytes =
-                header_bytes +
-                static_cast<double>(p.steps) * lateral * sizeof(double);
+                header_bytes + static_cast<double>(steps_eff) * lateral *
+                                   nfield * sizeof(double);
             graph.add_edge(id(k - 1, ni, nj), me, bytes);
           }
         }
-        if (superstep_start && p.steps > 1) {
+        if (superstep_start && (diag_taps || steps_eff > 1)) {
           for (Corner c : kAllCorners) {
             const int ni = ti + d_ti(c);
             const int nj = tj + d_tj(c);
@@ -135,10 +157,13 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
             const bool adjacent_remote =
                 map.neighbor_remote(ti, tj, d_ti(row_side), d_tj(row_side)) ||
                 map.neighbor_remote(ti, tj, d_ti(col_side), d_tj(col_side));
-            if (!adjacent_remote) continue;
+            // Mirrors TileInfo::corner_in: diagonal-tap programs read their
+            // corners every superstep; cross programs only while redundantly
+            // recomputing next to a remote side.
+            if (!(diag_taps || (steps_eff > 1 && adjacent_remote))) continue;
             const double bytes =
-                header_bytes + static_cast<double>(p.steps) * p.steps *
-                                   sizeof(double);
+                header_bytes + static_cast<double>(steps_eff) * steps_eff *
+                                   nfield * sizeof(double);
             graph.add_edge(id(k - 1, ni, nj), me, bytes);
           }
         }
@@ -158,11 +183,14 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
   StencilSimOutput out;
   out.sim = simulate(graph, config, trace);
   out.time_s = out.sim.makespan_s;
-  const double nominal = 9.0 * static_cast<double>(p.N) * p.N * p.iterations *
-                         p.ratio * p.ratio;
+  // Nominal work on the same stage-update basis the real driver accounts:
+  // flops_per_point is per stage cell, nominal stage updates are
+  // N^2 * iterations * nstages (star5: exactly the classic 9 * N^2 * iters).
+  const double nominal = flops_pp * static_cast<double>(p.N) * p.N *
+                         p.iterations * nstages * p.ratio * p.ratio;
   out.gflops = nominal / out.time_s / 1e9;
   out.redundant_fraction =
-      redundant_points * 9.0 / std::max(nominal, 1.0);
+      redundant_points * flops_pp / std::max(nominal, 1.0);
 
   if (p.metrics) {
     // Modeled counters under the real stack's family names: a registry diff

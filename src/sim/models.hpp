@@ -18,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "sim/des.hpp"
 #include "sim/machine.hpp"
+#include "spec/stencil_spec.hpp"
 
 namespace repro::sim {
 
@@ -76,6 +77,13 @@ struct StencilSimParams {
   int iterations = 100;
   int steps = 1;        ///< 1 = base-PaRSEC, >1 = CA-PaRSEC
   double ratio = 1.0;   ///< kernel-adjustment ratio (Figs. 8/9)
+  /// Stencil spec the run models. The default star5 reproduces the classic
+  /// model exactly; other specs change the message schedule the way the real
+  /// driver does — supersteps span steps * stage_count atomic stages, bands
+  /// and corner blocks carry the program's nfield field planes, and
+  /// diagonal-tap specs (box9, ...) add corner exchanges at every superstep.
+  spec::StencilSpec stencil = spec::StencilSpec::star5();
+  int nz = 1;           ///< interior z planes (rank-3 specs)
   /// Schedule node-boundary tiles ahead of interior tiles (the runtime's
   /// default). Ablation knob.
   bool boundary_priority = true;

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "stencil/halo.hpp"
+#include "stencil/spec_kernel.hpp"
 
 namespace repro::stencil {
 
@@ -30,6 +31,17 @@ constexpr std::uint16_t kSlotCorner(Corner c) {
 constexpr std::uint16_t kSlotCoeff = 9;
 
 /// Immutable per-run context shared by all task bodies.
+///
+/// Spec-driven problems run in STAGE UNITS: the compiled program's nstages
+/// radius-1 atomic stages replace each original iteration, so the constructor
+/// multiplies both `steps` and `problem.iterations` by nstages and fixes
+/// radius = 1. Every downstream mechanism — superstep gating, ghost depth
+/// radius * steps, the per-step shrink, pack plans, ragged final supersteps —
+/// then works unchanged; only the task bodies know that state buffers carry
+/// ncomp planes and that remote exchanges ship just the nfield field planes
+/// (stage 1 reads only field planes, and intermediates inside the deep ghost
+/// bands are recomputed locally stage by stage — so shipping them would be
+/// pure waste).
 struct Shared {
   Shared(Problem p, TileMap m, int s, double r)
       : problem(std::move(p)), map(m), steps(s), ratio(r) {
@@ -37,6 +49,16 @@ struct Shared {
       problem.shape->validate();
       radius = problem.shape->radius;
       box = problem.shape->box;
+    }
+    if (problem.spec) {
+      program = std::make_shared<const spec::CompiledProgram>(
+          compile_problem_spec(problem));
+      nstages = program->nstages;
+      nfield = program->nfield;
+      radius = 1;  // every atomic stage reads one cell deep
+      box = program->diagonal_taps;
+      steps = s * nstages;
+      problem.iterations *= nstages;
     }
   }
 
@@ -46,6 +68,10 @@ struct Shared {
   double ratio;
   int radius = 1;    ///< stencil reach (1 for the paper's 5-point case)
   bool box = false;  ///< box-shaped stencil (reads diagonals every step)
+  /// Spec path: compiled atomic-stage program (null = classic 5-point/shape).
+  std::shared_ptr<const spec::CompiledProgram> program;
+  int nstages = 1;  ///< stages per original iteration (1 = classic paths)
+  int nfield = 1;   ///< planes remote halo exchange carries
   SuperstepHook hook;  ///< superstep-boundary snapshot callback (may be empty)
   KernelVariant kernel = KernelVariant::Scalar;
   KernelTuning tuning{};
@@ -126,14 +152,21 @@ TileInfo make_tile_info(const TileMap& map, int steps, int radius, bool box,
   return info;
 }
 
-/// Hand the tile's h x w core (row-major) to the superstep hook.
+/// Hand the tile's h x w core (row-major) to the superstep hook. Spec runs
+/// pass the nfield field planes (plane-major) — everything a restart needs,
+/// since intermediates are dead at superstep boundaries.
 void call_hook(const Shared& shared, const TileInfo& info, int k,
                const double* ext) {
   const TileGeom& g = info.geom;
-  std::vector<double> core(static_cast<std::size_t>(g.h) * g.w);
-  for (int i = 0; i < g.h; ++i) {
-    for (int j = 0; j < g.w; ++j) {
-      core[static_cast<std::size_t>(i) * g.w + j] = ext[g.idx(i, j)];
+  const int planes = shared.program ? shared.nfield : 1;
+  std::vector<double> core(static_cast<std::size_t>(planes) * g.h * g.w);
+  for (int p = 0; p < planes; ++p) {
+    const double* src = ext + static_cast<std::size_t>(p) * g.size();
+    double* dst = core.data() + static_cast<std::size_t>(p) * g.h * g.w;
+    for (int i = 0; i < g.h; ++i) {
+      for (int j = 0; j < g.w; ++j) {
+        dst[static_cast<std::size_t>(i) * g.w + j] = src[g.idx(i, j)];
+      }
     }
   }
   shared.hook(k, info.ti, info.tj, core);
@@ -196,7 +229,8 @@ class Builder {
           "shape and variable coefficients are mutually exclusive");
     }
     if (shared_->fused &&
-        (shared_->problem.shape || shared_->problem.coefficient)) {
+        (shared_->problem.shape || shared_->problem.coefficient ||
+         shared_->program)) {
       throw std::invalid_argument(
           "the temporal kernel variant supports only the plain "
           "constant-coefficient 5-point stencil");
@@ -205,7 +239,13 @@ class Builder {
       throw std::invalid_argument(
           "the temporal kernel variant requires kernel_ratio == 1");
     }
-    if (shared_->radius * config.steps > shared_->map.min_tile_extent()) {
+    if (shared_->program && config.kernel_ratio != 1.0) {
+      throw std::invalid_argument(
+          "spec-driven problems require kernel_ratio == 1");
+    }
+    // Spec runs compare against ca_ghost_depth: steps here is already in
+    // stage units (config.steps * nstages) and radius is 1.
+    if (shared_->radius * shared_->steps > shared_->map.min_tile_extent()) {
       throw std::invalid_argument(
           "radius * steps exceeds the smallest tile extent (" +
           std::to_string(shared_->map.min_tile_extent()) + ")");
@@ -217,7 +257,7 @@ class Builder {
     tiles_.reserve(static_cast<std::size_t>(map.tiles_r()) * map.tiles_c());
     for (int ti = 0; ti < map.tiles_r(); ++ti) {
       for (int tj = 0; tj < map.tiles_c(); ++tj) {
-        tiles_.push_back(make_tile_info(map, config.steps, shared_->radius,
+        tiles_.push_back(make_tile_info(map, shared_->steps, shared_->radius,
                                         shared_->box, shared_->fused, ti, tj));
       }
     }
@@ -291,19 +331,23 @@ class Builder {
   }
 
   /// Publish state + any planned bands/corners from the freshly computed
-  /// extended buffer.
+  /// extended buffer. `nplanes` is the plane count exchanged remotely (the
+  /// spec path's nfield; 1 on the classic paths, where the _planes variants
+  /// reduce to the single-plane pack functions byte-for-byte).
   static void publish_all(rt::TaskContext& ctx, const TileInfo& info,
                           const PackPlan& plan, int depth,
-                          std::vector<double>&& ext) {
+                          std::vector<double>&& ext, int nplanes) {
     const TileGeom& g = info.geom;
     for (Side s : kAllSides) {
       if (plan.bands[static_cast<int>(s)]) {
-        ctx.publish(kSlotBand(s), pack_band(ext.data(), g, s, depth));
+        ctx.publish(kSlotBand(s),
+                    pack_band_planes(ext.data(), g, s, depth, nplanes));
       }
     }
     for (Corner c : kAllCorners) {
       if (plan.corners[static_cast<int>(c)]) {
-        ctx.publish(kSlotCorner(c), pack_corner(ext.data(), g, c, depth));
+        ctx.publish(kSlotCorner(c),
+                    pack_corner_planes(ext.data(), g, c, depth, nplanes));
       }
     }
     ctx.publish(kSlotState, std::move(ext));
@@ -327,15 +371,33 @@ class Builder {
       const long gr0 = map.row0(tile_info.ti);
       const long gc0 = map.col0(tile_info.tj);
 
-      std::vector<double> ext(g.size());
-      for (int i = -g.gn; i < g.h + g.gs; ++i) {
-        for (int j = -g.gw; j < g.w + g.ge; ++j) {
-          const long gi = gr0 + i;
-          const long gj = gc0 + j;
-          const bool inside = gi >= 0 && gi < map.rows() && gj >= 0 &&
-                              gj < map.cols();
-          ext[g.idx(i, j)] = inside ? shared->problem.initial(gi, gj)
-                                    : shared->problem.boundary(gi, gj);
+      const int ncomp = shared->program ? shared->program->ncomp : 1;
+      std::vector<double> ext(static_cast<std::size_t>(ncomp) * g.size());
+      if (shared->program) {
+        // Spec path: every component at every padded cell gets its derived
+        // initial value — the same spec_init_value the serial oracle uses,
+        // which is what makes the never-recomputed exterior ring partials
+        // agree bit-for-bit.
+        for (int c = 0; c < ncomp; ++c) {
+          double* dst = ext.data() + static_cast<std::size_t>(c) * g.size();
+          for (int i = -g.gn; i < g.h + g.gs; ++i) {
+            for (int j = -g.gw; j < g.w + g.ge; ++j) {
+              dst[g.idx(i, j)] = spec_init_value(*shared->program,
+                                                 shared->problem, c, gr0 + i,
+                                                 gc0 + j);
+            }
+          }
+        }
+      } else {
+        for (int i = -g.gn; i < g.h + g.gs; ++i) {
+          for (int j = -g.gw; j < g.w + g.ge; ++j) {
+            const long gi = gr0 + i;
+            const long gj = gc0 + j;
+            const bool inside = gi >= 0 && gi < map.rows() && gj >= 0 &&
+                                gj < map.cols();
+            ext[g.idx(i, j)] = inside ? shared->problem.initial(gi, gj)
+                                      : shared->problem.boundary(gi, gj);
+          }
         }
       }
 
@@ -356,7 +418,8 @@ class Builder {
         ctx.publish(kSlotCoeff, std::move(coeff));
       }
       if (shared->hook) call_hook(*shared, tile_info, 0, ext.data());
-      publish_all(ctx, tile_info, plan, depth, std::move(ext));
+      publish_all(ctx, tile_info, plan, depth, std::move(ext),
+                  shared->nfield);
     };
     return spec;
   }
@@ -431,36 +494,43 @@ class Builder {
       std::vector<double> assembled(prev.begin(), prev.end());
 
       // 2. ...refresh radius-deep local ghost lines (full extended extent),
-      //    then (box shapes) local diagonal corner blocks...
+      //    then (box shapes / diagonal-tap programs) local corner blocks.
+      //    Local copies carry ALL state planes: a spec stage t > 1 reads the
+      //    neighbor's stage-(t-1) intermediates one cell deep.
+      const int ncomp = shared->program ? shared->program->ncomp : 1;
       std::size_t next_input = 1;
       for (Side s : kAllSides) {
         if (!tile_info.side_local[static_cast<int>(s)]) continue;
         const TileInfo nbr = make_nbr_info(*shared, tile_info, s);
-        copy_local_line(assembled.data(), g, s, ctx.input(next_input).data(),
-                        nbr.geom, radius);
+        copy_local_line_planes(assembled.data(), g, s,
+                               ctx.input(next_input).data(), nbr.geom, radius,
+                               ncomp);
         ++next_input;
       }
       for (Corner c : kAllCorners) {
         if (!tile_info.corner_local[static_cast<int>(c)]) continue;
         const TileInfo diag = make_diag_info(*shared, tile_info, c);
-        copy_local_corner(assembled.data(), g, c,
-                          ctx.input(next_input).data(), diag.geom);
+        copy_local_corner_planes(assembled.data(), g, c,
+                                 ctx.input(next_input).data(), diag.geom,
+                                 ncomp);
         ++next_input;
       }
 
       // 3. ...and at superstep starts overwrite the deep remote bands and
-      //    corners with freshly received data.
+      //    corners with freshly received data. Remote payloads carry only the
+      //    nfield field planes: stage 1 reads nothing else, and ghost-band
+      //    intermediates are recomputed locally stage by stage.
       if (start) {
         for (Side s : kAllSides) {
           if (!tile_info.side_remote[static_cast<int>(s)]) continue;
-          unpack_band(assembled.data(), g, s, ctx.input(next_input),
-                      exchange_depth);
+          unpack_band_planes(assembled.data(), g, s, ctx.input(next_input),
+                             exchange_depth, shared->nfield);
           ++next_input;
         }
         for (Corner c : kAllCorners) {
           if (!tile_info.corner_in[static_cast<int>(c)]) continue;
-          unpack_corner(assembled.data(), g, c, ctx.input(next_input),
-                        exchange_depth);
+          unpack_corner_planes(assembled.data(), g, c, ctx.input(next_input),
+                               exchange_depth, shared->nfield);
           ++next_input;
         }
       }
@@ -484,7 +554,13 @@ class Builder {
       }
 
       std::vector<double> out = assembled;  // ring + unwritten cells persist
-      if (shared->problem.shape) {
+      if (shared->program) {
+        // Stage (k-1) % nstages of the compiled program; non-output planes
+        // and the static exterior ring were carried by the copy above.
+        apply_program_stage(assembled.data(), out.data(), g, *shared->program,
+                            (k - 1) % shared->nstages, r0, r1, c0, c1,
+                            shared->kernel, shared->tuning);
+      } else if (shared->problem.shape) {
         apply_shape(assembled.data(), out.data(), g, *shared->problem.shape,
                     r0, r1, c0, c1);
       } else if (variable) {
@@ -502,11 +578,13 @@ class Builder {
           std::memory_order_relaxed);
 
       // The tile is globally consistent again at superstep boundaries — the
-      // natural checkpoint instant.
+      // natural checkpoint instant. Spec runs report the ORIGINAL iteration
+      // index (k is in stage units there).
       if (shared->hook && k % steps == 0) {
-        call_hook(*shared, tile_info, k, out.data());
+        call_hook(*shared, tile_info, k / shared->nstages, out.data());
       }
-      publish_all(ctx, tile_info, plan, exchange_depth, std::move(out));
+      publish_all(ctx, tile_info, plan, exchange_depth, std::move(out),
+                  shared->nfield);
     };
     return spec;
   }
@@ -603,7 +681,7 @@ class Builder {
       if (shared->hook && k_end % shared->steps == 0) {
         call_hook(*shared, tile_info, k_end, out.data());
       }
-      publish_all(ctx, tile_info, plan, depth, std::move(out));
+      publish_all(ctx, tile_info, plan, depth, std::move(out), 1);
     };
     return spec;
   }
@@ -658,26 +736,53 @@ std::size_t SolveSubgraph::tasks() const {
 }
 
 Grid2D SolveSubgraph::gather(const rt::Runtime& runtime) const {
+  return gather_plane(runtime, 0);
+}
+
+Grid2D SolveSubgraph::gather_plane(const rt::Runtime& runtime, int z) const {
   const Builder& builder = impl_->builder;
   const Shared& shared = *builder.shared();
   const TileMap& map = shared.map;
   const Problem& problem = shared.problem;
+  const int nz = shared.program ? shared.program->nz : 1;
+  if (z < 0 || z >= nz) {
+    throw std::invalid_argument("gather_plane: z out of range");
+  }
+  // Spec state buffers hold ncomp planes; z's field plane is zlo + z.
+  const std::size_t plane_off =
+      shared.program ? static_cast<std::size_t>(shared.program->zlo + z) : 0;
 
   Grid2D grid(problem.rows, problem.cols);
-  grid.fill([](long, long) { return 0.0; }, problem.boundary);
+  const CellFn ring = shared.program
+                          ? CellFn([&problem, z](long i, long j) {
+                              return problem.boundary3(i, j, z);
+                            })
+                          : problem.boundary;
+  grid.fill([](long, long) { return 0.0; }, ring);
   for (int ti = 0; ti < map.tiles_r(); ++ti) {
     for (int tj = 0; tj < map.tiles_c(); ++tj) {
       const rt::Buffer state = runtime.result(
           builder.state_key(problem.iterations, ti, tj), 0);
       const TileGeom& g = builder.tile(ti, tj).geom;
+      const double* src = state->data() + plane_off * g.size();
       for (int i = 0; i < g.h; ++i) {
         for (int j = 0; j < g.w; ++j) {
-          grid.at(map.row0(ti) + i, map.col0(tj) + j) = (*state)[g.idx(i, j)];
+          grid.at(map.row0(ti) + i, map.col0(tj) + j) = src[g.idx(i, j)];
         }
       }
     }
   }
   return grid;
+}
+
+std::vector<Grid2D> SolveSubgraph::gather_planes(
+    const rt::Runtime& runtime) const {
+  const Shared& shared = *impl_->builder.shared();
+  const int nz = shared.program ? shared.program->nz : 1;
+  std::vector<Grid2D> planes;
+  planes.reserve(static_cast<std::size_t>(nz));
+  for (int z = 0; z < nz; ++z) planes.push_back(gather_plane(runtime, z));
+  return planes;
 }
 
 long long SolveSubgraph::computed_points() const {
@@ -725,11 +830,15 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
   rt::Runtime runtime(rt_config);
   rt::RunStats stats = runtime.run(graph);
 
-  DistResult result{subgraph.gather(runtime), std::move(stats), {},
-                    0, 0,
-                    problem.shape ? problem.shape->flops_per_point()
-                                  : kFlopsPerPoint,
-                    {}};
+  DistResult result{subgraph.gather(runtime), std::move(stats), {}, {},
+                    0, 0, kFlopsPerPoint, {}};
+  if (problem.spec) {
+    result.planes = subgraph.gather_planes(runtime);
+    result.flops_per_point =
+        spec::compile_spec(*problem.spec, problem.nz).flops_per_point();
+  } else if (problem.shape) {
+    result.flops_per_point = problem.shape->flops_per_point();
+  }
   result.trace_events = runtime.tracer().events();
   result.computed_points = subgraph.computed_points();
   result.nominal_points = subgraph.nominal_points();
@@ -768,6 +877,12 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
         {{"variant", kernel_variant_name(config.kernel)}},
         "Selected compute-kernel variant (value is always 1)");
     variant->set(1.0);
+    if (problem.spec) {
+      auto spec_info = registry.gauge(
+          "stencil_spec_info", {{"spec", problem.spec->name}},
+          "Stencil spec of this run (value = atomic stage count)");
+      spec_info->set(static_cast<double>(spec::stage_count(*problem.spec)));
+    }
     if (result.stats.wall_time_s > 0.0) {
       auto rate = registry.gauge("stencil_points_per_second", {},
                                  "Computed points (redundancy included) "

@@ -34,7 +34,9 @@ namespace repro::stencil {
 
 /// Called as tile (ti,tj) reaches a globally consistent state: after INIT
 /// (k == 0) and after each iteration k with k % steps == 0. `core` is the
-/// tile's h x w interior, row-major. Invoked concurrently from worker
+/// tile's h x w interior, row-major (spec-driven runs pass the program's
+/// nfield field planes, plane-major — nfield * h * w values — and k counts
+/// ORIGINAL iterations, not atomic stages). Invoked concurrently from worker
 /// threads — the callee must be thread-safe. Used by the fault subsystem to
 /// checkpoint at CA superstep boundaries.
 using SuperstepHook =
@@ -97,15 +99,22 @@ struct DistConfig {
 };
 
 struct DistResult {
-  Grid2D grid;                ///< gathered final field
+  Grid2D grid;                ///< gathered final field (spec runs: z plane 0)
   rt::RunStats stats;         ///< wall time + remote traffic
   std::vector<rt::TraceEvent> trace_events;
-  long long computed_points = 0;  ///< stencil points updated (incl. redundant)
-  long long nominal_points = 0;   ///< rows*cols*iterations (no redundancy)
-  double flops_per_point = kFlopsPerPoint;  ///< 9 for 5-point; shape-derived
+  /// Spec-driven runs: all nz interior z planes (planes[0] == grid); empty
+  /// on the classic paths.
+  std::vector<Grid2D> planes;
+  /// Stencil points updated (incl. redundant). Spec runs count STAGE cell
+  /// updates (one per atomic stage per cell), matching the stage-averaged
+  /// flops_per_point below.
+  long long computed_points = 0;
+  long long nominal_points = 0;   ///< rows*cols*iterations (no redundancy;
+                                  ///< spec runs: iterations * stages basis)
+  double flops_per_point = kFlopsPerPoint;  ///< 9 for 5-point; shape/spec-derived
   /// Scrape point for the run's metric families (never null after
   /// run_distributed returns).
-  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::MetricsRegistry> metrics{};
 
   double flops() const {
     return flops_per_point * static_cast<double>(computed_points);
@@ -134,8 +143,13 @@ class SolveSubgraph {
   int nodes() const;
   /// Tasks this solve contributed to the graph.
   std::size_t tasks() const;
-  /// Gather the solve's final field. Throws if the graph has not run.
+  /// Gather the solve's final field (spec runs: z plane 0). Throws if the
+  /// graph has not run.
   Grid2D gather(const rt::Runtime& runtime) const;
+  /// Gather z plane `z` of a spec-driven solve (classic paths: z must be 0).
+  Grid2D gather_plane(const rt::Runtime& runtime, int z) const;
+  /// All nz interior z planes (classic paths: one plane, == gather()).
+  std::vector<Grid2D> gather_planes(const rt::Runtime& runtime) const;
   /// Stencil points updated (redundant recompute included); valid after run.
   long long computed_points() const;
   /// rows * cols * iterations (no redundancy).

@@ -205,4 +205,70 @@ void copy_local_corner(double* ext, const TileGeom& g, Corner corner,
   }
 }
 
+std::vector<double> pack_band_planes(const double* ext, const TileGeom& g,
+                                     Side side, int depth, int nplanes) {
+  require(nplanes >= 1, "nplanes must be >= 1");
+  std::vector<double> out;
+  for (int p = 0; p < nplanes; ++p) {
+    std::vector<double> band =
+        pack_band(ext + static_cast<std::size_t>(p) * g.size(), g, side, depth);
+    out.insert(out.end(), band.begin(), band.end());
+  }
+  return out;
+}
+
+void unpack_band_planes(double* ext, const TileGeom& g, Side side,
+                        std::span<const double> band, int depth, int nplanes) {
+  require(nplanes >= 1 && band.size() % static_cast<std::size_t>(nplanes) == 0,
+          "band size not a multiple of nplanes");
+  const std::size_t per = band.size() / static_cast<std::size_t>(nplanes);
+  for (int p = 0; p < nplanes; ++p) {
+    unpack_band(ext + static_cast<std::size_t>(p) * g.size(), g, side,
+                band.subspan(static_cast<std::size_t>(p) * per, per), depth);
+  }
+}
+
+std::vector<double> pack_corner_planes(const double* ext, const TileGeom& g,
+                                       Corner corner, int s, int nplanes) {
+  require(nplanes >= 1, "nplanes must be >= 1");
+  std::vector<double> out;
+  for (int p = 0; p < nplanes; ++p) {
+    std::vector<double> block = pack_corner(
+        ext + static_cast<std::size_t>(p) * g.size(), g, corner, s);
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  return out;
+}
+
+void unpack_corner_planes(double* ext, const TileGeom& g, Corner corner,
+                          std::span<const double> block, int s, int nplanes) {
+  require(nplanes >= 1 && block.size() % static_cast<std::size_t>(nplanes) == 0,
+          "corner block size not a multiple of nplanes");
+  const std::size_t per = block.size() / static_cast<std::size_t>(nplanes);
+  for (int p = 0; p < nplanes; ++p) {
+    unpack_corner(ext + static_cast<std::size_t>(p) * g.size(), g, corner,
+                  block.subspan(static_cast<std::size_t>(p) * per, per), s);
+  }
+}
+
+void copy_local_line_planes(double* ext, const TileGeom& g, Side side,
+                            const double* nbr, const TileGeom& ng, int depth,
+                            int nplanes) {
+  require(nplanes >= 1, "nplanes must be >= 1");
+  for (int p = 0; p < nplanes; ++p) {
+    copy_local_line(ext + static_cast<std::size_t>(p) * g.size(), g, side,
+                    nbr + static_cast<std::size_t>(p) * ng.size(), ng, depth);
+  }
+}
+
+void copy_local_corner_planes(double* ext, const TileGeom& g, Corner corner,
+                              const double* diag, const TileGeom& dg,
+                              int nplanes) {
+  require(nplanes >= 1, "nplanes must be >= 1");
+  for (int p = 0; p < nplanes; ++p) {
+    copy_local_corner(ext + static_cast<std::size_t>(p) * g.size(), g, corner,
+                      diag + static_cast<std::size_t>(p) * dg.size(), dg);
+  }
+}
+
 }  // namespace repro::stencil

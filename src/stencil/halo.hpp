@@ -93,4 +93,27 @@ void copy_local_line(double* ext, const TileGeom& g, Side side,
 void copy_local_corner(double* ext, const TileGeom& g, Corner corner,
                        const double* diag, const TileGeom& dg);
 
+// ------------------------------------------------------- multi-plane variants
+//
+// Spec-driven tiles hold ncomp planes of g.size() doubles each (plane p of
+// buffer `ext` starts at ext + p * g.size()). These variants apply the
+// single-plane operation to the first `nplanes` planes, packing/unpacking
+// payloads plane-major (plane 0's band first). The single-plane functions are
+// the nplanes == 1 case, so the classic 5-point paths are unchanged.
+
+std::vector<double> pack_band_planes(const double* ext, const TileGeom& g,
+                                     Side side, int depth, int nplanes);
+void unpack_band_planes(double* ext, const TileGeom& g, Side side,
+                        std::span<const double> band, int depth, int nplanes);
+std::vector<double> pack_corner_planes(const double* ext, const TileGeom& g,
+                                       Corner corner, int s, int nplanes);
+void unpack_corner_planes(double* ext, const TileGeom& g, Corner corner,
+                          std::span<const double> block, int s, int nplanes);
+void copy_local_line_planes(double* ext, const TileGeom& g, Side side,
+                            const double* nbr, const TileGeom& ng, int depth,
+                            int nplanes);
+void copy_local_corner_planes(double* ext, const TileGeom& g, Corner corner,
+                              const double* diag, const TileGeom& dg,
+                              int nplanes);
+
 }  // namespace repro::stencil

@@ -42,6 +42,35 @@ Problem random_problem(int rows, int cols, int iterations,
   return p;
 }
 
+Problem spec_problem(spec::StencilSpec stencil, int rows, int cols,
+                     int iterations, int nz, unsigned long seed) {
+  Problem p;
+  p.rows = rows;
+  p.cols = cols;
+  p.iterations = iterations;
+  p.spec = std::move(stencil);
+  p.nz = nz;
+  // Hash-based 3D field in [0,1): same construction as random_problem with z
+  // mixed in, so plane transpositions and z-offset bugs change the answer.
+  auto field = [seed](long i, long j, long z) {
+    unsigned long h = static_cast<unsigned long>(i) * 0x9e3779b97f4a7c15UL ^
+                      (static_cast<unsigned long>(j) + seed) *
+                          0xbf58476d1ce4e5b9UL ^
+                      (static_cast<unsigned long>(z) + 17UL) *
+                          0x94d049bb133111ebUL;
+    h = (h ^ (h >> 30)) * 0x94d049bb133111ebUL;
+    h ^= h >> 31;
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  };
+  p.initial3 = field;
+  p.boundary3 = field;
+  // 2D views of plane 0 so code that only understands CellFn (gather ring
+  // fill, report summaries) keeps working.
+  p.initial = [field](long i, long j) { return field(i, j, 0); };
+  p.boundary = [field](long i, long j) { return field(i, j, 0); };
+  return p;
+}
+
 Problem random_variable_problem(int rows, int cols, int iterations,
                                 unsigned long seed) {
   Problem p = random_problem(rows, cols, iterations, seed);

@@ -6,6 +6,7 @@
 
 #include <optional>
 
+#include "spec/stencil_spec.hpp"
 #include "stencil/grid.hpp"
 #include "stencil/kernel.hpp"
 #include "stencil/shape.hpp"
@@ -15,6 +16,12 @@ namespace repro::stencil {
 /// Per-point coefficients (center, north, south, west, east) at global
 /// coordinates — the paper's "variable-coefficient stencil".
 using CoeffFn = std::function<std::array<double, 5>(long, long)>;
+
+/// 3-coordinate field sampler for spec-driven problems: value at global
+/// (i, j, z). Rank <= 2 specs are always sampled with z == 0; rank-3 specs
+/// sample the boundary with z == -1 or z == nz for the Dirichlet z planes
+/// (the z analogue of the ring convention in CellFn).
+using CellFn3 = std::function<double(long, long, long)>;
 
 struct Problem {
   int rows = 0;           ///< interior rows
@@ -29,6 +36,14 @@ struct Problem {
   /// When set, a general cross/box stencil shape is used instead of the
   /// 5-point `weights` (mutually exclusive with `coefficient`).
   std::optional<StencilShape> shape;
+  /// When set, the solve runs the spec's compiled atomic-stage program
+  /// (spec/stages.hpp): every spec — any rank, radius, or point subset —
+  /// executes as chained radius-1 multi-component stages. Mutually exclusive
+  /// with `shape` and `coefficient`; requires initial3/boundary3.
+  std::optional<spec::StencilSpec> spec;
+  int nz = 1;             ///< interior z planes (rank-3 specs only)
+  CellFn3 initial3;       ///< spec path: interior initial condition u0(i,j,z)
+  CellFn3 boundary3;      ///< spec path: Dirichlet values g(i,j,z)
 };
 
 /// Variable-coefficient variant of random_problem: hash-based field AND
@@ -45,5 +60,11 @@ Problem laplace_problem(int n, int iterations);
 /// answer. `seed` varies the field.
 Problem random_problem(int rows, int cols, int iterations,
                        unsigned long seed = 42);
+
+/// Spec-driven analogue of random_problem: hash-based 3-coordinate field so
+/// every cell (and every z plane) differs from its neighbors. `nz` is only
+/// meaningful for rank-3 specs (must be 1 otherwise).
+Problem spec_problem(spec::StencilSpec stencil, int rows, int cols,
+                     int iterations, int nz = 1, unsigned long seed = 42);
 
 }  // namespace repro::stencil

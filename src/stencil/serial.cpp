@@ -1,6 +1,8 @@
 #include "stencil/serial.hpp"
 
 #include <algorithm>
+
+#include "stencil/spec_kernel.hpp"
 #include <array>
 #include <stdexcept>
 #include <utility>
@@ -135,6 +137,12 @@ Grid2D solve_serial_opt(const Problem& problem, KernelVariant variant,
 }
 
 Grid2D solve_serial(const Problem& problem) {
+  // Spec-driven problems run the compiled atomic-stage program (the bit-exact
+  // oracle for the spec-driven distributed path); z plane 0 is the field.
+  if (problem.spec) {
+    std::vector<Grid2D> planes = solve_serial_spec(problem);
+    return std::move(planes.front());
+  }
   if (problem.shape) return solve_serial_shape(problem);
 
   Grid2D current(problem.rows, problem.cols);

@@ -10,6 +10,9 @@
 namespace repro::stencil {
 
 /// Run `problem.iterations` Jacobi sweeps and return the final grid.
+/// Shape problems dispatch to solve_serial_shape; spec problems run the
+/// compiled atomic-stage program (solve_serial_spec in spec_kernel.hpp) and
+/// return its z plane 0.
 Grid2D solve_serial(const Problem& problem);
 
 /// Serial solve through an optimized kernel variant (kernel_opt.hpp):

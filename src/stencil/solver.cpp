@@ -13,6 +13,13 @@ IterativeSolveResult solve_to_tolerance(const Problem& problem,
   if (tolerance <= 0.0 || round_iterations < 1 || max_rounds < 1) {
     throw std::invalid_argument("solve_to_tolerance: bad arguments");
   }
+  if (problem.spec) {
+    // Warm-starting rounds rewires `initial`, but spec problems sample
+    // initial3 — restarting them from a 2D snapshot would silently drop the
+    // extra z planes. Explicitly unsupported until someone needs it.
+    throw std::invalid_argument(
+        "solve_to_tolerance does not support spec-driven problems");
+  }
 
   IterativeSolveResult result{Grid2D(problem.rows, problem.cols), 0, 0.0,
                               false, 0};

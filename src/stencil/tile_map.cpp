@@ -47,6 +47,20 @@ int TileMap::block_owner(int index, int count, int parts) {
   return rem + (index - pivot) / base;
 }
 
+int TileMap::neighbor_count(int ti, int tj, bool remote_only) const {
+  int count = 0;
+  for (int dti = -1; dti <= 1; ++dti) {
+    for (int dtj = -1; dtj <= 1; ++dtj) {
+      if (dti == 0 && dtj == 0) continue;
+      if (remote_only ? neighbor_remote(ti, tj, dti, dtj)
+                      : neighbor_exists(ti, tj, dti, dtj)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
 int TileMap::min_tile_extent() const {
   int smallest = std::min(mb_, nb_);
   smallest = std::min(smallest, tile_h(tiles_r_ - 1));

@@ -9,6 +9,11 @@
 // tile-row share the same north/south remoteness and all tiles in one
 // tile-column share east/west remoteness; the CA ghost geometry relies on
 // this alignment.
+//
+// Neighborhood queries are generic over (dti, dtj) in {-1,0,1}^2 — the four
+// corner directions are as first-class as the faces, which spec-driven box
+// stencils (diagonal taps) rely on for their every-superstep corner
+// exchanges. Nothing in this class assumes an exactly-4-neighbor topology.
 #pragma once
 
 #include <stdexcept>
@@ -66,6 +71,11 @@ class TileMap {
     if (!neighbor_exists(ti, tj, dti, dtj)) return false;
     return rank_of(ti + dti, tj + dtj) != rank_of(ti, tj);
   }
+
+  /// Count of existing 8-neighborhood neighbors of tile (ti,tj) — faces AND
+  /// corners, since spec-driven box stencils exchange with diagonal tiles
+  /// too. `remote_only` restricts the count to neighbors on other nodes.
+  int neighbor_count(int ti, int tj, bool remote_only = false) const;
 
   /// Smallest tile extent in either dimension (bounds the legal CA step).
   int min_tile_extent() const;

@@ -11,8 +11,12 @@
 //     error and never hang the runtime.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "spec/stencil_spec.hpp"
 #include "stencil/dist_stencil.hpp"
 #include "stencil/serial.hpp"
+#include "stencil/spec_kernel.hpp"
 #include "support/rng.hpp"
 
 namespace repro {
@@ -183,6 +187,79 @@ TEST(FuzzDistStencil, RandomShapesRejectOversizedStepsOrMatchSerial) {
   // The sweep must exercise both outcomes, or the seed constants regressed.
   EXPECT_GT(accepted, 0);
   EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzSpecStencil, RandomSpecsMatchSerial) {
+  // Random stencil SPECS (random rank, radius, point set, weights) through
+  // random decompositions/schedulers: every accepted run must match the
+  // spec's own serial oracle bit-for-bit on EVERY z plane; step sizes whose
+  // staged ghost depth exceeds the smallest tile must throw. On failure the
+  // trace prints the seed and the spec literal — paste the literal into a
+  // unit test to reproduce without the fuzz harness.
+  const char* env = std::getenv("REPRO_SPEC_FUZZ_ROUNDS");
+  const int rounds = env ? std::atoi(env) : 10;
+  int accepted = 0;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(rounds);
+       ++seed) {
+    Rng rng(0x5BEC0000 + seed);
+    const spec::StencilSpec sp = spec::random_spec(seed);
+    const int nz = sp.rank == 3 ? 1 + static_cast<int>(rng.next_below(3)) : 1;
+    const int rows = 10 + static_cast<int>(rng.next_below(20));
+    const int cols = 10 + static_cast<int>(rng.next_below(20));
+    const int iters = 1 + static_cast<int>(rng.next_below(5));
+    const int mb = 3 + static_cast<int>(rng.next_below(6));
+    const int nb = 3 + static_cast<int>(rng.next_below(6));
+    const int tiles_r = (rows + mb - 1) / mb;
+    const int tiles_c = (cols + nb - 1) / nb;
+    const int node_rows = 1 + static_cast<int>(rng.next_below(
+                                  static_cast<std::uint64_t>(
+                                      std::min(tiles_r, 2))));
+    const int node_cols = 1 + static_cast<int>(rng.next_below(
+                                  static_cast<std::uint64_t>(
+                                      std::min(tiles_c, 2))));
+    const stencil::TileMap map(rows, cols, mb, nb, node_rows, node_cols);
+
+    stencil::DistConfig config;
+    config.decomp = {mb, nb, node_rows, node_cols};
+    config.steps = 1 + static_cast<int>(rng.next_below(3));
+    config.workers_per_rank = 1 + static_cast<int>(rng.next_below(3));
+    const rt::SchedPolicy policies[] = {rt::SchedPolicy::PriorityFifo,
+                                        rt::SchedPolicy::Fifo,
+                                        rt::SchedPolicy::Lifo,
+                                        rt::SchedPolicy::WorkStealing};
+    config.scheduler = policies[rng.next_below(4)];
+    config.sched_seed = rng.next_u64();
+
+    const stencil::Problem problem =
+        stencil::spec_problem(sp, rows, cols, iters, nz,
+                              5000 + static_cast<unsigned long>(seed));
+
+    SCOPED_TRACE("FAILING SEED=" + std::to_string(seed) + " SPEC=" +
+                 sp.to_literal() + " (" + std::to_string(rows) + "x" +
+                 std::to_string(cols) + " nz=" + std::to_string(nz) +
+                 " tiles " + std::to_string(mb) + "x" + std::to_string(nb) +
+                 " nodes " + std::to_string(node_rows) + "x" +
+                 std::to_string(node_cols) + " s=" +
+                 std::to_string(config.steps) + ")");
+
+    // The spec path runs radius-1 stage units with steps multiplied by the
+    // stage count, so the acceptance bound is steps * stages.
+    if (config.steps * spec::stage_count(sp) > map.min_tile_extent()) {
+      EXPECT_THROW(run_distributed(problem, config), std::invalid_argument);
+      continue;
+    }
+    const stencil::DistResult result = run_distributed(problem, config);
+    const std::vector<stencil::Grid2D> expected =
+        stencil::solve_serial_spec(problem);
+    ASSERT_EQ(result.planes.size(), expected.size());
+    for (std::size_t z = 0; z < expected.size(); ++z) {
+      ASSERT_EQ(stencil::Grid2D::max_abs_diff(expected[z], result.planes[z]),
+                0.0)
+          << "z=" << z;
+    }
+    ++accepted;
+  }
+  EXPECT_GT(accepted, 0);
 }
 
 TEST(FuzzRuntime, RandomDagsWithRandomPlacementComputeCorrectly) {

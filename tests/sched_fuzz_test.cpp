@@ -27,8 +27,10 @@
 
 #include "runtime/runtime.hpp"
 #include "serve/solver_farm.hpp"
+#include "spec/stencil_spec.hpp"
 #include "stencil/dist_stencil.hpp"
 #include "stencil/serial.hpp"
+#include "stencil/spec_kernel.hpp"
 #include "support/rng.hpp"
 
 namespace repro {
@@ -128,6 +130,58 @@ void run_variant_sweep(const Variant& variant) {
       }
     }
   }
+}
+
+// Spec-driven problems ride the same adversarial schedule pool: the staged
+// programs add multi-plane state, per-stage local exchanges, and (for box
+// specs) corner messages — all of which must stay bit-identical to
+// solve_serial_spec under every schedule on every z plane.
+void run_spec_sweep(const spec::StencilSpec& sp, int nz, int steps) {
+  const stencil::Problem problem =
+      stencil::spec_problem(sp, kRows, kCols, kIters, nz, 0x5eed);
+  const std::vector<stencil::Grid2D> expected =
+      stencil::solve_serial_spec(problem);
+  const int seeds = std::min(seeds_per_config(), 16);
+
+  for (const auto policy :
+       {rt::SchedPolicy::PriorityFifo, rt::SchedPolicy::WorkStealing}) {
+    for (const int workers : {2, 4}) {
+      for (int seed = 0; seed < seeds; ++seed) {
+        stencil::DistConfig config;
+        config.decomp = {4, 5, 2, 2};
+        config.steps = steps;
+        config.workers_per_rank = workers;
+        config.scheduler = policy;
+        config.sched_seed = static_cast<std::uint64_t>(seed);
+        config.sched_test_hook =
+            make_fuzz_hook(static_cast<std::uint64_t>(seed));
+
+        const stencil::DistResult result = run_distributed(problem, config);
+        ASSERT_EQ(result.planes.size(), expected.size());
+        for (std::size_t z = 0; z < expected.size(); ++z) {
+          ASSERT_EQ(stencil::Grid2D::max_abs_diff(expected[z],
+                                                  result.planes[z]),
+                    0.0)
+              << sp.name << " z=" << z
+              << " sched=" << rt::sched_policy_name(policy)
+              << " workers=" << workers << " FAILING SEED=" << seed
+              << " SPEC=" << sp.to_literal();
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedFuzz, SpecStar9CaBitIdenticalUnderAllSchedules) {
+  run_spec_sweep(spec::StencilSpec::star9(), 1, 2);
+}
+
+TEST(SchedFuzz, SpecBox9CaBitIdenticalUnderAllSchedules) {
+  run_spec_sweep(spec::StencilSpec::box9(), 1, 2);
+}
+
+TEST(SchedFuzz, SpecHeat3dCaBitIdenticalUnderAllSchedules) {
+  run_spec_sweep(spec::StencilSpec::heat3d(), 3, 2);
 }
 
 TEST(SchedFuzz, BaseScalarBitIdenticalUnderAllSchedules) {

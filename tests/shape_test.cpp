@@ -121,6 +121,30 @@ TEST(Halo, LocalCornerCopiesDiagonalCore) {
   EXPECT_DOUBLE_EQ(mine[g.idx(0, 0)], -7.0);
 }
 
+TEST(TileMapTopology, CornerNeighborsAreFirstClass) {
+  // Regression for latent 4-neighbor assumptions: with one tile per node on
+  // a 3x3 grid, EVERY neighbor of the center tile — corners included — is
+  // remote, and the map must report the full 8-neighborhood. Spec-driven box
+  // stencils route corner exchanges through exactly these queries.
+  const TileMap map(12, 12, 4, 4, 3, 3);
+  EXPECT_EQ(map.neighbor_count(1, 1), 8);
+  EXPECT_EQ(map.neighbor_count(1, 1, /*remote_only=*/true), 8);
+  // Corner tile: 3 neighbors (E, S, SE), all remote.
+  EXPECT_EQ(map.neighbor_count(0, 0), 3);
+  EXPECT_EQ(map.neighbor_count(0, 0, /*remote_only=*/true), 3);
+  // Edge tile: 5 neighbors.
+  EXPECT_EQ(map.neighbor_count(0, 1), 5);
+  // Diagonal remoteness is distinct from face remoteness: on a 1x3 node
+  // grid (columns split, rows shared) the center tile's N/S neighbors are
+  // local but its diagonal neighbors are remote.
+  const TileMap strips(12, 12, 4, 4, 1, 3);
+  EXPECT_TRUE(strips.neighbor_remote(1, 1, 0, 1));
+  EXPECT_FALSE(strips.neighbor_remote(1, 1, 1, 0));
+  EXPECT_TRUE(strips.neighbor_remote(1, 1, 1, 1));
+  EXPECT_TRUE(strips.neighbor_remote(1, 1, -1, -1));
+  EXPECT_EQ(strips.neighbor_count(1, 1, /*remote_only=*/true), 6);
+}
+
 struct ShapeCase {
   int radius;
   bool box;

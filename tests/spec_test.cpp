@@ -1,0 +1,275 @@
+// Unit tests for the declarative stencil front end (src/spec): spec
+// validation, named constructors, derived halo regions, atomic-stage counts,
+// compiled-program structure, and the serial staged oracle's agreement with
+// a direct wide-stencil sweep (bit-exact for 1-stage specs, tolerance for
+// multi-stage ones whose reassembly reassociates the sum).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "spec/stages.hpp"
+#include "spec/stencil_spec.hpp"
+#include "stencil/serial.hpp"
+#include "stencil/solver.hpp"
+#include "stencil/spec_kernel.hpp"
+
+namespace repro::stencil {
+namespace {
+
+// Direct wide-stencil serial reference: radius-r ring, one sweep per
+// iteration applying every tap at once in listed order. The staged oracle
+// computes the same operator with a different association, so multi-stage
+// specs match to rounding; 1-stage specs must match bit-for-bit (one stage
+// IS the direct sweep).
+std::vector<std::vector<double>> solve_direct(const Problem& p) {
+  const spec::StencilSpec& sp = *p.spec;
+  const int r = sp.radius();
+  const int nz = p.nz;
+  const int rows = p.rows, cols = p.cols;
+  auto idx = [&](int z, int i, int j) {
+    return ((z + r) * (rows + 2 * r) + (i + r)) * (cols + 2 * r) + (j + r);
+  };
+  std::vector<double> cur(static_cast<std::size_t>(nz + 2 * r) *
+                          (rows + 2 * r) * (cols + 2 * r));
+  for (int z = -r; z < nz + r; ++z) {
+    for (int i = -r; i < rows + r; ++i) {
+      for (int j = -r; j < cols + r; ++j) {
+        const bool in =
+            z >= 0 && z < nz && i >= 0 && i < rows && j >= 0 && j < cols;
+        cur[idx(z, i, j)] = in ? p.initial3(i, j, z) : p.boundary3(i, j, z);
+      }
+    }
+  }
+  std::vector<double> nxt = cur;
+  for (int k = 0; k < p.iterations; ++k) {
+    for (int z = 0; z < nz; ++z) {
+      for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < cols; ++j) {
+          double acc = 0.0;
+          for (const spec::StencilPoint& pt : sp.points) {
+            acc += pt.coeff * cur[idx(z + pt.offset[2], i + pt.offset[0],
+                                      j + pt.offset[1])];
+          }
+          nxt[idx(z, i, j)] = acc;
+        }
+      }
+    }
+    std::swap(cur, nxt);
+  }
+  std::vector<std::vector<double>> out(nz, std::vector<double>(rows * cols));
+  for (int z = 0; z < nz; ++z) {
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) out[z][i * cols + j] = cur[idx(z, i, j)];
+    }
+  }
+  return out;
+}
+
+double staged_vs_direct_maxdiff(const spec::StencilSpec& sp, int nz,
+                                int iters) {
+  const Problem p = spec_problem(sp, 12, 11, iters, nz, 7);
+  const std::vector<Grid2D> staged = solve_serial_spec(p);
+  const auto ref = solve_direct(p);
+  double maxd = 0.0;
+  for (int z = 0; z < nz; ++z) {
+    for (int i = 0; i < p.rows; ++i) {
+      for (int j = 0; j < p.cols; ++j) {
+        maxd = std::max(maxd,
+                        std::fabs(staged[z].at(i, j) - ref[z][i * p.cols + j]));
+      }
+    }
+  }
+  return maxd;
+}
+
+TEST(Spec, ValidateRejectsMalformedSpecs) {
+  spec::StencilSpec s = spec::StencilSpec::star5();
+  EXPECT_NO_THROW(s.validate());
+
+  spec::StencilSpec empty = s;
+  empty.points.clear();
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+  spec::StencilSpec bad_rank = s;
+  bad_rank.rank = 4;
+  EXPECT_THROW(bad_rank.validate(), std::invalid_argument);
+
+  spec::StencilSpec dup = s;
+  dup.points.push_back(dup.points.front());
+  EXPECT_THROW(dup.validate(), std::invalid_argument);
+
+  spec::StencilSpec far = s;
+  far.points.push_back({{spec::kMaxRadius + 1, 0, 0}, 0.1});
+  EXPECT_THROW(far.validate(), std::invalid_argument);
+
+  spec::StencilSpec inactive = s;  // rank 2 but a z offset
+  inactive.points.push_back({{0, 0, 1}, 0.1});
+  EXPECT_THROW(inactive.validate(), std::invalid_argument);
+}
+
+TEST(Spec, NamedConstructorsAndLookup) {
+  const auto& names = spec::spec_names();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.front(), "star5");  // the CLI default
+  for (const std::string& name : names) {
+    const spec::StencilSpec s = spec::spec_by_name(name);
+    EXPECT_EQ(s.name, name);
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_LT(s.coeff_sum(), 1.0 + 1e-12) << name << " must be contractive";
+  }
+  EXPECT_THROW(spec::spec_by_name("nope"), std::invalid_argument);
+
+  // star5's tap order is jacobi5's accumulation order — the order is what
+  // makes the recognized path bit-identical to the classic solver.
+  const spec::StencilSpec s5 = spec::StencilSpec::star5();
+  ASSERT_EQ(s5.points.size(), 5u);
+  EXPECT_EQ(s5.points[0].offset, (std::array<int, 3>{0, 0, 0}));
+  EXPECT_EQ(s5.points[1].offset, (std::array<int, 3>{-1, 0, 0}));
+  EXPECT_EQ(s5.points[2].offset, (std::array<int, 3>{1, 0, 0}));
+  EXPECT_EQ(s5.points[3].offset, (std::array<int, 3>{0, -1, 0}));
+  EXPECT_EQ(s5.points[4].offset, (std::array<int, 3>{0, 1, 0}));
+}
+
+TEST(Spec, ReachIsPerAxisAndPerDirection) {
+  const spec::StencilSpec a = spec::StencilSpec::advect2d();
+  // Upwind: reads strictly one-sided on each active axis.
+  const int up = a.reach(0, -1) + a.reach(0, 1);
+  EXPECT_GE(up, 1);
+  EXPECT_EQ(a.reach(2, -1), 0);
+  EXPECT_EQ(a.reach(2, 1), 0);
+
+  const spec::StencilSpec h = spec::StencilSpec::heat3d();
+  EXPECT_EQ(h.reach(2, -1), 1);
+  EXPECT_EQ(h.reach(2, 1), 1);
+  EXPECT_EQ(h.radius_xy(), 1);
+  EXPECT_EQ(h.radius(), 1);
+
+  const spec::StencilSpec s9 = spec::StencilSpec::star9();
+  EXPECT_EQ(s9.radius(), 2);
+  EXPECT_EQ(s9.radius_xy(), 2);
+}
+
+TEST(Spec, DeriveHalosFacesAndCorners) {
+  // Cross specs need faces only; box specs add the diagonal regions.
+  const auto star = spec::derive_halos(spec::StencilSpec::star5());
+  EXPECT_EQ(star.size(), 4u);
+  for (const auto& h : star) EXPECT_EQ(h.order(), 1);
+
+  const auto star2 = spec::derive_halos(spec::StencilSpec::star9());
+  EXPECT_EQ(star2.size(), 4u);  // radius 2, still no corners
+  for (const auto& h : star2) {
+    const int axis = h.dir[0] != 0 ? 0 : 1;
+    EXPECT_EQ(h.depth[axis], 2);
+  }
+
+  const auto box = spec::derive_halos(spec::StencilSpec::box9());
+  EXPECT_EQ(box.size(), 8u);  // 4 faces + 4 corners
+  int corners = 0;
+  for (const auto& h : box) corners += h.order() == 2 ? 1 : 0;
+  EXPECT_EQ(corners, 4);
+
+  // Full 3D box: the complete 26-neighborhood.
+  EXPECT_EQ(spec::derive_halos(spec::StencilSpec::box27()).size(), 26u);
+}
+
+TEST(Spec, StageCountAndGhostDepth) {
+  EXPECT_EQ(spec::stage_count(spec::StencilSpec::star5()), 1);
+  EXPECT_EQ(spec::stage_count(spec::StencilSpec::box9()), 1);
+  EXPECT_EQ(spec::stage_count(spec::StencilSpec::star9()), 2);
+  EXPECT_EQ(spec::stage_count(spec::StencilSpec::heat3d()), 1);
+  EXPECT_EQ(spec::ca_ghost_depth(spec::StencilSpec::star9(), 3), 6);
+  EXPECT_EQ(spec::ca_ghost_depth(spec::StencilSpec::box9(), 3), 3);
+}
+
+TEST(Spec, CompiledProgramStructure) {
+  const spec::CompiledProgram s9 = spec::compile_spec(
+      spec::StencilSpec::star9(), 1);
+  EXPECT_EQ(s9.nstages, 2);
+  EXPECT_EQ(s9.ncomp, 6);
+  EXPECT_EQ(s9.nfield, 1);
+  EXPECT_FALSE(s9.diagonal_taps);
+
+  const spec::CompiledProgram b9 = spec::compile_spec(
+      spec::StencilSpec::box9(), 1);
+  EXPECT_EQ(b9.nstages, 1);
+  EXPECT_TRUE(b9.diagonal_taps);
+
+  // 2.5D: z folded into per-cell planes — nz field planes plus one frozen
+  // Dirichlet ghost plane per read z direction.
+  const spec::CompiledProgram h = spec::compile_spec(
+      spec::StencilSpec::heat3d(), 4);
+  EXPECT_EQ(h.nstages, 1);
+  EXPECT_EQ(h.nfield, 6);
+
+  // The recognized 5-point fast path only fires for the exact star5 layout.
+  EXPECT_TRUE(spec::compile_spec(spec::StencilSpec::star5(), 1)
+                  .star5.has_value());
+  EXPECT_FALSE(b9.star5.has_value());
+
+  EXPECT_GT(s9.flops_per_point(), 0.0);
+}
+
+TEST(Spec, SingleStageSpecsMatchDirectBitForBit) {
+  // One stage applies the taps in listed order starting from w0*x, exactly
+  // like the direct sweep: no reassociation, so identity is exact.
+  EXPECT_EQ(staged_vs_direct_maxdiff(spec::StencilSpec::star5(), 1, 6), 0.0);
+  EXPECT_EQ(staged_vs_direct_maxdiff(spec::StencilSpec::box9(), 1, 5), 0.0);
+  EXPECT_EQ(staged_vs_direct_maxdiff(spec::StencilSpec::advect2d(), 1, 6),
+            0.0);
+}
+
+TEST(Spec, StagedDecompositionMatchesDirectToRounding) {
+  EXPECT_LT(staged_vs_direct_maxdiff(spec::StencilSpec::star9(), 1, 5),
+            1e-12);
+  EXPECT_LT(staged_vs_direct_maxdiff(spec::StencilSpec::heat3d(), 4, 5),
+            1e-12);
+  EXPECT_LT(staged_vs_direct_maxdiff(spec::StencilSpec::box27(), 3, 4),
+            1e-12);
+  for (unsigned long seed = 1; seed <= 8; ++seed) {
+    const spec::StencilSpec sp = spec::random_spec(seed);
+    EXPECT_LT(staged_vs_direct_maxdiff(sp, sp.rank == 3 ? 3 : 1, 4), 1e-12)
+        << "seed " << seed << " spec " << sp.to_literal();
+  }
+}
+
+TEST(Spec, ToLiteralIsExactAndNamesTheSpec) {
+  const spec::StencilSpec sp = spec::random_spec(42);
+  const std::string lit = sp.to_literal();
+  EXPECT_NE(lit.find(sp.name), std::string::npos);
+  // Coefficients print as hexfloats so a pasted literal reproduces the spec
+  // bit-for-bit.
+  EXPECT_NE(lit.find("0x1."), std::string::npos);
+  EXPECT_NE(lit.find('p'), std::string::npos);
+}
+
+TEST(Spec, Star5SpecBitIdenticalToLegacySerial) {
+  const Problem ps = spec_problem(spec::StencilSpec::star5(), 16, 13, 7, 1, 3);
+  Problem pl = ps;
+  pl.spec.reset();
+  pl.weights = Stencil5::test_weights();
+  const std::vector<Grid2D> a = solve_serial_spec(ps);
+  const Grid2D b = solve_serial(pl);
+  EXPECT_EQ(Grid2D::max_abs_diff(a[0], b), 0.0);
+}
+
+TEST(Spec, SolveToToleranceRejectsSpecProblems) {
+  const Problem p = spec_problem(spec::StencilSpec::heat3d(), 16, 16, 4, 2);
+  DistConfig config;
+  config.decomp = {8, 8, 2, 2};
+  EXPECT_THROW(solve_to_tolerance(p, config, 1e-6, 4, 4),
+               std::invalid_argument);
+}
+
+TEST(Spec, RandomSpecsAreAlwaysValid) {
+  for (unsigned long seed = 0; seed < 64; ++seed) {
+    const spec::StencilSpec sp = spec::random_spec(seed);
+    EXPECT_NO_THROW(sp.validate()) << sp.to_literal();
+    EXPECT_LE(sp.radius(), spec::kMaxRadius);
+    EXPECT_NEAR(sp.coeff_sum(), 0.9, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace repro::stencil

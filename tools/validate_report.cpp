@@ -2,6 +2,8 @@
 // line is a well-formed report of a known schema. The document's "schema"
 // field picks the validator:
 //   repro.run_report/v1      -> obs::validate_run_report
+//                               (incl. the optional "stencil_spec" block
+//                               emitted by spec-aware benches)
 //   repro.trace_analysis/v1  -> obs::validate_trace_analysis
 //   repro.serve_report/v1    -> serve::validate_serve_report
 //
