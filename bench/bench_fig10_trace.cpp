@@ -63,11 +63,19 @@ void simulated_part(const Options& options) {
   table.print(std::cout);
 }
 
-void real_part(const Options& options) {
+int real_part(const Options& options) {
   const int n = static_cast<int>(options.get_int("n", 512));
   const int iters = static_cast<int>(options.get_int("real-iters", 12));
+  // --channel=persistent reruns the same experiment over persistent halo
+  // channels (pre-registered route buffers, partitioned fragment sends).
+  // The trace CSVs get distinct names so trace_analyze --diff can gate the
+  // persistent wire path against the default one in CI.
+  const bool persistent =
+      options.get_choice("channel", "default", {"default", "persistent"}) ==
+      "persistent";
   std::cout << "\nReal taskrt trace on this host (N=" << n << ", 2x2 virtual "
-            << "nodes, 2 workers each, ratio 0.4, " << iters << " iters).\n"
+            << "nodes, 2 workers each, ratio 0.4, " << iters << " iters, "
+            << (persistent ? "persistent" : "default") << " channel).\n"
             << "Note: all virtual nodes timeshare this host's "
             << std::thread::hardware_concurrency()
             << " hardware thread(s); occupancy percentages reflect that "
@@ -83,8 +91,23 @@ void real_part(const Options& options) {
     config.kernel_ratio = 0.4;
     config.workers_per_rank = 2;
     config.trace = true;
+    config.persistent = persistent;
     const stencil::Problem problem = stencil::laplace_problem(n, iters);
     const stencil::DistResult result = run_distributed(problem, config);
+
+    if (persistent && obs::kEnabled) {
+      // The zero-allocation steady-state contract, enforced as an exit code
+      // so CI can gate on it: after warmup every fragment must reuse a
+      // registered slot.
+      const double steady =
+          result.metrics->counter("net_persistent_steady_allocs_total", {})
+              ->value();
+      if (steady != 0.0) {
+        std::cerr << "FAIL: net_persistent_steady_allocs_total = " << steady
+                  << " (expected 0: steady state must not allocate)\n";
+        return 1;
+      }
+    }
 
     const rt::TraceReport report =
         rt::analyze_trace(result.trace_events, config.workers_per_rank);
@@ -107,8 +130,10 @@ void real_part(const Options& options) {
     rt::print_ascii_gantt(result.trace_events, std::cout, 96);
 
     if (options.has("csv")) {
+      const std::string prefix =
+          persistent ? "fig10_persistent" : "fig10";
       const std::string path =
-          (steps == 1 ? "fig10_base.csv" : "fig10_ca.csv");
+          prefix + (steps == 1 ? "_base.csv" : "_ca.csv");
       std::ofstream out(path);
       rt::write_trace_csv(result.trace_events, out);
       std::cout << "(wrote " << path << ")\n";
@@ -151,6 +176,7 @@ void real_part(const Options& options) {
   std::cout << "Shapes to check: CA's critical path is shorter and its "
                "network share lower\n(fewer halo hops on the path; see "
                "tools/trace_analyze for the diff workflow).\n";
+  return 0;
 }
 
 }  // namespace
@@ -162,6 +188,5 @@ int main(int argc, char** argv) {
                 "(base median 136 vs CA 153) and runs 14% faster at ratio "
                 "0.4 on 16 NaCL nodes");
   simulated_part(options);
-  real_part(options);
-  return 0;
+  return real_part(options);
 }

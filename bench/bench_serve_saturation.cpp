@@ -82,6 +82,11 @@ int main(int argc, char** argv) {
   const bool whale = options.get_int("whale", 1) != 0;
   const unsigned long seed =
       static_cast<unsigned long>(options.get_int("seed", 1));
+  // --channel=persistent serves every wave over persistent halo channels
+  // (serve::FarmConfig::persistent) — same results, registered-buffer wire.
+  const bool persistent =
+      options.get_choice("channel", "default", {"default", "persistent"}) ==
+      "persistent";
   const std::vector<double> rates =
       parse_rates(options.get_string("rates", "2,8,32,128"));
 
@@ -99,6 +104,7 @@ int main(int argc, char** argv) {
   report.set_param("workers_per_rank", workers);
   report.set_param("whale", whale ? 1 : 0);
   report.set_param("seed", static_cast<long long>(seed));
+  report.set_param("channel", persistent ? "persistent" : "default");
 
   auto registry = std::make_shared<obs::MetricsRegistry>();
   std::vector<serve::TenantStats> last_stats;
@@ -113,6 +119,7 @@ int main(int argc, char** argv) {
     config.node_cols = 2;
     config.workers_per_rank = workers;
     config.metrics = registry;
+    config.persistent = persistent;
     // Paced tenants stay batched; only the whale crosses into windowed mode.
     config.preempt_cost_threshold =
         static_cast<long long>(n) * n * iters + 1;

@@ -59,6 +59,11 @@ int main(int argc, char** argv) {
   const rt::SchedPolicy sched = rt::parse_sched_policy(
       options.get_choice("sched", "priority",
                          {"priority", "fifo", "lifo", "steal"}));
+  // --channel=persistent routes every remote halo over pre-registered route
+  // buffers (net::PersistentChannel); results must stay bit-identical.
+  const bool persistent =
+      options.get_choice("channel", "default", {"default", "persistent"}) ==
+      "persistent";
   std::vector<std::string> names;
   if (options.has("specs")) {
     names = split_csv(options.get_string("specs", ""));
@@ -74,6 +79,8 @@ int main(int argc, char** argv) {
   report.set_param("steps", obs::Json(steps));
   report.set_param("nz", obs::Json(nz));
   report.set_param("sched", obs::Json(rt::sched_policy_name(sched)));
+  report.set_param("channel",
+                   obs::Json(persistent ? "persistent" : "default"));
 
   Table table({"spec", "stages", "mode", "time ms", "Mpoints/s", "messages",
                "halo KiB", "redundant", "exact"});
@@ -104,6 +111,7 @@ int main(int argc, char** argv) {
       config.steps = run_steps;
       config.scheduler = sched;
       config.workers_per_rank = 2;
+      config.persistent = persistent;
       const stencil::DistResult r = stencil::run_distributed(problem, config);
 
       bool exact = true;

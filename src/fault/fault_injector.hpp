@@ -114,6 +114,9 @@ class FaultInjector final : public net::Channel {
   void close() override;
   bool closed() const override { return inner_->closed(); }
   net::TrafficStats stats() const override { return inner_->stats(); }
+  /// Never lossless: this decorator exists to drop/duplicate/reorder, so a
+  /// reliability layer above must retain full retransmit copies.
+  bool lossless() const override { return false; }
 
   FaultStats fault_stats() const;
   const std::shared_ptr<net::Channel>& inner() const { return inner_; }

@@ -25,6 +25,10 @@ net::Message unwrap(net::Message&& wire) {
                     wire.header.begin() +
                         static_cast<std::ptrdiff_t>(kEnvelopeWords + orig_len));
   msg.payload = std::move(wire.payload);
+  // Shared-view payloads (persistent channels) ride the envelope untouched.
+  msg.owner = std::move(wire.owner);
+  msg.view_offset = wire.view_offset;
+  msg.view_len = wire.view_len;
   return msg;
 }
 
@@ -38,6 +42,7 @@ ReliableChannel::ReliableChannel(std::shared_ptr<net::Channel> inner,
                               : std::make_shared<obs::MetricsRegistry>()),
       rng_(config.seed) {
   if (!inner_) throw std::invalid_argument("ReliableChannel: null inner");
+  inner_lossless_ = inner_->lossless();
   if (config_.timeout_s <= 0.0 || config_.backoff < 1.0 ||
       config_.max_retries < 1 || config_.window < 1) {
     throw std::invalid_argument("ReliableChannel: bad config");
@@ -132,10 +137,32 @@ void ReliableChannel::send(net::Message msg) {
   wire.header = {kMagic, kKindData, seq, rev_ack, msg.header.size()};
   wire.header.insert(wire.header.end(), msg.header.begin(), msg.header.end());
   wire.payload = std::move(msg.payload);
+  wire.owner = std::move(msg.owner);
+  wire.view_offset = msg.view_offset;
+  wire.view_len = msg.view_len;
 
   InFlight entry;
   entry.seq = seq;
-  entry.wire = wire;  // retained copy for retransmission
+  if (inner_lossless_) {
+    // Envelope-only retention: over a lossless FIFO inner stack, any
+    // retransmit is necessarily a duplicate of an already-delivered message
+    // and is dropped by sequence number before its payload is examined — so
+    // the window does not need the payload, and the clean path stops paying
+    // a defensive deep copy per message.
+    entry.wire.src = wire.src;
+    entry.wire.dst = wire.dst;
+    entry.wire.tag = wire.tag;
+    entry.wire.header = wire.header;
+    entry.wire.trace = wire.trace;
+  } else {
+    // Retained copy for retransmission. Shared-view payloads (persistent
+    // channels) make this a refcount bump: retransmits re-send straight
+    // from the registered buffer without re-copying the bulk data.
+    entry.wire = wire;
+    if (!wire.shared_payload()) {
+      stats_.retained_payload_doubles += wire.payload.size();
+    }
+  }
   entry.interval_s = jittered(config_.timeout_s);
   entry.next_retry =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(

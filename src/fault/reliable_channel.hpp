@@ -65,6 +65,10 @@ struct ReliableStats {
   std::uint64_t out_of_order = 0;   ///< data buffered past a gap
   std::uint64_t window_stalls = 0;  ///< send() blocked on a full window
   double backoff_wait_s = 0.0;      ///< cumulative scheduled retry wait
+  /// Payload doubles deep-copied into retransmit windows. Stays 0 over a
+  /// lossless inner stack (envelope-only retention — the defensive copy is
+  /// skipped) and for shared-view payloads (retained by refcount).
+  std::uint64_t retained_payload_doubles = 0;
   bool failed = false;              ///< retries exhausted somewhere
 };
 
@@ -83,6 +87,9 @@ class ReliableChannel final : public net::Channel {
   bool closed() const override { return closed_.load(); }
   /// Wire-level traffic (envelopes + retransmissions + acks).
   net::TrafficStats stats() const override { return inner_->stats(); }
+  /// The whole point of this decorator: exactly-once FIFO delivery (or a
+  /// conclusive ChannelError), regardless of the inner stack's losses.
+  bool lossless() const override { return true; }
 
   ReliableStats reliable_stats() const;
   bool failed() const { return failed_.load(); }
@@ -122,6 +129,8 @@ class ReliableChannel final : public net::Channel {
 
   std::shared_ptr<net::Channel> inner_;
   ReliableConfig config_;
+  /// Cached inner_->lossless(): gates envelope-only window retention.
+  bool inner_lossless_ = false;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
 
   // obs mirrors of ReliableStats (no-op objects when obs is compiled out).

@@ -2,13 +2,13 @@
 //
 // `Channel` is the interface the runtime's communication threads speak; the
 // canonical implementation is the in-memory `Transport` (transport.hpp), but
-// the fault subsystem stacks decorators behind the same interface:
+// decorators stack behind the same interface (see docs/CHANNELS.md):
 //
-//     ReliableChannel( FaultInjector( Transport ) )
+//     PersistentChannel( ReliableChannel( FaultInjector( Transport ) ) )
 //
-// so lossy delivery and retransmission are invisible to the runtime. A
-// `ChannelFactory` lets callers inject such a stack per run without the
-// runtime depending on the fault library.
+// so lossy delivery, retransmission, and persistent zero-copy halo routes
+// are invisible to the runtime. A `ChannelFactory` lets callers inject such
+// a stack per run without the runtime depending on the fault library.
 //
 // Traffic accounting lives here too: `TrafficStats` counts messages/bytes and
 // keeps a fixed log2-bucket `SizeHistogram` of message sizes, so the memory
@@ -30,13 +30,40 @@
 namespace repro::net {
 
 /// A message between ranks. `header` carries small metadata words (task keys,
-/// slot ids); `payload` carries the bulk data. Both count toward traffic.
+/// slot ids); the payload carries the bulk data. Both count toward traffic.
+///
+/// The payload has two representations:
+///   * owned  — `payload` holds the doubles (the classic deep-copy wire);
+///   * shared — `owner` points at a pre-registered buffer and the payload is
+///     the `view_len` doubles starting at `owner->data() + view_offset`
+///     (`payload` stays empty). This is the persistent-channel zero-copy
+///     path: copying the Message is a refcount bump, so fault-layer window
+///     retention and duplicate injection never re-copy the bulk data.
+/// `span()` reads whichever representation is active.
 struct Message {
   int src = -1;
   int dst = -1;
   std::uint64_t tag = 0;
   std::vector<std::uint64_t> header;
   std::vector<double> payload;
+
+  /// Shared payload view (see above). Non-null makes `payload` inert.
+  std::shared_ptr<const std::vector<double>> owner;
+  std::size_t view_offset = 0;
+  std::size_t view_len = 0;
+
+  /// True when the payload is a shared view of a registered buffer.
+  bool shared_payload() const { return owner != nullptr; }
+
+  /// Payload length in doubles, for either representation.
+  std::size_t payload_len() const {
+    return owner ? view_len : payload.size();
+  }
+
+  /// First payload double, for either representation (null when empty).
+  const double* payload_data() const {
+    return owner ? owner->data() + view_offset : payload.data();
+  }
 
   /// In-memory trace metadata riding along with the message (never
   /// serialized, never counted in bytes()). Filled by the runtime when
@@ -54,9 +81,12 @@ struct Message {
   };
   TraceMeta trace;
 
+  /// Wire size: tag + header words + payload doubles. Shared views count
+  /// their viewed doubles — the bytes that would cross a real wire — even
+  /// though no copy happens in-process.
   std::size_t bytes() const {
     return sizeof(tag) + header.size() * sizeof(std::uint64_t) +
-           payload.size() * sizeof(double);
+           payload_len() * sizeof(double);
   }
 };
 
@@ -177,6 +207,15 @@ class Channel {
   /// Snapshot of global traffic counters (for decorators: traffic actually
   /// put on the underlying wire, including retransmissions and acks).
   virtual TrafficStats stats() const = 0;
+
+  /// True when this channel — including its whole inner stack — delivers
+  /// every accepted message exactly once, in per-(src,dst) FIFO order,
+  /// without loss. The in-memory Transport is lossless; a FaultInjector is
+  /// not. A reliability layer over a lossless stack may skip retaining
+  /// payload copies for retransmission: any retransmit is then necessarily a
+  /// duplicate of an already-delivered message and is dropped by sequence
+  /// number before its payload is examined.
+  virtual bool lossless() const { return false; }
 };
 
 /// Builds the channel stack for one run. Null factory = plain Transport.

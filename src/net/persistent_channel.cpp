@@ -1,0 +1,368 @@
+#include "net/persistent_channel.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "net/transport.hpp"
+
+namespace repro::net {
+
+// Per-route endpoint state. The producer pool is touched by worker threads
+// through acquire(); the assembly fields only by the destination rank's
+// receiver thread. One small mutex covers both — contention is nil because
+// the two sides live on different ranks of the same route.
+struct PersistentChannel::RouteState {
+  RouteSpec spec;
+  std::mutex m;
+
+  // Producer side: registered slot buffers, reused once the previous
+  // instance's last reference (in-flight fragments, retention windows, the
+  // consumer's delivered buffer) has dropped.
+  std::vector<std::shared_ptr<std::vector<double>>> pool;
+
+  // Consumer side: fragment-ready bitmap of the instance being assembled.
+  std::vector<std::uint8_t> got;
+  std::uint32_t got_count = 0;
+  // Zero-copy candidate: every fragment so far was a canonical slice of the
+  // same registered buffer. Falls back to copying into `assembled`.
+  std::shared_ptr<const std::vector<double>> shared_owner;
+  bool zero_copy = true;
+  std::vector<double> assembled;
+  std::vector<std::uint64_t> rt_header;
+  Message::TraceMeta trace;
+};
+
+PersistentChannel::PersistentChannel(
+    std::shared_ptr<Channel> inner,
+    std::shared_ptr<obs::MetricsRegistry> metrics)
+    : inner_(std::move(inner)), metrics_(std::move(metrics)) {
+  if (!inner_) {
+    throw std::invalid_argument("PersistentChannel: null inner channel");
+  }
+  if (metrics_) {
+    m_routes_ = metrics_->counter("net_persistent_routes_total", {},
+                                  "Persistent halo routes negotiated");
+    m_handshakes_ =
+        metrics_->counter("net_persistent_handshake_messages_total", {},
+                          "OPEN/ACK negotiation messages put on the wire");
+    m_fragments_ = metrics_->counter("net_persistent_fragments_total", {},
+                                     "Route fragments sent");
+    m_deliveries_ = metrics_->counter("net_persistent_deliveries_total", {},
+                                      "Assembled route instances delivered");
+    m_buffer_allocs_ =
+        metrics_->counter("net_persistent_buffer_allocs_total", {},
+                          "Registered slot allocations (warmup included)");
+    m_steady_allocs_ = metrics_->counter(
+        "net_persistent_steady_allocs_total", {},
+        "Slot allocations past the warmup pool (0 in a healthy run)");
+    m_assembly_copies_ =
+        metrics_->counter("net_persistent_assembly_copies_total", {},
+                          "Fragments assembled by copy instead of zero-copy");
+  }
+}
+
+PersistentChannel::~PersistentChannel() = default;
+
+std::pair<std::size_t, std::size_t> PersistentChannel::fragment_slice(
+    std::size_t doubles, std::uint32_t nfrag, std::uint32_t frag) {
+  const std::size_t base = doubles / nfrag;
+  const std::size_t rem = doubles % nfrag;
+  const std::size_t begin =
+      frag * base + std::min<std::size_t>(frag, rem);
+  const std::size_t len = base + (frag < rem ? 1 : 0);
+  return {begin, len};
+}
+
+void PersistentChannel::negotiate(const std::vector<RouteSpec>& routes) {
+  if (negotiated_.load(std::memory_order_acquire)) {
+    throw std::logic_error("PersistentChannel::negotiate called twice");
+  }
+  if (closed()) {
+    throw ChannelError("PersistentChannel::negotiate after close");
+  }
+  const int n = inner_->nranks();
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    for (const RouteSpec& spec : routes) {
+      if (spec.id == 0 || spec.doubles == 0 || spec.fragments == 0 ||
+          spec.src < 0 || spec.src >= n || spec.dst < 0 || spec.dst >= n) {
+        throw std::invalid_argument(
+            "PersistentChannel: invalid route spec (id " +
+            std::to_string(spec.id) + ")");
+      }
+      auto state = std::make_unique<RouteState>();
+      state->spec = spec;
+      if (!routes_.emplace(spec.id, std::move(state)).second) {
+        throw std::invalid_argument("PersistentChannel: duplicate route id " +
+                                    std::to_string(spec.id));
+      }
+    }
+  }
+  negotiated_.store(true, std::memory_order_release);
+
+  // Wire handshake, one OPEN + ACK per ordered endpoint pair. The route
+  // table above is authoritative (both endpoints live in this process); the
+  // messages exist so the negotiation cost is honestly visible to traffic
+  // accounting and to the DES model.
+  std::map<std::pair<int, int>, std::vector<const RouteSpec*>> pairs;
+  for (const auto& [id, state] : routes_) {
+    pairs[{state->spec.src, state->spec.dst}].push_back(&state->spec);
+  }
+  std::uint64_t sent = 0;
+  for (const auto& [endpoints, specs] : pairs) {
+    Message open;
+    open.src = endpoints.first;
+    open.dst = endpoints.second;
+    open.header.reserve(kOpenHeaderWords + 3 * specs.size());
+    open.header = {kMagic, kOpen, static_cast<std::uint64_t>(specs.size())};
+    for (const RouteSpec* spec : specs) {
+      open.header.push_back(spec->id);
+      open.header.push_back(static_cast<std::uint64_t>(spec->doubles));
+      open.header.push_back(static_cast<std::uint64_t>(spec->fragments));
+    }
+    inner_->send(std::move(open));
+
+    Message ack;
+    ack.src = endpoints.second;
+    ack.dst = endpoints.first;
+    ack.header = {kMagic, kAck, static_cast<std::uint64_t>(specs.size())};
+    inner_->send(std::move(ack));
+    sent += 2;
+  }
+  routes_count_.fetch_add(routes.size(), std::memory_order_relaxed);
+  handshakes_.fetch_add(sent, std::memory_order_relaxed);
+  if (m_routes_) m_routes_->add(routes.size());
+  if (m_handshakes_) m_handshakes_->add(sent);
+}
+
+PersistentChannel::RouteState* PersistentChannel::find_route(
+    std::uint64_t id) const {
+  if (!negotiated_.load(std::memory_order_acquire)) return nullptr;
+  auto it = routes_.find(id);
+  return it == routes_.end() ? nullptr : it->second.get();
+}
+
+const RouteSpec* PersistentChannel::route_spec(std::uint64_t id) const {
+  const RouteState* state = find_route(id);
+  return state ? &state->spec : nullptr;
+}
+
+std::shared_ptr<std::vector<double>> PersistentChannel::acquire(
+    std::uint64_t route) {
+  RouteState* state = find_route(route);
+  if (!state) {
+    throw std::invalid_argument("PersistentChannel::acquire: unknown route " +
+                                std::to_string(route));
+  }
+  std::lock_guard<std::mutex> lock(state->m);
+  for (auto& slot : state->pool) {
+    // use_count()==1 means the pool holds the only reference: every
+    // in-flight fragment, retention window, and consumer buffer of the
+    // previous instance has been released. Only this thread creates new
+    // references from the pool entry, so the check cannot race upward.
+    if (slot.use_count() == 1) return slot;
+  }
+  const bool steady = state->pool.size() >= kWarmupSlots;
+  state->pool.push_back(
+      std::make_shared<std::vector<double>>(state->spec.doubles, 0.0));
+  buffer_allocs_.fetch_add(1, std::memory_order_relaxed);
+  if (m_buffer_allocs_) m_buffer_allocs_->inc();
+  if (steady) {
+    steady_allocs_.fetch_add(1, std::memory_order_relaxed);
+    if (m_steady_allocs_) m_steady_allocs_->inc();
+  }
+  return state->pool.back();
+}
+
+Message PersistentChannel::make_fragment(
+    std::uint64_t route, std::uint32_t frag,
+    std::shared_ptr<const std::vector<double>> slot,
+    const std::vector<std::uint64_t>& runtime_header) const {
+  const RouteState* state = find_route(route);
+  if (!state) {
+    throw std::invalid_argument(
+        "PersistentChannel::make_fragment: unknown route " +
+        std::to_string(route));
+  }
+  const RouteSpec& spec = state->spec;
+  if (frag >= spec.fragments) {
+    throw std::invalid_argument(
+        "PersistentChannel::make_fragment: fragment index out of range");
+  }
+  if (!slot || slot->size() != spec.doubles) {
+    throw std::invalid_argument(
+        "PersistentChannel::make_fragment: slot size does not match route");
+  }
+  const auto [begin, len] = fragment_slice(spec.doubles, spec.fragments, frag);
+  Message msg;
+  msg.src = spec.src;
+  msg.dst = spec.dst;
+  msg.header.reserve(kFragHeaderWords + runtime_header.size());
+  msg.header = {kMagic, kFrag, route, static_cast<std::uint64_t>(frag),
+                static_cast<std::uint64_t>(spec.fragments)};
+  msg.header.insert(msg.header.end(), runtime_header.begin(),
+                    runtime_header.end());
+  msg.owner = std::move(slot);
+  msg.view_offset = begin;
+  msg.view_len = len;
+  return msg;
+}
+
+void PersistentChannel::send(Message msg) {
+  if (msg.header.size() >= 2 && msg.header[0] == kMagic &&
+      msg.header[1] == kFrag) {
+    fragments_.fetch_add(1, std::memory_order_relaxed);
+    if (m_fragments_) m_fragments_->inc();
+  }
+  inner_->send(std::move(msg));
+}
+
+std::optional<Message> PersistentChannel::recv(int rank) {
+  while (true) {
+    auto msg = inner_->recv(rank);
+    if (!msg) return std::nullopt;
+    if (auto out = filter(std::move(*msg))) return out;
+  }
+}
+
+std::optional<Message> PersistentChannel::try_recv(int rank) {
+  while (true) {
+    auto msg = inner_->try_recv(rank);
+    if (!msg) return std::nullopt;
+    if (auto out = filter(std::move(*msg))) return out;
+  }
+}
+
+std::optional<Message> PersistentChannel::filter(Message msg) {
+  if (msg.header.size() >= 2 && msg.header[0] == kMagic) {
+    const std::uint64_t kind = msg.header[1];
+    if (kind == kOpen || kind == kAck) return std::nullopt;  // handshake
+    if (kind == kFrag) return accept_fragment(std::move(msg));
+  }
+  return msg;  // ordinary traffic passes through
+}
+
+std::optional<Message> PersistentChannel::accept_fragment(Message msg) {
+  if (msg.header.size() < kFragHeaderWords) {
+    throw ChannelError("PersistentChannel: truncated fragment header");
+  }
+  const std::uint64_t route = msg.header[2];
+  const auto frag = static_cast<std::uint32_t>(msg.header[3]);
+  const auto nfrag = static_cast<std::uint32_t>(msg.header[4]);
+  RouteState* state = find_route(route);
+  if (!state) {
+    throw ChannelError("PersistentChannel: fragment for unknown route " +
+                       std::to_string(route));
+  }
+  const RouteSpec& spec = state->spec;
+  if (nfrag != spec.fragments || frag >= nfrag) {
+    throw ChannelError("PersistentChannel: fragment indices out of range");
+  }
+
+  std::lock_guard<std::mutex> lock(state->m);
+  if (state->got.empty()) state->got.assign(nfrag, 0);
+  if (state->got[frag]) {
+    throw ChannelError("PersistentChannel: duplicate fragment " +
+                       std::to_string(frag) + " on route " +
+                       std::to_string(route));
+  }
+  if (state->got_count == 0) {
+    state->rt_header.assign(msg.header.begin() + kFragHeaderWords,
+                            msg.header.end());
+    state->shared_owner.reset();
+    state->zero_copy = true;
+  }
+  // The completing fragment's trace metadata identifies the delivery: its
+  // flow links the synthesized Recv span to the last Send on the route.
+  state->trace = msg.trace;
+
+  const auto [begin, len] = fragment_slice(spec.doubles, nfrag, frag);
+  const bool canonical_view = msg.owner && msg.owner->size() == spec.doubles &&
+                              msg.view_offset == begin && msg.view_len == len &&
+                              (!state->shared_owner ||
+                               state->shared_owner == msg.owner);
+  if (state->zero_copy && canonical_view) {
+    state->shared_owner = msg.owner;
+  } else {
+    // Fall back to assembling by copy (generality path: fragments from
+    // different buffers, or owned payloads). Back-fill slices that were
+    // provisionally zero-copy before switching.
+    if (msg.payload_len() != len) {
+      throw ChannelError("PersistentChannel: fragment size mismatch on route " +
+                         std::to_string(route));
+    }
+    if (state->assembled.size() != spec.doubles) {
+      state->assembled.assign(spec.doubles, 0.0);
+    }
+    if (state->zero_copy && state->shared_owner) {
+      for (std::uint32_t f = 0; f < nfrag; ++f) {
+        if (!state->got[f]) continue;
+        const auto [b, l] = fragment_slice(spec.doubles, nfrag, f);
+        std::memcpy(state->assembled.data() + b,
+                    state->shared_owner->data() + b, l * sizeof(double));
+        assembly_copies_.fetch_add(1, std::memory_order_relaxed);
+        if (m_assembly_copies_) m_assembly_copies_->inc();
+      }
+    }
+    state->zero_copy = false;
+    std::memcpy(state->assembled.data() + begin, msg.payload_data(),
+                len * sizeof(double));
+    assembly_copies_.fetch_add(1, std::memory_order_relaxed);
+    if (m_assembly_copies_) m_assembly_copies_->inc();
+  }
+
+  state->got[frag] = 1;
+  state->got_count += 1;
+  if (state->got_count < nfrag) return std::nullopt;
+
+  // Last fragment: deliver the whole registered buffer as one message.
+  Message out;
+  out.src = spec.src;
+  out.dst = spec.dst;
+  out.tag = msg.tag;
+  out.header = std::move(state->rt_header);
+  if (state->zero_copy) {
+    out.owner = std::move(state->shared_owner);
+    out.view_offset = 0;
+    out.view_len = spec.doubles;
+  } else {
+    out.payload = std::move(state->assembled);
+    state->assembled.clear();
+  }
+  out.trace = state->trace;
+  std::fill(state->got.begin(), state->got.end(), 0);
+  state->got_count = 0;
+  state->shared_owner.reset();
+  state->zero_copy = true;
+  deliveries_.fetch_add(1, std::memory_order_relaxed);
+  if (m_deliveries_) m_deliveries_->inc();
+  return out;
+}
+
+PersistentChannel::Stats PersistentChannel::persistent_stats() const {
+  Stats out;
+  out.routes = routes_count_.load(std::memory_order_relaxed);
+  out.handshake_messages = handshakes_.load(std::memory_order_relaxed);
+  out.fragments = fragments_.load(std::memory_order_relaxed);
+  out.deliveries = deliveries_.load(std::memory_order_relaxed);
+  out.buffer_allocs = buffer_allocs_.load(std::memory_order_relaxed);
+  out.steady_allocs = steady_allocs_.load(std::memory_order_relaxed);
+  out.assembly_copies = assembly_copies_.load(std::memory_order_relaxed);
+  return out;
+}
+
+ChannelFactory persistent_channel_factory(
+    ChannelFactory inner, std::shared_ptr<obs::MetricsRegistry> metrics) {
+  return [inner = std::move(inner),
+          metrics = std::move(metrics)](int nranks) {
+    std::shared_ptr<Channel> base =
+        inner ? inner(nranks) : std::make_shared<Transport>(nranks, metrics);
+    return std::make_shared<PersistentChannel>(std::move(base), metrics);
+  };
+}
+
+}  // namespace repro::net

@@ -1,0 +1,198 @@
+// Persistent/partitioned halo channels: negotiate once, then a
+// zero-allocation, zero-copy steady state.
+//
+// The classic wire path allocates a fresh payload vector per halo message,
+// deep-copies it into the channel, and deep-copies again on delivery. This
+// decorator implements the persistent-communication idea from *Persistent
+// and Partitioned MPI for Stencil Communication* (PAPERS.md): the task-graph
+// builder knows every producer→consumer halo edge and its exact size before
+// the run starts, so the endpoints negotiate a `RouteSpec` table ONCE — the
+// handshake puts real OPEN/ACK control messages on the inner wire for honest
+// traffic accounting — and thereafter each route sends from a pre-registered
+// slot buffer:
+//
+//   * the producer `acquire()`s a mutable slot (reused from a small pool the
+//     moment the previous instance's last reference drops — allocations past
+//     the warmup pool are counted in `net_persistent_steady_allocs_total`,
+//     which a healthy run keeps at 0),
+//   * packs straight into it, and publishes each PARTITION of the buffer as
+//     a FRAG message the moment that fragment is ready (a shared view — no
+//     copy), instead of waiting for a whole-superstep pack,
+//   * the consumer side keeps a fragment-ready bitmap per route; when the
+//     last fragment lands, the whole registered buffer is delivered to the
+//     runtime as one message whose payload IS the producer's slot
+//     (zero-copy; the stencil unpacks its ghost region directly from it).
+//
+// Non-route traffic passes through untouched, so the decorator composes with
+// the rest of the stack (docs/CHANNELS.md):
+//
+//     PersistentChannel( ReliableChannel( FaultInjector( Transport ) ) )
+//
+// The reliability layer retains shared-view messages by refcount, so even
+// retransmits re-send from the registered buffer without re-copying.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "obs/metrics.hpp"
+
+namespace repro::net {
+
+/// One pre-negotiated producer→consumer halo route: a fixed-size payload
+/// sent repeatedly from src to dst for the lifetime of a run.
+struct RouteSpec {
+  std::uint64_t id = 0;         ///< nonzero, unique across the run
+  int src = -1;                 ///< producer rank
+  int dst = -1;                 ///< consumer rank
+  std::size_t doubles = 0;      ///< payload doubles of one route instance
+  std::uint32_t fragments = 1;  ///< partitions one instance is published in
+};
+
+/// Channel decorator adding persistent routes (see file comment). Thread
+/// safety matches Channel: send()/acquire() from any thread, recv() from the
+/// destination rank's receiver thread; negotiate() must be called once,
+/// before any route traffic, from a single thread.
+class PersistentChannel : public Channel {
+ public:
+  /// First header word of every control/fragment message ("PERCHAN\0").
+  static constexpr std::uint64_t kMagic = 0x5045524348414E00ull;
+  /// Control kinds (second header word).
+  static constexpr std::uint64_t kOpen = 0;  ///< src→dst route announcement
+  static constexpr std::uint64_t kAck = 1;   ///< dst→src handshake accept
+  static constexpr std::uint64_t kFrag = 2;  ///< one partition of a route
+  /// FRAG framing words before the embedded runtime header:
+  /// {kMagic, kFrag, route, frag, nfrag}.
+  static constexpr std::size_t kFragHeaderWords = 5;
+  /// OPEN framing: {kMagic, kOpen, n} then n x {id, doubles, fragments}.
+  static constexpr std::size_t kOpenHeaderWords = 3;
+  /// ACK framing: {kMagic, kAck, n}.
+  static constexpr std::size_t kAckHeaderWords = 3;
+  /// Slots pre-registered per route; allocations beyond this pool after
+  /// negotiation count as steady-state allocations (acceptance: zero).
+  /// Three slots cover the worst-case number of live instances per route:
+  /// the producer's newly acquired buffer, one instance in flight, and one
+  /// delivered but not yet consumed. Diagonal (corner) halo routes reach
+  /// that bound because the producer's progress is gated only through a
+  /// shared side neighbor — grid distance 2 — so the consumer may lag the
+  /// producer by two supersteps.
+  static constexpr std::size_t kWarmupSlots = 3;
+
+  /// Always-on counters (plain atomics, independent of REPRO_OBS_DISABLE).
+  struct Stats {
+    std::uint64_t routes = 0;             ///< negotiated routes
+    std::uint64_t handshake_messages = 0; ///< OPEN + ACK put on the wire
+    std::uint64_t fragments = 0;          ///< FRAG messages sent
+    std::uint64_t deliveries = 0;         ///< assembled route instances
+    std::uint64_t buffer_allocs = 0;      ///< slot allocations, warmup incl.
+    std::uint64_t steady_allocs = 0;      ///< slot allocations past warmup
+    std::uint64_t assembly_copies = 0;    ///< fragments assembled by copy
+  };
+
+  /// Wrap `inner`; `metrics` (nullable) receives the net_persistent_*
+  /// counter families mirroring Stats.
+  explicit PersistentChannel(
+      std::shared_ptr<Channel> inner,
+      std::shared_ptr<obs::MetricsRegistry> metrics = nullptr);
+  ~PersistentChannel() override;
+
+  /// One-time route negotiation. Registers every route at both endpoints
+  /// and performs the wire handshake: per ordered (src,dst) pair with >= 1
+  /// route, one OPEN (src→dst, announcing id/size/fragments) and one ACK
+  /// (dst→src). recv()/try_recv() consume these control messages before the
+  /// runtime sees any data. Throws if called twice, after close(), or on an
+  /// invalid spec (zero/duplicate id, bad ranks, zero size).
+  void negotiate(const std::vector<RouteSpec>& routes);
+
+  /// Producer side: a mutable registered buffer (sized spec.doubles) for the
+  /// next instance of `route`. Reuses a pooled slot whose previous instance
+  /// has been fully released (delivered and consumed); otherwise grows the
+  /// pool, counting a steady-state allocation once the warmup pool is
+  /// exhausted. Throws on unknown route.
+  std::shared_ptr<std::vector<double>> acquire(std::uint64_t route);
+
+  /// Build the FRAG message for partition `frag` (of spec.fragments) of an
+  /// instance of `route`: header = {kMagic, kFrag, route, frag, nfrag} ++
+  /// `runtime_header`, payload = a shared view of `slot` covering the
+  /// fragment's even-split slice. `slot->size()` must equal spec.doubles.
+  /// The caller sends the result through send() (typically via the
+  /// runtime's outbox so trace metadata is stamped).
+  Message make_fragment(std::uint64_t route, std::uint32_t frag,
+                        std::shared_ptr<const std::vector<double>> slot,
+                        const std::vector<std::uint64_t>& runtime_header) const;
+
+  /// Spec for `id`, or nullptr when the route is unknown / not negotiated.
+  const RouteSpec* route_spec(std::uint64_t id) const;
+
+  /// Counter snapshot (always live, even with obs compiled out).
+  Stats persistent_stats() const;
+
+  // Channel interface ------------------------------------------------------
+  int nranks() const override { return inner_->nranks(); }
+  /// Forward to the inner stack (fragments are counted on the way through).
+  void send(Message msg) override;
+  /// Inner recv, with route reassembly: control messages are consumed,
+  /// fragments accumulate in the route's bitmap, and a completed instance is
+  /// delivered as a single message carrying the registered buffer. Ordinary
+  /// messages pass through unchanged.
+  std::optional<Message> recv(int rank) override;
+  /// Non-blocking recv with the same reassembly; returns nullopt when the
+  /// inner channel is empty or everything drained was control/partial.
+  std::optional<Message> try_recv(int rank) override;
+  /// Queued message count of the inner channel (control/fragment messages
+  /// included — this reports wire occupancy, not assembled deliveries).
+  std::size_t pending(int rank) const override { return inner_->pending(rank); }
+  void close() override { inner_->close(); }
+  bool closed() const override { return inner_->closed(); }
+  /// Inner wire traffic: handshake + fragments + passthrough, as sent.
+  TrafficStats stats() const override { return inner_->stats(); }
+  /// Persistent routing adds no loss; honesty delegates to the inner stack.
+  bool lossless() const override { return inner_->lossless(); }
+
+  /// Even-split fragment slice [begin, begin+len) of `doubles` over `nfrag`
+  /// partitions (remainder spread over the leading fragments).
+  static std::pair<std::size_t, std::size_t> fragment_slice(
+      std::size_t doubles, std::uint32_t nfrag, std::uint32_t frag);
+
+ private:
+  struct RouteState;
+
+  /// Handle one inner message: returns the message to surface to the
+  /// caller, or nullopt when it was control/partial-fragment traffic.
+  std::optional<Message> filter(Message msg);
+  std::optional<Message> accept_fragment(Message msg);
+  RouteState* find_route(std::uint64_t id) const;
+
+  std::shared_ptr<Channel> inner_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+
+  mutable std::mutex table_mutex_;  ///< guards routes_ during negotiate()
+  std::unordered_map<std::uint64_t, std::unique_ptr<RouteState>> routes_;
+  std::atomic<bool> negotiated_{false};
+
+  // Always-on counters (mirrored to obs when a registry is attached).
+  std::atomic<std::uint64_t> routes_count_{0};
+  std::atomic<std::uint64_t> handshakes_{0};
+  std::atomic<std::uint64_t> fragments_{0};
+  std::atomic<std::uint64_t> deliveries_{0};
+  std::atomic<std::uint64_t> buffer_allocs_{0};
+  std::atomic<std::uint64_t> steady_allocs_{0};
+  std::atomic<std::uint64_t> assembly_copies_{0};
+
+  std::shared_ptr<obs::Counter> m_routes_, m_handshakes_, m_fragments_,
+      m_deliveries_, m_buffer_allocs_, m_steady_allocs_, m_assembly_copies_;
+};
+
+/// Wrap a channel factory so each run's stack gains an outermost
+/// PersistentChannel (an empty `inner` builds the default Transport over
+/// `metrics`, matching the runtime's fallback). The canonical way drivers
+/// honor a `persistent` flag.
+ChannelFactory persistent_channel_factory(
+    ChannelFactory inner, std::shared_ptr<obs::MetricsRegistry> metrics);
+
+}  // namespace repro::net

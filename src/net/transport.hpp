@@ -71,6 +71,10 @@ class Transport final : public Channel {
   /// Number of undelivered messages currently queued for `rank`.
   std::size_t pending(int rank) const override;
 
+  /// The in-memory transport never drops, duplicates, or reorders: every
+  /// send is delivered exactly once in per-(src,dst) FIFO order.
+  bool lossless() const override { return true; }
+
   /// Wake all blocked receivers; subsequent recv() calls drain then return
   /// nullopt. Idempotent.
   void close() override;

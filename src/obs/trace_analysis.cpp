@@ -107,6 +107,7 @@ TraceAnalysis analyze_dataflow(const std::vector<TraceEvent>& events) {
       case TraceEventKind::Send: {
         ++out.sends;
         out.bytes_sent += e.bytes;
+        out.wire_seconds += e.duration();
         FlowWindow& w = flows[e.flow];
         w.queued = e.queued_s > 0.0 ? e.queued_s : e.begin_s;
         break;
@@ -144,6 +145,7 @@ TraceAnalysis analyze_dataflow(const std::vector<TraceEvent>& events) {
   for (const auto& [flow, w] : flows) {
     (void)flow;
     if (!w.seen_recv || w.delivered <= w.queued) continue;
+    ++out.flows_delivered;
     out.network_inflight_s += w.delivered - w.queued;
     hidden += overlap_with(busy, w.queued, w.delivered);
   }

@@ -77,6 +77,22 @@ struct TraceAnalysis {
   std::size_t steals = 0;
   std::uint64_t bytes_sent = 0;   ///< wire bytes over Send events
   std::uint64_t retransmits = 0;  ///< per-flow resends observed on delivery
+
+  // Per-message wire costs (the persistent-channel before/after metric:
+  // trace_analyze --diff gates on these means regressing).
+  std::size_t flows_delivered = 0;  ///< flows with a matching delivery
+  double wire_seconds = 0.0;        ///< summed Send event durations
+
+  /// Mean producer-enqueue -> consumer-delivery latency per delivered flow.
+  double mean_flow_latency_s() const {
+    return flows_delivered > 0
+               ? network_inflight_s / static_cast<double>(flows_delivered)
+               : 0.0;
+  }
+  /// Mean sender-side wire occupancy per Send event.
+  double mean_wire_s() const {
+    return sends > 0 ? wire_seconds / static_cast<double>(sends) : 0.0;
+  }
 };
 
 /// Rebuild the executed DAG from the event stream and derive the analysis.

@@ -49,7 +49,8 @@ void TaskGraph::seal(int nranks) {
       }
       consumer_edges_[it->second].push_back(ConsumerEdge{
           flow.slot, static_cast<std::uint32_t>(ci),
-          static_cast<std::uint16_t>(pos)});
+          static_cast<std::uint16_t>(pos), flow.route, flow.route_doubles,
+          flow.route_fragments});
     }
   }
   // Kahn's algorithm: reject cyclic graphs at seal time so that execution can

@@ -23,9 +23,20 @@ namespace repro::rt {
 class TaskContext;
 
 /// Reference to one output slot of a producing task.
+///
+/// A nonzero `route` marks the flow as a persistent halo route (see
+/// net::PersistentChannel): the edge carries a fixed-size payload every
+/// superstep, so the endpoints can pre-register buffers at run start. The
+/// builder that unfolds the graph assigns route ids (unique per graph) and
+/// the exact instance size; the runtime collects them into the negotiation
+/// table. Routes are ignored — byte-identical default path — unless the
+/// run's channel stack contains a PersistentChannel.
 struct FlowRef {
   TaskKey producer;
   std::uint16_t slot = 0;
+  std::uint64_t route = 0;          ///< nonzero: persistent route id
+  std::uint32_t route_doubles = 0;  ///< payload doubles of one instance
+  std::uint16_t route_fragments = 1;  ///< partitions per instance
 };
 
 using TaskBody = std::function<void(TaskContext&)>;
@@ -69,6 +80,10 @@ class TaskGraph {
     std::uint16_t slot = 0;        ///< producer output slot
     std::uint32_t consumer = 0;    ///< consumer task index
     std::uint16_t input_pos = 0;   ///< position in the consumer's inputs
+    std::uint64_t route = 0;       ///< persistent route id (0 = none),
+                                   ///< copied from the consumer's FlowRef
+    std::uint32_t route_doubles = 0;    ///< instance size in doubles
+    std::uint16_t route_fragments = 1;  ///< partitions per instance
   };
 
   /// Consumers of task `index`, grouped by nothing (iterate linearly).

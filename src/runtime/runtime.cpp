@@ -1,7 +1,9 @@
 #include "runtime/runtime.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "net/persistent_channel.hpp"
 #include "support/timing.hpp"
 
 namespace repro::rt {
@@ -55,6 +57,24 @@ void TaskContext::publish(std::uint16_t slot, std::vector<double>&& data) {
 void TaskContext::publish(std::uint16_t slot, Buffer buffer) {
   if (!buffer) throw std::invalid_argument("publish: null buffer");
   runtime_.publish_output(task_index_, slot, std::move(buffer));
+}
+
+std::shared_ptr<std::vector<double>> TaskContext::acquire_route_buffer(
+    std::uint16_t slot) {
+  if (runtime_.pchan_ == nullptr) return nullptr;
+  for (const auto& edge : runtime_.graph_->consumers(task_index_)) {
+    if (edge.slot == slot && edge.route != 0 &&
+        runtime_.pchan_->route_spec(edge.route) != nullptr) {
+      return runtime_.pchan_->acquire(edge.route);
+    }
+  }
+  return nullptr;
+}
+
+void TaskContext::publish_fragments(std::uint16_t slot,
+                                    std::shared_ptr<std::vector<double>> data) {
+  if (!data) throw std::invalid_argument("publish_fragments: null buffer");
+  runtime_.publish_eager(task_index_, slot, std::move(data));
 }
 
 // ----------------------------------------------------------------- outbox --
@@ -172,6 +192,7 @@ void Runtime::release_run() {
   states_.shrink_to_fit();
   queues_.clear();
   outboxes_.clear();
+  pchan_ = nullptr;
   channel_.reset();
   tracer_.clear();
 }
@@ -206,6 +227,11 @@ RunStats Runtime::run(TaskGraph& graph) {
     throw std::invalid_argument("Runtime: channel factory returned a channel "
                                 "with the wrong rank count");
   }
+  // Route negotiation happens here — after the channel exists, before any
+  // thread spawns — so the handshake is single-threaded and every receiver
+  // observes OPEN before the first fragment (per-channel FIFO).
+  pchan_ = dynamic_cast<net::PersistentChannel*>(channel_.get());
+  if (pchan_ != nullptr) negotiate_routes(graph);
 
   seq_.store(0);
   next_flow_.store(1);
@@ -407,7 +433,19 @@ void Runtime::receiver_loop(int rank) {
         const auto input_pos = static_cast<std::uint16_t>(msg->header[5]);
         const std::size_t index = graph_->index_of(key);
         const std::uint64_t bytes = msg->bytes();
-        deliver_input(index, input_pos, make_buffer(std::move(msg->payload)),
+        Buffer delivered;
+        if (msg->shared_payload() && msg->view_offset == 0 &&
+            msg->owner->size() == msg->view_len) {
+          // Persistent-route delivery: the payload IS the producer's
+          // registered buffer — share it instead of copying.
+          delivered = std::move(msg->owner);
+        } else if (msg->shared_payload()) {
+          delivered = make_buffer(std::vector<double>(
+              msg->payload_data(), msg->payload_data() + msg->payload_len()));
+        } else {
+          delivered = make_buffer(std::move(msg->payload));
+        }
+        deliver_input(index, input_pos, std::move(delivered),
                       /*remote=*/true);
         if (tracing) record_recv(*msg, index, input_pos, bytes, recv_begin);
       } else if (msg->header[0] == kWireMulti) {
@@ -500,6 +538,84 @@ void Runtime::execute_task(std::size_t index, int rank, int worker) {
   }
 }
 
+void Runtime::negotiate_routes(const TaskGraph& graph) {
+  // A route id is shared by every superstep edge of its (producer tile,
+  // slot) stream, so the same id recurs across many consumer tasks —
+  // negotiate once per id, rejecting inconsistent redefinitions.
+  std::unordered_map<std::uint64_t, net::RouteSpec> by_id;
+  std::vector<net::RouteSpec> routes;
+  for (std::size_t ci = 0; ci < graph.size(); ++ci) {
+    const TaskSpec& consumer = graph.spec(ci);
+    for (const auto& flow : consumer.inputs) {
+      if (flow.route == 0) continue;
+      const TaskSpec& producer = graph.spec(graph.index_of(flow.producer));
+      if (producer.rank == consumer.rank) continue;  // local: no wire
+      net::RouteSpec spec;
+      spec.id = flow.route;
+      spec.src = producer.rank;
+      spec.dst = consumer.rank;
+      spec.doubles = flow.route_doubles;
+      spec.fragments = flow.route_fragments;
+      const auto [it, inserted] = by_id.emplace(spec.id, spec);
+      if (!inserted) {
+        const net::RouteSpec& seen = it->second;
+        if (seen.src != spec.src || seen.dst != spec.dst ||
+            seen.doubles != spec.doubles ||
+            seen.fragments != spec.fragments) {
+          throw std::runtime_error(
+              "Runtime: route " + std::to_string(spec.id) +
+              " redefined with a different endpoint or size");
+        }
+        continue;
+      }
+      routes.push_back(spec);
+    }
+  }
+  if (!routes.empty()) pchan_->negotiate(routes);
+}
+
+void Runtime::publish_eager(std::size_t index, std::uint16_t slot,
+                            std::shared_ptr<std::vector<double>> data) {
+  const TaskSpec& spec = graph_->spec(index);
+  const int rank = spec.rank;
+  const Buffer view = data;  // Buffer is shared_ptr<const vector<double>>
+  publish_output(index, slot, view);
+  states_[index].eager_slots.push_back(slot);
+  for (const auto& edge : graph_->consumers(index)) {
+    if (edge.slot != slot) continue;
+    const TaskSpec& consumer = graph_->spec(edge.consumer);
+    if (consumer.rank == rank) {
+      // Local consumers share the pointer and wake immediately — a body-time
+      // release instead of a complete_task-time one.
+      deliver_input(edge.consumer, edge.input_pos, view);
+    } else if (pchan_ != nullptr && edge.route != 0 &&
+               pchan_->route_spec(edge.route) != nullptr) {
+      // Partitioned send out of the registered buffer: each fragment is a
+      // shared view, posted the moment the producer marks the slot ready.
+      const std::vector<std::uint64_t> rt_header = {
+          kWireSingle,
+          consumer.key.type,
+          static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(consumer.key.a)),
+          static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(consumer.key.b)),
+          static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(consumer.key.c)),
+          edge.input_pos};
+      for (std::uint32_t f = 0; f < edge.route_fragments; ++f) {
+        net::Message msg =
+            pchan_->make_fragment(edge.route, f, data, rt_header);
+        msg.tag = consumer.key.pack();
+        post_message(rank, std::move(msg));
+      }
+    } else {
+      // No negotiated route (default channel stack): classic deep-copy wire,
+      // still dispatched early.
+      send_remote(rank, edge.consumer, edge.input_pos, view);
+    }
+  }
+}
+
 void Runtime::complete_task(std::size_t index, int rank) {
   TaskState& state = states_[index];
   const auto edges = graph_->consumers(index);
@@ -509,6 +625,11 @@ void Runtime::complete_task(std::size_t index, int rank) {
                                       const Buffer*>>> grouped;
 
   for (const auto& edge : edges) {
+    // Slots already dispatched from inside the body (publish_fragments).
+    if (std::find(state.eager_slots.begin(), state.eager_slots.end(),
+                  edge.slot) != state.eager_slots.end()) {
+      continue;
+    }
     const Buffer* found = nullptr;
     for (const auto& [slot, buf] : state.outputs) {
       if (slot == edge.slot) {

@@ -36,6 +36,10 @@
 #include "runtime/scheduler.hpp"
 #include "runtime/trace.hpp"
 
+namespace repro::net {
+class PersistentChannel;
+}
+
 namespace repro::rt {
 
 struct Config {
@@ -89,6 +93,24 @@ class TaskContext {
   /// Publish output slot `slot`. Each slot may be published at most once.
   void publish(std::uint16_t slot, std::vector<double>&& data);
   void publish(std::uint16_t slot, Buffer buffer);
+
+  /// Persistent-channel mode (see net::PersistentChannel): a mutable
+  /// pre-registered buffer for output slot `slot`, reused across instances
+  /// with zero steady-state allocations. Returns nullptr when the run's
+  /// channel stack has no persistent channel or the slot carries no
+  /// negotiated route — callers fall back to the classic publish() path, so
+  /// task bodies stay channel-agnostic.
+  std::shared_ptr<std::vector<double>> acquire_route_buffer(
+      std::uint16_t slot);
+
+  /// Publish `slot` with a buffer from acquire_route_buffer() and dispatch
+  /// it immediately from inside the task body (early-bird): routed remote
+  /// consumers receive it as partitioned fragment sends out of the
+  /// registered buffer (zero-copy), local consumers are woken right away.
+  /// complete_task skips slots already dispatched here. The slot must not
+  /// also be publish()ed.
+  void publish_fragments(std::uint16_t slot,
+                         std::shared_ptr<std::vector<double>> data);
 
  private:
   friend class Runtime;
@@ -150,6 +172,10 @@ class Runtime {
     std::atomic<int> remaining{0};
     std::vector<Buffer> inputs;
     std::vector<std::pair<std::uint16_t, Buffer>> outputs;
+    /// Slots dispatched eagerly from inside the body (publish_fragments);
+    /// complete_task skips them. Body-thread-only, then read by
+    /// complete_task on the same thread — no lock needed.
+    std::vector<std::uint16_t> eager_slots;
     std::atomic<bool> executed{false};
   };
 
@@ -191,6 +217,12 @@ class Runtime {
   void channel_send(int src_rank, net::Message msg);
   void fail(const std::string& message);
   void publish_output(std::size_t task_index, std::uint16_t slot, Buffer buf);
+  /// Body-side eager dispatch behind TaskContext::publish_fragments.
+  void publish_eager(std::size_t task_index, std::uint16_t slot,
+                     std::shared_ptr<std::vector<double>> data);
+  /// Collect route-annotated remote flows and negotiate them on the run's
+  /// PersistentChannel (no-op when the stack has none or no flow is routed).
+  void negotiate_routes(const TaskGraph& graph);
   void setup_metrics();
 
   Config config_;
@@ -214,6 +246,9 @@ class Runtime {
   std::vector<std::unique_ptr<Scheduler>> queues_;
   std::vector<std::unique_ptr<Outbox>> outboxes_;
   std::shared_ptr<net::Channel> channel_;
+  /// The run's persistent channel, when the factory stacked one (owned by
+  /// channel_); null otherwise. Set once before threads spawn.
+  net::PersistentChannel* pchan_ = nullptr;
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::uint64_t> next_flow_{1};  ///< trace flow-id source
   std::atomic<std::size_t> remaining_tasks_{0};

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fault/checkpoint.hpp"
+#include "net/persistent_channel.hpp"
 #include "stencil/dist_stencil.hpp"
 #include "stencil/tile_map.hpp"
 #include "support/timing.hpp"
@@ -82,6 +83,12 @@ SolverFarm::SolverFarm(FarmConfig config)
   rc.sched_seed = config_.sched_seed;
   rc.sched_test_hook = config_.sched_test_hook;
   rc.metrics = metrics_;
+  if (config_.persistent) {
+    // Each wave gets a fresh channel from this factory (Runtime::run builds
+    // one per run), so route negotiation restarts cleanly per wave even
+    // though the runtime itself is resident.
+    rc.channel_factory = net::persistent_channel_factory({}, metrics_);
+  }
   runtime_ = std::make_unique<rt::Runtime>(rc);
 
   queue_depth_ = metrics_->gauge("serve_queue_depth", {},
@@ -260,13 +267,14 @@ namespace {
 
 stencil::DistConfig make_dist_config(const SolveRequest& req, int node_rows,
                                      int node_cols, std::uint32_t key_space,
-                                     int lane) {
+                                     int lane, bool persistent) {
   stencil::DistConfig cfg;
   cfg.decomp = {req.mb, req.nb, node_rows, node_cols};
   cfg.steps = req.steps;
   cfg.kernel = req.kernel;
   cfg.key_space = key_space;
   cfg.lane = lane;
+  cfg.persistent = persistent;
   // Per-job task priorities span 0..2; a bias of 3 lifts every task of a
   // deadline job above every task of a best-effort one.
   cfg.priority_bias = req.deadline_s > 0 ? 3 : 0;
@@ -289,7 +297,8 @@ void SolverFarm::run_batch(std::vector<JobPtr>& wave) {
       subgraphs.push_back(stencil::add_solve_subgraph(
           graph, wave[i]->req.problem,
           make_dist_config(wave[i]->req, config_.node_rows, config_.node_cols,
-                           static_cast<std::uint32_t>(i), wave[i]->lane)));
+                           static_cast<std::uint32_t>(i), wave[i]->lane,
+                           config_.persistent)));
     }
     waves_batch_->inc();
     runtime_->run(graph);
@@ -338,7 +347,8 @@ void SolverFarm::run_window(const JobPtr& job) {
   };
 
   stencil::DistConfig cfg = make_dist_config(
-      job->req, config_.node_rows, config_.node_cols, 0, job->lane);
+      job->req, config_.node_rows, config_.node_cols, 0, job->lane,
+      config_.persistent);
   const auto observer = config_.superstep_observer;
   const JobPtr hook_job = job;
   cfg.superstep_hook = [hook_job, base, observer](

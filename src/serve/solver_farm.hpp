@@ -60,6 +60,11 @@ struct FarmConfig {
   /// Schedule-fuzzing instrumentation, forwarded to the runtime (tests).
   std::shared_ptr<rt::SchedTestHook> sched_test_hook{};
   bool dedicated_comm_thread = true;
+  /// Route every job's halo traffic over persistent channels: the resident
+  /// runtime builds each wave's channel via net::persistent_channel_factory
+  /// and every compiled subgraph annotates its remote halo flows with route
+  /// ids (negotiated once per wave, before the wave's first task runs).
+  bool persistent = false;
 
   AdmissionConfig admission{};
 

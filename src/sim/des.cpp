@@ -50,6 +50,7 @@ struct Event {
   EventType type;
   std::uint32_t task;
   std::uint64_t seq;  ///< tie-breaker for determinism
+  double bytes = 0.0;  ///< MessageArrive: payload for the receive-side copy
 
   friend bool operator<(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time > b.time;  // min-heap on time
@@ -172,12 +173,15 @@ SimResult simulate(const SimGraph& graph, const SimMachineConfig& machine,
           // serializes delivery (handled at MessageArrive).
           const double send_start =
               std::max(now, comm_free_at[static_cast<std::size_t>(node)]);
+          // The payload copy into the outgoing message happens once even
+          // when the wire cost repeats across retransmissions.
           const double wire =
               machine.message_cost_multiplier *
-              (machine.comm_overhead_s + machine.link.per_message_s +
-               (machine.link.effective_bw_Bps > 0.0
-                    ? group.first / machine.link.effective_bw_Bps
-                    : 0.0));
+                  (machine.comm_overhead_s + machine.link.per_message_s +
+                   (machine.link.effective_bw_Bps > 0.0
+                        ? group.first / machine.link.effective_bw_Bps
+                        : 0.0)) +
+              group.first * machine.msg_copy_s_per_byte;
           const double send_end = send_start + wire;
           comm_free_at[static_cast<std::size_t>(node)] = send_end;
           result.messages += 1;
@@ -186,7 +190,7 @@ SimResult simulate(const SimGraph& graph, const SimMachineConfig& machine,
           for (std::uint32_t dst : group.second) {
             events.push({send_end + machine.link.latency_s +
                              machine.extra_latency_s,
-                         EventType::MessageArrive, dst, seq++});
+                         EventType::MessageArrive, dst, seq++, group.first});
           }
         }
         start_if_possible(node, now);
@@ -196,7 +200,8 @@ SimResult simulate(const SimGraph& graph, const SimMachineConfig& machine,
         const int dst_node = graph.task(event.task).node;
         const double done =
             std::max(now, comm_free_at[static_cast<std::size_t>(dst_node)]) +
-            machine.comm_overhead_s;
+            machine.comm_overhead_s +
+            event.bytes * machine.msg_copy_s_per_byte;
         comm_free_at[static_cast<std::size_t>(dst_node)] = done;
         events.push({done, EventType::DependencySatisfied, event.task, seq++});
         break;

@@ -105,6 +105,14 @@ struct SimMachineConfig {
   /// reproduce the lossless model exactly.
   double message_cost_multiplier = 1.0;
   double extra_latency_s = 0.0;
+  /// Per-payload-byte cost of materializing a message: the default runtime
+  /// path deep-copies the payload into the message at the sender and copies
+  /// it again into the consumer's buffer at the receiver, so both comm
+  /// threads pay bytes * this on top of comm_overhead_s. Persistent-channel
+  /// runs send registered buffers and deliver them zero-copy: they model
+  /// with 0 (the default, which also preserves the historical exact-timing
+  /// expectations).
+  double msg_copy_s_per_byte = 0.0;
 };
 
 /// Run the graph to completion. Throws on cycles (tasks that never become

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "net/persistent_channel.hpp"
 #include "spec/stages.hpp"
 #include "stencil/halo.hpp"
 #include "stencil/tile_map.hpp"
@@ -123,6 +126,38 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
 
   // Second pass: edges (mirrors the real graph builder's input flows).
   const double header_bytes = 5.0 * sizeof(std::uint64_t);
+  // Persistent-channel framing, matching net::PersistentChannel and the
+  // runtime wire format exactly: a FRAG message carries the 5 frag framing
+  // words, the embedded 6-word runtime header, and the 8-byte tag on top of
+  // its payload slice.
+  const double frag_frame_bytes =
+      (net::PersistentChannel::kFragHeaderWords + 6 + 1) *
+      static_cast<double>(sizeof(std::uint64_t));
+  // Ordered (src_rank, dst_rank) -> negotiated routes, for the handshake.
+  std::map<std::pair<int, int>, std::uint64_t> route_pairs;
+  // One remote halo flow: the default path sends one deep-copied message;
+  // the persistent path sends the route's nfield registered fragments. Every
+  // superstep-start flow recurs with the same route id, so routes are
+  // counted once, at the first superstep (k == 1).
+  const auto add_remote_edge = [&](std::uint32_t src_id, std::uint32_t dst_id,
+                                   int src_rank, int dst_rank,
+                                   std::size_t payload_doubles, int k) {
+    if (!p.persistent) {
+      graph.add_edge(src_id, dst_id,
+                     header_bytes + static_cast<double>(payload_doubles) *
+                                        sizeof(double));
+      return;
+    }
+    if (k == 1) ++route_pairs[{src_rank, dst_rank}];
+    for (std::uint32_t f = 0; f < static_cast<std::uint32_t>(nfield); ++f) {
+      const auto [begin, len] = net::PersistentChannel::fragment_slice(
+          payload_doubles, static_cast<std::uint32_t>(nfield), f);
+      static_cast<void>(begin);
+      graph.add_edge(src_id, dst_id,
+                     frag_frame_bytes +
+                         static_cast<double>(len) * sizeof(double));
+    }
+  };
   for (int k = 1; k <= p.iterations; ++k) {
     const bool superstep_start = (k - 1) % p.steps == 0;
     for (int ti = 0; ti < tr; ++ti) {
@@ -140,10 +175,11 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
             const int lateral = (s == Side::North || s == Side::South)
                                     ? map.tile_w(tj)
                                     : map.tile_h(ti);
-            const double bytes =
-                header_bytes + static_cast<double>(steps_eff) * lateral *
-                                   nfield * sizeof(double);
-            graph.add_edge(id(k - 1, ni, nj), me, bytes);
+            add_remote_edge(id(k - 1, ni, nj), me, map.rank_of(ni, nj),
+                            map.rank_of(ti, tj),
+                            static_cast<std::size_t>(steps_eff) * lateral *
+                                nfield,
+                            k);
           }
         }
         if (superstep_start && (diag_taps || steps_eff > 1)) {
@@ -161,10 +197,11 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
             // corners every superstep; cross programs only while redundantly
             // recomputing next to a remote side.
             if (!(diag_taps || (steps_eff > 1 && adjacent_remote))) continue;
-            const double bytes =
-                header_bytes + static_cast<double>(steps_eff) * steps_eff *
-                                   nfield * sizeof(double);
-            graph.add_edge(id(k - 1, ni, nj), me, bytes);
+            add_remote_edge(id(k - 1, ni, nj), me, map.rank_of(ni, nj),
+                            map.rank_of(ti, tj),
+                            static_cast<std::size_t>(steps_eff) * steps_eff *
+                                nfield,
+                            k);
           }
         }
       }
@@ -179,9 +216,31 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
   config.aggregate_per_destination = p.aggregate_messages;
   config.message_cost_multiplier = p.loss.expected_attempts();
   config.extra_latency_s = p.loss.expected_extra_latency_s();
+  // Default path: both comm threads copy every payload byte (sender deep
+  // copy into the message, receiver materialization into the consumer's
+  // buffer) at the single-core streaming rate. Persistent channels send
+  // registered buffers and deliver zero-copy, removing that cost.
+  config.msg_copy_s_per_byte =
+      (!p.persistent && p.machine.core_stream_bw_Bps > 0.0)
+          ? 1.0 / p.machine.core_stream_bw_Bps
+          : 0.0;
 
   StencilSimOutput out;
   out.sim = simulate(graph, config, trace);
+  if (p.persistent) {
+    // One-time negotiation per ordered rank pair: an OPEN listing the pair's
+    // n routes ({magic, kind, n} + n x {id, doubles, fragments} + tag) and a
+    // fixed-size ACK. Setup traffic, outside the DES critical path.
+    for (const auto& [pair, nroutes] : route_pairs) {
+      static_cast<void>(pair);
+      out.handshake_messages += 2;
+      out.handshake_bytes +=
+          (4.0 + 3.0 * static_cast<double>(nroutes) + 4.0) *
+          sizeof(std::uint64_t);
+    }
+    out.sim.messages += out.handshake_messages;
+    out.sim.message_bytes += out.handshake_bytes;
+  }
   out.time_s = out.sim.makespan_s;
   // Nominal work on the same stage-update basis the real driver accounts:
   // flops_per_point is per stage cell, nominal stage updates are

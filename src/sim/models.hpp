@@ -89,6 +89,13 @@ struct StencilSimParams {
   bool boundary_priority = true;
   /// Merge per-destination messages (rt::Config::aggregate_messages analog).
   bool aggregate_messages = false;
+  /// Model the persistent-channel wire schedule (DistConfig::persistent
+  /// analog): every remote halo edge is carried as the route's nfield FRAG
+  /// messages with the exact net::PersistentChannel framing, the one-time
+  /// OPEN/ACK handshake is added to the traffic totals, and the per-byte
+  /// payload alloc+copy cost the default path pays at both comm threads is
+  /// removed (registered buffers, zero-copy delivery).
+  bool persistent = false;
   /// Lossy-link retry cost (loss_rate 0 = exact lossless model).
   LossModel loss{};
   /// When set, the model publishes its counters into this registry under the
@@ -103,6 +110,10 @@ struct StencilSimOutput {
   double time_s = 0.0;
   double gflops = 0.0;         ///< nominal 9*N^2*ratio^2*iters / time
   double redundant_fraction = 0.0;  ///< extra CA compute vs nominal
+  /// Persistent mode only: one-time OPEN/ACK route negotiation traffic,
+  /// already included in sim.messages / sim.message_bytes.
+  std::uint64_t handshake_messages = 0;
+  double handshake_bytes = 0.0;
 };
 
 StencilSimOutput simulate_stencil(const StencilSimParams& params,

@@ -7,6 +7,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "net/persistent_channel.hpp"
 #include "stencil/halo.hpp"
 #include "stencil/spec_kernel.hpp"
 
@@ -212,10 +213,16 @@ class Builder {
                     config.decomp.node_cols),
             config.steps, config.kernel_ratio)),
         type_base_(config.key_space * 2),
+        key_space_(config.key_space),
         priority_bias_(config.priority_bias),
-        lane_(config.lane) {
+        lane_(config.lane),
+        persistent_(config.persistent) {
     if (config.key_space > (std::numeric_limits<std::uint32_t>::max() - 1) / 2) {
       throw std::invalid_argument("key_space out of range");
+    }
+    if (persistent_ && config.key_space >= (1u << 20)) {
+      throw std::invalid_argument(
+          "persistent mode packs key_space into 20 route-id bits");
     }
     shared_->hook = config.superstep_hook;
     shared_->kernel = config.kernel;
@@ -309,6 +316,47 @@ class Builder {
  private:
   bool superstep_start(int k) const { return (k - 1) % shared_->steps == 0; }
 
+  /// Persistent route id for the halo stream published by producer tile
+  /// (ti, tj) on output slot `slot` (one id shared by every superstep of
+  /// that stream). Bit layout: 63 = route marker, [36..55] = key_space
+  /// (keeps batched solves collision-free), [32..35] = slot (1..8),
+  /// [16..31] = ti, [0..15] = tj.
+  std::uint64_t route_id(int ti, int tj, std::uint16_t slot) const {
+    return (1ull << 63) | (static_cast<std::uint64_t>(key_space_) << 36) |
+           (static_cast<std::uint64_t>(slot) << 32) |
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(ti)) << 16) |
+           static_cast<std::uint64_t>(static_cast<std::uint16_t>(tj));
+  }
+
+  /// Doubles in one packed band instance published by a tile with geometry
+  /// `g` on `side` (plane-major, nfield planes).
+  std::uint32_t band_doubles(const TileGeom& g, Side side) const {
+    const int depth = shared_->radius * shared_->steps;
+    const long lateral =
+        (side == Side::North || side == Side::South) ? g.w : g.h;
+    return static_cast<std::uint32_t>(static_cast<long>(depth) * lateral *
+                                      shared_->nfield);
+  }
+
+  /// Doubles in one packed corner-block instance.
+  std::uint32_t corner_doubles() const {
+    const int depth = shared_->radius * shared_->steps;
+    return static_cast<std::uint32_t>(static_cast<long>(depth) * depth *
+                                      shared_->nfield);
+  }
+
+  /// Annotate `flow` (a remote band/corner flow from producer tile
+  /// (pti, ptj)) with its persistent route when the mode is on. Fragments =
+  /// nfield: the pack layout is plane-major, so each field plane is one
+  /// equal even-split partition, publishable independently.
+  void annotate_route(rt::FlowRef& flow, int pti, int ptj,
+                      std::uint32_t doubles) const {
+    if (!persistent_) return;
+    flow.route = route_id(pti, ptj, flow.slot);
+    flow.route_doubles = doubles;
+    flow.route_fragments = static_cast<std::uint16_t>(shared_->nfield);
+  }
+
   /// Does the task publishing state k of this tile pack remote bands/corners?
   PackPlan pack_plan(const TileInfo& info, int k) const {
     PackPlan plan;
@@ -338,16 +386,33 @@ class Builder {
                           const PackPlan& plan, int depth,
                           std::vector<double>&& ext, int nplanes) {
     const TileGeom& g = info.geom;
+    // Persistent-channel runs hand back a pre-registered route buffer per
+    // halo slot: pack straight into it (no allocation) and publish the
+    // fragments immediately, so remote bands depart while the state publish
+    // and bookkeeping below are still pending. Slots without a negotiated
+    // route (default runs, local fused edges) take the classic path.
     for (Side s : kAllSides) {
       if (plan.bands[static_cast<int>(s)]) {
-        ctx.publish(kSlotBand(s),
-                    pack_band_planes(ext.data(), g, s, depth, nplanes));
+        const auto slot = kSlotBand(s);
+        if (auto buf = ctx.acquire_route_buffer(slot)) {
+          pack_band_planes_into(buf->data(), ext.data(), g, s, depth, nplanes);
+          ctx.publish_fragments(slot, std::move(buf));
+        } else {
+          ctx.publish(slot, pack_band_planes(ext.data(), g, s, depth, nplanes));
+        }
       }
     }
     for (Corner c : kAllCorners) {
       if (plan.corners[static_cast<int>(c)]) {
-        ctx.publish(kSlotCorner(c),
-                    pack_corner_planes(ext.data(), g, c, depth, nplanes));
+        const auto slot = kSlotCorner(c);
+        if (auto buf = ctx.acquire_route_buffer(slot)) {
+          pack_corner_planes_into(buf->data(), ext.data(), g, c, depth,
+                                  nplanes);
+          ctx.publish_fragments(slot, std::move(buf));
+        } else {
+          ctx.publish(slot,
+                      pack_corner_planes(ext.data(), g, c, depth, nplanes));
+        }
       }
     }
     ctx.publish(kSlotState, std::move(ext));
@@ -458,16 +523,23 @@ class Builder {
       for (Side s : kAllSides) {
         if (info.side_remote[static_cast<int>(s)]) {
           // Our north ghost comes from the north neighbor's south band.
-          spec.inputs.push_back(
-              {state_key(k - 1, info.ti + d_ti(s), info.tj + d_tj(s)),
-               kSlotBand(opposite(s))});
+          const int pti = info.ti + d_ti(s);
+          const int ptj = info.tj + d_tj(s);
+          rt::FlowRef flow{state_key(k - 1, pti, ptj),
+                           kSlotBand(opposite(s))};
+          annotate_route(flow, pti, ptj,
+                         band_doubles(tile(pti, ptj).geom, opposite(s)));
+          spec.inputs.push_back(flow);
         }
       }
       for (Corner c : kAllCorners) {
         if (info.corner_in[static_cast<int>(c)]) {
-          spec.inputs.push_back(
-              {state_key(k - 1, info.ti + d_ti(c), info.tj + d_tj(c)),
-               kSlotCorner(opposite(c))});
+          const int pti = info.ti + d_ti(c);
+          const int ptj = info.tj + d_tj(c);
+          rt::FlowRef flow{state_key(k - 1, pti, ptj),
+                           kSlotCorner(opposite(c))};
+          annotate_route(flow, pti, ptj, corner_doubles());
+          spec.inputs.push_back(flow);
         }
       }
     }
@@ -615,16 +687,29 @@ class Builder {
                            kSlotState});
     for (Side s : kAllSides) {
       if (info.side_deep[static_cast<int>(s)]) {
-        spec.inputs.push_back(
-            {state_key(k_start - 1, info.ti + d_ti(s), info.tj + d_tj(s)),
-             kSlotBand(opposite(s))});
+        const int pti = info.ti + d_ti(s);
+        const int ptj = info.tj + d_tj(s);
+        rt::FlowRef flow{state_key(k_start - 1, pti, ptj),
+                         kSlotBand(opposite(s))};
+        // Fused tasks exchange bands with local neighbors too; only the
+        // remote ones cross the wire and get a persistent route.
+        if (info.side_remote[static_cast<int>(s)]) {
+          annotate_route(flow, pti, ptj,
+                         band_doubles(tile(pti, ptj).geom, opposite(s)));
+        }
+        spec.inputs.push_back(flow);
       }
     }
     for (Corner c : kAllCorners) {
       if (info.corner_in[static_cast<int>(c)]) {
-        spec.inputs.push_back(
-            {state_key(k_start - 1, info.ti + d_ti(c), info.tj + d_tj(c)),
-             kSlotCorner(opposite(c))});
+        const int pti = info.ti + d_ti(c);
+        const int ptj = info.tj + d_tj(c);
+        rt::FlowRef flow{state_key(k_start - 1, pti, ptj),
+                         kSlotCorner(opposite(c))};
+        if (shared_->map.neighbor_remote(info.ti, info.tj, d_ti(c), d_tj(c))) {
+          annotate_route(flow, pti, ptj, corner_doubles());
+        }
+        spec.inputs.push_back(flow);
       }
     }
 
@@ -702,8 +787,10 @@ class Builder {
 
   std::shared_ptr<Shared> shared_;
   std::uint32_t type_base_ = 0;
+  std::uint32_t key_space_ = 0;
   int priority_bias_ = 0;
   int lane_ = -1;
+  bool persistent_ = false;
   std::vector<TileInfo> tiles_;
 };
 
@@ -821,9 +908,12 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
   rt_config.trace = config.trace;
   rt_config.scheduler = config.scheduler;
   rt_config.aggregate_messages = config.aggregate_messages;
-  rt_config.channel_factory = config.channel_factory;
   rt_config.metrics = config.metrics ? config.metrics
                                      : std::make_shared<obs::MetricsRegistry>();
+  rt_config.channel_factory =
+      config.persistent ? net::persistent_channel_factory(
+                              config.channel_factory, rt_config.metrics)
+                        : config.channel_factory;
   rt_config.sched_seed = config.sched_seed;
   rt_config.sched_test_hook = config.sched_test_hook;
 

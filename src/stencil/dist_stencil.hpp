@@ -76,6 +76,15 @@ struct DistConfig {
   SuperstepHook superstep_hook{};
   /// Custom channel stack for remote traffic (empty = plain Transport).
   net::ChannelFactory channel_factory{};
+  /// Persistent halo channels (net::PersistentChannel): every remote
+  /// band/corner flow is annotated with a route id + exact size, the channel
+  /// stack is wrapped in a PersistentChannel, endpoints negotiate buffers
+  /// once at run start, and halo publishes go out as partitioned zero-copy
+  /// fragment sends from pre-registered buffers. Results are bit-identical
+  /// to the default path; only the wire mechanics change. In
+  /// add_solve_subgraph this flag annotates routes only — the caller wraps
+  /// its own runtime channel (see serve::FarmConfig::persistent).
+  bool persistent = false;
   /// Registry every layer of the run scrapes into: rt_* (runtime), net_*
   /// (default transport), stencil_* (this driver). Null = private registry,
   /// returned in DistResult::metrics either way.

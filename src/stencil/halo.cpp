@@ -24,37 +24,76 @@ const char* side_name(Side s) {
   return "?";
 }
 
-std::vector<double> pack_band(const double* ext, const TileGeom& g, Side side,
-                              int depth) {
+namespace {
+
+/// Core of pack_band writing into caller storage; returns doubles written.
+std::size_t pack_band_into(double* dst, const double* ext, const TileGeom& g,
+                           Side side, int depth) {
   require(depth >= 1, "band depth must be >= 1");
-  std::vector<double> band;
+  std::size_t written = 0;
   switch (side) {
     case Side::North:
     case Side::South: {
       require(depth <= g.h, "band depth exceeds tile height");
       const int first = side == Side::North ? 0 : g.h - depth;
-      band.resize(static_cast<std::size_t>(depth) * g.w);
       for (int r = 0; r < depth; ++r) {
-        std::memcpy(band.data() + static_cast<std::size_t>(r) * g.w,
+        std::memcpy(dst + static_cast<std::size_t>(r) * g.w,
                     ext + g.idx(first + r, 0),
                     static_cast<std::size_t>(g.w) * sizeof(double));
       }
+      written = static_cast<std::size_t>(depth) * g.w;
       break;
     }
     case Side::West:
     case Side::East: {
       require(depth <= g.w, "band depth exceeds tile width");
       const int first = side == Side::West ? 0 : g.w - depth;
-      band.resize(static_cast<std::size_t>(g.h) * depth);
       for (int i = 0; i < g.h; ++i) {
         for (int c = 0; c < depth; ++c) {
-          band[static_cast<std::size_t>(i) * depth + c] =
+          dst[static_cast<std::size_t>(i) * depth + c] =
               ext[g.idx(i, first + c)];
         }
       }
+      written = static_cast<std::size_t>(g.h) * depth;
       break;
     }
   }
+  return written;
+}
+
+/// Core of pack_corner writing into caller storage; returns doubles written.
+std::size_t pack_corner_into(double* dst, const double* ext, const TileGeom& g,
+                             Corner corner, int s) {
+  require(s >= 1 && s <= g.h && s <= g.w, "corner block exceeds tile");
+  const int r0 = (corner == Corner::NW || corner == Corner::NE) ? 0 : g.h - s;
+  const int c0 = (corner == Corner::NW || corner == Corner::SW) ? 0 : g.w - s;
+  for (int r = 0; r < s; ++r) {
+    std::memcpy(dst + static_cast<std::size_t>(r) * s, ext + g.idx(r0 + r, c0),
+                static_cast<std::size_t>(s) * sizeof(double));
+  }
+  return static_cast<std::size_t>(s) * s;
+}
+
+}  // namespace
+
+std::vector<double> pack_band(const double* ext, const TileGeom& g, Side side,
+                              int depth) {
+  require(depth >= 1, "band depth must be >= 1");
+  std::size_t n = 0;
+  switch (side) {
+    case Side::North:
+    case Side::South:
+      require(depth <= g.h, "band depth exceeds tile height");
+      n = static_cast<std::size_t>(depth) * g.w;
+      break;
+    case Side::West:
+    case Side::East:
+      require(depth <= g.w, "band depth exceeds tile width");
+      n = static_cast<std::size_t>(g.h) * depth;
+      break;
+  }
+  std::vector<double> band(n);
+  pack_band_into(band.data(), ext, g, side, depth);
   return band;
 }
 
@@ -99,14 +138,8 @@ void unpack_band(double* ext, const TileGeom& g, Side side,
 std::vector<double> pack_corner(const double* ext, const TileGeom& g,
                                 Corner corner, int s) {
   require(s >= 1 && s <= g.h && s <= g.w, "corner block exceeds tile");
-  const int r0 = (corner == Corner::NW || corner == Corner::NE) ? 0 : g.h - s;
-  const int c0 = (corner == Corner::NW || corner == Corner::SW) ? 0 : g.w - s;
   std::vector<double> block(static_cast<std::size_t>(s) * s);
-  for (int r = 0; r < s; ++r) {
-    std::memcpy(block.data() + static_cast<std::size_t>(r) * s,
-                ext + g.idx(r0 + r, c0),
-                static_cast<std::size_t>(s) * sizeof(double));
-  }
+  pack_corner_into(block.data(), ext, g, corner, s);
   return block;
 }
 
@@ -249,6 +282,32 @@ void unpack_corner_planes(double* ext, const TileGeom& g, Corner corner,
     unpack_corner(ext + static_cast<std::size_t>(p) * g.size(), g, corner,
                   block.subspan(static_cast<std::size_t>(p) * per, per), s);
   }
+}
+
+std::size_t pack_band_planes_into(double* dst, const double* ext,
+                                  const TileGeom& g, Side side, int depth,
+                                  int nplanes) {
+  require(nplanes >= 1, "nplanes must be >= 1");
+  std::size_t written = 0;
+  for (int p = 0; p < nplanes; ++p) {
+    written += pack_band_into(dst + written,
+                              ext + static_cast<std::size_t>(p) * g.size(), g,
+                              side, depth);
+  }
+  return written;
+}
+
+std::size_t pack_corner_planes_into(double* dst, const double* ext,
+                                    const TileGeom& g, Corner corner, int s,
+                                    int nplanes) {
+  require(nplanes >= 1, "nplanes must be >= 1");
+  std::size_t written = 0;
+  for (int p = 0; p < nplanes; ++p) {
+    written += pack_corner_into(dst + written,
+                                ext + static_cast<std::size_t>(p) * g.size(),
+                                g, corner, s);
+  }
+  return written;
 }
 
 void copy_local_line_planes(double* ext, const TileGeom& g, Side side,

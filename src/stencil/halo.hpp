@@ -103,6 +103,18 @@ void copy_local_corner(double* ext, const TileGeom& g, Corner corner,
 
 std::vector<double> pack_band_planes(const double* ext, const TileGeom& g,
                                      Side side, int depth, int nplanes);
+
+/// Zero-allocation variants for persistent-channel registered buffers: pack
+/// straight into caller-provided storage (plane-major, same layout the
+/// allocating packers produce). `dst` must hold band/block doubles x nplanes;
+/// returns the doubles written so callers can assert against the negotiated
+/// route size.
+std::size_t pack_band_planes_into(double* dst, const double* ext,
+                                  const TileGeom& g, Side side, int depth,
+                                  int nplanes);
+std::size_t pack_corner_planes_into(double* dst, const double* ext,
+                                    const TileGeom& g, Corner corner, int s,
+                                    int nplanes);
 void unpack_band_planes(double* ext, const TileGeom& g, Side side,
                         std::span<const double> band, int depth, int nplanes);
 std::vector<double> pack_corner_planes(const double* ext, const TileGeom& g,

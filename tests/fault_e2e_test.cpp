@@ -75,6 +75,40 @@ TEST(FaultE2E, CaStencilBitIdenticalUnderHeavyFaults) {
   }
 }
 
+TEST(FaultE2E, PersistentOverFaultyStackStaysBitIdentical) {
+  // Full composition: PersistentChannel over ReliableChannel over a lossy
+  // injector. Route fragments ride reliability envelopes as shared views (no
+  // retained payload copies), survive drops/dups/reordering, and the grid
+  // still matches serial bit-for-bit.
+  const Problem problem = stencil::random_problem(64, 64, 15);
+  const Grid2D expected = solve_serial(problem);
+
+  for (int steps : {1, 5}) {
+    for (std::uint64_t seed : {1u, 2u}) {
+      Stack stack;
+      stack.plan = FaultPlan::uniform(seed, 0.15, 0.10, 0.20);
+      stack.reliable.timeout_s = 0.001;
+      DistConfig config = small_config(steps);
+      config.channel_factory = stack.factory();
+      config.persistent = true;
+
+      const auto result = run_distributed(problem, config);
+      EXPECT_EQ(Grid2D::max_abs_diff(expected, result.grid), 0.0)
+          << "steps " << steps << " seed " << seed;
+
+      const FaultStats faults = stack.injector().fault_stats();
+      const ReliableStats rel = stack.last->reliable_stats();
+      EXPECT_GT(faults.dropped, 0u) << "fault plan was not exercised";
+      EXPECT_GT(rel.retransmits, 0u) << "drops must force retransmissions";
+      // Fragment payloads are shared views of registered slots, and every
+      // other message is header-only, so the retransmit window never deep
+      // copies bulk data even over this lossy stack.
+      EXPECT_EQ(rel.retained_payload_doubles, 0u);
+      EXPECT_FALSE(rel.failed);
+    }
+  }
+}
+
 TEST(FaultE2E, ZeroFaultPlanAddsNoRetransmits) {
   // With live runtime receivers draining acks at the default timeout, a
   // clean channel must see zero reliability traffic beyond the acks.

@@ -146,6 +146,115 @@ TEST(ReliableChannel, ZeroFaultPathAddsNoRetransmits) {
   channel.close();
 }
 
+TEST(ReliableChannel, LosslessInnerRetainsEnvelopesOnly) {
+  // Over a lossless inner stack the retransmit window keeps envelopes only:
+  // the per-message defensive payload copy is skipped entirely.
+  {
+    ReliableChannel channel(std::make_shared<net::Transport>(2));
+    for (int i = 0; i < 50; ++i) channel.send(make_msg(0, 1, i));
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(channel.recv(1).has_value());
+    }
+    EXPECT_EQ(channel.reliable_stats().retained_payload_doubles, 0u);
+    channel.close();
+  }
+  // A stacked injector can lose messages (lossless() is false even at zero
+  // configured rates), so the window must retain payloads for resending.
+  {
+    auto transport = std::make_shared<net::Transport>(2);
+    auto injector = std::make_shared<FaultInjector>(
+        transport, FaultPlan::uniform(1, 0.0));
+    ReliableConfig config;
+    config.timeout_s = 30.0;
+    ReliableChannel channel(injector, config);
+    for (int i = 0; i < 50; ++i) channel.send(make_msg(0, 1, i));
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(channel.recv(1).has_value());
+    }
+    // make_msg carries one payload double per message.
+    EXPECT_EQ(channel.reliable_stats().retained_payload_doubles, 50u);
+    channel.close();
+  }
+}
+
+TEST(ReliableChannel, SharedViewPayloadKeepsPointerStability) {
+  // Persistent-channel fragments ride through the reliability layer as
+  // shared views: retention is a refcount bump, never a payload re-copy, so
+  // the consumer sees the producer's registered buffer itself.
+  auto transport = std::make_shared<net::Transport>(2);
+  auto injector = std::make_shared<FaultInjector>(
+      transport, FaultPlan::uniform(1, 0.0));
+  ReliableConfig config;
+  config.timeout_s = 30.0;
+  ReliableChannel channel(injector, config);
+
+  auto buffer = std::make_shared<std::vector<double>>(8, 0.0);
+  for (int i = 0; i < 8; ++i) (*buffer)[static_cast<std::size_t>(i)] = i;
+  const double* registered = buffer->data();
+
+  net::Message msg;
+  msg.src = 0;
+  msg.dst = 1;
+  msg.header = {7};
+  msg.owner = buffer;
+  msg.view_offset = 0;
+  msg.view_len = buffer->size();
+  channel.send(std::move(msg));
+
+  const auto out = channel.recv(1);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_TRUE(out->shared_payload());
+  EXPECT_EQ(out->payload_data(), registered);
+  EXPECT_EQ(out->payload_len(), 8u);
+  EXPECT_EQ(channel.reliable_stats().retained_payload_doubles, 0u);
+  channel.close();
+}
+
+TEST(ReliableChannel, HollowRetransmitsStayExactlyOnce) {
+  // Force retransmissions over a lossless inner stack (tiny timeout, acks
+  // initially undrained): the resends are hollow envelope-only duplicates of
+  // already-delivered messages — the receiver must suppress every one of
+  // them by sequence number. (Over a FIFO lossless inner the original always
+  // arrives before its retransmit, so no hollow copy can be buffered.)
+  ReliableConfig config;
+  config.timeout_s = 0.0005;
+  config.max_retries = 1000;  // the test drains acks before exhaustion
+  ReliableChannel channel(std::make_shared<net::Transport>(2), config);
+  const int n = 20;
+  for (int i = 0; i < n; ++i) channel.send(make_msg(0, 1, i));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  for (int i = 0; i < n; ++i) {
+    const auto msg = channel.recv(1);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->header[0], static_cast<std::uint64_t>(i));
+    EXPECT_EQ(msg->payload[0], static_cast<double>(i));
+  }
+
+  // Drain the acks so the windows empty and the retransmit thread quiesces.
+  AckDrainer drainer(channel, {0});
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::uint64_t before = channel.reliable_stats().retransmits;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (channel.reliable_stats().retransmits == before) break;
+  }
+
+  // No duplicate ever reaches the caller, and no payload was ever retained.
+  for (int spin = 0; spin < 20; ++spin) {
+    EXPECT_FALSE(channel.try_recv(1).has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const ReliableStats stats = channel.reliable_stats();
+  EXPECT_GT(stats.retransmits, 0u);
+  EXPECT_GT(stats.dup_dropped, 0u);
+  EXPECT_EQ(stats.retained_payload_doubles, 0u);
+  EXPECT_FALSE(stats.failed);
+  drainer.stop();
+  channel.close();
+}
+
 TEST(ReliableChannel, ExactlyOnceFifoOverFaultyChannel) {
   // 15% drop + 10% duplicate + 10% reorder, several seeds: every message
   // arrives exactly once, in order, with its payload intact.

@@ -53,6 +53,7 @@ TEST(FuzzDistStencil, RandomConfigurationsMatchSerial) {
                                         rt::SchedPolicy::WorkStealing};
     config.scheduler = policies[rng.next_below(4)];
     config.sched_seed = rng.next_u64();
+    config.persistent = rng.next_below(2) == 0;
 
     const bool variable = rng.next_below(3) == 0;
     const stencil::Problem problem =
@@ -65,7 +66,8 @@ TEST(FuzzDistStencil, RandomConfigurationsMatchSerial) {
                  + std::to_string(mb) + "x" + std::to_string(nb) + " nodes " +
                  std::to_string(node_rows) + "x" + std::to_string(node_cols) +
                  " s=" + std::to_string(config.steps) +
-                 (variable ? " variable" : " constant"));
+                 (variable ? " variable" : " constant") +
+                 (config.persistent ? " persistent" : ""));
 
     const stencil::DistResult result = run_distributed(problem, config);
     const stencil::Grid2D expected = solve_serial(problem);
@@ -229,6 +231,7 @@ TEST(FuzzSpecStencil, RandomSpecsMatchSerial) {
                                         rt::SchedPolicy::WorkStealing};
     config.scheduler = policies[rng.next_below(4)];
     config.sched_seed = rng.next_u64();
+    config.persistent = rng.next_below(2) == 0;
 
     const stencil::Problem problem =
         stencil::spec_problem(sp, rows, cols, iters, nz,
@@ -240,7 +243,8 @@ TEST(FuzzSpecStencil, RandomSpecsMatchSerial) {
                  " tiles " + std::to_string(mb) + "x" + std::to_string(nb) +
                  " nodes " + std::to_string(node_rows) + "x" +
                  std::to_string(node_cols) + " s=" +
-                 std::to_string(config.steps) + ")");
+                 std::to_string(config.steps) +
+                 (config.persistent ? " persistent" : "") + ")");
 
     // The spec path runs radius-1 stage units with steps multiplied by the
     // stage count, so the acceptance bound is steps * stages.

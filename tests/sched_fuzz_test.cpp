@@ -94,6 +94,7 @@ struct Variant {
   const char* name;
   int steps;
   stencil::KernelVariant kernel;
+  bool persistent = false;  ///< route halos over the persistent channel
 };
 
 // One small problem shared by every variant: 3x3 tiles over 2x2 nodes, so
@@ -117,6 +118,7 @@ void run_variant_sweep(const Variant& variant) {
         config.decomp = {4, 5, 2, 2};
         config.steps = variant.steps;
         config.kernel = variant.kernel;
+        config.persistent = variant.persistent;
         config.workers_per_rank = workers;
         config.scheduler = policy;
         config.sched_seed = static_cast<std::uint64_t>(seed);
@@ -136,7 +138,8 @@ void run_variant_sweep(const Variant& variant) {
 // programs add multi-plane state, per-stage local exchanges, and (for box
 // specs) corner messages — all of which must stay bit-identical to
 // solve_serial_spec under every schedule on every z plane.
-void run_spec_sweep(const spec::StencilSpec& sp, int nz, int steps) {
+void run_spec_sweep(const spec::StencilSpec& sp, int nz, int steps,
+                    bool persistent = false) {
   const stencil::Problem problem =
       stencil::spec_problem(sp, kRows, kCols, kIters, nz, 0x5eed);
   const std::vector<stencil::Grid2D> expected =
@@ -150,6 +153,7 @@ void run_spec_sweep(const spec::StencilSpec& sp, int nz, int steps) {
         stencil::DistConfig config;
         config.decomp = {4, 5, 2, 2};
         config.steps = steps;
+        config.persistent = persistent;
         config.workers_per_rank = workers;
         config.scheduler = policy;
         config.sched_seed = static_cast<std::uint64_t>(seed);
@@ -202,6 +206,19 @@ TEST(SchedFuzz, CaBlockedBitIdenticalUnderAllSchedules) {
 
 TEST(SchedFuzz, CaTemporalBitIdenticalUnderAllSchedules) {
   run_variant_sweep({"ca-temporal", 2, stencil::KernelVariant::Temporal});
+}
+
+// Persistent-channel runs through the same adversarial schedule pool: the
+// fused Temporal path annotates routes only for remote neighbors, and the
+// multi-field heat3d path splits every route into nfield fragments — both
+// must stay bit-identical to the serial oracle under every schedule.
+TEST(SchedFuzz, CaTemporalPersistentBitIdenticalUnderAllSchedules) {
+  run_variant_sweep(
+      {"ca-temporal-persistent", 2, stencil::KernelVariant::Temporal, true});
+}
+
+TEST(SchedFuzz, SpecHeat3dCaPersistentBitIdenticalUnderAllSchedules) {
+  run_spec_sweep(spec::StencilSpec::heat3d(), 3, 2, /*persistent=*/true);
 }
 
 // A deterministic stall forces stealing: one rank, four workers, a batch of

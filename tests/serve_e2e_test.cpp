@@ -98,6 +98,49 @@ TEST(SolverFarm, ConcurrentTenantsBatchedJobsMatchSerial) {
   }
 }
 
+TEST(SolverFarm, PersistentFarmMatchesSerialAndNegotiatesRoutes) {
+  // A farm with persistent halo channels: every wave's channel is built by
+  // persistent_channel_factory and every subgraph annotates its remote flows,
+  // so batched jobs ride registered route buffers yet stay bit-identical.
+  FarmConfig config = small_farm_config();
+  config.persistent = true;
+  config.metrics = std::make_shared<obs::MetricsRegistry>();
+  SolverFarm farm(config);
+
+  std::vector<SolveRequest> requests;
+  std::vector<Grid2D> expected;
+  std::vector<std::future<SolveResponse>> futures;
+  for (int j = 0; j < 4; ++j) {
+    SolveRequest request =
+        make_request("tenant-" + std::to_string(j % 2), 24, 20, /*iters=*/4,
+                     /*mb=*/12, /*nb=*/10, /*steps=*/j % 2 == 0 ? 1 : 2,
+                     /*seed=*/300 + j);
+    expected.push_back(stencil::solve_serial(request.problem));
+    auto submission = farm.submit(request);
+    ASSERT_TRUE(submission.accepted())
+        << reject_reason_name(submission.rejected);
+    futures.push_back(std::move(submission.response));
+    requests.push_back(std::move(request));
+  }
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    SolveResponse response = futures[i].get();
+    ASSERT_EQ(response.status, JobStatus::Completed) << response.error;
+    EXPECT_EQ(Grid2D::max_abs_diff(response.grid, expected[i]), 0.0)
+        << "job " << i;
+  }
+
+  if constexpr (obs::kEnabled) {
+    // The resident runtime's channels actually negotiated and used routes.
+    const auto routes =
+        config.metrics->counter("net_persistent_routes_total", {});
+    const auto fragments =
+        config.metrics->counter("net_persistent_fragments_total", {});
+    EXPECT_GT(routes->value(), 0.0);
+    EXPECT_GT(fragments->value(), 0.0);
+  }
+}
+
 /// Shared state for tests that preempt from the superstep observer.
 struct PreemptDriver {
   std::atomic<SolverFarm*> farm{nullptr};

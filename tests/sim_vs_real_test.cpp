@@ -78,6 +78,32 @@ TEST_P(SimVsReal, MessageCountsAgreeExactly) {
   }
 }
 
+// Persistent-channel cross-check: with DistConfig::persistent the real stack
+// replaces each remote halo message with the route's registered FRAG
+// fragments plus a one-time OPEN/ACK negotiation; the model replays the same
+// schedule with the exact wire framing, so messages AND total bytes agree
+// with no header compensation at all.
+TEST_P(SimVsReal, PersistentTrafficAgreesExactly) {
+  const XCase c = GetParam();
+
+  const stencil::Problem problem = stencil::random_problem(c.n, c.n, c.iters);
+  stencil::DistConfig config;
+  config.decomp = {c.tile, c.tile, c.side, c.side};
+  config.steps = c.steps;
+  config.persistent = true;
+  const stencil::DistResult real = run_distributed(problem, config);
+
+  sim::StencilSimParams params{sim::nacl(), c.n, c.tile, c.side, c.side,
+                               c.iters, c.steps, 1.0};
+  params.persistent = true;
+  const sim::StencilSimOutput simulated = sim::simulate_stencil(params);
+
+  EXPECT_GT(simulated.handshake_messages, 0u);
+  EXPECT_EQ(real.stats.messages, simulated.sim.messages);
+  EXPECT_DOUBLE_EQ(static_cast<double>(real.stats.bytes),
+                   simulated.sim.message_bytes);
+}
+
 // Spec-driven cross-check: the simulator's neighbor-set parameterization
 // (per-spec corner gating, stage-unit supersteps, field-plane payload
 // scaling) must reproduce the real driver's traffic exactly. box9 at
@@ -123,6 +149,19 @@ TEST(SimVsRealSpec, SpecTrafficAgreesExactly) {
     // stage-unit accounting too, not just the wire traffic (both normalize
     // by N^2 * iterations * stages).
     EXPECT_DOUBLE_EQ(real.redundancy(), simulated.redundant_fraction);
+
+    // The persistent wire schedule must agree exactly too — the sharp part
+    // is nfield > 1 (heat3d), where every route splits into multiple
+    // fragments with the remainder on the leading slices.
+    stencil::DistConfig pconfig = config;
+    pconfig.persistent = true;
+    const stencil::DistResult preal = run_distributed(problem, pconfig);
+    sim::StencilSimParams pparams = params;
+    pparams.persistent = true;
+    const sim::StencilSimOutput psim = sim::simulate_stencil(pparams);
+    EXPECT_EQ(preal.stats.messages, psim.sim.messages);
+    EXPECT_DOUBLE_EQ(static_cast<double>(preal.stats.bytes),
+                     psim.sim.message_bytes);
   }
 }
 

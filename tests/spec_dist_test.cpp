@@ -68,6 +68,24 @@ TEST(SpecDist, NamedSpecsBitExactAllSchedulers) {
   }
 }
 
+TEST(SpecDist, PersistentChannelBitExactForNamedSpecs) {
+  // The persistent route path on the spec front end: every named spec's
+  // halos ride registered route buffers split into nfield fragments (the
+  // multi-plane programs exercise true multi-fragment assembly), and each z
+  // plane must still match the serial oracle bit-for-bit.
+  for (const std::string& name : spec::spec_names()) {
+    const spec::StencilSpec sp = spec::spec_by_name(name);
+    const int nz = sp.rank == 3 ? 3 : 1;
+    const Problem problem = spec_problem(sp, 24, 22, 6, nz, 11);
+    for (int steps : {1, 2}) {
+      DistConfig config = small_config(steps, rt::SchedPolicy::WorkStealing);
+      config.persistent = true;
+      EXPECT_TRUE(planes_match(problem, config))
+          << name << " steps=" << steps << " persistent";
+    }
+  }
+}
+
 TEST(SpecDist, OptimizedKernelsStayBitExact) {
   // Spec programs route non-Scalar variants through the row-band blocked
   // sweep (and star5 through jacobi5_opt); results must not move.

@@ -18,6 +18,11 @@
 //   --chrome=out.json    re-export the trace for chrome://tracing
 //   --name=label         report name (default: the input filename)
 //   --steps=N            print the last N critical-path steps (default 0)
+//   --gate-wire=R        diff mode: exit 1 if the second trace's mean wire
+//                        time exceeds R x the first trace's (CI regression
+//                        gate for the persistent-channel leg)
+//   --gate-latency=R     diff mode: exit 1 if the second trace's mean
+//                        enqueue->deliver latency exceeds R x the first's
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -61,6 +66,9 @@ void print_analysis(const std::string& label,
             << " sends, " << a.recvs << " recvs, " << a.steals << " steals, "
             << a.bytes_sent << " bytes, " << a.retransmits
             << " retransmits\n";
+  std::cout << "  per-message        mean enqueue->deliver "
+            << a.mean_flow_latency_s() << " s (" << a.flows_delivered
+            << " flows), mean wire " << a.mean_wire_s() << " s\n";
   for (const auto& [rank, kinds] : a.idle_by_rank) {
     std::cout << "  idle rank " << rank << "      ";
     bool first = true;
@@ -174,7 +182,32 @@ int main(int argc, char** argv) {
               << ca.compute_seconds << " s\n";
     std::cout << "  redundant compute  " << std::setprecision(1)
               << 100.0 * redundant << "% of base compute\n";
-    return 0;
+    std::cout << std::setprecision(9);
+    std::cout << "  mean wire          " << base.mean_wire_s() << " -> "
+              << ca.mean_wire_s() << " s\n";
+    std::cout << "  mean latency       " << base.mean_flow_latency_s()
+              << " -> " << ca.mean_flow_latency_s() << " s\n";
+
+    // Regression gates: fail when the candidate (second) trace's per-message
+    // costs regress past the allowed ratio over the baseline (first) trace.
+    int status = 0;
+    const double gate_wire = opts.get_double("gate-wire", 0.0);
+    if (gate_wire > 0.0 && ca.mean_wire_s() > gate_wire * base.mean_wire_s()) {
+      std::cerr << "trace_analyze: mean wire time regressed: "
+                << ca.mean_wire_s() << " s > " << gate_wire << " x "
+                << base.mean_wire_s() << " s\n";
+      status = 1;
+    }
+    const double gate_latency = opts.get_double("gate-latency", 0.0);
+    if (gate_latency > 0.0 &&
+        ca.mean_flow_latency_s() >
+            gate_latency * base.mean_flow_latency_s()) {
+      std::cerr << "trace_analyze: mean enqueue->deliver latency regressed: "
+                << ca.mean_flow_latency_s() << " s > " << gate_latency
+                << " x " << base.mean_flow_latency_s() << " s\n";
+      status = 1;
+    }
+    return status;
   } catch (const std::exception& e) {
     std::cerr << "trace_analyze: " << e.what() << "\n";
     return 1;
