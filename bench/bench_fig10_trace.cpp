@@ -73,6 +73,12 @@ int real_part(const Options& options) {
   const bool persistent =
       options.get_choice("channel", "default", {"default", "persistent"}) ==
       "persistent";
+  // --fuse=F adds a third traced leg: the CA graph rewritten by
+  // rt::fuse_supersteps into steps*F-iteration windows. Fusing requires
+  // kernel_ratio == 1, so the leg runs at full kernel time; its trace CSV
+  // (fig10_fused.csv) diffs against the CA leg with trace_analyze, where
+  // the "fused depth" row and the collapsed task count are visible.
+  const int fuse = static_cast<int>(options.get_int("fuse", 1));
   std::cout << "\nReal taskrt trace on this host (N=" << n << ", 2x2 virtual "
             << "nodes, 2 workers each, ratio 0.4, " << iters << " iters, "
             << (persistent ? "persistent" : "default") << " channel).\n"
@@ -84,11 +90,24 @@ int real_part(const Options& options) {
   Table causal({"version", "crit path ms", "compute %", "network %",
                 "runtime %", "cp msgs", "overlap %"});
   obs::TraceAnalysis base_analysis;
-  for (int steps : {1, 4}) {
+  struct Leg {
+    const char* label;
+    int steps;
+    int fuse;
+  };
+  std::vector<Leg> legs = {{"base", 1, 1}, {"CA s=4", 4, 1}};
+  if (fuse > 1) {
+    legs.push_back({"CA s=4 fused", 4, fuse});
+  }
+  for (const Leg& leg : legs) {
+    const int steps = leg.steps;
     stencil::DistConfig config;
     config.decomp = {n / 8, n / 8, 2, 2};
     config.steps = steps;
-    config.kernel_ratio = 0.4;
+    // Fused wavefronts require the full kernel (ratio 1); the first two
+    // legs keep the paper's ratio-0.4 tuned-kernel setting.
+    config.kernel_ratio = leg.fuse > 1 ? 1.0 : 0.4;
+    config.fuse_depth = leg.fuse;
     config.workers_per_rank = 2;
     config.trace = true;
     config.persistent = persistent;
@@ -111,9 +130,8 @@ int real_part(const Options& options) {
 
     const rt::TraceReport report =
         rt::analyze_trace(result.trace_events, config.workers_per_rank);
-    std::cout << "\n-- " << (steps == 1 ? "base" : "CA s=4")
-              << ": " << result.stats.messages << " messages, "
-              << result.stats.bytes << " bytes --\n";
+    std::cout << "\n-- " << leg.label << ": " << result.stats.messages
+              << " messages, " << result.stats.bytes << " bytes --\n";
     Table table({"klass", "count", "median us"});
     for (const auto& [klass, med] : report.median_duration_by_klass) {
       table.add_row({klass,
@@ -133,7 +151,8 @@ int real_part(const Options& options) {
       const std::string prefix =
           persistent ? "fig10_persistent" : "fig10";
       const std::string path =
-          prefix + (steps == 1 ? "_base.csv" : "_ca.csv");
+          prefix + (leg.fuse > 1 ? "_fused.csv"
+                                 : (steps == 1 ? "_base.csv" : "_ca.csv"));
       std::ofstream out(path);
       rt::write_trace_csv(result.trace_events, out);
       std::cout << "(wrote " << path << ")\n";
@@ -143,8 +162,7 @@ int real_part(const Options& options) {
     // occupancy strips only hint at.
     const obs::TraceAnalysis a = obs::analyze_dataflow(result.trace_events);
     const double cp = a.critical_path_s > 0.0 ? a.critical_path_s : 1.0;
-    causal.add_row({steps == 1 ? "base" : "CA s=4",
-                    Table::cell(a.critical_path_s * 1e3, 3),
+    causal.add_row({leg.label, Table::cell(a.critical_path_s * 1e3, 3),
                     Table::cell(100.0 * a.cp_compute_s / cp, 1),
                     Table::cell(100.0 * a.cp_network_s / cp, 1),
                     Table::cell(100.0 * a.cp_runtime_s / cp, 1),
@@ -152,7 +170,7 @@ int real_part(const Options& options) {
                     Table::cell(100.0 * a.overlap_efficiency, 1)});
     if (steps == 1) base_analysis = a;
 
-    if (steps == 4 && options.has("report")) {
+    if (steps == 4 && leg.fuse == 1 && options.has("report")) {
       std::string path = options.get_string("report", "");
       if (path.empty() || path == "true") path = "fig10_trace.json";
       obs::Json params = obs::Json::object();

@@ -27,6 +27,11 @@ int main(int argc, char** argv) {
 
   const int iters = static_cast<int>(options.get_int("iters", 100));
   const int steps = static_cast<int>(options.get_int("steps", 15));
+  // --fuse=F (opt-in, default off) adds fused-wavefront rows: the CA graph
+  // rewritten by rt::fuse_supersteps so each tile runs steps*F iterations
+  // per exchange. Simulated rows get a CA+fuse column; the host section
+  // gains a real fused run. F=1 keeps the paper's figure byte-identical.
+  const int fuse = static_cast<int>(options.get_int("fuse", 1));
   // Optional lossy-link model: every message pays the expected retransmission
   // cost of fault::ReliableChannel at this drop rate (0 = exact paper model).
   sim::LossModel loss;
@@ -40,6 +45,7 @@ int main(int argc, char** argv) {
   const bool spec_path = stencil_name != "star5";
   report.set_param("iters", obs::Json(iters));
   report.set_param("steps", obs::Json(steps));
+  report.set_param("fuse", obs::Json(fuse));
   report.set_param("loss", obs::Json(loss.loss_rate));
   report.set_param("stencil", obs::Json(stencil_name));
 
@@ -60,8 +66,15 @@ int main(int argc, char** argv) {
     one.stencil = stencil_spec;
     const double t1 = sim::simulate_stencil(one).time_s;
 
-    Table table({"nodes", "PETSc GF/s", "base GF/s", "CA GF/s",
-                 "PETSc speedup", "base speedup", "CA speedup"});
+    std::vector<std::string> cols = {"nodes",         "PETSc GF/s",
+                                     "base GF/s",     "CA GF/s",
+                                     "PETSc speedup", "base speedup",
+                                     "CA speedup"};
+    if (fuse > 1) {
+      cols.push_back("CA+fuse GF/s");
+      cols.push_back("CA+fuse speedup");
+    }
+    Table table(cols);
     for (int side : {1, 2, 4, 8}) {
       const int nodes = side * side;
       sim::StencilSimParams base{sys.machine, sys.n, sys.tile, side, side,
@@ -74,13 +87,25 @@ int main(int argc, char** argv) {
       const auto rc = sim::simulate_stencil(ca);
       const sim::PetscSimParams pp{sys.machine, sys.n, nodes, iters};
       const auto rp = sim::simulate_petsc(pp);
-      table.add_row({Table::cell(static_cast<long long>(nodes)),
-                     Table::cell(rp.gflops, 1), Table::cell(rb.gflops, 1),
-                     Table::cell(rc.gflops, 1),
-                     Table::cell(t1 / rp.time_s, 2),
-                     Table::cell(t1 / rb.time_s, 2),
-                     Table::cell(t1 / rc.time_s, 2)});
+      std::vector<std::string> cells = {
+          Table::cell(static_cast<long long>(nodes)),
+          Table::cell(rp.gflops, 1),
+          Table::cell(rb.gflops, 1),
+          Table::cell(rc.gflops, 1),
+          Table::cell(t1 / rp.time_s, 2),
+          Table::cell(t1 / rb.time_s, 2),
+          Table::cell(t1 / rc.time_s, 2)};
       obs::Json row = obs::Json::object();
+      if (fuse > 1) {
+        sim::StencilSimParams cf = ca;
+        cf.fuse = fuse;
+        const auto rf = sim::simulate_stencil(cf);
+        cells.push_back(Table::cell(rf.gflops, 1));
+        cells.push_back(Table::cell(t1 / rf.time_s, 2));
+        row["ca_fused_gflops"] = obs::Json(rf.gflops);
+        row["ca_fused_speedup"] = obs::Json(t1 / rf.time_s);
+      }
+      table.add_row(std::move(cells));
       row["machine"] = obs::Json(sys.machine.name);
       row["N"] = obs::Json(sys.n);
       row["tile"] = obs::Json(sys.tile);
@@ -150,32 +175,49 @@ int main(int argc, char** argv) {
   // --trace-analyze traces the host runs and prints the causal summary
   // (critical path, network share, overlap) beside the traffic columns.
   const bool trace_analyze = options.get_bool("trace-analyze", false);
-  for (int steps : {1, 4}) {
+  struct HostCase {
+    const char* label;
+    const char* impl;
+    const char* tag;
+    int steps;
+    int fuse;
+  };
+  std::vector<HostCase> host_cases = {
+      {"base taskrt", "base_taskrt", "base", 1, 1},
+      {"CA taskrt (s=4)", "ca_taskrt", "ca", 4, 1},
+  };
+  if (fuse > 1) {
+    // The fused-wavefront real run: the temporal kernel stays off (fusing is
+    // the graph rewrite, not a kernel), so it composes with --kernel/--sched.
+    host_cases.push_back(
+        {"CA+fused taskrt", "ca_fused_taskrt", "ca_fused", 4, fuse});
+  }
+  for (const HostCase& hc : host_cases) {
     stencil::DistConfig config;
     config.decomp = {n / 8, n / 8, 2, 2};
-    config.steps = steps;
+    config.steps = hc.steps;
+    config.fuse_depth = hc.fuse;
     config.workers_per_rank = 2;
     config.kernel = host_kernel;
     config.scheduler = host_sched;
     config.metrics = metrics;
     config.trace = trace_analyze;
     const auto r = run_distributed(problem, config);
-    real.add_row({steps == 1 ? "base taskrt" : "CA taskrt (s=4)",
-                  Table::cell(r.stats.wall_time_s * 1e3, 1),
+    real.add_row({hc.label, Table::cell(r.stats.wall_time_s * 1e3, 1),
                   Table::cell(static_cast<long long>(r.stats.messages)),
                   Table::cell(static_cast<double>(r.stats.bytes) / 1e6, 2)});
     obs::Json row = obs::Json::object();
     row["machine"] = obs::Json("host");
-    row["implementation"] =
-        obs::Json(steps == 1 ? "base_taskrt" : "ca_taskrt");
-    row["steps"] = obs::Json(steps);
+    row["implementation"] = obs::Json(hc.impl);
+    row["steps"] = obs::Json(hc.steps);
+    row["fuse"] = obs::Json(hc.fuse);
     row["time_ms"] = obs::Json(r.stats.wall_time_s * 1e3);
     row["messages"] = obs::Json(r.stats.messages);
     row["bytes"] = obs::Json(r.stats.bytes);
     report.add_result(std::move(row));
     if (trace_analyze) {
       const obs::TraceAnalysis a = obs::analyze_dataflow(r.trace_events);
-      const std::string tag = steps == 1 ? "base" : "ca";
+      const std::string tag = hc.tag;
       std::cout << "  causal " << tag << ": critical path "
                 << Table::cell(a.critical_path_s * 1e3, 3) << " ms ("
                 << Table::cell(100.0 * a.network_share(), 1)

@@ -72,6 +72,12 @@ int run_measured(const Options& options) {
   const int nodes = static_cast<int>(options.get_int("nodes", 2));
   const int iters = static_cast<int>(options.get_int("iters", 40));
   const int steps = static_cast<int>(options.get_int("steps", 8));
+  // --fuse=F adds a "CA / fused-wavefront" case: the per-step graph rewritten
+  // by rt::fuse_supersteps into windows of steps*F iterations per exchange
+  // (same wire traffic as steps*F supersteps, no special kernel needed, and
+  // unlike the temporal kernel it composes with the optimized kernel, specs,
+  // and every scheduler). --fuse=1 drops the case.
+  const int fuse = static_cast<int>(options.get_int("fuse", 3));
   const int reps = static_cast<int>(options.get_int("reps", 5));
   const KernelVariant opt_variant = stencil::parse_kernel_variant(
       options.get_choice("kernel", "vector", {"vector", "blocked"}));
@@ -98,6 +104,7 @@ int run_measured(const Options& options) {
   report.set_param("nodes", obs::Json(nodes * nodes));
   report.set_param("iters", obs::Json(iters));
   report.set_param("steps", obs::Json(steps));
+  report.set_param("fuse", obs::Json(fuse));
   report.set_param("kernel", obs::Json(kernel_variant_name(opt_variant)));
   report.set_param("sched", obs::Json(rt::sched_policy_name(sched)));
 
@@ -125,6 +132,7 @@ int run_measured(const Options& options) {
     const char* label;
     int steps;
     KernelVariant kernel;
+    int fuse = 1;
   };
   std::vector<RunCase> cases = {
       {"base / scalar", 1, KernelVariant::Scalar},
@@ -132,8 +140,17 @@ int run_measured(const Options& options) {
       {"CA / scalar", steps, KernelVariant::Scalar},
       {"CA / optimized", steps, opt_variant},
   };
+  std::size_t temporal_idx = 0, fused_wave_idx = 0;
   if (!spec_path) {
+    temporal_idx = cases.size();
     cases.push_back({"CA / temporal (fused)", steps, KernelVariant::Temporal});
+  }
+  if (fuse > 1) {
+    // The graph-rewrite analogue of the temporal kernel, but generic: the
+    // fuse-ready builder already deepens ghosts for steps*fuse iterations
+    // and rt::fuse_supersteps collapses each tile's window into one task.
+    fused_wave_idx = cases.size();
+    cases.push_back({"CA / fused-wavefront", steps, opt_variant, fuse});
   }
 
   Table table({"configuration", "kernel", "time ms", "GFLOP/s",
@@ -150,6 +167,7 @@ int run_measured(const Options& options) {
     config.decomp = {tile, tile, nodes, nodes};
     config.steps = rc.steps;
     config.kernel = rc.kernel;
+    config.fuse_depth = rc.fuse;
     config.scheduler = sched;
     double best_wall = 1e300;
     double flops = 0.0;
@@ -181,6 +199,7 @@ int run_measured(const Options& options) {
     obs::Json row = obs::Json::object();
     row["configuration"] = obs::Json(rc.label);
     row["steps"] = obs::Json(rc.steps);
+    row["fuse"] = obs::Json(rc.fuse);
     row["kernel"] = obs::Json(stencil::kernel_variant_name(rc.kernel));
     row["time_ms"] = obs::Json(wall_ms[ci]);
     row["gflops"] = obs::Json(gflops[ci]);
@@ -200,16 +219,38 @@ int run_measured(const Options& options) {
             << "CA gain with optimized kernel: " << ca_gain_opt_pct << "%\n";
   report.set_derived("ca_gain_scalar_pct", obs::Json(ca_gain_scalar_pct));
   report.set_derived("ca_gain_opt_pct", obs::Json(ca_gain_opt_pct));
-  if (cases.size() > 4) {
-    const double ca_gain_fused_pct = 100.0 * (gflops[4] / gflops[1] - 1.0);
+  if (temporal_idx != 0) {
+    const double ca_gain_fused_pct =
+        100.0 * (gflops[temporal_idx] / gflops[1] - 1.0);
     std::cout << "CA gain with fused temporal:   " << ca_gain_fused_pct
               << "%\n";
     report.set_derived("ca_gain_fused_pct", obs::Json(ca_gain_fused_pct));
+  }
+  double fused_wave_gain_pct = 0.0;
+  if (fused_wave_idx != 0) {
+    fused_wave_gain_pct = 100.0 * (gflops[fused_wave_idx] / gflops[1] - 1.0);
+    std::cout << "CA gain with fused wavefront:  " << fused_wave_gain_pct
+              << "%  (steps " << steps << " x fuse " << fuse << " = "
+              << steps * fuse << " iterations per exchange)\n";
+    report.set_derived("ca_gain_fused_wavefront_pct",
+                       obs::Json(fused_wave_gain_pct));
   }
   std::cout << "all runs bit-identical to serial: "
             << (all_exact ? "yes" : "NO") << "\n";
   report.set_derived("all_exact", obs::Json(all_exact));
   bench::maybe_report(report, options, "fig8_measured_report.json");
+
+  // CI regression gate (same exit-1 idiom as trace_analyze --gate-wire):
+  // --gate-fused=R fails the run when the fused-wavefront gain over
+  // base/optimized drops below R percent.
+  const double gate_fused = options.get_double("gate-fused", 0.0);
+  if (gate_fused > 0.0 && fused_wave_idx != 0 &&
+      fused_wave_gain_pct < gate_fused) {
+    std::cerr << "bench_fig8: fused-wavefront gain regressed: "
+              << fused_wave_gain_pct << "% < required " << gate_fused
+              << "%\n";
+    return 1;
+  }
   return all_exact ? 0 : 1;
 }
 
@@ -227,6 +268,10 @@ int main(int argc, char** argv) {
 
   const int iters = static_cast<int>(options.get_int("iters", 100));
   const int steps = static_cast<int>(options.get_int("steps", 15));
+  // --fuse=F projects the fused-wavefront rewrite on top of CA: one task
+  // per tile per steps*F-iteration window, exchanges only at window
+  // boundaries (rt::fuse_supersteps over the fuse-ready graph). F=1 off.
+  const int fuse = static_cast<int>(options.get_int("fuse", 3));
   // --stencil= parameterizes the simulated sweep by any named spec (neighbor
   // count, stages, field planes all feed the analytic model).
   const spec::StencilSpec sim_spec = spec::spec_by_name(
@@ -235,8 +280,10 @@ int main(int argc, char** argv) {
   obs::RunReport report("bench_fig8_kernel_ratio");
   report.set_param("iters", obs::Json(iters));
   report.set_param("steps", obs::Json(steps));
+  report.set_param("fuse", obs::Json(fuse));
   report.set_param("stencil", obs::Json(sim_spec.name));
   double best_gain_pct = 0.0;
+  double best_fused_gain_pct = 0.0;
 
   struct System {
     sim::Machine machine;
@@ -255,19 +302,26 @@ int main(int argc, char** argv) {
       const double base_full = sim::simulate_stencil(black).gflops;
 
       Table table({"ratio", "base GF/s", "CA GF/s", "CA gain %",
-                   "base(ratio=1) GF/s"});
+                   "CA+fuse GF/s", "fuse gain %", "base(ratio=1) GF/s"});
       for (double ratio : {0.2, 0.3, 0.4, 0.6, 0.8}) {
         sim::StencilSimParams base = black;
         base.ratio = ratio;
         sim::StencilSimParams ca = base;
         ca.steps = steps;
+        sim::StencilSimParams cf = ca;
+        cf.fuse = fuse;
         const auto rb = sim::simulate_stencil(base);
         const auto rc = sim::simulate_stencil(ca);
+        const auto rf = sim::simulate_stencil(cf);
         const double gain_pct = 100.0 * (rc.gflops / rb.gflops - 1.0);
+        const double fused_gain_pct = 100.0 * (rf.gflops / rb.gflops - 1.0);
         table.add_row({Table::cell(ratio, 1), Table::cell(rb.gflops, 1),
                        Table::cell(rc.gflops, 1), Table::cell(gain_pct, 1),
+                       Table::cell(rf.gflops, 1),
+                       Table::cell(fused_gain_pct, 1),
                        Table::cell(base_full, 1)});
         best_gain_pct = std::max(best_gain_pct, gain_pct);
+        best_fused_gain_pct = std::max(best_fused_gain_pct, fused_gain_pct);
         obs::Json row = obs::Json::object();
         row["machine"] = obs::Json(sys.machine.name);
         row["nodes"] = obs::Json(side * side);
@@ -275,8 +329,12 @@ int main(int argc, char** argv) {
         row["base_gflops"] = obs::Json(rb.gflops);
         row["ca_gflops"] = obs::Json(rc.gflops);
         row["ca_gain_pct"] = obs::Json(gain_pct);
+        row["ca_fused_gflops"] = obs::Json(rf.gflops);
+        row["ca_fused_gain_pct"] = obs::Json(fused_gain_pct);
         row["messages"] = obs::Json(rc.sim.messages);
         row["bytes"] = obs::Json(rc.sim.message_bytes);
+        row["fused_messages"] = obs::Json(rf.sim.messages);
+        row["fused_bytes"] = obs::Json(rf.sim.message_bytes);
         report.add_result(std::move(row));
       }
       table.print(std::cout);
@@ -287,6 +345,10 @@ int main(int argc, char** argv) {
     }
   }
   report.set_derived("best_ca_gain_pct", obs::Json(best_gain_pct));
+  report.set_derived("best_ca_fused_gain_pct", obs::Json(best_fused_gain_pct));
+  std::cout << "best CA gain:        " << best_gain_pct << "%\n"
+            << "best CA+fused gain:  " << best_fused_gain_pct << "% (fuse "
+            << fuse << ")\n";
   bench::maybe_report(report, options, "fig8_report.json");
   return 0;
 }

@@ -55,6 +55,11 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(options.get_int("nodes", 2));
   const int iters = static_cast<int>(options.get_int("iters", 12));
   const int steps = static_cast<int>(options.get_int("steps", 3));
+  // --fuse=F adds a "CA+fused" mode per spec: the fuse-ready graph rewritten
+  // by rt::fuse_supersteps into windows of steps * stage_count * F atomic
+  // stages per exchange. Specs whose window exceeds the tile extent are
+  // skipped (the builder would reject them). F=1 keeps the sweep unchanged.
+  const int fuse = static_cast<int>(options.get_int("fuse", 1));
   const int nz = static_cast<int>(options.get_int("nz", 4));
   const rt::SchedPolicy sched = rt::parse_sched_policy(
       options.get_choice("sched", "priority",
@@ -77,6 +82,7 @@ int main(int argc, char** argv) {
   report.set_param("nodes", obs::Json(nodes * nodes));
   report.set_param("iters", obs::Json(iters));
   report.set_param("steps", obs::Json(steps));
+  report.set_param("fuse", obs::Json(fuse));
   report.set_param("nz", obs::Json(nz));
   report.set_param("sched", obs::Json(rt::sched_policy_name(sched)));
   report.set_param("channel",
@@ -105,10 +111,27 @@ int main(int argc, char** argv) {
     descriptor["diagonal_taps"] = obs::Json(program.diagonal_taps);
     report.add_stencil_spec(std::move(descriptor));
 
-    for (const int run_steps : {1, steps}) {
+    struct Mode {
+      const char* label;
+      int steps;
+      int fuse;
+    };
+    std::vector<Mode> modes = {{"base", 1, 1}, {"CA", steps, 1}};
+    if (fuse > 1) {
+      modes.push_back({"CA+fused", steps, fuse});
+    }
+    for (const Mode& m : modes) {
+      const int run_steps = m.steps;
+      if (run_steps * program.nstages * m.fuse > tile) {
+        std::cout << "  (skipping " << sp.name << " " << m.label
+                  << ": window " << run_steps * program.nstages * m.fuse
+                  << " stages exceeds tile extent " << tile << ")\n";
+        continue;
+      }
       stencil::DistConfig config;
       config.decomp = {tile, tile, nodes, nodes};
       config.steps = run_steps;
+      config.fuse_depth = m.fuse;
       config.scheduler = sched;
       config.workers_per_rank = 2;
       config.persistent = persistent;
@@ -123,7 +146,7 @@ int main(int argc, char** argv) {
 
       const double mpoints_s =
           static_cast<double>(r.computed_points) / r.stats.wall_time_s / 1e6;
-      const char* mode = run_steps == 1 ? "base" : "CA";
+      const char* mode = m.label;
       table.add_row({sp.name,
                      Table::cell(static_cast<long long>(program.nstages)), mode,
                      Table::cell(r.stats.wall_time_s * 1e3, 2),
@@ -137,6 +160,7 @@ int main(int argc, char** argv) {
       row["spec"] = obs::Json(sp.name);
       row["mode"] = obs::Json(mode);
       row["steps"] = obs::Json(run_steps);
+      row["fuse"] = obs::Json(m.fuse);
       row["stages"] = obs::Json(program.nstages);
       row["time_ms"] = obs::Json(r.stats.wall_time_s * 1e3);
       row["mpoints_per_s"] = obs::Json(mpoints_s);

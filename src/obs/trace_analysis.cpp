@@ -93,6 +93,27 @@ TraceAnalysis analyze_dataflow(const std::vector<TraceEvent>& events) {
       case TraceEventKind::Task: {
         ++out.tasks;
         out.compute_seconds += e.duration();
+        // Rewritten tasks carry the "fused<members>|<klass>" class stamped
+        // by rt::fuse_supersteps; attribute them without disturbing any
+        // other klass-based logic.
+        if (e.klass.rfind("fused", 0) == 0) {
+          const std::size_t bar = e.klass.find('|');
+          if (bar != std::string::npos && bar > 5) {
+            int members = 0;
+            bool digits = true;
+            for (std::size_t i = 5; i < bar; ++i) {
+              if (e.klass[i] < '0' || e.klass[i] > '9') {
+                digits = false;
+                break;
+              }
+              members = members * 10 + (e.klass[i] - '0');
+            }
+            if (digits && members > 0) {
+              ++out.fused_tasks;
+              out.fused_depth = std::max(out.fused_depth, members);
+            }
+          }
+        }
         task_spans.emplace_back(e.begin_s, e.end_s);
         // Keep the earliest execution per key (duplicates should not occur).
         tasks.emplace(e.key, &e);
@@ -277,6 +298,8 @@ Json make_trace_analysis_report(const std::string& name,
   totals["steals"] = a.steals;
   totals["bytes_sent"] = a.bytes_sent;
   totals["retransmits"] = a.retransmits;
+  totals["fused_tasks"] = a.fused_tasks;
+  totals["fused_depth"] = a.fused_depth;
   out["totals"] = std::move(totals);
   return out;
 }
@@ -468,8 +491,9 @@ bool validate_trace_analysis(const std::string& json_text,
     if (!totals->is_object()) {
       ck.fail("totals: expected an object");
     } else {
-      for (const char* key : {"span_s", "compute_seconds", "tasks", "sends",
-                              "recvs", "steals", "bytes_sent", "retransmits"}) {
+      for (const char* key :
+           {"span_s", "compute_seconds", "tasks", "sends", "recvs", "steals",
+            "bytes_sent", "retransmits", "fused_tasks", "fused_depth"}) {
         ck.require_nonneg(*totals, key, "totals");
       }
     }

@@ -72,6 +72,13 @@ struct TraceAnalysis {
   double span_s = 0.0;            ///< max(end) - min(begin) over all events
   double compute_seconds = 0.0;   ///< summed task durations (CPU seconds)
   std::size_t tasks = 0;
+  /// Fused-wavefront attribution: rt::fuse_supersteps stamps rewritten
+  /// tasks with a "fused<members>|<klass>" class. fused_tasks counts them;
+  /// fused_depth is the largest member count observed (1 = no rewrite —
+  /// ragged final windows make per-task counts vary, so the max is the
+  /// configured window). trace_analyze prints both, single and --diff mode.
+  std::size_t fused_tasks = 0;
+  int fused_depth = 1;
   std::size_t sends = 0;
   std::size_t recvs = 0;
   std::size_t steals = 0;

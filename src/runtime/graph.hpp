@@ -49,6 +49,15 @@ struct TaskSpec {
   /// counted in rt_lane_tasks_executed_total{lane=...}; -1 = unlabeled.
   /// Purely observational — scheduling order comes from `priority` alone.
   int lane = -1;
+  /// Dependence-cone metadata for graph transformations (see
+  /// graph_transform.hpp). Tasks sharing a nonzero `chain` id assert that
+  /// they form a totally ordered pipeline — each member depends (directly or
+  /// transitively) only on members with smaller `chain_step` — so a rewrite
+  /// pass may fuse consecutive members. 0 = not part of any chain; the
+  /// builder that unfolds the graph owns the id space. Purely declarative:
+  /// the runtime itself never reads these fields.
+  std::uint64_t chain = 0;
+  std::int32_t chain_step = 0;  ///< position along the chain (any stride)
   std::string klass; ///< trace label, e.g. "jacobi-boundary"
   std::vector<FlowRef> inputs;
   TaskBody body;

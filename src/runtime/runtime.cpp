@@ -21,61 +21,71 @@ thread_local int tl_worker = -1;
 
 // ---------------------------------------------------------------- context --
 
-const TaskKey& TaskContext::key() const { return spec().key; }
+/// The runtime-backed TaskContext: resolves inputs from live TaskState and
+/// routes publishes into the dataflow machinery. Bodies wrapped by graph
+/// transformations see shim contexts instead (graph_transform.cpp), which
+/// ultimately delegate to one of these.
+class RuntimeTaskContext final : public TaskContext {
+ public:
+  RuntimeTaskContext(Runtime& runtime, std::size_t task_index, int rank,
+                     int worker)
+      : runtime_(runtime), task_index_(task_index), rank_(rank),
+        worker_(worker) {}
 
-const TaskSpec& TaskContext::spec() const {
-  return runtime_.graph_->spec(task_index_);
-}
-
-std::span<const double> TaskContext::input(std::size_t i) const {
-  const Buffer& buf = input_buffer(i);
-  return {buf->data(), buf->size()};
-}
-
-Buffer TaskContext::input_buffer(std::size_t i) const {
-  const auto& inputs = runtime_.states_[task_index_].inputs;
-  if (i >= inputs.size()) {
-    throw std::out_of_range("TaskContext: input index " + std::to_string(i) +
-                            " out of range for " + key().to_string());
+  const TaskSpec& spec() const override {
+    return runtime_.graph_->spec(task_index_);
   }
-  const Buffer& buf = inputs[i];
-  if (!buf) {
-    throw std::logic_error("TaskContext: input " + std::to_string(i) +
-                           " of " + key().to_string() + " not delivered");
-  }
-  return buf;
-}
+  int rank() const override { return rank_; }
+  int worker() const override { return worker_; }
 
-std::size_t TaskContext::num_inputs() const {
-  return runtime_.states_[task_index_].inputs.size();
-}
-
-void TaskContext::publish(std::uint16_t slot, std::vector<double>&& data) {
-  publish(slot, make_buffer(std::move(data)));
-}
-
-void TaskContext::publish(std::uint16_t slot, Buffer buffer) {
-  if (!buffer) throw std::invalid_argument("publish: null buffer");
-  runtime_.publish_output(task_index_, slot, std::move(buffer));
-}
-
-std::shared_ptr<std::vector<double>> TaskContext::acquire_route_buffer(
-    std::uint16_t slot) {
-  if (runtime_.pchan_ == nullptr) return nullptr;
-  for (const auto& edge : runtime_.graph_->consumers(task_index_)) {
-    if (edge.slot == slot && edge.route != 0 &&
-        runtime_.pchan_->route_spec(edge.route) != nullptr) {
-      return runtime_.pchan_->acquire(edge.route);
+  Buffer input_buffer(std::size_t i) const override {
+    const auto& inputs = runtime_.states_[task_index_].inputs;
+    if (i >= inputs.size()) {
+      throw std::out_of_range("TaskContext: input index " + std::to_string(i) +
+                              " out of range for " + key().to_string());
     }
+    const Buffer& buf = inputs[i];
+    if (!buf) {
+      throw std::logic_error("TaskContext: input " + std::to_string(i) +
+                             " of " + key().to_string() + " not delivered");
+    }
+    return buf;
   }
-  return nullptr;
-}
 
-void TaskContext::publish_fragments(std::uint16_t slot,
-                                    std::shared_ptr<std::vector<double>> data) {
-  if (!data) throw std::invalid_argument("publish_fragments: null buffer");
-  runtime_.publish_eager(task_index_, slot, std::move(data));
-}
+  std::size_t num_inputs() const override {
+    return runtime_.states_[task_index_].inputs.size();
+  }
+
+  using TaskContext::publish;
+  void publish(std::uint16_t slot, Buffer buffer) override {
+    if (!buffer) throw std::invalid_argument("publish: null buffer");
+    runtime_.publish_output(task_index_, slot, std::move(buffer));
+  }
+
+  std::shared_ptr<std::vector<double>> acquire_route_buffer(
+      std::uint16_t slot) override {
+    if (runtime_.pchan_ == nullptr) return nullptr;
+    for (const auto& edge : runtime_.graph_->consumers(task_index_)) {
+      if (edge.slot == slot && edge.route != 0 &&
+          runtime_.pchan_->route_spec(edge.route) != nullptr) {
+        return runtime_.pchan_->acquire(edge.route);
+      }
+    }
+    return nullptr;
+  }
+
+  void publish_fragments(
+      std::uint16_t slot, std::shared_ptr<std::vector<double>> data) override {
+    if (!data) throw std::invalid_argument("publish_fragments: null buffer");
+    runtime_.publish_eager(task_index_, slot, std::move(data));
+  }
+
+ private:
+  Runtime& runtime_;
+  std::size_t task_index_;
+  int rank_;
+  int worker_;
+};
 
 // ----------------------------------------------------------------- outbox --
 
@@ -505,7 +515,7 @@ void Runtime::execute_task(std::size_t index, int rank, int worker) {
   }
 
   try {
-    TaskContext context(*this, index, rank, worker);
+    RuntimeTaskContext context(*this, index, rank, worker);
     spec.body(context);
   } catch (const std::exception& e) {
     fail("task " + spec.key.to_string() + ": " + e.what());

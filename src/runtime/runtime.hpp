@@ -42,6 +42,8 @@ class PersistentChannel;
 
 namespace repro::rt {
 
+class RuntimeTaskContext;  // runtime-backed TaskContext (runtime.cpp)
+
 struct Config {
   int nranks = 1;
   int workers_per_rank = 1;
@@ -78,21 +80,34 @@ struct RunStats {
 };
 
 /// Execution context handed to task bodies.
+///
+/// Abstract so a context can be *virtualized*: the runtime hands bodies a
+/// RuntimeTaskContext bound to live task state, while graph transformations
+/// (graph_transform.hpp) wrap member bodies of a fused task in a shim context
+/// that reroutes inputs/outputs through in-task staging. Task bodies only
+/// ever see this interface, so they compose with any such rewrite.
 class TaskContext {
  public:
-  const TaskKey& key() const;
-  const TaskSpec& spec() const;
-  int rank() const { return rank_; }
-  int worker() const { return worker_; }
+  virtual ~TaskContext() = default;
+
+  const TaskKey& key() const { return spec().key; }
+  virtual const TaskSpec& spec() const = 0;
+  virtual int rank() const = 0;
+  virtual int worker() const = 0;
 
   /// i-th input flow's data (i indexes TaskSpec::inputs).
-  std::span<const double> input(std::size_t i) const;
-  Buffer input_buffer(std::size_t i) const;
-  std::size_t num_inputs() const;
+  std::span<const double> input(std::size_t i) const {
+    Buffer buffer = input_buffer(i);
+    return {buffer->data(), buffer->size()};
+  }
+  virtual Buffer input_buffer(std::size_t i) const = 0;
+  virtual std::size_t num_inputs() const = 0;
 
   /// Publish output slot `slot`. Each slot may be published at most once.
-  void publish(std::uint16_t slot, std::vector<double>&& data);
-  void publish(std::uint16_t slot, Buffer buffer);
+  void publish(std::uint16_t slot, std::vector<double>&& data) {
+    publish(slot, make_buffer(std::move(data)));
+  }
+  virtual void publish(std::uint16_t slot, Buffer buffer) = 0;
 
   /// Persistent-channel mode (see net::PersistentChannel): a mutable
   /// pre-registered buffer for output slot `slot`, reused across instances
@@ -100,8 +115,8 @@ class TaskContext {
   /// channel stack has no persistent channel or the slot carries no
   /// negotiated route — callers fall back to the classic publish() path, so
   /// task bodies stay channel-agnostic.
-  std::shared_ptr<std::vector<double>> acquire_route_buffer(
-      std::uint16_t slot);
+  virtual std::shared_ptr<std::vector<double>> acquire_route_buffer(
+      std::uint16_t slot) = 0;
 
   /// Publish `slot` with a buffer from acquire_route_buffer() and dispatch
   /// it immediately from inside the task body (early-bird): routed remote
@@ -109,20 +124,8 @@ class TaskContext {
   /// registered buffer (zero-copy), local consumers are woken right away.
   /// complete_task skips slots already dispatched here. The slot must not
   /// also be publish()ed.
-  void publish_fragments(std::uint16_t slot,
-                         std::shared_ptr<std::vector<double>> data);
-
- private:
-  friend class Runtime;
-  TaskContext(class Runtime& runtime, std::size_t task_index, int rank,
-              int worker)
-      : runtime_(runtime), task_index_(task_index), rank_(rank),
-        worker_(worker) {}
-
-  Runtime& runtime_;
-  std::size_t task_index_;
-  int rank_;
-  int worker_;
+  virtual void publish_fragments(std::uint16_t slot,
+                                 std::shared_ptr<std::vector<double>> data) = 0;
 };
 
 class Runtime {
@@ -166,7 +169,7 @@ class Runtime {
   }
 
  private:
-  friend class TaskContext;
+  friend class RuntimeTaskContext;
 
   struct TaskState {
     std::atomic<int> remaining{0};

@@ -6,11 +6,13 @@
 // throughput converges to an equal share per backlogged lane regardless of
 // item sizes — the fairness the serve report's max/min goodput ratio checks.
 //
-// One serve-specific twist: items at or above `solo_threshold` are
-// dispatched ALONE (a wave of exactly one). The farm runs a wave as a single
-// runtime graph, and a preempted wave aborts the whole graph; keeping large
-// preemptible jobs out of shared waves means preemption can never destroy an
-// innocent small job's work.
+// One serve-specific twist: items at or above `solo_threshold`, or pushed
+// with an explicit solo flag, are dispatched ALONE (a wave of exactly one).
+// The farm runs a wave as a single runtime graph, and a preempted wave
+// aborts the whole graph; keeping large preemptible jobs out of shared waves
+// means preemption can never destroy an innocent small job's work. The
+// explicit flag covers jobs that must run alone for reasons other than cost
+// (fused-wavefront jobs, whose graphs are rewritten wholesale).
 //
 // Not thread-safe — the owner (SolverFarm) serializes access under its own
 // mutex.
@@ -30,22 +32,24 @@ class FairQueue {
       : quantum_(quantum > 0 ? quantum : 1) {}
 
   /// Append to `lane`'s queue (lanes are dense small ints; the vector grows
-  /// on first use of a lane index).
-  void push(int lane, long long cost, T item) {
-    lane_ref(lane).q.emplace_back(cost, std::move(item));
+  /// on first use of a lane index). `solo` forces a one-item wave regardless
+  /// of cost.
+  void push(int lane, long long cost, T item, bool solo = false) {
+    lane_ref(lane).q.push_back(Entry{cost, solo, std::move(item)});
     ++size_;
   }
 
   /// Prepend — used to resume a preempted job ahead of its lane-mates.
-  void push_front(int lane, long long cost, T item) {
-    lane_ref(lane).q.emplace_front(cost, std::move(item));
+  void push_front(int lane, long long cost, T item, bool solo = false) {
+    lane_ref(lane).q.push_front(Entry{cost, solo, std::move(item)});
     ++size_;
   }
 
   /// Dispatch the next wave: up to `max_items` items in DRR order, except
-  /// that an item with cost >= solo_threshold (> 0) forms a wave by itself.
-  /// Never returns empty while the queue is non-empty — the deficit loop
-  /// cycles until some lane can afford its front item.
+  /// that an item with cost >= solo_threshold (> 0) or an explicit solo flag
+  /// forms a wave by itself. Never returns empty while the queue is
+  /// non-empty — the deficit loop cycles until some lane can afford its
+  /// front item.
   std::vector<T> pop_wave(std::size_t max_items, long long solo_threshold) {
     std::vector<T> wave;
     if (max_items == 0) return wave;
@@ -59,12 +63,14 @@ class FairQueue {
         }
         lane.deficit += quantum_;
         while (!lane.q.empty() && wave.size() < max_items) {
-          auto& [cost, item] = lane.q.front();
-          if (cost > lane.deficit) break;
-          const bool solo = solo_threshold > 0 && cost >= solo_threshold;
+          Entry& front = lane.q.front();
+          if (front.cost > lane.deficit) break;
+          const bool solo =
+              front.solo ||
+              (solo_threshold > 0 && front.cost >= solo_threshold);
           if (solo && !wave.empty()) break;  // next wave, alone
-          lane.deficit -= cost;
-          wave.push_back(std::move(item));
+          lane.deficit -= front.cost;
+          wave.push_back(std::move(front.item));
           lane.q.pop_front();
           --size_;
           if (solo) return wave;
@@ -80,7 +86,7 @@ class FairQueue {
     std::vector<T> all;
     all.reserve(size_);
     for (Lane& lane : lanes_) {
-      for (auto& [cost, item] : lane.q) all.push_back(std::move(item));
+      for (Entry& entry : lane.q) all.push_back(std::move(entry.item));
       lane.q.clear();
       lane.deficit = 0;
     }
@@ -93,8 +99,13 @@ class FairQueue {
   std::size_t lanes() const { return lanes_.size(); }
 
  private:
+  struct Entry {
+    long long cost = 0;
+    bool solo = false;
+    T item;
+  };
   struct Lane {
-    std::deque<std::pair<long long, T>> q;
+    std::deque<Entry> q;
     long long deficit = 0;
   };
 

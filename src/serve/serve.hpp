@@ -47,6 +47,13 @@ struct SolveRequest {
   int mb = 0;  ///< nominal tile rows
   int nb = 0;  ///< nominal tile cols
   int steps = 1;  ///< CA step size; 1 = base variant
+  /// Fused-wavefront depth (DistConfig::fuse_depth analog): supersteps per
+  /// exchange window = steps * fuse_depth. Jobs with fuse_depth > 1 are
+  /// dispatched SOLO — never batched into a shared graph, because
+  /// rt::fuse_supersteps rewrites every fusable chain of the wave's graph.
+  /// Windowed dispatch and superstep-boundary preemption work unchanged:
+  /// checkpoints keep the original `steps` cadence under fusing.
+  int fuse_depth = 1;
   stencil::KernelVariant kernel = stencil::KernelVariant::Scalar;
   /// Soft latency target in seconds from submit; 0 = none. Deadline jobs get
   /// a task-priority boost and (configurably) preempt a running long job

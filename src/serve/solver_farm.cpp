@@ -6,6 +6,7 @@
 
 #include "fault/checkpoint.hpp"
 #include "net/persistent_channel.hpp"
+#include "runtime/graph_transform.hpp"
 #include "stencil/dist_stencil.hpp"
 #include "stencil/tile_map.hpp"
 #include "support/timing.hpp"
@@ -115,7 +116,8 @@ RejectReason SolverFarm::validate(const SolveRequest& request) const {
   if (p.rows < 1 || p.cols < 1 || p.iterations < 1) {
     return RejectReason::BadRequest;
   }
-  if (request.mb < 1 || request.nb < 1 || request.steps < 1) {
+  if (request.mb < 1 || request.nb < 1 || request.steps < 1 ||
+      request.fuse_depth < 1) {
     return RejectReason::BadRequest;
   }
   if (p.shape && p.coefficient) return RejectReason::BadRequest;
@@ -128,7 +130,9 @@ RejectReason SolverFarm::validate(const SolveRequest& request) const {
     const stencil::TileMap map(p.rows, p.cols, request.mb, request.nb,
                                config_.node_rows, config_.node_cols);
     const int radius = p.shape ? p.shape->radius : 1;
-    if (radius * request.steps > map.min_tile_extent()) {
+    // The fused window multiplies the ghost depth; mirror the builder's
+    // radius * steps * fuse bound so a doomed request is rejected up front.
+    if (radius * request.steps * request.fuse_depth > map.min_tile_extent()) {
       return RejectReason::BadRequest;
     }
   } catch (const std::exception&) {
@@ -194,7 +198,10 @@ SolverFarm::Submission SolverFarm::submit(SolveRequest request) {
     TenantStats& s = stats_[job->req.tenant];
     ++s.submitted;
     ++s.accepted;
-    queue_.push(job->lane, cost, job);
+    // Fused jobs always dispatch alone: rt::fuse_supersteps rewrites every
+    // fusable chain of the wave's graph, which must not touch co-batched
+    // tenants' subgraphs.
+    queue_.push(job->lane, cost, job, /*solo=*/job->req.fuse_depth > 1);
     jobs_.emplace(job->id, job);
     queue_depth_->set(static_cast<double>(jobs_.size()));
     if (config_.preempt_on_deadline_submit && job->req.deadline_s > 0) {
@@ -271,6 +278,7 @@ stencil::DistConfig make_dist_config(const SolveRequest& req, int node_rows,
   stencil::DistConfig cfg;
   cfg.decomp = {req.mb, req.nb, node_rows, node_cols};
   cfg.steps = req.steps;
+  cfg.fuse_depth = req.fuse_depth;
   cfg.kernel = req.kernel;
   cfg.key_space = key_space;
   cfg.lane = lane;
@@ -299,6 +307,13 @@ void SolverFarm::run_batch(std::vector<JobPtr>& wave) {
           make_dist_config(wave[i]->req, config_.node_rows, config_.node_cols,
                            static_cast<std::uint32_t>(i), wave[i]->lane,
                            config_.persistent)));
+    }
+    // Fused jobs arrive solo (the queue never co-batches them), so a
+    // single-subgraph wave is the only shape the rewrite ever sees here.
+    if (subgraphs.size() == 1) {
+      if (const int window = subgraphs[0].fuse_window(); window > 1) {
+        rt::fuse_supersteps(graph, window);
+      }
     }
     waves_batch_->inc();
     runtime_->run(graph);
@@ -378,6 +393,9 @@ void SolverFarm::run_window(const JobPtr& job) {
   try {
     const stencil::SolveSubgraph subgraph =
         stencil::add_solve_subgraph(graph, sub, cfg);
+    if (const int window = subgraph.fuse_window(); window > 1) {
+      rt::fuse_supersteps(graph, window);
+    }
     runtime_->run(graph);
     job->run_s += wall_time() - start;
     Grid2D result = subgraph.gather(*runtime_);
@@ -451,7 +469,8 @@ void SolverFarm::run_window(const JobPtr& job) {
   // gives other lanes their quantum first.
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_front(job->lane, job->remaining_cost(), job);
+    queue_.push_front(job->lane, job->remaining_cost(), job,
+                      /*solo=*/job->req.fuse_depth > 1);
   }
   cv_.notify_one();
 }

@@ -22,6 +22,9 @@
 //
 // Large jobs (cost >= preempt_cost_threshold) always run alone in windows,
 // so preempting one can never destroy a co-scheduled small job's work.
+// Fused-wavefront jobs (SolveRequest::fuse_depth > 1) also always dispatch
+// alone — their wave's graph is rewritten wholesale by rt::fuse_supersteps
+// before running, which must never touch a co-batched tenant's subgraph.
 //
 // Preemption triggers: an explicit preempt(job_id) call, a deadline job
 // arriving from another tenant (preempt_on_deadline_submit), and

@@ -54,9 +54,14 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
   // by their per-stage tap work (approximate — the real kernel's cache
   // behavior differs — but message counts and bytes below are exact).
   const double flops_scale = flops_pp / 9.0;
-  if (p.steps < 1 || steps_eff > map.min_tile_extent()) {
+  // Fused wavefronts: the window W replaces steps_eff everywhere the ghost
+  // depth or exchange cadence matters (W is what radius * steps becomes in
+  // the real fuse-ready builder).
+  const int W = steps_eff * p.fuse;
+  if (p.steps < 1 || p.fuse < 1 || W > map.min_tile_extent()) {
     throw std::invalid_argument("simulate_stencil: bad step size");
   }
+  const bool fused = p.fuse > 1;
   const double worker_rate = p.machine.worker_point_rate();
   const double working_set =
       3.0 * static_cast<double>(p.tile) * p.tile * sizeof(double);
@@ -75,18 +80,30 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
 
   double redundant_points = 0.0;
 
+  // Fused runs unfold one task per tile per W-stage window (the shape
+  // rt::fuse_supersteps leaves behind); classic runs unfold one task per
+  // tile per iteration. Window 0 / iteration 0 is INIT either way.
+  const int stage_iters = p.iterations * nstages;
+  const int nwindows = (stage_iters + W - 1) / W;
+  const int nblocks = fused ? nwindows : p.iterations;
+
   // First pass: tasks.
-  for (int k = 0; k <= p.iterations; ++k) {
+  for (int k = 0; k <= nblocks; ++k) {
     for (int ti = 0; ti < tr; ++ti) {
       for (int tj = 0; tj < tc; ++tj) {
         const int h = map.tile_h(ti);
         const int w = map.tile_w(tj);
         bool remote[4];
+        bool deep[4];
         bool boundary = false;
         for (Side s : kAllSides) {
-          remote[static_cast<int>(s)] =
-              map.neighbor_remote(ti, tj, d_ti(s), d_tj(s));
-          boundary |= remote[static_cast<int>(s)];
+          const auto i = static_cast<int>(s);
+          remote[i] = map.neighbor_remote(ti, tj, d_ti(s), d_tj(s));
+          // Fused windows carry deep bands on every neighbor side (local
+          // neighbors too), so every existing side shrinks; classic CA only
+          // shrinks the remote sides.
+          deep[i] = fused ? map.valid(ti + d_ti(s), tj + d_tj(s)) : remote[i];
+          boundary |= remote[i];
         }
 
         SimTaskSpec task;
@@ -98,26 +115,30 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
                         static_cast<double>(h) * w / worker_rate;
         } else {
           task.klass = boundary ? kKlassBoundary : kKlassInterior;
-          // One task models the iteration's nstages atomic stages; each
-          // stage's shrink region loses one layer per STAGE unit, exactly as
-          // the real driver's stage tasks do.
+          // One task models either the iteration's nstages atomic stages
+          // (classic: each a real runtime task, so overhead per stage) or a
+          // whole fused window (one runtime task, overhead paid ONCE — the
+          // modeled upside of the rewrite). Each stage's shrink region
+          // loses one layer per STAGE unit, exactly as the real driver's
+          // stage tasks do.
+          const int members =
+              fused ? std::min(W, stage_iters - (k - 1) * W) : nstages;
           double points = 0.0;
           const double core = std::max(1.0, std::round(h * p.ratio)) *
                               std::max(1.0, std::round(w * p.ratio));
-          for (int t = 0; t < nstages; ++t) {
-            const int jj = ((k - 1) * nstages + t) % steps_eff;
-            const int extra = steps_eff - (jj + 1);
-            double rows =
-                h + (remote[0] ? extra : 0) + (remote[1] ? extra : 0);
-            double cols =
-                w + (remote[2] ? extra : 0) + (remote[3] ? extra : 0);
+          for (int t = 0; t < members; ++t) {
+            const int jj = fused ? t : ((k - 1) * nstages + t) % W;
+            const int extra = W - (jj + 1);
+            double rows = h + (deep[0] ? extra : 0) + (deep[1] ? extra : 0);
+            double cols = w + (deep[2] ? extra : 0) + (deep[3] ? extra : 0);
             rows = std::max(1.0, std::round(rows * p.ratio));
             cols = std::max(1.0, std::round(cols * p.ratio));
             points += rows * cols;
             redundant_points += rows * cols - core;
           }
-          task.cost_s = p.machine.task_overhead_s * nstages +
-                        points * flops_scale * point_time;
+          task.cost_s =
+              p.machine.task_overhead_s * (fused ? 1 : nstages) +
+              points * flops_scale * point_time;
         }
         graph.add_task(task);
       }
@@ -158,8 +179,10 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
                          static_cast<double>(len) * sizeof(double));
     }
   };
-  for (int k = 1; k <= p.iterations; ++k) {
-    const bool superstep_start = (k - 1) % p.steps == 0;
+  for (int k = 1; k <= nblocks; ++k) {
+    // Fused windows exchange at EVERY window boundary; classic CA at
+    // superstep starts only.
+    const bool superstep_start = fused || (k - 1) % p.steps == 0;
     for (int ti = 0; ti < tr; ++ti) {
       for (int tj = 0; tj < tc; ++tj) {
         const std::uint32_t me = id(k, ti, tj);
@@ -170,6 +193,8 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
           if (!map.valid(ni, nj)) continue;
           const bool is_remote = map.rank_of(ni, nj) != map.rank_of(ti, tj);
           if (!is_remote) {
+            // Classic: per-step local line copy. Fused: the neighbor's
+            // packed window-boundary band, still a local (zero-byte) edge.
             graph.add_edge(id(k - 1, ni, nj), me);
           } else if (superstep_start) {
             const int lateral = (s == Side::North || s == Side::South)
@@ -177,17 +202,31 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
                                     : map.tile_h(ti);
             add_remote_edge(id(k - 1, ni, nj), me, map.rank_of(ni, nj),
                             map.rank_of(ti, tj),
-                            static_cast<std::size_t>(steps_eff) * lateral *
-                                nfield,
+                            static_cast<std::size_t>(W) * lateral * nfield,
                             k);
           }
         }
-        if (superstep_start && (diag_taps || steps_eff > 1)) {
+        if (superstep_start && (diag_taps || W > 1)) {
           for (Corner c : kAllCorners) {
             const int ni = ti + d_ti(c);
             const int nj = tj + d_tj(c);
             if (!map.valid(ni, nj)) continue;
-            if (map.rank_of(ni, nj) == map.rank_of(ti, tj)) continue;
+            const bool diag_remote =
+                map.rank_of(ni, nj) != map.rank_of(ti, tj);
+            if (fused) {
+              // Mirrors the fuse-ready TileInfo::corner_in: every existing
+              // diagonal supplies its corner block (deep bands on every
+              // side need their corners), remote ones as messages.
+              if (diag_remote) {
+                add_remote_edge(id(k - 1, ni, nj), me, map.rank_of(ni, nj),
+                                map.rank_of(ti, tj),
+                                static_cast<std::size_t>(W) * W * nfield, k);
+              } else {
+                graph.add_edge(id(k - 1, ni, nj), me);
+              }
+              continue;
+            }
+            if (!diag_remote) continue;
             const Side row_side = d_ti(c) < 0 ? Side::North : Side::South;
             const Side col_side = d_tj(c) < 0 ? Side::West : Side::East;
             const bool adjacent_remote =
@@ -196,12 +235,10 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
             // Mirrors TileInfo::corner_in: diagonal-tap programs read their
             // corners every superstep; cross programs only while redundantly
             // recomputing next to a remote side.
-            if (!(diag_taps || (steps_eff > 1 && adjacent_remote))) continue;
+            if (!(diag_taps || (W > 1 && adjacent_remote))) continue;
             add_remote_edge(id(k - 1, ni, nj), me, map.rank_of(ni, nj),
                             map.rank_of(ti, tj),
-                            static_cast<std::size_t>(steps_eff) * steps_eff *
-                                nfield,
-                            k);
+                            static_cast<std::size_t>(W) * W * nfield, k);
           }
         }
       }

@@ -77,6 +77,14 @@ struct StencilSimParams {
   int iterations = 100;
   int steps = 1;        ///< 1 = base-PaRSEC, >1 = CA-PaRSEC
   double ratio = 1.0;   ///< kernel-adjustment ratio (Figs. 8/9)
+  /// Fused-wavefront depth (DistConfig::fuse_depth analog). With fuse = f >
+  /// 1 the model unfolds the REWRITTEN graph rt::fuse_supersteps produces:
+  /// one task per tile per window of steps * stage_count * f atomic stages
+  /// (task overhead paid once per window), deep ghost bands on EVERY
+  /// neighbor side (local neighbors included — their per-step edges become
+  /// in-task staging), and one remote exchange per window whose band and
+  /// corner payloads match the real driver's byte for byte.
+  int fuse = 1;
   /// Stencil spec the run models. The default star5 reproduces the classic
   /// model exactly; other specs change the message schedule the way the real
   /// driver does — supersteps span steps * stage_count atomic stages, bands

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "net/persistent_channel.hpp"
+#include "runtime/graph_transform.hpp"
 #include "stencil/halo.hpp"
 #include "stencil/spec_kernel.hpp"
 
@@ -44,8 +45,8 @@ constexpr std::uint16_t kSlotCoeff = 9;
 /// bands are recomputed locally stage by stage — so shipping them would be
 /// pure waste).
 struct Shared {
-  Shared(Problem p, TileMap m, int s, double r)
-      : problem(std::move(p)), map(m), steps(s), ratio(r) {
+  Shared(Problem p, TileMap m, int s, double r, int f)
+      : problem(std::move(p)), map(m), steps(s), ratio(r), fuse(f) {
     if (problem.shape) {
       problem.shape->validate();
       radius = problem.shape->radius;
@@ -61,12 +62,23 @@ struct Shared {
       steps = s * nstages;
       problem.iterations *= nstages;
     }
+    // Fused wavefronts widen the exchange window: `steps` becomes the full
+    // window (fuse supersteps' worth of stage units) so every downstream
+    // mechanism — ghost depth, superstep gating, shrink, pack plans — sees
+    // one exchange per window. hook_period keeps the ORIGINAL superstep
+    // cadence, so checkpoints/snapshots stay every config.steps iterations
+    // regardless of fusing (fuse-ready tile cores are consistent at every
+    // stage boundary; the Temporal path only surfaces window boundaries).
+    hook_period = steps;
+    steps *= fuse;
   }
 
   Problem problem;
   TileMap map;
   int steps;
   double ratio;
+  int fuse = 1;         ///< supersteps fused per wavefront window
+  int hook_period = 1;  ///< superstep-hook cadence in stage units
   int radius = 1;    ///< stencil reach (1 for the paper's 5-point case)
   bool box = false;  ///< box-shaped stencil (reads diagonals every step)
   /// Spec path: compiled atomic-stage program (null = classic 5-point/shape).
@@ -78,6 +90,12 @@ struct Shared {
   KernelTuning tuning{};
   /// Temporal variant: one fused task per tile per superstep.
   bool fused = false;
+  /// Per-step graph emitted in fuse-ready shape (fuse > 1, non-Temporal):
+  /// deep bands on EVERY neighbor side, cross-tile edges only at window
+  /// boundaries — the precondition for rt::fuse_supersteps.
+  bool fuse_ready = false;
+  /// All-neighbor-deep halo layout (Temporal tasks or fuse-ready graphs).
+  bool deep_all() const { return fused || fuse_ready; }
   std::atomic<long long> computed_points{0};
 };
 
@@ -90,9 +108,10 @@ struct TileInfo {
   bool side_remote[4] = {};
   bool side_local[4] = {};
   /// Deep (radius*steps) ghost band on this side, refreshed by packed bands
-  /// at superstep starts. Non-fused: the remote sides. Fused (Temporal):
-  /// every side with a neighbor — there is no per-inner-step local exchange
-  /// inside a fused task, so local neighbors need deep bands too.
+  /// at superstep starts. Classic: the remote sides. All-deep (Temporal
+  /// tasks or fuse-ready graphs): every side with a neighbor — there is no
+  /// per-inner-step local exchange inside a fused window, so local
+  /// neighbors need deep bands too.
   bool side_deep[4] = {};
   /// This tile consumes a corner block from the diagonal neighbor at Corner c.
   bool corner_in[4] = {};
@@ -102,7 +121,7 @@ struct TileInfo {
 };
 
 TileInfo make_tile_info(const TileMap& map, int steps, int radius, bool box,
-                        bool fused, int ti, int tj) {
+                        bool deep_all, int ti, int tj) {
   TileInfo info;
   info.ti = ti;
   info.tj = tj;
@@ -112,10 +131,11 @@ TileInfo make_tile_info(const TileMap& map, int steps, int radius, bool box,
     const auto i = static_cast<int>(s);
     info.side_exists[i] = map.neighbor_exists(ti, tj, d_ti(s), d_tj(s));
     info.side_remote[i] = map.neighbor_remote(ti, tj, d_ti(s), d_tj(s));
-    // Fused tasks exchange packed bands with every neighbor; per-inner-step
-    // local line copies only happen in the non-fused graph.
-    info.side_deep[i] = fused ? info.side_exists[i] : info.side_remote[i];
-    info.side_local[i] = !fused && info.side_exists[i] && !info.side_remote[i];
+    // Fused windows exchange packed bands with every neighbor; per-inner-step
+    // local line copies only happen in the classic graph.
+    info.side_deep[i] = deep_all ? info.side_exists[i] : info.side_remote[i];
+    info.side_local[i] =
+        !deep_all && info.side_exists[i] && !info.side_remote[i];
     if (info.side_remote[i]) info.boundary = true;
   }
 
@@ -129,11 +149,12 @@ TileInfo make_tile_info(const TileMap& map, int steps, int radius, bool box,
   for (Corner c : kAllCorners) {
     const bool diag_exists = map.neighbor_exists(ti, tj, d_ti(c), d_tj(c));
     const bool diag_remote = map.neighbor_remote(ti, tj, d_ti(c), d_tj(c));
-    if (fused) {
-      // Fused supersteps redundantly compute into every neighbor-facing band,
+    if (deep_all) {
+      // Fused windows redundantly compute into every neighbor-facing band,
       // so every existing diagonal must supply its corner block (steps > 1;
-      // a 1-step fused task only reads the one-deep cross halo).
-      info.corner_in[static_cast<int>(c)] = diag_exists && steps > 1;
+      // a 1-step fused task only reads the one-deep cross halo — unless the
+      // stencil is box-shaped and reads diagonals every step).
+      info.corner_in[static_cast<int>(c)] = diag_exists && (steps > 1 || box);
       info.corner_local[static_cast<int>(c)] = false;
       continue;
     }
@@ -211,7 +232,7 @@ class Builder {
             TileMap(problem.rows, problem.cols, config.decomp.mb,
                     config.decomp.nb, config.decomp.node_rows,
                     config.decomp.node_cols),
-            config.steps, config.kernel_ratio)),
+            config.steps, config.kernel_ratio, config.fuse_depth)),
         type_base_(config.key_space * 2),
         key_space_(config.key_space),
         priority_bias_(config.priority_bias),
@@ -228,8 +249,16 @@ class Builder {
     shared_->kernel = config.kernel;
     shared_->tuning = config.tuning;
     shared_->fused = config.kernel == KernelVariant::Temporal;
+    shared_->fuse_ready = config.fuse_depth > 1 && !shared_->fused;
     if (config.steps < 1) {
       throw std::invalid_argument("steps must be >= 1");
+    }
+    if (config.fuse_depth < 1) {
+      throw std::invalid_argument("fuse_depth must be >= 1");
+    }
+    if (config.fuse_depth > 1 && config.kernel_ratio != 1.0) {
+      throw std::invalid_argument(
+          "fused wavefronts (fuse_depth > 1) require kernel_ratio == 1");
     }
     if (shared_->problem.shape && shared_->problem.coefficient) {
       throw std::invalid_argument(
@@ -265,7 +294,8 @@ class Builder {
     for (int ti = 0; ti < map.tiles_r(); ++ti) {
       for (int tj = 0; tj < map.tiles_c(); ++tj) {
         tiles_.push_back(make_tile_info(map, shared_->steps, shared_->radius,
-                                        shared_->box, shared_->fused, ti, tj));
+                                        shared_->box, shared_->deep_all(), ti,
+                                        tj));
       }
     }
   }
@@ -497,6 +527,15 @@ class Builder {
     spec.priority = task_priority(info.boundary, pack_plan(info, k)) +
                     priority_bias_;
     spec.klass = info.boundary ? "boundary" : "interior";
+    // Dependence-cone metadata: each tile's STEP tasks form one totally
+    // ordered chain (k is the position), which is exactly what
+    // rt::fuse_supersteps needs to window them into wavefront tasks. +1
+    // keeps key_space 0 distinguishable from "no chain".
+    spec.chain = (static_cast<std::uint64_t>(key_space_) + 1) << 32 |
+                 (static_cast<std::uint64_t>(info.ti) *
+                      static_cast<std::uint64_t>(shared_->map.tiles_c()) +
+                  static_cast<std::uint64_t>(info.tj));
+    spec.chain_step = k;
 
     const bool start = superstep_start(k);
 
@@ -521,14 +560,18 @@ class Builder {
     }
     if (start) {
       for (Side s : kAllSides) {
-        if (info.side_remote[static_cast<int>(s)]) {
+        if (info.side_deep[static_cast<int>(s)]) {
           // Our north ghost comes from the north neighbor's south band.
+          // Fuse-ready graphs exchange packed bands with local neighbors
+          // too; only the remote ones cross the wire and get a route.
           const int pti = info.ti + d_ti(s);
           const int ptj = info.tj + d_tj(s);
           rt::FlowRef flow{state_key(k - 1, pti, ptj),
                            kSlotBand(opposite(s))};
-          annotate_route(flow, pti, ptj,
-                         band_doubles(tile(pti, ptj).geom, opposite(s)));
+          if (info.side_remote[static_cast<int>(s)]) {
+            annotate_route(flow, pti, ptj,
+                           band_doubles(tile(pti, ptj).geom, opposite(s)));
+          }
           spec.inputs.push_back(flow);
         }
       }
@@ -538,7 +581,10 @@ class Builder {
           const int ptj = info.tj + d_tj(c);
           rt::FlowRef flow{state_key(k - 1, pti, ptj),
                            kSlotCorner(opposite(c))};
-          annotate_route(flow, pti, ptj, corner_doubles());
+          if (shared_->map.neighbor_remote(info.ti, info.tj, d_ti(c),
+                                           d_tj(c))) {
+            annotate_route(flow, pti, ptj, corner_doubles());
+          }
           spec.inputs.push_back(flow);
         }
       }
@@ -594,7 +640,7 @@ class Builder {
       //    intermediates are recomputed locally stage by stage.
       if (start) {
         for (Side s : kAllSides) {
-          if (!tile_info.side_remote[static_cast<int>(s)]) continue;
+          if (!tile_info.side_deep[static_cast<int>(s)]) continue;
           unpack_band_planes(assembled.data(), g, s, ctx.input(next_input),
                              exchange_depth, shared->nfield);
           ++next_input;
@@ -608,13 +654,14 @@ class Builder {
       }
 
       // 4. Compute the (possibly shrunken) region for this inner step: the
-      //    valid region loses `radius` layers per step on remote sides.
+      //    valid region loses `radius` layers per step on deep sides (the
+      //    remote sides classically; every neighbor side when fuse-ready).
       const int jj = (k - 1) % steps;  // inner step within the superstep
       const int shrink = radius * (jj + 1);
-      int r0 = tile_info.side_remote[0] ? -(exchange_depth - shrink) : 0;
-      int r1 = g.h + (tile_info.side_remote[1] ? exchange_depth - shrink : 0);
-      int c0 = tile_info.side_remote[2] ? -(exchange_depth - shrink) : 0;
-      int c1 = g.w + (tile_info.side_remote[3] ? exchange_depth - shrink : 0);
+      int r0 = tile_info.side_deep[0] ? -(exchange_depth - shrink) : 0;
+      int r1 = g.h + (tile_info.side_deep[1] ? exchange_depth - shrink : 0);
+      int c0 = tile_info.side_deep[2] ? -(exchange_depth - shrink) : 0;
+      int c1 = g.w + (tile_info.side_deep[3] ? exchange_depth - shrink : 0);
 
       if (shared->ratio < 1.0) {
         // Kernel-time tuning (paper section VI-D): update only a
@@ -651,8 +698,11 @@ class Builder {
 
       // The tile is globally consistent again at superstep boundaries — the
       // natural checkpoint instant. Spec runs report the ORIGINAL iteration
-      // index (k is in stage units there).
-      if (shared->hook && k % steps == 0) {
+      // index (k is in stage units there). Fused windows keep the original
+      // cadence: hook_period is the pre-fuse superstep length, and the tile
+      // core is consistent at every one of those interior boundaries (all
+      // deep sides shrink uniformly past the core only at window end).
+      if (shared->hook && k % shared->hook_period == 0) {
         call_hook(*shared, tile_info, k / shared->nstages, out.data());
       }
       publish_all(ctx, tile_info, plan, exchange_depth, std::move(out),
@@ -680,6 +730,12 @@ class Builder {
     spec.priority = task_priority(info.boundary, pack_plan(info, k_end)) +
                     priority_bias_;
     spec.klass = info.boundary ? "boundary" : "interior";
+    // Same chain id as the per-step shape; position = ending iteration.
+    spec.chain = (static_cast<std::uint64_t>(key_space_) + 1) << 32 |
+                 (static_cast<std::uint64_t>(info.ti) *
+                      static_cast<std::uint64_t>(shared_->map.tiles_c()) +
+                  static_cast<std::uint64_t>(info.tj));
+    spec.chain_step = k_end;
 
     // Input order: own previous-boundary state; neighbor bands (N,S,W,E);
     // corner blocks (NW,NE,SW,SE). Body indexes inputs in exactly this order.
@@ -763,7 +819,7 @@ class Builder {
       }
       shared->computed_points.fetch_add(points, std::memory_order_relaxed);
 
-      if (shared->hook && k_end % shared->steps == 0) {
+      if (shared->hook && k_end % shared->hook_period == 0) {
         call_hook(*shared, tile_info, k_end, out.data());
       }
       publish_all(ctx, tile_info, plan, depth, std::move(out), 1);
@@ -775,14 +831,16 @@ class Builder {
   static TileInfo make_nbr_info(const Shared& shared, const TileInfo& info,
                                 Side s) {
     return make_tile_info(shared.map, shared.steps, shared.radius, shared.box,
-                          shared.fused, info.ti + d_ti(s), info.tj + d_tj(s));
+                          shared.deep_all(), info.ti + d_ti(s),
+                          info.tj + d_tj(s));
   }
 
   /// Geometry of the diagonal neighbor at `corner` (for box local corners).
   static TileInfo make_diag_info(const Shared& shared, const TileInfo& info,
                                  Corner c) {
     return make_tile_info(shared.map, shared.steps, shared.radius, shared.box,
-                          shared.fused, info.ti + d_ti(c), info.tj + d_tj(c));
+                          shared.deep_all(), info.ti + d_ti(c),
+                          info.tj + d_tj(c));
   }
 
   std::shared_ptr<Shared> shared_;
@@ -876,6 +934,15 @@ long long SolveSubgraph::computed_points() const {
   return impl_->builder.shared()->computed_points.load();
 }
 
+int SolveSubgraph::fuse_window() const {
+  const Shared& shared = *impl_->builder.shared();
+  // Temporal already runs each window inside one task — nothing to rewrite.
+  // Per-step fuse-ready graphs want one wavefront task per full window of
+  // stage-steps (shared.steps is the window after the constructor's
+  // fuse multiplication).
+  return (!shared.fused && shared.fuse > 1) ? shared.steps : 1;
+}
+
 long long SolveSubgraph::nominal_points() const {
   const Problem& problem = impl_->builder.shared()->problem;
   auto nominal = static_cast<long long>(problem.rows) * problem.cols *
@@ -900,6 +967,12 @@ SolveSubgraph add_solve_subgraph(rt::TaskGraph& graph, const Problem& problem,
 DistResult run_distributed(const Problem& problem, const DistConfig& config) {
   rt::TaskGraph graph;
   const SolveSubgraph subgraph = add_solve_subgraph(graph, problem, config);
+  // Fused wavefronts: the builder emitted a fuse-ready per-step graph; the
+  // generic pass windows each tile chain into one cache-resident task and
+  // collapses cross-rank halo edges to one exchange per window.
+  if (const int window = subgraph.fuse_window(); window > 1) {
+    rt::fuse_supersteps(graph, window);
+  }
 
   rt::Config rt_config;
   rt_config.nranks = subgraph.nodes();
@@ -945,12 +1018,18 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
       registry.attach(name, {}, std::move(counter), help);
     };
     const int iters = problem.iterations;
-    const int steps = config.steps;
+    // Fused wavefronts widen the exchange window: one remote round per
+    // fuse_depth supersteps.
+    const int window = config.steps * config.fuse_depth;
     publish("stencil_iterations_total", static_cast<std::uint64_t>(iters),
             "Jacobi iterations performed");
     publish("stencil_supersteps_total",
-            static_cast<std::uint64_t>((iters + steps - 1) / steps),
+            static_cast<std::uint64_t>((iters + window - 1) / window),
             "CA supersteps (remote halo-exchange rounds)");
+    auto fuse = registry.gauge("stencil_fuse_depth", {},
+                               "Supersteps fused per wavefront window "
+                               "(1 = no temporal blocking across nodes)");
+    fuse->set(static_cast<double>(config.fuse_depth));
     publish("stencil_computed_points_total",
             static_cast<std::uint64_t>(result.computed_points),
             "Stencil points updated, redundant recompute included");

@@ -52,6 +52,20 @@ struct Decomposition {
 struct DistConfig {
   Decomposition decomp;
   int steps = 1;              ///< CA step size; 1 = base version
+  /// Cross-node temporal blocking: fuse this many consecutive CA supersteps
+  /// into one pipelined wavefront per tile (rt::fuse_supersteps, DESIGN.md
+  /// §17). With fuse_depth = f > 1 the builder emits a FUSE-READY graph —
+  /// every neighbor side carries a (steps * f)-deep ghost band, cross-tile
+  /// edges exist only at window boundaries — and the driver rewrites the
+  /// per-step task chains so each window of steps * f stage-steps runs
+  /// cache-resident inside one task. Remote halo exchanges collapse to one
+  /// per f supersteps (deeper bands, more redundant recompute — the CA
+  /// trade, taken f times further). Composes with every kernel variant
+  /// (Temporal deepens its in-kernel window instead of rewriting), specs,
+  /// schedulers, persistent channels, and the fault stack; results stay
+  /// bit-identical to the serial reference. Requires kernel_ratio == 1 and
+  /// radius * steps * f (stage units) within the smallest tile extent.
+  int fuse_depth = 1;
   double kernel_ratio = 1.0;  ///< <1 = simulated faster kernel (timing only)
   int workers_per_rank = 1;
   bool dedicated_comm_thread = true;
@@ -163,6 +177,13 @@ class SolveSubgraph {
   long long computed_points() const;
   /// rows * cols * iterations (no redundancy).
   long long nominal_points() const;
+  /// Members per fuse window for rt::fuse_supersteps: > 1 when the config
+  /// requested a fused wavefront on a per-step path (the emitted graph is
+  /// fuse-ready but NOT yet fused — the caller owning the TaskGraph applies
+  /// the rewrite, since a shared multi-solve graph can only be fused at one
+  /// global depth). 1 = run the graph as built (classic, or Temporal whose
+  /// windows are already intra-task).
+  int fuse_window() const;
 
   struct Impl;
 

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "equivalence_helpers.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/reliable_channel.hpp"
 #include "fault/resilient.hpp"
@@ -63,8 +64,49 @@ TEST(FaultE2E, CaStencilBitIdenticalUnderHeavyFaults) {
       config.channel_factory = stack.factory();
 
       const auto result = run_distributed(problem, config);
-      EXPECT_EQ(Grid2D::max_abs_diff(expected, result.grid), 0.0)
-          << "steps " << steps << " seed " << seed;
+      EXPECT_TRUE(test_support::grids_match(expected, result.grid))
+          << test_support::failing_seed(seed, config);
+
+      const FaultStats faults = stack.injector().fault_stats();
+      const ReliableStats rel = stack.last->reliable_stats();
+      EXPECT_GT(faults.dropped, 0u) << "fault plan was not exercised";
+      EXPECT_GT(rel.retransmits, 0u) << "drops must force retransmissions";
+      EXPECT_FALSE(rel.failed);
+    }
+  }
+}
+
+TEST(FaultE2E, FusedWavefrontOverFaultyStackStaysBitIdentical) {
+  // The graph rewrite composes with the fault stack: fused-wavefront runs —
+  // including a window spanning the whole iteration count, a ragged final
+  // window, and the persistent-wire composition — over a lossy injector
+  // must still deliver serial bits. Fewer, larger messages raise the stakes
+  // per drop; correctness must not depend on message granularity.
+  const Problem problem = stencil::random_problem(64, 64, 15);
+  const Grid2D expected = solve_serial(problem);
+
+  struct FusedCase {
+    int steps, fuse;
+    bool persistent;
+  };
+  const FusedCase cases[] = {
+      {5, 3, false},  // W = 15: every iteration inside one fused window
+      {2, 5, false},  // W = 10, ragged final window
+      {3, 2, true},   // W = 6 over persistent routes
+  };
+  for (const FusedCase& c : cases) {
+    for (std::uint64_t seed : {1u, 2u}) {
+      Stack stack;
+      stack.plan = FaultPlan::uniform(seed, 0.15, 0.10, 0.20);
+      stack.reliable.timeout_s = 0.001;
+      DistConfig config = small_config(c.steps);
+      config.fuse_depth = c.fuse;
+      config.persistent = c.persistent;
+      config.channel_factory = stack.factory();
+
+      const auto result = run_distributed(problem, config);
+      EXPECT_TRUE(test_support::grids_match(expected, result.grid))
+          << test_support::failing_seed(seed, config);
 
       const FaultStats faults = stack.injector().fault_stats();
       const ReliableStats rel = stack.last->reliable_stats();
@@ -139,33 +181,40 @@ TEST(FaultE2E, ZeroFaultPlanAddsNoRetransmits) {
 
 TEST(FaultE2E, SuperstepHookSeesConsistentSnapshots) {
   // The hook must observe, for every superstep boundary, tile cores that
-  // reassemble into exactly the serial iterate at that iteration.
+  // reassemble into exactly the serial iterate at that iteration. With
+  // fuse_depth > 1 the window widens to steps * fuse, but the hook keeps the
+  // ORIGINAL steps cadence — fused tile cores are consistent at every
+  // interior superstep boundary, so checkpoints stay fuse-agnostic.
   const Problem problem = stencil::random_problem(32, 32, 6);
-  DistConfig config;
-  config.decomp = {8, 8, 2, 2};
-  config.steps = 3;
+  for (int fuse : {1, 2}) {
+    DistConfig config;
+    config.decomp = {8, 8, 2, 2};
+    config.steps = 3;
+    config.fuse_depth = fuse;
 
-  CheckpointStore store;
-  config.superstep_hook = [&store](int k, int ti, int tj,
-                                   const std::vector<double>& core) {
-    store.store(k, ti, tj, core);
-  };
-  run_distributed(problem, config);
+    CheckpointStore store;
+    config.superstep_hook = [&store](int k, int ti, int tj,
+                                     const std::vector<double>& core) {
+      store.store(k, ti, tj, core);
+    };
+    run_distributed(problem, config);
 
-  const stencil::TileMap map(32, 32, 8, 8, 2, 2);
-  for (int k : {0, 3, 6}) {
-    Problem upto = problem;
-    upto.iterations = k;
-    const Grid2D reference = solve_serial(upto);
-    const auto tiles = store.tiles(k);
-    ASSERT_EQ(tiles.size(), 16u) << "superstep " << k;
-    for (const auto& [coord, core] : tiles) {
-      const auto [ti, tj] = coord;
-      for (int i = 0; i < map.tile_h(ti); ++i) {
-        for (int j = 0; j < map.tile_w(tj); ++j) {
-          ASSERT_EQ(core[static_cast<std::size_t>(i) * map.tile_w(tj) + j],
-                    reference.at(map.row0(ti) + i, map.col0(tj) + j))
-              << "k=" << k << " tile (" << ti << "," << tj << ")";
+    const stencil::TileMap map(32, 32, 8, 8, 2, 2);
+    for (int k : {0, 3, 6}) {
+      Problem upto = problem;
+      upto.iterations = k;
+      const Grid2D reference = solve_serial(upto);
+      const auto tiles = store.tiles(k);
+      ASSERT_EQ(tiles.size(), 16u) << "superstep " << k << " fuse " << fuse;
+      for (const auto& [coord, core] : tiles) {
+        const auto [ti, tj] = coord;
+        for (int i = 0; i < map.tile_h(ti); ++i) {
+          for (int j = 0; j < map.tile_w(tj); ++j) {
+            ASSERT_EQ(core[static_cast<std::size_t>(i) * map.tile_w(tj) + j],
+                      reference.at(map.row0(ti) + i, map.col0(tj) + j))
+                << "k=" << k << " tile (" << ti << "," << tj << ") fuse "
+                << fuse;
+          }
         }
       }
     }
@@ -200,6 +249,39 @@ TEST(FaultE2E, ResilientRunnerRecoversFromBlackoutBitIdentically) {
   EXPECT_EQ(Grid2D::max_abs_diff(expected, result.grid), 0.0);
   EXPECT_GE(result.rollbacks, 1);
   EXPECT_EQ(result.attempts, result.windows + result.rollbacks);
+  EXPECT_GT(result.checkpoints.stored, 0u);
+}
+
+TEST(FaultE2E, ResilientRunnerRecoversFusedRunsBitIdentically) {
+  // Checkpoint/rollback over fused wavefronts: the runner's windows are
+  // sliced in ORIGINAL supersteps (the hook cadence fusing preserves), so a
+  // blackout mid-run must roll a fused window back and replay it to the
+  // exact serial bits.
+  const Problem problem = stencil::random_problem(48, 48, 12);
+  const Grid2D expected = solve_serial(problem);
+
+  int attempt = 0;
+  ResilientConfig config;
+  config.dist = small_config(3);
+  config.dist.fuse_depth = 2;  // W = 6 = one checkpoint window per rewrite
+  config.checkpoint_supersteps = 2;
+  config.channel_factory =
+      [&attempt](int nranks) -> std::shared_ptr<net::Channel> {
+    auto transport = std::make_shared<net::Transport>(nranks);
+    FaultPlan plan;
+    // Fused graphs send far fewer messages, so black out early on the first
+    // attempt; later attempts get a clean channel.
+    if (attempt++ == 0) plan.blackout_after = 5;
+    auto injector = std::make_shared<FaultInjector>(transport, plan);
+    ReliableConfig reliable;
+    reliable.timeout_s = 0.0005;
+    reliable.max_retries = 4;
+    return std::make_shared<ReliableChannel>(injector, reliable);
+  };
+
+  const ResilientResult result = run_resilient(problem, config);
+  EXPECT_TRUE(test_support::grids_match(expected, result.grid));
+  EXPECT_GE(result.rollbacks, 1);
   EXPECT_GT(result.checkpoints.stored, 0u);
 }
 

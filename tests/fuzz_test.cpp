@@ -8,11 +8,16 @@
 //   * runtime under adversarial graphs: random fan-in/fan-out with random
 //     rank placement, values checked against sequential evaluation;
 //   * failure injection: a randomly placed throwing task must surface as an
-//     error and never hang the runtime.
+//     error and never hang the runtime;
+//   * fused wavefronts: every pool draws a fuse depth, and a deterministic
+//     pool pins the sharp window shapes (k > s, ragged final window, k in
+//     {2, 3, 5}) under both schedulers and the persistent wire.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 
+#include "equivalence_helpers.hpp"
 #include "spec/stencil_spec.hpp"
 #include "stencil/dist_stencil.hpp"
 #include "stencil/serial.hpp"
@@ -45,6 +50,13 @@ TEST(FuzzDistStencil, RandomConfigurationsMatchSerial) {
     const stencil::TileMap map(rows, cols, mb, nb, node_rows, node_cols);
     config.steps = 1 + static_cast<int>(rng.next_below(
                            static_cast<std::uint64_t>(map.min_tile_extent())));
+    // Fused-wavefront draw: any window steps * fuse_depth that still fits
+    // the smallest tile is legal, so fusing crosses every other knob here.
+    const int max_fuse =
+        std::max(1, map.min_tile_extent() / config.steps);
+    config.fuse_depth = 1 + static_cast<int>(rng.next_below(
+                                static_cast<std::uint64_t>(
+                                    std::min(max_fuse, 3))));
     config.workers_per_rank = 1 + static_cast<int>(rng.next_below(3));
     config.dedicated_comm_thread = rng.next_below(2) == 0;
     const rt::SchedPolicy policies[] = {rt::SchedPolicy::PriorityFifo,
@@ -62,16 +74,13 @@ TEST(FuzzDistStencil, RandomConfigurationsMatchSerial) {
                  : stencil::random_problem(rows, cols, iters, 2000 + round);
 
     SCOPED_TRACE("round " + std::to_string(round) + ": " +
-                 std::to_string(rows) + "x" + std::to_string(cols) + " tiles "
-                 + std::to_string(mb) + "x" + std::to_string(nb) + " nodes " +
-                 std::to_string(node_rows) + "x" + std::to_string(node_cols) +
-                 " s=" + std::to_string(config.steps) +
-                 (variable ? " variable" : " constant") +
-                 (config.persistent ? " persistent" : ""));
+                 std::to_string(rows) + "x" + std::to_string(cols) +
+                 (variable ? " variable " : " constant ") +
+                 test_support::describe(config));
 
     const stencil::DistResult result = run_distributed(problem, config);
     const stencil::Grid2D expected = solve_serial(problem);
-    ASSERT_EQ(stencil::Grid2D::max_abs_diff(expected, result.grid), 0.0);
+    ASSERT_TRUE(test_support::grids_match(expected, result.grid));
   }
 }
 
@@ -148,6 +157,9 @@ TEST(FuzzDistStencil, RandomShapesRejectOversizedStepsOrMatchSerial) {
     config.steps = 1 + static_cast<int>(rng.next_below(
                            static_cast<std::uint64_t>(
                                map.min_tile_extent() + 3)));
+    // The window is steps * fuse_depth, so a fuse draw pushes even in-range
+    // step sizes over the edge — both validation paths stay exercised.
+    config.fuse_depth = 1 + static_cast<int>(rng.next_below(3));
     config.workers_per_rank = 1 + static_cast<int>(rng.next_below(4));
     const rt::SchedPolicy policies[] = {rt::SchedPolicy::PriorityFifo,
                                         rt::SchedPolicy::Fifo,
@@ -169,26 +181,69 @@ TEST(FuzzDistStencil, RandomShapesRejectOversizedStepsOrMatchSerial) {
             : stencil::random_problem(rows, cols, iters,
                                       4000 + static_cast<int>(seed));
 
-    SCOPED_TRACE("FAILING SEED=" + std::to_string(seed) + " (" +
-                 std::to_string(rows) + "x" + std::to_string(cols) +
-                 " tiles " + std::to_string(mb) + "x" + std::to_string(nb) +
-                 " nodes " + std::to_string(node_rows) + "x" +
-                 std::to_string(node_cols) + " s=" +
-                 std::to_string(config.steps) + ")");
+    SCOPED_TRACE(test_support::failing_seed(seed, config) + " " +
+                 std::to_string(rows) + "x" + std::to_string(cols));
 
-    if (config.steps > map.min_tile_extent()) {
+    if (config.steps * config.fuse_depth > map.min_tile_extent()) {
       EXPECT_THROW(run_distributed(problem, config), std::invalid_argument);
       ++rejected;
       continue;
     }
     const stencil::DistResult result = run_distributed(problem, config);
     const stencil::Grid2D expected = solve_serial(problem);
-    ASSERT_EQ(stencil::Grid2D::max_abs_diff(expected, result.grid), 0.0);
+    ASSERT_TRUE(test_support::grids_match(expected, result.grid));
     ++accepted;
   }
   // The sweep must exercise both outcomes, or the seed constants regressed.
   EXPECT_GT(accepted, 0);
   EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzDistStencil, FusedWavefrontPoolMatchesSerial) {
+  // Deterministic fused-wavefront pool pinning the sharp window shapes the
+  // random sweeps may miss: fuse depths k in {2, 3, 5}, k > s, windows that
+  // do not divide the iteration count (ragged final window), a window that
+  // fills the tile exactly, and the persistent-wire composition — all under
+  // both the default and the work-stealing scheduler, all bit-identical to
+  // the serial oracle.
+  struct FusedCase {
+    int steps, fuse, iters, node_rows, node_cols;
+    bool persistent;
+  };
+  const FusedCase cases[] = {
+      {1, 2, 7, 3, 3, false},   // ragged: 7 iterations over windows of 2
+      {1, 3, 8, 3, 1, false},   // k > s; local vertical, remote horizontal
+      {1, 5, 9, 3, 3, true},    // deep fuse + persistent, ragged
+      {2, 5, 11, 3, 3, false},  // k > s with s > 1, W = 10 fills the tile
+      {3, 3, 10, 1, 3, true},   // k == s, ragged, mixed local/remote sides
+      {2, 3, 7, 3, 3, false},   // W = 6 > iters' remainder: 2nd window short
+  };
+  for (const auto sched :
+       {rt::SchedPolicy::PriorityFifo, rt::SchedPolicy::WorkStealing}) {
+    for (const FusedCase& c : cases) {
+      stencil::DistConfig config;
+      config.decomp = {10, 10, c.node_rows, c.node_cols};
+      config.steps = c.steps;
+      config.fuse_depth = c.fuse;
+      config.scheduler = sched;
+      config.persistent = c.persistent;
+      SCOPED_TRACE(test_support::describe(config) + " iters=" +
+                   std::to_string(c.iters));
+      const stencil::Problem problem =
+          stencil::random_problem(30, 30, c.iters, 6000 + c.iters);
+      const stencil::DistResult result = run_distributed(problem, config);
+      ASSERT_TRUE(
+          test_support::grids_match(solve_serial(problem), result.grid));
+    }
+  }
+  // Oversized window: steps * fuse_depth past the smallest tile extent must
+  // throw before any task is built.
+  stencil::DistConfig config;
+  config.decomp = {10, 10, 3, 3};
+  config.steps = 4;
+  config.fuse_depth = 3;
+  EXPECT_THROW(run_distributed(stencil::random_problem(30, 30, 4), config),
+               std::invalid_argument);
 }
 
 TEST(FuzzSpecStencil, RandomSpecsMatchSerial) {
@@ -224,6 +279,15 @@ TEST(FuzzSpecStencil, RandomSpecsMatchSerial) {
     stencil::DistConfig config;
     config.decomp = {mb, nb, node_rows, node_cols};
     config.steps = 1 + static_cast<int>(rng.next_below(3));
+    // Bound-aware fuse draw: random specs already reject plenty of rounds on
+    // steps * stages alone, so cap the fused window to what could fit and
+    // let the steps draw keep the rejection path covered.
+    const int max_fuse =
+        std::max(1, map.min_tile_extent() /
+                        std::max(1, config.steps * spec::stage_count(sp)));
+    config.fuse_depth = 1 + static_cast<int>(rng.next_below(
+                                static_cast<std::uint64_t>(
+                                    std::min(max_fuse, 3))));
     config.workers_per_rank = 1 + static_cast<int>(rng.next_below(3));
     const rt::SchedPolicy policies[] = {rt::SchedPolicy::PriorityFifo,
                                         rt::SchedPolicy::Fifo,
@@ -237,30 +301,21 @@ TEST(FuzzSpecStencil, RandomSpecsMatchSerial) {
         stencil::spec_problem(sp, rows, cols, iters, nz,
                               5000 + static_cast<unsigned long>(seed));
 
-    SCOPED_TRACE("FAILING SEED=" + std::to_string(seed) + " SPEC=" +
-                 sp.to_literal() + " (" + std::to_string(rows) + "x" +
-                 std::to_string(cols) + " nz=" + std::to_string(nz) +
-                 " tiles " + std::to_string(mb) + "x" + std::to_string(nb) +
-                 " nodes " + std::to_string(node_rows) + "x" +
-                 std::to_string(node_cols) + " s=" +
-                 std::to_string(config.steps) +
-                 (config.persistent ? " persistent" : "") + ")");
+    SCOPED_TRACE(test_support::failing_seed(seed, config) + " SPEC=" +
+                 sp.to_literal() + " " + std::to_string(rows) + "x" +
+                 std::to_string(cols) + " nz=" + std::to_string(nz));
 
     // The spec path runs radius-1 stage units with steps multiplied by the
-    // stage count, so the acceptance bound is steps * stages.
-    if (config.steps * spec::stage_count(sp) > map.min_tile_extent()) {
+    // stage count (and the fused window multiplies again), so the acceptance
+    // bound is steps * stages * fuse_depth.
+    if (config.steps * spec::stage_count(sp) * config.fuse_depth >
+        map.min_tile_extent()) {
       EXPECT_THROW(run_distributed(problem, config), std::invalid_argument);
       continue;
     }
     const stencil::DistResult result = run_distributed(problem, config);
-    const std::vector<stencil::Grid2D> expected =
-        stencil::solve_serial_spec(problem);
-    ASSERT_EQ(result.planes.size(), expected.size());
-    for (std::size_t z = 0; z < expected.size(); ++z) {
-      ASSERT_EQ(stencil::Grid2D::max_abs_diff(expected[z], result.planes[z]),
-                0.0)
-          << "z=" << z;
-    }
+    ASSERT_TRUE(test_support::planes_match(
+        stencil::solve_serial_spec(problem), result));
     ++accepted;
   }
   EXPECT_GT(accepted, 0);

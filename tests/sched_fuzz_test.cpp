@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "equivalence_helpers.hpp"
 #include "runtime/runtime.hpp"
 #include "serve/solver_farm.hpp"
 #include "spec/stencil_spec.hpp"
@@ -95,6 +96,7 @@ struct Variant {
   int steps;
   stencil::KernelVariant kernel;
   bool persistent = false;  ///< route halos over the persistent channel
+  int fuse = 1;             ///< fused-wavefront depth (graph rewrite)
 };
 
 // One small problem shared by every variant: 3x3 tiles over 2x2 nodes, so
@@ -119,6 +121,7 @@ void run_variant_sweep(const Variant& variant) {
         config.steps = variant.steps;
         config.kernel = variant.kernel;
         config.persistent = variant.persistent;
+        config.fuse_depth = variant.fuse;
         config.workers_per_rank = workers;
         config.scheduler = policy;
         config.sched_seed = static_cast<std::uint64_t>(seed);
@@ -126,9 +129,10 @@ void run_variant_sweep(const Variant& variant) {
             make_fuzz_hook(static_cast<std::uint64_t>(seed));
 
         const stencil::DistResult result = run_distributed(problem, config);
-        ASSERT_EQ(stencil::Grid2D::max_abs_diff(expected, result.grid), 0.0)
-            << variant.name << " sched=" << rt::sched_policy_name(policy)
-            << " workers=" << workers << " FAILING SEED=" << seed;
+        ASSERT_TRUE(test_support::grids_match(expected, result.grid))
+            << variant.name << " "
+            << test_support::failing_seed(
+                   static_cast<std::uint64_t>(seed), config);
       }
     }
   }
@@ -139,7 +143,7 @@ void run_variant_sweep(const Variant& variant) {
 // specs) corner messages — all of which must stay bit-identical to
 // solve_serial_spec under every schedule on every z plane.
 void run_spec_sweep(const spec::StencilSpec& sp, int nz, int steps,
-                    bool persistent = false) {
+                    bool persistent = false, int fuse = 1) {
   const stencil::Problem problem =
       stencil::spec_problem(sp, kRows, kCols, kIters, nz, 0x5eed);
   const std::vector<stencil::Grid2D> expected =
@@ -154,6 +158,7 @@ void run_spec_sweep(const spec::StencilSpec& sp, int nz, int steps,
         config.decomp = {4, 5, 2, 2};
         config.steps = steps;
         config.persistent = persistent;
+        config.fuse_depth = fuse;
         config.workers_per_rank = workers;
         config.scheduler = policy;
         config.sched_seed = static_cast<std::uint64_t>(seed);
@@ -161,16 +166,11 @@ void run_spec_sweep(const spec::StencilSpec& sp, int nz, int steps,
             make_fuzz_hook(static_cast<std::uint64_t>(seed));
 
         const stencil::DistResult result = run_distributed(problem, config);
-        ASSERT_EQ(result.planes.size(), expected.size());
-        for (std::size_t z = 0; z < expected.size(); ++z) {
-          ASSERT_EQ(stencil::Grid2D::max_abs_diff(expected[z],
-                                                  result.planes[z]),
-                    0.0)
-              << sp.name << " z=" << z
-              << " sched=" << rt::sched_policy_name(policy)
-              << " workers=" << workers << " FAILING SEED=" << seed
-              << " SPEC=" << sp.to_literal();
-        }
+        ASSERT_TRUE(test_support::planes_match(expected, result))
+            << sp.name << " "
+            << test_support::failing_seed(static_cast<std::uint64_t>(seed),
+                                          config)
+            << " SPEC=" << sp.to_literal();
       }
     }
   }
@@ -206,6 +206,27 @@ TEST(SchedFuzz, CaBlockedBitIdenticalUnderAllSchedules) {
 
 TEST(SchedFuzz, CaTemporalBitIdenticalUnderAllSchedules) {
   run_variant_sweep({"ca-temporal", 2, stencil::KernelVariant::Temporal});
+}
+
+// Fused wavefronts under adversarial schedules: the rewritten graph has one
+// task per tile per window, so the scheduler sees far fewer, far bigger
+// tasks with window-boundary-only cross-tile edges — every steal/stall
+// perturbation must still produce serial bits. W = steps * fuse = 4 fills
+// the smallest tile exactly; the second variant leaves the window ragged
+// against kIters and routes the exchanges over the persistent channel.
+TEST(SchedFuzz, CaFusedWavefrontBitIdenticalUnderAllSchedules) {
+  run_variant_sweep(
+      {"ca-fused", 2, stencil::KernelVariant::Scalar, false, /*fuse=*/2});
+}
+
+TEST(SchedFuzz, FusedWavefrontPersistentBitIdenticalUnderAllSchedules) {
+  run_variant_sweep({"fused-persistent", 1, stencil::KernelVariant::Scalar,
+                     true, /*fuse=*/3});
+}
+
+TEST(SchedFuzz, SpecStar9FusedBitIdenticalUnderAllSchedules) {
+  run_spec_sweep(spec::StencilSpec::star9(), 1, 1, /*persistent=*/false,
+                 /*fuse=*/2);
 }
 
 // Persistent-channel runs through the same adversarial schedule pool: the
@@ -368,12 +389,26 @@ TEST(SchedFuzz, SolverFarmBitIdenticalUnderAllSchedules) {
       futures.push_back(std::move(submission.response));
       expected.push_back(&small_expected);
     }
+    // One fused tenant: forced solo dispatch, graph rewritten per wave.
+    serve::SolveRequest fused;
+    fused.tenant = "fused";
+    fused.problem = small;
+    fused.mb = 4;
+    fused.nb = 5;
+    fused.steps = 2;
+    fused.fuse_depth = 2;  // W = 4 = the smallest tile extent
+    auto fused_submission = farm.submit(fused);
+    ASSERT_TRUE(fused_submission.accepted()) << "seed " << seed;
+    futures.push_back(std::move(fused_submission.response));
+    expected.push_back(&small_expected);
+
     serve::SolveRequest windowed;
     windowed.tenant = "big";
     windowed.problem = big;
     windowed.mb = 5;
     windowed.nb = 5;
     windowed.steps = 2;
+    windowed.fuse_depth = 2;  // windowed + fused: W = 4 <= tile extent 5
     auto submission = farm.submit(windowed);
     ASSERT_TRUE(submission.accepted()) << "seed " << seed;
     futures.push_back(std::move(submission.response));

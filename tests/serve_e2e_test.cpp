@@ -197,6 +197,65 @@ TEST(SolverFarm, PreemptedCaSolveResumesBitIdentical) {
   }
 }
 
+TEST(SolverFarm, FusedJobsRunSoloAndStayBitIdentical) {
+  // Fused-wavefront jobs dispatch alone — the farm must never batch them
+  // into a shared graph, because rt::fuse_supersteps rewrites every fusable
+  // chain of the wave it runs. Mixed with batchable plain jobs, every
+  // result must still match serial bit for bit (24x20 over 12x10 tiles:
+  // min tile extent 10, so windows up to 10 are legal).
+  SolverFarm farm(small_farm_config());
+
+  std::vector<Grid2D> expected;
+  std::vector<std::future<SolveResponse>> futures;
+  for (int j = 0; j < 2; ++j) {
+    SolveRequest plain =
+        make_request("plain", 24, 20, /*iters=*/6, 12, 10, 1, 400 + j);
+    expected.push_back(stencil::solve_serial(plain.problem));
+    auto submission = farm.submit(plain);
+    ASSERT_TRUE(submission.accepted());
+    futures.push_back(std::move(submission.response));
+  }
+  for (int j = 0; j < 2; ++j) {
+    SolveRequest fused = make_request("fused", 24, 20, /*iters=*/6, 12, 10,
+                                      /*steps=*/j == 0 ? 1 : 2, 410 + j);
+    fused.fuse_depth = j == 0 ? 3 : 2;  // W = 3 (ragged) and W = 4
+    expected.push_back(stencil::solve_serial(fused.problem));
+    auto submission = farm.submit(fused);
+    ASSERT_TRUE(submission.accepted())
+        << reject_reason_name(submission.rejected);
+    futures.push_back(std::move(submission.response));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    SolveResponse response = futures[i].get();
+    ASSERT_EQ(response.status, JobStatus::Completed) << response.error;
+    EXPECT_EQ(Grid2D::max_abs_diff(response.grid, expected[i]), 0.0)
+        << "job " << i;
+  }
+}
+
+TEST(SolverFarm, WindowedFusedJobResumesAcrossCheckpoints) {
+  // A large fused job runs in checkpoint windows: each window's subgraph is
+  // rewritten (one fused wavefront per tile per window) while the
+  // checkpoint cadence stays at the ORIGINAL steps granularity, so the
+  // windowed composition is exactly resumable.
+  FarmConfig config = small_farm_config();
+  config.preempt_cost_threshold = 1000;  // 40*40*24 >> 1000: windowed
+  config.checkpoint_supersteps = 2;      // window = 4 iterations at s=2
+  SolverFarm farm(config);
+
+  SolveRequest request =
+      make_request("big", 40, 40, /*iters=*/24, 10, 10, /*steps=*/2, 7);
+  request.fuse_depth = 2;  // fused window W = 4 per dispatch window
+  const Grid2D expected = stencil::solve_serial(request.problem);
+  auto submission = farm.submit(request);
+  ASSERT_TRUE(submission.accepted());
+  SolveResponse response = submission.response.get();
+  ASSERT_EQ(response.status, JobStatus::Completed) << response.error;
+  EXPECT_GE(response.windows, 6);
+  EXPECT_EQ(response.iterations_done, 24);
+  EXPECT_EQ(Grid2D::max_abs_diff(response.grid, expected), 0.0);
+}
+
 TEST(SolverFarm, TenantLimitRejectsDeterministically) {
   FarmConfig config = small_farm_config();
   config.admission.max_tenants = 2;
@@ -216,6 +275,13 @@ TEST(SolverFarm, MalformedRequestsAreBadRequests) {
   // steps too deep for the tiles: radius * steps > min tile extent.
   auto deep = farm.submit(make_request("a", 16, 16, 4, 8, 8, /*steps=*/9, 1));
   EXPECT_EQ(deep.rejected, RejectReason::BadRequest);
+  // Fused window too deep: steps fits, steps * fuse_depth does not.
+  SolveRequest wide = make_request("a", 16, 16, 4, 8, 8, /*steps=*/4, 1);
+  wide.fuse_depth = 3;  // window 12 > min tile extent 8
+  EXPECT_EQ(farm.submit(wide).rejected, RejectReason::BadRequest);
+  SolveRequest zero = make_request("a", 16, 16, 4, 8, 8, 1, 1);
+  zero.fuse_depth = 0;
+  EXPECT_EQ(farm.submit(zero).rejected, RejectReason::BadRequest);
   // No iterations.
   auto empty = farm.submit(make_request("a", 16, 16, 0, 8, 8, 1, 1));
   EXPECT_EQ(empty.rejected, RejectReason::BadRequest);

@@ -104,6 +104,56 @@ TEST_P(SimVsReal, PersistentTrafficAgreesExactly) {
                    simulated.sim.message_bytes);
 }
 
+// Fused-wavefront cross-check: with DistConfig::fuse_depth the real stack
+// emits a fuse-ready graph and rewrites it through rt::fuse_supersteps; the
+// model unfolds the rewritten shape directly. Message counts and payload
+// bytes must agree exactly — one exchange per window, W-deep band and W^2
+// corner payloads — including the composition with persistent channels
+// (FRAG framing plus the one-time handshake).
+TEST_P(SimVsReal, FusedTrafficAgreesExactly) {
+  const XCase c = GetParam();
+  for (const int fuse : {2, 3}) {
+    if (c.steps * fuse > c.tile) continue;  // window must fit the tile
+    SCOPED_TRACE("fuse=" + std::to_string(fuse));
+
+    const stencil::Problem problem =
+        stencil::random_problem(c.n, c.n, c.iters);
+    stencil::DistConfig config;
+    config.decomp = {c.tile, c.tile, c.side, c.side};
+    config.steps = c.steps;
+    config.fuse_depth = fuse;
+    const stencil::DistResult real = run_distributed(problem, config);
+
+    sim::StencilSimParams params{sim::nacl(), c.n, c.tile, c.side, c.side,
+                                 c.iters, c.steps, 1.0};
+    params.fuse = fuse;
+    const sim::StencilSimOutput simulated = sim::simulate_stencil(params);
+
+    EXPECT_EQ(real.stats.messages, simulated.sim.messages);
+    const double real_payload =
+        static_cast<double>(real.stats.bytes) -
+        static_cast<double>(real.stats.messages) * 7 * sizeof(std::uint64_t);
+    const double sim_payload =
+        simulated.sim.message_bytes -
+        static_cast<double>(simulated.sim.messages) * 5 *
+            sizeof(std::uint64_t);
+    EXPECT_DOUBLE_EQ(real_payload, sim_payload);
+    // The fused redundant-compute accounting must agree too: every existing
+    // side (local neighbors included) recomputes its deep band.
+    EXPECT_DOUBLE_EQ(real.redundancy(), simulated.redundant_fraction);
+
+    stencil::DistConfig pconfig = config;
+    pconfig.persistent = true;
+    const stencil::DistResult preal = run_distributed(problem, pconfig);
+    sim::StencilSimParams pparams = params;
+    pparams.persistent = true;
+    const sim::StencilSimOutput psim = sim::simulate_stencil(pparams);
+    EXPECT_EQ(preal.stats.messages, psim.sim.messages);
+    EXPECT_DOUBLE_EQ(static_cast<double>(preal.stats.bytes),
+                     psim.sim.message_bytes);
+  }
+}
+
 // Spec-driven cross-check: the simulator's neighbor-set parameterization
 // (per-spec corner gating, stage-unit supersteps, field-plane payload
 // scaling) must reproduce the real driver's traffic exactly. box9 at

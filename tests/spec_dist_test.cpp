@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "equivalence_helpers.hpp"
 #include "spec/stencil_spec.hpp"
 #include "stencil/dist_stencil.hpp"
 #include "stencil/serial.hpp"
@@ -30,26 +31,18 @@ DistConfig small_config(int steps, rt::SchedPolicy sched,
   return config;
 }
 
+// Thin wrapper over the shared oracle helper: runs the distributed solve and
+// tags any mismatch with the spec literal plus the full configuration line.
 ::testing::AssertionResult planes_match(const Problem& problem,
                                         const DistConfig& config) {
   const DistResult d = run_distributed(problem, config);
-  const std::vector<Grid2D> expected = solve_serial_spec(problem);
-  if (d.planes.size() != expected.size()) {
+  const auto match = test_support::planes_match(solve_serial_spec(problem), d);
+  if (!match) {
     return ::testing::AssertionFailure()
-           << "plane count " << d.planes.size() << " != " << expected.size();
+           << match.message() << " spec " << problem.spec->to_literal() << " "
+           << test_support::describe(config);
   }
-  for (std::size_t z = 0; z < expected.size(); ++z) {
-    const double diff = Grid2D::max_abs_diff(expected[z], d.planes[z]);
-    if (diff != 0.0) {
-      return ::testing::AssertionFailure()
-             << "z=" << z << " maxdiff=" << diff << " spec "
-             << problem.spec->to_literal();
-    }
-  }
-  if (Grid2D::max_abs_diff(d.grid, expected[0]) != 0.0) {
-    return ::testing::AssertionFailure() << "grid != planes[0]";
-  }
-  return ::testing::AssertionSuccess();
+  return match;
 }
 
 TEST(SpecDist, NamedSpecsBitExactAllSchedulers) {
@@ -82,6 +75,36 @@ TEST(SpecDist, PersistentChannelBitExactForNamedSpecs) {
       config.persistent = true;
       EXPECT_TRUE(planes_match(problem, config))
           << name << " steps=" << steps << " persistent";
+    }
+  }
+}
+
+TEST(SpecDist, FusedWavefrontBitExactForNamedSpecs) {
+  // Fused wavefronts on the spec front end: every named spec whose window
+  // (stage_count * fuse) fits the smallest tile extent (8 here) runs through
+  // the fuse-ready builder + rt::fuse_supersteps and must stay bit-exact on
+  // every z plane — under both schedulers, and composed with the persistent
+  // wire (routes survive the rewrite because window-boundary publishes keep
+  // their slot identities).
+  for (const std::string& name : spec::spec_names()) {
+    const spec::StencilSpec sp = spec::spec_by_name(name);
+    const int nz = sp.rank == 3 ? 3 : 1;
+    const Problem problem = spec_problem(sp, 24, 22, 6, nz, 11);
+    const int stages = spec::stage_count(sp);
+    for (int fuse : {2, 3}) {
+      if (stages * fuse > 8) continue;
+      for (rt::SchedPolicy sched :
+           {rt::SchedPolicy::PriorityFifo, rt::SchedPolicy::WorkStealing}) {
+        DistConfig config = small_config(1, sched);
+        config.fuse_depth = fuse;
+        EXPECT_TRUE(planes_match(problem, config))
+            << name << " fuse=" << fuse;
+      }
+      DistConfig config = small_config(1, rt::SchedPolicy::WorkStealing);
+      config.fuse_depth = fuse;
+      config.persistent = true;
+      EXPECT_TRUE(planes_match(problem, config))
+          << name << " fuse=" << fuse << " persistent";
     }
   }
 }

@@ -156,6 +156,45 @@ TEST(TraceAnalysisDag, IdleTaxonomyAggregatesPerRank) {
   EXPECT_EQ(a.idle_by_rank.at(0).count("noready"), 0u);
 }
 
+TEST(TraceAnalysisDag, FusedKlassAttributionParsesMemberCounts) {
+  // rt::fuse_supersteps stamps rewritten tasks as "fused<members>|<klass>";
+  // the analysis counts them and reports the deepest window. Ragged final
+  // windows (here 2 members) must not mask the configured depth (3).
+  std::vector<rt::TraceEvent> events;
+  events.push_back(task(rt::TaskKey{1, 0, 0, 0}, "fused3|step", 0, 0, 0.0, 1.0));
+  events.push_back(task(rt::TaskKey{1, 1, 0, 0}, "fused3|step", 0, 1, 0.0, 1.1));
+  events.push_back(
+      task(rt::TaskKey{1, 0, 1, 0}, "fused2|step", 0, 0, 1.2, 1.9));
+  events.push_back(task(rt::TaskKey{1, 2, 0, 0}, "step", 0, 1, 1.2, 1.4));
+  // Adversarial klasses that merely look fused must not be attributed.
+  events.push_back(task(rt::TaskKey{1, 3, 0, 0}, "fused|step", 0, 0, 2.0, 2.1));
+  events.push_back(
+      task(rt::TaskKey{1, 4, 0, 0}, "fusedXY|step", 0, 0, 2.1, 2.2));
+  events.push_back(task(rt::TaskKey{1, 5, 0, 0}, "fused9", 0, 0, 2.2, 2.3));
+
+  const obs::TraceAnalysis a = obs::analyze_dataflow(events);
+  EXPECT_EQ(a.tasks, 7u);
+  EXPECT_EQ(a.fused_tasks, 3u);
+  EXPECT_EQ(a.fused_depth, 3);
+
+  // The totals flow into the report document and its validator contract.
+  const obs::Json doc = obs::make_trace_analysis_report("fused", a);
+  const obs::Json* totals = doc.find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_EQ(totals->find("fused_tasks")->as_int(), 3);
+  EXPECT_EQ(totals->find("fused_depth")->as_int(), 3);
+  std::string error;
+  EXPECT_TRUE(obs::validate_trace_analysis(doc.dump(), &error)) << error;
+}
+
+TEST(TraceAnalysisDag, UnfusedTraceReportsDepthOne) {
+  std::vector<rt::TraceEvent> events;
+  events.push_back(task(rt::TaskKey{1, 0, 0, 0}, "step", 0, 0, 0.0, 1.0));
+  const obs::TraceAnalysis a = obs::analyze_dataflow(events);
+  EXPECT_EQ(a.fused_tasks, 0u);
+  EXPECT_EQ(a.fused_depth, 1);
+}
+
 TEST(TraceAnalysisReport, BuildsAndValidates) {
   const rt::TaskKey ka{1, 0, 0, 0}, kb{1, 1, 0, 0};
   std::vector<rt::TraceEvent> events;

@@ -69,6 +69,10 @@ void print_analysis(const std::string& label,
   std::cout << "  per-message        mean enqueue->deliver "
             << a.mean_flow_latency_s() << " s (" << a.flows_delivered
             << " flows), mean wire " << a.mean_wire_s() << " s\n";
+  if (a.fused_tasks > 0) {
+    std::cout << "  fused wavefront    " << a.fused_tasks
+              << " fused tasks, depth " << a.fused_depth << "\n";
+  }
   for (const auto& [rank, kinds] : a.idle_by_rank) {
     std::cout << "  idle rank " << rank << "      ";
     bool first = true;
@@ -187,6 +191,9 @@ int main(int argc, char** argv) {
               << ca.mean_wire_s() << " s\n";
     std::cout << "  mean latency       " << base.mean_flow_latency_s()
               << " -> " << ca.mean_flow_latency_s() << " s\n";
+    std::cout << "  fused depth        " << base.fused_depth << " -> "
+              << ca.fused_depth << "  (" << base.fused_tasks << " -> "
+              << ca.fused_tasks << " fused tasks)\n";
 
     // Regression gates: fail when the candidate (second) trace's per-message
     // costs regress past the allowed ratio over the baseline (first) trace.
