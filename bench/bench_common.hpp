@@ -2,9 +2,13 @@
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "obs/bench_result.hpp"
 #include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
+#include "stencil/dist_stencil.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -39,6 +43,52 @@ inline void maybe_report(const obs::RunReport& report, const Options& options,
     throw std::runtime_error("run report failed validation: " + error);
   }
   report.write(path);
+  std::cout << "\n(wrote " << path << ")\n";
+}
+
+/// Wire the shared --telemetry / --telemetry-dump flags into a real-mode run
+/// config. --telemetry turns on the live cross-rank stream (detector events
+/// land in the run's collector); --telemetry-dump=<path> implies it and
+/// keeps a repro.telemetry/v1 file fresh for `tools/repro_top --file=<path>`.
+inline void apply_telemetry_flags(stencil::DistConfig& config,
+                                  const Options& options) {
+  config.telemetry_dump = options.get_string("telemetry-dump", "");
+  config.telemetry =
+      options.get_bool("telemetry", false) || !config.telemetry_dump.empty();
+}
+
+/// Fold a run's telemetry into the report surface: detector events to
+/// stdout, the full repro.telemetry/v1 stream into the RunReport's optional
+/// "telemetry" block.
+inline void note_telemetry(
+    obs::RunReport& report,
+    const std::shared_ptr<obs::TelemetryCollector>& telemetry) {
+  if (!telemetry) return;
+  report.set_telemetry(telemetry->to_json());
+  for (const obs::TelemetryEvent& event : telemetry->events()) {
+    std::cout << "telemetry: [" << event.detector << "] rank " << event.rank
+              << " @ superstep " << event.superstep
+              << " value=" << event.value
+              << " threshold=" << event.threshold << "\n";
+  }
+}
+
+/// Write the normalized gate document to --bench-json=<path> when requested
+/// (validated first, like maybe_report). Committed baselines under
+/// bench/baselines/ are diffed against these by
+/// tools/check_bench_regression.py.
+inline void maybe_bench_json(const obs::BenchResult& bench,
+                             const Options& options,
+                             const std::string& default_name) {
+  if (!options.has("bench-json")) return;
+  const std::string path = options.get_string("bench-json", default_name);
+  std::string error;
+  if (!obs::validate_bench_result(bench.to_json(), &error)) {
+    throw std::runtime_error("bench result failed validation: " + error);
+  }
+  if (!bench.write(path)) {
+    throw std::runtime_error("bench result write failed: " + path);
+  }
   std::cout << "\n(wrote " << path << ")\n";
 }
 

@@ -99,6 +99,12 @@ int real_part(const Options& options) {
   if (fuse > 1) {
     legs.push_back({"CA s=4 fused", 4, fuse});
   }
+  obs::BenchResult bench_doc("bench_fig10_trace");
+  bench_doc.set_context("n", obs::Json(n));
+  bench_doc.set_context("iters", obs::Json(iters));
+  bench_doc.set_context("channel",
+                        obs::Json(persistent ? "persistent" : "default"));
+  bench_doc.set_context("fuse", obs::Json(fuse));
   for (const Leg& leg : legs) {
     const int steps = leg.steps;
     stencil::DistConfig config;
@@ -111,8 +117,19 @@ int real_part(const Options& options) {
     config.workers_per_rank = 2;
     config.trace = true;
     config.persistent = persistent;
+    // Live telemetry (--telemetry / --telemetry-dump=<path>): the fig-10
+    // run is the canonical repro_top demo — attach `repro_top
+    // --file=<path>` in another terminal while this leg executes.
+    bench::apply_telemetry_flags(config, options);
     const stencil::Problem problem = stencil::laplace_problem(n, iters);
     const stencil::DistResult result = run_distributed(problem, config);
+    if (result.telemetry) {
+      for (const obs::TelemetryEvent& event : result.telemetry->events()) {
+        std::cout << "telemetry: [" << event.detector << "] rank "
+                  << event.rank << " @ superstep " << event.superstep
+                  << " value=" << event.value << "\n";
+      }
+    }
 
     if (persistent && obs::kEnabled) {
       // The zero-allocation steady-state contract, enforced as an exit code
@@ -161,6 +178,15 @@ int real_part(const Options& options) {
     // Causal analysis of the same stream: the headline numbers Fig. 10's
     // occupancy strips only hint at.
     const obs::TraceAnalysis a = obs::analyze_dataflow(result.trace_events);
+    // Gate metrics: wire traffic is graph-determined (hard-fails the perf
+    // gate on any drift), the critical path is wall-clock (warn-only band).
+    const std::string leg_key =
+        leg.fuse > 1 ? "fused" : (steps == 1 ? "base" : "ca");
+    bench_doc.add_exact(leg_key + "_messages", result.stats.messages,
+                        "messages");
+    bench_doc.add_exact(leg_key + "_bytes", result.stats.bytes, "bytes");
+    bench_doc.add_time(leg_key + "_critical_path_s", a.critical_path_s,
+                       50.0);
     const double cp = a.critical_path_s > 0.0 ? a.critical_path_s : 1.0;
     causal.add_row({leg.label, Table::cell(a.critical_path_s * 1e3, 3),
                     Table::cell(100.0 * a.cp_compute_s / cp, 1),
@@ -187,6 +213,8 @@ int real_part(const Options& options) {
       std::cout << "(wrote " << path << ")\n";
     }
   }
+
+  bench::maybe_bench_json(bench_doc, options, "BENCH_bench_fig10_trace.json");
 
   std::cout << "\nCausal analysis (critical path through the executed "
                "DAG):\n";

@@ -192,6 +192,7 @@ int main(int argc, char** argv) {
     host_cases.push_back(
         {"CA+fused taskrt", "ca_fused_taskrt", "ca_fused", 4, fuse});
   }
+  std::shared_ptr<obs::TelemetryCollector> last_telemetry;
   for (const HostCase& hc : host_cases) {
     stencil::DistConfig config;
     config.decomp = {n / 8, n / 8, 2, 2};
@@ -202,7 +203,9 @@ int main(int argc, char** argv) {
     config.scheduler = host_sched;
     config.metrics = metrics;
     config.trace = trace_analyze;
+    bench::apply_telemetry_flags(config, options);
     const auto r = run_distributed(problem, config);
+    if (r.telemetry) last_telemetry = r.telemetry;
     real.add_row({hc.label, Table::cell(r.stats.wall_time_s * 1e3, 1),
                   Table::cell(static_cast<long long>(r.stats.messages)),
                   Table::cell(static_cast<double>(r.stats.bytes) / 1e6, 2)});
@@ -245,6 +248,7 @@ int main(int argc, char** argv) {
     report.set_derived("host_tasks_executed_total",
                        obs::Json(snap.counter_total("rt_tasks_executed_total")));
   }
+  bench::note_telemetry(report, last_telemetry);
   bench::maybe_report(report, options, "fig7_report.json");
   return 0;
 }

@@ -161,6 +161,7 @@ int run_measured(const Options& options) {
   // --trace-analyze traces the first repetition of each configuration and
   // prints the causal summary (critical path, network share, overlap).
   const bool trace_analyze = options.get_bool("trace-analyze", false);
+  std::shared_ptr<obs::TelemetryCollector> last_telemetry;
   for (std::size_t ci = 0; ci < cases.size(); ++ci) {
     const RunCase& rc = cases[ci];
     stencil::DistConfig config;
@@ -169,6 +170,7 @@ int run_measured(const Options& options) {
     config.kernel = rc.kernel;
     config.fuse_depth = rc.fuse;
     config.scheduler = sched;
+    bench::apply_telemetry_flags(config, options);
     double best_wall = 1e300;
     double flops = 0.0;
     bool exact = true;
@@ -177,6 +179,7 @@ int run_measured(const Options& options) {
       const stencil::DistResult r = stencil::run_distributed(problem, config);
       best_wall = std::min(best_wall, r.stats.wall_time_s);
       flops = r.flops();
+      if (r.telemetry) last_telemetry = r.telemetry;
       if (rep == 0) {
         exact = stencil::Grid2D::max_abs_diff(expected, r.grid) == 0.0;
         if (trace_analyze) {
@@ -238,6 +241,7 @@ int run_measured(const Options& options) {
   std::cout << "all runs bit-identical to serial: "
             << (all_exact ? "yes" : "NO") << "\n";
   report.set_derived("all_exact", obs::Json(all_exact));
+  bench::note_telemetry(report, last_telemetry);
   bench::maybe_report(report, options, "fig8_measured_report.json");
 
   // CI regression gate (same exit-1 idiom as trace_analyze --gate-wire):
@@ -350,5 +354,36 @@ int main(int argc, char** argv) {
             << "best CA+fused gain:  " << best_fused_gain_pct << "% (fuse "
             << fuse << ")\n";
   bench::maybe_report(report, options, "fig8_report.json");
+
+  // Normalized gate document: the analytic model is machine-independent, so
+  // the gain ratios are tight bands and the modeled wire traffic of the
+  // canonical NaCL 16-node CA point is bit-exact.
+  obs::BenchResult bench_doc("bench_fig8_kernel_ratio");
+  bench_doc.set_context("iters", obs::Json(iters));
+  bench_doc.set_context("steps", obs::Json(steps));
+  bench_doc.set_context("fuse", obs::Json(fuse));
+  bench_doc.set_context("stencil", obs::Json(sim_spec.name));
+  bench_doc.add_ratio("best_ca_gain_pct", best_gain_pct, "higher", 5.0);
+  bench_doc.add_ratio("best_ca_fused_gain_pct", best_fused_gain_pct,
+                      "higher", 5.0);
+  {
+    sim::StencilSimParams gate{sim::nacl(), 23040, 288, 4, 4,
+                               iters,       steps, 0.4};
+    gate.stencil = sim_spec;
+    const auto rc = sim::simulate_stencil(gate);
+    gate.fuse = fuse;
+    const auto rf = sim::simulate_stencil(gate);
+    bench_doc.add_exact("ca_messages_nacl16", rc.sim.messages, "messages");
+    bench_doc.add_exact("ca_bytes_nacl16",
+                        static_cast<std::uint64_t>(rc.sim.message_bytes),
+                        "bytes");
+    bench_doc.add_exact("ca_fused_messages_nacl16", rf.sim.messages,
+                        "messages");
+    bench_doc.add_exact("ca_fused_bytes_nacl16",
+                        static_cast<std::uint64_t>(rf.sim.message_bytes),
+                        "bytes");
+  }
+  bench::maybe_bench_json(bench_doc, options,
+                          "BENCH_bench_fig8_kernel_ratio.json");
   return 0;
 }

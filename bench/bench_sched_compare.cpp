@@ -45,6 +45,11 @@ int main(int argc, char** argv) {
   report.set_param("n", obs::Json(n));
   report.set_param("iters", obs::Json(iters));
 
+  obs::BenchResult bench_doc("bench_sched_compare");
+  bench_doc.set_context("tasks", obs::Json(tasks));
+  bench_doc.set_context("n", obs::Json(n));
+  bench_doc.set_context("iters", obs::Json(iters));
+
   const rt::SchedPolicy policies[] = {rt::SchedPolicy::PriorityFifo,
                                       rt::SchedPolicy::WorkStealing};
 
@@ -97,6 +102,11 @@ int main(int argc, char** argv) {
       row["tasks_per_s"] = obs::Json(per_s);
       row["steals"] = obs::Json(steals);
       report.add_result(std::move(row));
+      // Wall-clock gate metric: noisy on shared hosts, so the band is wide
+      // and the regression gate treats "time" as warn-only by default.
+      bench_doc.add_time("soup_" + std::string(rt::sched_policy_name(policy)) +
+                             "_w" + std::to_string(workers) + "_s",
+                         best_wall, 75.0);
     }
   }
   soup.print(std::cout);
@@ -109,6 +119,10 @@ int main(int argc, char** argv) {
   const stencil::Problem problem = stencil::random_problem(n, n, iters);
   const stencil::Grid2D expected = solve_serial(problem);
   Table st({"scheduler", "workers", "time ms", "tasks/s", "steals", "exact"});
+  std::shared_ptr<obs::TelemetryCollector> last_telemetry;
+  std::uint64_t stencil_tasks = 0;
+  std::uint64_t stencil_messages = 0;
+  std::uint64_t stencil_bytes = 0;
   for (const int workers : {2, 4}) {
     for (const auto policy : policies) {
       double best_wall = 1e300;
@@ -121,6 +135,7 @@ int main(int argc, char** argv) {
         config.steps = 4;
         config.workers_per_rank = workers;
         config.scheduler = policy;
+        bench::apply_telemetry_flags(config, options);
         const stencil::DistResult r = run_distributed(problem, config);
         best_wall = std::min(best_wall, r.stats.wall_time_s);
         ntasks = r.stats.tasks_executed;
@@ -128,6 +143,15 @@ int main(int argc, char** argv) {
                 stencil::Grid2D::max_abs_diff(expected, r.grid) == 0.0;
         steals = static_cast<std::uint64_t>(
             r.metrics->snapshot().counter_total("rt_steals_total"));
+        if (r.telemetry) last_telemetry = r.telemetry;
+        // Graph-determined exactness anchors for the regression gate: every
+        // (scheduler, workers) combination must execute the same DAG, so
+        // these counters are identical across the whole sweep. They do grow
+        // by the (deterministic) telemetry wire traffic under --telemetry,
+        // so gate runs and baselines both leave it off.
+        stencil_tasks = r.stats.tasks_executed;
+        stencil_messages = r.stats.messages;
+        stencil_bytes = r.stats.bytes;
       }
       const double per_s = static_cast<double>(ntasks) / best_wall;
       st.add_row({rt::sched_policy_name(policy),
@@ -144,6 +168,10 @@ int main(int argc, char** argv) {
       row["steals"] = obs::Json(steals);
       row["exact"] = obs::Json(exact);
       report.add_result(std::move(row));
+      bench_doc.add_time("stencil_" +
+                             std::string(rt::sched_policy_name(policy)) +
+                             "_w" + std::to_string(workers) + "_s",
+                         best_wall, 75.0);
       if (!exact) {
         std::cerr << "ERROR: scheduler " << rt::sched_policy_name(policy)
                   << " produced a non-exact grid\n";
@@ -152,6 +180,12 @@ int main(int argc, char** argv) {
     }
   }
   st.print(std::cout);
+  bench_doc.add_exact("stencil_tasks", stencil_tasks, "tasks");
+  bench_doc.add_exact("stencil_messages", stencil_messages, "messages");
+  bench_doc.add_exact("stencil_bytes", stencil_bytes, "bytes");
+  bench::maybe_bench_json(bench_doc, options,
+                          "BENCH_bench_sched_compare.json");
+  bench::note_telemetry(report, last_telemetry);
   bench::maybe_report(report, options, "sched_compare_report.json");
   return 0;
 }

@@ -107,9 +107,13 @@ int main(int argc, char** argv) {
   report.set_param("channel", persistent ? "persistent" : "default");
 
   auto registry = std::make_shared<obs::MetricsRegistry>();
+  std::shared_ptr<obs::TelemetryCollector> shared_telemetry;
   std::vector<serve::TenantStats> last_stats;
   double last_fairness = 0.0;
   std::uint64_t total_preemptions = 0;
+  std::uint64_t total_submitted = 0;
+  std::uint64_t total_completed = 0;
+  double last_p99_ms = 0.0;
 
   for (const double rate : rates) {
     if (g_stop) break;
@@ -120,6 +124,21 @@ int main(int argc, char** argv) {
     config.workers_per_rank = workers;
     config.metrics = registry;
     config.persistent = persistent;
+    // --telemetry / --telemetry-dump=<path>: the farm scrapes its resident
+    // runtime after every dispatched wave (source="serve"); attach
+    // `repro_top --file=<path>` to watch the sweep point live. The collector
+    // is shared across sweep points so the dump covers the whole run.
+    config.telemetry_dump = options.get_string("telemetry-dump", "");
+    config.telemetry = options.get_bool("telemetry", false) ||
+                       !config.telemetry_dump.empty();
+    if (config.telemetry) {
+      if (!shared_telemetry) {
+        shared_telemetry = std::make_shared<obs::TelemetryCollector>(
+            config.node_rows * config.node_cols, config.telemetry_detectors,
+            registry, "serve");
+      }
+      config.telemetry_collector = shared_telemetry;
+    }
     // Paced tenants stay batched; only the whale crosses into windowed mode.
     config.preempt_cost_threshold =
         static_cast<long long>(n) * n * iters + 1;
@@ -194,6 +213,7 @@ int main(int argc, char** argv) {
       }
       latencies.insert(latencies.end(), s.latency_s.begin(),
                        s.latency_s.end());
+      total_completed += s.completed;
       goodput += s.goodput_points;
       goodput_max = std::max(goodput_max, s.goodput_points);
       goodput_min = goodput_min < 0
@@ -215,6 +235,8 @@ int main(int argc, char** argv) {
         latencies.empty() ? 0.0 : percentile(latencies, 50.0) * 1e3;
     const double p99 =
         latencies.empty() ? 0.0 : percentile(latencies, 99.0) * 1e3;
+    total_submitted += submitted.load();
+    last_p99_ms = p99;
 
     table.add_row({fmt(rate), fmt(req_s), fmt(accept_pct),
                    fmt(p50, 3), fmt(p99, 3),
@@ -269,6 +291,39 @@ int main(int argc, char** argv) {
               << (last_fairness <= 1.5 ? "  [OK <= 1.5]" : "  [UNFAIR]")
               << "\n";
   }
+
+  if (shared_telemetry) {
+    for (const obs::TelemetryEvent& event : shared_telemetry->events()) {
+      std::cout << "telemetry: [" << event.detector << "] rank " << event.rank
+                << " @ wave " << event.superstep << " value=" << event.value
+                << "\n";
+    }
+  }
+
+  // Normalized gate document. The client loops drive a fixed submit count,
+  // so jobs_submitted is exact when the run was not interrupted; everything
+  // load-dependent (completion rate, fairness, tail latency) gates as a
+  // warn-only band — the curve shape is the signal, not the exact numbers.
+  obs::BenchResult bench_doc("bench_serve_saturation");
+  bench_doc.set_context("tenants", obs::Json(tenants));
+  bench_doc.set_context("jobs_per_client", obs::Json(jobs));
+  bench_doc.set_context("n", obs::Json(n));
+  bench_doc.set_context("iters", obs::Json(iters));
+  bench_doc.set_context("rates", obs::Json(options.get_string(
+                                     "rates", "2,8,32,128")));
+  if (!g_stop) {
+    bench_doc.add_exact("jobs_submitted", total_submitted, "jobs");
+  }
+  bench_doc.add_ratio("completion_rate",
+                      total_submitted > 0
+                          ? static_cast<double>(total_completed) /
+                                static_cast<double>(total_submitted)
+                          : 0.0,
+                      "higher", 5.0);
+  bench_doc.add_ratio("fairness_last_point", last_fairness, "lower", 50.0);
+  bench_doc.add_time("p99_last_point_s", last_p99_ms / 1e3, 75.0);
+  bench::maybe_bench_json(bench_doc, options,
+                          "BENCH_bench_serve_saturation.json");
 
   if (options.has("report")) {
     const std::string path =

@@ -1,0 +1,155 @@
+#include "obs/bench_result.hpp"
+
+#include <fstream>
+
+namespace repro::obs {
+
+void BenchResult::set_context(const std::string& key, Json value) {
+  context_[key] = std::move(value);
+}
+
+void BenchResult::add_metric(BenchMetric metric) {
+  metrics_.push_back(std::move(metric));
+}
+
+void BenchResult::add_exact(const std::string& name, std::uint64_t value,
+                            const std::string& unit) {
+  BenchMetric m;
+  m.name = name;
+  m.value = static_cast<double>(value);
+  m.unit = unit;
+  m.kind = "exact";
+  m.direction = "exact";
+  m.tolerance_pct = 0.0;
+  metrics_.push_back(std::move(m));
+}
+
+void BenchResult::add_time(const std::string& name, double seconds,
+                           double tolerance_pct) {
+  BenchMetric m;
+  m.name = name;
+  m.value = seconds;
+  m.unit = "seconds";
+  m.kind = "time";
+  m.direction = "lower";
+  m.tolerance_pct = tolerance_pct;
+  metrics_.push_back(std::move(m));
+}
+
+void BenchResult::add_ratio(const std::string& name, double value,
+                            const std::string& direction,
+                            double tolerance_pct) {
+  BenchMetric m;
+  m.name = name;
+  m.value = value;
+  m.unit = "ratio";
+  m.kind = "ratio";
+  m.direction = direction;
+  m.tolerance_pct = tolerance_pct;
+  metrics_.push_back(std::move(m));
+}
+
+Json BenchResult::to_json() const {
+  Json doc = Json::object();
+  doc["schema"] = "repro.bench_result/v1";
+  doc["name"] = name_;
+  doc["context"] = context_;
+  Json metrics = Json::array();
+  for (const BenchMetric& m : metrics_) {
+    Json entry = Json::object();
+    entry["name"] = m.name;
+    entry["value"] = m.value;
+    entry["unit"] = m.unit;
+    entry["kind"] = m.kind;
+    entry["direction"] = m.direction;
+    entry["tolerance_pct"] = m.tolerance_pct;
+    metrics.push_back(std::move(entry));
+  }
+  doc["metrics"] = std::move(metrics);
+  return doc;
+}
+
+bool BenchResult::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json().dump(2) << "\n";
+  return static_cast<bool>(out.flush());
+}
+
+namespace {
+
+bool bench_fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+bool is_one_of(const std::string& v, std::initializer_list<const char*> set) {
+  for (const char* s : set) {
+    if (v == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool validate_bench_result(const Json& doc, std::string* error) {
+  if (!doc.is_object()) return bench_fail(error, "document not an object");
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "repro.bench_result/v1") {
+    return bench_fail(error, "schema is not repro.bench_result/v1");
+  }
+  const Json* name = doc.find("name");
+  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+    return bench_fail(error, "missing non-empty string field 'name'");
+  }
+  const Json* context = doc.find("context");
+  if (context == nullptr || !context->is_object()) {
+    return bench_fail(error, "missing object field 'context'");
+  }
+  const Json* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_array() || metrics->size() == 0) {
+    return bench_fail(error, "missing non-empty array field 'metrics'");
+  }
+  for (const Json& entry : metrics->as_array()) {
+    if (!entry.is_object()) return bench_fail(error, "metric not an object");
+    const Json* mname = entry.find("name");
+    if (mname == nullptr || !mname->is_string() || mname->as_string().empty()) {
+      return bench_fail(error, "metric missing non-empty 'name'");
+    }
+    const Json* value = entry.find("value");
+    if (value == nullptr || !value->is_number()) {
+      return bench_fail(error, "metric '" + mname->as_string() +
+                                   "' missing numeric 'value'");
+    }
+    const Json* unit = entry.find("unit");
+    if (unit == nullptr || !unit->is_string()) {
+      return bench_fail(error, "metric '" + mname->as_string() +
+                                   "' missing string 'unit'");
+    }
+    const Json* kind = entry.find("kind");
+    if (kind == nullptr || !kind->is_string() ||
+        !is_one_of(kind->as_string(), {"time", "ratio", "count", "exact"})) {
+      return bench_fail(error, "metric '" + mname->as_string() +
+                                   "' has bad 'kind'");
+    }
+    const Json* direction = entry.find("direction");
+    if (direction == nullptr || !direction->is_string() ||
+        !is_one_of(direction->as_string(), {"lower", "higher", "exact"})) {
+      return bench_fail(error, "metric '" + mname->as_string() +
+                                   "' has bad 'direction'");
+    }
+    const Json* tol = entry.find("tolerance_pct");
+    if (tol == nullptr || !tol->is_number() || tol->as_number() < 0.0) {
+      return bench_fail(error, "metric '" + mname->as_string() +
+                                   "' has bad 'tolerance_pct'");
+    }
+    if (kind->as_string() == "exact" && tol->as_number() != 0.0) {
+      return bench_fail(error, "metric '" + mname->as_string() +
+                                   "' is exact but has nonzero tolerance");
+    }
+  }
+  return true;
+}
+
+}  // namespace repro::obs

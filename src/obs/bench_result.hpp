@@ -1,0 +1,69 @@
+// Normalized benchmark results: the repro.bench_result/v1 schema.
+//
+// Every gate-worthy bench (fig 8/10, scheduler compare, serve saturation)
+// emits one of these documents via --bench-json=<path>. The committed
+// baselines under bench/baselines/ are the same schema, so the CI
+// perf-regression gate (tools/check_bench_regression.py) is a pure
+// document-vs-document diff: per-metric tolerance bands, hard-fail on
+// exactness counters (kind "exact" — message/byte/allocation counts that a
+// correct change must reproduce bit for bit), warn-only on timing metrics
+// whose noise band the baseline records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace repro::obs {
+
+/// One gated metric. `kind` drives the regression policy:
+///   "exact"  — deterministic counter, any difference fails the gate;
+///   "time"   — seconds, noisy, gated by tolerance_pct (warn past it);
+///   "ratio"  — derived speedup/share, gated by tolerance_pct;
+///   "count"  — deterministic but scale-dependent count, gated tight.
+/// `direction` says which way regressions point: "lower" = smaller is
+/// better (times), "higher" = bigger is better (GFLOP/s, speedups),
+/// "exact" = equality is the only pass.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  std::string kind = "time";
+  std::string direction = "lower";
+  double tolerance_pct = 10.0;
+};
+
+/// Builder for a repro.bench_result/v1 document.
+class BenchResult {
+ public:
+  explicit BenchResult(std::string name) : name_(std::move(name)) {}
+
+  /// Free-form run parameters (problem size, tile, steps, ...) recorded so a
+  /// baseline mismatch on configuration is visible in the diff.
+  void set_context(const std::string& key, Json value);
+
+  void add_metric(BenchMetric metric);
+  void add_exact(const std::string& name, std::uint64_t value,
+                 const std::string& unit);
+  void add_time(const std::string& name, double seconds,
+                double tolerance_pct = 15.0);
+  void add_ratio(const std::string& name, double value,
+                 const std::string& direction = "higher",
+                 double tolerance_pct = 10.0);
+
+  Json to_json() const;
+  /// Write to_json() to `path` (returns false on I/O failure).
+  bool write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  Json context_ = Json::object();
+  std::vector<BenchMetric> metrics_;
+};
+
+/// Schema check for repro.bench_result/v1 (tools/validate_report hook).
+bool validate_bench_result(const Json& doc, std::string* error);
+
+}  // namespace repro::obs

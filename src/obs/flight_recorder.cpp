@@ -1,0 +1,78 @@
+#include "obs/flight_recorder.hpp"
+
+#ifndef REPRO_OBS_DISABLE
+
+namespace repro::obs {
+
+FlightRecorder::FlightRecorder(std::size_t lanes, std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      lanes_(lanes == 0 ? 1 : lanes) {
+  for (Lane& lane : lanes_) {
+    lane.slots = std::vector<Slot>(capacity_);
+  }
+}
+
+void FlightRecorder::record(std::size_t lane_idx, const FlightSample& sample) {
+  if (lane_idx >= lanes_.size()) return;
+  Lane& lane = lanes_[lane_idx];
+  const std::uint64_t n = lane.count.load(std::memory_order_relaxed);
+  Slot& slot = lane.slots[n % capacity_];
+
+  // Odd sequence = write in progress. release on the odd store orders it
+  // before the field stores for acquire readers; the closing even store
+  // releases the fields themselves.
+  const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.t_s.store(sample.t_s, std::memory_order_relaxed);
+  slot.superstep.store(sample.superstep, std::memory_order_relaxed);
+  slot.tasks_executed.store(sample.tasks_executed, std::memory_order_relaxed);
+  slot.steals.store(sample.steals, std::memory_order_relaxed);
+  slot.wire_bytes.store(sample.wire_bytes, std::memory_order_relaxed);
+  slot.queue_depth.store(sample.queue_depth, std::memory_order_relaxed);
+  slot.idle_halo_s.store(sample.idle_halo_s, std::memory_order_relaxed);
+  slot.idle_noready_s.store(sample.idle_noready_s, std::memory_order_relaxed);
+  slot.idle_steal_s.store(sample.idle_steal_s, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.seq.store(seq + 2, std::memory_order_release);
+  lane.count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<FlightSample> FlightRecorder::snapshot(std::size_t lane_idx) const {
+  std::vector<FlightSample> out;
+  if (lane_idx >= lanes_.size()) return out;
+  const Lane& lane = lanes_[lane_idx];
+  const std::uint64_t n = lane.count.load(std::memory_order_acquire);
+  const std::uint64_t retained = n < capacity_ ? n : capacity_;
+  out.reserve(retained);
+  for (std::uint64_t k = 0; k < retained; ++k) {
+    const std::uint64_t idx = (n - retained + k) % capacity_;
+    const Slot& slot = lane.slots[idx];
+    const std::uint64_t s0 = slot.seq.load(std::memory_order_acquire);
+    if (s0 & 1) continue;  // writer mid-flight, drop this slot
+    std::atomic_thread_fence(std::memory_order_acquire);
+    FlightSample sample;
+    sample.t_s = slot.t_s.load(std::memory_order_relaxed);
+    sample.superstep = slot.superstep.load(std::memory_order_relaxed);
+    sample.tasks_executed = slot.tasks_executed.load(std::memory_order_relaxed);
+    sample.steals = slot.steals.load(std::memory_order_relaxed);
+    sample.wire_bytes = slot.wire_bytes.load(std::memory_order_relaxed);
+    sample.queue_depth = slot.queue_depth.load(std::memory_order_relaxed);
+    sample.idle_halo_s = slot.idle_halo_s.load(std::memory_order_relaxed);
+    sample.idle_noready_s = slot.idle_noready_s.load(std::memory_order_relaxed);
+    sample.idle_steal_s = slot.idle_steal_s.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_acquire) != s0) continue;  // torn
+    out.push_back(sample);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded(std::size_t lane_idx) const {
+  if (lane_idx >= lanes_.size()) return 0;
+  return lanes_[lane_idx].count.load(std::memory_order_acquire);
+}
+
+}  // namespace repro::obs
+
+#endif  // REPRO_OBS_DISABLE

@@ -197,8 +197,20 @@ struct Parser {
         *out = Json(std::stod(text));
       }
     } catch (const std::out_of_range&) {
+      // Integral overflow past int64: a non-negative literal may still fit
+      // uint64 (64-bit counters near UINT64_MAX). Anything larger is rejected
+      // outright — rounding it through a double would not round-trip.
+      if (integral && text[0] != '-') {
+        try {
+          *out = Json(static_cast<unsigned long long>(std::stoull(text)));
+          return true;
+        } catch (...) {
+          return fail("integer out of range");
+        }
+      }
+      if (integral) return fail("integer out of range");
       try {
-        *out = Json(std::stod(text));  // huge integer literal -> double
+        *out = Json(std::stod(text));  // huge real literal -> double
       } catch (...) {
         return fail("number out of range");
       }
@@ -287,6 +299,7 @@ void dump_impl(const Json& v, std::string& out, int indent, int level) {
     case Json::Type::Null: out += "null"; break;
     case Json::Type::Bool: out += v.as_bool() ? "true" : "false"; break;
     case Json::Type::Int: out += std::to_string(v.as_int()); break;
+    case Json::Type::Uint: out += std::to_string(v.as_uint()); break;
     case Json::Type::Double: append_double(out, v.as_number()); break;
     case Json::Type::String: append_escaped(out, v.as_string()); break;
     case Json::Type::Array: {
@@ -336,17 +349,29 @@ Json::Json(unsigned long long v) {
   if (v <= static_cast<unsigned long long>(INT64_MAX)) {
     value_ = static_cast<std::int64_t>(v);
   } else {
-    value_ = static_cast<double>(v);
+    value_ = static_cast<std::uint64_t>(v);
   }
 }
 
 std::int64_t Json::as_int() const {
   if (is_double()) return static_cast<std::int64_t>(std::get<double>(value_));
+  if (is_uint()) {
+    return static_cast<std::int64_t>(std::get<std::uint64_t>(value_));
+  }
   return std::get<std::int64_t>(value_);
+}
+
+std::uint64_t Json::as_uint() const {
+  if (is_double()) return static_cast<std::uint64_t>(std::get<double>(value_));
+  if (is_int()) {
+    return static_cast<std::uint64_t>(std::get<std::int64_t>(value_));
+  }
+  return std::get<std::uint64_t>(value_);
 }
 
 double Json::as_number() const {
   if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+  if (is_uint()) return static_cast<double>(std::get<std::uint64_t>(value_));
   return std::get<double>(value_);
 }
 

@@ -2,9 +2,13 @@
 //
 // Exists so run reports and metric exports are real JSON without an external
 // dependency. Objects preserve insertion order (stable, diffable reports);
-// integers and doubles are distinct so 64-bit counters round-trip exactly;
-// the parser is a strict recursive-descent one (UTF-8 pass-through, \uXXXX
-// escapes decoded, depth-limited) used by the report validator and tests.
+// signed/unsigned integers and doubles are distinct alternatives so 64-bit
+// counters round-trip exactly all the way to UINT64_MAX (values above 2^53
+// would silently lose low bits through a double); the parser is a strict
+// recursive-descent one (UTF-8 pass-through, \uXXXX escapes decoded,
+// depth-limited) used by the report validator and tests. Integer literals
+// beyond uint64 range are rejected rather than rounded — a lossy round-trip
+// is a schema violation, not a parse success.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +22,7 @@ namespace repro::obs {
 
 class Json {
  public:
-  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+  enum class Type { Null, Bool, Int, Uint, Double, String, Array, Object };
   using Array = std::vector<Json>;
   using Member = std::pair<std::string, Json>;
   using Object = std::vector<Member>;  // insertion order preserved
@@ -31,7 +35,7 @@ class Json {
   Json(long long v) : value_(static_cast<std::int64_t>(v)) {}
   Json(unsigned v) : value_(static_cast<std::int64_t>(v)) {}
   Json(unsigned long v) : Json(static_cast<unsigned long long>(v)) {}
-  Json(unsigned long long v);  // falls back to double above INT64_MAX
+  Json(unsigned long long v);  // lossless: stays Uint above INT64_MAX
   Json(double v) : value_(v) {}
   Json(const char* s) : value_(std::string(s)) {}
   Json(std::string s) : value_(std::move(s)) {}
@@ -43,15 +47,18 @@ class Json {
   bool is_null() const { return type() == Type::Null; }
   bool is_bool() const { return type() == Type::Bool; }
   bool is_int() const { return type() == Type::Int; }
+  bool is_uint() const { return type() == Type::Uint; }
   bool is_double() const { return type() == Type::Double; }
-  bool is_number() const { return is_int() || is_double(); }
+  bool is_number() const { return is_int() || is_uint() || is_double(); }
   bool is_string() const { return type() == Type::String; }
   bool is_array() const { return type() == Type::Array; }
   bool is_object() const { return type() == Type::Object; }
 
   bool as_bool() const { return std::get<bool>(value_); }
-  std::int64_t as_int() const;     ///< Int, or truncated Double
-  double as_number() const;        ///< Int or Double, widened
+  std::int64_t as_int() const;     ///< Int, wrapped Uint, or truncated Double
+  std::uint64_t as_uint() const;   ///< Uint, non-negative Int, or truncated
+                                   ///< Double; exact for 64-bit counters
+  double as_number() const;        ///< Int, Uint or Double, widened
   const std::string& as_string() const { return std::get<std::string>(value_); }
   const Array& as_array() const { return std::get<Array>(value_); }
   const Object& as_object() const { return std::get<Object>(value_); }
@@ -78,8 +85,8 @@ class Json {
   explicit Json(Array a) : value_(std::move(a)) {}
   explicit Json(Object o) : value_(std::move(o)) {}
 
-  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
-               Object>
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
       value_{nullptr};
 };
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
+
 namespace repro::obs {
 
 void RunReport::set_param(const std::string& key, Json value) {
@@ -47,6 +49,14 @@ void RunReport::add_metrics(const MetricsRegistry& registry) {
   add_metrics(registry.snapshot());
 }
 
+void RunReport::set_telemetry(Json telemetry_doc) {
+  if (!telemetry_doc.is_object()) {
+    throw std::invalid_argument(
+        "RunReport telemetry must be a repro.telemetry/v1 object");
+  }
+  telemetry_ = std::move(telemetry_doc);
+}
+
 Json RunReport::to_json() const {
   Json out = Json::object();
   out["schema"] = kSchema;
@@ -60,6 +70,7 @@ Json RunReport::to_json() const {
   out["metrics"] = std::move(metrics);
   out["derived"] = derived_;
   if (stencil_specs_.size() > 0) out["stencil_spec"] = stencil_specs_;
+  if (telemetry_.is_object()) out["telemetry"] = telemetry_;
   return out;
 }
 
@@ -282,6 +293,15 @@ bool validate_run_report(const std::string& json_text, std::string* error) {
           if (v != nullptr) ck.check_finite_number(*v, where + "." + key);
         }
       }
+    }
+  }
+  // Optional block: live-telemetry runs embed the full repro.telemetry/v1
+  // stream (deltas, detector events, fingerprint).
+  const Json* telemetry = doc.find("telemetry");
+  if (telemetry != nullptr) {
+    std::string telemetry_error;
+    if (!validate_telemetry(*telemetry, &telemetry_error)) {
+      ck.fail("telemetry: " + telemetry_error);
     }
   }
   const Json* metrics = ck.require(doc, "metrics", "top level");

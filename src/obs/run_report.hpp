@@ -14,6 +14,8 @@
 //     "stencil_spec": [ { "name", "rank",      // OPTIONAL: stencil specs the
 //                         "radius", "stages",  // run swept (spec-driven
 //                         "points", ... }, ... ]  // benches only)
+//     "telemetry": { ... }                     // OPTIONAL: embedded
+//                                              // repro.telemetry/v1 stream
 //   }
 //
 // "scalar" means finite number, string, or bool — rows stay flat so reports
@@ -46,6 +48,10 @@ class RunReport {
   /// once per registry when a run spans several).
   void add_metrics(const MetricsSnapshot& snapshot);
   void add_metrics(const MetricsRegistry& registry);
+  /// Embed a live-telemetry stream (a repro.telemetry/v1 object, typically
+  /// TelemetryCollector::to_json()). Emits the optional top-level
+  /// "telemetry" block; throws std::invalid_argument if not an object.
+  void set_telemetry(Json telemetry_doc);
 
   Json to_json() const;
   std::string to_string(int indent = 2) const;
@@ -58,6 +64,7 @@ class RunReport {
   Json derived_ = Json::object();
   Json results_ = Json::array();
   Json stencil_specs_ = Json::array();
+  Json telemetry_;  // null unless set_telemetry() was called
   Json counters_ = Json::array();
   Json gauges_ = Json::array();
   Json histograms_ = Json::array();

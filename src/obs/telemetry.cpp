@@ -1,0 +1,382 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace repro::obs {
+
+std::vector<double> encode_telemetry(const TelemetrySnapshot& snap) {
+  return {static_cast<double>(snap.rank),
+          static_cast<double>(snap.superstep),
+          static_cast<double>(snap.tasks_executed),
+          static_cast<double>(snap.sent_messages),
+          static_cast<double>(snap.sent_bytes),
+          static_cast<double>(snap.steals),
+          static_cast<double>(snap.queue_depth),
+          snap.idle_halo_s,
+          snap.idle_noready_s,
+          snap.idle_steal_s,
+          snap.t_s};
+}
+
+bool decode_telemetry(const std::vector<double>& payload,
+                      TelemetrySnapshot* out) {
+  if (payload.size() != kTelemetryDoubles) return false;
+  TelemetrySnapshot snap;
+  snap.rank = static_cast<int>(payload[0]);
+  snap.superstep = static_cast<std::uint64_t>(payload[1]);
+  snap.tasks_executed = static_cast<std::uint64_t>(payload[2]);
+  snap.sent_messages = static_cast<std::uint64_t>(payload[3]);
+  snap.sent_bytes = static_cast<std::uint64_t>(payload[4]);
+  snap.steals = static_cast<std::uint64_t>(payload[5]);
+  snap.queue_depth = static_cast<std::uint64_t>(payload[6]);
+  snap.idle_halo_s = payload[7];
+  snap.idle_noready_s = payload[8];
+  snap.idle_steal_s = payload[9];
+  snap.t_s = payload[10];
+  if (out != nullptr) *out = snap;
+  return true;
+}
+
+TelemetryCollector::TelemetryCollector(int nranks, DetectorConfig config,
+                                       std::shared_ptr<MetricsRegistry> registry,
+                                       std::string source)
+    : nranks_(nranks < 1 ? 1 : nranks),
+      config_(config),
+      source_(std::move(source)),
+      registry_(std::move(registry)),
+      last_(static_cast<std::size_t>(nranks_)),
+      snapshots_per_rank_(static_cast<std::size_t>(nranks_), 0) {
+  for (TelemetrySnapshot& s : last_) s.rank = -1;  // "never reported"
+  if (registry_ != nullptr) {
+    snapshots_total_ = registry_->counter(
+        "obs_telemetry_snapshots_total", {{"source", source_}},
+        "Telemetry snapshots ingested by the collector");
+    events_total_ = registry_->counter(
+        "obs_telemetry_detector_events_total", {{"source", source_}},
+        "Online-detector rising edges");
+    const int series = std::min(nranks_, kMaxRankSeries);
+    superstep_gauges_.resize(static_cast<std::size_t>(series));
+    queue_gauges_.resize(static_cast<std::size_t>(series));
+    for (int r = 0; r < series; ++r) {
+      const Labels labels = {{"source", source_}, {"rank", std::to_string(r)}};
+      superstep_gauges_[static_cast<std::size_t>(r)] = registry_->gauge(
+          "obs_telemetry_superstep", labels,
+          "Last superstep boundary a rank reported");
+      queue_gauges_[static_cast<std::size_t>(r)] = registry_->gauge(
+          "obs_telemetry_queue_depth", labels,
+          "Ready-queue depth at a rank's last report");
+    }
+  }
+}
+
+void TelemetryCollector::ingest(const TelemetrySnapshot& snap) {
+  if (snap.rank < 0 || snap.rank >= nranks_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto r = static_cast<std::size_t>(snap.rank);
+  const TelemetrySnapshot& prev = last_[r];
+  const bool first = prev.rank < 0;
+
+  Delta delta;
+  delta.rank = snap.rank;
+  delta.superstep = snap.superstep;
+  delta.d_tasks = snap.tasks_executed - (first ? 0 : prev.tasks_executed);
+  delta.d_messages = snap.sent_messages - (first ? 0 : prev.sent_messages);
+  delta.d_bytes = snap.sent_bytes - (first ? 0 : prev.sent_bytes);
+  delta.d_steals = snap.steals - (first ? 0 : prev.steals);
+  delta.queue_depth = snap.queue_depth;
+  delta.d_idle_halo_s = snap.idle_halo_s - (first ? 0.0 : prev.idle_halo_s);
+  delta.d_idle_noready_s =
+      snap.idle_noready_s - (first ? 0.0 : prev.idle_noready_s);
+  delta.d_idle_steal_s = snap.idle_steal_s - (first ? 0.0 : prev.idle_steal_s);
+  deltas_.push_back(delta);
+
+  last_[r] = snap;
+  ++snapshots_per_rank_[r];
+  if (snapshots_total_) snapshots_total_->inc();
+  if (r < superstep_gauges_.size() && superstep_gauges_[r]) {
+    superstep_gauges_[r]->set(static_cast<double>(snap.superstep));
+    queue_gauges_[r]->set(static_cast<double>(snap.queue_depth));
+  }
+
+  evaluate_detectors_locked(snap, delta);
+}
+
+void TelemetryCollector::evaluate_detectors_locked(
+    const TelemetrySnapshot& snap, const Delta& delta) {
+  // Straggler: only meaningful once every rank has reported at least once
+  // (before that, lag just measures boot order).
+  if (config_.straggler_lag > 0) {
+    bool all = true;
+    for (const TelemetrySnapshot& s : last_) all = all && s.rank >= 0;
+    if (all) {
+      std::vector<std::uint64_t> steps;
+      steps.reserve(last_.size());
+      for (const TelemetrySnapshot& s : last_) steps.push_back(s.superstep);
+      std::sort(steps.begin(), steps.end());
+      const std::uint64_t median = steps[steps.size() / 2];
+      for (int rank = 0; rank < nranks_; ++rank) {
+        const TelemetrySnapshot& s = last_[static_cast<std::size_t>(rank)];
+        const std::uint64_t lag =
+            median > s.superstep ? median - s.superstep : 0;
+        set_active_locked("straggler", rank, lag >= config_.straggler_lag, s,
+                          static_cast<double>(lag),
+                          static_cast<double>(config_.straggler_lag));
+      }
+    }
+  }
+
+  // Idle-taxonomy anomaly: halo-wait share of this delta's idle time.
+  if (config_.halo_share > 0.0) {
+    const double idle =
+        delta.d_idle_halo_s + delta.d_idle_noready_s + delta.d_idle_steal_s;
+    if (idle >= config_.halo_min_idle_s) {
+      const double share = delta.d_idle_halo_s / idle;
+      set_active_locked("halo_share", snap.rank, share >= config_.halo_share,
+                        snap, share, config_.halo_share);
+    }
+  }
+
+  if (config_.queue_watermark > 0) {
+    set_active_locked("queue_depth", snap.rank,
+                      snap.queue_depth >= config_.queue_watermark, snap,
+                      static_cast<double>(snap.queue_depth),
+                      static_cast<double>(config_.queue_watermark));
+  }
+}
+
+void TelemetryCollector::set_active_locked(const std::string& detector,
+                                           int rank, bool active,
+                                           const TelemetrySnapshot& snap,
+                                           double value, double threshold) {
+  const auto key = std::make_pair(detector, rank);
+  if (active && active_.insert(key).second) {
+    events_.push_back(
+        TelemetryEvent{detector, rank, snap.superstep, value, threshold});
+    if (events_total_) events_total_->inc();
+  } else if (!active) {
+    active_.erase(key);
+  }
+}
+
+std::vector<TelemetrySnapshot> TelemetryCollector::latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+std::vector<TelemetryEvent> TelemetryCollector::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::uint64_t TelemetryCollector::deltas_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deltas_.size();
+}
+
+std::uint64_t TelemetryCollector::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Delta> sorted = deltas_;
+  // Canonical order: ingest interleaving across ranks is racy, the per-rank
+  // content is not. (rank, superstep) is unique — one delta per boundary.
+  std::sort(sorted.begin(), sorted.end(), [](const Delta& a, const Delta& b) {
+    if (a.superstep != b.superstep) return a.superstep < b.superstep;
+    return a.rank < b.rank;
+  });
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const Delta& d : sorted) {
+    mix(static_cast<std::uint64_t>(d.rank));
+    mix(d.superstep);
+    mix(d.d_tasks);
+    mix(d.d_messages);
+    mix(d.d_bytes);
+  }
+  return h;
+}
+
+Json TelemetryCollector::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json doc = Json::object();
+  doc["schema"] = "repro.telemetry/v1";
+  doc["source"] = source_;
+  doc["nranks"] = nranks_;
+
+  Json config = Json::object();
+  config["straggler_lag"] = config_.straggler_lag;
+  config["halo_share"] = config_.halo_share;
+  config["halo_min_idle_s"] = config_.halo_min_idle_s;
+  config["queue_watermark"] = config_.queue_watermark;
+  doc["config"] = std::move(config);
+
+  Json ranks = Json::array();
+  for (int r = 0; r < nranks_; ++r) {
+    const TelemetrySnapshot& s = last_[static_cast<std::size_t>(r)];
+    Json entry = Json::object();
+    entry["rank"] = r;
+    entry["reported"] = s.rank >= 0;
+    entry["superstep"] = s.superstep;
+    entry["tasks_executed"] = s.tasks_executed;
+    entry["sent_messages"] = s.sent_messages;
+    entry["sent_bytes"] = s.sent_bytes;
+    entry["steals"] = s.steals;
+    entry["queue_depth"] = s.queue_depth;
+    Json idle = Json::object();
+    idle["halo_s"] = s.idle_halo_s;
+    idle["noready_s"] = s.idle_noready_s;
+    idle["steal_s"] = s.idle_steal_s;
+    entry["idle"] = std::move(idle);
+    entry["snapshots"] = snapshots_per_rank_[static_cast<std::size_t>(r)];
+    ranks.push_back(std::move(entry));
+  }
+  doc["ranks"] = std::move(ranks);
+
+  Json deltas = Json::array();
+  for (const Delta& d : deltas_) {
+    Json entry = Json::object();
+    entry["rank"] = d.rank;
+    entry["superstep"] = d.superstep;
+    entry["tasks"] = d.d_tasks;
+    entry["messages"] = d.d_messages;
+    entry["bytes"] = d.d_bytes;
+    entry["steals"] = d.d_steals;
+    entry["queue_depth"] = d.queue_depth;
+    entry["idle_halo_s"] = d.d_idle_halo_s;
+    entry["idle_noready_s"] = d.d_idle_noready_s;
+    entry["idle_steal_s"] = d.d_idle_steal_s;
+    deltas.push_back(std::move(entry));
+  }
+  doc["deltas"] = std::move(deltas);
+
+  Json events = Json::array();
+  for (const TelemetryEvent& e : events_) {
+    Json entry = Json::object();
+    entry["detector"] = e.detector;
+    entry["rank"] = e.rank;
+    entry["superstep"] = e.superstep;
+    entry["value"] = e.value;
+    entry["threshold"] = e.threshold;
+    events.push_back(std::move(entry));
+  }
+  doc["events"] = std::move(events);
+  return doc;
+}
+
+bool TelemetryCollector::write_dump(const std::string& path) const {
+  const std::string text = to_json().dump(2);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text << "\n";
+    if (!out.flush()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+namespace {
+
+bool telemetry_fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+bool require_number(const Json& obj, const char* key, std::string* error) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    return telemetry_fail(error, std::string("missing numeric field '") + key +
+                                     "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_telemetry(const Json& doc, std::string* error) {
+  if (!doc.is_object()) return telemetry_fail(error, "document not an object");
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "repro.telemetry/v1") {
+    return telemetry_fail(error, "schema is not repro.telemetry/v1");
+  }
+  const Json* source = doc.find("source");
+  if (source == nullptr || !source->is_string()) {
+    return telemetry_fail(error, "missing string field 'source'");
+  }
+  if (!require_number(doc, "nranks", error)) return false;
+  const auto nranks = doc.find("nranks")->as_int();
+  if (nranks < 1) return telemetry_fail(error, "nranks must be >= 1");
+
+  const Json* config = doc.find("config");
+  if (config == nullptr || !config->is_object()) {
+    return telemetry_fail(error, "missing object field 'config'");
+  }
+  for (const char* key :
+       {"straggler_lag", "halo_share", "halo_min_idle_s", "queue_watermark"}) {
+    if (!require_number(*config, key, error)) return false;
+  }
+
+  const Json* ranks = doc.find("ranks");
+  if (ranks == nullptr || !ranks->is_array()) {
+    return telemetry_fail(error, "missing array field 'ranks'");
+  }
+  if (ranks->size() != static_cast<std::size_t>(nranks)) {
+    return telemetry_fail(error, "ranks array size != nranks");
+  }
+  for (const Json& entry : ranks->as_array()) {
+    if (!entry.is_object()) return telemetry_fail(error, "rank not an object");
+    for (const char* key : {"rank", "superstep", "tasks_executed",
+                            "sent_messages", "sent_bytes", "steals",
+                            "queue_depth", "snapshots"}) {
+      if (!require_number(entry, key, error)) return false;
+    }
+    const Json* reported = entry.find("reported");
+    if (reported == nullptr || !reported->is_bool()) {
+      return telemetry_fail(error, "rank missing bool field 'reported'");
+    }
+    const Json* idle = entry.find("idle");
+    if (idle == nullptr || !idle->is_object()) {
+      return telemetry_fail(error, "rank missing object field 'idle'");
+    }
+    for (const char* key : {"halo_s", "noready_s", "steal_s"}) {
+      if (!require_number(*idle, key, error)) return false;
+    }
+  }
+
+  const Json* deltas = doc.find("deltas");
+  if (deltas == nullptr || !deltas->is_array()) {
+    return telemetry_fail(error, "missing array field 'deltas'");
+  }
+  for (const Json& entry : deltas->as_array()) {
+    if (!entry.is_object()) return telemetry_fail(error, "delta not an object");
+    for (const char* key : {"rank", "superstep", "tasks", "messages", "bytes",
+                            "steals", "queue_depth", "idle_halo_s",
+                            "idle_noready_s", "idle_steal_s"}) {
+      if (!require_number(entry, key, error)) return false;
+    }
+  }
+
+  const Json* events = doc.find("events");
+  if (events == nullptr || !events->is_array()) {
+    return telemetry_fail(error, "missing array field 'events'");
+  }
+  for (const Json& entry : events->as_array()) {
+    if (!entry.is_object()) return telemetry_fail(error, "event not an object");
+    const Json* detector = entry.find("detector");
+    if (detector == nullptr || !detector->is_string()) {
+      return telemetry_fail(error, "event missing string field 'detector'");
+    }
+    for (const char* key : {"rank", "superstep", "value", "threshold"}) {
+      if (!require_number(entry, key, error)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,173 @@
+// Cross-rank live telemetry: snapshot codec, collector, online detectors.
+//
+// Every rank periodically condenses its flight-recorder state into a
+// TelemetrySnapshot (cumulative counters + idle taxonomy). Non-zero ranks
+// encode the snapshot as a fixed vector of doubles and ship it to rank 0
+// over the ordinary channel stack (a dedicated wire format, see
+// rt::kWireTelemetry); rank 0 ingests its own snapshot locally. The
+// TelemetryCollector aggregates the stream into per-rank live state plus an
+// ordered delta log, evaluates online detectors on every ingest, publishes
+// `obs_telemetry_*` metric families, and serializes the whole thing as a
+// `repro.telemetry/v1` document — the format `tools/repro_top` tails and the
+// RunReport embeds.
+//
+// Layering: this header is transport-agnostic on purpose (repro_obs links
+// only repro_support). The codec speaks std::vector<double>; the runtime owns
+// putting that on the wire.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace repro::obs {
+
+/// One rank's cumulative progress snapshot. Counters are since-run-start;
+/// `t_s` is the rank-local steady clock at capture.
+struct TelemetrySnapshot {
+  int rank = 0;
+  std::uint64_t superstep = 0;      ///< last completed superstep boundary
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t sent_messages = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t queue_depth = 0;    ///< instantaneous ready-queue depth
+  double idle_halo_s = 0.0;
+  double idle_noready_s = 0.0;
+  double idle_steal_s = 0.0;
+  double t_s = 0.0;
+};
+
+/// Snapshots cross the wire as exactly this many doubles (one per field of
+/// TelemetrySnapshot, rank first). Integer counters ride as doubles — exact
+/// below 2^53, far above anything a run of this scale produces.
+inline constexpr std::size_t kTelemetryDoubles = 11;
+
+/// Bytes one telemetry snapshot costs on the wire: 8-byte tag + one
+/// format-discriminator header word + the payload doubles. The DES charges
+/// the same constant, making telemetry traffic byte-exact in sim-vs-real.
+inline constexpr std::uint64_t kTelemetryWireBytes =
+    (2 + kTelemetryDoubles) * sizeof(double);
+
+std::vector<double> encode_telemetry(const TelemetrySnapshot& snap);
+/// Returns false (leaving *out untouched) on a wrong-size payload.
+bool decode_telemetry(const std::vector<double>& payload,
+                      TelemetrySnapshot* out);
+
+/// Online-detector thresholds. A detector with a non-positive threshold is
+/// disabled.
+struct DetectorConfig {
+  /// Straggler: rank's superstep lags the median across ranks by >= this
+  /// many boundaries (evaluated once every rank has reported).
+  std::uint64_t straggler_lag = 2;
+  /// Idle-taxonomy anomaly: halo-wait share of a snapshot delta's idle time
+  /// exceeds this fraction...
+  double halo_share = 0.90;
+  /// ...provided the delta accumulated at least this much idle time (gates
+  /// out startup noise).
+  double halo_min_idle_s = 0.05;
+  /// Queue-depth watermark: instantaneous ready-queue depth at or above
+  /// this. 0 disables.
+  std::uint64_t queue_watermark = 0;
+};
+
+/// A detector firing (rising edge only; detectors are edge-triggered per
+/// (detector, rank) so a persistent condition records one event).
+struct TelemetryEvent {
+  std::string detector;  ///< "straggler" | "halo_share" | "queue_depth"
+  int rank = 0;
+  std::uint64_t superstep = 0;  ///< reporting rank's superstep at detection
+  double value = 0.0;
+  double threshold = 0.0;
+};
+
+/// Aggregates per-rank snapshots into live state + delta log + events.
+/// Thread-safe: ingest() may be called from any thread (the runtime's
+/// receiver thread and rank 0's workers race), readers take the same lock.
+class TelemetryCollector {
+ public:
+  /// `registry` may be null (no metric families published). `source` labels
+  /// the published families ("real" for runtime ingest, "sim" for the DES).
+  TelemetryCollector(int nranks, DetectorConfig config = {},
+                     std::shared_ptr<MetricsRegistry> registry = nullptr,
+                     std::string source = "real");
+
+  int nranks() const { return nranks_; }
+  const DetectorConfig& config() const { return config_; }
+
+  void ingest(const TelemetrySnapshot& snap);
+
+  /// Latest snapshot per rank (ranks that never reported keep rank = -1).
+  std::vector<TelemetrySnapshot> latest() const;
+  std::vector<TelemetryEvent> events() const;
+  std::uint64_t deltas_total() const;
+
+  /// Order-independent digest of the deterministic delta fields (rank,
+  /// superstep, tasks, messages, bytes) — identical across repeated seeded
+  /// runs regardless of ingest interleaving. Timing fields excluded. The
+  /// counter fields are sampled at boundary completion, so they reproduce
+  /// exactly when each rank's execution stream is sequential (one tile and
+  /// one worker per rank); concurrent tiles or workers can race ahead of
+  /// the sampling point, making only the stream shape (rank, superstep)
+  /// deterministic.
+  std::uint64_t fingerprint() const;
+
+  /// Full `repro.telemetry/v1` document.
+  Json to_json() const;
+
+  /// Atomically replace `path` with to_json() (write temp + rename), so a
+  /// concurrent `repro_top --file=path` never reads a half-written dump.
+  bool write_dump(const std::string& path) const;
+
+ private:
+  struct Delta {
+    int rank;
+    std::uint64_t superstep;
+    std::uint64_t d_tasks;
+    std::uint64_t d_messages;
+    std::uint64_t d_bytes;
+    std::uint64_t d_steals;
+    std::uint64_t queue_depth;
+    double d_idle_halo_s;
+    double d_idle_noready_s;
+    double d_idle_steal_s;
+  };
+
+  void evaluate_detectors_locked(const TelemetrySnapshot& snap,
+                                 const Delta& delta);
+  void set_active_locked(const std::string& detector, int rank, bool active,
+                         const TelemetrySnapshot& snap, double value,
+                         double threshold);
+
+  const int nranks_;
+  const DetectorConfig config_;
+  const std::string source_;
+  std::shared_ptr<MetricsRegistry> registry_;
+
+  mutable std::mutex mu_;
+  std::vector<TelemetrySnapshot> last_;  ///< latest per rank
+  std::vector<std::uint64_t> snapshots_per_rank_;
+  std::vector<Delta> deltas_;
+  std::vector<TelemetryEvent> events_;
+  std::set<std::pair<std::string, int>> active_;
+
+  // Published families (nullptr when no registry / obs disabled). Rank label
+  // cardinality is capped like net::Transport's per-destination series.
+  static constexpr int kMaxRankSeries = 64;
+  std::vector<std::shared_ptr<Gauge>> superstep_gauges_;
+  std::vector<std::shared_ptr<Gauge>> queue_gauges_;
+  std::shared_ptr<Counter> snapshots_total_;
+  std::shared_ptr<Counter> events_total_;
+};
+
+/// Schema check for a `repro.telemetry/v1` document (used by
+/// tools/validate_report and the tests).
+bool validate_telemetry(const Json& doc, std::string* error);
+
+}  // namespace repro::obs

@@ -11,6 +11,14 @@ namespace repro::rt {
 namespace {
 constexpr std::uint64_t kWireSingle = 0;
 constexpr std::uint64_t kWireMulti = 1;
+// Telemetry snapshot: [2], payload = obs::encode_telemetry doubles. Routed
+// to Config::telemetry_sink instead of the dataflow machinery.
+constexpr std::uint64_t kWireTelemetry = 2;
+
+// Flight-recorder throttle: a worker records at most one sample per this
+// many seconds of wall time (keeps the ring coarse and the overhead in the
+// sub-percent range even on microsecond tasks).
+constexpr double kFlightSampleInterval = 1e-3;
 
 // Which worker thread (of which rank) is running, so enqueue_ready can push
 // a newly-ready task onto the enqueuing worker's own deque under the
@@ -121,7 +129,11 @@ Runtime::Runtime(Config config)
     : config_(config),
       tracer_(config.trace),
       metrics_(config.metrics ? config.metrics
-                              : std::make_shared<obs::MetricsRegistry>()) {
+                              : std::make_shared<obs::MetricsRegistry>()),
+      flight_(static_cast<std::size_t>(
+          std::max(1, config.nranks) *
+          std::max(1, config.workers_per_rank))),
+      superstep_(static_cast<std::size_t>(std::max(1, config.nranks))) {
   if (config_.nranks < 1 || config_.workers_per_rank < 1) {
     throw std::invalid_argument("Runtime: need >=1 rank and >=1 worker");
   }
@@ -134,6 +146,11 @@ void Runtime::setup_metrics() {
   worker_tasks_.assign(static_cast<std::size_t>(config_.nranks * W), nullptr);
   tasks_enqueued_.assign(static_cast<std::size_t>(config_.nranks), nullptr);
   comm_busy_.assign(static_cast<std::size_t>(config_.nranks), nullptr);
+  idle_gauges_.assign(static_cast<std::size_t>(config_.nranks * 3), nullptr);
+  depth_gauges_.assign(static_cast<std::size_t>(config_.nranks), nullptr);
+  steal_counters_.assign(static_cast<std::size_t>(config_.nranks), nullptr);
+  sent_messages_.assign(static_cast<std::size_t>(config_.nranks), nullptr);
+  sent_bytes_.assign(static_cast<std::size_t>(config_.nranks), nullptr);
   for (int r = 0; r < config_.nranks; ++r) {
     const std::string rank = std::to_string(r);
     for (int w = 0; w < W; ++w) {
@@ -151,6 +168,7 @@ void Runtime::setup_metrics() {
     auto depth = std::make_shared<obs::Gauge>();
     metrics_->attach("rt_ready_queue_depth", {{"rank", rank}}, depth,
                      "Tasks currently ready but not yet picked up");
+    depth_gauges_[static_cast<std::size_t>(r)] = depth;
     queues_[static_cast<std::size_t>(r)]->set_depth_gauge(std::move(depth));
 
     // Steal accounting is attached for every policy so scrapes and the
@@ -159,6 +177,7 @@ void Runtime::setup_metrics() {
     auto steals = std::make_shared<obs::Counter>();
     metrics_->attach("rt_steals_total", {{"rank", rank}}, steals,
                      "Ready tasks taken from another worker's deque");
+    steal_counters_[static_cast<std::size_t>(r)] = steals;
     auto failed = std::make_shared<obs::Counter>();
     metrics_->attach("rt_failed_steals_total", {{"rank", rank}}, failed,
                      "Steal attempts that found the victim's deque empty");
@@ -170,6 +189,27 @@ void Runtime::setup_metrics() {
                      "Seconds the comm threads spent sending or delivering "
                      "(busy fraction = value / wall time)");
     comm_busy_[static_cast<std::size_t>(r)] = std::move(busy);
+
+    // Always-on idle taxonomy (the tracing path reuses the same clock reads;
+    // see worker_loop). Class order: halo, noready, steal.
+    static constexpr const char* kIdleClasses[3] = {"halo", "noready",
+                                                    "steal"};
+    for (int c = 0; c < 3; ++c) {
+      auto idle = std::make_shared<obs::Gauge>();
+      metrics_->attach("rt_idle_seconds_total",
+                       {{"rank", rank}, {"class", kIdleClasses[c]}}, idle,
+                       "Worker idle seconds by what ended the gap");
+      idle_gauges_[static_cast<std::size_t>(r * 3 + c)] = std::move(idle);
+    }
+
+    auto sent_msgs = std::make_shared<obs::Counter>();
+    metrics_->attach("rt_sent_messages_total", {{"rank", rank}}, sent_msgs,
+                     "Messages this rank posted to the wire");
+    sent_messages_[static_cast<std::size_t>(r)] = std::move(sent_msgs);
+    auto sent_b = std::make_shared<obs::Counter>();
+    metrics_->attach("rt_sent_bytes_total", {{"rank", rank}}, sent_b,
+                     "Wire bytes this rank posted (tag + header + payload)");
+    sent_bytes_[static_cast<std::size_t>(r)] = std::move(sent_b);
   }
 
   // Lane accounting: one counter per distinct TaskSpec::lane in this graph.
@@ -245,6 +285,7 @@ RunStats Runtime::run(TaskGraph& graph) {
 
   seq_.store(0);
   next_flow_.store(1);
+  for (auto& step : superstep_) step.store(0, std::memory_order_relaxed);
   remaining_tasks_.store(n);
   executed_tasks_.store(0);
   done_ = n == 0;
@@ -319,13 +360,55 @@ void Runtime::worker_loop(int rank, int worker) {
   const SchedTestHook* hook = config_.sched_test_hook.get();
   auto& queue = *queues_[static_cast<std::size_t>(rank)];
   const bool tracing = tracer_.enabled();
+
+  // Always-on idle taxonomy + flight recorder (compiled out entirely under
+  // REPRO_OBS_DISABLE: no clock reads, no sample state). The taxonomy
+  // classifies every pop gap by what ended it — the entry that arrived
+  // (halo-released / stolen / plain ready) or the shutdown signal. That is
+  // the paper's idle story: "waiting on halo" vs "no ready task" is exactly
+  // the base-vs-CA causal difference. The tracing path reuses the same two
+  // clock reads, so enabling tracing adds no extra clock cost here.
+  const std::size_t lane =
+      static_cast<std::size_t>(rank * config_.workers_per_rank + worker);
+  obs::FlightSample acc;  // cumulative per-worker sample being built
+  double last_flight = 0.0;
+  const auto flight_tick = [&](double now, bool force) {
+    if constexpr (obs::kEnabled) {
+      if (!force && now - last_flight < kFlightSampleInterval) return;
+      last_flight = now;
+      acc.t_s = now;
+      acc.superstep = superstep_[static_cast<std::size_t>(rank)].load(
+          std::memory_order_relaxed);
+      acc.wire_bytes = sent_bytes_[static_cast<std::size_t>(rank)]->value();
+      acc.queue_depth = static_cast<std::uint64_t>(
+          depth_gauges_[static_cast<std::size_t>(rank)]->value());
+      flight_.record(lane, acc);
+    }
+  };
+
   for (;;) {
-    // Every gap between pops becomes an Idle event classified by what ended
-    // it: the entry that arrived (halo-released / stolen / plain ready) or
-    // the shutdown signal. That is the paper's idle taxonomy — "waiting on
-    // halo" vs "no ready task" is exactly the base-vs-CA causal story.
-    const double gap_begin = tracing ? wall_time() : 0.0;
+    const double gap_begin = (tracing || obs::kEnabled) ? wall_time() : 0.0;
     auto entry = queue.pop_blocking(worker);
+    double gap_end = 0.0;
+    if constexpr (obs::kEnabled) {
+      gap_end = wall_time();
+      const double gap = gap_end - gap_begin;
+      // Class index matches setup_metrics' kIdleClasses order.
+      if (entry) {
+        if (entry->stolen) {
+          acc.idle_steal_s += gap;
+          ++acc.steals;
+          idle_gauges_[static_cast<std::size_t>(rank * 3 + 2)]->add(gap);
+        } else if (entry->halo) {
+          acc.idle_halo_s += gap;
+          idle_gauges_[static_cast<std::size_t>(rank * 3 + 0)]->add(gap);
+        } else {
+          acc.idle_noready_s += gap;
+          idle_gauges_[static_cast<std::size_t>(rank * 3 + 1)]->add(gap);
+        }
+      }
+      flight_tick(gap_end, /*force=*/!entry);
+    }
     if (tracing) {
       TraceEvent event;
       event.kind = TraceEventKind::Idle;
@@ -336,7 +419,7 @@ void Runtime::worker_loop(int rank, int worker) {
       event.rank = rank;
       event.worker = worker;
       event.begin_s = gap_begin;
-      event.end_s = wall_time();
+      event.end_s = obs::kEnabled ? gap_end : wall_time();
       tracer_.record(std::move(event));
     }
     if (!entry) break;
@@ -346,6 +429,7 @@ void Runtime::worker_loop(int rank, int worker) {
       hook->before_execute(rank, worker, entry->seq);
     }
     execute_task(entry->task, rank, worker);
+    if constexpr (obs::kEnabled) ++acc.tasks_executed;
   }
   tl_rank = -1;
   tl_worker = -1;
@@ -431,6 +515,17 @@ void Runtime::receiver_loop(int rank) {
       obs::ScopedTimer timer(busy);
       const double recv_begin = tracing ? wall_time() : 0.0;
       if (msg->header.empty()) throw std::runtime_error("empty header");
+      if (msg->header[0] == kWireTelemetry) {
+        // Progress snapshot, not dataflow: hand the payload to the sink (the
+        // collector's ingest) and move on. No sink = run without telemetry.
+        if (msg->header.size() != 1) {
+          throw std::runtime_error("malformed telemetry header");
+        }
+        if (config_.telemetry_sink) {
+          config_.telemetry_sink(msg->src, msg->payload);
+        }
+        continue;
+      }
       if (msg->header[0] == kWireSingle) {
         if (msg->header.size() != 6) {
           throw std::runtime_error("malformed single-flow header");
@@ -763,7 +858,52 @@ void Runtime::send_remote_aggregated(
   post_message(src_rank, std::move(msg));
 }
 
+void Runtime::post_telemetry(int src_rank, int dst_rank,
+                             std::vector<double> payload) {
+  net::Message msg;
+  msg.src = src_rank;
+  msg.dst = dst_rank;
+  msg.tag = 0;
+  msg.header = {kWireTelemetry};
+  msg.payload = std::move(payload);
+  post_message(src_rank, std::move(msg));
+}
+
+obs::TelemetrySnapshot Runtime::rank_sample(int rank) const {
+  obs::TelemetrySnapshot snap;
+  snap.rank = rank;
+  snap.t_s = wall_time();
+  const auto r = static_cast<std::size_t>(rank);
+  snap.superstep = superstep_[r].load(std::memory_order_relaxed);
+  if constexpr (obs::kEnabled) {
+    if (sent_bytes_.empty()) return snap;  // no run yet: handles unattached
+    const int W = config_.workers_per_rank;
+    for (int w = 0; w < W; ++w) {
+      snap.tasks_executed +=
+          worker_tasks_[static_cast<std::size_t>(rank * W + w)]->value();
+    }
+    snap.steals = steal_counters_[r]->value();
+    snap.sent_messages = sent_messages_[r]->value();
+    snap.sent_bytes = sent_bytes_[r]->value();
+    snap.queue_depth =
+        static_cast<std::uint64_t>(depth_gauges_[r]->value());
+    snap.idle_halo_s = idle_gauges_[r * 3 + 0]->value();
+    snap.idle_noready_s = idle_gauges_[r * 3 + 1]->value();
+    snap.idle_steal_s = idle_gauges_[r * 3 + 2]->value();
+  }
+  return snap;
+}
+
+void Runtime::set_superstep(int rank, std::uint64_t superstep) {
+  superstep_[static_cast<std::size_t>(rank)].store(superstep,
+                                                  std::memory_order_relaxed);
+}
+
 void Runtime::post_message(int src_rank, net::Message msg) {
+  if constexpr (obs::kEnabled) {
+    sent_messages_[static_cast<std::size_t>(src_rank)]->inc();
+    sent_bytes_[static_cast<std::size_t>(src_rank)]->add(msg.bytes());
+  }
   if (tracer_.enabled()) {
     msg.trace.flow = next_flow_.fetch_add(1, std::memory_order_relaxed);
     msg.trace.queued_s = wall_time();

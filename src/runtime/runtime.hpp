@@ -20,6 +20,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -30,7 +31,9 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/buffer.hpp"
 #include "runtime/graph.hpp"
 #include "runtime/scheduler.hpp"
@@ -69,6 +72,11 @@ struct Config {
   /// Schedule-fuzzing instrumentation (see SchedTestHook). Null in
   /// production; set by tests to perturb victim choice and interleavings.
   std::shared_ptr<SchedTestHook> sched_test_hook{};
+  /// Delivery hook for telemetry-format messages (wire format
+  /// kWireTelemetry, payload = obs::encode_telemetry doubles). Called on the
+  /// destination rank's receiver thread; null drops telemetry on the floor.
+  std::function<void(int src_rank, const std::vector<double>& payload)>
+      telemetry_sink{};
 };
 
 struct RunStats {
@@ -162,6 +170,26 @@ class Runtime {
   const Tracer& tracer() const { return tracer_; }
   const Config& config() const { return config_; }
 
+  /// Ship `payload` doubles to `dst_rank`'s telemetry sink as one wire
+  /// message (format kWireTelemetry, charged to the channel like any other
+  /// traffic: obs::kTelemetryWireBytes each). Callable from task bodies and
+  /// hooks while the run is live; drivers use it to forward their rank-local
+  /// snapshots to rank 0.
+  void post_telemetry(int src_rank, int dst_rank, std::vector<double> payload);
+
+  /// Cumulative progress counters for one rank, assembled from the run's
+  /// live metric handles (zeros when obs is compiled out, except `superstep`
+  /// and `t_s` which are tracked independently). The `rank` field is set.
+  obs::TelemetrySnapshot rank_sample(int rank) const;
+
+  /// Driver-visible superstep odometer feeding rank_sample() and the flight
+  /// recorder (the runtime itself has no superstep notion).
+  void set_superstep(int rank, std::uint64_t superstep);
+
+  /// Always-on per-worker flight recorder (lane = rank * workers_per_rank +
+  /// worker). Empty object when obs is compiled out.
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+
   /// Scrape point for this runtime's rt_* (and default transport's net_*)
   /// metric families. Never null.
   const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
@@ -231,12 +259,21 @@ class Runtime {
   Config config_;
   Tracer tracer_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::FlightRecorder flight_;
+  /// Per-rank superstep odometer (set_superstep / rank_sample). Plain
+  /// atomics, live even when obs is compiled out.
+  std::vector<std::atomic<std::uint64_t>> superstep_;
 
   // Per-run obs handles, re-attached by setup_metrics() (always non-null
   // during run(); no-op objects when obs is compiled out).
   std::vector<std::shared_ptr<obs::Counter>> worker_tasks_;  // rank * W + w
   std::vector<std::shared_ptr<obs::Counter>> tasks_enqueued_;  // per rank
   std::vector<std::shared_ptr<obs::Gauge>> comm_busy_;         // per rank
+  std::vector<std::shared_ptr<obs::Gauge>> idle_gauges_;  // rank * 3 + class
+  std::vector<std::shared_ptr<obs::Gauge>> depth_gauges_;      // per rank
+  std::vector<std::shared_ptr<obs::Counter>> steal_counters_;  // per rank
+  std::vector<std::shared_ptr<obs::Counter>> sent_messages_;   // per rank
+  std::vector<std::shared_ptr<obs::Counter>> sent_bytes_;      // per rank
   /// Per-lane executed-task counters (rt_lane_tasks_executed_total{lane=}),
   /// one per distinct TaskSpec::lane >= 0 in the current graph. Lanes from
   /// the previous run that the current graph lacks are removed from the

@@ -91,6 +91,24 @@ SolverFarm::SolverFarm(FarmConfig config)
     rc.channel_factory = net::persistent_channel_factory({}, metrics_);
   }
   runtime_ = std::make_unique<rt::Runtime>(rc);
+  if (config_.telemetry || !config_.telemetry_dump.empty()) {
+    config_.telemetry = true;
+    telemetry_ = config_.telemetry_collector
+                     ? config_.telemetry_collector
+                     : std::make_shared<obs::TelemetryCollector>(
+                           nodes(), config_.telemetry_detectors, metrics_,
+                           "serve");
+    cumulative_.assign(static_cast<std::size_t>(nodes()),
+                       obs::TelemetrySnapshot{});
+    // Resume where a shared collector left off: counters stay monotonic and
+    // the wave odometer keeps counting instead of restarting at 0 (which
+    // would read as every rank regressing — a spurious straggler storm).
+    for (const obs::TelemetrySnapshot& s : telemetry_->latest()) {
+      if (s.rank < 0 || s.rank >= nodes()) continue;
+      cumulative_[static_cast<std::size_t>(s.rank)] = s;
+      wave_index_ = std::max(wave_index_, s.superstep + 1);
+    }
+  }
 
   queue_depth_ = metrics_->gauge("serve_queue_depth", {},
                                  "Jobs admitted and not yet terminal");
@@ -336,6 +354,38 @@ void SolverFarm::run_batch(std::vector<JobPtr>& wave) {
     fulfill(job, std::move(response));
   }
   runtime_->release_run();
+  sample_telemetry();
+}
+
+// One telemetry sample per dispatched wave: every rank of the resident
+// runtime is scraped into the collector with the wave index standing in for
+// the superstep, so repro_top's "superstep" column reads as waves served and
+// the straggler detector flags a rank whose counters stop advancing across
+// waves. Dispatcher thread only (wave_index_ is unsynchronized).
+void SolverFarm::sample_telemetry() {
+  if (!telemetry_) return;
+  const std::uint64_t wave = wave_index_++;
+  for (int rank = 0; rank < nodes(); ++rank) {
+    const obs::TelemetrySnapshot raw = runtime_->rank_sample(rank);
+    obs::TelemetrySnapshot& cum = cumulative_[static_cast<std::size_t>(rank)];
+    // A raw sample covers only the wave that just finished (fresh counter
+    // handles per run); fold it in so the collector sees monotonic series.
+    cum.rank = rank;
+    cum.superstep = wave;
+    cum.tasks_executed += raw.tasks_executed;
+    cum.sent_messages += raw.sent_messages;
+    cum.sent_bytes += raw.sent_bytes;
+    cum.steals += raw.steals;
+    cum.idle_halo_s += raw.idle_halo_s;
+    cum.idle_noready_s += raw.idle_noready_s;
+    cum.idle_steal_s += raw.idle_steal_s;
+    cum.queue_depth = raw.queue_depth;
+    cum.t_s = raw.t_s;
+    telemetry_->ingest(cum);
+  }
+  if (!config_.telemetry_dump.empty()) {
+    telemetry_->write_dump(config_.telemetry_dump);
+  }
 }
 
 void SolverFarm::run_window(const JobPtr& job) {
@@ -400,6 +450,7 @@ void SolverFarm::run_window(const JobPtr& job) {
     job->run_s += wall_time() - start;
     Grid2D result = subgraph.gather(*runtime_);
     runtime_->release_run();
+    sample_telemetry();
     job->done = base + iters;
     job->store.trim_below(job->done);
     if (job->done >= p.iterations) {
@@ -420,6 +471,7 @@ void SolverFarm::run_window(const JobPtr& job) {
     error = e.what();
     job->run_s += wall_time() - start;
     runtime_->release_run();
+    sample_telemetry();
   }
 
   {

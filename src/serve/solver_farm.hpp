@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/runtime.hpp"
 #include "serve/admission.hpp"
 #include "serve/fair_queue.hpp"
@@ -88,6 +89,18 @@ struct FarmConfig {
   /// Registry for the serve_* families; the resident runtime and its
   /// transport scrape rt_* / net_* here too. Null = private registry.
   std::shared_ptr<obs::MetricsRegistry> metrics{};
+  /// Live telemetry over the resident runtime: when true (or when
+  /// telemetry_dump is non-empty) the farm samples every rank's
+  /// flight-recorder counters after each dispatched wave into a
+  /// TelemetryCollector under source="serve" — the wave index plays the
+  /// superstep role, so the straggler detector's lag unit is waves here.
+  bool telemetry = false;
+  /// Rewritten atomically after every wave for `repro_top --file=<path>`.
+  std::string telemetry_dump;
+  obs::DetectorConfig telemetry_detectors{};
+  /// Optional caller-owned collector (aggregate across farms / inspect after
+  /// shutdown). Null = the farm builds its own; read it via telemetry().
+  std::shared_ptr<obs::TelemetryCollector> telemetry_collector{};
   /// Test hook: observes every checkpointed superstep of windowed jobs
   /// (called from worker threads; must be thread-safe). The seeded
   /// preemption tests use it to preempt at exact supersteps.
@@ -155,6 +168,11 @@ class SolverFarm {
   }
   int nodes() const { return config_.node_rows * config_.node_cols; }
   const FarmConfig& config() const { return config_; }
+  /// Null unless FarmConfig::telemetry (or telemetry_dump) was set. Set once
+  /// at construction, so reading it is safe from any thread.
+  const std::shared_ptr<obs::TelemetryCollector>& telemetry() const {
+    return telemetry_;
+  }
 
  private:
   struct Job;
@@ -163,6 +181,7 @@ class SolverFarm {
   void dispatcher_loop();
   void run_batch(std::vector<JobPtr>& wave);
   void run_window(const JobPtr& job);
+  void sample_telemetry();
   void fulfill(const JobPtr& job, SolveResponse&& response);
   void cancel(const JobPtr& job);
   RejectReason validate(const SolveRequest& request) const;
@@ -190,6 +209,14 @@ class SolverFarm {
   std::shared_ptr<obs::Gauge> queue_depth_;
   std::shared_ptr<obs::Counter> waves_batch_;
   std::shared_ptr<obs::Counter> waves_window_;
+  std::shared_ptr<obs::TelemetryCollector> telemetry_;
+  // Dispatcher-thread-only telemetry state: the resident runtime re-attaches
+  // fresh counters every run (= every wave), so each raw rank_sample() covers
+  // one wave; cumulative_ folds them into monotonic counters for the
+  // collector. Seeded from a caller-owned collector so sharing one across
+  // successive farms keeps counters and the wave odometer continuous.
+  std::uint64_t wave_index_ = 0;
+  std::vector<obs::TelemetrySnapshot> cumulative_;
 
   std::thread dispatcher_;
 };

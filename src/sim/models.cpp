@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/persistent_channel.hpp"
+#include "obs/telemetry.hpp"
 #include "spec/stages.hpp"
 #include "stencil/halo.hpp"
 #include "stencil/tile_map.hpp"
@@ -278,6 +279,20 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
     out.sim.messages += out.handshake_messages;
     out.sim.message_bytes += out.handshake_bytes;
   }
+  if (p.telemetry) {
+    // Telemetry rides the same wire as halos: at every superstep boundary
+    // (INIT's k = 0 included) each rank > 0 posts one fixed-size snapshot to
+    // rank 0. Fixed cost per message keeps the model byte-exact vs the real
+    // kWireTelemetry framing.
+    const std::uint64_t boundaries =
+        1 + static_cast<std::uint64_t>(p.iterations / p.steps);
+    out.telemetry_messages =
+        static_cast<std::uint64_t>(map.nodes() - 1) * boundaries;
+    out.telemetry_bytes = static_cast<double>(out.telemetry_messages) *
+                          static_cast<double>(obs::kTelemetryWireBytes);
+    out.sim.messages += out.telemetry_messages;
+    out.sim.message_bytes += out.telemetry_bytes;
+  }
   out.time_s = out.sim.makespan_s;
   // Nominal work on the same stage-update basis the real driver accounts:
   // flops_per_point is per stage cell, nominal stage updates are
@@ -312,6 +327,23 @@ StencilSimOutput simulate_stencil(const StencilSimParams& p, bool trace) {
         .gauge("sim_network_busy_seconds", sim_labels,
                "Modeled network busy time")
         ->set(out.sim.network_busy_s);
+    if (p.telemetry) {
+      // Synthetic collector: ingest the snapshot schedule the model predicts
+      // (every rank reaches every boundary, no straggler), so the
+      // obs_telemetry_* families appear under source="sim" with the same
+      // stream shape a healthy real run produces.
+      obs::TelemetryCollector collector(map.nodes(), obs::DetectorConfig{},
+                                        p.metrics, "sim");
+      const int boundaries = 1 + p.iterations / p.steps;
+      for (int b = 0; b < boundaries; ++b) {
+        for (int rank = 0; rank < map.nodes(); ++rank) {
+          obs::TelemetrySnapshot snap;
+          snap.rank = rank;
+          snap.superstep = static_cast<std::uint64_t>(b);
+          collector.ingest(snap);
+        }
+      }
+    }
   }
   return out;
 }

@@ -104,6 +104,13 @@ struct StencilSimParams {
   /// payload alloc+copy cost the default path pays at both comm threads is
   /// removed (registered buffers, zero-copy delivery).
   bool persistent = false;
+  /// Model live cross-rank telemetry (DistConfig::telemetry analog): at
+  /// every superstep boundary — 1 + iterations/steps per run, INIT's k = 0
+  /// included — each rank > 0 ships one fixed-size snapshot message to rank
+  /// 0 (obs::kTelemetryWireBytes, byte-exact vs the real wire format), added
+  /// to the traffic totals. With `metrics` set, the obs_telemetry_* families
+  /// are also published under source="sim" via a synthetic collector.
+  bool telemetry = false;
   /// Lossy-link retry cost (loss_rate 0 = exact lossless model).
   LossModel loss{};
   /// When set, the model publishes its counters into this registry under the
@@ -122,6 +129,10 @@ struct StencilSimOutput {
   /// already included in sim.messages / sim.message_bytes.
   std::uint64_t handshake_messages = 0;
   double handshake_bytes = 0.0;
+  /// Telemetry mode only: modeled snapshot traffic ((nodes - 1) x superstep
+  /// boundaries), already included in sim.messages / sim.message_bytes.
+  std::uint64_t telemetry_messages = 0;
+  double telemetry_bytes = 0.0;
 };
 
 StencilSimOutput simulate_stencil(const StencilSimParams& params,

@@ -964,9 +964,105 @@ SolveSubgraph add_solve_subgraph(rt::TaskGraph& graph, const Problem& problem,
   return subgraph;
 }
 
+namespace {
+
+/// Shared state behind the telemetry-wrapped superstep hook. The hook fires
+/// once per tile per boundary from worker threads; the pump counts tiles down
+/// per (rank, boundary) and, when a rank's boundary completes, condenses that
+/// rank's runtime counters into one TelemetrySnapshot. Rank 0 ingests its own
+/// snapshot directly; every other rank ships it to rank 0 as a real wire
+/// message (obs::kTelemetryWireBytes), so telemetry traffic is charged to the
+/// channel stack exactly like halo traffic and the DES can model it.
+struct TelemetryPump {
+  TelemetryPump(const Problem& problem, const DistConfig& config)
+      : map(problem.rows, problem.cols, config.decomp.mb, config.decomp.nb,
+            config.decomp.node_rows, config.decomp.node_cols),
+        steps(config.steps),
+        boundaries(1 + problem.iterations / config.steps),
+        dump_path(config.telemetry_dump) {
+    pending = std::make_unique<std::atomic<int>[]>(
+        static_cast<std::size_t>(map.nodes()) * boundaries);
+    std::vector<int> tiles(map.nodes(), 0);
+    for (int ti = 0; ti < map.tiles_r(); ++ti) {
+      for (int tj = 0; tj < map.tiles_c(); ++tj) ++tiles[map.rank_of(ti, tj)];
+    }
+    for (int rank = 0; rank < map.nodes(); ++rank) {
+      for (int b = 0; b < boundaries; ++b) {
+        pending[static_cast<std::size_t>(rank) * boundaries + b].store(
+            tiles[rank], std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Wrapped-hook body: countdown for (rank-of-tile, boundary k/steps), and
+  /// on the last tile emit that rank's snapshot.
+  void on_boundary(int k, int ti, int tj) {
+    const int b = k / steps;
+    if (b < 0 || b >= boundaries) return;
+    const int rank = map.rank_of(ti, tj);
+    auto& counter = pending[static_cast<std::size_t>(rank) * boundaries + b];
+    if (counter.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    rt::Runtime* rt = runtime.load(std::memory_order_acquire);
+    if (rt == nullptr) return;
+    rt->set_superstep(rank, static_cast<std::uint64_t>(b));
+    obs::TelemetrySnapshot snap = rt->rank_sample(rank);
+    snap.superstep = static_cast<std::uint64_t>(b);
+    if (rank == 0) {
+      ingest(snap);
+    } else {
+      rt->post_telemetry(rank, 0, obs::encode_telemetry(snap));
+    }
+  }
+
+  /// Rank-0 side: feed the collector and keep the live dump fresh.
+  void ingest(const obs::TelemetrySnapshot& snap) {
+    collector->ingest(snap);
+    maybe_dump(false);
+  }
+
+  void maybe_dump(bool force) {
+    if (dump_path.empty()) return;
+    if (!force) {
+      // Throttle rewrites: one per completed cross-rank wave is plenty for a
+      // live view, and the final forced dump always lands.
+      const std::uint64_t n = dumps_pending.fetch_add(1) + 1;
+      if (n % static_cast<std::uint64_t>(std::max(1, map.nodes())) != 0) return;
+    }
+    collector->write_dump(dump_path);
+  }
+
+  TileMap map;
+  int steps;
+  int boundaries;
+  std::string dump_path;
+  std::shared_ptr<obs::TelemetryCollector> collector;
+  std::atomic<rt::Runtime*> runtime{nullptr};
+  std::unique_ptr<std::atomic<int>[]> pending;
+  std::atomic<std::uint64_t> dumps_pending{0};
+};
+
+}  // namespace
+
 DistResult run_distributed(const Problem& problem, const DistConfig& config) {
+  // Live telemetry rides the superstep hook: wrap it on a local config copy
+  // BEFORE building the graph (the builder captures the hook at
+  // construction).
+  DistConfig build_config = config;
+  std::shared_ptr<TelemetryPump> pump;
+  if (config.telemetry) {
+    pump = std::make_shared<TelemetryPump>(problem, config);
+    SuperstepHook inner = config.superstep_hook;
+    std::shared_ptr<TelemetryPump> captured = pump;
+    build_config.superstep_hook = [captured, inner](
+                                      int k, int ti, int tj,
+                                      const std::vector<double>& core) {
+      if (inner) inner(k, ti, tj, core);
+      captured->on_boundary(k, ti, tj);
+    };
+  }
+
   rt::TaskGraph graph;
-  const SolveSubgraph subgraph = add_solve_subgraph(graph, problem, config);
+  const SolveSubgraph subgraph = add_solve_subgraph(graph, problem, build_config);
   // Fused wavefronts: the builder emitted a fuse-ready per-step graph; the
   // generic pass windows each tile chain into one cache-resident task and
   // collapses cross-rank halo edges to one exchange per window.
@@ -989,9 +1085,27 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
                         : config.channel_factory;
   rt_config.sched_seed = config.sched_seed;
   rt_config.sched_test_hook = config.sched_test_hook;
+  if (pump) {
+    pump->collector = config.telemetry_collector
+                          ? config.telemetry_collector
+                          : std::make_shared<obs::TelemetryCollector>(
+                                rt_config.nranks, config.telemetry_detectors,
+                                rt_config.metrics, "real");
+    std::shared_ptr<TelemetryPump> captured = pump;
+    rt_config.telemetry_sink = [captured](int /*src_rank*/,
+                                          const std::vector<double>& payload) {
+      obs::TelemetrySnapshot snap;
+      if (obs::decode_telemetry(payload, &snap)) captured->ingest(snap);
+    };
+  }
 
   rt::Runtime runtime(rt_config);
+  if (pump) pump->runtime.store(&runtime, std::memory_order_release);
   rt::RunStats stats = runtime.run(graph);
+  if (pump) {
+    pump->runtime.store(nullptr, std::memory_order_release);
+    pump->maybe_dump(true);
+  }
 
   DistResult result{subgraph.gather(runtime), std::move(stats), {}, {},
                     0, 0, kFlopsPerPoint, {}};
@@ -1007,6 +1121,7 @@ DistResult run_distributed(const Problem& problem, const DistConfig& config) {
   result.nominal_points = subgraph.nominal_points();
 
   result.metrics = rt_config.metrics;
+  if (pump) result.telemetry = pump->collector;
   if constexpr (obs::kEnabled) {
     // Publish driver-level counters into the same registry the runtime and
     // transport scraped into, so one snapshot tells the whole story.

@@ -24,6 +24,7 @@
 
 #include "net/channel.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/runtime.hpp"
 #include "stencil/grid.hpp"
 #include "stencil/kernel_opt.hpp"
@@ -119,6 +120,22 @@ struct DistConfig {
   int priority_bias = 0;
   /// Accounting lane stamped on every task (rt::TaskSpec::lane); -1 = none.
   int lane = -1;
+  /// Live cross-rank telemetry: at every superstep boundary each rank
+  /// condenses its progress (tasks, idle taxonomy, wire bytes, queue depth)
+  /// into one obs::TelemetrySnapshot; ranks > 0 ship it to rank 0 as a real
+  /// wire message (obs::kTelemetryWireBytes each, charged to the channel and
+  /// modeled byte-exactly by the DES), rank 0 ingests locally. The stream,
+  /// online detectors, and events land in DistResult::telemetry.
+  bool telemetry = false;
+  /// Online-detector thresholds (straggler lag, halo-share, queue depth).
+  obs::DetectorConfig telemetry_detectors{};
+  /// When non-empty, rank 0 atomically rewrites this file with the live
+  /// repro.telemetry/v1 document on every ingest — the attach point for
+  /// `tools/repro_top --file=<path>`.
+  std::string telemetry_dump;
+  /// Optional externally-owned collector (e.g. shared across runs); null =
+  /// run_distributed creates one per run.
+  std::shared_ptr<obs::TelemetryCollector> telemetry_collector{};
 };
 
 struct DistResult {
@@ -138,6 +155,8 @@ struct DistResult {
   /// Scrape point for the run's metric families (never null after
   /// run_distributed returns).
   std::shared_ptr<obs::MetricsRegistry> metrics{};
+  /// Telemetry stream + detector events (null unless DistConfig::telemetry).
+  std::shared_ptr<obs::TelemetryCollector> telemetry{};
 
   double flops() const {
     return flops_per_point * static_cast<double>(computed_points);

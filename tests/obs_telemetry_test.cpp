@@ -1,0 +1,447 @@
+// Flight recorder + cross-rank telemetry: ring semantics, codec, collector
+// deltas and detectors, concurrency hammers (TSan targets), and end-to-end
+// runs — snapshot-delta determinism on seeded runs, and the straggler
+// detector firing when a rank is stalled through the fault injector.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "net/transport.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
+#include "stencil/dist_stencil.hpp"
+#include "stencil/problem.hpp"
+
+namespace repro::obs {
+namespace {
+
+using stencil::DistConfig;
+using stencil::DistResult;
+using stencil::Problem;
+
+FlightSample make_sample(std::uint64_t i) {
+  FlightSample s;
+  s.t_s = static_cast<double>(i);
+  s.superstep = i;
+  s.tasks_executed = i;
+  s.steals = i;
+  s.wire_bytes = i;
+  s.queue_depth = i;
+  s.idle_halo_s = static_cast<double>(i);
+  s.idle_noready_s = static_cast<double>(i);
+  s.idle_steal_s = static_cast<double>(i);
+  return s;
+}
+
+TEST(FlightRecorder, RingRetainsMostRecentSamplesOldestFirst) {
+  FlightRecorder recorder(2, 4);
+  for (std::uint64_t i = 0; i < 10; ++i) recorder.record(0, make_sample(i));
+  recorder.record(1, make_sample(99));
+
+  if constexpr (kEnabled) {
+    EXPECT_EQ(recorder.lanes(), 2u);
+    EXPECT_EQ(recorder.capacity(), 4u);
+    EXPECT_EQ(recorder.recorded(0), 10u);
+    const auto samples = recorder.snapshot(0);
+    ASSERT_EQ(samples.size(), 4u);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      EXPECT_EQ(samples[i].tasks_executed, 6u + i);
+      EXPECT_EQ(samples[i].superstep, 6u + i);
+    }
+    const auto other = recorder.snapshot(1);
+    ASSERT_EQ(other.size(), 1u);
+    EXPECT_EQ(other[0].wire_bytes, 99u);
+  } else {
+    // Disabled build: the recorder is an inert stub — no memory, no samples.
+    EXPECT_EQ(recorder.recorded(0), 0u);
+    EXPECT_TRUE(recorder.snapshot(0).empty());
+  }
+}
+
+TEST(FlightRecorder, ConcurrentScrapeNeverSeesTornSamples) {
+  // One writer per lane (the runtime's contract) racing a scraper. Every
+  // recorded sample has all fields equal, so any torn read is detectable.
+  FlightRecorder recorder(1, 16);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 20000; ++i) recorder.record(0, make_sample(i));
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (const FlightSample& s : recorder.snapshot(0)) {
+        if (s.tasks_executed != s.steals || s.steals != s.wire_bytes ||
+            s.wire_bytes != s.queue_depth || s.superstep != s.tasks_executed) {
+          torn.fetch_add(1);
+        }
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+  if constexpr (kEnabled) {
+    EXPECT_EQ(recorder.recorded(0), 20000u);
+    EXPECT_EQ(recorder.snapshot(0).size(), 16u);
+  }
+}
+
+TEST(TelemetryCodec, RoundTripsEveryField) {
+  TelemetrySnapshot snap;
+  snap.rank = 7;
+  snap.superstep = 42;
+  snap.tasks_executed = 1000;
+  snap.sent_messages = 12;
+  snap.sent_bytes = 34567;
+  snap.steals = 3;
+  snap.queue_depth = 9;
+  snap.idle_halo_s = 0.25;
+  snap.idle_noready_s = 0.5;
+  snap.idle_steal_s = 0.125;
+  snap.t_s = 1.75;
+
+  const std::vector<double> wire = encode_telemetry(snap);
+  EXPECT_EQ(wire.size(), kTelemetryDoubles);
+
+  TelemetrySnapshot back;
+  ASSERT_TRUE(decode_telemetry(wire, &back));
+  EXPECT_EQ(back.rank, snap.rank);
+  EXPECT_EQ(back.superstep, snap.superstep);
+  EXPECT_EQ(back.tasks_executed, snap.tasks_executed);
+  EXPECT_EQ(back.sent_messages, snap.sent_messages);
+  EXPECT_EQ(back.sent_bytes, snap.sent_bytes);
+  EXPECT_EQ(back.steals, snap.steals);
+  EXPECT_EQ(back.queue_depth, snap.queue_depth);
+  EXPECT_EQ(back.idle_halo_s, snap.idle_halo_s);
+  EXPECT_EQ(back.idle_noready_s, snap.idle_noready_s);
+  EXPECT_EQ(back.idle_steal_s, snap.idle_steal_s);
+  EXPECT_EQ(back.t_s, snap.t_s);
+
+  // Wrong-size payloads are rejected without touching *out.
+  std::vector<double> bad(wire.begin(), wire.end() - 1);
+  EXPECT_FALSE(decode_telemetry(bad, &back));
+
+  // The wire constant matches the runtime's framing: 8-byte tag + one header
+  // word + the payload doubles.
+  EXPECT_EQ(kTelemetryWireBytes, (2 + kTelemetryDoubles) * sizeof(double));
+}
+
+TelemetrySnapshot rank_at(int rank, std::uint64_t superstep,
+                          std::uint64_t tasks = 0) {
+  TelemetrySnapshot snap;
+  snap.rank = rank;
+  snap.superstep = superstep;
+  snap.tasks_executed = tasks;
+  return snap;
+}
+
+TEST(TelemetryCollector, TracksLatestAndDeltas) {
+  TelemetryCollector collector(2);
+  collector.ingest(rank_at(0, 0, 10));
+  collector.ingest(rank_at(1, 0, 20));
+  collector.ingest(rank_at(0, 1, 25));
+
+  EXPECT_EQ(collector.deltas_total(), 3u);
+  const auto latest = collector.latest();
+  ASSERT_EQ(latest.size(), 2u);
+  EXPECT_EQ(latest[0].superstep, 1u);
+  EXPECT_EQ(latest[0].tasks_executed, 25u);
+  EXPECT_EQ(latest[1].superstep, 0u);
+}
+
+TEST(TelemetryCollector, StragglerDetectorFiresOnceOnSuperstepLag) {
+  DetectorConfig config;
+  config.straggler_lag = 2;
+  TelemetryCollector collector(4, config);
+
+  // Every rank reports boundary 0, then ranks 0..2 advance while rank 3
+  // stays silent — once the median leads by >= 2 the detector fires, and
+  // stays fired (edge-triggered) while the condition persists.
+  for (int r = 0; r < 4; ++r) collector.ingest(rank_at(r, 0));
+  for (std::uint64_t b = 1; b <= 4; ++b) {
+    for (int r = 0; r < 3; ++r) collector.ingest(rank_at(r, b));
+  }
+
+  std::size_t stragglers = 0;
+  for (const TelemetryEvent& event : collector.events()) {
+    if (event.detector == "straggler") {
+      ++stragglers;
+      EXPECT_EQ(event.rank, 3);
+      EXPECT_GE(event.value, 2.0);
+      EXPECT_EQ(event.threshold, 2.0);
+    }
+  }
+  EXPECT_EQ(stragglers, 1u);
+}
+
+TEST(TelemetryCollector, HaloShareDetectorNeedsMinimumIdle) {
+  DetectorConfig config;
+  config.halo_share = 0.90;
+  config.halo_min_idle_s = 0.05;
+  TelemetryCollector collector(1, config);
+
+  // First delta: halo-dominated but under the idle floor — no event.
+  TelemetrySnapshot snap = rank_at(0, 0);
+  snap.idle_halo_s = 0.04;
+  collector.ingest(snap);
+  EXPECT_TRUE(collector.events().empty());
+
+  // Second delta adds 0.2s of idle, 96% of it halo wait — fires.
+  snap.superstep = 1;
+  snap.idle_halo_s += 0.192;
+  snap.idle_noready_s += 0.008;
+  collector.ingest(snap);
+  const auto events = collector.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].detector, "halo_share");
+  EXPECT_GE(events[0].value, 0.90);
+}
+
+TEST(TelemetryCollector, QueueWatermarkDetectorIsEdgeTriggered) {
+  DetectorConfig config;
+  config.queue_watermark = 8;
+  TelemetryCollector collector(1, config);
+
+  TelemetrySnapshot snap = rank_at(0, 0);
+  snap.queue_depth = 9;
+  collector.ingest(snap);
+  snap.superstep = 1;
+  snap.queue_depth = 12;  // still above: no second event
+  collector.ingest(snap);
+  snap.superstep = 2;
+  snap.queue_depth = 2;  // clears
+  collector.ingest(snap);
+  snap.superstep = 3;
+  snap.queue_depth = 20;  // re-fires
+  collector.ingest(snap);
+
+  std::size_t fired = 0;
+  for (const TelemetryEvent& event : collector.events()) {
+    if (event.detector == "queue_depth") ++fired;
+  }
+  EXPECT_EQ(fired, 2u);
+}
+
+TEST(TelemetryCollector, ToJsonValidatesAndEmbedsInRunReport) {
+  TelemetryCollector collector(2);
+  collector.ingest(rank_at(0, 0, 5));
+  collector.ingest(rank_at(1, 0, 6));
+  collector.ingest(rank_at(0, 1, 9));
+
+  const Json doc = collector.to_json();
+  std::string error;
+  EXPECT_TRUE(validate_telemetry(doc, &error)) << error;
+
+  RunReport report("telemetry_embed_test");
+  report.set_telemetry(doc);
+  EXPECT_TRUE(validate_run_report(report.to_string(), &error)) << error;
+
+  // A corrupted stream must be rejected both standalone and embedded.
+  Json broken = doc;
+  broken["deltas"] = Json("not an array");
+  EXPECT_FALSE(validate_telemetry(broken, &error));
+  RunReport bad_report("telemetry_embed_test");
+  bad_report.set_telemetry(broken);
+  EXPECT_FALSE(validate_run_report(bad_report.to_string(), &error));
+}
+
+TEST(TelemetryCollector, ConcurrentIngestAndScrapeHammer) {
+  // 8 writer threads (one rank each) racing a live scraper that exercises
+  // every reader surface — the TSan target for the collector's locking.
+  constexpr int kRanks = 8;
+  constexpr std::uint64_t kBoundaries = 200;
+  auto registry = std::make_shared<MetricsRegistry>();
+  TelemetryCollector collector(kRanks, DetectorConfig{}, registry, "real");
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      collector.latest();
+      collector.events();
+      collector.fingerprint();
+      collector.to_json();
+      registry->snapshot();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    writers.emplace_back([&collector, r] {
+      for (std::uint64_t b = 0; b < kBoundaries; ++b) {
+        collector.ingest(rank_at(r, b, b * 10));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  scraper.join();
+
+  EXPECT_EQ(collector.deltas_total(), kRanks * kBoundaries);
+  const auto latest = collector.latest();
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(latest[static_cast<std::size_t>(r)].superstep, kBoundaries - 1);
+  }
+  std::string error;
+  EXPECT_TRUE(validate_telemetry(collector.to_json(), &error)) << error;
+}
+
+TEST(TelemetryCollector, FingerprintIsIngestOrderIndependent) {
+  TelemetryCollector forward(3);
+  TelemetryCollector shuffled(3);
+  std::vector<TelemetrySnapshot> snaps;
+  for (std::uint64_t b = 0; b < 5; ++b) {
+    for (int r = 0; r < 3; ++r) {
+      snaps.push_back(rank_at(r, b, b * 100 + static_cast<std::uint64_t>(r)));
+    }
+  }
+  for (const auto& s : snaps) forward.ingest(s);
+  // Rank-major instead of boundary-major: per-rank delta sequences are
+  // preserved (the collector requires monotone per-rank streams), but the
+  // interleaving across ranks is completely different.
+  for (int r = 0; r < 3; ++r) {
+    for (std::uint64_t b = 0; b < 5; ++b) {
+      shuffled.ingest(snaps[b * 3 + static_cast<std::uint64_t>(r)]);
+    }
+  }
+  EXPECT_EQ(forward.fingerprint(), shuffled.fingerprint());
+  EXPECT_NE(forward.fingerprint(), 0u);
+}
+
+DistConfig telemetry_config(int steps) {
+  DistConfig config;
+  config.decomp = {8, 8, 2, 2};
+  config.steps = steps;
+  config.workers_per_rank = 2;
+  config.telemetry = true;
+  return config;
+}
+
+TEST(TelemetryE2E, SeededRunsProduceIdenticalFingerprints) {
+  // Snapshot-delta determinism: the same seeded problem run twice must
+  // aggregate to the identical telemetry stream, no matter how the
+  // worker/receiver interleaving differed. Counters are sampled the instant
+  // a rank completes a boundary, so the sampled values are reproducible
+  // exactly when the rank's execution stream is sequential — one tile and
+  // one worker per rank (extra tiles or workers let work race ahead of the
+  // sampling point, see the structural check below).
+  const Problem problem = stencil::random_problem(32, 32, 6);
+  DistConfig config = telemetry_config(3);
+  config.decomp = {16, 16, 2, 2};  // one tile per rank
+  config.workers_per_rank = 1;
+  const int boundaries = 1 + problem.iterations / 3;
+
+  std::uint64_t fingerprints[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    const DistResult result = run_distributed(problem, config);
+    ASSERT_NE(result.telemetry, nullptr);
+    EXPECT_EQ(result.telemetry->nranks(), 4);
+    // Every rank reports every boundary (INIT included) exactly once.
+    EXPECT_EQ(result.telemetry->deltas_total(),
+              static_cast<std::uint64_t>(4 * boundaries));
+    fingerprints[run] = result.telemetry->fingerprint();
+
+    std::string error;
+    EXPECT_TRUE(validate_telemetry(result.telemetry->to_json(), &error))
+        << error;
+    if constexpr (kEnabled) {
+      // Real runs carry real progress: the final snapshot of every rank has
+      // executed tasks and (ranks > 0) shipped bytes.
+      for (const TelemetrySnapshot& snap : result.telemetry->latest()) {
+        EXPECT_GT(snap.tasks_executed, 0u);
+        EXPECT_EQ(snap.superstep, static_cast<std::uint64_t>(boundaries - 1));
+        if (snap.rank != 0) {
+          EXPECT_GT(snap.sent_bytes, 0u);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+
+  // Multi-tile ranks: the sampled counter VALUES may legitimately differ
+  // between runs (sibling tiles race ahead), but the stream SHAPE — which
+  // rank reported which boundary, how often — stays deterministic.
+  for (int run = 0; run < 2; ++run) {
+    const DistResult result = run_distributed(problem, telemetry_config(3));
+    ASSERT_NE(result.telemetry, nullptr);
+    EXPECT_EQ(result.telemetry->deltas_total(),
+              static_cast<std::uint64_t>(4 * boundaries));
+    for (const TelemetrySnapshot& snap : result.telemetry->latest()) {
+      EXPECT_EQ(snap.superstep, static_cast<std::uint64_t>(boundaries - 1));
+    }
+  }
+}
+
+TEST(TelemetryE2E, TelemetryRunMatchesPlainRunBitIdentically) {
+  // Telemetry is pure observation: the solved field must be bit-identical
+  // with and without it, and the extra wire traffic must be exactly the
+  // telemetry schedule — (nodes - 1) snapshots per superstep boundary of
+  // kTelemetryWireBytes each.
+  const Problem problem = stencil::random_problem(32, 32, 6);
+  DistConfig plain = telemetry_config(3);
+  plain.telemetry = false;
+
+  const DistResult without = run_distributed(problem, plain);
+  const DistResult with = run_distributed(problem, telemetry_config(3));
+  EXPECT_EQ(stencil::Grid2D::max_abs_diff(without.grid, with.grid), 0.0);
+
+  const std::uint64_t boundaries = 1 + problem.iterations / 3;
+  const std::uint64_t extra_messages = 3 * boundaries;  // ranks 1..3
+  EXPECT_EQ(with.stats.messages - without.stats.messages, extra_messages);
+  EXPECT_EQ(with.stats.bytes - without.stats.bytes,
+            extra_messages * kTelemetryWireBytes);
+}
+
+TEST(TelemetryE2E, StalledRankTripsTheStragglerDetector) {
+  // A scripted fault::FaultInjector stall holds everything one rank sends —
+  // halo bands AND its own telemetry snapshots. Its last-known superstep
+  // freezes while ranks farther away keep advancing (the dependency wave
+  // lets a rank at Manhattan distance d run ~d boundaries ahead), so the
+  // median pulls away and the straggler detector must fire for exactly the
+  // stalled rank.
+  const Problem problem = stencil::random_problem(48, 48, 12);
+
+  DistConfig config;
+  config.decomp = {12, 12, 4, 4};  // one tile per rank, 16 ranks
+  config.steps = 1;
+  config.telemetry = true;
+  config.telemetry_detectors.straggler_lag = 2;
+  const int stalled_rank = 15;
+  config.channel_factory = [stalled_rank](int nranks) {
+    auto transport = std::make_shared<net::Transport>(nranks);
+    fault::FaultPlan plan;
+    plan.stalls.push_back(
+        fault::StallEvent{stalled_rank, /*after_sends=*/6,
+                          /*duration_s=*/2.0});
+    return std::make_shared<fault::FaultInjector>(transport, plan);
+  };
+
+  const DistResult result = run_distributed(problem, config);
+  ASSERT_NE(result.telemetry, nullptr);
+
+  bool straggler_fired = false;
+  for (const TelemetryEvent& event : result.telemetry->events()) {
+    if (event.detector == "straggler" && event.rank == stalled_rank) {
+      straggler_fired = true;
+      EXPECT_GE(event.value, 2.0);
+    }
+  }
+  EXPECT_TRUE(straggler_fired);
+
+  // The event survives into the validated report surface.
+  RunReport report("straggler_stall_test");
+  report.set_telemetry(result.telemetry->to_json());
+  std::string error;
+  EXPECT_TRUE(validate_run_report(report.to_string(), &error)) << error;
+}
+
+}  // namespace
+}  // namespace repro::obs

@@ -196,6 +196,48 @@ TEST(Registry, JsonExportParsesBack) {
   ASSERT_EQ(histograms->size(), 1u);
 }
 
+// 64-bit counters must round-trip through JSON bit for bit. Above 2^53 a
+// double representation silently drops low bits, so values there must stay
+// integer-typed through dump and parse (regression: large counters used to
+// fall back to double above INT64_MAX).
+TEST(JsonNumbers, Uint64RoundTripsLosslessly) {
+  const std::uint64_t two53 = 1ull << 53;
+  const std::uint64_t cases[] = {two53 - 1, two53, two53 + 1,
+                                 static_cast<std::uint64_t>(INT64_MAX),
+                                 static_cast<std::uint64_t>(INT64_MAX) + 1,
+                                 UINT64_MAX - 1, UINT64_MAX};
+  for (const std::uint64_t v : cases) {
+    const Json j(static_cast<unsigned long long>(v));
+    EXPECT_TRUE(j.is_number());
+    EXPECT_EQ(j.as_uint(), v) << v;
+    const std::string text = j.dump();
+    EXPECT_EQ(text, std::to_string(v));
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, &parsed, &error)) << error;
+    EXPECT_EQ(parsed.as_uint(), v) << v;
+  }
+  // Values that fit int64 stay Int (schema-stable for all existing reports);
+  // only the overflow range moves to the unsigned alternative.
+  EXPECT_TRUE(Json(static_cast<unsigned long long>(INT64_MAX)).is_int());
+  EXPECT_TRUE(Json(static_cast<unsigned long long>(INT64_MAX) + 1).is_uint());
+}
+
+// An integer literal beyond uint64 cannot round-trip, so the strict parser
+// rejects it instead of rounding it through a double. Huge *real* literals
+// (exponent form) still parse as doubles.
+TEST(JsonNumbers, ParserRejectsLossyIntegerLiterals) {
+  Json parsed;
+  std::string error;
+  EXPECT_FALSE(Json::parse("18446744073709551616", &parsed, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  EXPECT_FALSE(Json::parse("-9223372036854775809", &parsed, &error));
+  EXPECT_TRUE(Json::parse("18446744073709551615", &parsed, &error)) << error;
+  EXPECT_EQ(parsed.as_uint(), UINT64_MAX);
+  EXPECT_TRUE(Json::parse("1.8446744073709552e19", &parsed, &error)) << error;
+  EXPECT_TRUE(parsed.is_double());
+}
+
 TEST(ScopedTimerTest, RecordsElapsedIntoGaugeAndHistogram) {
   if (!kEnabled) GTEST_SKIP() << "obs disabled at compile time";
   Gauge g;

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
 #include <future>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -379,6 +381,77 @@ TEST(SolverFarm, ServesMetricsAndValidReport) {
   report.add_metrics(*registry);
   std::string error;
   EXPECT_TRUE(validate_serve_report(report.to_string(), &error)) << error;
+}
+
+TEST(SolverFarm, TelemetryWavesStayContinuousAcrossSharedCollectorFarms) {
+  const std::string dump = testing::TempDir() + "/serve_telemetry.json";
+  std::shared_ptr<obs::TelemetryCollector> collector;
+  std::uint64_t first_waves = 0;
+  std::vector<obs::TelemetrySnapshot> after_first;
+  {
+    FarmConfig config = small_farm_config();
+    config.telemetry = true;
+    config.telemetry_dump = dump;
+    // Halo-share trips on wall-clock idle, which an oversubscribed CI host
+    // can legitimately produce; keep only the deterministic straggler check.
+    config.telemetry_detectors.halo_share = 0.0;
+    SolverFarm farm(config);
+    auto a = farm.submit(make_request("alpha", 16, 16, 4, 8, 8, 2, 7));
+    auto b = farm.submit(make_request("beta", 16, 16, 4, 8, 8, 2, 8));
+    ASSERT_TRUE(a.accepted());
+    ASSERT_TRUE(b.accepted());
+    a.response.wait();
+    b.response.wait();
+    farm.shutdown(/*drain=*/true);
+    collector = farm.telemetry();
+    ASSERT_NE(collector, nullptr);
+    // Futures resolve before the wave's telemetry sample lands, so only the
+    // destructor (which joins the dispatcher) makes the stream complete —
+    // read the collector after this scope closes.
+  }
+  ASSERT_GT(collector->deltas_total(), 0u);
+  ASSERT_EQ(collector->deltas_total() % 4u, 0u)
+      << "one snapshot per rank per dispatched wave";
+  first_waves = collector->deltas_total() / 4u;
+  after_first = collector->latest();
+  for (const obs::TelemetrySnapshot& s : after_first) {
+    EXPECT_EQ(s.superstep, first_waves - 1);
+  }
+
+  // A second farm sharing the collector resumes the wave odometer and keeps
+  // the per-rank counters monotonic instead of restarting both at zero.
+  {
+    FarmConfig config = small_farm_config();
+    config.telemetry_collector = collector;
+    config.telemetry = true;
+    SolverFarm farm(config);
+    auto c = farm.submit(make_request("gamma", 16, 16, 4, 8, 8, 2, 9));
+    ASSERT_TRUE(c.accepted());
+    c.response.wait();
+    farm.shutdown(/*drain=*/true);
+  }
+  const std::vector<obs::TelemetrySnapshot> after_second =
+      collector->latest();
+  ASSERT_EQ(after_second.size(), after_first.size());
+  for (std::size_t r = 0; r < after_second.size(); ++r) {
+    EXPECT_GT(after_second[r].superstep, after_first[r].superstep);
+    EXPECT_GE(after_second[r].tasks_executed, after_first[r].tasks_executed);
+    // A counter-reset bug would surface as a uint64 underflow here: the
+    // second farm's totals would dwarf any plausible task count.
+    EXPECT_LT(after_second[r].tasks_executed, 1u << 20);
+  }
+  EXPECT_TRUE(collector->events().empty())
+      << "spurious detector event: " << collector->events()[0].detector;
+
+  // The dump written by the first farm is a valid repro.telemetry/v1 doc.
+  std::ifstream in(dump);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  obs::Json doc;
+  std::string error;
+  ASSERT_TRUE(obs::Json::parse(buffer.str(), &doc, &error)) << error;
+  EXPECT_TRUE(obs::validate_telemetry(doc, &error)) << error;
 }
 
 }  // namespace

@@ -78,6 +78,58 @@ TEST_P(SimVsReal, MessageCountsAgreeExactly) {
   }
 }
 
+// Telemetry cross-check: DistConfig::telemetry adds one fixed-size snapshot
+// message per non-zero rank per superstep boundary to the real wire, and
+// StencilSimParams::telemetry charges the identical schedule. Comparing the
+// with-vs-without DELTAS on each side cancels the header-constant difference
+// the base test compensates for, so the telemetry traffic itself must agree
+// byte for byte.
+TEST_P(SimVsReal, TelemetryTrafficAgreesExactly) {
+  const XCase c = GetParam();
+
+  const stencil::Problem problem = stencil::random_problem(c.n, c.n, c.iters);
+  stencil::DistConfig config;
+  config.decomp = {c.tile, c.tile, c.side, c.side};
+  config.steps = c.steps;
+  const stencil::DistResult plain = run_distributed(problem, config);
+  config.telemetry = true;
+  const stencil::DistResult live = run_distributed(problem, config);
+
+  sim::StencilSimParams params{sim::nacl(), c.n, c.tile, c.side, c.side,
+                               c.iters, c.steps, 1.0};
+  const sim::StencilSimOutput sim_plain = sim::simulate_stencil(params);
+  params.telemetry = true;
+  params.metrics = std::make_shared<obs::MetricsRegistry>();
+  const sim::StencilSimOutput sim_live = sim::simulate_stencil(params);
+
+  const std::uint64_t boundaries =
+      1 + static_cast<std::uint64_t>(c.iters / c.steps);
+  const std::uint64_t nodes = static_cast<std::uint64_t>(c.side) * c.side;
+  const std::uint64_t expected_messages = (nodes - 1) * boundaries;
+
+  EXPECT_EQ(live.stats.messages - plain.stats.messages, expected_messages);
+  EXPECT_EQ(sim_live.telemetry_messages, expected_messages);
+  EXPECT_EQ(sim_live.sim.messages - sim_plain.sim.messages, expected_messages);
+
+  EXPECT_EQ(live.stats.bytes - plain.stats.bytes,
+            expected_messages * obs::kTelemetryWireBytes);
+  EXPECT_DOUBLE_EQ(sim_live.sim.message_bytes - sim_plain.sim.message_bytes,
+                   static_cast<double>(expected_messages *
+                                       obs::kTelemetryWireBytes));
+
+  // Rank 0 aggregates the full stream: every rank, every boundary.
+  ASSERT_NE(live.telemetry, nullptr);
+  EXPECT_EQ(live.telemetry->deltas_total(), nodes * boundaries);
+
+  // The model publishes the same obs_telemetry_* families under
+  // source="sim" with the stream shape a healthy run produces.
+  if constexpr (obs::kEnabled) {
+    const obs::MetricsSnapshot ss = params.metrics->snapshot();
+    EXPECT_EQ(ss.counter_total("obs_telemetry_snapshots_total"),
+              static_cast<double>(nodes * boundaries));
+  }
+}
+
 // Persistent-channel cross-check: with DistConfig::persistent the real stack
 // replaces each remote halo message with the route's registered FRAG
 // fragments plus a one-time OPEN/ACK negotiation; the model replays the same

@@ -1,0 +1,139 @@
+// Normalize a repro.run_report/v1 into a repro.bench_result/v1 — the bridge
+// from the rich per-run reports the benches write to the flat, tolerance-
+// annotated documents the CI perf gate diffs against committed baselines.
+//
+//   bench_to_json <run_report.json> --out=<BENCH_name.json>
+//                 [--exact=<counter_family>]... [--time-tol=15] [--tol=10]
+//
+// Mapping:
+//   * every numeric "derived" entry becomes a metric — names that look like
+//     durations ("*_s", "*seconds*", "*time*") become kind "time"
+//     (direction lower), everything else kind "ratio" (direction higher);
+//   * each --exact=<family> pulls that counter family's total from the
+//     report's metrics block as a kind "exact" metric (the gate hard-fails
+//     on any difference — message/byte/allocation counters);
+//   * scalar "params" are copied into the bench context so a configuration
+//     drift shows up in the gate diff instead of masquerading as a
+//     regression.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_result.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+
+namespace {
+
+bool looks_like_time(const std::string& name) {
+  if (name.size() > 2 && name.compare(name.size() - 2, 2, "_s") == 0) {
+    return true;
+  }
+  return name.find("seconds") != std::string::npos ||
+         name.find("time") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report_path;
+  std::string out_path;
+  std::vector<std::string> exact_families;
+  double time_tol = 15.0;
+  double ratio_tol = 10.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--exact=", 0) == 0) {
+      exact_families.push_back(arg.substr(8));
+    } else if (arg.rfind("--time-tol=", 0) == 0) {
+      time_tol = std::stod(arg.substr(11));
+    } else if (arg.rfind("--tol=", 0) == 0) {
+      ratio_tol = std::stod(arg.substr(6));
+    } else if (report_path.empty()) {
+      report_path = arg;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (report_path.empty() || out_path.empty()) {
+    std::cerr << "usage: bench_to_json <run_report.json> --out=<bench.json> "
+                 "[--exact=<counter_family>]... [--time-tol=N] [--tol=N]\n";
+    return 2;
+  }
+
+  std::ifstream in(report_path);
+  if (!in) {
+    std::cerr << report_path << ": cannot open\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::string error;
+  if (!repro::obs::validate_run_report(text, &error)) {
+    std::cerr << report_path << ": not a valid run report: " << error << "\n";
+    return 1;
+  }
+  repro::obs::Json doc;
+  repro::obs::Json::parse(text, &doc, &error);
+
+  repro::obs::BenchResult bench(doc["name"].as_string());
+  for (const auto& [key, value] : doc["params"].as_object()) {
+    bench.set_context(key, value);
+  }
+
+  std::size_t emitted = 0;
+  for (const auto& [key, value] : doc["derived"].as_object()) {
+    if (!value.is_number()) continue;
+    if (looks_like_time(key)) {
+      bench.add_time(key, value.as_number(), time_tol);
+    } else {
+      bench.add_ratio(key, value.as_number(), "higher", ratio_tol);
+    }
+    ++emitted;
+  }
+
+  // Exactness counters: sum every sample of the family, like
+  // MetricsSnapshot::counter_total.
+  for (const std::string& family : exact_families) {
+    double total = 0.0;
+    bool found = false;
+    for (const repro::obs::Json& entry :
+         doc["metrics"]["counters"].as_array()) {
+      const repro::obs::Json* name = entry.find("name");
+      const repro::obs::Json* value = entry.find("value");
+      if (name != nullptr && name->is_string() &&
+          name->as_string() == family && value != nullptr) {
+        total += value->as_number();
+        found = true;
+      }
+    }
+    if (!found) {
+      std::cerr << report_path << ": counter family '" << family
+                << "' not present in report metrics\n";
+      return 1;
+    }
+    bench.add_exact(family, static_cast<std::uint64_t>(total), "count");
+    ++emitted;
+  }
+
+  if (emitted == 0) {
+    std::cerr << report_path << ": nothing to emit (no numeric derived "
+                 "entries, no --exact families)\n";
+    return 1;
+  }
+  if (!bench.write(out_path)) {
+    std::cerr << out_path << ": write failed\n";
+    return 1;
+  }
+  std::cout << out_path << ": " << emitted << " metrics\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: diff fresh BENCH_*.json results against the
+committed baselines (bench/baselines/), metric by metric.
+
+    check_bench_regression.py --baseline-dir=bench/baselines \
+                              --result-dir=<dir with fresh BENCH_*.json> \
+                              [--warn-only-kinds=time,ratio]
+
+Both sides are repro.bench_result/v1 documents. Policy per metric `kind`:
+
+  exact  — any difference is a HARD FAIL (deterministic counters: message,
+           byte, allocation counts a correct change reproduces bit for bit);
+  count  — relative drift beyond tolerance_pct is a hard fail;
+  time   — noisy; drift beyond tolerance_pct in the bad direction is a
+           WARNING by default (wall-clock noise on shared CI runners must
+           not block merges), promoted to hard fail only when 'time' is
+           removed from --warn-only-kinds;
+  ratio  — same policy as time.
+
+The baseline's tolerance_pct is authoritative (the committed file records
+each metric's observed noise band). Exit code: 1 if any hard failure, else
+0 — warnings and the full diff table are always printed.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "repro.bench_result/v1":
+        raise ValueError(f"{path}: schema is not repro.bench_result/v1")
+    return doc
+
+
+def metric_map(doc):
+    return {m["name"]: m for m in doc.get("metrics", [])}
+
+
+def fmt(value):
+    return f"{value:.6g}"
+
+
+def compare(name, baseline, result, warn_only_kinds):
+    """Yields (severity, row) tuples; severity in {'ok', 'warn', 'fail'}."""
+    base_metrics = metric_map(baseline)
+    new_metrics = metric_map(result)
+
+    for mname in sorted(set(base_metrics) | set(new_metrics)):
+        if mname not in new_metrics:
+            yield "fail", (name, mname, "-", "-", "-", "missing from result")
+            continue
+        if mname not in base_metrics:
+            yield "warn", (name, mname, "-", fmt(new_metrics[mname]["value"]),
+                           "-", "not in baseline (new metric?)")
+            continue
+
+        base = base_metrics[mname]
+        new = new_metrics[mname]
+        bval, nval = base["value"], new["value"]
+        kind = base.get("kind", "time")
+        direction = base.get("direction", "lower")
+        tol = base.get("tolerance_pct", 10.0)
+
+        if kind == "exact":
+            if nval != bval:
+                yield "fail", (name, mname, fmt(bval), fmt(nval), "0%",
+                               "EXACT metric differs")
+            else:
+                yield "ok", (name, mname, fmt(bval), fmt(nval), "0%", "exact")
+            continue
+
+        drift_pct = 0.0 if bval == 0 else (nval - bval) / abs(bval) * 100.0
+        # Only drift in the bad direction regresses; improvements pass.
+        regressed = (direction == "lower" and drift_pct > tol) or \
+                    (direction == "higher" and drift_pct < -tol)
+        band = f"±{tol:g}%"
+        note = f"drift {drift_pct:+.2f}%"
+        if not regressed:
+            yield "ok", (name, mname, fmt(bval), fmt(nval), band, note)
+        elif kind in warn_only_kinds:
+            yield "warn", (name, mname, fmt(bval), fmt(nval), band,
+                           note + " (warn-only kind)")
+        else:
+            yield "fail", (name, mname, fmt(bval), fmt(nval), band,
+                           note + " REGRESSION")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--result-dir", required=True)
+    parser.add_argument("--warn-only-kinds", default="time,ratio",
+                        help="comma-separated kinds gated as warnings")
+    args = parser.parse_args()
+
+    warn_only_kinds = {k for k in args.warn_only_kinds.split(",") if k}
+    baselines = sorted(f for f in os.listdir(args.baseline_dir)
+                       if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print(f"no BENCH_*.json baselines in {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    rows, severities = [], []
+    for fname in baselines:
+        baseline = load(os.path.join(args.baseline_dir, fname))
+        result_path = os.path.join(args.result_dir, fname)
+        if not os.path.exists(result_path):
+            rows.append(("fail", (fname, "-", "-", "-", "-",
+                                  "result file missing")))
+            continue
+        result = load(result_path)
+        if result.get("name") != baseline.get("name"):
+            rows.append(("fail", (fname, "-", "-", "-", "-",
+                                  "bench name mismatch")))
+            continue
+        for severity, row in compare(fname, baseline, result,
+                                     warn_only_kinds):
+            rows.append((severity, row))
+
+    header = ("bench", "metric", "baseline", "result", "band", "status")
+    widths = [max(len(str(r[1][i])) for r in rows + [(None, header)])
+              for i in range(6)]
+    marks = {"ok": "  ", "warn": "~ ", "fail": "X "}
+    print("  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for severity, row in rows:
+        print(marks[severity] +
+              "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        severities.append(severity)
+
+    fails = severities.count("fail")
+    warns = severities.count("warn")
+    print(f"\n{len(severities)} metrics: {fails} failed, {warns} warnings")
+    return 1 if fails else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Clock audit: every time-delta path in src/ must use the monotonic
+steady_clock. system_clock is wall time — it jumps under NTP slew/step, so a
+delta computed from it can go negative or explode, silently corrupting idle
+taxonomy, flight-recorder samples, timeout logic, and the DES cross-checks.
+
+    check_clock_usage.py <src_dir> [--allow=<relpath>]...
+
+Fails (exit 1) on any occurrence of system_clock outside the allowlist.
+Allowlisted files are for genuinely calendar-stamped output (none today);
+new entries need a review of every delta they feed.
+"""
+import argparse
+import os
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("src_dir")
+    parser.add_argument("--allow", action="append", default=[],
+                        help="relative path allowed to use system_clock")
+    args = parser.parse_args()
+
+    allowed = set(args.allow)
+    violations = []
+    for root, _dirs, files in os.walk(args.src_dir):
+        for fname in files:
+            if not fname.endswith((".cpp", ".hpp", ".h", ".cc")):
+                continue
+            path = os.path.join(root, fname)
+            rel = os.path.relpath(path, args.src_dir)
+            if rel in allowed:
+                continue
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                for lineno, line in enumerate(f, 1):
+                    if "system_clock" in line:
+                        violations.append(f"{rel}:{lineno}: {line.strip()}")
+
+    if violations:
+        print("system_clock used in a time path (use steady_clock — see "
+              "support/timing.hpp wall_time()):", file=sys.stderr)
+        for v in violations:
+            print("  " + v, file=sys.stderr)
+        return 1
+    print(f"clock audit OK: no system_clock use under {args.src_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

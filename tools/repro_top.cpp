@@ -1,0 +1,158 @@
+// Terminal live view over a repro.telemetry/v1 dump: `top` for a stencil
+// run. Attach to the file a live run rewrites (DistConfig::telemetry_dump /
+// --telemetry-dump=<path> on the benches) and watch per-rank progress, idle
+// taxonomy, wire traffic, and detector events refresh in place.
+//
+//   repro_top --file=<path> [--interval=0.5] [--once] [--no-clear]
+//
+// The producer replaces the dump atomically (write temp + rename), so a read
+// never observes a torn document; a transiently missing or half-created file
+// is simply retried next tick.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+struct Options {
+  std::string file;
+  double interval_s = 0.5;
+  bool once = false;
+  bool clear = true;
+};
+
+bool parse_args(int argc, char** argv, Options* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--file=", 0) == 0) {
+      out->file = arg.substr(7);
+    } else if (arg.rfind("--interval=", 0) == 0) {
+      out->interval_s = std::stod(arg.substr(11));
+    } else if (arg == "--once") {
+      out->once = true;
+    } else if (arg == "--no-clear") {
+      out->clear = false;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  if (out->file.empty()) {
+    std::cerr << "usage: repro_top --file=<telemetry.json> [--interval=0.5] "
+                 "[--once] [--no-clear]\n";
+    return false;
+  }
+  return true;
+}
+
+double number_or(const repro::obs::Json& obj, const char* key,
+                 double fallback = 0.0) {
+  const repro::obs::Json* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::string string_or(const repro::obs::Json& obj, const char* key) {
+  const repro::obs::Json* v = obj.find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::string();
+}
+
+/// One rendered frame: per-rank table + detector-event tail.
+void render(const repro::obs::Json& doc, bool clear) {
+  if (clear) std::fputs("\x1b[2J\x1b[H", stdout);
+
+  double snapshots = 0.0;
+  if (const repro::obs::Json* rows = doc.find("ranks");
+      rows != nullptr && rows->is_array()) {
+    for (const repro::obs::Json& row : rows->as_array()) {
+      if (row.is_object()) snapshots += number_or(row, "snapshots");
+    }
+  }
+  std::printf("repro_top — source=%s  ranks=%.0f  snapshots=%.0f  events=%zu\n",
+              string_or(doc, "source").c_str(), number_or(doc, "nranks"),
+              snapshots,
+              doc.find("events") != nullptr ? doc.find("events")->size() : 0u);
+  std::printf("%4s %9s %9s %7s %10s %7s %9s %9s %9s\n", "rank", "superstep",
+              "tasks", "steals", "wire_MB", "queue", "halo_s", "noready_s",
+              "steal_s");
+
+  const repro::obs::Json* ranks = doc.find("ranks");
+  if (ranks != nullptr && ranks->is_array()) {
+    for (const repro::obs::Json& row : ranks->as_array()) {
+      if (!row.is_object()) continue;
+      if (number_or(row, "rank", -1.0) < 0.0) {
+        std::printf("%4s %9s — no report yet\n", "?", "-");
+        continue;
+      }
+      std::printf("%4.0f %9.0f %9.0f %7.0f %10.3f %7.0f %9.3f %9.3f %9.3f\n",
+                  number_or(row, "rank"), number_or(row, "superstep"),
+                  number_or(row, "tasks_executed"), number_or(row, "steals"),
+                  number_or(row, "sent_bytes") / 1e6,
+                  number_or(row, "queue_depth"),
+                  number_or(row, "idle_halo_s"),
+                  number_or(row, "idle_noready_s"),
+                  number_or(row, "idle_steal_s"));
+    }
+  }
+
+  const repro::obs::Json* events = doc.find("events");
+  if (events != nullptr && events->is_array() && events->size() > 0) {
+    std::printf("\ndetector events (last %zu of %zu):\n",
+                std::min<std::size_t>(events->size(), 8), events->size());
+    const std::size_t first =
+        events->size() > 8 ? events->size() - 8 : 0;
+    for (std::size_t i = first; i < events->size(); ++i) {
+      const repro::obs::Json& e = events->as_array()[i];
+      std::printf("  [%s] rank %.0f @ superstep %.0f  value=%.3f "
+                  "threshold=%.3f\n",
+                  string_or(e, "detector").c_str(), number_or(e, "rank"),
+                  number_or(e, "superstep"), number_or(e, "value"),
+                  number_or(e, "threshold"));
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) return 2;
+
+  int misses = 0;
+  while (true) {
+    std::ifstream in(opt.file);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      repro::obs::Json doc;
+      std::string error;
+      if (repro::obs::Json::parse(buffer.str(), &doc, &error) &&
+          repro::obs::validate_telemetry(doc, &error)) {
+        render(doc, opt.clear);
+        misses = 0;
+      } else {
+        // A dump mid-creation or from a foreign writer: report, keep trying.
+        std::fprintf(stderr, "repro_top: %s: %s\n", opt.file.c_str(),
+                     error.c_str());
+        if (opt.once) return 1;
+      }
+    } else {
+      if (opt.once || ++misses > 600) {
+        std::fprintf(stderr, "repro_top: cannot open %s\n", opt.file.c_str());
+        return 1;
+      }
+    }
+    if (opt.once) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opt.interval_s));
+  }
+}

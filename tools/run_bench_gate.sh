@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run the gate-worthy benches with fixed, CI-sized arguments and collect
+# their normalized repro.bench_result/v1 documents into <outdir>.
+#
+#   tools/run_bench_gate.sh <outdir>        # BUILD_DIR=build by default
+#
+# The committed baselines under bench/baselines/ were produced by this same
+# script, so tools/check_bench_regression.py always diffs like against like:
+# identical problem sizes, iteration counts, and sweep points. Change an
+# argument here and every baseline must be regenerated in the same commit
+# (the gate's context diff will say so loudly).
+set -euo pipefail
+
+out="${1:?usage: run_bench_gate.sh <outdir>}"
+build="${BUILD_DIR:-build}"
+mkdir -p "$out"
+
+# Fig. 8 (modeled): machine-independent DES numbers — CA gains plus the
+# exact modeled NaCL-16 wire counters. No size overrides needed.
+"$build/bench/bench_fig8_kernel_ratio" \
+    --bench-json="$out/BENCH_bench_fig8_kernel_ratio.json" >/dev/null
+
+# Fig. 10 (real runtime, reduced scale): per-leg wire traffic is
+# graph-determined (exact), the critical path is wall clock (warn-only).
+"$build/bench/bench_fig10_trace" --n=256 --real-iters=8 \
+    --bench-json="$out/BENCH_bench_fig10_trace.json" >/dev/null
+
+# Scheduler comparison: stencil task/message/byte counts are exact across
+# the whole (scheduler, workers) sweep; wall clocks are warn-only.
+"$build/bench/bench_sched_compare" --tasks=1000 --reps=1 --n=128 --iters=8 \
+    --bench-json="$out/BENCH_bench_sched_compare.json" >/dev/null
+
+# Serve saturation: the client loops submit a fixed job count (exact);
+# completion rate, fairness, and tail latency gate as warn-only bands.
+"$build/bench/bench_serve_saturation" --tenants=2 --jobs=4 --rates=8,64 \
+    --bench-json="$out/BENCH_bench_serve_saturation.json" >/dev/null
+
+"$build/tools/validate_report" "$out"/BENCH_*.json

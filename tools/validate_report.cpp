@@ -6,6 +6,8 @@
 //                               emitted by spec-aware benches)
 //   repro.trace_analysis/v1  -> obs::validate_trace_analysis
 //   repro.serve_report/v1    -> serve::validate_serve_report
+//   repro.telemetry/v1       -> obs::validate_telemetry
+//   repro.bench_result/v1    -> obs::validate_bench_result
 //
 //   validate_report report.json [more.json ...]
 #include <fstream>
@@ -13,8 +15,10 @@
 #include <sstream>
 #include <string>
 
+#include "obs/bench_result.hpp"
 #include "obs/json.hpp"
 #include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace_analysis.hpp"
 #include "serve/serve_report.hpp"
 
@@ -42,6 +46,12 @@ bool validate_any(const std::string& text, std::string* error) {
   }
   if (id == repro::serve::ServeReport::kSchema) {
     return repro::serve::validate_serve_report(text, error);
+  }
+  if (id == "repro.telemetry/v1") {
+    return repro::obs::validate_telemetry(doc, error);
+  }
+  if (id == "repro.bench_result/v1") {
+    return repro::obs::validate_bench_result(doc, error);
   }
   *error = "unknown schema '" + id + "'";
   return false;
